@@ -1,0 +1,484 @@
+(* Benchmark harness: regenerates every evaluation artifact of the paper
+   (see DESIGN.md §5 for the experiment index).
+
+   E6  Fig. 7        — t1/t2/t1+t2 vs |H| at 0%/50%/100% insertions
+   E7  Fig. 7 (cmp)  — ours vs the SDT-like and ABT-like baselines
+   E8  §5.2          — asymptotic scaling checks (incl. Undo O(|H|²))
+   E9  §1 motivation — optimistic vs central-lock responsiveness
+   E10 ablation      — security-hole rates with each mechanism disabled
+
+   A bechamel micro-benchmark section (one Test.make per experiment
+   family) closes the run with OLS per-operation estimates.
+
+   Run everything: dune exec bench/main.exe
+   Run one section: dune exec bench/main.exe -- fig7 *)
+
+open Dce_ot
+open Dce_core
+module C = Controller
+
+let adm = 0
+let user = 1
+let bystander = 98
+let remote = 99
+
+(* ----- timing helpers (wall clock) ----- *)
+
+let now = Unix.gettimeofday
+
+let time_once f =
+  let t0 = now () in
+  ignore (Sys.opaque_identity (f ()));
+  (now () -. t0) *. 1_000. (* ms *)
+
+let median_ms ?(reps = 5) f =
+  let xs = List.init reps (fun _ -> time_once f) in
+  List.nth (List.sort compare xs) (reps / 2)
+
+let budget_ms = 100.
+
+let flag ms = if ms <= budget_ms then " " else "*"
+
+(* ----- deterministic op streams ----- *)
+
+let rng = ref (Dce_sim.Rng.of_int 2009)
+
+let rand n =
+  let x, r = Dce_sim.Rng.int !rng n in
+  rng := r;
+  x
+
+let letter () = Char.chr (97 + rand 26)
+
+(* a random operation in visible coordinates, honouring the mix *)
+let random_op ~ins_pct doc =
+  let n = Tdoc.visible_length doc in
+  if n = 0 || rand 100 < ins_pct then Tdoc.ins_visible doc (rand (n + 1)) (letter ())
+  else if rand 2 = 0 then Tdoc.del_visible doc (rand n)
+  else Tdoc.up_visible doc (rand n) (Char.uppercase_ascii (letter ()))
+
+(* ----- the measured site -----
+
+   A session state shaped like the paper's experiment: a policy with
+   redundant authorizations (the paper: "we suppose that the policy is
+   not optimized"), an administrative log with irrelevant grants and
+   revocations (so remote checks really scan L), and a cooperative log
+   of |H| requests with the requested insertion percentage. *)
+
+let base_policy =
+  let redundant =
+    List.concat
+      (List.init 12 (fun _ ->
+           [
+             Auth.grant [ Subject.User bystander ] [ Docobj.Whole ] [ Right.Update ];
+             Auth.grant [ Subject.User bystander ] [ Docobj.zone 0 10 ] [ Right.Delete ];
+           ]))
+  in
+  Policy.make
+    ~users:[ adm; user; bystander; remote ]
+    (redundant @ [ Auth.grant [ Subject.Any ] [ Docobj.Whole ] Right.all ])
+
+let initial_text = String.init 12_000 (fun i -> Char.chr (97 + (i mod 26)))
+
+(* admin traffic that loads L without concerning [user] or [remote] *)
+let admin_noise = 40
+
+let loaded_admin_requests () =
+  let a =
+    C.create ~eq:Char.equal ~site:adm ~admin:adm ~policy:base_policy
+      (Tdoc.of_string initial_text)
+  in
+  let rec go a acc i =
+    if i = admin_noise then List.rev acc
+    else
+      let op =
+        if i mod 2 = 0 then
+          Admin_op.Add_auth
+            (0, Auth.grant [ Subject.User bystander ] [ Docobj.Whole ] [ Right.Insert ])
+        else
+          Admin_op.Add_auth
+            (0, Auth.deny [ Subject.User bystander ] [ Docobj.Whole ] [ Right.Insert ])
+      in
+      match C.admin_update a op with
+      | Ok (a, m) -> go a (m :: acc) (i + 1)
+      | Error e -> failwith e
+  in
+  go a [] 0
+
+(* Build [user]'s controller with measurement snapshots at each |H|
+   checkpoint. *)
+let build_site ~ins_pct ~checkpoints =
+  let c =
+    C.create ~eq:Char.equal ~site:user ~admin:adm ~policy:base_policy
+      (Tdoc.of_string initial_text)
+  in
+  let c = List.fold_left (fun c m -> fst (C.receive c m)) c (loaded_admin_requests ()) in
+  let max_size = List.fold_left max 0 checkpoints in
+  let snapshots = ref [] in
+  let rec go c i =
+    if List.mem i checkpoints then snapshots := (i, c) :: !snapshots;
+    if i >= max_size then ()
+    else
+      let op = random_op ~ins_pct (C.document c) in
+      match C.generate c op with
+      | c, C.Accepted _ -> go c (i + 1)
+      | _, C.Denied r -> failwith ("bench build: denied: " ^ r)
+  in
+  go c 0;
+  List.rev !snapshots
+
+(* the remote insert request whose processing Fig. 7 measures: concurrent
+   with the receiver's whole log *)
+let remote_insert serial =
+  Request.make ~site:remote ~serial ~op:(Op.ins ~pr:remote 0 'z') ~ctx:Vclock.empty
+    ~policy_version:0 ~flag:Request.Tentative ()
+
+let measure_t1 c =
+  median_ms (fun () ->
+      match C.generate c (Tdoc.ins_visible (C.document c) 0 'z') with
+      | _, C.Accepted _ -> ()
+      | _, C.Denied r -> failwith r)
+
+let measure_t2 c = median_ms (fun () -> C.receive c (C.Coop (remote_insert 1)))
+
+(* ----- E6: Fig. 7 ----- *)
+
+let fig7_checkpoints = [ 1000; 2000; 3000; 4000; 5000; 6000; 7000; 8000; 9000 ]
+
+let run_fig7 () =
+  Printf.printf
+    "== E6 / Fig.7: processing time of insert requests (budget %.0f ms; '*' = over) ==\n"
+    budget_ms;
+  Printf.printf "%7s %8s %10s %10s %10s\n" "INS%" "|H|" "t1 (ms)" "t2 (ms)" "t1+t2";
+  List.iter
+    (fun ins_pct ->
+      let snaps = build_site ~ins_pct ~checkpoints:fig7_checkpoints in
+      List.iter
+        (fun (size, c) ->
+          let t1 = measure_t1 c in
+          let t2 = measure_t2 c in
+          Printf.printf "%7d %8d %10.3f %10.3f %9.3f%s\n" ins_pct size t1 t2 (t1 +. t2)
+            (flag (t1 +. t2)))
+        snaps;
+      print_newline ())
+    [ 0; 50; 100 ]
+
+(* ----- E7: baseline comparison ----- *)
+
+(* histories for the baselines: half insertions, half deletions, already
+   in canonical order *)
+let baseline_history size =
+  let ins = size / 2 in
+  let reqs = ref [] in
+  let ctx = ref Vclock.empty in
+  for i = 1 to ins do
+    reqs :=
+      Request.make ~site:user ~serial:i
+        ~op:(Op.ins ~pr:user (rand (i + 10)) (letter ()))
+        ~ctx:!ctx ~policy_version:0 ~flag:Request.Valid ()
+      :: !reqs;
+    ctx := Vclock.tick !ctx user
+  done;
+  for i = ins + 1 to size do
+    reqs :=
+      Request.make ~site:user ~serial:i ~op:(Op.del (rand 10) 'x') ~ctx:!ctx
+        ~policy_version:0 ~flag:Request.Valid ()
+      :: !reqs;
+    ctx := Vclock.tick !ctx user
+  done;
+  List.rev !reqs
+
+let run_baselines () =
+  Printf.printf "== E7 / Fig.7 comparison: time to integrate one remote insert (ms) ==\n";
+  Printf.printf "%8s %12s %12s %12s\n" "|H|" "ours" "SDT-like" "ABT-like";
+  let sizes = [ 250; 500; 1000; 2000; 4000 ] in
+  let ours = build_site ~ins_pct:50 ~checkpoints:sizes in
+  List.iter
+    (fun size ->
+      let t_ours = measure_t2 (List.assoc size ours) in
+      let history = baseline_history size in
+      let sdt =
+        Dce_baseline.Sdt_like.preload
+          (Dce_baseline.Sdt_like.create ~site:2 initial_text)
+          history
+      in
+      let q = remote_insert 1 in
+      let t_sdt = median_ms ~reps:3 (fun () -> Dce_baseline.Sdt_like.receive sdt q) in
+      let abt =
+        Dce_baseline.Abt_like.preload
+          (Dce_baseline.Abt_like.create ~site:2 initial_text)
+          (List.map (fun (r : char Request.t) -> r.Request.op) history)
+      in
+      let t_abt = median_ms ~reps:3 (fun () -> Dce_baseline.Abt_like.receive abt q) in
+      Printf.printf "%8d %11.3f%s %11.3f%s %11.3f%s\n" size t_ours (flag t_ours) t_sdt
+        (flag t_sdt) t_abt (flag t_abt))
+    sizes;
+  print_newline ()
+
+(* ----- E8: asymptotic scaling ----- *)
+
+let run_complexity () =
+  Printf.printf "== E8 / par.5.2: scaling checks ==\n";
+  let snaps = build_site ~ins_pct:50 ~checkpoints:[ 2000; 4000; 8000 ] in
+  let t n = measure_t2 (List.assoc n snaps) in
+  let t2000 = t 2000 and t4000 = t 4000 and t8000 = t 8000 in
+  Printf.printf
+    "receive: t2(2k)=%.3f ms, t2(4k)=%.3f ms, t2(8k)=%.3f ms  (ratios %.2f, %.2f; linear => ~2)\n"
+    t2000 t4000 t8000 (t4000 /. t2000) (t8000 /. t4000);
+  Printf.printf "undo of n tentative requests after a revocation (O(n^2) worst case):\n";
+  Printf.printf "%8s %12s\n" "n" "time (ms)";
+  List.iter
+    (fun n ->
+      let c =
+        C.create ~eq:Char.equal ~site:user ~admin:adm ~policy:base_policy
+          (Tdoc.of_string "seed")
+      in
+      let rec fill c i =
+        if i = n then c
+        else
+          match C.generate c (Op.ins (rand (i + 4)) (letter ())) with
+          | c, C.Accepted _ -> fill c (i + 1)
+          | _, C.Denied r -> failwith r
+      in
+      let c = fill c 0 in
+      let revoke =
+        {
+          Admin_op.admin = adm;
+          version = 1;
+          op =
+            Admin_op.Add_auth
+              (0, Auth.deny [ Subject.User user ] [ Docobj.Whole ] [ Right.Insert ]);
+          ctx = Vclock.empty;
+        }
+      in
+      let ms = median_ms ~reps:3 (fun () -> C.receive c (C.Admin revoke)) in
+      Printf.printf "%8d %12.3f\n" n ms)
+    [ 250; 500; 1000; 2000 ];
+  print_newline ()
+
+(* ----- E9: optimistic vs central lock ----- *)
+
+let run_latency () =
+  Printf.printf "== E9 / par.1 motivation: user-perceived check latency ==\n";
+  let c = List.assoc 1000 (build_site ~ins_pct:50 ~checkpoints:[ 1000 ]) in
+  let n_reps = 200 in
+  let t0 = now () in
+  for _ = 1 to n_reps do
+    match C.generate c (Tdoc.ins_visible (C.document c) 0 'z') with
+    | _, C.Accepted _ -> ()
+    | _, C.Denied r -> failwith r
+  done;
+  let optimistic_ms = (now () -. t0) *. 1000. /. float_of_int n_reps in
+  Printf.printf
+    "optimistic (this paper): %.3f ms per operation (local check, |H|=1000)\n"
+    optimistic_ms;
+  Printf.printf "central lock server:\n%10s %8s %12s %8s %8s %10s\n" "rtt(ms)" "clients"
+    "mean(ms)" "p95" "max" "busy";
+  List.iter
+    (fun rtt ->
+      List.iter
+        (fun clients ->
+          let cfg =
+            {
+              Dce_baseline.Central_lock.clients;
+              rtt;
+              check_cost = 5;
+              op_interval = (100, 400);
+              duration = 60_000;
+            }
+          in
+          let s = Dce_baseline.Central_lock.simulate cfg ~seed:1 in
+          Printf.printf "%10d %8d %12.1f %8d %8d %9.0f%%\n" rtt clients
+            s.Dce_baseline.Central_lock.mean_response
+            s.Dce_baseline.Central_lock.p95_response
+            s.Dce_baseline.Central_lock.max_response
+            (100. *. s.Dce_baseline.Central_lock.server_utilization))
+        [ 2; 10; 50 ])
+    [ 25; 50; 100; 200 ];
+  print_newline ()
+
+(* ----- E10: ablation ----- *)
+
+let run_ablation () =
+  Printf.printf
+    "== E10 / ablation: sessions with security holes, 50 random adversarial runs ==\n";
+  let seeds = List.init 50 (fun i -> 1000 + i) in
+  (* few users, fast-toggling administrator, high latency variance: the
+     regime where stale requests race revocations and re-grants *)
+  let profile =
+    {
+      Dce_sim.Workload.with_admin with
+      users = 2;
+      duration = 2_500;
+      edit_interval = (10, 60);
+      admin_interval = Some (20, 80);
+      revoke_bias = 0.5;
+      latency = Dce_sim.Net.Uniform (20, 400);
+    }
+  in
+  let count features =
+    List.fold_left
+      (fun bad seed ->
+        match Dce_sim.Runner.run ~features profile ~seed with
+        | r ->
+          if
+            Dce_sim.Convergence.ok
+              (Dce_sim.Convergence.check r.Dce_sim.Runner.controllers)
+          then bad
+          else bad + 1
+        | exception _ -> bad + 1)
+      0 seeds
+  in
+  let variants =
+    [
+      ("secure (all mechanisms)", C.secure);
+      ("no retroactive undo", { C.secure with C.retroactive_undo = false });
+      ("no interval check", { C.secure with C.interval_check = false });
+      ("no validation", { C.secure with C.validation = false });
+      ("naive (none)", C.naive);
+    ]
+  in
+  Printf.printf "%-28s %s\n" "variant" "holes / runs";
+  List.iter
+    (fun (name, f) -> Printf.printf "%-28s %d / %d\n" name (count f) (List.length seeds))
+    variants;
+  print_newline ()
+
+(* ----- extras: extension ablations beyond the paper ----- *)
+
+let run_extras () =
+  Printf.printf "== extras: policy scaling and log garbage collection ==\n";
+  (* first-match check cost vs policy size *)
+  Printf.printf "policy first-match check vs |P| (microseconds per check):\n";
+  Printf.printf "%8s %12s\n" "|P|" "us/check";
+  List.iter
+    (fun n ->
+      let p =
+        Policy.make
+          ~users:[ adm; user; bystander ]
+          (List.init n (fun _ ->
+               Auth.deny [ Subject.User bystander ] [ Docobj.Whole ] [ Right.Update ])
+          @ [ Auth.grant [ Subject.Any ] [ Docobj.Whole ] Right.all ])
+      in
+      let reps = 2000 in
+      let t0 = now () in
+      for _ = 1 to reps do
+        ignore
+          (Sys.opaque_identity
+             (Policy.check p ~user ~right:Right.Insert ~pos:(Some 3)))
+      done;
+      Printf.printf "%8d %12.2f\n" (n + 1)
+        ((now () -. t0) *. 1e6 /. float_of_int reps))
+    [ 10; 100; 1000 ];
+  (* log GC: live entries and serialized bytes with/without *)
+  Printf.printf
+    "log GC over a 10s adversarial session (seed 11; per-site live entries / state KiB):\n";
+  let profile =
+    {
+      Dce_sim.Workload.with_admin with
+      users = 3;
+      duration = 10_000;
+      edit_interval = (15, 80);
+      latency = Dce_sim.Net.Uniform (5, 120);
+    }
+  in
+  List.iter
+    (fun (label, compact_every) ->
+      let r = Dce_sim.Runner.run { profile with compact_every } ~seed:11 in
+      let entries =
+        List.map
+          (fun c -> Oplog.live_length (C.oplog c))
+          r.Dce_sim.Runner.controllers
+      in
+      let kib =
+        List.fold_left
+          (fun acc c ->
+            acc
+            + String.length (Dce_wire.Proto.Char_proto.encode_state (C.dump c)))
+          0 r.Dce_sim.Runner.controllers
+        / 1024
+      in
+      Printf.printf "%-12s entries=[%s]  state=%d KiB\n" label
+        (String.concat ";" (List.map string_of_int entries))
+        kib)
+    [ ("no GC", None); ("GC every 8", Some 8) ];
+  print_newline ()
+
+(* ----- bechamel micro-benchmarks ----- *)
+
+let run_micro () =
+  Printf.printf "== micro (bechamel, OLS per-run estimates) ==\n";
+  let open Bechamel in
+  let c3000 = List.assoc 3000 (build_site ~ins_pct:50 ~checkpoints:[ 3000 ]) in
+  let q = remote_insert 1 in
+  let history = baseline_history 250 in
+  let sdt =
+    Dce_baseline.Sdt_like.preload (Dce_baseline.Sdt_like.create ~site:2 initial_text)
+      history
+  in
+  let abt =
+    Dce_baseline.Abt_like.preload
+      (Dce_baseline.Abt_like.create ~site:2 initial_text)
+      (List.map (fun (r : char Request.t) -> r.Request.op) history)
+  in
+  let policy_pos = Some 3 in
+  let tests =
+    [
+      Test.make ~name:"generate |H|=3000"
+        (Staged.stage (fun () ->
+             match C.generate c3000 (Op.ins 0 'z') with
+             | _, C.Accepted _ -> ()
+             | _, C.Denied r -> failwith r));
+      Test.make ~name:"receive |H|=3000"
+        (Staged.stage (fun () -> ignore (C.receive c3000 (C.Coop q))));
+      Test.make ~name:"policy check (|P|=25)"
+        (Staged.stage (fun () ->
+             ignore (Policy.check base_policy ~user ~right:Right.Insert ~pos:policy_pos)));
+      Test.make ~name:"admin interval check (|L|=40)"
+        (Staged.stage (fun () ->
+             ignore
+               (Admin_log.first_denial (C.admin_log c3000) ~from_version:0 ~user
+                  ~right:Right.Insert ~pos:policy_pos)));
+      Test.make ~name:"sdt-like receive |H|=250"
+        (Staged.stage (fun () -> ignore (Dce_baseline.Sdt_like.receive sdt q)));
+      Test.make ~name:"abt-like receive |H|=250"
+        (Staged.stage (fun () -> ignore (Dce_baseline.Abt_like.receive abt q)));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| "run" |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name est ->
+          let ns = match Analyze.OLS.estimates est with Some [ e ] -> e | _ -> nan in
+          Printf.printf "%-32s %12.1f ns/run  (r2=%s)\n" name ns
+            (match Analyze.OLS.r_square est with
+             | Some r -> Printf.sprintf "%.3f" r
+             | None -> "-"))
+        ols)
+    tests;
+  print_newline ()
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
+  let run name f =
+    match which with
+    | Some w when w <> name -> ()
+    | _ ->
+      rng := Dce_sim.Rng.of_int 2009;
+      f ()
+  in
+  run "fig7" run_fig7;
+  run "baselines" run_baselines;
+  run "complexity" run_complexity;
+  run "latency" run_latency;
+  run "ablation" run_ablation;
+  run "extras" run_extras;
+  run "micro" run_micro

@@ -1,0 +1,223 @@
+(* p2pedit: a scriptable multi-site collaborative editor.
+
+   The CLI counterpart of the paper's p2pEdit prototype (Fig. 6): it
+   hosts every site of a session in one process with an explicit
+   in-flight message pool, so delivery order — the whole subject of the
+   paper — is under your control.
+
+     dune exec bin/p2pedit.exe -- --users 2 --text "abc"
+
+   Commands (one per line, '#' comments; read from stdin, so sessions
+   can be piped in as scripts):
+
+     ins <site> <pos> <char>     insert at a visible position
+     del <site> <pos>            delete the element at a visible position
+     up  <site> <pos> <char>     replace the element at a visible position
+     deny <user> <right>         admin adds a top negative authorization
+                                 (right: i, d or u)
+     allow <user> <right>        admin adds a top positive authorization
+     adduser <user>              admin registers a user
+     deliver [<n>|all]           deliver the n-th in-flight message (default
+                                 0), or everything
+     save <site> <file>          persist a site's full state to disk
+     load <site> <file>          replace a site's state from disk
+     wire                        list in-flight messages
+     show                        show every site's document and version
+     log <site>                  show a site's cooperative log
+     policy <site>               show a site's policy copy
+     quit
+
+   Site 0 is the administrator. *)
+
+open Dce_ot
+open Dce_core
+
+type state = {
+  mutable sites : (int * char Controller.t) list;
+  mutable wire : (int * char Controller.message) list;
+}
+
+let controller st u =
+  match List.assoc_opt u st.sites with
+  | Some c -> c
+  | None -> failwith (Printf.sprintf "no site %d" u)
+
+let set st u c =
+  st.sites <- List.map (fun (v, c') -> if v = u then (v, c) else (v, c')) st.sites
+
+let post st src msgs =
+  List.iter
+    (fun m ->
+      List.iter (fun (u, _) -> if u <> src then st.wire <- st.wire @ [ (u, m) ]) st.sites)
+    msgs
+
+let pp_message ppf = function
+  | Controller.Coop q -> Request.pp Fmt.char ppf q
+  | Controller.Admin r -> Admin_op.pp_request ppf r
+
+let show st =
+  List.iter
+    (fun (u, c) ->
+      Printf.printf "site %d%s: %S  (policy v%d%s)\n" u
+        (if Controller.is_admin c then "*" else "")
+        (Tdoc.visible_string (Controller.document c))
+        (Controller.version c)
+        (match List.length (Controller.tentative c) with
+         | 0 -> ""
+         | n -> Printf.sprintf ", %d tentative" n))
+    st.sites;
+  Printf.printf "%d message(s) in flight\n" (List.length st.wire)
+
+let edit st u op =
+  match Controller.generate (controller st u) op with
+  | c, Controller.Accepted m ->
+    set st u c;
+    post st u [ m ];
+    Printf.printf "site %d -> %S\n" u (Tdoc.visible_string (Controller.document c))
+  | _, Controller.Denied reason -> Printf.printf "site %d denied: %s\n" u reason
+
+let admin st op =
+  match Controller.admin_update (controller st 0) op with
+  | Ok (c, m) ->
+    set st 0 c;
+    post st 0 [ m ];
+    Printf.printf "admin -> policy v%d\n" (Controller.version c)
+  | Error e -> Printf.printf "admin error: %s\n" e
+
+let deliver st k =
+  let rec take i acc = function
+    | [] -> None
+    | m :: rest when i = 0 -> Some (m, List.rev_append acc rest)
+    | m :: rest -> take (i - 1) (m :: acc) rest
+  in
+  match take k [] st.wire with
+  | None -> Printf.printf "no such message\n"
+  | Some ((dst, m), rest) ->
+    st.wire <- rest;
+    let c, emitted = Controller.receive (controller st dst) m in
+    set st dst c;
+    post st dst emitted;
+    Format.printf "delivered to %d: %a@." dst pp_message m
+
+let right_of_string = function
+  | "i" | "iR" -> Some Right.Insert
+  | "d" | "dR" -> Some Right.Delete
+  | "u" | "uR" -> Some Right.Update
+  | "r" | "rR" -> Some Right.Read
+  | _ -> None
+
+let run users text =
+  let all = List.init (users + 1) Fun.id in
+  let policy =
+    Policy.make ~users:all [ Auth.grant [ Subject.Any ] [ Docobj.Whole ] Right.all ]
+  in
+  let doc0 = Tdoc.of_string text in
+  let st =
+    {
+      sites =
+        List.map
+          (fun u -> (u, Controller.create ~eq:Char.equal ~site:u ~admin:0 ~policy doc0))
+          all;
+      wire = [];
+    }
+  in
+  show st;
+  (try
+     while true do
+       print_string "> ";
+       let line = read_line () in
+       let words =
+         List.filter (fun s -> s <> "") (String.split_on_char ' ' (String.trim line))
+       in
+       try
+         match words with
+         | [] -> ()
+         | w :: _ when String.length w > 0 && w.[0] = '#' -> ()
+         | [ "quit" ] | [ "exit" ] -> raise Exit
+         | [ "show" ] -> show st
+         | [ "wire" ] ->
+           List.iteri
+             (fun i (dst, m) -> Format.printf "%2d: to %d: %a@." i dst pp_message m)
+             st.wire
+         | [ "deliver" ] -> deliver st 0
+         | [ "deliver"; "all" ] ->
+           while st.wire <> [] do
+             deliver st 0
+           done
+         | [ "deliver"; n ] -> deliver st (int_of_string n)
+         | [ "ins"; u; p; ch ] when String.length ch = 1 ->
+           let u = int_of_string u in
+           edit st u
+             (Tdoc.ins_visible (Controller.document (controller st u)) (int_of_string p)
+                ch.[0])
+         | [ "del"; u; p ] ->
+           let u = int_of_string u in
+           edit st u
+             (Tdoc.del_visible (Controller.document (controller st u)) (int_of_string p))
+         | [ "up"; u; p; ch ] when String.length ch = 1 ->
+           let u = int_of_string u in
+           edit st u
+             (Tdoc.up_visible (Controller.document (controller st u)) (int_of_string p)
+                ch.[0])
+         | [ "deny"; u; r ] -> (
+             match right_of_string r with
+             | Some right ->
+               admin st
+                 (Admin_op.Add_auth
+                    (0, Auth.deny [ Subject.User (int_of_string u) ] [ Docobj.Whole ]
+                       [ right ]))
+             | None -> Printf.printf "unknown right %S (use i, d, u or r)\n" r)
+         | [ "allow"; u; r ] -> (
+             match right_of_string r with
+             | Some right ->
+               admin st
+                 (Admin_op.Add_auth
+                    (0, Auth.grant [ Subject.User (int_of_string u) ] [ Docobj.Whole ]
+                       [ right ]))
+             | None -> Printf.printf "unknown right %S (use i, d, u or r)\n" r)
+         | [ "adduser"; u ] -> admin st (Admin_op.Add_user (int_of_string u))
+         | [ "save"; u; path ] ->
+           Dce_wire.Proto.Char_proto.save path (controller st (int_of_string u));
+           Printf.printf "site %s saved to %s\n" u path
+         | [ "load"; u; path ] -> (
+             match Dce_wire.Proto.Char_proto.restore path with
+             | Ok c -> begin
+                 let u = int_of_string u in
+                 match List.assoc_opt u st.sites with
+                 | Some _ ->
+                   set st u c;
+                   Printf.printf "site %d restored from %s\n" u path
+                 | None -> Printf.printf "no site %d in this session\n" u
+               end
+             | Error e -> Printf.printf "restore failed: %s\n" e)
+         | [ "log"; u ] ->
+           Format.printf "%a@."
+             (Oplog.pp Fmt.char)
+             (Controller.oplog (controller st (int_of_string u)))
+         | [ "policy"; u ] ->
+           Format.printf "%a@." Policy.pp
+             (Controller.policy (controller st (int_of_string u)))
+         | _ -> Printf.printf "unrecognized command (see the header of bin/p2pedit.ml)\n"
+       with
+       | Exit -> raise Exit
+       | Failure msg -> Printf.printf "error: %s\n" msg
+       | Invalid_argument msg -> Printf.printf "error: %s\n" msg
+     done
+   with Exit | End_of_file -> ());
+  print_endline "\nfinal state:";
+  show st
+
+open Cmdliner
+
+let users =
+  Arg.(value & opt int 2 & info [ "users" ] ~docv:"N" ~doc:"Number of non-admin users.")
+
+let text =
+  Arg.(value & opt string "abc" & info [ "text" ] ~docv:"TEXT" ~doc:"Initial document.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "p2pedit" ~doc:"Scriptable secured collaborative editing session")
+    Term.(const run $ users $ text)
+
+let () = exit (Cmd.eval cmd)

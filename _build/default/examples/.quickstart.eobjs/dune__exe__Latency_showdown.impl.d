@@ -1,0 +1,1 @@
+examples/latency_showdown.ml: Auth Central_lock Char Controller Dce_baseline Dce_core Dce_ot Docobj Fun List Op Policy Printf Right String Subject Tdoc Unix

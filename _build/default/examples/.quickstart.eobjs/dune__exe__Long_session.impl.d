@@ -1,0 +1,1 @@
+examples/long_session.ml: Controller Convergence Dce_core Dce_ot Dce_sim Dce_wire Format List Net Printf Runner String Workload

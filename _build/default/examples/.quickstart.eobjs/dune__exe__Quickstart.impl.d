@@ -1,0 +1,1 @@
+examples/quickstart.ml: Admin_op Auth Char Dce_core Dce_ot Docobj List Policy Printf Result Right Session Subject Tdoc

@@ -1,0 +1,1 @@
+examples/revocation_scenarios.ml: Controller Dce_baseline Dce_core Dce_ot Format Naive Op Printf String Tdoc Transform

@@ -1,0 +1,1 @@
+examples/shared_wiki.ml: Admin_op Auth Char Controller Dce_core Dce_ot Dce_sim Docobj List Op Policy Printf Right String Subject Tdoc

@@ -1,0 +1,61 @@
+(* Why replicate the policy at all?  The latency showdown.
+
+     dune exec examples/latency_showdown.exe
+
+   The classical design keeps the access data structure on one server:
+   every keystroke must lock it, be checked, and return before the
+   editor can show the user their own edit.  The paper's model checks a
+   local replica instead.  This example puts real numbers on the gap:
+   the central server is simulated (RTT + serialized checks), the
+   optimistic check is measured for real on a loaded controller. *)
+
+open Dce_ot
+open Dce_core
+open Dce_baseline
+
+let () =
+  (* measure the real optimistic path: local check + execution on a
+     session with an established history *)
+  let policy =
+    Policy.make ~users:[ 0; 1 ] [ Auth.grant [ Subject.Any ] [ Docobj.Whole ] Right.all ]
+  in
+  let c =
+    Controller.create ~eq:Char.equal ~site:1 ~admin:0 ~policy
+      (Tdoc.of_string (String.make 2000 'x'))
+  in
+  let c =
+    List.fold_left
+      (fun c i ->
+        match Controller.generate c (Op.ins (i mod 100) 'y') with
+        | c, Controller.Accepted _ -> c
+        | _, Controller.Denied r -> failwith r)
+      c
+      (List.init 1500 Fun.id)
+  in
+  let reps = 300 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    match Controller.generate c (Op.ins 0 'z') with
+    | _, Controller.Accepted _ -> ()
+    | _, Controller.Denied r -> failwith r
+  done;
+  let optimistic = (Unix.gettimeofday () -. t0) *. 1000. /. float_of_int reps in
+  Printf.printf "optimistic local check+execute (|H|=1500): %.3f ms\n\n" optimistic;
+
+  Printf.printf "central-lock server (5 ms per check, editors typing every 100-400 ms):\n";
+  Printf.printf "%10s %8s | %10s %8s %8s\n" "rtt(ms)" "users" "mean(ms)" "p95(ms)" "speedup";
+  List.iter
+    (fun (rtt, clients) ->
+      let s =
+        Central_lock.simulate
+          { Central_lock.clients; rtt; check_cost = 5; op_interval = (100, 400);
+            duration = 120_000 }
+          ~seed:42
+      in
+      Printf.printf "%10d %8d | %10.1f %8d %7.0fx\n" rtt clients
+        s.Central_lock.mean_response s.Central_lock.p95_response
+        (s.Central_lock.mean_response /. optimistic))
+    [ (25, 5); (50, 5); (100, 5); (100, 30); (200, 30); (200, 100) ];
+  Printf.printf
+    "\nthe paper's point: with a replicated policy, responsiveness is back to\n\
+     single-user editor levels, and adding users costs the server nothing.\n"

@@ -1,0 +1,167 @@
+(* A wiki page edited by a moderated community, over a lossy-ordering
+   network.
+
+     dune exec examples/shared_wiki.exe
+
+   This example exercises the richer policy features on an asynchronous
+   session driven site-by-site (messages delivered out of order):
+
+   - groups: "editors" may change anything, "commenters" may only
+     insert, and membership changes take effect without touching the
+     authorization list;
+   - named objects: the administrator pins down a protected zone
+     ("title") that only editors may touch;
+   - dynamic membership: a commenter is promoted mid-session;
+   - retroactive enforcement: a vandal's edits are undone everywhere
+     when the administrator removes them from the group. *)
+
+open Dce_ot
+open Dce_core
+
+let adm = 0
+let editor = 1
+let commenter = 2
+let vandal = 3
+
+type net = {
+  mutable sites : (int * char Controller.t) list;
+  mutable wire : (int * char Controller.message) list; (* destination, message *)
+}
+
+let controller net u = List.assoc u net.sites
+
+let set net u c = net.sites <- List.map (fun (v, c') -> if v = u then (v, c) else (v, c')) net.sites
+
+let post net src msgs =
+  List.iter
+    (fun m -> List.iter (fun (u, _) -> if u <> src then net.wire <- net.wire @ [ (u, m) ]) net.sites)
+    msgs
+
+let edit net who op =
+  match Controller.generate (controller net who) op with
+  | c, Controller.Accepted m ->
+    set net who c;
+    post net who [ m ]
+  | _, Controller.Denied reason -> Printf.printf "  site %d denied locally: %s\n" who reason
+
+let admin net op =
+  match Controller.admin_update (controller net adm) op with
+  | Ok (c, m) ->
+    set net adm c;
+    post net adm [ m ]
+  | Error e -> Printf.printf "  admin error: %s\n" e
+
+(* deliver the k-th in-flight message (simulating reordering) *)
+let deliver_nth net k =
+  let rec take i acc = function
+    | [] -> None
+    | m :: rest when i = 0 -> Some (m, List.rev_append acc rest)
+    | m :: rest -> take (i - 1) (m :: acc) rest
+  in
+  match take k [] net.wire with
+  | None -> ()
+  | Some ((dst, m), rest) ->
+    net.wire <- rest;
+    let c, emitted = Controller.receive (controller net dst) m in
+    set net dst c;
+    post net dst emitted
+
+let flush ?(seed = 7) net =
+  let rng = ref (Dce_sim.Rng.of_int seed) in
+  while net.wire <> [] do
+    let k, r = Dce_sim.Rng.int !rng (List.length net.wire) in
+    rng := r;
+    deliver_nth net k
+  done
+
+(* deliver everything except messages bound for [slow] (a laggy link) *)
+let flush_except net slow =
+  let rec go () =
+    match List.find_index (fun (dst, _) -> dst <> slow) net.wire with
+    | Some k ->
+      deliver_nth net k;
+      go ()
+    | None -> ()
+  in
+  go ()
+
+let show net =
+  List.iter
+    (fun (u, c) ->
+      Printf.printf "  site %d: %S%s\n" u
+        (Tdoc.visible_string (Controller.document c))
+        (if u = adm then " (admin)" else ""))
+    net.sites
+
+let () =
+  let policy =
+    Policy.make
+      ~users:[ adm; editor; commenter; vandal ]
+      ~groups:[ ("editors", [ adm; editor ]); ("commenters", [ commenter; vandal ]) ]
+      ~objects:[ ("title", Docobj.zone 0 4) ]
+      [
+        (* only editors may touch the title zone *)
+        Auth.deny [ Subject.Group "commenters" ] [ Docobj.Named "title" ] Right.all;
+        Auth.grant [ Subject.Group "editors" ] [ Docobj.Whole ] Right.all;
+        Auth.grant [ Subject.Group "commenters" ] [ Docobj.Whole ] [ Right.Insert ];
+      ]
+  in
+  let doc0 = Tdoc.of_string "wiki: ocaml is great" in
+  let net =
+    {
+      sites =
+        List.map
+          (fun u -> (u, Controller.create ~eq:Char.equal ~site:u ~admin:adm ~policy doc0))
+          [ adm; editor; commenter; vandal ];
+      wire = [];
+    }
+  in
+  print_endline "initial page:";
+  show net;
+
+  print_endline "\nthe editor retitles (allowed), the commenter tries to (denied):";
+  edit net editor (Tdoc.up_visible (Controller.document (controller net editor)) 0 'W');
+  edit net commenter (Op.up 1 'i' 'I');
+  flush net;
+  show net;
+
+  print_endline "\nthe commenter appends a comment (inserts are allowed):";
+  let append who text =
+    String.iter
+      (fun ch ->
+        let d = Controller.document (controller net who) in
+        edit net who (Tdoc.ins_visible d (Tdoc.visible_length d) ch))
+      text
+  in
+  append commenter " +1";
+  flush net;
+  show net;
+
+  print_endline
+    "\nthe vandal sprays garbage; the spray reaches the other users but is\n\
+     still in flight to the administrator (tentative everywhere):";
+  append vandal " xxxx";
+  flush_except net adm;
+  show net;
+
+  print_endline
+    "\nmeanwhile the administrator expels the vandal from \"commenters\": a\n\
+     restrictive change, concurrent with the spray.  The administrator\n\
+     rejects the late-arriving spray, and every other site undoes it:";
+  admin net (Admin_op.Del_from_group ("commenters", vandal));
+  flush net;
+  show net;
+
+  print_endline "\nthe commenter is promoted to \"editors\" and fixes the title:";
+  admin net (Admin_op.Del_from_group ("commenters", commenter));
+  admin net (Admin_op.Add_to_group ("editors", commenter));
+  flush net;
+  edit net commenter (Tdoc.up_visible (Controller.document (controller net commenter)) 1 'I');
+  flush net;
+  show net;
+
+  (* convergence check across all four replicas *)
+  let docs = List.map (fun (_, c) -> Controller.document c) net.sites in
+  let d0 = List.hd docs in
+  assert (List.for_all (Tdoc.equal_model Char.equal d0) docs);
+  print_endline "\nall four replicas converged."

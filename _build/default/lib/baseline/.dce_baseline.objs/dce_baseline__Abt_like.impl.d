@@ -1,0 +1,1 @@
+lib/baseline/abt_like.ml: Array Dce_ot Document List Op Positional Request Vclock

@@ -1,0 +1,1 @@
+lib/baseline/abt_like.mli: Dce_ot Op Request

@@ -1,0 +1,1 @@
+lib/baseline/central_lock.ml: Dce_sim Format List Rng

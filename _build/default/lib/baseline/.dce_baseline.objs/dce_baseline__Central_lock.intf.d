@@ -1,0 +1,1 @@
+lib/baseline/central_lock.mli: Format

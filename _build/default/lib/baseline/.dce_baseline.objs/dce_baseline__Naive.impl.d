@@ -1,0 +1,1 @@
+lib/baseline/naive.ml: Admin_op Auth Char Controller Dce_core Dce_ot Docobj Format List Op Policy Right String Subject Tdoc

@@ -1,0 +1,1 @@
+lib/baseline/naive.mli: Controller Dce_core Format Subject

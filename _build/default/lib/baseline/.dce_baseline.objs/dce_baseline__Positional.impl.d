@@ -1,0 +1,1 @@
+lib/baseline/positional.ml: Char Dce_ot Document Fun List Op String

@@ -1,0 +1,1 @@
+lib/baseline/positional.mli: Dce_ot Document Op

@@ -1,0 +1,1 @@
+lib/baseline/sdt_like.ml: Dce_ot Document List Op Positional Request Vclock

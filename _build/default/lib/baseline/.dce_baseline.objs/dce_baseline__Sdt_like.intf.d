@@ -1,0 +1,1 @@
+lib/baseline/sdt_like.mli: Dce_ot Op Request

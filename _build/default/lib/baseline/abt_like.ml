@@ -1,0 +1,68 @@
+open Dce_ot
+
+type t = {
+  site : int;
+  serial : int;
+  clock : Vclock.t;
+  doc : char Document.Array_doc.t;
+  log : char Op.t list; (* canonical: insertions before deletions *)
+}
+
+let create ~site text =
+  { site; serial = 0; clock = Vclock.empty; doc = Document.Str.of_string text; log = [] }
+
+let everything_goes _ _ = true
+
+(* Positional exclusion for the only pair re-canonization needs. *)
+let et_ins_del (i : char Op.t) (d : char Op.t) =
+  match i, d with
+  | Op.Ins i1, Op.Del d2 ->
+    if i1.pos <= d2.pos then Op.Ins i1 else Op.Ins { i1 with pos = i1.pos + 1 }
+  | o, _ -> o
+
+(* Re-canonize the whole log from scratch: repeatedly bubble every
+   insertion leftwards past the deletion immediately before it.  This is
+   the deliberate O(|H|²) pass. *)
+let recanonize log =
+  let arr = Array.of_list log in
+  let n = Array.length arr in
+  let swapped = ref true in
+  while !swapped do
+    swapped := false;
+    for i = 0 to n - 2 do
+      match arr.(i), arr.(i + 1) with
+      | (Op.Del _ as d), (Op.Ins _ as ins) ->
+        let ins' = et_ins_del ins d in
+        let d' = Positional.it d ins' in
+        arr.(i) <- ins';
+        arr.(i + 1) <- d';
+        swapped := true
+      | _ -> ()
+    done
+  done;
+  Array.to_list arr
+
+let generate t op =
+  let op = Op.with_stamp ~site:t.site ~stamp:(Vclock.sum t.clock + 1) op in
+  let serial = t.serial + 1 in
+  let q =
+    Request.make ~site:t.site ~serial ~op ~ctx:t.clock ~policy_version:0
+      ~flag:Request.Valid ()
+  in
+  let doc = Document.Array_doc.apply ~eq:everything_goes t.doc op in
+  let log = recanonize (t.log @ [ op ]) in
+  ({ t with serial; clock = Vclock.tick t.clock t.site; doc; log }, q)
+
+let receive t q =
+  (* benchmark setting: the incoming request is concurrent with the whole
+     local log *)
+  let op = Positional.it_list q.Request.op t.log in
+  let doc = Document.Array_doc.apply ~eq:everything_goes t.doc op in
+  let log = recanonize (t.log @ [ op ]) in
+  { t with doc; log; clock = Vclock.tick t.clock q.Request.id.Request.site }
+
+let log_length t = List.length t.log
+
+let text t = Document.Str.to_string t.doc
+
+let preload t ops = { t with log = recanonize (t.log @ ops) }

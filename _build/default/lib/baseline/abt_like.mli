@@ -1,0 +1,26 @@
+(** A canonical-log baseline with ABT-class integration cost.
+
+    Cost-model stand-in for ABT (Li & Li 2008) in the paper's Fig. 7
+    comparison, in the same spirit as {!Sdt_like}: a log kept in
+    insertions-before-deletions canonical form, but re-canonized {e from
+    scratch} after every integration (ABT maintains admissibility with a
+    quadratic pass over the history), so receive costs O(|H|²)
+    transpositions against our incremental O(|H|).  See DESIGN §2.
+
+    Intended for benchmark workloads where delivered requests are
+    concurrent with the receiver's whole log (the Fig. 7 measurement
+    setup); it is not a general-purpose engine. *)
+
+open Dce_ot
+
+type t
+
+val create : site:int -> string -> t
+val generate : t -> char Op.t -> t * char Request.t
+val receive : t -> char Request.t -> t
+val log_length : t -> int
+val text : t -> string
+
+val preload : t -> char Op.t list -> t
+(** Install a log (assumed executed; one re-canonization pass is run).
+    Benchmark-only, like {!Sdt_like.preload}. *)

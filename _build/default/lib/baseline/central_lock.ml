@@ -1,0 +1,74 @@
+open Dce_sim
+
+type config = {
+  clients : int;
+  rtt : int;
+  check_cost : int;
+  op_interval : int * int;
+  duration : int;
+}
+
+type stats = {
+  operations : int;
+  mean_response : float;
+  p95_response : int;
+  max_response : int;
+  server_utilization : float;
+}
+
+let simulate cfg ~seed =
+  let rng = ref (Rng.of_int seed) in
+  let draw (lo, hi) =
+    let x, r = Rng.in_range !rng lo hi in
+    rng := r;
+    x
+  in
+  (* generate each client's issue times *)
+  let issues = ref [] in
+  for _ = 1 to cfg.clients do
+    let t = ref (draw cfg.op_interval) in
+    while !t <= cfg.duration do
+      issues := !t :: !issues;
+      t := !t + draw cfg.op_interval
+    done
+  done;
+  let issues = List.sort compare !issues in
+  (* serve in arrival order: arrival = issue + rtt/2, serialized checks *)
+  let free_at = ref 0 in
+  let busy = ref 0 in
+  let responses =
+    List.map
+      (fun issue ->
+        let arrival = issue + (cfg.rtt / 2) in
+        let start = max arrival !free_at in
+        let finish = start + cfg.check_cost in
+        free_at := finish;
+        busy := !busy + cfg.check_cost;
+        finish + (cfg.rtt / 2) - issue)
+      issues
+  in
+  let n = List.length responses in
+  if n = 0 then
+    {
+      operations = 0;
+      mean_response = 0.;
+      p95_response = 0;
+      max_response = 0;
+      server_utilization = 0.;
+    }
+  else
+    let sorted = List.sort compare responses in
+    let total = List.fold_left ( + ) 0 responses in
+    let p95 = List.nth sorted (min (n - 1) (n * 95 / 100)) in
+    {
+      operations = n;
+      mean_response = float_of_int total /. float_of_int n;
+      p95_response = p95;
+      max_response = List.nth sorted (n - 1);
+      server_utilization = float_of_int !busy /. float_of_int (max 1 !free_at);
+    }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "ops=%d mean=%.1fms p95=%dms max=%dms server-busy=%.0f%%" s.operations
+    s.mean_response s.p95_response s.max_response (100. *. s.server_utilization)

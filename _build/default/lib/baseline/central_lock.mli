@@ -1,0 +1,33 @@
+(** The pessimistic strawman: access control on a central server.
+
+    The paper's introduction motivates replication by the latency of the
+    standard design, where a single server stores the access data
+    structure, and {e every} operation — local or not — must lock it,
+    be checked, and come back before the user sees their own edit.  This
+    module simulates that design: clients at a configurable RTT from the
+    server issue operations at a configurable rate; the server serializes
+    checks (the lock) at a configurable per-check cost.
+
+    The benchmark compares the resulting user-perceived response times
+    with the optimistic model's (a local policy check, microseconds) and
+    regenerates the motivation numbers (DESIGN E9). *)
+
+type config = {
+  clients : int;
+  rtt : int;  (** round trip to the server, virtual ms *)
+  check_cost : int;  (** server-side lock+check time per operation, virtual ms *)
+  op_interval : int * int;  (** per-client wait between operations *)
+  duration : int;
+}
+
+type stats = {
+  operations : int;
+  mean_response : float;  (** virtual ms from issue to grant *)
+  p95_response : int;
+  max_response : int;
+  server_utilization : float;  (** fraction of time the lock was held *)
+}
+
+val simulate : config -> seed:int -> stats
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,127 @@
+open Dce_ot
+open Dce_core
+
+type report = {
+  scenario : string;
+  site_texts : (Subject.user * string) list;
+  diverged : bool;
+  illegal_effect_somewhere : bool;
+  legal_rejected : bool;
+}
+
+let adm = 0
+let s1 = 1
+let s2 = 2
+
+let all_rights users =
+  Policy.make ~users [ Auth.grant [ Subject.Any ] [ Docobj.Whole ] Right.all ]
+
+let vis c = Tdoc.visible_string (Controller.document c)
+
+let mk features policy =
+  ( Controller.create ~eq:Char.equal ~features ~site:adm ~admin:adm ~policy
+      (Tdoc.of_string "abc"),
+    Controller.create ~eq:Char.equal ~features ~site:s1 ~admin:adm ~policy
+      (Tdoc.of_string "abc"),
+    Controller.create ~eq:Char.equal ~features ~site:s2 ~admin:adm ~policy
+      (Tdoc.of_string "abc") )
+
+let gen c op =
+  match Controller.generate c op with
+  | c, Controller.Accepted m -> (c, m)
+  | _, Controller.Denied r -> failwith ("scenario generation denied: " ^ r)
+
+let admin c op =
+  match Controller.admin_update c op with
+  | Ok (c, m) -> (c, m)
+  | Error e -> failwith ("scenario admin_update failed: " ^ e)
+
+let recv c m = fst (Controller.receive c m)
+
+let report scenario sites ~illegal ~legal_rejected =
+  let texts = List.map (fun c -> (Controller.site c, vis c)) sites in
+  let diverged =
+    match texts with
+    | [] -> false
+    | (_, t0) :: rest -> List.exists (fun (_, t) -> t <> t0) rest
+  in
+  {
+    scenario;
+    site_texts = texts;
+    diverged;
+    illegal_effect_somewhere = List.exists (fun (_, t) -> illegal t) texts;
+    legal_rejected = List.exists (fun (_, t) -> legal_rejected t) texts;
+  }
+
+(* Fig. 2: s1 inserts 'x' concurrently with the revocation of its
+   insertion right.  The insertion is illegal under the final policy;
+   every trace of 'x' is a hole. *)
+let fig2 features =
+  let a, u1, u2 = mk features (all_rights [ adm; s1; s2 ]) in
+  let u1, q = gen u1 (Op.ins 0 'x') in
+  let a, r =
+    admin a
+      (Admin_op.Add_auth
+         (0, Auth.deny [ Subject.User s1 ] [ Docobj.Whole ] [ Right.Insert ]))
+  in
+  let a = recv a q in
+  let u2 = recv u2 q in
+  let u2 = recv u2 r in
+  let u1 = recv u1 r in
+  report "Fig.2 (revocation concurrent with insertion)" [ a; u1; u2 ]
+    ~illegal:(fun t -> String.contains t 'x')
+    ~legal_rejected:(fun _ -> false)
+
+(* Fig. 3: s2's deletion of 'a' falls inside a revoke-then-regrant
+   window; it must be rejected everywhere.  A missing 'a' is a hole. *)
+let fig3 features =
+  let policy =
+    Policy.make ~users:[ adm; s1; s2 ]
+      [ Auth.grant [ Subject.User s2 ] [ Docobj.Whole ] [ Right.Delete ] ]
+  in
+  let a, u1, u2 = mk features policy in
+  let u2, q = gen u2 (Op.del 0 'a') in
+  let a, r1 = admin a (Admin_op.Del_auth 0) in
+  (* the deletion reaches the administrator while the right is revoked *)
+  let a = recv a q in
+  let a, r2 =
+    admin a
+      (Admin_op.Add_auth
+         (0, Auth.grant [ Subject.User s2 ] [ Docobj.Whole ] [ Right.Delete ]))
+  in
+  (* s1 sees revoke, regrant, then the deletion *)
+  let u1 = recv (recv u1 r1) r2 in
+  let u1 = recv u1 q in
+  let u2 = recv (recv u2 r1) r2 in
+  report "Fig.3 (revoke-then-regrant window)" [ a; u1; u2 ]
+    ~illegal:(fun t -> not (String.contains t 'a'))
+    ~legal_rejected:(fun _ -> false)
+
+(* Fig. 4: the administrator validates s1's insertion, then revokes.
+   The insertion is legal; a site without 'x' wrongly rejected it. *)
+let fig4 features =
+  let a, u1, u2 = mk features (all_rights [ adm; s1; s2 ]) in
+  let u1, q = gen u1 (Op.ins 0 'x') in
+  let a, validations = Controller.receive a q in
+  let a, r =
+    admin a
+      (Admin_op.Add_auth
+         (0, Auth.deny [ Subject.User s1 ] [ Docobj.Whole ] [ Right.Insert ]))
+  in
+  (* the revocation overtakes the insertion on the way to s2 *)
+  let u2 = recv u2 r in
+  let u2 = List.fold_left recv u2 validations in
+  let u2 = recv u2 q in
+  let u1 = List.fold_left recv u1 validations in
+  let u1 = recv u1 r in
+  report "Fig.4 (revocation overtakes a validated insertion)" [ a; u1; u2 ]
+    ~illegal:(fun _ -> false)
+    ~legal_rejected:(fun t -> not (String.contains t 'x'))
+
+let holes r = r.diverged || r.illegal_effect_somewhere || r.legal_rejected
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>%s@ " r.scenario;
+  List.iter (fun (u, t) -> Format.fprintf ppf "  site %d: %S@ " u t) r.site_texts;
+  Format.fprintf ppf "  diverged: %b, illegal effect: %b, legal rejected: %b@]"
+    r.diverged r.illegal_effect_somewhere r.legal_rejected

@@ -1,0 +1,41 @@
+(** The paper's §4 security holes, reproduced on demand.
+
+    Each function replays one of the paper's scenarios (Figs. 2–4) under
+    a chosen feature set ({!Dce_core.Controller.features}) and reports
+    what happened.  With [Controller.secure] every report is clean; with
+    the corresponding mechanism disabled the hole manifests — documents
+    diverge, an illegal operation survives somewhere, or a legal
+    operation is wrongly rejected.  Used by the ablation tests, the
+    ablation benchmark and the [revocation_scenarios] example. *)
+
+open Dce_core
+
+type report = {
+  scenario : string;
+  site_texts : (Subject.user * string) list;  (** final visible documents *)
+  diverged : bool;
+  illegal_effect_somewhere : bool;
+      (** some site's final text still contains the revoked edit *)
+  legal_rejected : bool;
+      (** some site rejected or undid an edit the administrator had
+          validated *)
+}
+
+val fig2 : Controller.features -> report
+(** Insertion concurrent with its own revocation.  Hole without
+    [retroactive_undo]: sites that executed the insertion keep it while
+    the administrator does not. *)
+
+val fig3 : Controller.features -> report
+(** Deletion overlapping a revoke-then-regrant window.  Hole without
+    [interval_check]: late receivers accept a request every other site
+    rejected. *)
+
+val fig4 : Controller.features -> report
+(** Revocation overtaking a validated insertion.  Hole without
+    [validation]: the overtaken site rejects a legal insertion. *)
+
+val holes : report -> bool
+(** Any of the three hole indicators. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,26 @@
+(** Positional transformation functions (Ellis-Gibbs / Ressel style).
+
+    The transformation rules the 2009-era algorithms the paper cites
+    (SDT, ABT, SOCT2…) are built on: deletions physically remove
+    elements, so every operation shifts positions.  These rules satisfy
+    TP1 but {e provably cannot} satisfy TP2 — the reason the main library
+    uses the tombstone rules instead (DESIGN §2).  They are kept here for
+    the baseline algorithms and for the test demonstrating the classic
+    TP2 counterexample. *)
+
+open Dce_ot
+
+val it : 'e Op.t -> 'e Op.t -> 'e Op.t
+(** Inclusion transformation on plain positional documents
+    ({!Dce_ot.Document}).  Concurrent insertions at one position are
+    ordered by [pr]; concurrent deletions of one element collapse to
+    [Nop]. *)
+
+val it_list : 'e Op.t -> 'e Op.t list -> 'e Op.t
+
+val tp2_counterexample :
+  unit -> (char Document.Array_doc.t * char Op.t * char Op.t * char Op.t) option
+(** A concrete (document, o1, o2, o3) witnessing a TP2 violation of
+    {!it}, found by exhaustive search over small cases; [None] if the
+    rules were (impossibly) clean.  Used by tests and the README to show
+    {e why} the substrate choice matters. *)

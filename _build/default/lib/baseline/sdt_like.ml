@@ -1,0 +1,79 @@
+open Dce_ot
+
+(* Total order on requests: (Lamport stamp of the causal context, site).
+   Causally-later requests sort later; concurrent ones deterministically. *)
+let order (a : char Request.t) (b : char Request.t) =
+  let la = Vclock.sum a.Request.ctx and lb = Vclock.sum b.Request.ctx in
+  match compare la lb with
+  | 0 -> compare a.Request.id.Request.site b.Request.id.Request.site
+  | c -> c
+
+type t = {
+  site : int;
+  serial : int;
+  clock : Vclock.t;
+  initial : char Document.Array_doc.t;
+  known : char Request.t list; (* sorted by [order] *)
+  doc : char Document.Array_doc.t; (* cached replay result *)
+}
+
+let create ~site text =
+  let initial = Document.Str.of_string text in
+  { site; serial = 0; clock = Vclock.empty; initial; known = []; doc = initial }
+
+let everything_goes _ _ = true
+
+(* Full replay: transform each request against the transformed forms of
+   the concurrent requests already applied, in total order. *)
+let replay initial known =
+  let doc, _ =
+    List.fold_left
+      (fun (doc, done_) (q : char Request.t) ->
+        let concurrent_ops =
+          List.filter_map
+            (fun (q', op') ->
+              if Request.happened_before q' q then None else Some op')
+            done_
+        in
+        let op = Positional.it_list q.Request.op concurrent_ops in
+        (Document.Array_doc.apply ~eq:everything_goes doc op, done_ @ [ (q, op) ]))
+      (initial, []) known
+  in
+  doc
+
+let insert_sorted q known =
+  let rec go = function
+    | [] -> [ q ]
+    | q' :: rest -> if order q q' <= 0 then q :: q' :: rest else q' :: go rest
+  in
+  go known
+
+let generate t op =
+  let op = Op.with_stamp ~site:t.site ~stamp:(Vclock.sum t.clock + 1) op in
+  let serial = t.serial + 1 in
+  let q =
+    Request.make ~site:t.site ~serial ~op ~ctx:t.clock ~policy_version:0
+      ~flag:Request.Valid ()
+  in
+  let known = insert_sorted q t.known in
+  let doc = replay t.initial known in
+  ({ t with serial; clock = Vclock.tick t.clock t.site; known; doc }, q)
+
+let receive t q =
+  if List.exists (fun q' -> Request.id_equal q'.Request.id q.Request.id) t.known then t
+  else
+    let known = insert_sorted q t.known in
+    let doc = replay t.initial known in
+    { t with known; doc; clock = Vclock.tick t.clock q.Request.id.Request.site }
+
+let log_length t = List.length t.known
+
+let text t = Document.Str.to_string t.doc
+
+let preload t qs =
+  let known = List.fold_left (fun known q -> insert_sorted q known) t.known qs in
+  let clock =
+    List.fold_left (fun c (q : char Request.t) -> Vclock.tick c q.Request.id.Request.site)
+      t.clock qs
+  in
+  { t with known; clock }

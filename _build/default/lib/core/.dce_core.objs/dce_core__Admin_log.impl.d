@@ -1,0 +1,1 @@
+lib/core/admin_log.ml: Admin_op Format List Policy Printf Subject

@@ -1,0 +1,1 @@
+lib/core/admin_log.mli: Admin_op Format Policy Right Subject

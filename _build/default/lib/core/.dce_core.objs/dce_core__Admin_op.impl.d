@@ -1,0 +1,1 @@
+lib/core/admin_op.ml: Auth Dce_ot Docobj Format Policy Printf Subject

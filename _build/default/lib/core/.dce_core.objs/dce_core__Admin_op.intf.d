@@ -1,0 +1,1 @@
+lib/core/admin_op.mli: Auth Dce_ot Docobj Format Policy Subject

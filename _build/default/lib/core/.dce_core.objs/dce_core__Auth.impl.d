@@ -1,0 +1,1 @@
+lib/core/auth.ml: Docobj Format List Right Subject

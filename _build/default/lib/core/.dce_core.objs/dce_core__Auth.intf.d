@@ -1,0 +1,1 @@
+lib/core/auth.mli: Docobj Format Right Subject

@@ -1,0 +1,1 @@
+lib/core/controller.ml: Admin_log Admin_op Dce_ot List Op Oplog Option Policy Request Right Subject Tdoc Vclock

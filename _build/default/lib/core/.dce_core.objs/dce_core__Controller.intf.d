@@ -1,0 +1,1 @@
+lib/core/controller.mli: Admin_log Admin_op Dce_ot Op Oplog Policy Request Subject Tdoc Vclock

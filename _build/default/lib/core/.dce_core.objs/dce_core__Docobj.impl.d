@@ -1,0 +1,1 @@
+lib/core/docobj.ml: Format String

@@ -1,0 +1,1 @@
+lib/core/policy.ml: Auth Dce_ot Docobj Format Int List Map Option Printf Right Set String

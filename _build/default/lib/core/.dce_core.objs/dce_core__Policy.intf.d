@@ -1,0 +1,1 @@
+lib/core/policy.mli: Auth Dce_ot Docobj Format Right Subject

@@ -1,0 +1,1 @@
+lib/core/right.ml: Dce_ot Format

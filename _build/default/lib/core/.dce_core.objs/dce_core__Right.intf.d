@@ -1,0 +1,1 @@
+lib/core/right.mli: Dce_ot Format

@@ -1,0 +1,1 @@
+lib/core/session.ml: Controller Dce_ot List Printf Subject Tdoc

@@ -1,0 +1,1 @@
+lib/core/session.mli: Admin_op Controller Dce_ot Op Policy Subject Tdoc

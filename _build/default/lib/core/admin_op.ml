@@ -1,0 +1,47 @@
+type t =
+  | Add_user of Subject.user
+  | Del_user of Subject.user
+  | Add_to_group of string * Subject.user
+  | Del_from_group of string * Subject.user
+  | Add_obj of string * Docobj.t
+  | Del_obj of string
+  | Add_auth of int * Auth.t
+  | Del_auth of int
+  | Validate of Dce_ot.Request.id
+  | Transfer_admin of Subject.user
+
+let is_restrictive = function
+  | Add_auth (_, a) -> Auth.is_restrictive a
+  | Del_auth _ | Del_user _ | Del_from_group _ | Del_obj _ -> true
+  | Add_user _ | Add_to_group _ | Add_obj _ | Validate _ | Transfer_admin _ -> false
+
+let apply policy = function
+  | Add_user u -> Policy.add_user policy u
+  | Del_user u -> Policy.del_user policy u
+  | Add_to_group (g, u) -> Policy.add_to_group policy g u
+  | Del_from_group (g, u) -> Policy.del_from_group policy g u
+  | Add_obj (n, o) -> Policy.add_obj policy n o
+  | Del_obj n -> Policy.del_obj policy n
+  | Add_auth (p, a) -> Policy.add_auth policy p a
+  | Del_auth p -> Policy.del_auth policy p
+  | Validate _ -> Ok policy
+  | Transfer_admin u ->
+    if Policy.is_user policy u then Ok policy
+    else Error (Printf.sprintf "cannot transfer administration to unregistered user %d" u)
+
+type request = { admin : Subject.user; version : int; op : t; ctx : Dce_ot.Vclock.t }
+
+let pp ppf = function
+  | Add_user u -> Format.fprintf ppf "AddUser(%d)" u
+  | Del_user u -> Format.fprintf ppf "DelUser(%d)" u
+  | Add_to_group (g, u) -> Format.fprintf ppf "AddToGroup(%s, %d)" g u
+  | Del_from_group (g, u) -> Format.fprintf ppf "DelFromGroup(%s, %d)" g u
+  | Add_obj (n, o) -> Format.fprintf ppf "AddObj(%s, %a)" n Docobj.pp o
+  | Del_obj n -> Format.fprintf ppf "DelObj(%s)" n
+  | Add_auth (p, a) -> Format.fprintf ppf "AddAuth(%d, %a)" p Auth.pp a
+  | Del_auth p -> Format.fprintf ppf "DelAuth(%d)" p
+  | Validate id -> Format.fprintf ppf "Validate(q%a)" Dce_ot.Request.pp_id id
+  | Transfer_admin u -> Format.fprintf ppf "TransferAdmin(%d)" u
+
+let pp_request ppf { admin; version; op; ctx = _ } =
+  Format.fprintf ppf "r[adm%d, v%d, %a]" admin version pp op

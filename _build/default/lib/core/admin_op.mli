@@ -1,0 +1,61 @@
+(** Administrative operations and requests (paper Def. 3 and §5.1).
+
+    Only the administrator issues administrative operations.  An
+    administrative request [r = (id, o, v)] carries the administrator's
+    identity, the operation, and the policy version it produces: requests
+    are {e totally ordered} by version, and every site applies request
+    [v] only on top of version [v-1].
+
+    [Validate] is the paper's third mechanism (§4.2, third scenario): an
+    operation that does not modify the policy but consumes a version
+    number, emitted by the administrator for every remote cooperative
+    request it accepts.  Because versions are totally ordered, a
+    restrictive operation the administrator issues {e after} validating a
+    request can never be applied before that request anywhere — so legal
+    operations are never blocked by an overtaking revocation.
+
+    An operation is {e restrictive} (paper Def. 3) if applying it can
+    withdraw an access some user previously had: adding a negative
+    authorization, deleting an authorization, removing a user or group
+    member, or deleting a named object.  Restrictive requests trigger the
+    retroactive undo of the tentative cooperative requests they concern
+    (Algorithm 4). *)
+
+type t =
+  | Add_user of Subject.user
+  | Del_user of Subject.user
+  | Add_to_group of string * Subject.user
+  | Del_from_group of string * Subject.user
+  | Add_obj of string * Docobj.t
+  | Del_obj of string
+  | Add_auth of int * Auth.t
+  | Del_auth of int
+  | Validate of Dce_ot.Request.id
+  | Transfer_admin of Subject.user
+      (** Delegation (the paper's §7 future work, in its simplest sound
+          form): hand the administrator role to another registered user.
+          Administrative requests stay totally ordered — there is never
+          more than one administrator per version — so none of the
+          paper's single-administrator reasoning is disturbed; the
+          receiving user issues versions from the next one on. *)
+
+val is_restrictive : t -> bool
+
+val apply : Policy.t -> t -> (Policy.t, string) result
+(** [Validate] leaves the policy unchanged. *)
+
+type request = {
+  admin : Subject.user;
+  version : int;
+  op : t;
+  ctx : Dce_ot.Vclock.t;
+      (** the issuer's vector clock when the request was issued; carried
+          so receivers can bound the issuer's integration progress (used
+          by the log-compaction stability frontier, never by the
+          algorithm itself) *)
+}
+(** [version] is the policy version this request {e produces}: the first
+    administrative request of a session has version 1. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_request : Format.formatter -> request -> unit

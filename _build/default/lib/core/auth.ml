@@ -1,0 +1,42 @@
+type sign = Positive | Negative
+
+type t = {
+  subjects : Subject.t list;
+  objects : Docobj.t list;
+  rights : Right.t list;
+  sign : sign;
+}
+
+let make ~subjects ~objects ~rights sign =
+  if subjects = [] || objects = [] || rights = [] then
+    invalid_arg "Auth.make: empty component";
+  { subjects; objects; rights; sign }
+
+let grant subjects objects rights = make ~subjects ~objects ~rights Positive
+let deny subjects objects rights = make ~subjects ~objects ~rights Negative
+
+let matches ~member ~resolve a ~user ~right ~pos =
+  List.exists (fun s -> Subject.matches ~member s user) a.subjects
+  && List.exists (fun r -> Right.equal r right) a.rights
+  && List.exists (fun o -> Docobj.matches ~resolve o ~pos) a.objects
+
+let is_restrictive a = a.sign = Negative
+
+let equal a b =
+  a.sign = b.sign
+  && List.length a.subjects = List.length b.subjects
+  && List.for_all2 Subject.equal a.subjects b.subjects
+  && List.length a.objects = List.length b.objects
+  && List.for_all2 Docobj.equal a.objects b.objects
+  && a.rights = b.rights
+
+let pp ppf a =
+  let sep ppf () = Format.pp_print_string ppf "," in
+  Format.fprintf ppf "<{%a}, {%a}, {%a}, %s>"
+    (Format.pp_print_list ~pp_sep:sep Subject.pp)
+    a.subjects
+    (Format.pp_print_list ~pp_sep:sep Docobj.pp)
+    a.objects
+    (Format.pp_print_list ~pp_sep:sep Right.pp)
+    a.rights
+    (match a.sign with Positive -> "+" | Negative -> "-")

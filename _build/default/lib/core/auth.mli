@@ -1,0 +1,43 @@
+(** Authorizations (paper, Def. 2): a quadruple [(S, O, R, ω)] mapping a
+    set of subjects and a set of objects to a set of signed rights.  The
+    sign ["+"] grants, ["−"] revokes; negative authorizations exist to
+    shadow later positive ones under the first-match semantics of
+    {!Policy}. *)
+
+type sign = Positive | Negative
+
+type t = {
+  subjects : Subject.t list;
+  objects : Docobj.t list;
+  rights : Right.t list;
+  sign : sign;
+}
+
+val make :
+  subjects:Subject.t list ->
+  objects:Docobj.t list ->
+  rights:Right.t list ->
+  sign ->
+  t
+(** Raises [Invalid_argument] if any component list is empty (an
+    authorization that can never match is a policy-authoring error). *)
+
+val grant : Subject.t list -> Docobj.t list -> Right.t list -> t
+val deny : Subject.t list -> Docobj.t list -> Right.t list -> t
+
+val matches :
+  member:(string -> Subject.user -> bool) ->
+  resolve:(string -> Docobj.t option) ->
+  t ->
+  user:Subject.user ->
+  right:Right.t ->
+  pos:int option ->
+  bool
+(** Does this authorization apply to [user] exercising [right] at
+    position [pos]?  (Whether it then grants or denies is its {!sign}.) *)
+
+val is_restrictive : t -> bool
+(** [sign = Negative]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

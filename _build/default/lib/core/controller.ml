@@ -1,0 +1,429 @@
+open Dce_ot
+
+type 'e message =
+  | Coop of 'e Request.t
+  | Admin of Admin_op.request
+
+type features = {
+  retroactive_undo : bool;
+  interval_check : bool;
+  validation : bool;
+}
+
+let secure = { retroactive_undo = true; interval_check = true; validation = true }
+
+let naive = { retroactive_undo = false; interval_check = false; validation = false }
+
+type 'e t = {
+  site : Subject.user;
+  features : features;
+  eq : 'e -> 'e -> bool;
+  doc : 'e Tdoc.t;
+  oplog : 'e Oplog.t;
+  clock : Vclock.t;
+  serial : int;
+  admin_log : Admin_log.t; (* carries the policy, its version and L *)
+  coop_queue : 'e Request.t list; (* F *)
+  admin_queue : Admin_op.request list; (* Q *)
+  (* stability bookkeeping for log compaction: per peer, the clock and
+     policy version of its last request integrated HERE (sound: per-site
+     serials integrate in order, so nothing older can arrive fresh), and
+     the issue clock/version of its latest administrative request (a
+     stronger bound, usable once the issuer's own edits are caught up) *)
+  peer_integrated : (Subject.user * (Vclock.t * int)) list;
+  peer_admin_hint : (Subject.user * (Vclock.t * int)) list;
+}
+
+let create ?(eq = ( = )) ?(features = secure) ~site ~admin ~policy doc =
+  {
+    site;
+    features;
+    eq;
+    doc;
+    oplog = Oplog.empty;
+    clock = Vclock.empty;
+    serial = 0;
+    admin_log = Admin_log.create ~admin policy;
+    coop_queue = [];
+    admin_queue = [];
+    peer_integrated = [];
+    peer_admin_hint = [];
+  }
+
+let fork ~site t = { t with site; serial = 0; peer_integrated = []; peer_admin_hint = [] }
+
+let site t = t.site
+let admin t = Admin_log.current_admin t.admin_log
+let is_admin t = t.site = admin t
+let document t = t.doc
+let visible t = Tdoc.visible_list t.doc
+let policy t = Admin_log.current t.admin_log
+let version t = Admin_log.version t.admin_log
+let oplog t = t.oplog
+let admin_log t = t.admin_log
+let clock t = t.clock
+let pending_coop t = List.length t.coop_queue
+let pending_admin t = List.length t.admin_queue
+let tentative t = Oplog.tentative_requests t.oplog
+
+type 'e outcome = Accepted of 'e message | Denied of string
+
+(* ----- stability tracking (for log compaction, paper §7) -----
+
+   A dropped entry must be in the causal past of every request this site
+   may still integrate for the first time.  For a peer [w], first-time
+   arrivals have serial greater than the last [w]-request integrated
+   here (causal readiness forces per-site order; older copies are
+   duplicates), so their context dominates that request's clock — the
+   always-sound bound.  An administrative request from [w] carries [w]'s
+   issue clock, a stronger bound; it applies to [w]'s future cooperative
+   requests only once every [w]-edit counted in it has been integrated
+   here (otherwise one of those very edits may still be in flight). *)
+
+let assoc_update k f l = (k, f (List.assoc_opt k l)) :: List.remove_assoc k l
+
+let note_integrated t (q : 'e Request.t) =
+  let peer = q.Request.id.Request.site in
+  let bound = (Request.clock_after q, q.Request.policy_version) in
+  { t with peer_integrated = assoc_update peer (fun _ -> bound) t.peer_integrated }
+
+let note_admin_hint t (r : Admin_op.request) =
+  let bound = (r.Admin_op.ctx, r.Admin_op.version) in
+  {
+    t with
+    peer_admin_hint = assoc_update r.Admin_op.admin (fun _ -> bound) t.peer_admin_hint;
+  }
+
+let peer_bound t u =
+  let base_clock, base_version =
+    Option.value ~default:(Vclock.empty, 0) (List.assoc_opt u t.peer_integrated)
+  in
+  match List.assoc_opt u t.peer_admin_hint with
+  | Some (hint_clock, hint_version)
+    when Vclock.get hint_clock u <= Vclock.get base_clock u ->
+    (Vclock.merge base_clock hint_clock, max base_version hint_version)
+  | _ -> (base_clock, base_version)
+
+let group_peers t =
+  List.filter (fun u -> u <> t.site) (Policy.users (Admin_log.current t.admin_log))
+
+let stable_frontier t =
+  List.fold_left (fun acc u -> Vclock.meet acc (fst (peer_bound t u))) t.clock
+    (group_peers t)
+
+let stable_version t =
+  List.fold_left
+    (fun acc u -> min acc (snd (peer_bound t u)))
+    (Admin_log.version t.admin_log)
+    (group_peers t)
+
+let compact t =
+  {
+    t with
+    oplog =
+      Oplog.compact ~stable:(stable_frontier t) ~stable_version:(stable_version t)
+        t.oplog;
+  }
+
+(* ----- Algorithm 2: local generation ----- *)
+
+let generate t op =
+  let op = Op.with_stamp ~site:t.site ~stamp:(Vclock.sum t.clock + 1) op in
+  if not (Policy.check_op (policy t) ~user:t.site op) then
+    (t, Denied "denied by the local policy copy")
+  else begin
+    let serial = t.serial + 1 in
+    let flag = if is_admin t then Request.Valid else Request.Tentative in
+    let q =
+      Request.make ~site:t.site ~serial ~op ~ctx:t.clock ~policy_version:(version t)
+        ~flag ()
+    in
+    let q = Oplog.broadcast_form q t.oplog in
+    let doc = Tdoc.apply ~eq:t.eq t.doc op in
+    let oplog = Oplog.append_local q t.oplog in
+    let clock = Vclock.tick t.clock t.site in
+    ({ t with doc; oplog; clock; serial }, Accepted (Coop q))
+  end
+
+(* A composite edit: pre-check every operation, then execute the run.
+   Positions in later operations assume the earlier ones applied, which
+   is exactly what sequential generation produces. *)
+let generate_edit t ops =
+  if
+    List.for_all (fun op -> Policy.check_op (policy t) ~user:t.site op) ops
+  then
+    let t, msgs =
+      List.fold_left
+        (fun (t, msgs) op ->
+          match generate t op with
+          | t, Accepted m -> (t, m :: msgs)
+          | _, Denied reason ->
+            invalid_arg ("Controller.generate_edit: mid-run denial: " ^ reason))
+        (t, []) ops
+    in
+    Ok (t, List.rev msgs)
+  else Error "composite edit denied by the local policy copy"
+
+let readable t =
+  let p = policy t in
+  (* walk the model to keep per-cell positions, but emit visible cells only *)
+  List.concat
+    (List.mapi
+       (fun m c ->
+         if c.Tdoc.hidden <> 0 then []
+         else if Policy.check p ~user:t.site ~right:Right.Read ~pos:(Some m) then
+           [ Some (Tdoc.content c) ]
+         else [ None ])
+       (Tdoc.model_list t.doc))
+
+(* ----- Algorithm 4: administrative requests ----- *)
+
+(* Retroactive enforcement: undo every tentative request the new policy
+   no longer grants.  Decisions look at [gen_op] (identical everywhere),
+   so every site undoes the same requests at the same version. *)
+let enforce t r =
+  if (not t.features.retroactive_undo) || not (Admin_op.is_restrictive r.Admin_op.op)
+  then t
+  else
+    let p = policy t in
+    List.fold_left
+      (fun t (qt : 'e Request.t) ->
+        if Policy.check_op p ~user:qt.Request.id.Request.site qt.Request.gen_op then t
+        else
+          match
+            Oplog.undo ~cancel_version:r.Admin_op.version qt.Request.id t.oplog
+          with
+          | None -> t
+          | Some (op, oplog) -> { t with oplog; doc = Tdoc.apply ~eq:t.eq t.doc op })
+      t (tentative t)
+
+(* Apply the next administrative request.  Returns the follow-up
+   administrative operations this site must itself issue: when the
+   administrator role lands on us, every request validated-by-integration
+   is still flagged tentative here, and a request that arrived before the
+   transfer would otherwise never be validated by anyone — so the new
+   administrator validates its whole tentative backlog. *)
+let apply_admin t (r : Admin_op.request) =
+  match Admin_log.append t.admin_log r with
+  | Error e -> Error e
+  | Ok admin_log ->
+    let t = { t with admin_log } in
+    (match r.Admin_op.op with
+     | Admin_op.Validate id ->
+       (* only upgrade tentative requests: an Invalid entry stays
+          invalid (the situation cannot arise for honest traffic) *)
+       let t =
+         match Oplog.find id t.oplog with
+         | Some q when q.Request.flag = Request.Tentative ->
+           { t with oplog = Oplog.set_flag id Request.Valid t.oplog }
+         | Some _ | None -> t
+       in
+       Ok (t, [])
+     | Admin_op.Transfer_admin u when u = t.site && t.features.validation ->
+       let backlog =
+         List.map (fun (q : 'e Request.t) -> Admin_op.Validate q.Request.id) (tentative t)
+       in
+       Ok (t, backlog)
+     | _ -> Ok (enforce t r, []))
+
+(* issue one administrative request from this site, folding in any
+   follow-up validations it triggers *)
+let rec issue_admin t op =
+  let r = { Admin_op.admin = t.site; version = version t + 1; op; ctx = t.clock } in
+  match apply_admin t r with
+  | Error e -> Error e
+  | Ok (t, follow_ups) ->
+    List.fold_left
+      (fun acc op ->
+        match acc with
+        | Error _ as e -> e
+        | Ok (t, msgs) ->
+          (match issue_admin t op with
+           | Error e -> Error e
+           | Ok (t, more) -> Ok (t, msgs @ more)))
+      (Ok (t, [ Admin r ]))
+      follow_ups
+
+let admin_update t op =
+  if not (is_admin t) then Error "only the administrator can modify the policy"
+  else
+    match issue_admin t op with
+    | Error e -> Error e
+    | Ok (t, [ m ]) -> Ok (t, m)
+    | Ok (_, _) -> assert false (* user-issued operations trigger no follow-ups *)
+
+(* ----- Algorithm 3: remote cooperative requests ----- *)
+
+let integrate_coop t (q : 'e Request.t) =
+  let from_admin =
+    Admin_log.admin_at t.admin_log q.Request.policy_version
+    = Some q.Request.id.Request.site
+  in
+  let denial =
+    if from_admin then None
+    else if not t.features.interval_check then
+      (* naive variant: check against the current policy copy only
+         (the Fig. 3 hole) *)
+      if Policy.check_op (policy t) ~user:q.Request.id.Request.site q.Request.gen_op
+      then None
+      else Some (version t)
+    else
+      match Right.of_op q.Request.gen_op with
+      | None -> None
+      | Some right ->
+        Admin_log.first_denial t.admin_log ~from_version:q.Request.policy_version
+          ~user:q.Request.id.Request.site ~right ~pos:(Op.pos q.Request.gen_op)
+  in
+  let t = note_integrated t q in
+  match denial with
+  | Some cancel_version ->
+    let (op1, op2), oplog = Oplog.append_rejected ~cancel_version q t.oplog in
+    let doc = Tdoc.apply ~eq:t.eq (Tdoc.apply ~eq:t.eq t.doc op1) op2 in
+    let clock = Vclock.tick t.clock q.Request.id.Request.site in
+    ({ t with doc; oplog; clock }, [])
+  | None ->
+    let q, emitted =
+      if is_admin t && not from_admin && t.features.validation then
+        ({ q with Request.flag = Request.Valid }, [ Admin_op.Validate q.Request.id ])
+      else (q, [])
+    in
+    let op, oplog = Oplog.integrate q t.oplog in
+    let doc = Tdoc.apply ~eq:t.eq t.doc op in
+    let clock = Vclock.tick t.clock q.Request.id.Request.site in
+    let t = { t with doc; oplog; clock } in
+    (* the administrator's validation consumes the next version number
+       and is broadcast *)
+    List.fold_left
+      (fun (t, msgs) op ->
+        match issue_admin t op with
+        | Ok (t, ms) -> (t, msgs @ ms)
+        | Error e ->
+          (* Validate always applies *)
+          invalid_arg ("Controller: validation failed: " ^ e))
+      (t, []) emitted
+
+let coop_ready t (q : 'e Request.t) =
+  q.Request.policy_version <= version t && Oplog.causally_ready q t.oplog
+
+let admin_ready t (r : Admin_op.request) =
+  r.Admin_op.version = version t + 1
+  &&
+  match r.Admin_op.op with
+  | Admin_op.Validate id -> Oplog.mem id t.oplog
+  | _ -> true
+
+(* Apply everything that is ready, to a fixed point.  Administrative
+   requests are tried first: they unblock version-gated cooperative
+   requests. *)
+let rec drain (t, msgs) =
+  let ready_admin, rest_admin = List.partition (admin_ready t) t.admin_queue in
+  match ready_admin with
+  | r :: deferred ->
+    let t = { t with admin_queue = deferred @ rest_admin } in
+    (match apply_admin t r with
+     | Ok (t, follow_ups) ->
+       let t, more =
+         List.fold_left
+           (fun (t, acc) op ->
+             match issue_admin t op with
+             | Ok (t, ms) -> (t, acc @ ms)
+             | Error e -> invalid_arg ("Controller: validation failed: " ^ e))
+           (t, []) follow_ups
+       in
+       drain (t, msgs @ more)
+     | Error _ ->
+       (* malformed or illegitimate administrative traffic (an impostor,
+          or an operation that does not apply): drop it — the paper
+          assumes an authenticated network, this is defence in depth *)
+       drain (t, msgs))
+  | [] ->
+    let ready_coop, waiting = List.partition (coop_ready t) t.coop_queue in
+    (match ready_coop with
+     | [] -> (t, msgs)
+     | _ ->
+       let t = { t with coop_queue = waiting } in
+       let t, more =
+         List.fold_left
+           (fun (t, acc) q ->
+             let t, m = integrate_coop t q in
+             (t, acc @ m))
+           (t, []) ready_coop
+       in
+       drain (t, msgs @ more))
+
+type 'e state = {
+  st_site : Subject.user;
+  st_features : features;
+  st_doc : 'e Tdoc.cell list;
+  st_oplog : 'e Oplog.entry list;
+  st_compacted : Vclock.t;
+  st_clock : Vclock.t;
+  st_serial : int;
+  st_initial_policy : Policy.t;
+  st_initial_admin : Subject.user;
+  st_admin_requests : Admin_op.request list;
+  st_coop_queue : 'e Request.t list;
+  st_admin_queue : Admin_op.request list;
+}
+
+let dump t =
+  {
+    st_site = t.site;
+    st_features = t.features;
+    st_doc = Tdoc.model_list t.doc;
+    st_oplog = Oplog.entries t.oplog;
+    st_compacted = Oplog.compacted_upto t.oplog;
+    st_clock = t.clock;
+    st_serial = t.serial;
+    st_initial_policy = Admin_log.initial t.admin_log;
+    st_initial_admin = Admin_log.initial_admin t.admin_log;
+    st_admin_requests = Admin_log.requests t.admin_log;
+    st_coop_queue = t.coop_queue;
+    st_admin_queue = t.admin_queue;
+  }
+
+let load ?(eq = ( = )) s =
+  let rec replay l = function
+    | [] -> Ok l
+    | r :: rest -> (
+        match Admin_log.append l r with
+        | Ok l -> replay l rest
+        | Error e -> Error ("corrupt administrative history: " ^ e))
+  in
+  match
+    replay (Admin_log.create ~admin:s.st_initial_admin s.st_initial_policy)
+      s.st_admin_requests
+  with
+  | Error _ as e -> e
+  | Ok admin_log ->
+    Ok
+      {
+        site = s.st_site;
+        features = s.st_features;
+        eq;
+        doc = Tdoc.of_cells s.st_doc;
+        oplog = Oplog.of_entries ~compacted:s.st_compacted s.st_oplog;
+        clock = s.st_clock;
+        serial = s.st_serial;
+        admin_log;
+        coop_queue = s.st_coop_queue;
+        admin_queue = s.st_admin_queue;
+        peer_integrated = [];
+        peer_admin_hint = [];
+      }
+
+let receive t msg =
+  match msg with
+  | Coop q ->
+    let dup =
+      Oplog.mem q.Request.id t.oplog
+      || List.exists (fun q' -> Request.id_equal q'.Request.id q.Request.id) t.coop_queue
+    in
+    if dup then (t, []) else drain ({ t with coop_queue = q :: t.coop_queue }, [])
+  | Admin r ->
+    let t = note_admin_hint t r in
+    let dup =
+      r.Admin_op.version <= version t
+      || List.exists (fun r' -> r'.Admin_op.version = r.Admin_op.version) t.admin_queue
+    in
+    if dup then (t, []) else drain ({ t with admin_queue = r :: t.admin_queue }, [])

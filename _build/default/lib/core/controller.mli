@@ -1,0 +1,206 @@
+(** The concurrency-control algorithm (paper §5, Algorithms 1–4).
+
+    A controller is one site of a secured collaborative editing session:
+    it owns the two replicated objects — the shared document and the
+    policy object — plus the cooperative log [H], the administrative log
+    [L], and the two receive queues [F] (cooperative) and [Q]
+    (administrative).  One distinguished site is the administrator.
+
+    {2 Local generation (Algorithm 2)}
+
+    {!generate} checks the operation against the {e local} policy copy —
+    no round trip, the point of the whole model — executes it, and
+    returns the request to broadcast.  The administrator's own requests
+    are born [Valid]; users' are [Tentative] until the administrator
+    validates them.
+
+    {2 Reception (Algorithms 3 and 4)}
+
+    {!receive} accepts any message in any order and applies everything
+    that is ready, to a fixed point:
+
+    - an administrative request applies only at [version + 1]
+      (administrative requests are totally ordered), and a [Validate]
+      additionally waits until the request it validates is in [H] — the
+      paper's fix for the overtaking-revocation hole (Fig. 4);
+    - a cooperative request applies when causally ready and its
+      generation version is reached; it is then checked against the
+      administrative interval it missed ({!Admin_log.first_denial}) — the
+      paper's fix for the stale-context hole (Fig. 3).  Accepted requests
+      are transformed and executed (ComputeFF); denied ones are recorded
+      with no visible effect.  When this site is the administrator,
+      accepted remote requests are validated and a [Validate] request is
+      emitted (returned in the message list — broadcast them!).
+
+    A restrictive administrative request retroactively undoes the
+    tentative requests that the new policy no longer grants — the paper's
+    optimistic-security enforcement (Fig. 2).  Retroactive decisions
+    (remote checks and undo selection) evaluate the request's
+    {e generation form} [gen_op], which is identical at every site, so
+    all sites decide identically.
+
+    The administrator mutates the policy with {!admin_update}.
+
+    Malformed traffic — a duplicate, an administrative request that does
+    not apply, or one from a site that does not hold the administrator
+    role — is silently dropped; Byzantine behaviour beyond that is out of
+    scope (the paper assumes an authenticated, reliable network). *)
+
+open Dce_ot
+
+type 'e message =
+  | Coop of 'e Request.t
+  | Admin of Admin_op.request
+
+type 'e t
+
+(* {2 Construction} *)
+
+type features = {
+  retroactive_undo : bool;
+      (** restrictive administrative requests undo concerned tentative
+          requests (the fix for Fig. 2) *)
+  interval_check : bool;
+      (** remote requests are checked against the administrative interval
+          they missed, not just the current policy (the fix for Fig. 3) *)
+  validation : bool;
+      (** the administrator validates accepted remote requests, totally
+          ordering revocations after them (the fix for Fig. 4) *)
+}
+
+val secure : features
+(** All three mechanisms on: the paper's algorithm. *)
+
+val naive : features
+(** All three mechanisms off: the strawman whose security holes §4
+    demonstrates.  Only useful to reproduce the holes — see
+    [Dce_baseline.Naive]. *)
+
+val create :
+  ?eq:('e -> 'e -> bool) ->
+  ?features:features ->
+  site:Subject.user ->
+  admin:Subject.user ->
+  policy:Policy.t ->
+  'e Tdoc.t ->
+  'e t
+(** All sites of a session must be created with the same initial policy
+    and document ([D0]), the same [admin], the same [features] (default
+    {!secure}), and pairwise distinct [site] identifiers. *)
+
+val fork : site:Subject.user -> 'e t -> 'e t
+(** Late join (the paper's dynamic-groups requirement): bootstrap a new
+    site from a state transfer of an existing one.  The new controller
+    shares the donor's document, logs, policy and clock, and issues its
+    own requests under the fresh [site] identifier (which must be new to
+    the group; register it with [Add_user] for its operations to be
+    granted).  The donor's receive queues travel along, so any snapshot
+    works, even mid-stream. *)
+
+(* {2 Observation} *)
+
+val site : 'e t -> Subject.user
+
+val admin : 'e t -> Subject.user
+(** Current holder of the administrator role (changes on
+    [Transfer_admin]). *)
+
+val is_admin : 'e t -> bool
+val document : 'e t -> 'e Tdoc.t
+val visible : 'e t -> 'e list
+val policy : 'e t -> Policy.t
+val version : 'e t -> int
+val oplog : 'e t -> 'e Oplog.t
+val admin_log : 'e t -> Admin_log.t
+val clock : 'e t -> Vclock.t
+
+val pending_coop : 'e t -> int
+val pending_admin : 'e t -> int
+
+val tentative : 'e t -> 'e Request.t list
+(** Requests executed locally but not yet validated by the administrator
+    (always empty at the administrator's site). *)
+
+(* {2 The algorithm} *)
+
+type 'e outcome = Accepted of 'e message | Denied of string
+
+val generate : 'e t -> 'e Op.t -> 'e t * 'e outcome
+(** Algorithm 2.  On [Accepted m], broadcast [m] to every other site. *)
+
+val generate_edit : 'e t -> 'e Op.t list -> ('e t * 'e message list, string) result
+(** Issue a composite edit (a [Dce_ot.Edit.compile] result: each
+    operation built against the state its predecessors produce) as a
+    causally-chained run of requests.  Atomic with respect to the local
+    check: every operation's right is verified against the local policy
+    copy before any is executed, so a composite is accepted or denied as
+    a whole.  Broadcast all returned messages, in order. *)
+
+val readable : 'e t -> 'e option list
+(** The visible document as this site's user may {e read} it under the
+    local policy copy: [None] redacts elements whose position falls
+    under a negative read authorization.  Read enforcement is local and
+    {e not} retroactive — the paper explicitly leaves optimistic read
+    control to future work (§7); this is the pragmatic rendering-time
+    filter a front end needs meanwhile. *)
+
+val admin_update : 'e t -> Admin_op.t -> ('e t * 'e message, string) result
+(** Algorithm 4, generation side.  Fails on non-administrator sites and
+    on operations that do not apply to the current policy.  On success,
+    broadcast the message. *)
+
+val receive : 'e t -> 'e message -> 'e t * 'e message list
+(** Algorithms 3 and 4, reception side.  The returned messages (the
+    administrator's validations) must be broadcast. *)
+
+(* {2 Persistence}
+
+   A transparent dump of the full site state, for serialization
+   ([Dce_wire]) and session save/restore.  {!load} revalidates what can
+   be revalidated: the administrative log is replayed from the initial
+   policy, so a tampered policy history is rejected. *)
+
+type 'e state = {
+  st_site : Subject.user;
+  st_features : features;
+  st_doc : 'e Dce_ot.Tdoc.cell list;
+  st_oplog : 'e Dce_ot.Oplog.entry list;
+  st_compacted : Dce_ot.Vclock.t;
+  st_clock : Dce_ot.Vclock.t;
+  st_serial : int;
+  st_initial_policy : Policy.t;
+  st_initial_admin : Subject.user;
+  st_admin_requests : Admin_op.request list;
+  st_coop_queue : 'e Dce_ot.Request.t list;
+  st_admin_queue : Admin_op.request list;
+}
+
+val dump : 'e t -> 'e state
+
+val load : ?eq:('e -> 'e -> bool) -> 'e state -> ('e t, string) result
+
+(* {2 Log garbage collection (paper §7's future work)}
+
+   Local logs grow for the whole session; the paper lists their garbage
+   collection as an open problem.  We implement the classic stable-prefix
+   answer.  Each controller passively tracks, from the traffic it
+   receives, a lower bound on what every other group member has already
+   integrated (their requests' causal contexts) and on their policy
+   versions.  The pointwise minimum over the group is the {e stability
+   frontier}: everything below it is in the causal past of any message
+   that can still arrive, so the log's stable prefix can be dropped
+   without affecting any future transformation.  See
+   [Dce_ot.Oplog.compact] for the exact rule. *)
+
+val stable_frontier : 'e t -> Dce_ot.Vclock.t
+(** Requests every registered group member is known to have integrated.
+    Conservative: silent peers pin the frontier down. *)
+
+val stable_version : 'e t -> int
+(** A policy version every registered group member is known to have
+    reached. *)
+
+val compact : 'e t -> 'e t
+(** Drop the stable prefix of the cooperative log.  Safe to call at any
+    time; typically after {!receive}.  The document (including
+    tombstones) is untouched. *)

@@ -1,0 +1,30 @@
+type t = Whole | Element of int | Zone of { lo : int; hi : int } | Named of string
+
+let zone lo hi =
+  if lo < 0 || lo > hi then invalid_arg "Docobj.zone: invalid bounds";
+  Zone { lo; hi }
+
+let matches ~resolve o ~pos =
+  let concrete = function
+    | Whole -> true
+    | Element p -> (match pos with Some q -> p = q | None -> false)
+    | Zone { lo; hi } -> (match pos with Some q -> lo <= q && q <= hi | None -> false)
+    | Named _ -> false
+  in
+  match o with
+  | Named name -> (match resolve name with Some o' -> concrete o' | None -> false)
+  | o -> concrete o
+
+let equal a b =
+  match a, b with
+  | Whole, Whole -> true
+  | Element a, Element b -> a = b
+  | Zone a, Zone b -> a.lo = b.lo && a.hi = b.hi
+  | Named a, Named b -> String.equal a b
+  | (Whole | Element _ | Zone _ | Named _), _ -> false
+
+let pp ppf = function
+  | Whole -> Format.pp_print_string ppf "Doc"
+  | Element p -> Format.fprintf ppf "elt(%d)" p
+  | Zone { lo; hi } -> Format.fprintf ppf "zone[%d,%d]" lo hi
+  | Named n -> Format.fprintf ppf "obj:%s" n

@@ -1,0 +1,32 @@
+(** Protected objects (paper §3.2): the whole shared document, a single
+    element, a contiguous zone of elements, or a named object from the
+    policy's object registry ([AddObj]/[DelObj]) that resolves to one of
+    the former.
+
+    Positions are generation-context model positions: an authorization's
+    zone is compared against the position the operation carried when its
+    issuer generated it, which is the one value all sites agree on (see
+    {!Checker}).  Zone-scoped authorizations therefore protect regions of
+    the document as they were when the policy was written — the paper's
+    model never transforms authorization zones, and neither do we; pin
+    down regions with named objects if the policy is long-lived. *)
+
+type t =
+  | Whole  (** the paper's [Doc] *)
+  | Element of int
+  | Zone of { lo : int; hi : int }  (** inclusive bounds *)
+  | Named of string
+
+val matches : resolve:(string -> t option) -> t -> pos:int option -> bool
+(** [matches ~resolve o ~pos]: does object [o] cover an operation at
+    position [pos]?  [Whole] covers everything, including position-less
+    operations; [resolve] looks named objects up in the registry (an
+    unresolvable name covers nothing, so deleting an object silently
+    disables the authorizations that mention it).  Named objects resolve
+    through one level only. *)
+
+val zone : int -> int -> t
+(** [zone lo hi]; raises [Invalid_argument] if [lo > hi] or [lo < 0]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,129 @@
+module ISet = Set.Make (Int)
+module SMap = Map.Make (String)
+
+type t = {
+  users : ISet.t;
+  groups : ISet.t SMap.t;
+  objects : Docobj.t SMap.t;
+  auths : Auth.t list;
+}
+
+let empty = { users = ISet.empty; groups = SMap.empty; objects = SMap.empty; auths = [] }
+
+let make ?(users = []) ?(groups = []) ?(objects = []) auths =
+  {
+    users = ISet.of_list users;
+    groups =
+      List.fold_left (fun m (g, us) -> SMap.add g (ISet.of_list us) m) SMap.empty groups;
+    objects = List.fold_left (fun m (n, o) -> SMap.add n o m) SMap.empty objects;
+    auths;
+  }
+
+let users t = ISet.elements t.users
+
+let groups t = List.map (fun (g, s) -> (g, ISet.elements s)) (SMap.bindings t.groups)
+
+let objects t = SMap.bindings t.objects
+
+let is_user t u = ISet.mem u t.users
+
+let member t g u =
+  match SMap.find_opt g t.groups with Some s -> ISet.mem u s | None -> false
+
+let resolve t n = SMap.find_opt n t.objects
+let auths t = t.auths
+let auth_count t = List.length t.auths
+
+let check t ~user ~right ~pos =
+  is_user t user
+  &&
+  let member g u = member t g u and resolve n = resolve t n in
+  let rec first_match = function
+    | [] -> false (* default deny *)
+    | a :: rest ->
+      if Auth.matches ~member ~resolve a ~user ~right ~pos then not (Auth.is_restrictive a)
+      else first_match rest
+  in
+  first_match t.auths
+
+let check_op t ~user op =
+  match Right.of_op op with
+  | None -> true
+  | Some right -> check t ~user ~right ~pos:(Dce_ot.Op.pos op)
+
+let add_user t u =
+  if ISet.mem u t.users then Error (Printf.sprintf "user %d already registered" u)
+  else Ok { t with users = ISet.add u t.users }
+
+let del_user t u =
+  if not (ISet.mem u t.users) then Error (Printf.sprintf "user %d not registered" u)
+  else
+    Ok
+      {
+        t with
+        users = ISet.remove u t.users;
+        groups = SMap.map (ISet.remove u) t.groups;
+      }
+
+let add_to_group t g u =
+  if not (ISet.mem u t.users) then Error (Printf.sprintf "user %d not registered" u)
+  else
+    let s = Option.value ~default:ISet.empty (SMap.find_opt g t.groups) in
+    if ISet.mem u s then Error (Printf.sprintf "user %d already in group %s" u g)
+    else Ok { t with groups = SMap.add g (ISet.add u s) t.groups }
+
+let del_from_group t g u =
+  match SMap.find_opt g t.groups with
+  | None -> Error (Printf.sprintf "no group %s" g)
+  | Some s ->
+    if not (ISet.mem u s) then Error (Printf.sprintf "user %d not in group %s" u g)
+    else Ok { t with groups = SMap.add g (ISet.remove u s) t.groups }
+
+let add_obj t n o =
+  if SMap.mem n t.objects then Error (Printf.sprintf "object %s already registered" n)
+  else Ok { t with objects = SMap.add n o t.objects }
+
+let del_obj t n =
+  if not (SMap.mem n t.objects) then Error (Printf.sprintf "no object %s" n)
+  else Ok { t with objects = SMap.remove n t.objects }
+
+let add_auth t p a =
+  let n = List.length t.auths in
+  if p < 0 || p > n then Error (Printf.sprintf "authorization index %d out of [0,%d]" p n)
+  else
+    let rec insert i = function
+      | rest when i = 0 -> a :: rest
+      | x :: rest -> x :: insert (i - 1) rest
+      | [] -> assert false
+    in
+    Ok { t with auths = insert p t.auths }
+
+let del_auth t p =
+  let n = List.length t.auths in
+  if p < 0 || p >= n then
+    Error (Printf.sprintf "authorization index %d out of [0,%d)" p n)
+  else
+    let rec remove i = function
+      | _ :: rest when i = 0 -> rest
+      | x :: rest -> x :: remove (i - 1) rest
+      | [] -> assert false
+    in
+    Ok { t with auths = remove p t.auths }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>users: {%a}@ "
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (ISet.elements t.users);
+  SMap.iter
+    (fun g s ->
+      Format.fprintf ppf "group %s: {%a}@ " g
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        (ISet.elements s))
+    t.groups;
+  SMap.iter (fun n o -> Format.fprintf ppf "object %s = %a@ " n Docobj.pp o) t.objects;
+  List.iteri (fun i a -> Format.fprintf ppf "P%d: %a@ " i Auth.pp a) t.auths;
+  Format.fprintf ppf "@]"

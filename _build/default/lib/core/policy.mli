@@ -1,0 +1,68 @@
+(** The shared policy object (paper §3.2, Def. 2 and 3).
+
+    A policy state is the triple [(P, S, O)]: an indexed list of
+    authorizations [P], the registered subjects [S] (users plus named
+    groups), and the registered named objects [O].  Checking uses
+    {e first-match} semantics: the authorizations are scanned from index
+    0 and the first one that matches the access decides — positive grants,
+    negative denies.  If no authorization matches, or the user is not
+    registered, the access is denied (negative authorizations exist only
+    to shadow later positive ones and accelerate rejection, as in the
+    paper).
+
+    The policy value itself is immutable; versioning is handled by
+    {!Admin_log}, which stores one snapshot per version (cheap thanks to
+    structural sharing). *)
+
+type t
+
+val empty : t
+(** No users, no groups, no objects, no authorizations: everything is
+    denied. *)
+
+val make :
+  ?users:Subject.user list ->
+  ?groups:(string * Subject.user list) list ->
+  ?objects:(string * Docobj.t) list ->
+  Auth.t list ->
+  t
+
+(* {2 State} *)
+
+val users : t -> Subject.user list
+val groups : t -> (string * Subject.user list) list
+val objects : t -> (string * Docobj.t) list
+val is_user : t -> Subject.user -> bool
+val member : t -> string -> Subject.user -> bool
+val resolve : t -> string -> Docobj.t option
+val auths : t -> Auth.t list
+val auth_count : t -> int
+
+(* {2 Checking} *)
+
+val check : t -> user:Subject.user -> right:Right.t -> pos:int option -> bool
+(** First-match over the authorization list; default deny; unregistered
+    users always denied. *)
+
+val check_op : t -> user:Subject.user -> 'e Dce_ot.Op.t -> bool
+(** {!check} on the right and position the operation exercises.  [Nop]
+    and [Undel] (no associated right) are always allowed. *)
+
+(* {2 Mutation (administrator only, via administrative operations)} *)
+
+val add_user : t -> Subject.user -> (t, string) result
+val del_user : t -> Subject.user -> (t, string) result
+val add_to_group : t -> string -> Subject.user -> (t, string) result
+(** Creates the group if needed; the user must be registered. *)
+
+val del_from_group : t -> string -> Subject.user -> (t, string) result
+val add_obj : t -> string -> Docobj.t -> (t, string) result
+val del_obj : t -> string -> (t, string) result
+
+val add_auth : t -> int -> Auth.t -> (t, string) result
+(** Insert at index [p] (0 = highest precedence); [p] may equal the
+    current length to append. *)
+
+val del_auth : t -> int -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

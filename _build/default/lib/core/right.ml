@@ -1,0 +1,27 @@
+type t = Read | Insert | Delete | Update
+
+let all = [ Read; Insert; Delete; Update ]
+
+let of_op = function
+  | Dce_ot.Op.Ins _ -> Some Insert
+  | Dce_ot.Op.Del _ -> Some Delete
+  | Dce_ot.Op.Up _ -> Some Update
+  | Dce_ot.Op.Undel _ | Dce_ot.Op.Unup _ | Dce_ot.Op.Nop -> None
+
+let equal = ( = )
+let compare = compare
+
+let to_string = function
+  | Read -> "rR"
+  | Insert -> "iR"
+  | Delete -> "dR"
+  | Update -> "uR"
+
+let of_string = function
+  | "rR" -> Some Read
+  | "iR" -> Some Insert
+  | "dR" -> Some Delete
+  | "uR" -> Some Update
+  | _ -> None
+
+let pp ppf r = Format.pp_print_string ppf (to_string r)

@@ -1,0 +1,21 @@
+type user = int
+
+type t = Any | User of user | Group of string
+
+let matches ~member s u =
+  match s with
+  | Any -> true
+  | User u' -> u = u'
+  | Group g -> member g u
+
+let equal a b =
+  match a, b with
+  | Any, Any -> true
+  | User a, User b -> a = b
+  | Group a, Group b -> String.equal a b
+  | (Any | User _ | Group _), _ -> false
+
+let pp ppf = function
+  | Any -> Format.pp_print_string ppf "All"
+  | User u -> Format.fprintf ppf "s%d" u
+  | Group g -> Format.fprintf ppf "g:%s" g

@@ -1,0 +1,18 @@
+(** Subjects of authorizations (paper §3.2): a user, a named group of
+    users, or every user.  Group membership lives in the policy state and
+    is resolved at check time, so re-assigning a user to a group takes
+    effect without touching the authorization list. *)
+
+type user = int
+
+type t =
+  | Any  (** the paper's [All] *)
+  | User of user
+  | Group of string
+
+val matches : member:(string -> user -> bool) -> t -> user -> bool
+(** [matches ~member s u]: does subject [s] cover user [u]?  [member g u]
+    resolves group membership. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

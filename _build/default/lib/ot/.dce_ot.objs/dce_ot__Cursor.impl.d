@@ -1,0 +1,1 @@
+lib/ot/cursor.ml: Format List Op Tdoc

@@ -1,0 +1,1 @@
+lib/ot/cursor.mli: Format Op Tdoc

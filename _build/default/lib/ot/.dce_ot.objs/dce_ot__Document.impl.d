@@ -1,0 +1,1 @@
+lib/ot/document.ml: Array Char Format List Op String

@@ -1,0 +1,1 @@
+lib/ot/document.mli: Format Op

@@ -1,0 +1,1 @@
+lib/ot/edit.ml: List Printf Result String Tdoc

@@ -1,0 +1,1 @@
+lib/ot/edit.mli: Op Tdoc

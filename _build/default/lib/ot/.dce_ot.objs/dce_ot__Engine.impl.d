@@ -1,0 +1,1 @@
+lib/ot/engine.ml: List Op Oplog Request Tdoc Vclock

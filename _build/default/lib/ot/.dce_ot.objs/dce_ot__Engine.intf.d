@@ -1,0 +1,1 @@
+lib/ot/engine.mli: Op Oplog Request Tdoc Vclock

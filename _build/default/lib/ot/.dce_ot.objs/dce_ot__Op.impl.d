@@ -1,0 +1,1 @@
+lib/ot/op.ml: Format

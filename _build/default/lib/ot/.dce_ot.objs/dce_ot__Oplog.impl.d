@@ -1,0 +1,1 @@
+lib/ot/oplog.ml: Array Format List Op Option Request Transform Vclock

@@ -1,0 +1,1 @@
+lib/ot/oplog.mli: Format Op Request Vclock

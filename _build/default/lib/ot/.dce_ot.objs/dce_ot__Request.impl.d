@@ -1,0 +1,1 @@
+lib/ot/request.ml: Format Op Vclock

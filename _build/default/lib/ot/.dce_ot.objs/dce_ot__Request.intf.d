@@ -1,0 +1,1 @@
+lib/ot/request.mli: Format Op Vclock

@@ -1,0 +1,1 @@
+lib/ot/tdoc.ml: Array Buffer Document Format List Op Printf String

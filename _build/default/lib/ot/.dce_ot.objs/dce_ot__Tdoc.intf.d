@@ -1,0 +1,1 @@
+lib/ot/tdoc.mli: Format Op

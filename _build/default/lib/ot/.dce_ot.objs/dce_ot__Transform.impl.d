@@ -1,0 +1,1 @@
+lib/ot/transform.ml: List Op Option

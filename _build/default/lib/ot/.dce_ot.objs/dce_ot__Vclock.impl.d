@@ -1,0 +1,1 @@
+lib/ot/vclock.ml: Format Int List Map

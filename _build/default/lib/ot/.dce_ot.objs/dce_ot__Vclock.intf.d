@@ -1,0 +1,1 @@
+lib/ot/vclock.mli: Format

@@ -1,0 +1,52 @@
+type selection = { anchor : int; focus : int }
+
+(* How the operation changes the visible sequence: an element appears at
+   a visible position, disappears from one, or nothing moves. *)
+type visible_effect = Appears of int | Disappears of int | Still
+
+let effect_of doc op =
+  match op with
+  | Op.Nop | Op.Up _ | Op.Unup _ -> Still
+  | Op.Ins { pos; _ } -> Appears (Tdoc.visible_of_model doc pos)
+  | Op.Del { pos; _ } ->
+    if (Tdoc.cell doc pos).Tdoc.hidden = 0 then
+      Disappears (Tdoc.visible_of_model doc pos)
+    else Still (* already a tombstone: stacking a hide moves nothing *)
+  | Op.Undel { pos; _ } ->
+    if (Tdoc.cell doc pos).Tdoc.hidden = 1 then
+      Appears (Tdoc.visible_of_model doc pos)
+    else Still (* still hidden after this undel *)
+
+let transform_position doc p op =
+  match effect_of doc op with
+  | Appears v -> if v <= p then p + 1 else p
+  | Disappears v -> if v < p then p - 1 else p
+  | Still -> p
+
+let transform_position_left_biased doc p op =
+  match effect_of doc op with
+  | Appears v -> if v < p then p + 1 else p
+  | Disappears v -> if v < p then p - 1 else p
+  | Still -> p
+
+let transform_selection doc { anchor; focus } op =
+  if anchor <= focus then
+    {
+      anchor = transform_position_left_biased doc anchor op;
+      focus = transform_position doc focus op;
+    }
+  else
+    {
+      anchor = transform_position doc anchor op;
+      focus = transform_position_left_biased doc focus op;
+    }
+
+let transform_through doc p ops =
+  let _, p =
+    List.fold_left
+      (fun (doc, p) op -> (Tdoc.apply doc op, transform_position doc p op))
+      (doc, p) ops
+  in
+  p
+
+let pp_selection ppf { anchor; focus } = Format.fprintf ppf "[%d,%d)" anchor focus

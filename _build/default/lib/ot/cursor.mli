@@ -1,0 +1,35 @@
+(** Cursor and selection transformation.
+
+    Editor front ends keep user cursors and selections in {e visible}
+    coordinates — a cursor at position [p] sits between the [p]-th and
+    [(p+1)]-th visible elements — while operations execute in model
+    coordinates.  Transformation therefore needs the document state
+    {e before} the operation: it maps the operation's model position to a
+    visible one and checks whether visibility actually changes (hiding an
+    already-hidden cell moves nothing; revealing one inserts a visible
+    element).
+
+    [Up]/[Unup] rewrite content in place and never move cursors. *)
+
+type selection = { anchor : int; focus : int }
+
+val transform_position : 'e Tdoc.t -> int -> 'e Op.t -> int
+(** [transform_position doc p o]: the visible position [p] after [o]
+    executes on [doc].  An element appearing at exactly [p] pushes the
+    cursor right (the common "remote text appears before my cursor"
+    convention). *)
+
+val transform_position_left_biased : 'e Tdoc.t -> int -> 'e Op.t -> int
+(** Same, but an element appearing at exactly [p] leaves the cursor in
+    place. *)
+
+val transform_selection : 'e Tdoc.t -> selection -> 'e Op.t -> selection
+(** Anchor is left-biased, focus right-biased, so a selection swallows
+    remote insertions that land strictly inside it but not at its
+    edges.  Orientation (anchor before or after focus) is preserved. *)
+
+val transform_through : 'e Tdoc.t -> int -> 'e Op.t list -> int
+(** Fold {!transform_position} through a sequence of operations, applying
+    each to track the evolving document. *)
+
+val pp_selection : Format.formatter -> selection -> unit

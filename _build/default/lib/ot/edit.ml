@@ -1,0 +1,68 @@
+type 'e t =
+  | Insert_text of { at : int; elts : 'e list }
+  | Delete_range of { at : int; len : int }
+  | Replace_range of { at : int; len : int; elts : 'e list }
+
+let insert_string at s = Insert_text { at; elts = List.init (String.length s) (String.get s) }
+
+let replace_string ~at ~len s =
+  Replace_range { at; len; elts = List.init (String.length s) (String.get s) }
+
+let check_range doc at len =
+  let n = Tdoc.visible_length doc in
+  if at < 0 || len < 0 || at + len > n then
+    Error (Printf.sprintf "range [%d, %d) outside the visible document (length %d)" at (at + len) n)
+  else Ok ()
+
+let copy doc ~at ~len =
+  match check_range doc at len with
+  | Error _ -> []
+  | Ok () ->
+    List.filteri (fun i _ -> i >= at && i < at + len) (Tdoc.visible_list doc)
+
+(* Build the operations one by one, each against the document produced by
+   its predecessors (deleting [len] elements = deleting at the same
+   visible position [len] times; inserting advances the position). *)
+let compile doc edit =
+  let deletions doc at len =
+    let rec go doc acc k =
+      if k = 0 then Ok (doc, List.rev acc)
+      else
+        let op = Tdoc.del_visible doc at in
+        go (Tdoc.apply doc op) (op :: acc) (k - 1)
+    in
+    go doc [] len
+  in
+  let insertions doc at elts =
+    let rec go doc acc i = function
+      | [] -> Ok (doc, List.rev acc)
+      | e :: rest ->
+        let op = Tdoc.ins_visible doc (at + i) e in
+        go (Tdoc.apply doc op) (op :: acc) (i + 1) rest
+    in
+    go doc [] 0 elts
+  in
+  match edit with
+  | Insert_text { at; elts } ->
+    let n = Tdoc.visible_length doc in
+    if at < 0 || at > n then Error (Printf.sprintf "position %d outside [0, %d]" at n)
+    else Result.map snd (insertions doc at elts)
+  | Delete_range { at; len } ->
+    (match check_range doc at len with
+     | Error _ as e -> e
+     | Ok () -> Result.map snd (deletions doc at len))
+  | Replace_range { at; len; elts } ->
+    (match check_range doc at len with
+     | Error _ as e -> e
+     | Ok () ->
+       (match deletions doc at len with
+        | Error _ as e -> e
+        | Ok (doc, dels) ->
+          (match insertions doc at elts with
+           | Error _ as e -> e
+           | Ok (_, inss) -> Ok (dels @ inss))))
+
+let preview doc edit =
+  match compile doc edit with
+  | Error _ as e -> e
+  | Ok ops -> Ok (Tdoc.apply_all doc ops)

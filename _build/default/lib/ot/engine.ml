@@ -1,0 +1,53 @@
+type 'e t = {
+  site : Vclock.site;
+  eq : 'e -> 'e -> bool;
+  doc : 'e Tdoc.t;
+  log : 'e Oplog.t;
+  clock : Vclock.t;
+  serial : int;
+  buffer : 'e Request.t list;
+}
+
+let create ?(eq = ( = )) ~site doc =
+  { site; eq; doc; log = Oplog.empty; clock = Vclock.empty; serial = 0; buffer = [] }
+
+let site t = t.site
+let document t = t.doc
+let visible t = Tdoc.visible_list t.doc
+let log t = t.log
+let clock t = t.clock
+let pending t = List.length t.buffer
+
+let generate t op =
+  let op = Op.with_stamp ~site:t.site ~stamp:(Vclock.sum t.clock + 1) op in
+  let serial = t.serial + 1 in
+  let q =
+    Request.make ~site:t.site ~serial ~op ~ctx:t.clock ~policy_version:0
+      ~flag:Request.Valid ()
+  in
+  let q = Oplog.broadcast_form q t.log in
+  let doc = Tdoc.apply ~eq:t.eq t.doc op in
+  let log = Oplog.append_local q t.log in
+  let clock = Vclock.tick t.clock t.site in
+  ({ t with doc; log; clock; serial }, q)
+
+let integrate t q =
+  let op, log = Oplog.integrate q t.log in
+  let doc = Tdoc.apply ~eq:t.eq t.doc op in
+  let clock = Vclock.tick t.clock q.Request.id.Request.site in
+  { t with doc; log; clock }
+
+(* Drain the buffer to a fixed point: after each integration another
+   buffered request may have become ready. *)
+let rec drain t =
+  let ready, waiting = List.partition (fun q -> Oplog.causally_ready q t.log) t.buffer in
+  match ready with
+  | [] -> t
+  | _ ->
+    let t = List.fold_left integrate { t with buffer = waiting } ready in
+    drain t
+
+let receive t q =
+  if Oplog.mem q.Request.id t.log then t
+  else if Oplog.causally_ready q t.log then drain (integrate t q)
+  else { t with buffer = q :: t.buffer }

@@ -1,0 +1,39 @@
+(** A plain OT collaboration site, without any access control.
+
+    This is the paper's underlying coordination framework (§4.1, ref [4])
+    exposed on its own: each site owns a (tombstone) document replica and
+    a cooperative log, generates requests locally, and integrates remote
+    requests in any causally-consistent order.  The secured controller
+    ([Dce_core.Controller]) layers the policy machinery on top of the
+    same log services.
+
+    Remote requests may arrive in any order; the engine buffers those that
+    are not yet causally ready and drains the buffer after every
+    successful integration. *)
+
+type 'e t
+
+val create : ?eq:('e -> 'e -> bool) -> site:Vclock.site -> 'e Tdoc.t -> 'e t
+(** [create ~site doc] starts a site with identity [site] and initial
+    document state [doc] (the common [D0]).  [site] doubles as the
+    priority stamped on generated operations, so site identities must be
+    distinct. *)
+
+val site : 'e t -> Vclock.site
+val document : 'e t -> 'e Tdoc.t
+val visible : 'e t -> 'e list
+val log : 'e t -> 'e Oplog.t
+val clock : 'e t -> Vclock.t
+
+val pending : 'e t -> int
+(** Number of buffered, not-yet-causally-ready remote requests. *)
+
+val generate : 'e t -> 'e Op.t -> 'e t * 'e Request.t
+(** Execute a local model-coordinate operation (build it with the
+    [Tdoc.*_visible] helpers) and return the request to broadcast
+    (already in broadcast form, ComputeBF applied). *)
+
+val receive : 'e t -> 'e Request.t -> 'e t
+(** Accept a remote request: integrate it if causally ready (then drain
+    the buffer), otherwise buffer it.  Duplicate deliveries (requests
+    already in the log) are ignored. *)

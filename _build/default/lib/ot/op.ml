@@ -1,0 +1,88 @@
+type tag = { stamp : int; site : int }
+
+let compare_tag a b =
+  match compare a.stamp b.stamp with 0 -> compare a.site b.site | c -> c
+
+type 'e t =
+  | Ins of { pos : int; elt : 'e; pr : int }
+  | Del of { pos : int; elt : 'e }
+  | Undel of { pos : int; elt : 'e }
+  | Up of { pos : int; before : 'e; after : 'e; tag : tag }
+  | Unup of { pos : int; value : 'e; tag : tag }
+  | Nop
+
+let check_pos name pos = if pos < 0 then invalid_arg ("Op." ^ name ^ ": negative position")
+
+let ins ?(pr = 0) pos elt =
+  check_pos "ins" pos;
+  Ins { pos; elt; pr }
+
+let del pos elt =
+  check_pos "del" pos;
+  Del { pos; elt }
+
+let undel pos elt =
+  check_pos "undel" pos;
+  Undel { pos; elt }
+
+let up ?(tag = { stamp = 0; site = 0 }) pos before after =
+  check_pos "up" pos;
+  Up { pos; before; after; tag }
+
+let unup ~tag pos value =
+  check_pos "unup" pos;
+  Unup { pos; value; tag }
+
+let is_nop = function Nop -> true | _ -> false
+let is_ins = function Ins _ -> true | _ -> false
+let is_del = function Del _ -> true | _ -> false
+let is_undel = function Undel _ -> true | _ -> false
+let is_up = function Up _ -> true | _ -> false
+let is_unup = function Unup _ -> true | _ -> false
+
+let pos = function
+  | Ins { pos; _ } | Del { pos; _ } | Undel { pos; _ } | Up { pos; _ } | Unup { pos; _ }
+    ->
+    Some pos
+  | Nop -> None
+
+let with_stamp ~site ~stamp = function
+  | Ins i -> Ins { i with pr = site }
+  | Up u -> Up { u with tag = { stamp; site } }
+  | (Del _ | Undel _ | Unup _ | Nop) as o -> o
+
+let inverse = function
+  | Ins { pos; elt; _ } -> Del { pos; elt }
+  | Del { pos; elt } -> Undel { pos; elt }
+  | Undel { pos; elt } -> Del { pos; elt }
+  | Up { pos; after; tag; _ } -> Unup { pos; value = after; tag }
+  | Unup { pos; value; tag } -> Up { pos; before = value; after = value; tag }
+  | Nop -> Nop
+
+let equal eq_elt a b =
+  match a, b with
+  | Ins a, Ins b -> a.pos = b.pos && a.pr = b.pr && eq_elt a.elt b.elt
+  | Del a, Del b -> a.pos = b.pos && eq_elt a.elt b.elt
+  | Undel a, Undel b -> a.pos = b.pos && eq_elt a.elt b.elt
+  | Up a, Up b ->
+    a.pos = b.pos && compare_tag a.tag b.tag = 0 && eq_elt a.before b.before
+    && eq_elt a.after b.after
+  | Unup a, Unup b -> a.pos = b.pos && compare_tag a.tag b.tag = 0 && eq_elt a.value b.value
+  | Nop, Nop -> true
+  | (Ins _ | Del _ | Undel _ | Up _ | Unup _ | Nop), _ -> false
+
+let pp_tag ppf { stamp; site } = Format.fprintf ppf "%d.%d" stamp site
+
+let pp pp_elt ppf = function
+  | Ins { pos; elt; pr } -> Format.fprintf ppf "Ins(%d, %a)@%d" pos pp_elt elt pr
+  | Del { pos; elt } -> Format.fprintf ppf "Del(%d, %a)" pos pp_elt elt
+  | Undel { pos; elt } -> Format.fprintf ppf "Undel(%d, %a)" pos pp_elt elt
+  | Up { pos; before; after; tag } ->
+    Format.fprintf ppf "Up(%d, %a -> %a)#%a" pos pp_elt before pp_elt after pp_tag tag
+  | Unup { pos; value; tag } ->
+    Format.fprintf ppf "Unup(%d, %a)#%a" pos pp_elt value pp_tag tag
+  | Nop -> Format.pp_print_string ppf "Nop"
+
+let to_string elt_to_string o =
+  let pp_elt ppf e = Format.pp_print_string ppf (elt_to_string e) in
+  Format.asprintf "%a" (pp pp_elt) o

@@ -1,0 +1,79 @@
+(** Cooperative editing operations on a linear document (paper, Def. 1).
+
+    The paper's operations are [Ins(p,e)], [Del(p,e)] and [Up(p,e,e')] on a
+    list of elements.  Our transformation layer uses the {e tombstone}
+    (TTF) model of Oster, Urso, Molli and Imine (the same research group's
+    provably TP2-correct substrate — DESIGN §2): a deletion does not
+    physically remove its element, it hides it.  Operation positions refer
+    to the {e model} document, which includes hidden elements; the
+    user-visible document is the projection that drops them (see {!Tdoc}).
+
+    Two further choices make every effect {e retractable}, which is what
+    the paper's optimistic security needs (illegal operations are undone
+    after the fact, in any order relative to concurrent work):
+
+    - hides are counted, so concurrent deletions of one element and their
+      undos commute ([Undel] is the inverse of [Del]);
+    - an update adds a {e tagged write} to its cell rather than
+      overwriting it; the cell displays the write with the greatest tag
+      and undoing an update retracts its write ([Unup] is the inverse of
+      [Up]).  Tags are (Lamport stamp, site) pairs: a write that causally
+      follows another always has a greater tag, and concurrent writes are
+      ordered deterministically — so concurrent updates of one element
+      commute too, and undoing the winning one reveals the other.
+
+    Users generate [Ins]/[Del]/[Up]; [Undel]/[Unup] exist only as
+    inverses produced by the undo machinery.
+
+    [pr] on insertions is the issuing site's priority, breaking position
+    ties between concurrent insertions. *)
+
+type tag = { stamp : int; site : int }
+(** Totally ordered by [(stamp, site)]; [stamp] is a Lamport stamp. *)
+
+type 'e t =
+  | Ins of { pos : int; elt : 'e; pr : int }
+      (** Insert a fresh (visible) element at model position [pos]. *)
+  | Del of { pos : int; elt : 'e }
+      (** Hide the element at model position [pos].  [elt] is the display
+          value the issuer saw (a sanity check, see {!Tdoc.apply}). *)
+  | Undel of { pos : int; elt : 'e }
+      (** Drop one hide mark from the element at model position [pos]. *)
+  | Up of { pos : int; before : 'e; after : 'e; tag : tag }
+      (** Write [after] to the cell at model position [pos]; [before] is
+          the display value the issuer saw. *)
+  | Unup of { pos : int; value : 'e; tag : tag }
+      (** Retract the write [tag] from the cell at model position [pos]. *)
+  | Nop  (** Identity. *)
+
+val compare_tag : tag -> tag -> int
+
+val ins : ?pr:int -> int -> 'e -> 'e t
+val del : int -> 'e -> 'e t
+val undel : int -> 'e -> 'e t
+val up : ?tag:tag -> int -> 'e -> 'e -> 'e t
+val unup : tag:tag -> int -> 'e -> 'e t
+
+val is_nop : _ t -> bool
+val is_ins : _ t -> bool
+val is_del : _ t -> bool
+val is_undel : _ t -> bool
+val is_up : _ t -> bool
+val is_unup : _ t -> bool
+
+val pos : _ t -> int option
+(** Model position affected, [None] for [Nop]. *)
+
+val with_stamp : site:int -> stamp:int -> 'e t -> 'e t
+(** Stamp a freshly generated operation with its issuer's identity:
+    sets [pr] on [Ins] and [tag = {stamp; site}] on [Up]; other
+    operations are unchanged. *)
+
+val inverse : 'e t -> 'e t
+(** The operation cancelling [o] on a state where [o] has just been
+    applied: [inverse (Ins p e) = Del p e], [inverse (Del p e) = Undel p e],
+    [inverse (Up p _ e τ) = Unup p e τ], and back. *)
+
+val equal : ('e -> 'e -> bool) -> 'e t -> 'e t -> bool
+val pp : (Format.formatter -> 'e -> unit) -> Format.formatter -> 'e t -> unit
+val to_string : ('e -> string) -> 'e t -> string

@@ -1,0 +1,38 @@
+type id = { site : Vclock.site; serial : int }
+
+type flag = Tentative | Valid | Invalid
+
+type 'e t = {
+  id : id;
+  dep : id option;
+  op : 'e Op.t;
+  gen_op : 'e Op.t;
+  ctx : Vclock.t;
+  policy_version : int;
+  flag : flag;
+}
+
+let make ~site ~serial ?dep ~op ~ctx ~policy_version ~flag () =
+  { id = { site; serial }; dep; op; gen_op = op; ctx; policy_version; flag }
+
+let clock_after q = Vclock.tick q.ctx q.id.site
+
+let happened_before a b =
+  Vclock.dominates_event b.ctx ~site:a.id.site ~count:a.id.serial
+
+let concurrent a b = (not (happened_before a b)) && not (happened_before b a)
+
+let id_equal a b = a.site = b.site && a.serial = b.serial
+
+let pp_id ppf { site; serial } = Format.fprintf ppf "%d.%d" site serial
+
+let pp_flag ppf f =
+  Format.pp_print_string ppf
+    (match f with Tentative -> "tentative" | Valid -> "valid" | Invalid -> "invalid")
+
+let pp pp_elt ppf q =
+  Format.fprintf ppf "@[<h>q%a%a[%a, v%d, %a]@]" pp_id q.id
+    (fun ppf -> function
+      | None -> Format.pp_print_string ppf ""
+      | Some d -> Format.fprintf ppf "<-%a" pp_id d)
+    q.dep (Op.pp pp_elt) q.op q.policy_version pp_flag q.flag

@@ -1,0 +1,67 @@
+(** Cooperative requests (paper §5.1).
+
+    A cooperative request [q] wraps an editing operation with the metadata
+    the control algorithm needs: [(c, r, a, o, v, f)] in the paper's
+    notation —
+
+    - [site] ([q.c]): the issuing site;
+    - [serial] ([q.r]): per-site serial number; [(site, serial)] is the
+      request identity;
+    - [dep] ([q.a]): identity of the cooperative request this one directly
+      depends on ([None] for context-free requests), per the dependency
+      relation of the coordination framework;
+    - [op] ([q.o]): the cooperative operation;
+    - [policy_version] ([q.v]): version of the policy copy that granted
+      the operation at generation time;
+    - [flag] ([q.f]): [Tentative] until validated by the administrator,
+      then [Valid]; [Invalid] when rejected by a receiver's administrative
+      log or undone by a restrictive administrative operation.
+
+    In addition each request carries the issuing site's vector clock
+    {e before} the request (the request's causal context), used by
+    receivers to decide causal readiness and concurrency. *)
+
+type id = { site : Vclock.site; serial : int }
+
+type flag = Tentative | Valid | Invalid
+
+type 'e t = {
+  id : id;
+  dep : id option;
+  op : 'e Op.t;
+      (** current form: rewritten by transformation as the request is
+          integrated, transposed or cancelled *)
+  gen_op : 'e Op.t;
+      (** generation form: the operation exactly as issued, never
+          rewritten — identical at every site, which is what lets access
+          checks and retroactive enforcement decide identically
+          everywhere (see [Dce_core.Checker]) *)
+  ctx : Vclock.t;  (** causal context: clock of the issuing site before this request *)
+  policy_version : int;
+  flag : flag;
+}
+
+val make :
+  site:Vclock.site ->
+  serial:int ->
+  ?dep:id ->
+  op:'e Op.t ->
+  ctx:Vclock.t ->
+  policy_version:int ->
+  flag:flag ->
+  unit ->
+  'e t
+(** [gen_op] is initialised to [op]. *)
+
+val clock_after : 'e t -> Vclock.t
+(** The issuing site's clock after this request: [tick ctx id.site]. *)
+
+val happened_before : 'e t -> 'e t -> bool
+(** [happened_before a b]: [a] is in [b]'s causal past. *)
+
+val concurrent : 'e t -> 'e t -> bool
+
+val id_equal : id -> id -> bool
+val pp_id : Format.formatter -> id -> unit
+val pp_flag : Format.formatter -> flag -> unit
+val pp : (Format.formatter -> 'e -> unit) -> Format.formatter -> 'e t -> unit

@@ -1,0 +1,172 @@
+type 'e write = { wtag : Op.tag; value : 'e; retracted : int }
+
+type 'e cell = { elt : 'e; writes : 'e write list; hidden : int }
+
+type 'e t = 'e cell array
+
+let empty = [||]
+
+let fresh_cell elt = { elt; writes = []; hidden = 0 }
+
+let of_list l = Array.of_list (List.map fresh_cell l)
+
+let of_string s = of_list (List.init (String.length s) (String.get s))
+
+let of_cells cells = Array.of_list cells
+
+let model_length = Array.length
+
+let content c =
+  let best =
+    List.fold_left
+      (fun acc w ->
+        if w.retracted > 0 then acc
+        else
+          match acc with
+          | Some b when Op.compare_tag b.wtag w.wtag >= 0 -> acc
+          | _ -> Some w)
+      None c.writes
+  in
+  match best with Some w -> w.value | None -> c.elt
+
+let history c = c.elt :: List.map (fun w -> w.value) c.writes
+
+let visible_length d =
+  Array.fold_left (fun n c -> if c.hidden = 0 then n + 1 else n) 0 d
+
+let cell d i = d.(i)
+
+let visible_list d =
+  Array.fold_right (fun c acc -> if c.hidden = 0 then content c :: acc else acc) d []
+
+let visible_string d =
+  let b = Buffer.create (Array.length d) in
+  Array.iter (fun c -> if c.hidden = 0 then Buffer.add_char b (content c)) d;
+  Buffer.contents b
+
+let model_list d = Array.to_list d
+
+let model_of_visible d v =
+  if v < 0 then invalid_arg "Tdoc.model_of_visible: negative position";
+  let n = Array.length d in
+  let rec go i seen =
+    if seen = v && (i >= n || d.(i).hidden = 0) then i
+    else if i >= n then invalid_arg "Tdoc.model_of_visible: beyond visible length"
+    else go (i + 1) (if d.(i).hidden = 0 then seen + 1 else seen)
+  in
+  go 0 0
+
+let visible_of_model d m =
+  let m = min m (Array.length d) in
+  let count = ref 0 in
+  for i = 0 to m - 1 do
+    if d.(i).hidden = 0 then incr count
+  done;
+  !count
+
+let conflict fmt = Format.kasprintf (fun s -> raise (Document.Edit_conflict s)) fmt
+
+let check_history ~eq ~what ~pos c expected =
+  if not (List.exists (eq expected) (history c)) then
+    conflict "%s at model position %d: element never present in the cell" what pos
+
+let apply ?(eq = ( = )) d op =
+  let n = Array.length d in
+  let in_range what pos =
+    if pos < 0 || pos >= n then
+      invalid_arg (Printf.sprintf "Tdoc.apply: %s position %d out of range" what pos)
+  in
+  let update_cell pos f =
+    let d' = Array.copy d in
+    d'.(pos) <- f d.(pos);
+    d'
+  in
+  match op with
+  | Op.Nop -> d
+  | Op.Ins { pos; elt; _ } ->
+    if pos < 0 || pos > n then invalid_arg "Tdoc.apply: Ins position out of range";
+    Array.init (n + 1) (fun i ->
+        if i < pos then d.(i) else if i = pos then fresh_cell elt else d.(i - 1))
+  | Op.Del { pos; elt } ->
+    in_range "Del" pos;
+    check_history ~eq ~what:"Del" ~pos d.(pos) elt;
+    update_cell pos (fun c -> { c with hidden = c.hidden + 1 })
+  | Op.Undel { pos; elt } ->
+    in_range "Undel" pos;
+    check_history ~eq ~what:"Undel" ~pos d.(pos) elt;
+    if d.(pos).hidden = 0 then invalid_arg "Tdoc.apply: Undel of a visible cell";
+    update_cell pos (fun c -> { c with hidden = c.hidden - 1 })
+  | Op.Up { pos; before; after; tag } ->
+    in_range "Up" pos;
+    check_history ~eq ~what:"Up" ~pos d.(pos) before;
+    if List.exists (fun w -> Op.compare_tag w.wtag tag = 0) d.(pos).writes then
+      conflict "Up at model position %d: duplicate write tag" pos;
+    update_cell pos (fun c ->
+        { c with writes = { wtag = tag; value = after; retracted = 0 } :: c.writes })
+  | Op.Unup { pos; tag; _ } ->
+    in_range "Unup" pos;
+    if not (List.exists (fun w -> Op.compare_tag w.wtag tag = 0) d.(pos).writes) then
+      conflict "Unup at model position %d: unknown write tag" pos;
+    update_cell pos (fun c ->
+        {
+          c with
+          writes =
+            List.map
+              (fun w ->
+                if Op.compare_tag w.wtag tag = 0 then
+                  { w with retracted = w.retracted + 1 }
+                else w)
+              c.writes;
+        })
+
+let apply_all ?eq d ops = List.fold_left (fun d o -> apply ?eq d o) d ops
+
+let ins_visible ?pr d v elt = Op.ins ?pr (model_of_visible d v) elt
+
+let visible_cell_pos d v =
+  let m = model_of_visible d v in
+  if m >= Array.length d || d.(m).hidden <> 0 then
+    invalid_arg "Tdoc: no visible cell at this position";
+  m
+
+let del_visible d v =
+  let m = visible_cell_pos d v in
+  Op.del m (content d.(m))
+
+let up_visible ?tag d v after =
+  let m = visible_cell_pos d v in
+  Op.up ?tag m (content d.(m)) after
+
+let equal_visible eq a b =
+  let la = visible_list a and lb = visible_list b in
+  List.length la = List.length lb && List.for_all2 eq la lb
+
+let equal_cell eq a b =
+  eq (content a) (content b)
+  && a.hidden = b.hidden
+  &&
+  let norm c =
+    List.sort (fun x y -> Op.compare_tag x.wtag y.wtag) c.writes
+  in
+  let wa = norm a and wb = norm b in
+  List.length wa = List.length wb
+  && List.for_all2
+       (fun x y ->
+         Op.compare_tag x.wtag y.wtag = 0 && eq x.value y.value
+         && x.retracted = y.retracted)
+       wa wb
+
+let equal_model eq a b =
+  Array.length a = Array.length b
+  &&
+  let rec go i = i >= Array.length a || (equal_cell eq a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+let pp pp_elt ppf d =
+  let pp_cell ppf c =
+    if c.hidden = 0 then pp_elt ppf (content c)
+    else Format.fprintf ppf "(%a/%d)" pp_elt (content c) c.hidden
+  in
+  Format.fprintf ppf "<%a>"
+    (Format.pp_print_list ~pp_sep:(fun _ () -> ()) pp_cell)
+    (Array.to_list d)

@@ -1,0 +1,89 @@
+(** Tombstone documents: the model state operations execute on.
+
+    A tombstone document is a sequence of {e cells}.  Each cell holds:
+
+    - its initial element (the one inserted, or from the initial state);
+    - a set of tagged {e writes} (one per [Up] applied to it, possibly
+      retracted by [Unup]); the cell's current {e content} is the value
+      of the non-retracted write with the greatest tag, or the initial
+      element when none remains;
+    - a {e hide count}: [Del] increments it, [Undel] decrements it; the
+      cell is visible iff the count is zero.
+
+    Counters and tagged writes make all content effects commute, so
+    concurrent deletions/updates of one element — and the retroactive
+    undos the access-control layer performs — converge regardless of
+    execution order.  The {e visible} document is the subsequence of
+    visible cells' contents.
+
+    Operation positions are {e model} positions (tombstones included).
+    User intentions arrive in visible coordinates; {!ins_visible},
+    {!del_visible} and {!up_visible} build the corresponding
+    model-coordinate operations.
+
+    The element expectations carried by [Del]/[Undel]/[Up] are checked
+    {e loosely}: the expected element must appear in the cell's history
+    (initial element or any write, retracted or not) — under concurrency
+    the display value the issuer saw may have been any of these.  A miss
+    raises {!Document.Edit_conflict} and signals a transformation bug,
+    never a user error.
+
+    The representation is persistent; {!apply} is O(n). *)
+
+type 'e write = { wtag : Op.tag; value : 'e; retracted : int }
+
+type 'e cell = { elt : 'e; writes : 'e write list; hidden : int }
+
+type 'e t
+
+val empty : 'e t
+val of_list : 'e list -> 'e t
+(** All cells visible, no writes. *)
+
+val of_string : string -> char t
+
+val model_length : 'e t -> int
+val visible_length : 'e t -> int
+
+val cell : 'e t -> int -> 'e cell
+(** Cell at a model position. *)
+
+val content : 'e cell -> 'e
+(** Current content: greatest non-retracted write, or the initial
+    element. *)
+
+val of_cells : 'e cell list -> 'e t
+(** Rebuild a document from its cells (persistence tooling). *)
+
+val visible_list : 'e t -> 'e list
+val visible_string : char t -> string
+val model_list : 'e t -> 'e cell list
+
+val model_of_visible : 'e t -> int -> int
+(** Model position of the [v]-th visible cell; [model_length] when [v]
+    equals {!visible_length}.  Raises [Invalid_argument] beyond that. *)
+
+val visible_of_model : 'e t -> int -> int
+(** Number of visible cells strictly before the given model position. *)
+
+val apply : ?eq:('e -> 'e -> bool) -> 'e t -> 'e Op.t -> 'e t
+(** Execute a model-coordinate operation.  Raises
+    {!Document.Edit_conflict} on a failed history check, a duplicate
+    write tag, or an [Unup] of an unknown tag; [Invalid_argument] on
+    out-of-range positions and on [Undel] of a visible cell. *)
+
+val apply_all : ?eq:('e -> 'e -> bool) -> 'e t -> 'e Op.t list -> 'e t
+
+val ins_visible : ?pr:int -> 'e t -> int -> 'e -> 'e Op.t
+val del_visible : 'e t -> int -> 'e Op.t
+val up_visible : ?tag:Op.tag -> 'e t -> int -> 'e -> 'e Op.t
+
+val equal_visible : ('e -> 'e -> bool) -> 'e t -> 'e t -> bool
+(** Equality of the visible projections (the paper's convergence
+    criterion). *)
+
+val equal_model : ('e -> 'e -> bool) -> 'e t -> 'e t -> bool
+(** Cell-wise equality: contents, hide counts, and write sets. *)
+
+val pp : (Format.formatter -> 'e -> unit) -> Format.formatter -> 'e t -> unit
+(** Prints the model; tombstoned cells are bracketed. *)

@@ -1,0 +1,52 @@
+open Op
+
+(* Inclusion transformation in the tombstone model.  Only insertions
+   shift positions: deletions hide cells in place, updates add tagged
+   writes in place, and their undos retract in place.  Content conflicts
+   are resolved by the cells themselves (hide counters, write tags), so
+   no transformation case needs to produce Nop or rewrite elements —
+   which is what makes the rule set satisfy TP1 and TP2 and keeps every
+   operation retractable (see op.mli). *)
+
+let shift_after_ins p ins_pos = if p < ins_pos then p else p + 1
+
+let reposition o pos =
+  match o with
+  | Del d -> Del { d with pos }
+  | Undel d -> Undel { d with pos }
+  | Up u -> Up { u with pos }
+  | Unup u -> Unup { u with pos }
+  | Ins _ | Nop -> assert false
+
+let it o1 o2 =
+  match o1, o2 with
+  | Nop, _ -> Nop
+  | o1, Nop -> o1
+  | Ins i1, Ins i2 ->
+    if i1.pos < i2.pos then o1
+    else if i1.pos > i2.pos then Ins { i1 with pos = i1.pos + 1 }
+    else if i1.pr > i2.pr then Ins { i1 with pos = i1.pos + 1 }
+    else o1
+  | Ins _, (Del _ | Undel _ | Up _ | Unup _) -> o1
+  | (Del _ | Undel _ | Up _ | Unup _), Ins i2 ->
+    let p = Option.get (pos o1) in
+    reposition o1 (shift_after_ins p i2.pos)
+  | (Del _ | Undel _ | Up _ | Unup _), (Del _ | Undel _ | Up _ | Unup _) -> o1
+
+(* Exclusion transformation: [et o1 o2] rewrites [o1] — defined on a state
+   that includes [o2]'s effect — as if [o2] had never executed.  Inverts
+   [it] on every reachable pair. *)
+let unshift_after_ins p ins_pos = if p <= ins_pos then p else p - 1
+
+let et o1 o2 =
+  match o1, o2 with
+  | Nop, _ -> Nop
+  | o1, Nop -> o1
+  | Ins i1, Ins i2 -> if i1.pos <= i2.pos then o1 else Ins { i1 with pos = i1.pos - 1 }
+  | Ins _, (Del _ | Undel _ | Up _ | Unup _) -> o1
+  | (Del _ | Undel _ | Up _ | Unup _), Ins i2 ->
+    let p = Option.get (pos o1) in
+    reposition o1 (unshift_after_ins p i2.pos)
+  | (Del _ | Undel _ | Up _ | Unup _), (Del _ | Undel _ | Up _ | Unup _) -> o1
+
+let it_list o ops = List.fold_left it o ops

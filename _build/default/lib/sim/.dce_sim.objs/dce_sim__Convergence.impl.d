@@ -1,0 +1,1 @@
+lib/sim/convergence.ml: Char Controller Dce_core Dce_ot Format List Oplog Policy Request Right Tdoc

@@ -1,0 +1,1 @@
+lib/sim/convergence.mli: Controller Dce_core Format

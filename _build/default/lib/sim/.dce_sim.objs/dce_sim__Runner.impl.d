@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Admin_op Array Auth Char Controller Dce_core Dce_ot Docobj Fmt Format Fun List Net Op Oplog Option Policy Request Right Rng Subject Tdoc Workload

@@ -1,0 +1,100 @@
+open Dce_ot
+open Dce_core
+
+type report = {
+  documents_agree : bool;
+  versions_agree : bool;
+  policies_agree : bool;
+  queues_empty : bool;
+  no_tentative_left : bool;
+  flags_agree : bool;
+}
+
+(* Policies are compared by their observable behaviour on the finite
+   relevant domain: registered users × rights × positions-of-interest
+   (authorization lists can differ syntactically after permissive
+   deletions while still deciding identically). *)
+let policies_equal a b =
+  let users = List.sort_uniq compare (Policy.users a @ Policy.users b) in
+  List.for_all
+    (fun u ->
+      List.for_all
+        (fun r ->
+          List.for_all
+            (fun pos -> Policy.check a ~user:u ~right:r ~pos = Policy.check b ~user:u ~right:r ~pos)
+            [ None; Some 0; Some 1; Some 5; Some 50 ])
+        Right.all)
+    users
+  && Policy.auth_count a = Policy.auth_count b
+
+let check controllers =
+  match controllers with
+  | [] ->
+    {
+      documents_agree = true;
+      versions_agree = true;
+      policies_agree = true;
+      queues_empty = true;
+      no_tentative_left = true;
+      flags_agree = true;
+    }
+  | c0 :: rest ->
+    let documents_agree =
+      List.for_all
+        (fun c ->
+          Tdoc.equal_model Char.equal (Controller.document c0) (Controller.document c))
+        rest
+    in
+    let versions_agree =
+      List.for_all (fun c -> Controller.version c = Controller.version c0) rest
+    in
+    let policies_agree =
+      List.for_all (fun c -> policies_equal (Controller.policy c0) (Controller.policy c)) rest
+    in
+    let queues_empty =
+      List.for_all
+        (fun c -> Controller.pending_coop c = 0 && Controller.pending_admin c = 0)
+        controllers
+    in
+    let no_tentative_left =
+      List.for_all (fun c -> Controller.tentative c = []) controllers
+    in
+    let flags_agree =
+      (* logs may have been garbage-collected at different points, so
+         compare the fates of the requests two sites both still store *)
+      let flags c =
+        List.map
+          (fun (q : char Request.t) -> (q.Request.id, q.Request.flag))
+          (Oplog.requests (Controller.oplog c))
+      in
+      let f0 = flags c0 in
+      List.for_all
+        (fun c ->
+          List.for_all
+            (fun (id, flag) ->
+              match List.assoc_opt id f0 with
+              | Some flag0 -> flag = flag0
+              | None -> true)
+            (flags c))
+        rest
+    in
+    {
+      documents_agree;
+      versions_agree;
+      policies_agree;
+      queues_empty;
+      no_tentative_left;
+      flags_agree;
+    }
+
+let ok r =
+  r.documents_agree && r.versions_agree && r.policies_agree && r.queues_empty
+  && r.no_tentative_left && r.flags_agree
+
+let pp ppf r =
+  let b ppf v = Format.pp_print_string ppf (if v then "yes" else "NO") in
+  Format.fprintf ppf
+    "@[<v>documents agree: %a@ versions agree: %a@ policies agree: %a@ queues empty: \
+     %a@ no tentative left: %a@ flags agree: %a@]"
+    b r.documents_agree b r.versions_agree b r.policies_agree b r.queues_empty b
+    r.no_tentative_left b r.flags_agree

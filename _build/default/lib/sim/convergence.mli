@@ -1,0 +1,24 @@
+(** Oracles over a quiescent session.
+
+    These are the paper's correctness criteria, checkable after a
+    simulation flushes: every site holds the same document and policy, no
+    request is left tentative, and all sites agree on every request's
+    fate.  A violation means a security hole of exactly the kind the
+    paper's Figs. 2–4 illustrate. *)
+
+open Dce_core
+
+type report = {
+  documents_agree : bool;  (** equal models (hence equal visible texts) *)
+  versions_agree : bool;
+  policies_agree : bool;  (** same decisions: compared structurally *)
+  queues_empty : bool;
+  no_tentative_left : bool;
+  flags_agree : bool;  (** every request has the same flag at every site *)
+}
+
+val check : char Controller.t list -> report
+
+val ok : report -> bool
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,56 @@
+type t = int64
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let make seed = seed
+let of_int n = Int64.of_int n
+
+(* splitmix64 output function *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  let t = Int64.add t golden_gamma in
+  (mix t, t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let x, t = next t in
+  (Int64.to_int (Int64.rem (Int64.logand x Int64.max_int) (Int64.of_int bound)), t)
+
+let in_range t lo hi =
+  if lo > hi then invalid_arg "Rng.in_range: empty range";
+  let x, t = int t (hi - lo + 1) in
+  (lo + x, t)
+
+let float t bound =
+  let x, t = next t in
+  let u = Int64.to_float (Int64.shift_right_logical x 11) /. 9007199254740992.0 in
+  (u *. bound, t)
+
+let bool t p =
+  let x, t = float t 1.0 in
+  (x < p, t)
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l ->
+    let i, t = int t (List.length l) in
+    (List.nth l i, t)
+
+let weighted t choices =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 choices in
+  if total <= 0 then invalid_arg "Rng.weighted: weights sum to zero";
+  let x, t = int t total in
+  let rec go x = function
+    | [] -> invalid_arg "Rng.weighted: unreachable"
+    | (w, v) :: rest -> if x < w then v else go (x - w) rest
+  in
+  (go x choices, t)
+
+let split t =
+  let a, t = next t in
+  let b, _ = next t in
+  (make a, make b)

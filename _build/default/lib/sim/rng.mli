@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every simulation is a pure function of its seed: the same seed always
+    produces the same schedule, message delays and workload, across runs
+    and machines — which is what makes failing property tests replayable.
+    The state is explicit and immutable. *)
+
+type t
+
+val make : int64 -> t
+val of_int : int -> t
+
+val next : t -> int64 * t
+
+val int : t -> int -> int * t
+(** [int r bound]: uniform in [[0, bound)]; [bound > 0]. *)
+
+val in_range : t -> int -> int -> int * t
+(** [in_range r lo hi]: uniform in [[lo, hi]] inclusive. *)
+
+val float : t -> float -> float * t
+(** [float r bound]: uniform in [[0, bound)]. *)
+
+val bool : t -> float -> bool * t
+(** [bool r p]: [true] with probability [p]. *)
+
+val pick : t -> 'a list -> 'a * t
+(** Uniform choice; raises [Invalid_argument] on an empty list. *)
+
+val weighted : t -> (int * 'a) list -> 'a * t
+(** Choice weighted by the integer weights (all non-negative, sum > 0). *)
+
+val split : t -> t * t
+(** Two independent generators. *)

@@ -1,0 +1,40 @@
+(** Discrete-event execution of a workload over secured controllers.
+
+    The runner owns one {!Dce_core.Controller} per site (site 0 is the
+    administrator), a simulated {!Net}, and a virtual clock.  It samples
+    the workload profile deterministically from the seed, interleaves
+    local edits, administrative actions and message deliveries in
+    time order, and finally flushes the network so the session reaches
+    quiescence.  The result carries the final controllers plus counters;
+    feed it to {!Convergence} for the oracles. *)
+
+type stats = {
+  edits_generated : int;
+  edits_denied_locally : int;  (** rejected by the issuer's local policy copy *)
+  admin_requests : int;
+  restrictive_requests : int;
+  messages_delivered : int;
+  invalidated : int;  (** requests flagged invalid at the administrator, at quiescence *)
+  validated : int;
+}
+
+type result = {
+  controllers : char Dce_core.Controller.t list;  (** site order: admin first *)
+  stats : stats;
+  final_time : int;
+}
+
+val run :
+  ?trace:Format.formatter ->
+  ?features:Dce_core.Controller.features ->
+  ?policy:Dce_core.Policy.t ->
+  Workload.profile ->
+  seed:int ->
+  result
+(** [features] (default [Controller.secure]) selects which of the
+    paper's three mechanisms are active — disable some to reproduce the
+    §4 security holes (see [Dce_baseline.Naive] and the ablation bench).
+    [policy] defaults to "everyone may do everything" over the profile's
+    sites, which is what lets a restrictive administrator bite. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,37 @@
+type op_mix = { ins : int; del : int; up : int }
+
+let mix ins del up =
+  if ins < 0 || del < 0 || up < 0 || ins + del + up = 0 then
+    invalid_arg "Workload.mix: invalid weights";
+  { ins; del; up }
+
+type profile = {
+  users : int;
+  duration : int;
+  edit_interval : int * int;
+  op_mix : op_mix;
+  admin_interval : (int * int) option;
+  revoke_bias : float;
+  handoff_prob : float;
+  compact_every : int option;
+  latency : Net.latency;
+  fifo : bool;
+  initial_text : string;
+}
+
+let default =
+  {
+    users = 3;
+    duration = 2_000;
+    edit_interval = (20, 120);
+    op_mix = mix 5 3 2;
+    admin_interval = None;
+    revoke_bias = 0.5;
+    handoff_prob = 0.;
+    compact_every = None;
+    latency = Net.Uniform (5, 80);
+    fifo = false;
+    initial_text = "the quick brown fox";
+  }
+
+let with_admin = { default with admin_interval = Some (100, 400); revoke_bias = 0.6 }

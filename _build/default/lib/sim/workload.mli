@@ -1,0 +1,44 @@
+(** Workload profiles: the knobs the paper's evaluation (and ours) turns.
+
+    A profile describes a whole collaborative session statistically; the
+    runner ({!Runner}) samples it deterministically from a seed.  Editing
+    behaviour is modelled per site as a renewal process (wait a random
+    interval, make an edit) with a weighted operation mix — the paper's
+    Fig. 7 varies exactly this mix (percentage of insertions).  The
+    administrator, when enabled, alternates between restrictive actions
+    (adding negative authorizations, removing them) at its own rate. *)
+
+type op_mix = { ins : int; del : int; up : int }
+(** Relative weights; e.g. [{ins = 100; del = 0; up = 0}] is the paper's
+    "100% INS" workload. *)
+
+val mix : int -> int -> int -> op_mix
+
+type profile = {
+  users : int;  (** number of non-administrator users (sites 1..users) *)
+  duration : int;  (** virtual time during which sites edit *)
+  edit_interval : int * int;  (** min/max wait between two edits of a site *)
+  op_mix : op_mix;
+  admin_interval : (int * int) option;
+      (** when set, the administrator toggles authorizations at this rate *)
+  revoke_bias : float;
+      (** probability that an administrator action is restrictive (the
+          rest remove a previously added negative authorization) *)
+  handoff_prob : float;
+      (** probability that an administrator action is instead a
+          [Transfer_admin] to a random user (delegation extension) *)
+  compact_every : int option;
+      (** when set, every site garbage-collects its log after this many
+          deliveries (log-GC extension) *)
+  latency : Net.latency;
+  fifo : bool;
+  initial_text : string;
+}
+
+val default : profile
+(** 3 users, mixed operations, moderate latency, no administrator
+    activity. *)
+
+val with_admin : profile
+(** [default] plus administrator activity (the adversarial schedule the
+    security property tests use). *)

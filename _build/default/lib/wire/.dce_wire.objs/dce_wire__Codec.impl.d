@@ -1,0 +1,1 @@
+lib/wire/codec.ml: Array Buffer Char Int32 Lazy List Printf Stdlib String

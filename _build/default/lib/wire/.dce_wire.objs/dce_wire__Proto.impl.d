@@ -1,0 +1,1 @@
+lib/wire/proto.ml: Admin_op Auth Char Codec Controller Dce_core Dce_ot Docobj Fun Op Oplog Policy Printf Request Right Subject Tdoc Vclock

@@ -1,0 +1,1 @@
+lib/wire/proto.mli: Admin_op Codec Controller Dce_core Dce_ot Op Policy Request Vclock

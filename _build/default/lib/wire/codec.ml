@@ -1,0 +1,201 @@
+type encoder = Buffer.t
+
+type decoder = { src : string; mutable pos : int }
+
+type 'a result = ('a, string) Stdlib.result
+
+let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e
+
+(* ----- encoding ----- *)
+
+let to_string enc v =
+  let b = Buffer.create 64 in
+  enc b v;
+  Buffer.contents b
+
+(* raw LEB128 over the 63-bit pattern; [lsr] makes this safe for values
+   whose top (sign) bit is set *)
+let put_raw b n =
+  let rec go n =
+    if n >= 0 && n < 0x80 then Buffer.add_char b (Char.chr n)
+    else begin
+      Buffer.add_char b (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let put_varint b n =
+  if n < 0 then invalid_arg "Codec.put_varint: negative";
+  put_raw b n
+
+(* zig-zag over the full OCaml int range *)
+let put_int b n = put_raw b ((n lsl 1) lxor (n asr 62))
+
+let put_bool b v = Buffer.add_char b (if v then '\001' else '\000')
+
+let put_char b c = Buffer.add_char b c
+
+let put_string b s =
+  put_varint b (String.length s);
+  Buffer.add_string b s
+
+let put_list enc b l =
+  put_varint b (List.length l);
+  List.iter (enc b) l
+
+let put_option enc b = function
+  | None -> put_bool b false
+  | Some v ->
+    put_bool b true;
+    enc b v
+
+let put_pair enc_a enc_b b (x, y) =
+  enc_a b x;
+  enc_b b y
+
+(* ----- decoding ----- *)
+
+let decoder_of_string src = { src; pos = 0 }
+
+let remaining d = String.length d.src - d.pos
+
+let get_byte d =
+  if remaining d < 1 then Error "unexpected end of input"
+  else begin
+    let c = d.src.[d.pos] in
+    d.pos <- d.pos + 1;
+    Ok (Char.code c)
+  end
+
+let max_varint_bytes = 9 (* 63 bits *)
+
+let get_raw d =
+  let rec go acc shift bytes =
+    if bytes > max_varint_bytes then Error "varint too long"
+    else
+      let* byte = get_byte d in
+      let acc = acc lor ((byte land 0x7f) lsl shift) in
+      if byte land 0x80 = 0 then Ok acc else go acc (shift + 7) (bytes + 1)
+  in
+  go 0 0 1
+
+let get_varint d =
+  let* n = get_raw d in
+  if n < 0 then Error "varint overflow" else Ok n
+
+let get_int d =
+  let* zz = get_raw d in
+  Ok ((zz lsr 1) lxor (-(zz land 1)))
+
+let get_bool d =
+  let* byte = get_byte d in
+  match byte with
+  | 0 -> Ok false
+  | 1 -> Ok true
+  | _ -> Error "invalid boolean"
+
+let get_char d =
+  let* byte = get_byte d in
+  Ok (Char.chr byte)
+
+let get_string d =
+  let* len = get_varint d in
+  if len > remaining d then Error "string length exceeds input"
+  else begin
+    let s = String.sub d.src d.pos len in
+    d.pos <- d.pos + len;
+    Ok s
+  end
+
+let get_list get d =
+  let* len = get_varint d in
+  if len > remaining d then Error "list length exceeds input"
+  else
+    let rec go acc n =
+      if n = 0 then Ok (List.rev acc)
+      else
+        let* x = get d in
+        go (x :: acc) (n - 1)
+    in
+    go [] len
+
+let get_option get d =
+  let* present = get_bool d in
+  if not present then Ok None
+  else
+    let* v = get d in
+    Ok (Some v)
+
+let get_pair get_a get_b d =
+  let* a = get_a d in
+  let* b = get_b d in
+  Ok (a, b)
+
+let of_string get s =
+  let d = decoder_of_string s in
+  let* v = get d in
+  if remaining d <> 0 then Error "trailing garbage" else Ok v
+
+(* ----- CRC-32 (IEEE 802.3) ----- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl) in
+      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* ----- framing ----- *)
+
+let magic = "DCE1"
+let format_version = 1
+
+let frame payload =
+  let b = Buffer.create (String.length payload + 16) in
+  Buffer.add_string b magic;
+  put_varint b format_version;
+  put_varint b (String.length payload);
+  let crc = crc32 payload in
+  put_varint b (Int32.to_int (Int32.logand crc 0xFFFFl));
+  put_varint b (Int32.to_int (Int32.shift_right_logical crc 16));
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let unframe s =
+  if String.length s < 4 || String.sub s 0 4 <> magic then Error "bad magic"
+  else begin
+    let d = { src = s; pos = 4 } in
+    let* version = get_varint d in
+    if version <> format_version then
+      Error (Printf.sprintf "unsupported format version %d" version)
+    else
+      let* len = get_varint d in
+      let* crc_lo = get_varint d in
+      let* crc_hi = get_varint d in
+      if len <> remaining d then Error "length mismatch"
+      else begin
+        let payload = String.sub d.src d.pos len in
+        let crc = crc32 payload in
+        if
+          crc_lo = Int32.to_int (Int32.logand crc 0xFFFFl)
+          && crc_hi = Int32.to_int (Int32.shift_right_logical crc 16)
+        then Ok payload
+        else Error "checksum mismatch"
+      end
+  end

@@ -1,0 +1,60 @@
+(** Binary encoding primitives.
+
+    A small, dependency-free codec layer: little-endian varints (LEB128),
+    length-prefixed strings, composites, and a framing header with a
+    CRC-32 checksum.  Encoders write to a [Buffer]; decoders consume a
+    [string] through an explicit cursor and {e never raise} — any
+    malformed, truncated or corrupt input yields [Error] (fuzz-tested in
+    [test/test_wire.ml]), which is what lets network input be parsed
+    without trusting it. *)
+
+type encoder = Buffer.t
+
+type decoder
+
+type 'a result = ('a, string) Stdlib.result
+
+(* {2 Encoding} *)
+
+val to_string : (encoder -> 'a -> unit) -> 'a -> string
+
+val put_varint : encoder -> int -> unit
+(** Non-negative integers only (raises [Invalid_argument] otherwise —
+    an encoding-side programming error, not an input error). *)
+
+val put_int : encoder -> int -> unit
+(** Zig-zag encoded: any OCaml int. *)
+
+val put_bool : encoder -> bool -> unit
+val put_char : encoder -> char -> unit
+val put_string : encoder -> string -> unit
+val put_list : (encoder -> 'a -> unit) -> encoder -> 'a list -> unit
+val put_option : (encoder -> 'a -> unit) -> encoder -> 'a option -> unit
+val put_pair : (encoder -> 'a -> unit) -> (encoder -> 'b -> unit) -> encoder -> 'a * 'b -> unit
+
+(* {2 Decoding} *)
+
+val decoder_of_string : string -> decoder
+val of_string : (decoder -> 'a result) -> string -> 'a result
+(** Runs the decoder and additionally fails on trailing garbage. *)
+
+val get_varint : decoder -> int result
+val get_int : decoder -> int result
+val get_bool : decoder -> bool result
+val get_char : decoder -> char result
+val get_string : decoder -> string result
+val get_list : (decoder -> 'a result) -> decoder -> 'a list result
+val get_option : (decoder -> 'a result) -> decoder -> 'a option result
+val get_pair : (decoder -> 'a result) -> (decoder -> 'b result) -> decoder -> ('a * 'b) result
+
+val ( let* ) : 'a result -> ('a -> 'b result) -> 'b result
+
+(* {2 Framing} *)
+
+val frame : string -> string
+(** Wrap a payload: magic, format version, length, CRC-32, payload. *)
+
+val unframe : string -> string result
+(** Check magic/version/length/checksum and return the payload. *)
+
+val crc32 : string -> int32

@@ -1,0 +1,471 @@
+open Dce_ot
+open Dce_core
+open Codec
+
+type 'e elt_codec = {
+  put : Codec.encoder -> 'e -> unit;
+  get : Codec.decoder -> 'e Codec.result;
+}
+
+let char_codec = { put = put_char; get = get_char }
+let string_codec = { put = put_string; get = get_string }
+
+(* ----- Vclock ----- *)
+
+let put_vclock b c = put_list (put_pair put_varint put_varint) b (Vclock.to_list c)
+
+let get_vclock d =
+  let* l = get_list (get_pair get_varint get_varint) d in
+  Ok (Vclock.of_list l)
+
+(* ----- Op ----- *)
+
+let put_tag b { Op.stamp; site } =
+  put_varint b stamp;
+  put_varint b site
+
+let get_tag d =
+  let* stamp = get_varint d in
+  let* site = get_varint d in
+  Ok { Op.stamp; site }
+
+let put_op ec b = function
+  | Op.Ins { pos; elt; pr } ->
+    put_char b 'I';
+    put_varint b pos;
+    ec.put b elt;
+    put_varint b pr
+  | Op.Del { pos; elt } ->
+    put_char b 'D';
+    put_varint b pos;
+    ec.put b elt
+  | Op.Undel { pos; elt } ->
+    put_char b 'R';
+    put_varint b pos;
+    ec.put b elt
+  | Op.Up { pos; before; after; tag } ->
+    put_char b 'U';
+    put_varint b pos;
+    ec.put b before;
+    ec.put b after;
+    put_tag b tag
+  | Op.Unup { pos; value; tag } ->
+    put_char b 'V';
+    put_varint b pos;
+    ec.put b value;
+    put_tag b tag
+  | Op.Nop -> put_char b 'N'
+
+let get_op ec d =
+  let* kind = get_char d in
+  match kind with
+  | 'I' ->
+    let* pos = get_varint d in
+    let* elt = ec.get d in
+    let* pr = get_varint d in
+    Ok (Op.ins ~pr pos elt)
+  | 'D' ->
+    let* pos = get_varint d in
+    let* elt = ec.get d in
+    Ok (Op.del pos elt)
+  | 'R' ->
+    let* pos = get_varint d in
+    let* elt = ec.get d in
+    Ok (Op.undel pos elt)
+  | 'U' ->
+    let* pos = get_varint d in
+    let* before = ec.get d in
+    let* after = ec.get d in
+    let* tag = get_tag d in
+    Ok (Op.up ~tag pos before after)
+  | 'V' ->
+    let* pos = get_varint d in
+    let* value = ec.get d in
+    let* tag = get_tag d in
+    Ok (Op.unup ~tag pos value)
+  | 'N' -> Ok Op.Nop
+  | c -> Error (Printf.sprintf "unknown operation kind %C" c)
+
+(* ----- Request ----- *)
+
+let put_id b { Request.site; serial } =
+  put_varint b site;
+  put_varint b serial
+
+let get_id d =
+  let* site = get_varint d in
+  let* serial = get_varint d in
+  Ok { Request.site; serial }
+
+let put_flag b f =
+  put_char b
+    (match f with
+     | Request.Tentative -> 'T'
+     | Request.Valid -> 'V'
+     | Request.Invalid -> 'X')
+
+let get_flag d =
+  let* c = get_char d in
+  match c with
+  | 'T' -> Ok Request.Tentative
+  | 'V' -> Ok Request.Valid
+  | 'X' -> Ok Request.Invalid
+  | c -> Error (Printf.sprintf "unknown request flag %C" c)
+
+let put_request ec b (q : _ Request.t) =
+  put_id b q.Request.id;
+  put_option put_id b q.Request.dep;
+  put_op ec b q.Request.op;
+  put_op ec b q.Request.gen_op;
+  put_vclock b q.Request.ctx;
+  put_varint b q.Request.policy_version;
+  put_flag b q.Request.flag
+
+let get_request ec d =
+  let* id = get_id d in
+  let* dep = get_option get_id d in
+  let* op = get_op ec d in
+  let* gen_op = get_op ec d in
+  let* ctx = get_vclock d in
+  let* policy_version = get_varint d in
+  let* flag = get_flag d in
+  let q =
+    Request.make ~site:id.Request.site ~serial:id.Request.serial ?dep ~op ~ctx
+      ~policy_version ~flag ()
+  in
+  Ok { q with Request.gen_op }
+
+(* ----- Policy components ----- *)
+
+let put_subject b = function
+  | Subject.Any -> put_char b 'A'
+  | Subject.User u ->
+    put_char b 'U';
+    put_varint b u
+  | Subject.Group g ->
+    put_char b 'G';
+    put_string b g
+
+let get_subject d =
+  let* c = get_char d in
+  match c with
+  | 'A' -> Ok Subject.Any
+  | 'U' ->
+    let* u = get_varint d in
+    Ok (Subject.User u)
+  | 'G' ->
+    let* g = get_string d in
+    Ok (Subject.Group g)
+  | c -> Error (Printf.sprintf "unknown subject kind %C" c)
+
+let put_docobj b = function
+  | Docobj.Whole -> put_char b 'W'
+  | Docobj.Element p ->
+    put_char b 'E';
+    put_varint b p
+  | Docobj.Zone { lo; hi } ->
+    put_char b 'Z';
+    put_varint b lo;
+    put_varint b hi
+  | Docobj.Named n ->
+    put_char b 'N';
+    put_string b n
+
+let get_docobj d =
+  let* c = get_char d in
+  match c with
+  | 'W' -> Ok Docobj.Whole
+  | 'E' ->
+    let* p = get_varint d in
+    Ok (Docobj.Element p)
+  | 'Z' ->
+    let* lo = get_varint d in
+    let* hi = get_varint d in
+    if lo > hi then Error "invalid zone bounds" else Ok (Docobj.zone lo hi)
+  | 'N' ->
+    let* n = get_string d in
+    Ok (Docobj.Named n)
+  | c -> Error (Printf.sprintf "unknown object kind %C" c)
+
+let put_right b r = put_string b (Right.to_string r)
+
+let get_right d =
+  let* s = get_string d in
+  match Right.of_string s with
+  | Some r -> Ok r
+  | None -> Error (Printf.sprintf "unknown right %S" s)
+
+let put_auth b (a : Auth.t) =
+  put_list put_subject b a.Auth.subjects;
+  put_list put_docobj b a.Auth.objects;
+  put_list put_right b a.Auth.rights;
+  put_bool b (a.Auth.sign = Auth.Positive)
+
+let get_auth d =
+  let* subjects = get_list get_subject d in
+  let* objects = get_list get_docobj d in
+  let* rights = get_list get_right d in
+  let* positive = get_bool d in
+  if subjects = [] || objects = [] || rights = [] then
+    Error "authorization with an empty component"
+  else
+    Ok (Auth.make ~subjects ~objects ~rights (if positive then Auth.Positive else Auth.Negative))
+
+let put_policy b p =
+  put_list put_varint b (Policy.users p);
+  put_list (put_pair put_string (put_list put_varint)) b (Policy.groups p);
+  put_list (put_pair put_string put_docobj) b (Policy.objects p);
+  put_list put_auth b (Policy.auths p)
+
+let get_policy d =
+  let* users = get_list get_varint d in
+  let* groups = get_list (get_pair get_string (get_list get_varint)) d in
+  let* objects = get_list (get_pair get_string get_docobj) d in
+  let* auths = get_list get_auth d in
+  Ok (Policy.make ~users ~groups ~objects auths)
+
+(* ----- Admin ----- *)
+
+let put_admin_op b = function
+  | Admin_op.Add_user u ->
+    put_char b 'u';
+    put_varint b u
+  | Admin_op.Del_user u ->
+    put_char b 'U';
+    put_varint b u
+  | Admin_op.Add_to_group (g, u) ->
+    put_char b 'g';
+    put_string b g;
+    put_varint b u
+  | Admin_op.Del_from_group (g, u) ->
+    put_char b 'G';
+    put_string b g;
+    put_varint b u
+  | Admin_op.Add_obj (n, o) ->
+    put_char b 'o';
+    put_string b n;
+    put_docobj b o
+  | Admin_op.Del_obj n ->
+    put_char b 'O';
+    put_string b n
+  | Admin_op.Add_auth (p, a) ->
+    put_char b 'a';
+    put_varint b p;
+    put_auth b a
+  | Admin_op.Del_auth p ->
+    put_char b 'A';
+    put_varint b p
+  | Admin_op.Validate id ->
+    put_char b 'v';
+    put_id b id
+  | Admin_op.Transfer_admin u ->
+    put_char b 't';
+    put_varint b u
+
+let get_admin_op d =
+  let* c = get_char d in
+  match c with
+  | 'u' ->
+    let* u = get_varint d in
+    Ok (Admin_op.Add_user u)
+  | 'U' ->
+    let* u = get_varint d in
+    Ok (Admin_op.Del_user u)
+  | 'g' ->
+    let* g = get_string d in
+    let* u = get_varint d in
+    Ok (Admin_op.Add_to_group (g, u))
+  | 'G' ->
+    let* g = get_string d in
+    let* u = get_varint d in
+    Ok (Admin_op.Del_from_group (g, u))
+  | 'o' ->
+    let* n = get_string d in
+    let* o = get_docobj d in
+    Ok (Admin_op.Add_obj (n, o))
+  | 'O' ->
+    let* n = get_string d in
+    Ok (Admin_op.Del_obj n)
+  | 'a' ->
+    let* p = get_varint d in
+    let* a = get_auth d in
+    Ok (Admin_op.Add_auth (p, a))
+  | 'A' ->
+    let* p = get_varint d in
+    Ok (Admin_op.Del_auth p)
+  | 'v' ->
+    let* id = get_id d in
+    Ok (Admin_op.Validate id)
+  | 't' ->
+    let* u = get_varint d in
+    Ok (Admin_op.Transfer_admin u)
+  | c -> Error (Printf.sprintf "unknown administrative operation %C" c)
+
+let put_admin_request b (r : Admin_op.request) =
+  put_varint b r.Admin_op.admin;
+  put_varint b r.Admin_op.version;
+  put_admin_op b r.Admin_op.op;
+  put_vclock b r.Admin_op.ctx
+
+let get_admin_request d =
+  let* admin = get_varint d in
+  let* version = get_varint d in
+  let* op = get_admin_op d in
+  let* ctx = get_vclock d in
+  Ok { Admin_op.admin; version; op; ctx }
+
+(* ----- Messages ----- *)
+
+let put_message ec b = function
+  | Controller.Coop q ->
+    put_char b 'C';
+    put_request ec b q
+  | Controller.Admin r ->
+    put_char b 'M';
+    put_admin_request b r
+
+let get_message ec d =
+  let* c = get_char d in
+  match c with
+  | 'C' ->
+    let* q = get_request ec d in
+    Ok (Controller.Coop q)
+  | 'M' ->
+    let* r = get_admin_request d in
+    Ok (Controller.Admin r)
+  | c -> Error (Printf.sprintf "unknown message kind %C" c)
+
+let encode_message ec m = frame (to_string (put_message ec) m)
+
+let decode_message ec s =
+  let* payload = unframe s in
+  of_string (get_message ec) payload
+
+(* ----- Controller state ----- *)
+
+let put_write ec b (w : _ Tdoc.write) =
+  put_tag b w.Tdoc.wtag;
+  ec.put b w.Tdoc.value;
+  put_varint b w.Tdoc.retracted
+
+let get_write ec d =
+  let* wtag = get_tag d in
+  let* value = ec.get d in
+  let* retracted = get_varint d in
+  Ok { Tdoc.wtag; value; retracted }
+
+let put_cell ec b (c : _ Tdoc.cell) =
+  ec.put b c.Tdoc.elt;
+  put_list (put_write ec) b c.Tdoc.writes;
+  put_varint b c.Tdoc.hidden
+
+let get_cell ec d =
+  let* elt = ec.get d in
+  let* writes = get_list (get_write ec) d in
+  let* hidden = get_varint d in
+  Ok { Tdoc.elt; writes; hidden }
+
+let put_entry ec b (e : _ Oplog.entry) =
+  (match e.Oplog.role with
+   | Oplog.Normal -> put_char b 'n'
+   | Oplog.Canceller id ->
+     put_char b 'c';
+     put_id b id);
+  put_request ec b e.Oplog.req
+
+let get_entry ec d =
+  let* c = get_char d in
+  let* role =
+    match c with
+    | 'n' -> Ok Oplog.Normal
+    | 'c' ->
+      let* id = get_id d in
+      Ok (Oplog.Canceller id)
+    | c -> Error (Printf.sprintf "unknown log entry role %C" c)
+  in
+  let* req = get_request ec d in
+  Ok { Oplog.role; req }
+
+let put_features b (f : Controller.features) =
+  put_bool b f.Controller.retroactive_undo;
+  put_bool b f.Controller.interval_check;
+  put_bool b f.Controller.validation
+
+let get_features d =
+  let* retroactive_undo = get_bool d in
+  let* interval_check = get_bool d in
+  let* validation = get_bool d in
+  Ok { Controller.retroactive_undo; interval_check; validation }
+
+let put_state ec b (s : _ Controller.state) =
+  put_varint b s.Controller.st_site;
+  put_features b s.Controller.st_features;
+  put_list (put_cell ec) b s.Controller.st_doc;
+  put_list (put_entry ec) b s.Controller.st_oplog;
+  put_vclock b s.Controller.st_compacted;
+  put_vclock b s.Controller.st_clock;
+  put_varint b s.Controller.st_serial;
+  put_policy b s.Controller.st_initial_policy;
+  put_varint b s.Controller.st_initial_admin;
+  put_list put_admin_request b s.Controller.st_admin_requests;
+  put_list (put_request ec) b s.Controller.st_coop_queue;
+  put_list put_admin_request b s.Controller.st_admin_queue
+
+let get_state ec d =
+  let* st_site = get_varint d in
+  let* st_features = get_features d in
+  let* st_doc = get_list (get_cell ec) d in
+  let* st_oplog = get_list (get_entry ec) d in
+  let* st_compacted = get_vclock d in
+  let* st_clock = get_vclock d in
+  let* st_serial = get_varint d in
+  let* st_initial_policy = get_policy d in
+  let* st_initial_admin = get_varint d in
+  let* st_admin_requests = get_list get_admin_request d in
+  let* st_coop_queue = get_list (get_request ec) d in
+  let* st_admin_queue = get_list get_admin_request d in
+  Ok
+    {
+      Controller.st_site;
+      st_features;
+      st_doc;
+      st_oplog;
+      st_compacted;
+      st_clock;
+      st_serial;
+      st_initial_policy;
+      st_initial_admin;
+      st_admin_requests;
+      st_coop_queue;
+      st_admin_queue;
+    }
+
+let encode_state ec s = frame (to_string (put_state ec) s)
+
+let decode_state ec s =
+  let* payload = unframe s in
+  of_string (get_state ec) payload
+
+module Char_proto = struct
+  let encode_message = encode_message char_codec
+  let decode_message = decode_message char_codec
+  let encode_state = encode_state char_codec
+  let decode_state = decode_state char_codec
+
+  let save path c =
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (encode_state (Controller.dump c)))
+
+  let restore path =
+    let ic = open_in_bin path in
+    let data =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match decode_state data with
+    | Error _ as e -> e
+    | Ok state -> Controller.load ~eq:Char.equal state
+end

@@ -1,0 +1,62 @@
+(** Wire format for every message and state the system exchanges.
+
+    Serializers are parameterized by an element codec, so any element
+    type a deployment instantiates the editor with (characters,
+    paragraphs, XML nodes…) can go on the wire; {!Char_proto} is the
+    ready-made character instance the examples and tools use.
+
+    Every [decode_*] goes through {!Codec.unframe} (magic, version,
+    checksum) and the never-raising decoding layer, then through the
+    domain constructors' own validation — so a hostile byte string can be
+    fed to them directly.  [Controller.load] additionally replays the
+    administrative history, rejecting tampered policies. *)
+
+open Dce_ot
+open Dce_core
+
+type 'e elt_codec = {
+  put : Codec.encoder -> 'e -> unit;
+  get : Codec.decoder -> 'e Codec.result;
+}
+
+val char_codec : char elt_codec
+val string_codec : string elt_codec
+
+(* {2 Unframed component codecs (composable)} *)
+
+val put_vclock : Codec.encoder -> Vclock.t -> unit
+val get_vclock : Codec.decoder -> Vclock.t Codec.result
+
+val put_op : 'e elt_codec -> Codec.encoder -> 'e Op.t -> unit
+val get_op : 'e elt_codec -> Codec.decoder -> 'e Op.t Codec.result
+
+val put_request : 'e elt_codec -> Codec.encoder -> 'e Request.t -> unit
+val get_request : 'e elt_codec -> Codec.decoder -> 'e Request.t Codec.result
+
+val put_policy : Codec.encoder -> Policy.t -> unit
+val get_policy : Codec.decoder -> Policy.t Codec.result
+
+val put_admin_request : Codec.encoder -> Admin_op.request -> unit
+val get_admin_request : Codec.decoder -> Admin_op.request Codec.result
+
+(* {2 Framed top-level encodings} *)
+
+val encode_message : 'e elt_codec -> 'e Controller.message -> string
+val decode_message : 'e elt_codec -> string -> 'e Controller.message Codec.result
+
+val encode_state : 'e elt_codec -> 'e Controller.state -> string
+val decode_state : 'e elt_codec -> string -> 'e Controller.state Codec.result
+
+(** Character documents, the common instantiation. *)
+module Char_proto : sig
+  val encode_message : char Controller.message -> string
+  val decode_message : string -> char Controller.message Codec.result
+  val encode_state : char Controller.state -> string
+  val decode_state : string -> char Controller.state Codec.result
+
+  val save : string -> char Controller.t -> unit
+  (** Write a controller snapshot to a file. *)
+
+  val restore : string -> (char Controller.t, string) result
+  (** Read a controller back ({!Controller.load} validation included). *)
+end

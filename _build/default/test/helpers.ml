@@ -1,0 +1,145 @@
+(* Shared test utilities: generators for tombstone documents, operations
+   and multi-site scenarios, plus Alcotest testables. *)
+
+open Dce_ot
+
+let op_testable = Alcotest.testable (Op.pp Fmt.char) (Op.equal Char.equal)
+
+let tdoc_testable = Alcotest.testable (Tdoc.pp Fmt.char) (Tdoc.equal_model Char.equal)
+
+let tdoc_visible_testable =
+  Alcotest.testable (Tdoc.pp Fmt.char) (Tdoc.equal_visible Char.equal)
+
+(* ----- QCheck generators ----- *)
+
+let gen_char = QCheck2.Gen.char_range 'a' 'z'
+
+(* write tags must be unique per generated update *)
+let stamp_counter = ref 0
+
+let fresh_tag pr =
+  incr stamp_counter;
+  { Op.stamp = !stamp_counter; site = pr }
+
+(* A tombstone document with a sprinkling of hidden cells, as arises after
+   some editing. *)
+let gen_tdoc =
+  let open QCheck2.Gen in
+  list_size (int_range 0 12) (pair gen_char (int_range 0 2))
+  >|= fun cells ->
+  Tdoc.apply_all
+    (Tdoc.of_list (List.map fst cells))
+    (List.concat
+       (List.mapi
+          (fun i (c, hide) -> List.init hide (fun _ -> Op.del i c))
+          cells))
+
+(* A random operation valid on the model of [doc], issued with priority
+   [pr].  Covers insertions anywhere, deletions of any cell (hidden cells
+   included: hide counts stack), updates of any cell, and un-deletions of
+   hidden cells. *)
+let gen_valid_op ~pr doc =
+  let open QCheck2.Gen in
+  let n = Tdoc.model_length doc in
+  let ins = map2 (fun p e -> Op.ins ~pr p e) (int_range 0 n) gen_char in
+  if n = 0 then ins
+  else
+    let hidden =
+      List.filter (fun i -> (Tdoc.cell doc i).Tdoc.hidden > 0) (List.init n Fun.id)
+    in
+    let cell_op =
+      int_range 0 (n - 1) >>= fun p ->
+      let elt = (Tdoc.cell doc p).Tdoc.elt in
+      frequency
+        [ (2, return (Op.del p elt)); (2, map (fun e -> Op.up ~tag:(fresh_tag pr) p elt e) gen_char) ]
+    in
+    let cases = [ (3, ins); (4, cell_op) ] in
+    let cases =
+      match hidden with
+      | [] -> cases
+      | _ ->
+        ( 1,
+          oneofl hidden >|= fun p -> Op.undel p (Tdoc.cell doc p).Tdoc.elt )
+        :: cases
+    in
+    frequency cases
+
+(* Operations a user can actually issue: Ins/Del/Up (Undel and Unup are
+   system-only inverses).  Request histories must use this generator. *)
+let gen_user_op ~pr doc =
+  let open QCheck2.Gen in
+  let n = Tdoc.model_length doc in
+  let ins = map2 (fun p e -> Op.ins ~pr p e) (int_range 0 n) gen_char in
+  if n = 0 then ins
+  else
+    let cell_op =
+      int_range 0 (n - 1) >>= fun p ->
+      let c = Tdoc.cell doc p in
+      frequency
+        [ (2, return (Op.del p c.Tdoc.elt));
+          (2, map (fun e -> Op.up ~tag:(fresh_tag pr) p (Tdoc.content c) e) gen_char) ]
+    in
+    frequency [ (3, ins); (4, cell_op) ]
+
+(* A non-insertion operation on a non-empty model: what Canonize moves
+   insertions across. *)
+let gen_valid_non_ins_op ~pr doc =
+  let open QCheck2.Gen in
+  let n = Tdoc.model_length doc in
+  assert (n > 0);
+  int_range 0 (n - 1) >>= fun p ->
+  let c = Tdoc.cell doc p in
+  let base =
+    [ (2, return (Op.del p c.Tdoc.elt));
+      (2, map (fun e -> Op.up ~tag:(fresh_tag pr) p (Tdoc.content c) e) gen_char) ]
+  in
+  let cases =
+    if c.Tdoc.hidden > 0 then (1, return (Op.undel p c.Tdoc.elt)) :: base else base
+  in
+  frequency cases
+
+(* Two concurrent [Undel]s of the same cell cannot arise in the protocol
+   (each request is cancelled by exactly one administrative cut), so
+   generated concurrent sets exclude them. *)
+let compatible ops =
+  let undel_pos =
+    List.filter_map (function Op.Undel { pos; _ } -> Some pos | _ -> None) ops
+  in
+  List.length undel_pos = List.length (List.sort_uniq compare undel_pos)
+
+(* A document together with concurrent ops on it, from distinct sites. *)
+let gen_doc_two_ops =
+  let open QCheck2.Gen in
+  let rec gen () =
+    gen_tdoc >>= fun doc ->
+    gen_valid_op ~pr:1 doc >>= fun o1 ->
+    gen_valid_op ~pr:2 doc >>= fun o2 ->
+    if compatible [ o1; o2 ] then return (doc, o1, o2) else gen ()
+  in
+  gen ()
+
+let gen_doc_three_ops =
+  let open QCheck2.Gen in
+  let rec gen () =
+    gen_tdoc >>= fun doc ->
+    gen_valid_op ~pr:1 doc >>= fun o1 ->
+    gen_valid_op ~pr:2 doc >>= fun o2 ->
+    gen_valid_op ~pr:3 doc >>= fun o3 ->
+    if compatible [ o1; o2; o3 ] then return (doc, o1, o2, o3) else gen ()
+  in
+  gen ()
+
+let pp_char_op = Op.pp Fmt.char
+
+let show_tdoc d = Format.asprintf "%a" (Tdoc.pp Fmt.char) d
+
+let print_doc_two_ops (doc, o1, o2) =
+  Format.asprintf "doc=%s o1=%a o2=%a" (show_tdoc doc) pp_char_op o1 pp_char_op o2
+
+let print_doc_three_ops (doc, o1, o2, o3) =
+  Format.asprintf "doc=%s o1=%a o2=%a o3=%a" (show_tdoc doc) pp_char_op o1 pp_char_op o2
+    pp_char_op o3
+
+(* Run a qcheck property as an alcotest case. *)
+let qtest ?(count = 1000) name gen print prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ~print gen prop)

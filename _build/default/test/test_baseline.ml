@@ -1,0 +1,211 @@
+(* Tests for the baselines: the positional transformation's TP2 failure
+   (why the substrate choice matters), the cost-model baselines'
+   behaviour, the central-lock latency model, and the naive-controller
+   ablations reproducing the paper's security holes. *)
+
+open Dce_ot
+open Dce_core
+open Dce_baseline
+
+(* ----- positional transformation ----- *)
+
+let positional_tests =
+  [
+    Alcotest.test_case "TP1 holds on the paper's Fig.1 pair" `Quick (fun () ->
+        let doc = Document.Str.of_string "efecte" in
+        let o1 = Op.ins ~pr:1 1 'f' and o2 = Op.del 5 'e' in
+        let left = Document.Str.apply (Document.Str.apply doc o1) (Positional.it o2 o1) in
+        let right = Document.Str.apply (Document.Str.apply doc o2) (Positional.it o1 o2) in
+        Alcotest.(check string) "converge" "effect" (Document.Str.to_string left);
+        Alcotest.(check string) "same" (Document.Str.to_string left)
+          (Document.Str.to_string right));
+    Alcotest.test_case "TP2 counterexample exists (the dOPT puzzle)" `Quick (fun () ->
+        match Positional.tp2_counterexample () with
+        | None -> Alcotest.fail "positional rules unexpectedly satisfy TP2"
+        | Some (_, o1, o2, o3) ->
+          let via12 = Positional.it_list o3 [ o1; Positional.it o2 o1 ] in
+          let via21 = Positional.it_list o3 [ o2; Positional.it o1 o2 ] in
+          Alcotest.(check bool) "really violates" false
+            (Op.equal Char.equal via12 via21));
+    Alcotest.test_case "tombstone rules pass the same exhaustive search" `Quick
+      (fun () ->
+        (* the same small search space that breaks the positional rules
+           finds nothing against the tombstone rules *)
+        let docs = [ "ab"; "abc" ] in
+        let ops doc =
+          let n = String.length doc in
+          List.concat_map (fun p -> [ `I (p, 'x'); `I (p, 'y') ]) (List.init (n + 1) Fun.id)
+          @ List.map (fun p -> `D p) (List.init n Fun.id)
+        in
+        let realize doc pr = function
+          | `I (p, c) -> Op.ins ~pr p c
+          | `D p -> Op.del p doc.[p]
+        in
+        List.iter
+          (fun doc ->
+            let all = ops doc in
+            List.iter
+              (fun s1 ->
+                List.iter
+                  (fun s2 ->
+                    List.iter
+                      (fun s3 ->
+                        let o1 = realize doc 1 s1
+                        and o2 = realize doc 2 s2
+                        and o3 = realize doc 3 s3 in
+                        let via12 = Transform.it_list o3 [ o1; Transform.it o2 o1 ] in
+                        let via21 = Transform.it_list o3 [ o2; Transform.it o1 o2 ] in
+                        if not (Op.equal Char.equal via12 via21) then
+                          Alcotest.failf "tombstone TP2 violated on %S" doc)
+                      all)
+                  all)
+              all)
+          docs);
+  ]
+
+(* ----- SDT-like / ABT-like ----- *)
+
+let exchange_two generate_receive =
+  (* two sites, two concurrent edits, full exchange *)
+  generate_receive ()
+
+let sdt_tests =
+  [
+    Alcotest.test_case "two concurrent edits converge" `Quick (fun () ->
+        exchange_two (fun () ->
+            let a = Sdt_like.create ~site:1 "abc" in
+            let b = Sdt_like.create ~site:2 "abc" in
+            let a, qa = Sdt_like.generate a (Op.ins 0 'x') in
+            let b, qb = Sdt_like.generate b (Op.ins 3 'z') in
+            let a = Sdt_like.receive a qb in
+            let b = Sdt_like.receive b qa in
+            Alcotest.(check string) "a" "xabcz" (Sdt_like.text a);
+            Alcotest.(check string) "b" (Sdt_like.text a) (Sdt_like.text b)));
+    Alcotest.test_case "duplicate delivery ignored" `Quick (fun () ->
+        let a = Sdt_like.create ~site:1 "abc" in
+        let b = Sdt_like.create ~site:2 "abc" in
+        let _, qa = Sdt_like.generate a (Op.ins 0 'x') in
+        let b = Sdt_like.receive b qa in
+        let b = Sdt_like.receive b qa in
+        Alcotest.(check string) "once" "xabc" (Sdt_like.text b);
+        Alcotest.(check int) "log" 1 (Sdt_like.log_length b));
+    Alcotest.test_case "sequential edits replay in causal order" `Quick (fun () ->
+        let a = Sdt_like.create ~site:1 "" in
+        let b = Sdt_like.create ~site:2 "" in
+        let a, q1 = Sdt_like.generate a (Op.ins 0 'h') in
+        let a, q2 = Sdt_like.generate a (Op.ins 1 'i') in
+        let b = Sdt_like.receive (Sdt_like.receive b q1) q2 in
+        Alcotest.(check string) "hi" "hi" (Sdt_like.text b);
+        Alcotest.(check string) "same" (Sdt_like.text a) (Sdt_like.text b));
+  ]
+
+let abt_tests =
+  [
+    Alcotest.test_case "two concurrent edits converge" `Quick (fun () ->
+        let a = Abt_like.create ~site:1 "abc" in
+        let b = Abt_like.create ~site:2 "abc" in
+        let a, qa = Abt_like.generate a (Op.ins 0 'x') in
+        let b, qb = Abt_like.generate b (Op.del 2 'c') in
+        let a = Abt_like.receive a qb in
+        let b = Abt_like.receive b qa in
+        Alcotest.(check string) "a" "xab" (Abt_like.text a);
+        Alcotest.(check string) "b" (Abt_like.text a) (Abt_like.text b));
+    Alcotest.test_case "log is kept canonical" `Quick (fun () ->
+        let a = Abt_like.create ~site:1 "abcdef" in
+        let a, _ = Abt_like.generate a (Op.del 1 'b') in
+        let a, _ = Abt_like.generate a (Op.ins 0 'x') in
+        let a, _ = Abt_like.generate a (Op.del 3 'd') in
+        let a, _ = Abt_like.generate a (Op.ins 1 'y') in
+        Alcotest.(check int) "log length" 4 (Abt_like.log_length a);
+        Alcotest.(check string) "text" "xyacef" (Abt_like.text a));
+  ]
+
+(* ----- central lock ----- *)
+
+let central_tests =
+  [
+    Alcotest.test_case "response time floor is rtt + check" `Quick (fun () ->
+        let cfg =
+          {
+            Central_lock.clients = 1;
+            rtt = 100;
+            check_cost = 5;
+            op_interval = (200, 400);
+            duration = 10_000;
+          }
+        in
+        let s = Central_lock.simulate cfg ~seed:1 in
+        Alcotest.(check bool) "ops happened" true (s.Central_lock.operations > 0);
+        Alcotest.(check bool) "mean >= floor" true (s.Central_lock.mean_response >= 105.));
+    Alcotest.test_case "contention grows response times" `Quick (fun () ->
+        let base =
+          {
+            Central_lock.clients = 2;
+            rtt = 80;
+            check_cost = 10;
+            op_interval = (50, 150);
+            duration = 20_000;
+          }
+        in
+        let light = Central_lock.simulate base ~seed:3 in
+        let heavy = Central_lock.simulate { base with clients = 40 } ~seed:3 in
+        Alcotest.(check bool) "heavier is slower" true
+          (heavy.Central_lock.mean_response > light.Central_lock.mean_response);
+        Alcotest.(check bool) "server saturates" true
+          (heavy.Central_lock.server_utilization > light.Central_lock.server_utilization));
+    Alcotest.test_case "deterministic for a seed" `Quick (fun () ->
+        let cfg =
+          {
+            Central_lock.clients = 5;
+            rtt = 60;
+            check_cost = 3;
+            op_interval = (40, 200);
+            duration = 5_000;
+          }
+        in
+        Alcotest.(check bool) "equal" true
+          (Central_lock.simulate cfg ~seed:9 = Central_lock.simulate cfg ~seed:9));
+  ]
+
+(* ----- naive controller ablations (the paper's holes) ----- *)
+
+let secure = Controller.secure
+
+let naive_tests =
+  [
+    Alcotest.test_case "secure controller closes all three holes" `Quick (fun () ->
+        List.iter
+          (fun f ->
+            let r = f secure in
+            if Naive.holes r then
+              Alcotest.failf "unexpected hole:@.%a" Naive.pp r)
+          [ Naive.fig2; Naive.fig3; Naive.fig4 ]);
+    Alcotest.test_case "no retroactive undo -> Fig.2 hole" `Quick (fun () ->
+        let r = Naive.fig2 { secure with Controller.retroactive_undo = false } in
+        Alcotest.(check bool) "diverged" true r.Naive.diverged;
+        Alcotest.(check bool) "illegal effect" true r.Naive.illegal_effect_somewhere);
+    Alcotest.test_case "no interval check -> Fig.3 hole" `Quick (fun () ->
+        let r = Naive.fig3 { secure with Controller.interval_check = false } in
+        Alcotest.(check bool) "hole" true (Naive.holes r));
+    Alcotest.test_case "no validation -> Fig.4 hole (legal edit rejected)" `Quick
+      (fun () ->
+        let r = Naive.fig4 { secure with Controller.validation = false } in
+        Alcotest.(check bool) "legal rejected" true r.Naive.legal_rejected);
+    Alcotest.test_case "fully naive controller is broken on all three" `Quick (fun () ->
+        List.iter
+          (fun f ->
+            let r = f Controller.naive in
+            if not (Naive.holes r) then
+              Alcotest.failf "expected a hole:@.%a" Naive.pp r)
+          [ Naive.fig2; Naive.fig3; Naive.fig4 ]);
+  ]
+
+let () =
+  Alcotest.run "dce_baseline"
+    [
+      ("positional", positional_tests);
+      ("sdt_like", sdt_tests);
+      ("abt_like", abt_tests);
+      ("central_lock", central_tests);
+      ("naive", naive_tests);
+    ]

@@ -1,0 +1,685 @@
+(* Tests for the OT substrate: operations, documents, transformation
+   (TP1/TP2/inversion), logs, undo, and multi-site convergence of the
+   plain engine. *)
+
+open Dce_ot
+open Helpers
+
+(* ----- Op ----- *)
+
+let test_inverse_cancels =
+  qtest "inverse cancels the operation (visible projection)" ~count:500
+    QCheck2.Gen.(gen_tdoc >>= fun d -> gen_valid_op ~pr:1 d >>= fun o -> return (d, o))
+    (fun (d, o) -> Format.asprintf "doc=%s op=%a" (show_tdoc d) pp_char_op o)
+    (fun (doc, o) ->
+      let doc' = Tdoc.apply doc o in
+      Tdoc.equal_visible Char.equal doc (Tdoc.apply doc' (Op.inverse o)))
+
+let op_unit_tests =
+  [
+    Alcotest.test_case "ins builds" `Quick (fun () ->
+        Alcotest.check op_testable "ins" (Op.Ins { pos = 2; elt = 'x'; pr = 1 })
+          (Op.ins ~pr:1 2 'x'));
+    Alcotest.test_case "negative position rejected" `Quick (fun () ->
+        Alcotest.check_raises "ins" (Invalid_argument "Op.ins: negative position")
+          (fun () -> ignore (Op.ins (-1) 'x')));
+    Alcotest.test_case "inverse of up retracts its write" `Quick (fun () ->
+        let tag = { Op.stamp = 4; site = 3 } in
+        Alcotest.check op_testable "inv" (Op.unup ~tag 1 'b')
+          (Op.inverse (Op.up ~tag 1 'a' 'b'));
+        Alcotest.check op_testable "inv inv re-adds" (Op.up ~tag 1 'b' 'b')
+          (Op.inverse (Op.unup ~tag 1 'b')));
+    Alcotest.test_case "inverse of ins hides, of del shows" `Quick (fun () ->
+        Alcotest.check op_testable "ins" (Op.del 4 'z') (Op.inverse (Op.ins 4 'z'));
+        Alcotest.check op_testable "del" (Op.undel 4 'z') (Op.inverse (Op.del 4 'z'));
+        Alcotest.check op_testable "undel" (Op.del 4 'z') (Op.inverse (Op.undel 4 'z')));
+    Alcotest.test_case "nop predicates" `Quick (fun () ->
+        Alcotest.(check bool) "is_nop" true (Op.is_nop Op.Nop);
+        Alcotest.(check bool) "pos none" true (Op.pos Op.Nop = None));
+    Alcotest.test_case "with_stamp" `Quick (fun () ->
+        (match Op.with_stamp ~site:7 ~stamp:9 (Op.ins 0 'a') with
+         | Op.Ins { pr; _ } -> Alcotest.(check int) "ins pr" 7 pr
+         | _ -> Alcotest.fail "ins expected");
+        (match Op.with_stamp ~site:7 ~stamp:9 (Op.up 0 'a' 'b') with
+         | Op.Up { tag; _ } ->
+           Alcotest.(check int) "stamp" 9 tag.Op.stamp;
+           Alcotest.(check int) "site" 7 tag.Op.site
+         | _ -> Alcotest.fail "up expected");
+        Alcotest.check op_testable "del unchanged" (Op.del 0 'a')
+          (Op.with_stamp ~site:7 ~stamp:9 (Op.del 0 'a')));
+  ]
+
+(* ----- Tdoc ----- *)
+
+let tdoc_unit_tests =
+  [
+    Alcotest.test_case "of_string / visible_string roundtrip" `Quick (fun () ->
+        Alcotest.(check string) "roundtrip" "hello"
+          (Tdoc.visible_string (Tdoc.of_string "hello")));
+    Alcotest.test_case "del hides instead of removing" `Quick (fun () ->
+        let d = Tdoc.apply (Tdoc.of_string "abc") (Op.del 1 'b') in
+        Alcotest.(check string) "visible" "ac" (Tdoc.visible_string d);
+        Alcotest.(check int) "model keeps the cell" 3 (Tdoc.model_length d);
+        Alcotest.(check int) "hidden" 1 (Tdoc.cell d 1).Tdoc.hidden);
+    Alcotest.test_case "undel restores" `Quick (fun () ->
+        let d = Tdoc.apply (Tdoc.of_string "abc") (Op.del 1 'b') in
+        let d = Tdoc.apply d (Op.undel 1 'b') in
+        Alcotest.(check string) "visible" "abc" (Tdoc.visible_string d));
+    Alcotest.test_case "stacked deletions need as many undels" `Quick (fun () ->
+        let d = Tdoc.of_string "x" in
+        let d = Tdoc.apply d (Op.del 0 'x') in
+        let d = Tdoc.apply d (Op.del 0 'x') in
+        let d = Tdoc.apply d (Op.undel 0 'x') in
+        Alcotest.(check string) "still hidden" "" (Tdoc.visible_string d);
+        let d = Tdoc.apply d (Op.undel 0 'x') in
+        Alcotest.(check string) "restored" "x" (Tdoc.visible_string d));
+    Alcotest.test_case "undel of a visible cell rejected" `Quick (fun () ->
+        (try
+           ignore (Tdoc.apply (Tdoc.of_string "a") (Op.undel 0 'a'));
+           Alcotest.fail "expected Invalid_argument"
+         with Invalid_argument _ -> ()));
+    Alcotest.test_case "element expectation checked" `Quick (fun () ->
+        (try
+           ignore (Tdoc.apply (Tdoc.of_string "abc") (Op.del 1 'z'));
+           Alcotest.fail "expected Edit_conflict"
+         with Document.Edit_conflict _ -> ()));
+    Alcotest.test_case "visible coordinates skip tombstones" `Quick (fun () ->
+        let d = Tdoc.apply (Tdoc.of_string "abc") (Op.del 0 'a') in
+        (* visible "bc"; visible pos 1 is 'c' at model pos 2 *)
+        Alcotest.(check int) "model_of_visible" 2 (Tdoc.model_of_visible d 1);
+        Alcotest.check op_testable "del_visible" (Op.del 2 'c') (Tdoc.del_visible d 1);
+        let tag = { Op.stamp = 1; site = 9 } in
+        Alcotest.check op_testable "up_visible" (Op.up ~tag 2 'c' 'X')
+          (Tdoc.up_visible ~tag d 1 'X');
+        Alcotest.(check int) "visible_of_model" 1 (Tdoc.visible_of_model d 2));
+    Alcotest.test_case "insertion at the end lands after trailing cells" `Quick
+      (fun () ->
+        let d = Tdoc.apply (Tdoc.of_string "ab") (Op.del 1 'b') in
+        Alcotest.check op_testable "append" (Op.ins ~pr:1 2 'z')
+          (Tdoc.ins_visible ~pr:1 d 1 'z'));
+    Alcotest.test_case "up rewrites content in place" `Quick (fun () ->
+        let d = Tdoc.apply (Tdoc.of_string "abc") (Op.up 2 'c' 'C') in
+        Alcotest.(check string) "visible" "abC" (Tdoc.visible_string d));
+  ]
+
+(* ----- plain Document (positional; used by baselines) ----- *)
+
+let doc_unit_tests =
+  let open Document in
+  let string_doc = Str.of_string and doc_string = Str.to_string in
+  [
+    Alcotest.test_case "apply ins/del/up" `Quick (fun () ->
+        let d = string_doc "abc" in
+        Alcotest.(check string) "ins" "axbc" (doc_string (Str.apply d (Op.ins 1 'x')));
+        Alcotest.(check string) "del" "ac" (doc_string (Str.apply d (Op.del 1 'b')));
+        Alcotest.(check string) "up" "aXc" (doc_string (Str.apply d (Op.up 1 'b' 'X')));
+        Alcotest.(check string) "nop" "abc" (doc_string (Str.apply d Op.Nop)));
+    Alcotest.test_case "del checks expected element" `Quick (fun () ->
+        (try
+           ignore (Str.apply (string_doc "abc") (Op.del 1 'z'));
+           Alcotest.fail "expected Edit_conflict"
+         with Edit_conflict _ -> ()));
+    Alcotest.test_case "out of bounds" `Quick (fun () ->
+        (try
+           ignore (Str.apply (string_doc "ab") (Op.ins 5 'x'));
+           Alcotest.fail "expected Invalid_argument"
+         with Invalid_argument _ -> ()));
+    Alcotest.test_case "gap buffer grows" `Quick (fun () ->
+        let d = ref (Gap_doc.empty ()) in
+        for i = 0 to 99 do
+          d := Gap_doc.apply !d (Op.ins i 'x')
+        done;
+        Alcotest.(check int) "length" 100 (Gap_doc.length !d));
+    Alcotest.test_case "gap buffer edits far apart" `Quick (fun () ->
+        let d = Gap_doc.of_list (List.init 50 (fun i -> Char.chr (97 + (i mod 26)))) in
+        let d = Gap_doc.apply d (Op.ins 0 'A') in
+        let d = Gap_doc.apply d (Op.ins 51 'Z') in
+        let d = Gap_doc.apply d (Op.del 25 (Gap_doc.get d 25)) in
+        Alcotest.(check int) "length" 51 (Gap_doc.length d);
+        Alcotest.(check char) "front" 'A' (Gap_doc.get d 0);
+        Alcotest.(check char) "back" 'Z' (Gap_doc.get d 50));
+  ]
+
+let test_doc_impl_equivalence =
+  qtest "gap buffer agrees with array document" ~count:500
+    QCheck2.Gen.(
+      let gen_plain =
+        map
+          (fun s -> Document.Str.of_string s)
+          (string_size ~gen:gen_char (int_range 0 12))
+      in
+      let gen_plain_op d =
+        let n = Document.Array_doc.length d in
+        let ins = map2 (fun p e -> Op.ins p e) (int_range 0 n) gen_char in
+        if n = 0 then ins
+        else
+          oneof
+            [
+              ins;
+              (int_range 0 (n - 1) >|= fun p -> Op.del p (Document.Array_doc.get d p));
+              ( pair (int_range 0 (n - 1)) gen_char >|= fun (p, e) ->
+                Op.up p (Document.Array_doc.get d p) e );
+            ]
+      in
+      gen_plain >>= fun d ->
+      let rec ops_on d acc n =
+        if n = 0 then return (List.rev acc)
+        else
+          gen_plain_op d >>= fun o ->
+          ops_on (Document.Str.apply d o) (o :: acc) (n - 1)
+      in
+      int_range 0 20 >>= fun n ->
+      ops_on d [] n >>= fun ops -> return (d, ops))
+    (fun (d, ops) ->
+      Format.asprintf "doc=%S ops=[%a]" (Document.Str.to_string d)
+        (Format.pp_print_list pp_char_op) ops)
+    (fun (doc, ops) ->
+      let arr = Document.Array_doc.apply_all ~eq:Char.equal doc ops in
+      let gap =
+        Document.Gap_doc.apply_all ~eq:Char.equal
+          (Document.Gap_doc.of_list (Document.Array_doc.to_list doc))
+          ops
+      in
+      Document.Array_doc.to_list arr = Document.Gap_doc.to_list gap)
+
+(* ----- Transform ----- *)
+
+(* TP1: both execution orders of two concurrent operations converge (on
+   the full model, not just the visible projection). *)
+let test_tp1 =
+  qtest "TP1 convergence" ~count:5000 gen_doc_two_ops print_doc_two_ops
+    (fun (doc, o1, o2) ->
+      let left = Tdoc.apply (Tdoc.apply doc o1) (Transform.it o2 o1) in
+      let right = Tdoc.apply (Tdoc.apply doc o2) (Transform.it o1 o2) in
+      Tdoc.equal_model Char.equal left right)
+
+(* TP2: transforming against the two equivalent orders of a concurrent
+   pair yields the same operation.  This is the property positional OT
+   cannot have and the tombstone rules do. *)
+let test_tp2 =
+  qtest "TP2" ~count:5000 gen_doc_three_ops print_doc_three_ops
+    (fun (_, o1, o2, o3) ->
+      let via12 = Transform.it_list o3 [ o1; Transform.it o2 o1 ] in
+      let via21 = Transform.it_list o3 [ o2; Transform.it o1 o2 ] in
+      Op.equal Char.equal via12 via21)
+
+(* Three concurrent operations converge under all six integration
+   orders. *)
+let test_three_way_convergence =
+  qtest "3 concurrent ops converge in all orders" ~count:3000 gen_doc_three_ops
+    print_doc_three_ops
+    (fun (doc, o1, o2, o3) ->
+      let integrate doc ops =
+        List.fold_left
+          (fun (doc, done_) o ->
+            let o' = Transform.it_list o done_ in
+            (Tdoc.apply doc o', done_ @ [ o' ]))
+          (doc, []) ops
+        |> fst
+      in
+      let perms =
+        [ [o1;o2;o3]; [o1;o3;o2]; [o2;o1;o3]; [o2;o3;o1]; [o3;o1;o2]; [o3;o2;o1] ]
+      in
+      match List.map (integrate doc) perms with
+      | ref :: rest -> List.for_all (Tdoc.equal_model Char.equal ref) rest
+      | [] -> assert false)
+
+let test_et_inverts_it =
+  qtest "et inverts it on concurrent pairs" ~count:5000 gen_doc_two_ops
+    print_doc_two_ops
+    (fun (_, o1, o2) ->
+      let o1' = Transform.it o1 o2 in
+      Op.equal Char.equal o1' (Transform.it (Transform.et o1' o2) o2))
+
+(* Transposition as used by Canonize: a deletion/update/undeletion
+   followed by an insertion can always be swapped without changing the
+   combined effect. *)
+let gen_canonize_pair =
+  let open QCheck2.Gen in
+  let rec nonempty () =
+    gen_tdoc >>= fun doc ->
+    if Tdoc.model_length doc = 0 then nonempty () else return doc
+  in
+  nonempty () >>= fun doc ->
+  gen_valid_non_ins_op ~pr:1 doc >>= fun first ->
+  let doc' = Tdoc.apply doc first in
+  map2 (fun p e -> (doc, first, Op.ins ~pr:2 p e))
+    (int_range 0 (Tdoc.model_length doc'))
+    gen_char
+
+let test_canonize_transpose =
+  qtest "canonize transposition preserves effect" ~count:5000 gen_canonize_pair
+    (fun (doc, first, ins) ->
+      Format.asprintf "doc=%s first=%a then=%a" (show_tdoc doc) pp_char_op first
+        pp_char_op ins)
+    (fun (doc, first, ins) ->
+      let direct = Tdoc.apply (Tdoc.apply doc first) ins in
+      let ins' = Transform.et ins first in
+      let first' = Transform.it first ins' in
+      let swapped = Tdoc.apply (Tdoc.apply doc ins') first' in
+      Tdoc.equal_model Char.equal direct swapped)
+
+let transform_unit_tests =
+  [
+    Alcotest.test_case "paper Fig.1: Del shifts after concurrent Ins" `Quick (fun () ->
+        (* "efecte": site 1 inserts 'f' at (0-based) 1, site 2 deletes the
+           trailing 'e' at 5.  IT(Del, Ins) = Del 6; both sides see
+           "effect". *)
+        let doc = Tdoc.of_string "efecte" in
+        let o1 = Op.ins ~pr:1 1 'f' in
+        let o2 = Op.del 5 'e' in
+        Alcotest.check op_testable "transformed del" (Op.del 6 'e') (Transform.it o2 o1);
+        let s1 = Tdoc.apply (Tdoc.apply doc o1) (Transform.it o2 o1) in
+        let s2 = Tdoc.apply (Tdoc.apply doc o2) (Transform.it o1 o2) in
+        Alcotest.(check string) "site1" "effect" (Tdoc.visible_string s1);
+        Alcotest.(check string) "site2" "effect" (Tdoc.visible_string s2));
+    Alcotest.test_case "ins/ins tie broken by priority" `Quick (fun () ->
+        let hi = Op.ins ~pr:2 3 'a' and lo = Op.ins ~pr:1 3 'b' in
+        Alcotest.check op_testable "high shifts" (Op.ins ~pr:2 4 'a') (Transform.it hi lo);
+        Alcotest.check op_testable "low stays" lo (Transform.it lo hi));
+    Alcotest.test_case "concurrent del/del of one element stack" `Quick (fun () ->
+        let d = Op.del 2 'x' in
+        Alcotest.check op_testable "unchanged" d (Transform.it d d));
+    Alcotest.test_case "ins unaffected by concurrent del" `Quick (fun () ->
+        let i = Op.ins ~pr:1 3 'q' in
+        Alcotest.check op_testable "same" i (Transform.it i (Op.del 1 'x'));
+        Alcotest.check op_testable "same" i (Transform.it i (Op.del 3 'x')));
+    Alcotest.test_case "up/up conflict: greatest tag wins in either order" `Quick
+      (fun () ->
+        let w = Op.up ~tag:{ Op.stamp = 1; site = 2 } 1 'x' 'a' in
+        let l = Op.up ~tag:{ Op.stamp = 1; site = 1 } 1 'x' 'b' in
+        (* transformation leaves both unchanged; the register resolves *)
+        Alcotest.check op_testable "w" w (Transform.it w l);
+        Alcotest.check op_testable "l" l (Transform.it l w);
+        let d = Tdoc.of_string "yxz" in
+        let one = Tdoc.apply (Tdoc.apply d w) l in
+        let other = Tdoc.apply (Tdoc.apply d l) w in
+        Alcotest.(check string) "converge" "yaz" (Tdoc.visible_string one);
+        Alcotest.(check bool) "same model" true (Tdoc.equal_model Char.equal one other));
+    Alcotest.test_case "later write beats earlier write causally" `Quick (fun () ->
+        (* a sequential overwrite from a site with a smaller id still
+           wins, because its Lamport stamp is larger *)
+        let d = Tdoc.of_string "x" in
+        let d = Tdoc.apply d (Op.up ~tag:{ Op.stamp = 5; site = 9 } 0 'x' 'K') in
+        let d = Tdoc.apply d (Op.up ~tag:{ Op.stamp = 6; site = 1 } 0 'K' 'T') in
+        Alcotest.(check string) "latest wins" "T" (Tdoc.visible_string d));
+    Alcotest.test_case "retracting the winning write reveals the loser" `Quick
+      (fun () ->
+        let wtag = { Op.stamp = 1; site = 2 } and ltag = { Op.stamp = 1; site = 1 } in
+        let d = Tdoc.of_string "x" in
+        let d = Tdoc.apply d (Op.up ~tag:ltag 0 'x' 'K') in
+        let d = Tdoc.apply d (Op.up ~tag:wtag 0 'x' 'T') in
+        Alcotest.(check string) "winner shown" "T" (Tdoc.visible_string d);
+        let d = Tdoc.apply d (Op.unup ~tag:wtag 0 'T') in
+        Alcotest.(check string) "loser revealed" "K" (Tdoc.visible_string d);
+        let d = Tdoc.apply d (Op.unup ~tag:ltag 0 'K') in
+        Alcotest.(check string) "initial revealed" "x" (Tdoc.visible_string d));
+    Alcotest.test_case "del of a concurrently updated element still applies" `Quick
+      (fun () ->
+        let del = Op.del 1 'x' in
+        Alcotest.check op_testable "unchanged" del
+          (Transform.it del (Op.up ~tag:{ Op.stamp = 1; site = 2 } 1 'x' 'y'));
+        (* the history check accepts the stale expected element *)
+        let d = Tdoc.apply (Tdoc.of_string "axc")
+            (Op.up ~tag:{ Op.stamp = 1; site = 2 } 1 'x' 'y') in
+        let d = Tdoc.apply d del in
+        Alcotest.(check string) "hidden" "ac" (Tdoc.visible_string d));
+    Alcotest.test_case "it against nop is identity" `Quick (fun () ->
+        let o = Op.ins 2 'q' in
+        Alcotest.check op_testable "id" o (Transform.it o Op.Nop);
+        Alcotest.check op_testable "nop" Op.Nop (Transform.it Op.Nop o));
+    Alcotest.test_case "undel transforms like del" `Quick (fun () ->
+        Alcotest.check op_testable "shifted by ins" (Op.undel 4 'u')
+          (Transform.it (Op.undel 3 'u') (Op.ins ~pr:1 2 'z'));
+        Alcotest.check op_testable "unshifted" (Op.undel 1 'u')
+          (Transform.it (Op.undel 1 'u') (Op.ins ~pr:1 2 'z')));
+  ]
+
+(* ----- Vclock ----- *)
+
+let vclock_tests =
+  let open Vclock in
+  [
+    Alcotest.test_case "tick and get" `Quick (fun () ->
+        let c = tick (tick empty 1) 1 in
+        Alcotest.(check int) "site1" 2 (get c 1);
+        Alcotest.(check int) "site2" 0 (get c 2));
+    Alcotest.test_case "leq and concurrency" `Quick (fun () ->
+        let a = of_list [ (1, 2) ] and b = of_list [ (1, 2); (2, 1) ] in
+        Alcotest.(check bool) "a<=b" true (leq a b);
+        Alcotest.(check bool) "b<=a" false (leq b a);
+        let c = of_list [ (2, 3) ] in
+        Alcotest.(check bool) "a||c" true (concurrent a c));
+    Alcotest.test_case "merge is pointwise max" `Quick (fun () ->
+        let a = of_list [ (1, 2); (2, 5) ] and b = of_list [ (1, 4); (3, 1) ] in
+        Alcotest.(check (list (pair int int)))
+          "merged"
+          [ (1, 4); (2, 5); (3, 1) ]
+          (to_list (merge a b)));
+    Alcotest.test_case "empty leq everything" `Quick (fun () ->
+        Alcotest.(check bool) "empty" true (leq empty (of_list [ (9, 9) ])));
+    Alcotest.test_case "dominates_event" `Quick (fun () ->
+        let c = of_list [ (1, 3) ] in
+        Alcotest.(check bool) "covered" true (dominates_event c ~site:1 ~count:3);
+        Alcotest.(check bool) "not covered" false (dominates_event c ~site:1 ~count:4);
+        Alcotest.(check bool) "zero" true (dominates_event c ~site:7 ~count:0));
+  ]
+
+(* ----- Cursor ----- *)
+
+let cursor_tests =
+  [
+    Alcotest.test_case "position shifts in visible coordinates" `Quick (fun () ->
+        let d = Tdoc.of_string "abcdef" in
+        Alcotest.(check int) "ins before" 4 (Cursor.transform_position d 3 (Op.ins 1 'x'));
+        Alcotest.(check int) "ins at (right bias)" 4
+          (Cursor.transform_position d 3 (Op.ins 3 'x'));
+        Alcotest.(check int) "ins at (left bias)" 3
+          (Cursor.transform_position_left_biased d 3 (Op.ins 3 'x'));
+        Alcotest.(check int) "del before" 2
+          (Cursor.transform_position d 3 (Op.del 1 'b'));
+        Alcotest.(check int) "del after" 3 (Cursor.transform_position d 3 (Op.del 5 'f'));
+        Alcotest.(check int) "up" 3 (Cursor.transform_position d 3 (Op.up 3 'd' 'D')));
+    Alcotest.test_case "tombstones do not move cursors" `Quick (fun () ->
+        (* "a(b)cdef": model pos 1 hidden; visible "acdef" *)
+        let d = Tdoc.apply (Tdoc.of_string "abcdef") (Op.del 1 'b') in
+        (* hiding the tombstone again moves nothing *)
+        Alcotest.(check int) "stacked hide" 3
+          (Cursor.transform_position d 3 (Op.del 1 'b'));
+        (* a deletion beyond the tombstone maps to its visible slot *)
+        Alcotest.(check int) "del maps through tombstone" 2
+          (Cursor.transform_position d 3 (Op.del 2 'c'));
+        (* revealing the tombstone inserts a visible element at slot 1 *)
+        Alcotest.(check int) "undel reveals" 4
+          (Cursor.transform_position d 3 (Op.undel 1 'b')));
+    Alcotest.test_case "selection keeps orientation" `Quick (fun () ->
+        let d = Tdoc.of_string "abcdef" in
+        let s = { Cursor.anchor = 2; focus = 5 } in
+        let s' = Cursor.transform_selection d s (Op.ins 3 'x') in
+        Alcotest.(check int) "anchor" 2 s'.Cursor.anchor;
+        Alcotest.(check int) "focus" 6 s'.Cursor.focus);
+    Alcotest.test_case "transform_through folds with the evolving document" `Quick
+      (fun () ->
+        (* Ins at 0 pushes the cursor to 4; the deletion behind it (model
+           position 6 after the insert) leaves it alone *)
+        let d = Tdoc.of_string "abcdef" in
+        Alcotest.(check int) "through" 4
+          (Cursor.transform_through d 3 [ Op.ins 0 'a'; Op.del 6 'f' ]));
+  ]
+
+(* ----- Engine: multi-site convergence ----- *)
+
+module E = Engine
+
+type net = {
+  mutable sites : char E.t array;
+  mutable in_flight : (int * char Request.t) list; (* destination, request *)
+}
+
+let mk_net n init =
+  {
+    sites = Array.init n (fun i -> E.create ~eq:Char.equal ~site:(i + 1) (Tdoc.of_string init));
+    in_flight = [];
+  }
+
+let net_generate net i op =
+  let e, q = E.generate net.sites.(i) op in
+  net.sites.(i) <- e;
+  for j = 0 to Array.length net.sites - 1 do
+    if j <> i then net.in_flight <- (j, q) :: net.in_flight
+  done
+
+let net_deliver_nth net k =
+  let rec take i acc = function
+    | [] -> None
+    | m :: rest when i = 0 -> Some (m, List.rev_append acc rest)
+    | m :: rest -> take (i - 1) (m :: acc) rest
+  in
+  match take k [] net.in_flight with
+  | None -> ()
+  | Some ((dest, q), rest) ->
+    net.in_flight <- rest;
+    net.sites.(dest) <- E.receive net.sites.(dest) q
+
+let net_flush net =
+  while net.in_flight <> [] do
+    net_deliver_nth net 0
+  done
+
+let net_converged net =
+  let d0 = E.document net.sites.(0) in
+  Array.for_all (fun s -> Tdoc.equal_model Char.equal d0 (E.document s)) net.sites
+  && Array.for_all (fun s -> E.pending s = 0) net.sites
+
+(* Drive a random interleaving: the integer stream decides, at each step,
+   whether to generate a fresh local op at a random site (in visible
+   coordinates, as a user would) or deliver a random in-flight message. *)
+let run_random_session ~sites ~ops_budget stream init =
+  let net = mk_net sites init in
+  let budget = ref ops_budget in
+  let stream = ref stream in
+  let next () =
+    match !stream with
+    | [] -> 0
+    | x :: rest ->
+      stream := rest;
+      abs x
+  in
+  let step () =
+    let can_gen = !budget > 0 in
+    let can_deliver = net.in_flight <> [] in
+    match (can_gen, can_deliver) with
+    | false, false -> false
+    | _ ->
+      let gen_now = can_gen && ((not can_deliver) || next () mod 2 = 0) in
+      if gen_now then begin
+        let i = next () mod sites in
+        let doc = E.document net.sites.(i) in
+        let n = Tdoc.visible_length doc in
+        let op =
+          match (if n = 0 then 0 else next () mod 3) with
+          | 0 -> Tdoc.ins_visible doc (next () mod (n + 1)) (Char.chr (97 + (next () mod 26)))
+          | 1 -> Tdoc.del_visible doc (next () mod n)
+          | _ -> Tdoc.up_visible doc (next () mod n) (Char.chr (65 + (next () mod 26)))
+        in
+        net_generate net i op;
+        decr budget;
+        true
+      end
+      else begin
+        net_deliver_nth net (next () mod List.length net.in_flight);
+        true
+      end
+  in
+  while step () do
+    ()
+  done;
+  net_flush net;
+  net
+
+let test_engine_convergence sites =
+  qtest
+    (Printf.sprintf "%d-site random sessions converge" sites)
+    ~count:(if sites <= 2 then 800 else 500)
+    QCheck2.Gen.(
+      pair
+        (string_size ~gen:gen_char (int_range 0 8))
+        (list_size (int_range 20 200) (int_range 0 1_000_000)))
+    (fun (init, stream) ->
+      Printf.sprintf "init=%S stream=[%s]" init
+        (String.concat ";" (List.map string_of_int stream)))
+    (fun (init, stream) ->
+      let net = run_random_session ~sites ~ops_budget:10 stream init in
+      net_converged net)
+
+let engine_unit_tests =
+  [
+    Alcotest.test_case "two sites, figure-1 exchange" `Quick (fun () ->
+        let net = mk_net 2 "efecte" in
+        net_generate net 0 (Op.ins 1 'f');
+        net_generate net 1 (Op.del 5 'e');
+        net_flush net;
+        Alcotest.(check bool) "converged" true (net_converged net);
+        Alcotest.(check string) "effect" "effect"
+          (Tdoc.visible_string (E.document net.sites.(0))));
+    Alcotest.test_case "duplicate delivery ignored" `Quick (fun () ->
+        let a = E.create ~eq:Char.equal ~site:1 (Tdoc.of_string "ab") in
+        let b = E.create ~eq:Char.equal ~site:2 (Tdoc.of_string "ab") in
+        let _, q = E.generate a (Op.ins 0 'x') in
+        let b = E.receive b q in
+        let b = E.receive b q in
+        Alcotest.(check string) "applied once" "xab"
+          (Tdoc.visible_string (E.document b)));
+    Alcotest.test_case "out-of-order delivery buffers" `Quick (fun () ->
+        let a = E.create ~eq:Char.equal ~site:1 Tdoc.empty in
+        let b = E.create ~eq:Char.equal ~site:2 Tdoc.empty in
+        let a, q1 = E.generate a (Op.ins 0 'x') in
+        let a, q2 = E.generate a (Op.ins 1 'y') in
+        let b = E.receive b q2 in
+        Alcotest.(check int) "buffered" 1 (E.pending b);
+        Alcotest.(check string) "not applied" "" (Tdoc.visible_string (E.document b));
+        let b = E.receive b q1 in
+        Alcotest.(check int) "drained" 0 (E.pending b);
+        Alcotest.(check string) "both applied" "xy" (Tdoc.visible_string (E.document b));
+        Alcotest.(check string) "a" "xy" (Tdoc.visible_string (E.document a)));
+    Alcotest.test_case "concurrent deletes of one element converge" `Quick (fun () ->
+        let net = mk_net 3 "abc" in
+        net_generate net 0 (Op.del 1 'b');
+        net_generate net 1 (Op.del 1 'b');
+        net_generate net 2 (Op.ins 3 'd');
+        net_flush net;
+        Alcotest.(check bool) "converged" true (net_converged net);
+        Alcotest.(check string) "result" "acd"
+          (Tdoc.visible_string (E.document net.sites.(0))));
+  ]
+
+(* ----- Oplog ----- *)
+
+let mk_req ?(site = 1) ?(serial = 1) ?(v = 0) ?(flag = Request.Valid) ~ctx op =
+  Request.make ~site ~serial ~op ~ctx ~policy_version:v ~flag ()
+
+let oplog_tests =
+  [
+    Alcotest.test_case "append_local keeps canonical form" `Quick (fun () ->
+        let h = Oplog.empty in
+        let h = Oplog.append_local (mk_req ~serial:1 ~ctx:Vclock.empty (Op.ins 0 'a')) h in
+        let h =
+          Oplog.append_local
+            (mk_req ~serial:2 ~ctx:(Vclock.of_list [ (1, 1) ]) (Op.del 0 'a'))
+            h
+        in
+        let h =
+          Oplog.append_local
+            (mk_req ~serial:3 ~ctx:(Vclock.of_list [ (1, 2) ]) (Op.ins 1 'b'))
+            h
+        in
+        Alcotest.(check bool) "canonical" true (Oplog.is_canonical h);
+        Alcotest.(check int) "length" 3 (Oplog.length h));
+    Alcotest.test_case "replaying a canonized local log reproduces the doc" `Quick
+      (fun () ->
+        let doc0 = Tdoc.of_string "hello" in
+        let shapes = [ `Del 0; `Ins (0, 'H'); `Del 3; `Ins (4, 'O'); `Ins (5, '!') ] in
+        let _, h, doc =
+          List.fold_left
+            (fun (i, h, doc) shape ->
+              let op =
+                match shape with
+                | `Del v -> Tdoc.del_visible doc v
+                | `Ins (v, c) -> Tdoc.ins_visible doc v c
+              in
+              let ctx = Vclock.of_list [ (1, i) ] in
+              let q = mk_req ~serial:(i + 1) ~ctx op in
+              (i + 1, Oplog.append_local q h, Tdoc.apply doc op))
+            (0, Oplog.empty, doc0) shapes
+        in
+        let replayed = Tdoc.apply_all doc0 (Oplog.ops h) in
+        Alcotest.check tdoc_testable "replay" doc replayed);
+    Alcotest.test_case "undo of the last request restores the visible state" `Quick
+      (fun () ->
+        let doc0 = Tdoc.of_string "abc" in
+        let q = mk_req ~serial:1 ~flag:Request.Tentative ~ctx:Vclock.empty (Op.ins 1 'x') in
+        let h = Oplog.append_local q Oplog.empty in
+        let doc1 = Tdoc.apply doc0 q.Request.op in
+        (match Oplog.undo ~cancel_version:1 q.Request.id h with
+         | None -> Alcotest.fail "undo failed"
+         | Some (op, h') ->
+           Alcotest.check tdoc_visible_testable "restored" doc0 (Tdoc.apply doc1 op);
+           Alcotest.(check bool) "flagged invalid" true
+             (match Oplog.find q.Request.id h' with
+              | Some r -> r.Request.flag = Request.Invalid
+              | None -> false);
+           Alcotest.(check bool) "second undo refused" true
+             (Oplog.undo ~cancel_version:1 q.Request.id h' = None)));
+    Alcotest.test_case "undo in the middle cancels only that request" `Quick (fun () ->
+        (* site 1 types "abc" by three inserts, then the middle insert is
+           undone: "ac" remains, and replaying the log agrees. *)
+        let doc0 = Tdoc.empty in
+        let ops = [ Op.ins 0 'a'; Op.ins 1 'b'; Op.ins 2 'c' ] in
+        let _, h, doc =
+          List.fold_left
+            (fun (i, h, doc) op ->
+              let ctx = Vclock.of_list [ (1, i) ] in
+              let q = mk_req ~serial:(i + 1) ~flag:Request.Tentative ~ctx op in
+              (i + 1, Oplog.append_local q h, Tdoc.apply doc op))
+            (0, Oplog.empty, doc0) ops
+        in
+        match Oplog.undo ~cancel_version:1 { Request.site = 1; serial = 2 } h with
+        | None -> Alcotest.fail "undo failed"
+        | Some (op, h') ->
+          let doc' = Tdoc.apply doc op in
+          Alcotest.(check string) "b hidden" "ac" (Tdoc.visible_string doc');
+          Alcotest.check tdoc_testable "replay agrees" doc'
+            (Tdoc.apply_all doc0 (Oplog.ops h')));
+    Alcotest.test_case "append_rejected has no visible effect" `Quick (fun () ->
+        (* a remote request is denied: it enters the log as tombstones *)
+        let doc0 = Tdoc.of_string "abc" in
+        let q = mk_req ~site:2 ~serial:1 ~flag:Request.Tentative ~ctx:Vclock.empty
+            (Op.ins 1 'z')
+        in
+        let (op1, op2), h = Oplog.append_rejected ~cancel_version:1 q Oplog.empty in
+        let doc = Tdoc.apply (Tdoc.apply doc0 op1) op2 in
+        Alcotest.(check string) "visible unchanged" "abc" (Tdoc.visible_string doc);
+        Alcotest.(check int) "model grew" 4 (Tdoc.model_length doc);
+        Alcotest.(check bool) "flagged invalid" true
+          (match Oplog.find q.Request.id h with
+           | Some r -> r.Request.flag = Request.Invalid
+           | None -> false));
+    Alcotest.test_case "broadcast_form records direct dependency" `Quick (fun () ->
+        let q1 = mk_req ~serial:1 ~ctx:Vclock.empty (Op.ins 0 'a') in
+        let h = Oplog.append_local q1 Oplog.empty in
+        let q2 = mk_req ~serial:2 ~ctx:(Vclock.of_list [ (1, 1) ]) (Op.ins 1 'b') in
+        let q2' = Oplog.broadcast_form q2 h in
+        Alcotest.(check bool) "dep set" true
+          (match q2'.Request.dep with
+           | Some d -> Request.id_equal d q1.Request.id
+           | None -> false));
+    Alcotest.test_case "set_flag validates a tentative request" `Quick (fun () ->
+        let q = mk_req ~serial:1 ~flag:Request.Tentative ~ctx:Vclock.empty (Op.ins 0 'a') in
+        let h = Oplog.append_local q Oplog.empty in
+        Alcotest.(check int) "one tentative" 1 (List.length (Oplog.tentative_requests h));
+        let h = Oplog.set_flag q.Request.id Request.Valid h in
+        Alcotest.(check int) "none tentative" 0
+          (List.length (Oplog.tentative_requests h)));
+  ]
+
+let () =
+  Alcotest.run "dce_ot"
+    [
+      ("op", op_unit_tests @ [ test_inverse_cancels ]);
+      ("tdoc", tdoc_unit_tests);
+      ("document", doc_unit_tests @ [ test_doc_impl_equivalence ]);
+      ( "transform",
+        transform_unit_tests
+        @ [
+            test_tp1;
+            test_tp2;
+            test_three_way_convergence;
+            test_et_inverts_it;
+            test_canonize_transpose;
+          ] );
+      ("vclock", vclock_tests);
+      ("cursor", cursor_tests);
+      ("oplog", oplog_tests);
+      ( "engine",
+        engine_unit_tests @ [ test_engine_convergence 2; test_engine_convergence 3 ] );
+    ]

@@ -1,0 +1,368 @@
+(* Property tests over the whole stack: coordinate systems, log
+   invariants, undo algebra, cursors, policy decision procedures, and
+   controller-level invariants.  Complements the scenario tests with
+   randomized coverage of the state spaces they sample pointwise. *)
+
+open Dce_ot
+open Dce_core
+open Helpers
+
+(* ----- Tdoc coordinate systems ----- *)
+
+let tdoc_properties =
+  [
+    qtest "visible/model coordinate roundtrip" ~count:1000 gen_tdoc show_tdoc
+      (fun doc ->
+        let n = Tdoc.visible_length doc in
+        List.for_all
+          (fun v -> Tdoc.visible_of_model doc (Tdoc.model_of_visible doc v) = v)
+          (List.init n Fun.id));
+    qtest "model_of_visible is strictly increasing" ~count:500 gen_tdoc show_tdoc
+      (fun doc ->
+        let n = Tdoc.visible_length doc in
+        let ms = List.init (n + 1) (Tdoc.model_of_visible doc) in
+        let rec strict = function
+          | a :: (b :: _ as rest) -> a < b && strict rest
+          | _ -> true
+        in
+        strict ms);
+    qtest "visible helpers build ops that apply cleanly" ~count:1000
+      QCheck2.Gen.(
+        gen_tdoc >>= fun d ->
+        int_range 0 1000 >>= fun k -> return (d, k))
+      (fun (d, k) -> Format.asprintf "%s k=%d" (show_tdoc d) k)
+      (fun (doc, k) ->
+        let n = Tdoc.visible_length doc in
+        let op =
+          if n = 0 then Tdoc.ins_visible doc 0 'q'
+          else
+            match k mod 3 with
+            | 0 -> Tdoc.ins_visible doc (k mod (n + 1)) 'q'
+            | 1 -> Tdoc.del_visible doc (k mod n)
+            | _ -> Tdoc.up_visible doc (k mod n) 'Q'
+        in
+        let doc' = Tdoc.apply doc op in
+        (* applying a visible-coordinate op changes visible length by the
+           expected amount and never touches other cells *)
+        match op with
+        | Op.Ins _ -> Tdoc.visible_length doc' = n + 1
+        | Op.Del _ -> Tdoc.visible_length doc' = n - 1
+        | Op.Up _ -> Tdoc.visible_length doc' = n
+        | _ -> false);
+    qtest "apply_all = iterated apply" ~count:300
+      QCheck2.Gen.(
+        gen_tdoc >>= fun d ->
+        let rec ops d acc n =
+          if n = 0 then return (List.rev acc)
+          else gen_valid_op ~pr:1 d >>= fun o -> ops (Tdoc.apply d o) (o :: acc) (n - 1)
+        in
+        int_range 0 8 >>= fun n -> ops d [] n >>= fun os -> return (d, os))
+      (fun (d, os) ->
+        Format.asprintf "%s +%d ops" (show_tdoc d) (List.length os))
+      (fun (doc, ops) ->
+        Tdoc.equal_model Char.equal (Tdoc.apply_all doc ops)
+          (List.fold_left Tdoc.apply doc ops));
+  ]
+
+(* ----- Cursor ----- *)
+
+let cursor_properties =
+  [
+    qtest "cursors stay within the visible document" ~count:1000
+      QCheck2.Gen.(
+        gen_tdoc >>= fun d ->
+        gen_valid_op ~pr:1 d >>= fun o ->
+        int_range 0 (Tdoc.visible_length d) >>= fun p -> return (d, o, p))
+      (fun (d, o, p) ->
+        Format.asprintf "%s op=%a cursor=%d" (show_tdoc d) pp_char_op o p)
+      (fun (doc, o, p) ->
+        let doc' = Tdoc.apply doc o in
+        let p' = Cursor.transform_position doc p o in
+        p' >= 0 && p' <= Tdoc.visible_length doc');
+    qtest "cursor transformation is monotone" ~count:1000
+      QCheck2.Gen.(
+        gen_tdoc >>= fun d ->
+        gen_valid_op ~pr:1 d >>= fun o ->
+        let n = Tdoc.visible_length d in
+        pair (int_range 0 n) (int_range 0 n) >>= fun (a, b) -> return (d, o, a, b))
+      (fun (d, o, a, b) ->
+        Format.asprintf "%s op=%a p=%d q=%d" (show_tdoc d) pp_char_op o a b)
+      (fun (doc, o, a, b) ->
+        let p = min a b and q = max a b in
+        Cursor.transform_position doc p o <= Cursor.transform_position doc q o);
+    qtest "a right-biased cursor keeps tracking its element" ~count:1000
+      QCheck2.Gen.(
+        gen_tdoc >>= fun d ->
+        let n = Tdoc.visible_length d in
+        if n = 0 then return None
+        else
+          int_range 0 (n - 1) >>= fun v ->
+          gen_valid_op ~pr:1 d >>= fun o -> return (Some (d, v, o)))
+      (function
+        | None -> "empty"
+        | Some (d, v, o) ->
+          Format.asprintf "%s watching=%d op=%a" (show_tdoc d) v pp_char_op o)
+      (function
+        | None -> true
+        | Some (doc, v, o) ->
+          (* watch the element at visible position v: unless the op hides
+             or overwrites that very cell, the (right-biased) transformed
+             position still points at an element with the same content *)
+          let m = Tdoc.model_of_visible doc v in
+          let touches_cell = Op.pos o = Some m && not (Op.is_ins o) in
+          let doc' = Tdoc.apply doc o in
+          let v' = Cursor.transform_position doc v o in
+          touches_cell
+          || v' < Tdoc.visible_length doc'
+             && Char.equal
+                  (Tdoc.content (Tdoc.cell doc m))
+                  (List.nth (Tdoc.visible_list doc') v'));
+    qtest "selection never inverts" ~count:1000
+      QCheck2.Gen.(
+        gen_tdoc >>= fun d ->
+        gen_valid_op ~pr:1 d >>= fun o ->
+        let n = Tdoc.visible_length d in
+        pair (int_range 0 n) (int_range 0 n) >>= fun (a, b) -> return (d, o, a, b))
+      (fun (d, o, a, b) ->
+        Format.asprintf "%s %a sel=[%d,%d)" (show_tdoc d) pp_char_op o a b)
+      (fun (doc, o, a, b) ->
+        let s = { Cursor.anchor = min a b; focus = max a b } in
+        let s' = Cursor.transform_selection doc s o in
+        s'.Cursor.anchor <= s'.Cursor.focus);
+  ]
+
+(* ----- Oplog invariants ----- *)
+
+(* a site generating a random local history *)
+let gen_local_history =
+  let open QCheck2.Gen in
+  let rec steps doc h ctx i n =
+    if n = 0 then return (doc, h)
+    else
+      gen_user_op ~pr:1 doc >>= fun op ->
+      let q =
+        Request.make ~site:1 ~serial:i ~op ~ctx ~policy_version:0
+          ~flag:Request.Tentative ()
+      in
+      steps (Tdoc.apply doc op) (Oplog.append_local q h) (Vclock.tick ctx 1) (i + 1)
+        (n - 1)
+  in
+  gen_tdoc >>= fun doc ->
+  int_range 0 10 >>= fun n -> steps doc Oplog.empty Vclock.empty 1 n
+
+let oplog_properties =
+  [
+    qtest "append-only histories stay canonical" ~count:500 gen_local_history
+      (fun (d, h) -> Format.asprintf "%s |H|=%d" (show_tdoc d) (Oplog.length h))
+      (fun (_, h) -> Oplog.is_canonical h);
+    qtest "undo leaves a log that replays to the post-undo document" ~count:500
+      QCheck2.Gen.(
+        gen_tdoc >>= fun doc0 ->
+        let rec steps doc h ctx i n =
+          if n = 0 then return (doc, h)
+          else
+            gen_user_op ~pr:1 doc >>= fun op ->
+            let q =
+              Request.make ~site:1 ~serial:i ~op ~ctx ~policy_version:0
+                ~flag:Request.Tentative ()
+            in
+            steps (Tdoc.apply doc op) (Oplog.append_local q h) (Vclock.tick ctx 1)
+              (i + 1) (n - 1)
+        in
+        int_range 1 8 >>= fun n ->
+        steps doc0 Oplog.empty Vclock.empty 1 n >>= fun (doc, h) ->
+        int_range 1 n >>= fun serial -> return (doc0, doc, h, serial))
+      (fun (_, d, h, serial) ->
+        Format.asprintf "%s |H|=%d undo #%d" (show_tdoc d) (Oplog.length h) serial)
+      (fun (doc0, doc, h, serial) ->
+        match Oplog.undo ~cancel_version:1 { Request.site = 1; serial } h with
+        | None -> false
+        | Some (op, h') ->
+          let doc' = Tdoc.apply doc op in
+          Tdoc.equal_model Char.equal doc' (Tdoc.apply_all doc0 (Oplog.ops h')));
+    qtest "undo is idempotent per request" ~count:300 gen_local_history
+      (fun (d, h) -> Format.asprintf "%s |H|=%d" (show_tdoc d) (Oplog.length h))
+      (fun (_, h) ->
+        match Oplog.requests h with
+        | [] -> true
+        | q :: _ -> (
+            match Oplog.undo ~cancel_version:1 q.Request.id h with
+            | None -> true
+            | Some (_, h') -> Oplog.undo ~cancel_version:1 q.Request.id h' = None));
+    qtest "compaction never changes the replayed document" ~count:300
+      QCheck2.Gen.(
+        gen_tdoc >>= fun doc0 ->
+        let rec steps doc h ctx i n =
+          if n = 0 then return (doc, h)
+          else
+            gen_user_op ~pr:1 doc >>= fun op ->
+            let q =
+              Request.make ~site:1 ~serial:i ~op ~ctx ~policy_version:0
+                ~flag:Request.Valid ()
+            in
+            steps (Tdoc.apply doc op) (Oplog.append_local q h) (Vclock.tick ctx 1)
+              (i + 1) (n - 1)
+        in
+        int_range 0 8 >>= fun n ->
+        steps doc0 Oplog.empty Vclock.empty 1 n >>= fun (doc, h) ->
+        int_range 0 (n + 1) >>= fun upto -> return (doc, h, upto))
+      (fun (d, h, upto) ->
+        Format.asprintf "%s |H|=%d upto=%d" (show_tdoc d) (Oplog.length h) upto)
+      (fun (_, h, upto) ->
+        let stable = Vclock.of_list [ (1, upto) ] in
+        let h' = Oplog.compact ~stable ~stable_version:0 h in
+        (* compaction only drops entries; live entries are untouched *)
+        Oplog.live_length h' <= Oplog.length h
+        && List.for_all
+             (fun (q : char Request.t) -> Oplog.mem q.Request.id h')
+             (Oplog.requests h));
+  ]
+
+(* ----- Policy / Admin_log cross-checks ----- *)
+
+let gen_small_policy =
+  let open QCheck2.Gen in
+  let gen_subject = oneof [ return Subject.Any; map (fun u -> Subject.User u) (int_range 1 3) ] in
+  let gen_right = oneofl [ Right.Insert; Right.Delete; Right.Update ] in
+  let gen_auth =
+    pair (pair gen_subject gen_right) bool >|= fun ((s, r), pos) ->
+    if pos then Auth.grant [ s ] [ Docobj.Whole ] [ r ] else Auth.deny [ s ] [ Docobj.Whole ] [ r ]
+  in
+  list_size (int_range 0 6) gen_auth >|= fun auths -> Policy.make ~users:[ 0; 1; 2; 3 ] auths
+
+let policy_properties =
+  [
+    qtest "first-match check equals the reference fold" ~count:1000
+      QCheck2.Gen.(
+        gen_small_policy >>= fun p ->
+        pair (int_range 0 4) (oneofl [ Right.Insert; Right.Delete; Right.Update ])
+        >>= fun (u, r) -> return (p, u, r))
+      (fun (_, u, r) -> Format.asprintf "user=%d right=%a" u Right.pp r)
+      (fun (p, u, r) ->
+        let reference =
+          Policy.is_user p u
+          &&
+          let rec go = function
+            | [] -> false
+            | a :: rest ->
+              if
+                Auth.matches
+                  ~member:(fun g v -> Policy.member p g v)
+                  ~resolve:(fun n -> Policy.resolve p n)
+                  a ~user:u ~right:r ~pos:(Some 0)
+              then not (Auth.is_restrictive a)
+              else go rest
+          in
+          go (Policy.auths p)
+        in
+        Policy.check p ~user:u ~right:r ~pos:(Some 0) = reference);
+    qtest "first_denial agrees with checking every version" ~count:500
+      QCheck2.Gen.(
+        gen_small_policy >>= fun p0 ->
+        list_size (int_range 0 6)
+          (pair (pair (int_range 1 3) (oneofl [ Right.Insert; Right.Delete; Right.Update ])) bool)
+        >>= fun actions ->
+        pair (int_range 1 3) (oneofl [ Right.Insert; Right.Delete; Right.Update ])
+        >>= fun probe -> return (p0, actions, probe))
+      (fun (_, actions, (u, r)) ->
+        Format.asprintf "%d actions, probe user=%d %a" (List.length actions) u Right.pp r)
+      (fun (p0, actions, (u, r)) ->
+        (* build an admin log of denies/grants *)
+        let l = Admin_log.create ~admin:0 p0 in
+        let l, _ =
+          List.fold_left
+            (fun (l, v) ((target, right), grant) ->
+              let auth =
+                if grant then Auth.grant [ Subject.User target ] [ Docobj.Whole ] [ right ]
+                else Auth.deny [ Subject.User target ] [ Docobj.Whole ] [ right ]
+              in
+              let req =
+                {
+                  Admin_op.admin = 0;
+                  version = v;
+                  op = Admin_op.Add_auth (0, auth);
+                  ctx = Vclock.empty;
+                }
+              in
+              match Admin_log.append l req with
+              | Ok l -> (l, v + 1)
+              | Error _ -> (l, v))
+            (l, 1) actions
+        in
+        let fast = Admin_log.first_denial l ~from_version:0 ~user:u ~right:r ~pos:(Some 0) in
+        let brute =
+          List.find_opt
+            (fun v ->
+              not
+                (Policy.check (Option.get (Admin_log.policy_at l v)) ~user:u ~right:r
+                   ~pos:(Some 0)))
+            (List.init (Admin_log.version l + 1) Fun.id)
+        in
+        fast = brute);
+  ]
+
+(* ----- Controller invariants ----- *)
+
+let controller_properties =
+  [
+    qtest "a denied generation leaves the controller untouched" ~count:300
+      QCheck2.Gen.(int_range 0 1000)
+      string_of_int
+      (fun k ->
+        let policy =
+          Policy.make ~users:[ 0; 1 ]
+            [ Auth.deny [ Subject.User 1 ] [ Docobj.Whole ] [ Right.Insert ];
+              Auth.grant [ Subject.Any ] [ Docobj.Whole ] Right.all ]
+        in
+        let c =
+          Controller.create ~eq:Char.equal ~site:1 ~admin:0 ~policy
+            (Tdoc.of_string "abc")
+        in
+        match Controller.generate c (Op.ins (k mod 4) 'x') with
+        | c', Controller.Denied _ ->
+          Tdoc.equal_model Char.equal (Controller.document c) (Controller.document c')
+          && Oplog.length (Controller.oplog c') = 0
+        | _ -> false);
+    qtest "versions are monotone under any message replay" ~count:200
+      QCheck2.Gen.(list_size (int_range 0 20) (int_range 0 1000))
+      (fun l -> Printf.sprintf "%d msgs" (List.length l))
+      (fun choices ->
+        (* feed a user controller an arbitrary mix of (possibly
+           duplicated, out of order) admin messages *)
+        let policy =
+          Policy.make ~users:[ 0; 1 ] [ Auth.grant [ Subject.Any ] [ Docobj.Whole ] Right.all ]
+        in
+        let a =
+          Controller.create ~eq:Char.equal ~site:0 ~admin:0 ~policy (Tdoc.of_string "x")
+        in
+        let rec mk_admin a n acc =
+          if n = 0 then List.rev acc
+          else
+            match Controller.admin_update a (Admin_op.Add_user (100 + n)) with
+            | Ok (a, m) -> mk_admin a (n - 1) (m :: acc)
+            | Error _ -> List.rev acc
+        in
+        let msgs = Array.of_list (mk_admin a 5 []) in
+        let c =
+          Controller.create ~eq:Char.equal ~site:1 ~admin:0 ~policy (Tdoc.of_string "x")
+        in
+        let _, ok =
+          List.fold_left
+            (fun (c, ok) k ->
+              let before = Controller.version c in
+              let c, _ = Controller.receive c msgs.(k mod Array.length msgs) in
+              (c, ok && Controller.version c >= before))
+            (c, true) choices
+        in
+        ok);
+  ]
+
+let () =
+  Alcotest.run "dce_properties"
+    [
+      ("tdoc", tdoc_properties);
+      ("cursor", cursor_properties);
+      ("oplog", oplog_properties);
+      ("policy", policy_properties);
+      ("controller", controller_properties);
+    ]
