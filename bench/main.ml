@@ -16,11 +16,26 @@
 open Dce_ot
 open Dce_core
 module C = Controller
+module Obs = Dce_obs
 
 let adm = 0
 let user = 1
 let bystander = 98
 let remote = 99
+
+(* Telemetry (--metrics / --trace FILE, parsed in [main]).  The registry
+   starts disabled and the sink null, so an uninstrumented run pays one
+   branch per decision point — the property the <5% overhead criterion
+   in DESIGN.md leans on.
+
+   A bench trace concatenates every sim run of the selected sections
+   into one stream; that is fine for timelines and metric tables, but
+   bin/trace.exe's causality audit assumes a single session, so run it
+   on single-run traces (replay --seed N) rather than on multi-run
+   sections like ablation. *)
+
+let metrics = Obs.Metrics.create ~enabled:false ()
+let sink = ref Obs.Trace.null
 
 (* ----- timing helpers (wall clock) ----- *)
 
@@ -31,8 +46,15 @@ let time_once f =
   ignore (Sys.opaque_identity (f ()));
   (now () -. t0) *. 1_000. (* ms *)
 
-let median_ms ?(reps = 5) f =
-  let xs = List.init reps (fun _ -> time_once f) in
+let median_ms ?(reps = 5) ?hist f =
+  let xs =
+    List.init reps (fun _ ->
+        let ms = time_once f in
+        (match hist with
+         | Some h -> Obs.Metrics.observe h (int_of_float (ms *. 1e6))
+         | None -> ());
+        ms)
+  in
   List.nth (List.sort compare xs) (reps / 2)
 
 let budget_ms = 100.
@@ -109,7 +131,7 @@ let loaded_admin_requests () =
    checkpoint. *)
 let build_site ~ins_pct ~checkpoints =
   let c =
-    C.create ~eq:Char.equal ~site:user ~admin:adm ~policy:base_policy
+    C.create ~eq:Char.equal ~site:user ~admin:adm ~policy:base_policy ~trace:!sink
       (Tdoc.of_string initial_text)
   in
   let c = List.fold_left (fun c m -> fst (C.receive c m)) c (loaded_admin_requests ()) in
@@ -133,13 +155,16 @@ let remote_insert serial =
   Request.make ~site:remote ~serial ~op:(Op.ins ~pr:remote 0 'z') ~ctx:Vclock.empty
     ~policy_version:0 ~flag:Request.Tentative ()
 
+let h_t1 = Obs.Metrics.histogram metrics "bench.t1_ns"
+let h_t2 = Obs.Metrics.histogram metrics "bench.t2_ns"
+
 let measure_t1 c =
-  median_ms (fun () ->
+  median_ms ~hist:h_t1 (fun () ->
       match C.generate c (Tdoc.ins_visible (C.document c) 0 'z') with
       | _, C.Accepted _ -> ()
       | _, C.Denied r -> failwith r)
 
-let measure_t2 c = median_ms (fun () -> C.receive c (C.Coop (remote_insert 1)))
+let measure_t2 c = median_ms ~hist:h_t2 (fun () -> C.receive c (C.Coop (remote_insert 1)))
 
 (* ----- E6: Fig. 7 ----- *)
 
@@ -319,7 +344,7 @@ let run_ablation () =
   let count features =
     List.fold_left
       (fun bad seed ->
-        match Dce_sim.Runner.run ~features profile ~seed with
+        match Dce_sim.Runner.run ~features ~sink:!sink ~metrics profile ~seed with
         | r ->
           if
             Dce_sim.Convergence.ok
@@ -384,7 +409,9 @@ let run_extras () =
   in
   List.iter
     (fun (label, compact_every) ->
-      let r = Dce_sim.Runner.run { profile with compact_every } ~seed:11 in
+      let r =
+        Dce_sim.Runner.run ~sink:!sink ~metrics { profile with compact_every } ~seed:11
+      in
       let entries =
         List.map
           (fun c -> Oplog.live_length (C.oplog c))
@@ -467,7 +494,19 @@ let run_micro () =
   print_newline ()
 
 let () =
-  let which = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
+  let trace_file = ref None in
+  let rec parse section = function
+    | [] -> section
+    | "--metrics" :: rest ->
+      Obs.Metrics.set_enabled metrics true;
+      Dce_wire.Codec.set_metrics (Some metrics);
+      parse section rest
+    | "--trace" :: file :: rest ->
+      trace_file := Some file;
+      parse section rest
+    | w :: rest -> parse (Some w) rest
+  in
+  let which = parse None (List.tl (Array.to_list Sys.argv)) in
   let run name f =
     match which with
     | Some w when w <> name -> ()
@@ -475,10 +514,21 @@ let () =
       rng := Dce_sim.Rng.of_int 2009;
       f ()
   in
-  run "fig7" run_fig7;
-  run "baselines" run_baselines;
-  run "complexity" run_complexity;
-  run "latency" run_latency;
-  run "ablation" run_ablation;
-  run "extras" run_extras;
-  run "micro" run_micro
+  let all () =
+    run "fig7" run_fig7;
+    run "baselines" run_baselines;
+    run "complexity" run_complexity;
+    run "latency" run_latency;
+    run "ablation" run_ablation;
+    run "extras" run_extras;
+    run "micro" run_micro
+  in
+  (match !trace_file with
+   | None -> all ()
+   | Some path ->
+     Obs.Trace.with_file path (fun s ->
+         sink := s;
+         Fun.protect ~finally:(fun () -> sink := Obs.Trace.null) all);
+     Printf.printf "trace written to %s\n" path);
+  if Obs.Metrics.enabled metrics then
+    Format.printf "== telemetry (histogram summaries) ==@.%a@." Obs.Metrics.pp metrics

@@ -31,10 +31,12 @@
 
 open Dce_ot
 open Dce_core
+module Obs = Dce_obs
 
 type state = {
   mutable sites : (int * char Controller.t) list;
   mutable wire : (int * char Controller.message) list;
+  sink : Obs.Trace.sink;
 }
 
 let controller st u =
@@ -48,6 +50,16 @@ let set st u c =
 let post st src msgs =
   List.iter
     (fun m ->
+      if Obs.Trace.enabled st.sink then begin
+        let c = controller st src in
+        Obs.Trace.emit st.sink ~site:src ~clock:(Controller.clock c)
+          ~version:(Controller.version c)
+          (Obs.Trace.Broadcast
+             {
+               targets = List.length st.sites - 1;
+               coop = (match m with Controller.Coop _ -> true | Controller.Admin _ -> false);
+             })
+      end;
       List.iter (fun (u, _) -> if u <> src then st.wire <- st.wire @ [ (u, m) ]) st.sites)
     msgs
 
@@ -106,7 +118,7 @@ let right_of_string = function
   | "r" | "rR" -> Some Right.Read
   | _ -> None
 
-let run users text =
+let session users text sink =
   let all = List.init (users + 1) Fun.id in
   let policy =
     Policy.make ~users:all [ Auth.grant [ Subject.Any ] [ Docobj.Whole ] Right.all ]
@@ -116,9 +128,11 @@ let run users text =
     {
       sites =
         List.map
-          (fun u -> (u, Controller.create ~eq:Char.equal ~site:u ~admin:0 ~policy doc0))
+          (fun u ->
+            (u, Controller.create ~eq:Char.equal ~site:u ~admin:0 ~policy ~trace:sink doc0))
           all;
       wire = [];
+      sink;
     }
   in
   show st;
@@ -180,7 +194,7 @@ let run users text =
            Dce_wire.Proto.Char_proto.save path (controller st (int_of_string u));
            Printf.printf "site %s saved to %s\n" u path
          | [ "load"; u; path ] -> (
-             match Dce_wire.Proto.Char_proto.restore path with
+             match Dce_wire.Proto.Char_proto.restore ~trace:st.sink path with
              | Ok c -> begin
                  let u = int_of_string u in
                  match List.assoc_opt u st.sites with
@@ -207,6 +221,28 @@ let run users text =
   print_endline "\nfinal state:";
   show st
 
+let run users text trace_file metrics_flag =
+  let metrics = if metrics_flag then Some (Obs.Metrics.create ()) else None in
+  Dce_wire.Codec.set_metrics metrics;
+  let with_sink f =
+    match trace_file with
+    | None -> f Obs.Trace.null
+    | Some path -> Obs.Trace.with_file path f
+  in
+  with_sink (fun file_sink ->
+      let sink =
+        match metrics with
+        | None -> file_sink
+        | Some m -> Obs.Trace.tee (Obs.Trace.count_into m) file_sink
+      in
+      session users text sink);
+  (match trace_file with
+   | Some path -> Printf.printf "trace written to %s\n" path
+   | None -> ());
+  match metrics with
+  | Some m -> Format.printf "metrics:@.%a@." Obs.Metrics.pp m
+  | None -> ()
+
 open Cmdliner
 
 let users =
@@ -215,9 +251,19 @@ let users =
 let text =
   Arg.(value & opt string "abc" & info [ "text" ] ~docv:"TEXT" ~doc:"Initial document.")
 
+let trace_file =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a JSONL trace of the session to $(docv) (inspect with bin/trace.exe).")
+
+let metrics_flag =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Count events and wire-codec work; print the registry on exit.")
+
 let cmd =
   Cmd.v
     (Cmd.info "p2pedit" ~doc:"Scriptable secured collaborative editing session")
-    Term.(const run $ users $ text)
+    Term.(const run $ users $ text $ trace_file $ metrics_flag)
 
 let () = exit (Cmd.eval cmd)

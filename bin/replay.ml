@@ -7,24 +7,25 @@
    reproduction recipe.
 
      dune exec bin/replay.exe -- --seeds 500
-     dune exec bin/replay.exe -- --seed 90 --trace     # replay one, verbose
+     dune exec bin/replay.exe -- --seed 90 --verbose   # replay one, verbose
      dune exec bin/replay.exe -- --no-undo --seeds 50  # watch the holes appear
+     dune exec bin/replay.exe -- --trace /tmp/t.jsonl  # then bin/trace.exe
 
    Exits non-zero if any oracle is violated (CI-friendly). *)
 
 open Dce_sim
 
-let run_one profile features trace seed =
-  let trace = if trace then Some Format.std_formatter else None in
-  match Runner.run ?trace ~features profile ~seed with
+let run_one profile features verbose sink metrics seed =
+  let trace = if verbose then Some Format.std_formatter else None in
+  match Runner.run ?trace ~features ?sink ?metrics profile ~seed with
   | result ->
     let report = Convergence.check result.Runner.controllers in
     if Convergence.ok report then `Ok result.Runner.stats
     else `Violation (Format.asprintf "%a" Convergence.pp report)
   | exception e -> `Crash (Printexc.to_string e)
 
-let main users duration seed seeds trace fifo max_latency handoff compact no_undo
-    no_interval no_validation =
+let main users duration seed seeds verbose trace_file metrics_flag fifo
+    max_latency handoff compact no_undo no_interval no_validation =
   let features =
     {
       Dce_core.Controller.retroactive_undo = not no_undo;
@@ -46,14 +47,28 @@ let main users duration seed seeds trace fifo max_latency handoff compact no_und
   let seed_list =
     match seed with Some s -> [ s ] | None -> List.init seeds (fun i -> i)
   in
+  let metrics =
+    if metrics_flag then Some (Dce_obs.Metrics.create ()) else None
+  in
   let bad = ref 0 in
   let total_stats = ref None in
+  (* With --trace the file is rewritten per seed, so after a multi-seed
+     sweep it holds the last run — one complete session, which is what
+     bin/trace.exe wants to audit. *)
+  let with_sink f =
+    match trace_file with
+    | None -> f None
+    | Some path -> Dce_obs.Trace.with_file path (fun s -> f (Some s))
+  in
   List.iter
     (fun s ->
-      match run_one profile features trace s with
+      let outcome =
+        with_sink (fun sink -> run_one profile features verbose sink metrics s)
+      in
+      match outcome with
       | `Ok stats ->
         total_stats := Some stats;
-        if trace then Format.printf "seed %d: ok@.%a@." s Runner.pp_stats stats
+        if verbose then Format.printf "seed %d: ok@.%a@." s Runner.pp_stats stats
       | `Violation report ->
         incr bad;
         Format.printf "seed %d: ORACLE VIOLATION@.%s@." s report
@@ -62,10 +77,16 @@ let main users duration seed seeds trace fifo max_latency handoff compact no_und
         Format.printf "seed %d: CRASH: %s@." s msg)
     seed_list;
   Format.printf "%d run(s), %d violation(s)@." (List.length seed_list) !bad;
-  (match (!total_stats, trace) with
+  (match (!total_stats, verbose) with
    | Some stats, false ->
      Format.printf "last run stats:@.%a@." Runner.pp_stats stats
    | _ -> ());
+  (match trace_file with
+   | Some path -> Format.printf "trace of last run written to %s@." path
+   | None -> ());
+  (match metrics with
+   | Some m -> Format.printf "metrics (all runs):@.%a@." Dce_obs.Metrics.pp m
+   | None -> ());
   if !bad > 0 then 1 else 0
 
 open Cmdliner
@@ -74,7 +95,17 @@ let users = Arg.(value & opt int 3 & info [ "users" ] ~doc:"Non-admin users.")
 let duration = Arg.(value & opt int 2000 & info [ "duration" ] ~doc:"Virtual ms of editing.")
 let seed = Arg.(value & opt (some int) None & info [ "seed" ] ~doc:"Run one specific seed.")
 let seeds = Arg.(value & opt int 100 & info [ "seeds" ] ~doc:"Number of seeds (0..n-1).")
-let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print every simulated event.")
+let verbose = Arg.(value & flag & info [ "verbose" ] ~doc:"Print every simulated event.")
+
+let trace_file =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a JSONL trace of the last run to $(docv) (inspect with bin/trace.exe).")
+
+let metrics_flag =
+  Arg.(value & flag
+       & info [ "metrics" ] ~doc:"Accumulate and print counters/histograms over all runs.")
+
 let fifo = Arg.(value & flag & info [ "fifo" ] ~doc:"FIFO links (no per-link reordering).")
 
 let max_latency =
@@ -102,7 +133,8 @@ let cmd =
   Cmd.v
     (Cmd.info "replay" ~doc:"Randomized convergence and security checker")
     Term.(
-      const main $ users $ duration $ seed $ seeds $ trace $ fifo $ max_latency
-      $ handoff $ compact $ no_undo $ no_interval $ no_validation)
+      const main $ users $ duration $ seed $ seeds $ verbose $ trace_file
+      $ metrics_flag $ fifo $ max_latency $ handoff $ compact $ no_undo
+      $ no_interval $ no_validation)
 
 let () = exit (Cmd.eval' cmd)

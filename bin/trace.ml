@@ -1,0 +1,171 @@
+(* trace: offline inspector for JSONL traces.
+
+   Reads a trace produced with --trace (replay, p2pedit or bench),
+   reconstructs per-site timelines, tabulates event counts per site,
+   derives generation-to-delivery propagation latency, and runs the
+   causal-sanity audit.  Exits non-zero when the audit finds
+   violations, so a trace check can gate CI like the oracles do.
+
+     dune exec bin/replay.exe -- --seed 42 --trace /tmp/t.jsonl
+     dune exec bin/trace.exe -- /tmp/t.jsonl
+     dune exec bin/trace.exe -- /tmp/t.jsonl --site 2 --limit 0  *)
+
+open Dce_obs
+
+module IntM = Map.Make (Int)
+
+let sites_of events =
+  List.sort_uniq compare (List.map (fun e -> e.Trace.site) events)
+
+(* ----- summary ----- *)
+
+let summary ppf events =
+  let n = List.length events in
+  let sites = sites_of events in
+  let min_f f = List.fold_left (fun a e -> min a (f e)) max_int events in
+  let max_f f = List.fold_left (fun a e -> max a (f e)) min_int events in
+  Format.fprintf ppf "%d event(s), %d site(s)%s@." n (List.length sites)
+    (if sites = [] then ""
+     else
+       Format.asprintf " (%a)"
+         (Format.pp_print_list
+            ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+            Format.pp_print_int)
+         sites);
+  if n > 0 then begin
+    Format.fprintf ppf "policy versions %d..%d, " (min_f (fun e -> e.Trace.version))
+      (max_f (fun e -> e.Trace.version));
+    let span = max_f (fun e -> e.Trace.t_ns) - min_f (fun e -> e.Trace.t_ns) in
+    Format.fprintf ppf "wall-clock span %.3f ms@." (float_of_int span /. 1e6)
+  end
+
+(* ----- per-site timelines ----- *)
+
+let timelines ppf events only_site limit =
+  let by_site =
+    List.fold_left
+      (fun m e ->
+        let s = e.Trace.site in
+        IntM.update s (function None -> Some [ e ] | Some l -> Some (e :: l)) m)
+      IntM.empty events
+  in
+  IntM.iter
+    (fun site rev ->
+      if only_site = None || only_site = Some site then begin
+        let evs = List.rev rev in
+        let n = List.length evs in
+        Format.fprintf ppf "@.-- site %d (%d event(s)) --@." site n;
+        let shown = if limit > 0 && n > limit then limit else n in
+        List.iteri
+          (fun i e -> if i < shown then Format.fprintf ppf "%a@." Trace.pp_event e)
+          evs;
+        if shown < n then
+          Format.fprintf ppf "... %d more (raise --limit or pass --limit 0)@."
+            (n - shown)
+      end)
+    by_site
+
+(* ----- per-event-type counts per site ----- *)
+
+let names =
+  [
+    "generate"; "check_local"; "broadcast"; "receive"; "interval_recheck";
+    "retroactive_undo"; "validate"; "invalidate"; "deliver"; "admin_apply";
+  ]
+
+let table ppf events =
+  let sites = sites_of events in
+  let count name site =
+    List.length
+      (List.filter
+         (fun e -> e.Trace.site = site && Trace.kind_name e.Trace.kind = name)
+         events)
+  in
+  Format.fprintf ppf "@.%-18s" "event";
+  List.iter (fun s -> Format.fprintf ppf "%8s" (Printf.sprintf "site %d" s)) sites;
+  Format.fprintf ppf "%8s@." "total";
+  List.iter
+    (fun name ->
+      let per = List.map (count name) sites in
+      let total = List.fold_left ( + ) 0 per in
+      if total > 0 then begin
+        Format.fprintf ppf "%-18s" name;
+        List.iter (fun c -> Format.fprintf ppf "%8d" c) per;
+        Format.fprintf ppf "%8d@." total
+      end)
+    names
+
+(* ----- propagation latency -----
+
+   Wall-clock from a request's [generate] at its origin to each remote
+   [deliver]; a sim run emits both from one process, so the monotonic
+   timestamps are comparable. *)
+
+let propagation ppf events =
+  let born = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      match e.Trace.kind with
+      | Trace.Generate { request; _ } ->
+        if not (Hashtbl.mem born request) then Hashtbl.add born request e.Trace.t_ns
+      | _ -> ())
+    events;
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "propagation_ns" in
+  List.iter
+    (fun e ->
+      match e.Trace.kind with
+      | Trace.Deliver { request; _ } -> (
+        match Hashtbl.find_opt born request with
+        | Some t0 -> Metrics.observe h (e.Trace.t_ns - t0)
+        | None -> ())
+      | _ -> ())
+    events;
+  let s = Metrics.summary h in
+  if s.Metrics.count > 0 then
+    Format.fprintf ppf
+      "@.propagation (generate -> deliver): %d sample(s), p50 %.0f ns, p95 %.0f ns, p99 %.0f ns, max %d ns@."
+      s.Metrics.count s.Metrics.p50 s.Metrics.p95 s.Metrics.p99 s.Metrics.max
+
+(* ----- entry point ----- *)
+
+let main file only_site limit quiet =
+  match Trace.read_file file with
+  | Error msg ->
+    Format.eprintf "trace: %s@." msg;
+    2
+  | Ok events ->
+    let ppf = Format.std_formatter in
+    summary ppf events;
+    if not quiet then begin
+      timelines ppf events only_site limit;
+      table ppf events;
+      propagation ppf events
+    end;
+    let violations = Audit.causality events in
+    Format.fprintf ppf "@.%a" Audit.pp_report violations;
+    if violations = [] then 0 else 1
+
+open Cmdliner
+
+let file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"JSONL trace file.")
+
+let only_site =
+  Arg.(value & opt (some int) None
+       & info [ "site" ] ~doc:"Show only this site's timeline.")
+
+let limit =
+  Arg.(value & opt int 20
+       & info [ "limit" ] ~doc:"Max events per site timeline (0 = unlimited).")
+
+let quiet =
+  Arg.(value & flag
+       & info [ "quiet"; "q" ] ~doc:"Only the summary and the causality check.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Inspect and audit a JSONL trace")
+    Term.(const main $ file $ only_site $ limit $ quiet)
+
+let () = exit (Cmd.eval' cmd)

@@ -18,6 +18,7 @@ type 'e t = {
   site : Subject.user;
   features : features;
   eq : 'e -> 'e -> bool;
+  trace : Dce_obs.Trace.sink;
   doc : 'e Tdoc.t;
   oplog : 'e Oplog.t;
   clock : Vclock.t;
@@ -34,11 +35,13 @@ type 'e t = {
   peer_admin_hint : (Subject.user * (Vclock.t * int)) list;
 }
 
-let create ?(eq = ( = )) ?(features = secure) ~site ~admin ~policy doc =
+let create ?(eq = ( = )) ?(features = secure) ?(trace = Dce_obs.Trace.null) ~site
+    ~admin ~policy doc =
   {
     site;
     features;
     eq;
+    trace;
     doc;
     oplog = Oplog.empty;
     clock = Vclock.empty;
@@ -65,6 +68,15 @@ let clock t = t.clock
 let pending_coop t = List.length t.coop_queue
 let pending_admin t = List.length t.admin_queue
 let tentative t = Oplog.tentative_requests t.oplog
+
+(* Telemetry: every security decision point emits a structured event
+   stamped with this site's id, vector clock and policy version.  [ev]
+   costs one load and branch when the sink is null; call sites whose
+   payload is expensive to build (formatted strings) must guard on
+   [Trace.enabled] themselves. *)
+let ev t kind =
+  if Dce_obs.Trace.enabled t.trace then
+    Dce_obs.Trace.emit t.trace ~site:t.site ~clock:t.clock ~version:(version t) kind
 
 type 'e outcome = Accepted of 'e message | Denied of string
 
@@ -129,9 +141,12 @@ let compact t =
 
 let generate t op =
   let op = Op.with_stamp ~site:t.site ~stamp:(Vclock.sum t.clock + 1) op in
-  if not (Policy.check_op (policy t) ~user:t.site op) then
+  if not (Policy.check_op (policy t) ~user:t.site op) then begin
+    ev t (Dce_obs.Trace.Check_local { granted = false });
     (t, Denied "denied by the local policy copy")
+  end
   else begin
+    ev t (Dce_obs.Trace.Check_local { granted = true });
     let serial = t.serial + 1 in
     let flag = if is_admin t then Request.Valid else Request.Tentative in
     let q =
@@ -142,7 +157,11 @@ let generate t op =
     let doc = Tdoc.apply ~eq:t.eq t.doc op in
     let oplog = Oplog.append_local q t.oplog in
     let clock = Vclock.tick t.clock t.site in
-    ({ t with doc; oplog; clock; serial }, Accepted (Coop q))
+    let t = { t with doc; oplog; clock; serial } in
+    ev t
+      (Dce_obs.Trace.Generate
+         { request = q.Request.id; valid = flag = Request.Valid });
+    (t, Accepted (Coop q))
   end
 
 (* A composite edit: pre-check every operation, then execute the run.
@@ -194,7 +213,12 @@ let enforce t r =
             Oplog.undo ~cancel_version:r.Admin_op.version qt.Request.id t.oplog
           with
           | None -> t
-          | Some (op, oplog) -> { t with oplog; doc = Tdoc.apply ~eq:t.eq t.doc op })
+          | Some (op, oplog) ->
+            let t = { t with oplog; doc = Tdoc.apply ~eq:t.eq t.doc op } in
+            ev t
+              (Dce_obs.Trace.Retroactive_undo
+                 { request = qt.Request.id; cancel_version = r.Admin_op.version });
+            t)
       t (tentative t)
 
 (* Apply the next administrative request.  Returns the follow-up
@@ -208,6 +232,13 @@ let apply_admin t (r : Admin_op.request) =
   | Error e -> Error e
   | Ok admin_log ->
     let t = { t with admin_log } in
+    if Dce_obs.Trace.enabled t.trace then
+      ev t
+        (Dce_obs.Trace.Admin_apply
+           {
+             op = Format.asprintf "%a" Admin_op.pp r.Admin_op.op;
+             restrictive = Admin_op.is_restrictive r.Admin_op.op;
+           });
     (match r.Admin_op.op with
      | Admin_op.Validate id ->
        (* only upgrade tentative requests: an Invalid entry stays
@@ -215,7 +246,9 @@ let apply_admin t (r : Admin_op.request) =
        let t =
          match Oplog.find id t.oplog with
          | Some q when q.Request.flag = Request.Tentative ->
-           { t with oplog = Oplog.set_flag id Request.Valid t.oplog }
+           let t = { t with oplog = Oplog.set_flag id Request.Valid t.oplog } in
+           ev t (Dce_obs.Trace.Validate id);
+           t
          | Some _ | None -> t
        in
        Ok (t, [])
@@ -274,13 +307,27 @@ let integrate_coop t (q : 'e Request.t) =
         Admin_log.first_denial t.admin_log ~from_version:q.Request.policy_version
           ~user:q.Request.id.Request.site ~right ~pos:(Op.pos q.Request.gen_op)
   in
+  (if t.features.interval_check && not from_admin then
+     match Right.of_op q.Request.gen_op with
+     | None -> ()
+     | Some _ ->
+       ev t
+         (Dce_obs.Trace.Interval_recheck
+            {
+              request = q.Request.id;
+              from_version = q.Request.policy_version;
+              to_version = version t;
+              denied_at = denial;
+            }));
   let t = note_integrated t q in
   match denial with
   | Some cancel_version ->
     let (op1, op2), oplog = Oplog.append_rejected ~cancel_version q t.oplog in
     let doc = Tdoc.apply ~eq:t.eq (Tdoc.apply ~eq:t.eq t.doc op1) op2 in
     let clock = Vclock.tick t.clock q.Request.id.Request.site in
-    ({ t with doc; oplog; clock }, [])
+    let t = { t with doc; oplog; clock } in
+    ev t (Dce_obs.Trace.Invalidate { request = q.Request.id; cancel_version });
+    (t, [])
   | None ->
     let q, emitted =
       if is_admin t && not from_admin && t.features.validation then
@@ -291,6 +338,13 @@ let integrate_coop t (q : 'e Request.t) =
     let doc = Tdoc.apply ~eq:t.eq t.doc op in
     let clock = Vclock.tick t.clock q.Request.id.Request.site in
     let t = { t with doc; oplog; clock } in
+    ev t
+      (Dce_obs.Trace.Deliver
+         {
+           request = q.Request.id;
+           gen_version = q.Request.policy_version;
+           valid = q.Request.flag = Request.Valid;
+         });
     (* the administrator's validation consumes the next version number
        and is broadcast *)
     List.fold_left
@@ -382,7 +436,7 @@ let dump t =
     st_admin_queue = t.admin_queue;
   }
 
-let load ?(eq = ( = )) s =
+let load ?(eq = ( = )) ?(trace = Dce_obs.Trace.null) s =
   let rec replay l = function
     | [] -> Ok l
     | r :: rest -> (
@@ -401,6 +455,7 @@ let load ?(eq = ( = )) s =
         site = s.st_site;
         features = s.st_features;
         eq;
+        trace;
         doc = Tdoc.of_cells s.st_doc;
         oplog = Oplog.of_entries ~compacted:s.st_compacted s.st_oplog;
         clock = s.st_clock;
@@ -419,6 +474,7 @@ let receive t msg =
       Oplog.mem q.Request.id t.oplog
       || List.exists (fun q' -> Request.id_equal q'.Request.id q.Request.id) t.coop_queue
     in
+    ev t (Dce_obs.Trace.Receive { coop = true; dup });
     if dup then (t, []) else drain ({ t with coop_queue = q :: t.coop_queue }, [])
   | Admin r ->
     let t = note_admin_hint t r in
@@ -426,4 +482,5 @@ let receive t msg =
       r.Admin_op.version <= version t
       || List.exists (fun r' -> r'.Admin_op.version = r.Admin_op.version) t.admin_queue
     in
+    ev t (Dce_obs.Trace.Receive { coop = false; dup });
     if dup then (t, []) else drain ({ t with admin_queue = r :: t.admin_queue }, [])

@@ -79,6 +79,7 @@ val naive : features
 val create :
   ?eq:('e -> 'e -> bool) ->
   ?features:features ->
+  ?trace:Dce_obs.Trace.sink ->
   site:Subject.user ->
   admin:Subject.user ->
   policy:Policy.t ->
@@ -86,7 +87,14 @@ val create :
   'e t
 (** All sites of a session must be created with the same initial policy
     and document ([D0]), the same [admin], the same [features] (default
-    {!secure}), and pairwise distinct [site] identifiers. *)
+    {!secure}), and pairwise distinct [site] identifiers.
+
+    [trace] (default [Dce_obs.Trace.null]) receives a structured
+    telemetry event at every security decision point — generation,
+    local checks, interval re-checks, retroactive undo, validation,
+    invalidation, integration, administrative application — each
+    stamped with this site's id, vector clock and policy version.  With
+    the null sink the instrumentation costs one branch per decision. *)
 
 val fork : site:Subject.user -> 'e t -> 'e t
 (** Late join (the paper's dynamic-groups requirement): bootstrap a new
@@ -177,7 +185,8 @@ type 'e state = {
 
 val dump : 'e t -> 'e state
 
-val load : ?eq:('e -> 'e -> bool) -> 'e state -> ('e t, string) result
+val load :
+  ?eq:('e -> 'e -> bool) -> ?trace:Dce_obs.Trace.sink -> 'e state -> ('e t, string) result
 
 (* {2 Log garbage collection (paper §7's future work)}
 

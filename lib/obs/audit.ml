@@ -1,0 +1,104 @@
+open Dce_ot
+
+module IntM = Map.Make (Int)
+
+module PairM = Map.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+module IdS = Set.Make (struct
+  type t = int * Request.id
+
+  let compare = compare
+end)
+
+let causality events =
+  let events = List.sort (fun a b -> compare a.Trace.seq b.Trace.seq) events in
+  let violations = ref [] in
+  let bad fmt = Format.kasprintf (fun s -> violations := s :: !violations) fmt in
+  (* per-site last seen clock; per (dst, src) last integrated serial;
+     per site, pending rechecks by request id; set of requests known
+     integrated (or generated) per site *)
+  let last_clock = ref IntM.empty in
+  let last_serial = ref PairM.empty in
+  let rechecks = ref PairM.empty (* (site, src) -> serial -> from_version *) in
+  let known = ref IdS.empty in
+  let integrated e (id : Request.id) gen_version =
+    let site = e.Trace.site in
+    let key = (site, id.Request.site) in
+    let prev = Option.value ~default:0 (PairM.find_opt key !last_serial) in
+    if id.Request.serial <= prev then
+      bad "[seq %d] site %d integrated %a out of order (last serial from site %d was %d)"
+        e.Trace.seq site Request.pp_id id id.Request.site prev
+    else last_serial := PairM.add key id.Request.serial !last_serial;
+    if
+      not
+        (Vclock.dominates_event e.Trace.clock ~site:id.Request.site
+           ~count:id.Request.serial)
+    then
+      bad "[seq %d] site %d clock %a does not cover integrated request %a" e.Trace.seq
+        site Vclock.pp e.Trace.clock Request.pp_id id;
+    (match gen_version with
+     | None -> ()
+     | Some gv -> (
+         match PairM.find_opt (site, id.Request.site) !rechecks with
+         | Some m when IntM.mem id.Request.serial m ->
+           let from_v = IntM.find id.Request.serial m in
+           if from_v <> gv then
+             bad
+               "[seq %d] site %d re-checked %a from v%d but the request was generated \
+                under v%d (wrong admin-log interval)"
+               e.Trace.seq site Request.pp_id id from_v gv
+         | _ -> ()));
+    known := IdS.add (site, id) !known
+  in
+  List.iter
+    (fun (e : Trace.event) ->
+      let site = e.Trace.site in
+      (match IntM.find_opt site !last_clock with
+       | Some prev when not (Vclock.leq prev e.Trace.clock) ->
+         bad "[seq %d] site %d clock went backwards: %a then %a" e.Trace.seq site
+           Vclock.pp prev Vclock.pp e.Trace.clock
+       | _ -> ());
+      last_clock := IntM.add site e.Trace.clock !last_clock;
+      match e.Trace.kind with
+      | Trace.Generate { request; _ } -> known := IdS.add (site, request) !known
+      | Trace.Interval_recheck { request; from_version; to_version; denied_at } ->
+        if from_version > to_version then
+          bad "[seq %d] site %d re-check interval runs backwards: v%d..v%d" e.Trace.seq
+            site from_version to_version;
+        if to_version <> e.Trace.version then
+          bad "[seq %d] site %d re-check stops at v%d but the site is at v%d"
+            e.Trace.seq site to_version e.Trace.version;
+        (match denied_at with
+         | Some v when v <= from_version || v > to_version ->
+           bad "[seq %d] site %d denial at v%d outside the re-checked interval v%d..v%d"
+             e.Trace.seq site v from_version to_version
+         | _ -> ());
+        let key = (site, request.Request.site) in
+        let m = Option.value ~default:IntM.empty (PairM.find_opt key !rechecks) in
+        rechecks := PairM.add key (IntM.add request.Request.serial from_version m) !rechecks
+      | Trace.Deliver { request; gen_version; _ } ->
+        integrated e request (Some gen_version)
+      | Trace.Invalidate { request; _ } -> integrated e request None
+      | Trace.Validate request ->
+        if not (IdS.mem (site, request) !known) then
+          bad "[seq %d] site %d validated %a before integrating it" e.Trace.seq site
+            Request.pp_id request
+      | Trace.Retroactive_undo { request; _ } ->
+        if not (IdS.mem (site, request) !known) then
+          bad "[seq %d] site %d undid %a before integrating it" e.Trace.seq site
+            Request.pp_id request
+      | Trace.Check_local _ | Trace.Broadcast _ | Trace.Receive _ | Trace.Admin_apply _
+        -> ())
+    events;
+  List.rev !violations
+
+let pp_report ppf = function
+  | [] -> Format.fprintf ppf "causality: OK"
+  | vs ->
+    Format.fprintf ppf "@[<v>causality: %d violation(s)@ " (List.length vs);
+    List.iter (fun v -> Format.fprintf ppf "  %s@ " v) vs;
+    Format.fprintf ppf "@]"

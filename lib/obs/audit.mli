@@ -1,0 +1,27 @@
+(** Offline causal-sanity checks over a trace.
+
+    The paper's security argument hinges on integration order: requests
+    integrate causally ready and in per-source serial order, local
+    vector clocks only grow, interval re-checks cover exactly the
+    administrative interval a request missed, and validations refer to
+    requests already integrated.  Each check reads off trace events
+    alone, so a JSONL trace from any run (simulator, p2pedit, bench)
+    can be audited after the fact — the visibility model-checking work
+    (Boucheneb & Imine 2008) argues these interleaving bugs need. *)
+
+val causality : Trace.event list -> string list
+(** All violations found (empty means the trace is causally sane):
+
+    - per site, vector clocks are non-decreasing in emission order;
+    - per (receiving site, source site), integrated serials
+      ([deliver]/[invalidate] events) are strictly increasing;
+    - every [deliver]/[invalidate] event's clock covers the request it
+      integrates;
+    - every [interval_recheck] runs forward ([from_version <=
+      to_version]), ends at the site's current version, reports
+      denials inside the interval, and matches the integrated
+      request's generation version;
+    - every [validate] event refers to a request previously integrated
+      (or generated) at that site. *)
+
+val pp_report : Format.formatter -> string list -> unit

@@ -1,0 +1,7 @@
+let last = ref 0
+
+let now_ns () =
+  let t = int_of_float (Unix.gettimeofday () *. 1e9) in
+  let t = if t <= !last then !last + 1 else t in
+  last := t;
+  t

@@ -1,0 +1,10 @@
+(** Monotone wall-clock timestamps for telemetry.
+
+    [Unix.gettimeofday] is not guaranteed monotone (NTP steps); trace
+    analysis (latency deltas, per-site timelines) needs timestamps that
+    never go backwards, so successive calls are clamped to be strictly
+    increasing.  Resolution is whatever the OS gives, typically ~1 µs. *)
+
+val now_ns : unit -> int
+(** Current time in nanoseconds since the epoch, strictly increasing
+    across calls within a process. *)

@@ -1,0 +1,29 @@
+(** A minimal JSON value type, printer and parser.
+
+    Just enough for the JSONL trace format ({!Trace}): no external
+    dependency, no streaming, strings are byte strings (non-ASCII bytes
+    are escaped as [\u00XX] on output and accepted back).  Round-trips
+    every value this library emits. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value; trailing garbage is an error. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on other constructors too. *)
+
+val to_int : t -> (int, string) result
+val to_bool : t -> (bool, string) result
+val to_str : t -> (string, string) result
+val to_list : t -> (t list, string) result

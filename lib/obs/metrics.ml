@@ -1,0 +1,167 @@
+(* Log-linear bucketing: values 0..7 map to buckets 0..7 (exact); larger
+   values map to 8 sub-buckets per power of two, indexed by the exponent
+   and the 3 bits below the leading one.  512 slots cover the whole
+   non-negative int range (floor log2 <= 62). *)
+
+let n_buckets = 512
+
+let floor_log2 v =
+  (* v > 0 *)
+  let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let bucket_of v =
+  if v < 8 then v
+  else
+    let b = floor_log2 v in
+    8 + ((b - 3) * 8) + ((v lsr (b - 3)) land 7)
+
+(* inclusive value range covered by a bucket *)
+let bucket_range k =
+  if k < 8 then (k, k)
+  else
+    let b = 3 + ((k - 8) / 8) in
+    let r = (k - 8) mod 8 in
+    let width = 1 lsl (b - 3) in
+    let lo = (1 lsl b) + (r * width) in
+    (lo, lo + width - 1)
+
+type hist = {
+  buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+}
+
+type t = {
+  mutable on : bool;
+  counters_tbl : (string, int ref) Hashtbl.t;
+  hists_tbl : (string, hist) Hashtbl.t;
+}
+
+type counter = { reg : t; cell : int ref }
+
+type histogram = { hreg : t; h : hist }
+
+let create ?(enabled = true) () =
+  { on = enabled; counters_tbl = Hashtbl.create 16; hists_tbl = Hashtbl.create 16 }
+
+let enabled t = t.on
+let set_enabled t v = t.on <- v
+
+let counter t name =
+  match Hashtbl.find_opt t.counters_tbl name with
+  | Some cell -> { reg = t; cell }
+  | None ->
+    let cell = ref 0 in
+    Hashtbl.add t.counters_tbl name cell;
+    { reg = t; cell }
+
+let incr c = if c.reg.on then Stdlib.incr c.cell
+let add c n = if c.reg.on then c.cell := !(c.cell) + n
+let value c = !(c.cell)
+
+let fresh_hist () =
+  { buckets = Array.make n_buckets 0; h_count = 0; h_sum = 0; h_min = max_int; h_max = 0 }
+
+let histogram t name =
+  match Hashtbl.find_opt t.hists_tbl name with
+  | Some h -> { hreg = t; h }
+  | None ->
+    let h = fresh_hist () in
+    Hashtbl.add t.hists_tbl name h;
+    { hreg = t; h }
+
+let observe hg v =
+  if hg.hreg.on then begin
+    let h = hg.h in
+    let v = if v < 0 then 0 else v in
+    h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum + v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+  end
+
+type summary = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let percentile_of_hist h p =
+  if h.h_count = 0 then nan
+  else begin
+    let target =
+      let r = int_of_float (ceil (p /. 100. *. float_of_int h.h_count)) in
+      if r < 1 then 1 else if r > h.h_count then h.h_count else r
+    in
+    let rec walk k acc =
+      let acc = acc + h.buckets.(k) in
+      if acc >= target then k else walk (k + 1) acc
+    in
+    let k = walk 0 0 in
+    let lo, hi = bucket_range k in
+    let mid = (float_of_int lo +. float_of_int hi) /. 2. in
+    Float.min (float_of_int h.h_max) (Float.max (float_of_int h.h_min) mid)
+  end
+
+let percentile hg p = percentile_of_hist hg.h p
+
+let summary_of_hist h =
+  {
+    count = h.h_count;
+    sum = h.h_sum;
+    min = (if h.h_count = 0 then 0 else h.h_min);
+    max = h.h_max;
+    p50 = percentile_of_hist h 50.;
+    p95 = percentile_of_hist h 95.;
+    p99 = percentile_of_hist h 99.;
+  }
+
+let summary hg = summary_of_hist hg.h
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counters t = List.map (fun (k, cell) -> (k, !cell)) (sorted_bindings t.counters_tbl)
+
+let histograms t =
+  List.map (fun (k, h) -> (k, summary_of_hist h)) (sorted_bindings t.hists_tbl)
+
+let reset t =
+  Hashtbl.iter (fun _ cell -> cell := 0) t.counters_tbl;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.buckets 0 n_buckets 0;
+      h.h_count <- 0;
+      h.h_sum <- 0;
+      h.h_min <- max_int;
+      h.h_max <- 0)
+    t.hists_tbl
+
+let pp ppf t =
+  let cs = counters t and hs = histograms t in
+  Format.fprintf ppf "@[<v>";
+  if cs <> [] then begin
+    Format.fprintf ppf "counters:@ ";
+    List.iter (fun (name, v) -> Format.fprintf ppf "  %-36s %12d@ " name v) cs
+  end;
+  if hs <> [] then begin
+    Format.fprintf ppf "histograms:@ ";
+    Format.fprintf ppf "  %-36s %10s %12s %12s %12s %12s@ " "name" "count" "p50" "p95"
+      "p99" "max";
+    List.iter
+      (fun (name, s) ->
+        Format.fprintf ppf "  %-36s %10d %12.1f %12.1f %12.1f %12d@ " name s.count s.p50
+          s.p95 s.p99 s.max)
+      hs
+  end;
+  if cs = [] && hs = [] then Format.fprintf ppf "(no metrics registered)@ ";
+  Format.fprintf ppf "@]"

@@ -1,0 +1,286 @@
+open Dce_ot
+
+type kind =
+  | Generate of { request : Request.id; valid : bool }
+  | Check_local of { granted : bool }
+  | Broadcast of { targets : int; coop : bool }
+  | Receive of { coop : bool; dup : bool }
+  | Interval_recheck of {
+      request : Request.id;
+      from_version : int;
+      to_version : int;
+      denied_at : int option;
+    }
+  | Retroactive_undo of { request : Request.id; cancel_version : int }
+  | Validate of Request.id
+  | Invalidate of { request : Request.id; cancel_version : int }
+  | Deliver of { request : Request.id; gen_version : int; valid : bool }
+  | Admin_apply of { op : string; restrictive : bool }
+
+type event = {
+  seq : int;
+  t_ns : int;
+  site : int;
+  clock : Vclock.t;
+  version : int;
+  kind : kind;
+}
+
+let kind_name = function
+  | Generate _ -> "generate"
+  | Check_local _ -> "check_local"
+  | Broadcast _ -> "broadcast"
+  | Receive _ -> "receive"
+  | Interval_recheck _ -> "interval_recheck"
+  | Retroactive_undo _ -> "retroactive_undo"
+  | Validate _ -> "validate"
+  | Invalidate _ -> "invalidate"
+  | Deliver _ -> "deliver"
+  | Admin_apply _ -> "admin_apply"
+
+(* ----- sinks ----- *)
+
+type sink = { on : bool; send : event -> unit }
+
+let null = { on = false; send = ignore }
+
+let enabled s = s.on
+
+let seq_counter = ref 0
+
+let emit s ~site ~clock ~version kind =
+  if s.on then begin
+    incr seq_counter;
+    s.send { seq = !seq_counter; t_ns = Clock.now_ns (); site; clock; version; kind }
+  end
+
+let callback f = { on = true; send = f }
+
+let tee a b =
+  {
+    on = a.on || b.on;
+    send =
+      (fun e ->
+        if a.on then a.send e;
+        if b.on then b.send e);
+  }
+
+type ring = { buf : event option array; mutable next : int; mutable stored : int }
+
+let ring ~capacity =
+  if capacity <= 0 then invalid_arg "Trace.ring: capacity must be positive";
+  { buf = Array.make capacity None; next = 0; stored = 0 }
+
+let ring_sink r =
+  callback (fun e ->
+      let cap = Array.length r.buf in
+      r.buf.(r.next) <- Some e;
+      r.next <- (r.next + 1) mod cap;
+      if r.stored < cap then r.stored <- r.stored + 1)
+
+let ring_events r =
+  let cap = Array.length r.buf in
+  let start = (r.next - r.stored + cap) mod cap in
+  List.init r.stored (fun i ->
+      match r.buf.((start + i) mod cap) with
+      | Some e -> e
+      | None -> assert false)
+
+(* ----- JSONL ----- *)
+
+let id_json (id : Request.id) =
+  Json.Obj [ ("site", Json.Int id.Request.site); ("serial", Json.Int id.Request.serial) ]
+
+let id_of_json j =
+  match (Option.map Json.to_int (Json.member "site" j),
+         Option.map Json.to_int (Json.member "serial" j))
+  with
+  | Some (Ok site), Some (Ok serial) -> Ok { Request.site; serial }
+  | _ -> Error "malformed request id"
+
+let kind_fields = function
+  | Generate { request; valid } ->
+    [ ("req", id_json request); ("valid", Json.Bool valid) ]
+  | Check_local { granted } -> [ ("granted", Json.Bool granted) ]
+  | Broadcast { targets; coop } ->
+    [ ("targets", Json.Int targets); ("coop", Json.Bool coop) ]
+  | Receive { coop; dup } -> [ ("coop", Json.Bool coop); ("dup", Json.Bool dup) ]
+  | Interval_recheck { request; from_version; to_version; denied_at } ->
+    [ ("req", id_json request);
+      ("from_version", Json.Int from_version);
+      ("to_version", Json.Int to_version);
+    ]
+    @ (match denied_at with None -> [] | Some v -> [ ("denied_at", Json.Int v) ])
+  | Retroactive_undo { request; cancel_version } ->
+    [ ("req", id_json request); ("cancel_version", Json.Int cancel_version) ]
+  | Validate request -> [ ("req", id_json request) ]
+  | Invalidate { request; cancel_version } ->
+    [ ("req", id_json request); ("cancel_version", Json.Int cancel_version) ]
+  | Deliver { request; gen_version; valid } ->
+    [ ("req", id_json request);
+      ("gen_version", Json.Int gen_version);
+      ("valid", Json.Bool valid);
+    ]
+  | Admin_apply { op; restrictive } ->
+    [ ("op", Json.String op); ("restrictive", Json.Bool restrictive) ]
+
+let to_json e =
+  Json.Obj
+    ([
+       ("seq", Json.Int e.seq);
+       ("t_ns", Json.Int e.t_ns);
+       ("site", Json.Int e.site);
+       ("clock",
+        Json.List
+          (List.map
+             (fun (s, c) -> Json.List [ Json.Int s; Json.Int c ])
+             (Vclock.to_list e.clock)));
+       ("version", Json.Int e.version);
+       ("event", Json.String (kind_name e.kind));
+     ]
+    @ kind_fields e.kind)
+
+let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e
+
+let field name conv j =
+  match Json.member name j with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> ( match conv v with Ok _ as ok -> ok | Error e -> Error (name ^ ": " ^ e))
+
+let req_field j = field "req" id_of_json j
+
+let kind_of_json name j =
+  match name with
+  | "generate" ->
+    let* request = req_field j in
+    let* valid = field "valid" Json.to_bool j in
+    Ok (Generate { request; valid })
+  | "check_local" ->
+    let* granted = field "granted" Json.to_bool j in
+    Ok (Check_local { granted })
+  | "broadcast" ->
+    let* targets = field "targets" Json.to_int j in
+    let* coop = field "coop" Json.to_bool j in
+    Ok (Broadcast { targets; coop })
+  | "receive" ->
+    let* coop = field "coop" Json.to_bool j in
+    let* dup = field "dup" Json.to_bool j in
+    Ok (Receive { coop; dup })
+  | "interval_recheck" ->
+    let* request = req_field j in
+    let* from_version = field "from_version" Json.to_int j in
+    let* to_version = field "to_version" Json.to_int j in
+    let* denied_at =
+      match Json.member "denied_at" j with
+      | None -> Ok None
+      | Some v -> ( match Json.to_int v with Ok n -> Ok (Some n) | Error e -> Error e)
+    in
+    Ok (Interval_recheck { request; from_version; to_version; denied_at })
+  | "retroactive_undo" ->
+    let* request = req_field j in
+    let* cancel_version = field "cancel_version" Json.to_int j in
+    Ok (Retroactive_undo { request; cancel_version })
+  | "validate" ->
+    let* request = req_field j in
+    Ok (Validate request)
+  | "invalidate" ->
+    let* request = req_field j in
+    let* cancel_version = field "cancel_version" Json.to_int j in
+    Ok (Invalidate { request; cancel_version })
+  | "deliver" ->
+    let* request = req_field j in
+    let* gen_version = field "gen_version" Json.to_int j in
+    let* valid = field "valid" Json.to_bool j in
+    Ok (Deliver { request; gen_version; valid })
+  | "admin_apply" ->
+    let* op = field "op" Json.to_str j in
+    let* restrictive = field "restrictive" Json.to_bool j in
+    Ok (Admin_apply { op; restrictive })
+  | other -> Error (Printf.sprintf "unknown event kind %S" other)
+
+let of_json j =
+  let* seq = field "seq" Json.to_int j in
+  let* t_ns = field "t_ns" Json.to_int j in
+  let* site = field "site" Json.to_int j in
+  let* version = field "version" Json.to_int j in
+  let* clock =
+    field "clock"
+      (fun v ->
+        let* entries = Json.to_list v in
+        let rec go acc = function
+          | [] -> Ok (Vclock.of_list (List.rev acc))
+          | Json.List [ Json.Int s; Json.Int c ] :: rest -> go ((s, c) :: acc) rest
+          | _ -> Error "malformed clock entry"
+        in
+        go [] entries)
+      j
+  in
+  let* name = field "event" Json.to_str j in
+  let* kind = kind_of_json name j in
+  Ok { seq; t_ns; site; clock; version; kind }
+
+let to_channel oc =
+  callback (fun e ->
+      output_string oc (Json.to_string (to_json e));
+      output_char oc '\n')
+
+let with_file path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f (to_channel oc))
+
+let count_into m =
+  callback (fun e -> Metrics.incr (Metrics.counter m ("trace." ^ kind_name e.kind)))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc lineno =
+        match input_line ic with
+        | exception End_of_file -> Ok (List.rev acc)
+        | "" -> go acc (lineno + 1)
+        | line -> (
+            match Json.of_string line with
+            | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+            | Ok j -> (
+                match of_json j with
+                | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+                | Ok ev -> go (ev :: acc) (lineno + 1)))
+      in
+      go [] 1)
+
+let pp_kind ppf = function
+  | Generate { request; valid } ->
+    Format.fprintf ppf "generate %a%s" Request.pp_id request
+      (if valid then " (valid)" else "")
+  | Check_local { granted } ->
+    Format.fprintf ppf "check_local %s" (if granted then "granted" else "denied")
+  | Broadcast { targets; coop } ->
+    Format.fprintf ppf "broadcast %s to %d peer(s)"
+      (if coop then "coop" else "admin")
+      targets
+  | Receive { coop; dup } ->
+    Format.fprintf ppf "receive %s%s"
+      (if coop then "coop" else "admin")
+      (if dup then " (duplicate)" else "")
+  | Interval_recheck { request; from_version; to_version; denied_at } ->
+    Format.fprintf ppf "interval_recheck %a v%d..v%d%a" Request.pp_id request
+      from_version to_version
+      (fun ppf -> function
+        | None -> Format.fprintf ppf " ok"
+        | Some v -> Format.fprintf ppf " denied@@v%d" v)
+      denied_at
+  | Retroactive_undo { request; cancel_version } ->
+    Format.fprintf ppf "retroactive_undo %a @@v%d" Request.pp_id request cancel_version
+  | Validate request -> Format.fprintf ppf "validate %a" Request.pp_id request
+  | Invalidate { request; cancel_version } ->
+    Format.fprintf ppf "invalidate %a @@v%d" Request.pp_id request cancel_version
+  | Deliver { request; gen_version; valid } ->
+    Format.fprintf ppf "deliver %a (gen v%d%s)" Request.pp_id request gen_version
+      (if valid then ", valid" else "")
+  | Admin_apply { op; restrictive } ->
+    Format.fprintf ppf "admin_apply %s%s" op (if restrictive then " (restrictive)" else "")
+
+let pp_event ppf e =
+  Format.fprintf ppf "[%d] site %d v%d %a" e.seq e.site e.version pp_kind e.kind

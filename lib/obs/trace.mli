@@ -1,0 +1,115 @@
+(** Structured trace events for the security-relevant lifecycle.
+
+    Every decision the paper's three mechanisms take — local checks,
+    interval re-checks against the administrative log, retroactive
+    undo, validation — plus the surrounding plumbing (generation,
+    broadcast, reception, integration, administrative application) is
+    describable as one {!kind}.  An {!event} stamps the kind with the
+    emitting site, its vector clock, its policy version, a process-wide
+    sequence number and a monotonic wall-clock timestamp, which is
+    enough to reconstruct per-site timelines and check causal sanity
+    offline (see {!Audit} and [bin/trace]).
+
+    Events flow into a pluggable {!sink}.  The {!null} sink is a
+    compiled-in no-op: emit sites guard on {!enabled}, so a disabled
+    build path costs one load and branch per decision point.  Other
+    sinks: an in-memory ring buffer (crash forensics, tests), a JSONL
+    channel (offline analysis), a callback, and {!tee} composition. *)
+
+open Dce_ot
+
+type kind =
+  | Generate of { request : Request.id; valid : bool }
+      (** A locally granted request entered the log ([valid] when born
+          at the administrator). *)
+  | Check_local of { granted : bool }  (** Algorithm 2's local policy check. *)
+  | Broadcast of { targets : int; coop : bool }
+      (** A message left the site for [targets] peers. *)
+  | Receive of { coop : bool; dup : bool }
+      (** A message reached the controller ([dup]: dropped as a
+          duplicate). *)
+  | Interval_recheck of {
+      request : Request.id;
+      from_version : int;
+      to_version : int;
+      denied_at : int option;
+    }
+      (** A remote request generated under policy [from_version] was
+          re-checked against the administrative log up to [to_version]
+          (the Fig. 3 mechanism); [denied_at] is the version of the
+          first denying administrative request, if any. *)
+  | Retroactive_undo of { request : Request.id; cancel_version : int }
+      (** A tentative request was undone by the restrictive
+          administrative request producing [cancel_version] (Fig. 2). *)
+  | Validate of Request.id
+      (** A tentative request was upgraded to valid (Fig. 4). *)
+  | Invalidate of { request : Request.id; cancel_version : int }
+      (** A remote request was denied on integration and recorded with
+          no visible effect. *)
+  | Deliver of { request : Request.id; gen_version : int; valid : bool }
+      (** A remote request was accepted, transformed and executed on
+          the local document. *)
+  | Admin_apply of { op : string; restrictive : bool }
+      (** An administrative request was applied; the event's [version]
+          is the version it produced. *)
+
+type event = {
+  seq : int;  (** process-wide emission order *)
+  t_ns : int;  (** monotonic wall clock, ns (see {!Clock}) *)
+  site : int;
+  clock : Vclock.t;  (** the site's vector clock at emission *)
+  version : int;  (** the site's policy version at emission *)
+  kind : kind;
+}
+
+val kind_name : kind -> string
+
+(** {2 Sinks} *)
+
+type sink
+
+val null : sink
+(** Drops everything; {!enabled} is [false]. *)
+
+val enabled : sink -> bool
+
+val emit : sink -> site:int -> clock:Vclock.t -> version:int -> kind -> unit
+(** Stamp [seq]/[t_ns] and deliver.  A no-op on {!null}; callers on hot
+    paths should still guard event construction with {!enabled}. *)
+
+val callback : (event -> unit) -> sink
+
+val tee : sink -> sink -> sink
+(** Both sinks receive every event; enabled iff either is. *)
+
+type ring
+
+val ring : capacity:int -> ring
+(** A bounded in-memory buffer keeping the most recent [capacity]
+    events. *)
+
+val ring_sink : ring -> sink
+val ring_events : ring -> event list  (** Oldest first. *)
+
+val to_channel : out_channel -> sink
+(** One JSON object per line ({!to_json}); the caller owns the
+    channel. *)
+
+val with_file : string -> (sink -> 'a) -> 'a
+(** [with_file path f]: truncate/create [path], run [f] with a JSONL
+    sink on it, close (also on exception). *)
+
+val count_into : Metrics.t -> sink
+(** Increments the counter [trace.<kind>] of the registry for every
+    event — per-event-type totals with no buffering. *)
+
+(** {2 JSONL} *)
+
+val to_json : event -> Json.t
+val of_json : Json.t -> (event, string) result
+
+val read_file : string -> (event list, string) result
+(** Parse a JSONL trace; blank lines are skipped, the first malformed
+    line is an error. *)
+
+val pp_event : Format.formatter -> event -> unit

@@ -13,7 +13,7 @@ type 'm t = {
   fifo : bool;
   latency : latency;
   sites : int list;
-  queue : (int * 'm) Q.t; (* key -> destination, message *)
+  queue : (int * int * 'm) Q.t; (* key -> destination, enqueue time, message *)
   seq : int;
   last_on_link : ((int * int) * int) list; (* (src,dst) -> last delivery time *)
 }
@@ -37,7 +37,12 @@ let send t rng ~now ~src ~dst m =
       let at = max at prev in
       (at, (key, at) :: List.remove_assoc key t.last_on_link)
   in
-  ( { t with queue = Q.add (at, t.seq) (dst, m) t.queue; seq = t.seq + 1; last_on_link },
+  ( {
+      t with
+      queue = Q.add (at, t.seq) (dst, now, m) t.queue;
+      seq = t.seq + 1;
+      last_on_link;
+    },
     rng )
 
 let broadcast t rng ~now ~src m =
@@ -45,11 +50,18 @@ let broadcast t rng ~now ~src m =
     (fun (t, rng) dst -> if dst = src then (t, rng) else send t rng ~now ~src ~dst m)
     (t, rng) t.sites
 
-let pop t =
+type 'm delivery = { at : int; dst : int; sent_at : int; msg : 'm }
+
+let pop_delivery t =
   match Q.min_binding_opt t.queue with
   | None -> None
-  | Some (((time, _) as key), (dst, m)) ->
-    Some ((time, dst, m), { t with queue = Q.remove key t.queue })
+  | Some (((time, _) as key), (dst, sent_at, m)) ->
+    Some ({ at = time; dst; sent_at; msg = m }, { t with queue = Q.remove key t.queue })
+
+let pop t =
+  match pop_delivery t with
+  | None -> None
+  | Some (d, t) -> Some ((d.at, d.dst, d.msg), t)
 
 let peek_time t =
   match Q.min_binding_opt t.queue with Some (((time, _), _)) -> Some time | None -> None

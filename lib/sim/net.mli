@@ -29,6 +29,18 @@ val send : 'm t -> Rng.t -> now:int -> src:int -> dst:int -> 'm -> 'm t * Rng.t
 val pop : 'm t -> ((int * int * 'm) * 'm t) option
 (** Next delivery: [(time, destination, message)]. *)
 
+type 'm delivery = {
+  at : int;  (** delivery time *)
+  dst : int;
+  sent_at : int;  (** enqueue time; [at - sent_at] is the link latency *)
+  msg : 'm;
+}
+
+val pop_delivery : 'm t -> ('m delivery * 'm t) option
+(** {!pop} with the full delivery record — telemetry wants the latency
+    actually experienced, which under FIFO clamping can exceed the drawn
+    delay. *)
+
 val peek_time : 'm t -> int option
 val in_flight : 'm t -> int
 

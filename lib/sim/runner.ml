@@ -93,18 +93,15 @@ let sample_admin_op rng ~revoke_bias ~handoff_prob ~users policy =
     let i, rng = Rng.pick rng indices_of_negatives in
     (Admin_op.Del_auth i, rng)
 
-let broadcast_from st src msgs =
-  List.fold_left
-    (fun st m ->
-      let net, rng = Net.broadcast st.net st.rng ~now:st.time ~src m in
-      { st with net; rng })
-    st msgs
-
 let pp_msg ppf = function
   | Controller.Coop q -> Request.pp Fmt.char ppf q
   | Controller.Admin r -> Admin_op.pp_request ppf r
 
-let run ?trace ?(features = Controller.secure) ?policy (p : Workload.profile) ~seed =
+module M = Dce_obs.Metrics
+module T = Dce_obs.Trace
+
+let run ?trace ?(features = Controller.secure) ?policy ?sink ?metrics
+    (p : Workload.profile) ~seed =
   let tr fmt =
     match trace with
     | None -> Format.ifprintf Format.std_formatter fmt
@@ -119,10 +116,55 @@ let run ?trace ?(features = Controller.secure) ?policy (p : Workload.profile) ~s
     | None ->
       Policy.make ~users:sites [ Auth.grant [ Subject.Any ] [ Docobj.Whole ] Right.all ]
   in
+  (* Telemetry.  The registry mirrors the returned [stats]; the
+     [invalidated]/[validated] fields are derived from the controller's
+     own trace events at site 0 (not hand-kept counts), so the stats and
+     the telemetry stream cannot disagree. *)
+  let metrics = match metrics with Some m -> m | None -> M.create () in
+  let m_invalidated = M.counter metrics "controller.invalidated"
+  and m_validated = M.counter metrics "controller.validated"
+  and m_denied_local = M.counter metrics "controller.denied_local"
+  and m_edits = M.counter metrics "sim.edits_generated"
+  and m_delivered = M.counter metrics "net.delivered"
+  and m_latency = M.histogram metrics "net.latency_vms"
+  and m_queue = M.histogram metrics "net.queue_depth"
+  and m_deliver_ns = M.histogram metrics "sim.deliver_ns"
+  and m_generate_ns = M.histogram metrics "sim.generate_ns" in
+  let invalidated = ref 0 and validated = ref 0 in
+  let counting =
+    T.callback (fun e ->
+        if e.T.site = 0 then
+          match e.T.kind with
+          | T.Invalidate _ | T.Retroactive_undo _ ->
+            incr invalidated;
+            M.incr m_invalidated
+          | T.Validate _ | T.Deliver { valid = true; _ } | T.Generate { valid = true; _ }
+            ->
+            incr validated;
+            M.incr m_validated
+          | _ -> ())
+  in
+  let sink = match sink with None -> counting | Some s -> T.tee counting s in
   let doc0 = Tdoc.of_string p.Workload.initial_text in
   let controllers =
     Array.init nsites (fun i ->
-        Controller.create ~eq:Char.equal ~features ~site:i ~admin:0 ~policy doc0)
+        Controller.create ~eq:Char.equal ~features ~trace:sink ~site:i ~admin:0 ~policy
+          doc0)
+  in
+  let broadcast_from st src msgs =
+    List.fold_left
+      (fun st m ->
+        (let c = st.controllers.(src) in
+         T.emit sink ~site:src ~clock:(Controller.clock c)
+           ~version:(Controller.version c)
+           (T.Broadcast
+              {
+                targets = nsites - 1;
+                coop = (match m with Controller.Coop _ -> true | Controller.Admin _ -> false);
+              }));
+        let net, rng = Net.broadcast st.net st.rng ~now:st.time ~src m in
+        { st with net; rng })
+      st msgs
   in
   let rng = Rng.of_int seed in
   let schedule rng (lo, hi) now =
@@ -161,10 +203,16 @@ let run ?trace ?(features = Controller.secure) ?policy (p : Workload.profile) ~s
         stats = zero_stats;
       }
   in
-  let deliver_one (time, dst, msg) =
+  let deliver_one (d : _ Net.delivery) =
     let s = !st in
+    let time = d.Net.at and dst = d.Net.dst and msg = d.Net.msg in
     tr "t=%d DELIVER to %d: %a@." time dst pp_msg msg;
+    M.observe m_latency (d.Net.at - d.Net.sent_at);
+    M.observe m_queue (Net.in_flight s.net);
+    let t0 = if M.enabled metrics then Dce_obs.Clock.now_ns () else 0 in
     let c, emitted = Controller.receive s.controllers.(dst) msg in
+    if M.enabled metrics then M.observe m_deliver_ns (Dce_obs.Clock.now_ns () - t0);
+    M.incr m_delivered;
     let c =
       match p.Workload.compact_every with
       | Some every when (s.stats.messages_delivered + 1) mod every = 0 ->
@@ -184,16 +232,21 @@ let run ?trace ?(features = Controller.secure) ?policy (p : Workload.profile) ~s
     let op, rng = sample_op s.rng p.Workload.op_mix (Controller.document c) in
     let s = { s with rng } in
     tr "t=%d EDIT site %d: %a@." s.time i (Op.pp Fmt.char) op;
+    let t0 = if M.enabled metrics then Dce_obs.Clock.now_ns () else 0 in
+    let outcome = Controller.generate c op in
+    if M.enabled metrics then M.observe m_generate_ns (Dce_obs.Clock.now_ns () - t0);
     let s =
-      match Controller.generate c op with
+      match outcome with
       | c, Controller.Accepted m ->
         tr "  -> accepted, doc=%S@." (Tdoc.visible_string (Controller.document c));
         s.controllers.(i) <- c;
+        M.incr m_edits;
         let s =
           { s with stats = { s.stats with edits_generated = s.stats.edits_generated + 1 } }
         in
         broadcast_from s i [ m ]
       | _, Controller.Denied _ ->
+        M.incr m_denied_local;
         {
           s with
           stats =
@@ -266,7 +319,7 @@ let run ?trace ?(features = Controller.secure) ?policy (p : Workload.profile) ~s
     let t = min (min next_edit_time next_admin_time) next_delivery in
     if t = max_int then ()
     else if t = next_delivery then begin
-      match Net.pop s.net with
+      match Net.pop_delivery s.net with
       | None -> ()
       | Some (d, net) ->
         st := { s with net; time = t };
@@ -288,20 +341,9 @@ let run ?trace ?(features = Controller.secure) ?policy (p : Workload.profile) ~s
   in
   loop ();
   let s = !st in
-  (* count flags at the administrator *)
-  let invalidated, validated =
-    List.fold_left
-      (fun (i, v) (q : char Request.t) ->
-        match q.Request.flag with
-        | Request.Invalid -> (i + 1, v)
-        | Request.Valid -> (i, v + 1)
-        | Request.Tentative -> (i, v))
-      (0, 0)
-      (Oplog.requests (Controller.oplog s.controllers.(0)))
-  in
   {
     controllers = Array.to_list s.controllers;
-    stats = { s.stats with invalidated; validated };
+    stats = { s.stats with invalidated = !invalidated; validated = !validated };
     final_time = s.time;
   }
 

@@ -14,8 +14,12 @@ type stats = {
   admin_requests : int;
   restrictive_requests : int;
   messages_delivered : int;
-  invalidated : int;  (** requests flagged invalid at the administrator, at quiescence *)
-  validated : int;
+  invalidated : int;
+      (** requests invalidated at site 0, derived from the controller's
+          trace events ([invalidate] + [retroactive_undo]) — never
+          hand-incremented, so these counts cannot drift from the
+          telemetry stream *)
+  validated : int;  (** likewise: [validate] + born/delivered-valid events at site 0 *)
 }
 
 type result = {
@@ -28,6 +32,8 @@ val run :
   ?trace:Format.formatter ->
   ?features:Dce_core.Controller.features ->
   ?policy:Dce_core.Policy.t ->
+  ?sink:Dce_obs.Trace.sink ->
+  ?metrics:Dce_obs.Metrics.t ->
   Workload.profile ->
   seed:int ->
   result
@@ -35,6 +41,13 @@ val run :
     paper's three mechanisms are active — disable some to reproduce the
     §4 security holes (see [Dce_baseline.Naive] and the ablation bench).
     [policy] defaults to "everyone may do everything" over the profile's
-    sites, which is what lets a restrictive administrator bite. *)
+    sites, which is what lets a restrictive administrator bite.
+
+    [sink] receives every controller trace event of every site plus the
+    runner's own [broadcast] events.  [metrics] (default: a private
+    registry) accumulates counters mirroring {!stats} and histograms for
+    network latency, queue depth and wall-clock per-delivery /
+    per-generation timings ([net.latency_vms], [net.queue_depth],
+    [sim.deliver_ns], [sim.generate_ns]). *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -161,12 +161,39 @@ let crc32 s =
     s;
   Int32.logxor !c 0xFFFFFFFFl
 
+(* ----- telemetry -----
+
+   Optional per-frame instrumentation: payload sizes and wall-clock
+   encode/decode times into a metrics registry.  Off ([None]) the cost
+   is one load and branch per frame. *)
+
+type instruments = {
+  enc_bytes : Dce_obs.Metrics.histogram;
+  dec_bytes : Dce_obs.Metrics.histogram;
+  enc_ns : Dce_obs.Metrics.histogram;
+  dec_ns : Dce_obs.Metrics.histogram;
+}
+
+let instr : instruments option ref = ref None
+
+let set_metrics = function
+  | None -> instr := None
+  | Some m ->
+    instr :=
+      Some
+        {
+          enc_bytes = Dce_obs.Metrics.histogram m "wire.encode_bytes";
+          dec_bytes = Dce_obs.Metrics.histogram m "wire.decode_bytes";
+          enc_ns = Dce_obs.Metrics.histogram m "wire.encode_ns";
+          dec_ns = Dce_obs.Metrics.histogram m "wire.decode_ns";
+        }
+
 (* ----- framing ----- *)
 
 let magic = "DCE1"
 let format_version = 1
 
-let frame payload =
+let frame_raw payload =
   let b = Buffer.create (String.length payload + 16) in
   Buffer.add_string b magic;
   put_varint b format_version;
@@ -177,7 +204,17 @@ let frame payload =
   Buffer.add_string b payload;
   Buffer.contents b
 
-let unframe s =
+let frame payload =
+  match !instr with
+  | None -> frame_raw payload
+  | Some i ->
+    let t0 = Dce_obs.Clock.now_ns () in
+    let s = frame_raw payload in
+    Dce_obs.Metrics.observe i.enc_ns (Dce_obs.Clock.now_ns () - t0);
+    Dce_obs.Metrics.observe i.enc_bytes (String.length s);
+    s
+
+let unframe_raw s =
   if String.length s < 4 || String.sub s 0 4 <> magic then Error "bad magic"
   else begin
     let d = { src = s; pos = 4 } in
@@ -199,3 +236,15 @@ let unframe s =
         else Error "checksum mismatch"
       end
   end
+
+let unframe s =
+  match !instr with
+  | None -> unframe_raw s
+  | Some i ->
+    let t0 = Dce_obs.Clock.now_ns () in
+    let r = unframe_raw s in
+    Dce_obs.Metrics.observe i.dec_ns (Dce_obs.Clock.now_ns () - t0);
+    (match r with
+     | Ok _ -> Dce_obs.Metrics.observe i.dec_bytes (String.length s)
+     | Error _ -> ());
+    r

@@ -58,3 +58,12 @@ val unframe : string -> string result
 (** Check magic/version/length/checksum and return the payload. *)
 
 val crc32 : string -> int32
+
+(* {2 Telemetry} *)
+
+val set_metrics : Dce_obs.Metrics.t option -> unit
+(** Route per-frame telemetry into a registry: histograms
+    [wire.encode_bytes] / [wire.decode_bytes] (framed sizes) and
+    [wire.encode_ns] / [wire.decode_ns] (wall-clock framing time).
+    [None] (the default) disables instrumentation — one branch per
+    frame. *)

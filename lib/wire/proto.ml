@@ -458,7 +458,7 @@ module Char_proto = struct
       ~finally:(fun () -> close_out oc)
       (fun () -> output_string oc (encode_state (Controller.dump c)))
 
-  let restore path =
+  let restore ?trace path =
     let ic = open_in_bin path in
     let data =
       Fun.protect
@@ -467,5 +467,5 @@ module Char_proto = struct
     in
     match decode_state data with
     | Error _ as e -> e
-    | Ok state -> Controller.load ~eq:Char.equal state
+    | Ok state -> Controller.load ~eq:Char.equal ?trace state
 end

@@ -57,6 +57,9 @@ module Char_proto : sig
   val save : string -> char Controller.t -> unit
   (** Write a controller snapshot to a file. *)
 
-  val restore : string -> (char Controller.t, string) result
-  (** Read a controller back ({!Controller.load} validation included). *)
+  val restore :
+    ?trace:Dce_obs.Trace.sink -> string -> (char Controller.t, string) result
+  (** Read a controller back ({!Controller.load} validation included);
+      [trace] re-attaches a sink, since sinks are process-local and not
+      part of the persisted state. *)
 end

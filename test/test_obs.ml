@@ -1,0 +1,293 @@
+(* Tests for the observability layer: histogram maths, ring buffers,
+   JSONL round-trips, the causality audit, and the guarantee the runner
+   leans on — its stats are the trace stream, not counts kept alongside
+   it. *)
+
+open Dce_ot
+module Obs = Dce_obs
+module M = Obs.Metrics
+module T = Obs.Trace
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* ----- metrics ----- *)
+
+let metrics_tests =
+  [
+    Alcotest.test_case "counters count" `Quick (fun () ->
+        let m = M.create () in
+        let c = M.counter m "x" in
+        M.incr c;
+        M.add c 41;
+        Alcotest.(check int) "value" 42 (M.value c);
+        Alcotest.(check int) "same name same cell" 42 (M.value (M.counter m "x"));
+        M.reset m;
+        Alcotest.(check int) "reset" 0 (M.value c));
+    Alcotest.test_case "disabled registry is inert" `Quick (fun () ->
+        let m = M.create ~enabled:false () in
+        let c = M.counter m "x" and h = M.histogram m "h" in
+        M.incr c;
+        M.observe h 5;
+        Alcotest.(check int) "counter untouched" 0 (M.value c);
+        Alcotest.(check int) "histogram untouched" 0 (M.summary h).M.count;
+        M.set_enabled m true;
+        M.incr c;
+        Alcotest.(check int) "re-enabled" 1 (M.value c));
+    Alcotest.test_case "small values are exact" `Quick (fun () ->
+        let m = M.create () in
+        let h = M.histogram m "h" in
+        List.iter (M.observe h) [ 0; 1; 2; 3; 4; 5; 6; 7 ];
+        let s = M.summary h in
+        Alcotest.(check int) "count" 8 s.M.count;
+        Alcotest.(check int) "sum" 28 s.M.sum;
+        Alcotest.(check int) "min" 0 s.M.min;
+        Alcotest.(check int) "max" 7 s.M.max;
+        (* values 0..7 have their own buckets: percentiles are exact
+           (ceil-rank: the 4th smallest of eight values is 3) *)
+        Alcotest.(check (float 0.0)) "p50" 3.0 (M.percentile h 50.);
+        Alcotest.(check (float 0.0)) "p100" 7.0 (M.percentile h 100.));
+    Alcotest.test_case "percentile error is bounded" `Quick (fun () ->
+        let m = M.create () in
+        let h = M.histogram m "h" in
+        for v = 1 to 10_000 do
+          M.observe h v
+        done;
+        List.iter
+          (fun p ->
+            let exact = p /. 100. *. 10_000. in
+            let est = M.percentile h p in
+            let rel = Float.abs (est -. exact) /. exact in
+            if rel > 0.125 then
+              Alcotest.failf "p%.0f: estimate %.1f vs exact %.1f (rel %.3f)" p est
+                exact rel)
+          [ 50.; 90.; 95.; 99. ]);
+    Alcotest.test_case "negative observations clamp to zero" `Quick (fun () ->
+        let m = M.create () in
+        let h = M.histogram m "h" in
+        M.observe h (-5);
+        let s = M.summary h in
+        Alcotest.(check int) "min" 0 s.M.min;
+        Alcotest.(check int) "count" 1 s.M.count);
+    Alcotest.test_case "empty histogram summarizes safely" `Quick (fun () ->
+        let m = M.create () in
+        let h = M.histogram m "h" in
+        let s = M.summary h in
+        Alcotest.(check int) "count" 0 s.M.count;
+        Alcotest.(check bool) "p50 nan" true (Float.is_nan s.M.p50));
+  ]
+
+(* ----- trace sinks ----- *)
+
+let clk n = Vclock.of_list [ (0, n) ]
+
+let emit_n sink n =
+  for i = 1 to n do
+    T.emit sink ~site:0 ~clock:(clk i) ~version:0
+      (T.Generate { request = { Request.site = 0; serial = i }; valid = false })
+  done
+
+let serial_of e =
+  match e.T.kind with
+  | T.Generate { request; _ } -> request.Request.serial
+  | _ -> -1
+
+let sink_tests =
+  [
+    Alcotest.test_case "null sink is disabled" `Quick (fun () ->
+        Alcotest.(check bool) "enabled" false (T.enabled T.null);
+        emit_n T.null 3 (* and does not blow up *));
+    Alcotest.test_case "ring keeps the most recent events in order" `Quick
+      (fun () ->
+        let r = T.ring ~capacity:4 in
+        emit_n (T.ring_sink r) 10;
+        let evs = T.ring_events r in
+        Alcotest.(check (list int)) "last four, oldest first" [ 7; 8; 9; 10 ]
+          (List.map serial_of evs);
+        Alcotest.(check bool) "seq increases" true
+          (List.sort compare (List.map (fun e -> e.T.seq) evs)
+          = List.map (fun e -> e.T.seq) evs));
+    Alcotest.test_case "ring below capacity returns everything" `Quick (fun () ->
+        let r = T.ring ~capacity:8 in
+        emit_n (T.ring_sink r) 3;
+        Alcotest.(check int) "three events" 3 (List.length (T.ring_events r)));
+    Alcotest.test_case "tee reaches both sinks" `Quick (fun () ->
+        let a = ref 0 and b = ref 0 in
+        let s = T.tee (T.callback (fun _ -> incr a)) (T.callback (fun _ -> incr b)) in
+        emit_n s 5;
+        Alcotest.(check (pair int int)) "both" (5, 5) (!a, !b));
+    Alcotest.test_case "count_into tallies per kind" `Quick (fun () ->
+        let m = M.create () in
+        emit_n (T.count_into m) 4;
+        Alcotest.(check int) "trace.generate" 4 (M.value (M.counter m "trace.generate")));
+  ]
+
+(* ----- JSONL round-trips ----- *)
+
+let all_kinds =
+  let id = { Request.site = 2; serial = 7 } in
+  [
+    T.Generate { request = id; valid = true };
+    T.Check_local { granted = false };
+    T.Broadcast { targets = 3; coop = true };
+    T.Receive { coop = false; dup = true };
+    T.Interval_recheck { request = id; from_version = 1; to_version = 4; denied_at = Some 2 };
+    T.Interval_recheck { request = id; from_version = 0; to_version = 0; denied_at = None };
+    T.Retroactive_undo { request = id; cancel_version = 3 };
+    T.Validate id;
+    T.Invalidate { request = id; cancel_version = 5 };
+    T.Deliver { request = id; gen_version = 1; valid = false };
+    T.Admin_apply { op = "AddAuth(0, <{s1}, {Doc}, {iR}, ->)"; restrictive = true };
+  ]
+
+let event_of_kind i kind =
+  {
+    T.seq = i;
+    t_ns = 1_000_000 + i;
+    site = i mod 3;
+    clock = Vclock.of_list [ (0, i); (1, 2 * i) ];
+    version = i;
+    kind;
+  }
+
+let check_event_equal msg (a : T.event) (b : T.event) =
+  Alcotest.(check int) (msg ^ " seq") a.T.seq b.T.seq;
+  Alcotest.(check int) (msg ^ " t_ns") a.T.t_ns b.T.t_ns;
+  Alcotest.(check int) (msg ^ " site") a.T.site b.T.site;
+  Alcotest.(check bool) (msg ^ " clock") true (Vclock.equal a.T.clock b.T.clock);
+  Alcotest.(check int) (msg ^ " version") a.T.version b.T.version;
+  Alcotest.(check bool) (msg ^ " kind") true (a.T.kind = b.T.kind)
+
+let json_tests =
+  [
+    Alcotest.test_case "every kind survives a JSON round-trip" `Quick (fun () ->
+        List.iteri
+          (fun i kind ->
+            let e = event_of_kind i kind in
+            match T.of_json (T.to_json e) with
+            | Ok e' -> check_event_equal (T.kind_name kind) e e'
+            | Error msg -> Alcotest.failf "%s: %s" (T.kind_name kind) msg)
+          all_kinds);
+    Alcotest.test_case "json text round-trips through the parser" `Quick (fun () ->
+        List.iteri
+          (fun i kind ->
+            let e = event_of_kind i kind in
+            let text = Obs.Json.to_string (T.to_json e) in
+            match Obs.Json.of_string text with
+            | Error msg -> Alcotest.failf "parse: %s" msg
+            | Ok j -> (
+              match T.of_json j with
+              | Ok e' -> check_event_equal (T.kind_name kind) e e'
+              | Error msg -> Alcotest.failf "decode: %s" msg))
+          all_kinds);
+    Alcotest.test_case "file round-trip via with_file/read_file" `Quick (fun () ->
+        let path = Filename.temp_file "dce_obs" ".jsonl" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            T.with_file path (fun s -> emit_n s 6);
+            match T.read_file path with
+            | Error msg -> Alcotest.fail msg
+            | Ok evs ->
+              Alcotest.(check int) "count" 6 (List.length evs);
+              Alcotest.(check (list int)) "serials" [ 1; 2; 3; 4; 5; 6 ]
+                (List.map serial_of evs)));
+    Alcotest.test_case "malformed line is a located error" `Quick (fun () ->
+        let path = Filename.temp_file "dce_obs" ".jsonl" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let oc = open_out path in
+            output_string oc "not json\n";
+            close_out oc;
+            match T.read_file path with
+            | Ok _ -> Alcotest.fail "expected an error"
+            | Error msg ->
+              Alcotest.(check bool) "mentions the line" true (contains msg "line 1")));
+  ]
+
+(* ----- causality audit ----- *)
+
+let audit_tests =
+  [
+    Alcotest.test_case "a clean sim trace audits clean" `Quick (fun () ->
+        let r = T.ring ~capacity:100_000 in
+        let _ =
+          Dce_sim.Runner.run ~sink:(T.ring_sink r) Dce_sim.Workload.with_admin ~seed:3
+        in
+        let evs = T.ring_events r in
+        Alcotest.(check bool) "trace is non-trivial" true (List.length evs > 100);
+        match Obs.Audit.causality evs with
+        | [] -> ()
+        | v :: _ -> Alcotest.failf "unexpected violation: %s" v);
+    Alcotest.test_case "clock regression is flagged" `Quick (fun () ->
+        let id = { Request.site = 1; serial = 1 } in
+        let ev seq clock kind = { T.seq; t_ns = seq; site = 0; clock; version = 0; kind } in
+        let evs =
+          [
+            ev 1 (clk 5) (T.Check_local { granted = true });
+            ev 2 (clk 4) (T.Check_local { granted = true });
+            ev 3 (clk 6) (T.Generate { request = id; valid = false });
+          ]
+        in
+        Alcotest.(check bool) "violations found" true (Obs.Audit.causality evs <> []));
+    Alcotest.test_case "serial regression is flagged" `Quick (fun () ->
+        let deliver serial =
+          T.Deliver
+            { request = { Request.site = 1; serial }; gen_version = 0; valid = false }
+        in
+        let clock n = Vclock.of_list [ (1, n) ] in
+        let evs =
+          [
+            { T.seq = 1; t_ns = 1; site = 0; clock = clock 2; version = 0; kind = deliver 2 };
+            { T.seq = 2; t_ns = 2; site = 0; clock = clock 2; version = 0; kind = deliver 1 };
+          ]
+        in
+        Alcotest.(check bool) "violations found" true (Obs.Audit.causality evs <> []));
+  ]
+
+(* ----- the runner's stats ARE the trace ----- *)
+
+let runner_tests =
+  [
+    Alcotest.test_case "stats match the metrics registry and the oplog" `Quick
+      (fun () ->
+        let m = M.create () in
+        let r = Dce_sim.Runner.run ~metrics:m Dce_sim.Workload.with_admin ~seed:7 in
+        let stats = r.Dce_sim.Runner.stats in
+        Alcotest.(check int) "invalidated counter"
+          stats.Dce_sim.Runner.invalidated
+          (M.value (M.counter m "controller.invalidated"));
+        Alcotest.(check int) "validated counter"
+          stats.Dce_sim.Runner.validated
+          (M.value (M.counter m "controller.validated"));
+        Alcotest.(check int) "delivered counter"
+          stats.Dce_sim.Runner.messages_delivered
+          (M.value (M.counter m "net.delivered"));
+        (* and both agree with ground truth: site 0's final log flags *)
+        let site0 = List.hd r.Dce_sim.Runner.controllers in
+        let reqs = Dce_ot.Oplog.requests (Dce_core.Controller.oplog site0) in
+        let invalid =
+          List.length
+            (List.filter (fun q -> q.Request.flag = Request.Invalid) reqs)
+        in
+        let valid =
+          List.length (List.filter (fun q -> q.Request.flag = Request.Valid) reqs)
+        in
+        Alcotest.(check int) "invalidated = invalid-flagged requests" invalid
+          stats.Dce_sim.Runner.invalidated;
+        Alcotest.(check int) "validated = valid-flagged requests" valid
+          stats.Dce_sim.Runner.validated);
+  ]
+
+let () =
+  Alcotest.run "dce_obs"
+    [
+      ("metrics", metrics_tests);
+      ("sinks", sink_tests);
+      ("jsonl", json_tests);
+      ("audit", audit_tests);
+      ("runner stats", runner_tests);
+    ]
