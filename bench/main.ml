@@ -37,6 +37,55 @@ let remote = 99
 let metrics = Obs.Metrics.create ~enabled:false ()
 let sink = ref Obs.Trace.null
 
+(* A second, always-enabled registry feeding the machine-readable
+   BENCH_<section>.json artifacts, so the perf trajectory is tracked
+   across revisions without opting into --metrics.  It only receives
+   observations from the bench harness itself (t1/t2 timings, netd
+   transport metrics), never from inside the measured controllers, so
+   it cannot perturb what is being measured. *)
+let bench_metrics = Obs.Metrics.create ()
+
+let json_of_summary (s : Obs.Metrics.summary) =
+  Obs.Json.Obj
+    [
+      ("count", Obs.Json.Int s.count);
+      ("sum", Obs.Json.Int s.sum);
+      ("min", Obs.Json.Int s.min);
+      ("max", Obs.Json.Int s.max);
+      ("median", Obs.Json.Float s.p50);
+      ("p95", Obs.Json.Float s.p95);
+      ("p99", Obs.Json.Float s.p99);
+    ]
+
+(* Write BENCH_<section>.json from whatever the section observed into
+   [bench_metrics], then clear the registry for the next section. *)
+let write_bench_json section =
+  let hists =
+    List.filter (fun (_, (s : Obs.Metrics.summary)) -> s.count > 0)
+      (Obs.Metrics.histograms bench_metrics)
+  in
+  let counters =
+    List.filter (fun (_, v) -> v > 0) (Obs.Metrics.counters bench_metrics)
+  in
+  (if hists <> [] || counters <> [] then begin
+     let file = Printf.sprintf "BENCH_%s.json" section in
+     let json =
+       Obs.Json.Obj
+         [
+           ("section", Obs.Json.String section);
+           ("counters", Obs.Json.Obj (List.map (fun (n, v) -> (n, Obs.Json.Int v)) counters));
+           ( "histograms",
+             Obs.Json.Obj (List.map (fun (n, s) -> (n, json_of_summary s)) hists) );
+         ]
+     in
+     let oc = open_out file in
+     output_string oc (Obs.Json.to_string json);
+     output_char oc '\n';
+     close_out oc;
+     Printf.printf "wrote %s\n" file
+   end);
+  Obs.Metrics.reset bench_metrics
+
 (* ----- timing helpers (wall clock) ----- *)
 
 let now = Unix.gettimeofday
@@ -155,8 +204,8 @@ let remote_insert serial =
   Request.make ~site:remote ~serial ~op:(Op.ins ~pr:remote 0 'z') ~ctx:Vclock.empty
     ~policy_version:0 ~flag:Request.Tentative ()
 
-let h_t1 = Obs.Metrics.histogram metrics "bench.t1_ns"
-let h_t2 = Obs.Metrics.histogram metrics "bench.t2_ns"
+let h_t1 = Obs.Metrics.histogram bench_metrics "bench.t1_ns"
+let h_t2 = Obs.Metrics.histogram bench_metrics "bench.t2_ns"
 
 let measure_t1 c =
   median_ms ~hist:h_t1 (fun () ->
@@ -431,6 +480,159 @@ let run_extras () =
     [ ("no GC", None); ("GC every 8", Some 8) ];
   print_newline ()
 
+(* ----- netd: loopback transport throughput ----- *)
+
+(* Two measurements.  First the transport alone: a pair of framed
+   connections over a socketpair, one flooding frames at the other,
+   which isolates framing + splitter + non-blocking socket handling
+   from the controller.  Then the full stack: a relay and two sites
+   over loopback TCP, one site generating a burst of edits, timed until
+   both sites (and the admin's validations) have quiesced.  Transport
+   metrics (netd.* counters, flush latency) land in [bench_metrics] and
+   therefore in BENCH_netd.json. *)
+
+let run_netd_raw () =
+  Printf.printf "raw framed-connection throughput (socketpair, single thread):\n";
+  Printf.printf "%12s %10s %12s %12s\n" "payload" "frames" "frames/s" "MiB/s";
+  let tele = Dce_netd.Tele.make ~metrics:bench_metrics () in
+  List.iter
+    (fun (payload_bytes, frames) ->
+      let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let tx =
+        Dce_netd.Conn.create ~max_outbox:(64 * 1024 * 1024) ~tele ~peer:"bench-tx" a
+      in
+      let rx = Dce_netd.Conn.create ~tele ~peer:"bench-rx" b in
+      let payload = String.make payload_bytes 'm' in
+      let t0 = now () in
+      let sent = ref 0 and received = ref 0 and stalled = ref 0 in
+      while !received < frames && !stalled < 1_000_000 do
+        if !sent < frames && Dce_netd.Conn.outbox_bytes tx < 1 lsl 20 then begin
+          Dce_netd.Conn.send tx payload;
+          incr sent
+        end;
+        Dce_netd.Conn.handle_writable tx;
+        match Dce_netd.Conn.handle_readable rx with
+        | [] -> incr stalled
+        | ps ->
+          stalled := 0;
+          received := !received + List.length ps
+      done;
+      let dt = now () -. t0 in
+      if !received < frames then failwith "netd bench: transfer stalled";
+      Printf.printf "%10d B %10d %12.0f %12.1f\n" payload_bytes frames
+        (float_of_int frames /. dt)
+        (float_of_int (frames * payload_bytes) /. dt /. (1024. *. 1024.));
+      Dce_netd.Conn.shutdown tx;
+      Dce_netd.Conn.shutdown rx)
+    [ (64, 20_000); (1024, 10_000); (8192, 2_000) ]
+
+(* a minimal relay endpoint: snapshot -> rejoin, message -> receive,
+   emitted validations -> back on the wire (same shape as p2pedit) *)
+type bench_ep = {
+  bclient : Dce_netd.Client.t;
+  bsite : int;
+  mutable bctrl : char C.t option;
+}
+
+let bench_ep_step ep =
+  List.iter
+    (fun ev ->
+      match ev with
+      | Dce_netd.Client.Snapshot blob -> (
+        match Dce_wire.Proto.Char_proto.decode_state blob with
+        | Error e -> failwith e
+        | Ok state -> (
+          match C.load ~eq:Char.equal state with
+          | Error e -> failwith e
+          | Ok donor -> ep.bctrl <- Some (C.rejoin ~site:ep.bsite donor)))
+      | Dce_netd.Client.Message blob -> (
+        match Dce_wire.Proto.Char_proto.decode_message blob with
+        | Error e -> failwith e
+        | Ok m ->
+          let c, emitted = C.receive (Option.get ep.bctrl) m in
+          ep.bctrl <- Some c;
+          List.iter
+            (fun m' ->
+              Dce_netd.Client.send ep.bclient
+                (Dce_wire.Proto.Char_proto.encode_message m'))
+            emitted)
+      | Dce_netd.Client.Gave_up r -> failwith ("netd bench: client gave up: " ^ r)
+      | _ -> ())
+    (Dce_netd.Client.step ~timeout_ms:0 ep.bclient)
+
+let run_netd_session () =
+  Printf.printf "end-to-end relay session (loopback TCP, relay + admin + editor):\n";
+  let policy =
+    Policy.make ~users:[ adm; user ]
+      [ Auth.grant [ Subject.Any ] [ Docobj.Whole ] Right.all ]
+  in
+  let controller =
+    C.create ~eq:Char.equal ~site:1_000_000 ~admin:adm ~policy (Tdoc.of_string "seed")
+  in
+  let relay =
+    Dce_netd.Relay.create ~metrics:bench_metrics ~codec:Dce_wire.Proto.char_codec
+      ~controller ~port:0 ()
+  in
+  Fun.protect ~finally:(fun () -> Dce_netd.Relay.shutdown relay) @@ fun () ->
+  let port = Dce_netd.Relay.port relay in
+  let mk site =
+    {
+      bclient =
+        Dce_netd.Client.create ~metrics:bench_metrics ~host:"127.0.0.1" ~port ~site ();
+      bsite = site;
+      bctrl = None;
+    }
+  in
+  let ep_admin = mk adm and ep_user = mk user in
+  let eps = [ ep_admin; ep_user ] in
+  let pump_until cond =
+    let rec go i =
+      if cond () then ()
+      else if i > 2_000_000 then failwith "netd bench: session stalled"
+      else begin
+        Dce_netd.Relay.step ~timeout_ms:1 relay;
+        List.iter bench_ep_step eps;
+        go (i + 1)
+      end
+    in
+    go 0
+  in
+  pump_until (fun () -> ep_admin.bctrl <> None && ep_user.bctrl <> None);
+  let edits = 400 in
+  let settled ep =
+    match ep.bctrl with
+    | None -> false
+    | Some c ->
+      Tdoc.visible_length (C.document c) = 4 + edits
+      && C.tentative c = [] && C.pending_coop c = 0
+  in
+  let t0 = now () in
+  for _ = 1 to edits do
+    let c = Option.get ep_user.bctrl in
+    (match C.generate c (Tdoc.ins_visible (C.document c) 0 (letter ())) with
+     | c, C.Accepted m ->
+       ep_user.bctrl <- Some c;
+       Dce_netd.Client.send ep_user.bclient
+         (Dce_wire.Proto.Char_proto.encode_message m)
+     | _, C.Denied r -> failwith r);
+    (* keep the loop turning so the outbox drains as we go *)
+    Dce_netd.Relay.step relay;
+    List.iter bench_ep_step eps
+  done;
+  pump_until (fun () -> List.for_all settled eps);
+  let dt = now () -. t0 in
+  Printf.printf
+    "%d edits generated, relayed, validated and integrated in %.3f s (%.0f edits/s)\n"
+    edits dt
+    (float_of_int edits /. dt);
+  List.iter (fun ep -> Dce_netd.Client.close ep.bclient) eps
+
+let run_netd () =
+  Printf.printf "== netd: loopback transport throughput ==\n";
+  run_netd_raw ();
+  run_netd_session ();
+  print_newline ()
+
 (* ----- bechamel micro-benchmarks ----- *)
 
 let run_micro () =
@@ -512,7 +714,8 @@ let () =
     | Some w when w <> name -> ()
     | _ ->
       rng := Dce_sim.Rng.of_int 2009;
-      f ()
+      f ();
+      write_bench_json name
   in
   let all () =
     run "fig7" run_fig7;
@@ -521,6 +724,7 @@ let () =
     run "latency" run_latency;
     run "ablation" run_ablation;
     run "extras" run_extras;
+    run "netd" run_netd;
     run "micro" run_micro
   in
   (match !trace_file with

@@ -1,0 +1,118 @@
+(* dced: the relay daemon.
+
+   Hosts one collaborative editing session over real TCP: every
+   connected site's messages are fanned out to every other site, and
+   late joiners (or reconnecting sites) bootstrap from a snapshot of
+   the relay's own session copy.  The relay enforces nothing from the
+   paper's security model — each site's controller does, exactly as in
+   the peer-to-peer deployment; the daemon only provides the reliable
+   broadcast the model assumes (§3.3).
+
+     dune exec bin/dced.exe -- --port 7471 --users 2 --text "abc"
+
+   Then, from other terminals / machines:
+
+     dune exec bin/p2pedit.exe -- --connect 127.0.0.1:7471 --site 1
+
+   Site 0 is the administrator; sites 0..N are registered up front
+   (more can join after an `adduser`).  SIGINT/SIGTERM shut down
+   cleanly; with --metrics the transport counters are printed on
+   exit. *)
+
+open Dce_core
+module Obs = Dce_obs
+module Netd = Dce_netd
+
+(* A site id no user will ever hold: the relay's controller is a
+   passive group member that only integrates what it relays. *)
+let relay_site = 1_000_000
+
+let run port bind users text heartbeat_ms idle_timeout_ms trace_file metrics_flag =
+  let metrics = if metrics_flag then Some (Obs.Metrics.create ()) else None in
+  Dce_wire.Codec.set_metrics metrics;
+  let with_sink f =
+    match trace_file with
+    | None -> f Obs.Trace.null
+    | Some path -> Obs.Trace.with_file path f
+  in
+  with_sink (fun sink ->
+      let all = List.init (users + 1) Fun.id in
+      let policy =
+        Policy.make ~users:all
+          [ Auth.grant [ Subject.Any ] [ Docobj.Whole ] Right.all ]
+      in
+      let controller =
+        Controller.create ~eq:Char.equal ~site:relay_site ~admin:0 ~policy ~trace:sink
+          (Dce_ot.Tdoc.of_string text)
+      in
+      let addr = Unix.inet_addr_of_string bind in
+      let config =
+        { Netd.Relay.default_config with heartbeat_ms; idle_timeout_ms }
+      in
+      let relay =
+        Netd.Relay.create ~config ?metrics ~trace:sink ~addr
+          ~codec:Dce_wire.Proto.char_codec ~controller ~port ()
+      in
+      let stop = ref false in
+      let handler = Sys.Signal_handle (fun _ -> stop := true) in
+      Sys.set_signal Sys.sigint handler;
+      Sys.set_signal Sys.sigterm handler;
+      Printf.printf "dced: listening on %s:%d (%d user(s) + admin, doc %S)\n%!" bind
+        (Netd.Relay.port relay) users text;
+      Netd.Relay.run
+        ~on_tick:(fun r -> if !stop then Netd.Relay.shutdown r)
+        relay;
+      Printf.printf "dced: shut down; final doc %S (policy v%d)\n%!"
+        (Dce_ot.Tdoc.visible_string (Controller.document (Netd.Relay.controller relay)))
+        (Controller.version (Netd.Relay.controller relay)));
+  (match trace_file with
+   | Some path -> Printf.printf "trace written to %s\n" path
+   | None -> ());
+  match metrics with
+  | Some m -> Format.printf "metrics:@.%a@." Obs.Metrics.pp m
+  | None -> ()
+
+open Cmdliner
+
+let port =
+  Arg.(value & opt int 7471
+       & info [ "port" ] ~docv:"PORT" ~doc:"TCP port to listen on (0 = ephemeral).")
+
+let bind =
+  Arg.(value & opt string "127.0.0.1"
+       & info [ "bind" ] ~docv:"ADDR" ~doc:"Address to bind.")
+
+let users =
+  Arg.(value & opt int 2
+       & info [ "users" ] ~docv:"N" ~doc:"Number of non-admin users registered up front.")
+
+let text =
+  Arg.(value & opt string "abc" & info [ "text" ] ~docv:"TEXT" ~doc:"Initial document.")
+
+let heartbeat_ms =
+  Arg.(value & opt int 5000
+       & info [ "heartbeat-ms" ] ~docv:"MS" ~doc:"Ping a silent connection after $(docv).")
+
+let idle_timeout_ms =
+  Arg.(value & opt int 30000
+       & info [ "idle-timeout-ms" ] ~docv:"MS" ~doc:"Drop a silent connection after $(docv).")
+
+let trace_file =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a JSONL trace (connection lifecycle + the relay's own \
+                 integration events) to $(docv).")
+
+let metrics_flag =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Count transport work (bytes/frames in/out, connection lifecycle); \
+                 print the registry on exit.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "dced" ~doc:"Relay daemon for multi-process collaborative sessions")
+    Term.(const run $ port $ bind $ users $ text $ heartbeat_ms $ idle_timeout_ms
+          $ trace_file $ metrics_flag)
+
+let () = exit (Cmd.eval cmd)

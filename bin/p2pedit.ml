@@ -7,6 +7,14 @@
 
      dune exec bin/p2pedit.exe -- --users 2 --text "abc"
 
+   With --connect the same tool becomes ONE site of a multi-process
+   session hosted by a dced relay (see bin/dced.ml): this process runs
+   a single controller, joins from a snapshot, and exchanges messages
+   over real TCP.  Connect-mode commands drop the site column (you are
+   the site) and add `sleep <ms>` to pump the network from scripts:
+
+     dune exec bin/p2pedit.exe -- --connect 127.0.0.1:7471 --site 1
+
    Commands (one per line, '#' comments; read from stdin, so sessions
    can be piped in as scripts):
 
@@ -221,7 +229,194 @@ let session users text sink =
   print_endline "\nfinal state:";
   show st
 
-let run users text trace_file metrics_flag =
+(* ----- networked mode (--connect): one site against a dced relay ----- *)
+
+module Netd = Dce_netd
+module Proto = Dce_wire.Proto
+
+type net_state = {
+  client : Netd.Client.t;
+  my_site : int;
+  sink : Obs.Trace.sink;
+  mutable ctrl : char Controller.t option;
+}
+
+let net_show st =
+  match st.ctrl with
+  | None -> Printf.printf "site %d: not joined yet\n%!" st.my_site
+  | Some c ->
+    Printf.printf "site %d%s: %S  (policy v%d%s)\n%!" st.my_site
+      (if Controller.is_admin c then "*" else "")
+      (Tdoc.visible_string (Controller.document c))
+      (Controller.version c)
+      (match List.length (Controller.tentative c) with
+       | 0 -> ""
+       | n -> Printf.sprintf ", %d tentative" n)
+
+let net_handle st = function
+  | Netd.Client.Connected ->
+    Printf.printf "connected; joining as site %d...\n%!" st.my_site
+  | Netd.Client.Snapshot blob -> (
+    match Proto.Char_proto.decode_state blob with
+    | Error e -> Printf.printf "bad snapshot: %s\n%!" e
+    | Ok state -> (
+      match Controller.load ~eq:Char.equal ~trace:st.sink state with
+      | Error e -> Printf.printf "snapshot rejected: %s\n%!" e
+      | Ok donor ->
+        st.ctrl <- Some (Controller.rejoin ~site:st.my_site donor);
+        Netd.Client.set_stamp st.client (fun () ->
+            match st.ctrl with
+            | Some c -> (Controller.clock c, Controller.version c)
+            | None -> (Vclock.empty, 0));
+        net_show st))
+  | Netd.Client.Message blob -> (
+    match Proto.Char_proto.decode_message blob with
+    | Error e -> Printf.printf "bad message: %s\n%!" e
+    | Ok m -> (
+      match st.ctrl with
+      | None -> ()
+      | Some c ->
+        let c, emitted = Controller.receive c m in
+        st.ctrl <- Some c;
+        List.iter
+          (fun m' -> Netd.Client.send st.client (Proto.Char_proto.encode_message m'))
+          emitted))
+  | Netd.Client.Disconnected reason -> Printf.printf "disconnected: %s\n%!" reason
+  | Netd.Client.Reconnecting { attempt; delay_ms } ->
+    Printf.printf "reconnecting (attempt %d) in %d ms\n%!" attempt delay_ms
+  | Netd.Client.Gave_up reason -> Printf.printf "gave up: %s\n%!" reason
+
+let net_step st timeout_ms =
+  List.iter (net_handle st) (Netd.Client.step ~timeout_ms st.client)
+
+let net_pump st ms =
+  let deadline = Unix.gettimeofday () +. (float_of_int ms /. 1000.) in
+  let rec go () =
+    let remaining_ms = (deadline -. Unix.gettimeofday ()) *. 1000. in
+    if remaining_ms > 0. && not (Netd.Client.stopped st.client) then begin
+      net_step st (int_of_float (Float.min 50. remaining_ms));
+      go ()
+    end
+  in
+  go ()
+
+let net_edit st op_of_ctrl =
+  match st.ctrl with
+  | None -> Printf.printf "not joined yet\n%!"
+  | Some c -> (
+    match Controller.generate c (op_of_ctrl c) with
+    | c, Controller.Accepted m ->
+      st.ctrl <- Some c;
+      Netd.Client.send st.client (Proto.Char_proto.encode_message m);
+      Printf.printf "site %d -> %S\n%!" st.my_site
+        (Tdoc.visible_string (Controller.document c))
+    | _, Controller.Denied reason -> Printf.printf "denied: %s\n%!" reason)
+
+let net_admin st op =
+  match st.ctrl with
+  | None -> Printf.printf "not joined yet\n%!"
+  | Some c -> (
+    match Controller.admin_update c op with
+    | Ok (c, m) ->
+      st.ctrl <- Some c;
+      Netd.Client.send st.client (Proto.Char_proto.encode_message m);
+      Printf.printf "admin -> policy v%d\n%!" (Controller.version c)
+    | Error e -> Printf.printf "admin error: %s\n%!" e)
+
+let net_command st words =
+  match words with
+  | [] -> ()
+  | w :: _ when String.length w > 0 && w.[0] = '#' -> ()
+  | [ "quit" ] | [ "exit" ] -> raise Exit
+  | [ "show" ] -> net_show st
+  | [ "sleep"; ms ] -> net_pump st (int_of_string ms)
+  | [ "ins"; p; ch ] when String.length ch = 1 ->
+    net_edit st (fun c ->
+        Tdoc.ins_visible (Controller.document c) (int_of_string p) ch.[0])
+  | [ "del"; p ] ->
+    net_edit st (fun c -> Tdoc.del_visible (Controller.document c) (int_of_string p))
+  | [ "up"; p; ch ] when String.length ch = 1 ->
+    net_edit st (fun c ->
+        Tdoc.up_visible (Controller.document c) (int_of_string p) ch.[0])
+  | [ "deny"; u; r ] -> (
+      match right_of_string r with
+      | Some right ->
+        net_admin st
+          (Admin_op.Add_auth
+             (0, Auth.deny [ Subject.User (int_of_string u) ] [ Docobj.Whole ] [ right ]))
+      | None -> Printf.printf "unknown right %S (use i, d, u or r)\n%!" r)
+  | [ "allow"; u; r ] -> (
+      match right_of_string r with
+      | Some right ->
+        net_admin st
+          (Admin_op.Add_auth
+             (0, Auth.grant [ Subject.User (int_of_string u) ] [ Docobj.Whole ] [ right ]))
+      | None -> Printf.printf "unknown right %S (use i, d, u or r)\n%!" r)
+  | [ "adduser"; u ] -> net_admin st (Admin_op.Add_user (int_of_string u))
+  | [ "log" ] -> (
+      match st.ctrl with
+      | None -> Printf.printf "not joined yet\n%!"
+      | Some c -> Format.printf "%a@." (Oplog.pp Fmt.char) (Controller.oplog c))
+  | [ "policy" ] -> (
+      match st.ctrl with
+      | None -> Printf.printf "not joined yet\n%!"
+      | Some c -> Format.printf "%a@." Policy.pp (Controller.policy c))
+  | _ ->
+    Printf.printf
+      "unrecognized command (connect mode: ins/del/up/deny/allow/adduser/show/log/policy/sleep/quit)\n%!"
+
+(* stdin is consumed with raw reads and an explicit line buffer, so it
+   can sit in the same select as the socket without an in_channel
+   buffering the lines away between wakeups *)
+let net_session host port my_site sink metrics =
+  let client =
+    Netd.Client.create ?metrics ~trace:sink ~host ~port ~site:my_site ()
+  in
+  let st = { client; my_site; sink; ctrl = None } in
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let eof = ref false in
+  (try
+     while not !eof && not (Netd.Client.stopped st.client) do
+       let fds =
+         Unix.stdin :: (match Netd.Client.fd st.client with Some fd -> [ fd ] | None -> [])
+       in
+       let rd, _, _ =
+         try Unix.select fds [] [] 0.1
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+       in
+       net_step st 0;
+       if List.mem Unix.stdin rd then begin
+         (match Unix.read Unix.stdin chunk 0 (Bytes.length chunk) with
+          | 0 -> eof := true
+          | n -> Buffer.add_subbytes buf chunk 0 n);
+         let data = Buffer.contents buf in
+         Buffer.clear buf;
+         let rec lines s =
+           match String.index_opt s '\n' with
+           | Some i ->
+             let line = String.sub s 0 i in
+             let rest = String.sub s (i + 1) (String.length s - i - 1) in
+             let words =
+               List.filter (fun w -> w <> "")
+                 (String.split_on_char ' ' (String.trim line))
+             in
+             (try net_command st words with
+              | Exit -> raise Exit
+              | Failure msg -> Printf.printf "error: %s\n%!" msg
+              | Invalid_argument msg -> Printf.printf "error: %s\n%!" msg);
+             lines rest
+           | None -> Buffer.add_string buf s
+         in
+         lines data
+       end
+     done
+   with Exit -> ());
+  Netd.Client.close st.client;
+  print_endline "final state:";
+  net_show st
+
+let run_local users text trace_file metrics_flag =
   let metrics = if metrics_flag then Some (Obs.Metrics.create ()) else None in
   Dce_wire.Codec.set_metrics metrics;
   let with_sink f =
@@ -243,6 +438,37 @@ let run users text trace_file metrics_flag =
   | Some m -> Format.printf "metrics:@.%a@." Obs.Metrics.pp m
   | None -> ()
 
+let run users text trace_file metrics_flag connect site_arg =
+  match connect with
+  | None -> run_local users text trace_file metrics_flag
+  | Some spec ->
+    let host, port =
+      match String.rindex_opt spec ':' with
+      | Some i -> (
+          ( String.sub spec 0 i,
+            try int_of_string (String.sub spec (i + 1) (String.length spec - i - 1))
+            with Failure _ -> -1 ))
+      | None -> (spec, -1)
+    in
+    if port < 0 then begin
+      Printf.eprintf "p2pedit: --connect expects HOST:PORT, got %S\n" spec;
+      exit 2
+    end;
+    let metrics = if metrics_flag then Some (Obs.Metrics.create ()) else None in
+    Dce_wire.Codec.set_metrics metrics;
+    let with_sink f =
+      match trace_file with
+      | None -> f Obs.Trace.null
+      | Some path -> Obs.Trace.with_file path f
+    in
+    with_sink (fun sink -> net_session host port site_arg sink metrics);
+    (match trace_file with
+     | Some path -> Printf.printf "trace written to %s\n" path
+     | None -> ());
+    (match metrics with
+     | Some m -> Format.printf "metrics:@.%a@." Obs.Metrics.pp m
+     | None -> ())
+
 open Cmdliner
 
 let users =
@@ -261,9 +487,20 @@ let metrics_flag =
        & info [ "metrics" ]
            ~doc:"Count events and wire-codec work; print the registry on exit.")
 
+let connect =
+  Arg.(value & opt (some string) None
+       & info [ "connect" ] ~docv:"HOST:PORT"
+           ~doc:"Join a dced relay as a single site instead of hosting every site \
+                 in-process.")
+
+let site_arg =
+  Arg.(value & opt int 1
+       & info [ "site" ] ~docv:"N"
+           ~doc:"Site id to join as (with --connect; 0 is the administrator).")
+
 let cmd =
   Cmd.v
     (Cmd.info "p2pedit" ~doc:"Scriptable secured collaborative editing session")
-    Term.(const run $ users $ text $ trace_file $ metrics_flag)
+    Term.(const run $ users $ text $ trace_file $ metrics_flag $ connect $ site_arg)
 
 let () = exit (Cmd.eval cmd)

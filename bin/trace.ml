@@ -71,6 +71,7 @@ let names =
   [
     "generate"; "check_local"; "broadcast"; "receive"; "interval_recheck";
     "retroactive_undo"; "validate"; "invalidate"; "deliver"; "admin_apply";
+    "net";
   ]
 
 let table ppf events =

@@ -55,6 +55,8 @@ let create ?(eq = ( = )) ?(features = secure) ?(trace = Dce_obs.Trace.null) ~sit
 
 let fork ~site t = { t with site; serial = 0; peer_integrated = []; peer_admin_hint = [] }
 
+let rejoin ~site t = { (fork ~site t) with serial = Vclock.get t.clock site }
+
 let site t = t.site
 let admin t = Admin_log.current_admin t.admin_log
 let is_admin t = t.site = admin t

@@ -105,6 +105,16 @@ val fork : site:Subject.user -> 'e t -> 'e t
     granted).  The donor's receive queues travel along, so any snapshot
     works, even mid-stream. *)
 
+val rejoin : site:Subject.user -> 'e t -> 'e t
+(** {!fork}, except [site]'s request numbering resumes from what the
+    donor has already integrated from [site] instead of restarting at
+    zero.  This is the reconnect path: a site that crashed or lost its
+    link re-bootstraps from a relay snapshot and keeps issuing fresh
+    serials, so peers do not drop its new requests as duplicates.
+    Tentative requests the site generated but never got onto the wire
+    are not in the snapshot and are lost — the price of rejoining from
+    someone else's state. *)
+
 (* {2 Observation} *)
 
 val site : 'e t -> Subject.user

@@ -1,0 +1,27 @@
+type t = {
+  base_ms : int;
+  max_ms : int;
+  mutable attempt : int;
+  rng : Random.State.t;
+}
+
+let create ?(base_ms = 200) ?(max_ms = 30_000) ?seed () =
+  if base_ms <= 0 then invalid_arg "Backoff.create: base_ms must be positive";
+  let rng =
+    match seed with
+    | Some s -> Random.State.make [| s |]
+    | None -> Random.State.make_self_init ()
+  in
+  { base_ms; max_ms = max base_ms max_ms; attempt = 0; rng }
+
+let attempt t = t.attempt
+
+let next t =
+  (* cap the exponent before shifting so a long outage cannot overflow *)
+  let cap = min t.max_ms (t.base_ms * (1 lsl min t.attempt 20)) in
+  t.attempt <- t.attempt + 1;
+  (* "equal jitter": uniform in [cap/2, cap], so retries never
+     synchronize across clients but the wait still grows geometrically *)
+  (cap / 2) + Random.State.int t.rng ((cap / 2) + 1)
+
+let reset t = t.attempt <- 0

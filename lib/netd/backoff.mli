@@ -1,0 +1,21 @@
+(** Jittered exponential backoff for reconnect scheduling.
+
+    Delays double from [base_ms] up to [max_ms], and each draw is
+    uniform in the upper half of the current cap, so a fleet of clients
+    cut off by the same failure does not reconnect in lockstep. *)
+
+type t
+
+val create : ?base_ms:int -> ?max_ms:int -> ?seed:int -> unit -> t
+(** Defaults: [base_ms = 200], [max_ms = 30_000].  [seed] makes the
+    jitter deterministic (tests); otherwise it is self-initialized. *)
+
+val next : t -> int
+(** The next delay in milliseconds; advances the attempt counter. *)
+
+val attempt : t -> int
+(** Attempts drawn since the last {!reset}. *)
+
+val reset : t -> unit
+(** Call after a successful connection: the next failure starts over
+    from [base_ms]. *)

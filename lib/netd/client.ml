@@ -1,0 +1,252 @@
+module Obs = Dce_obs
+module M = Obs.Metrics
+
+type event =
+  | Connected
+  | Snapshot of string
+  | Message of string
+  | Disconnected of string
+  | Reconnecting of { attempt : int; delay_ms : int }
+  | Gave_up of string
+
+type config = {
+  heartbeat_ms : int;
+  idle_timeout_ms : int;
+  max_outbox : int;
+  max_frame : int;
+  backoff_base_ms : int;
+  backoff_max_ms : int;
+  max_attempts : int option;
+}
+
+let default_config =
+  {
+    heartbeat_ms = 5_000;
+    idle_timeout_ms = 30_000;
+    max_outbox = 4 * 1024 * 1024;
+    max_frame = 8 * 1024 * 1024;
+    backoff_base_ms = 200;
+    backoff_max_ms = 30_000;
+    max_attempts = None;
+  }
+
+type phase =
+  | Waiting of float (* reconnect at this wall-clock ms *)
+  | Connecting of Unix.file_descr
+  | Greeting of Conn.t (* hello sent, waiting for the snapshot *)
+  | Live of Conn.t
+  | Stopped
+
+type t = {
+  cfg : config;
+  tele : Tele.t;
+  trace : Obs.Trace.sink;
+  host : string;
+  port : int;
+  site : int;
+  backoff : Backoff.t;
+  mutable phase : phase;
+  mutable was_live : bool; (* a future success is a reconnect, not a connect *)
+  mutable stamp : unit -> Dce_ot.Vclock.t * int;
+}
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+let create ?(config = default_config) ?metrics ?(trace = Obs.Trace.null) ?seed ~host
+    ~port ~site () =
+  {
+    cfg = config;
+    tele = Tele.make ?metrics ();
+    trace;
+    host;
+    port;
+    site;
+    backoff =
+      Backoff.create ~base_ms:config.backoff_base_ms ~max_ms:config.backoff_max_ms ?seed
+        ();
+    phase = Waiting 0.;
+    was_live = false;
+    stamp = (fun () -> (Dce_ot.Vclock.empty, 0));
+  }
+
+let site t = t.site
+
+let set_stamp t f = t.stamp <- f
+
+let trace t action detail =
+  if Obs.Trace.enabled t.trace then begin
+    let clock, version = t.stamp () in
+    Obs.Trace.emit t.trace ~site:t.site ~clock ~version
+      (Obs.Trace.Net { peer = t.site; action; detail })
+  end
+
+let connected t = match t.phase with Live _ -> true | _ -> false
+
+let stopped t = match t.phase with Stopped -> true | _ -> false
+
+let fd t =
+  match t.phase with
+  | Connecting fd -> Some fd
+  | Greeting c | Live c -> Some (Conn.fd c)
+  | Waiting _ | Stopped -> None
+
+let conn t = match t.phase with Greeting c | Live c -> Some c | _ -> None
+
+let send t bytes =
+  match t.phase with
+  | Live c -> Conn.send c (Relay_proto.encode (Relay_proto.Msg bytes))
+  | _ -> ()
+
+let resolve t =
+  try Unix.inet_addr_of_string t.host
+  with Failure _ -> (
+    match Unix.getaddrinfo t.host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+    | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+    | _ -> raise Not_found)
+
+(* transition to the backoff state after any failure *)
+let fail t reason =
+  (match t.phase with
+   | Greeting c | Live c -> Conn.shutdown c
+   | Connecting fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+   | _ -> ());
+  match t.cfg.max_attempts with
+  | Some m when Backoff.attempt t.backoff >= m ->
+    t.phase <- Stopped;
+    trace t "give_up" reason;
+    [ Disconnected reason; Gave_up reason ]
+  | _ ->
+    let delay = Backoff.next t.backoff in
+    t.phase <- Waiting (now_ms () +. float_of_int delay);
+    trace t "disconnect" reason;
+    [ Disconnected reason;
+      Reconnecting { attempt = Backoff.attempt t.backoff; delay_ms = delay };
+    ]
+
+let greet t fd =
+  let conn =
+    Conn.create ~max_outbox:t.cfg.max_outbox ~max_frame:t.cfg.max_frame ~tele:t.tele
+      ~peer:(Printf.sprintf "%s:%d" t.host t.port)
+      fd
+  in
+  Conn.send conn (Relay_proto.encode (Relay_proto.Hello { site = t.site }));
+  Conn.handle_writable conn;
+  t.phase <- Greeting conn;
+  [ Connected ]
+
+let start_connect t =
+  match resolve t with
+  | exception _ -> fail t (Printf.sprintf "cannot resolve %s" t.host)
+  | addr -> (
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.set_nonblock fd;
+    match Unix.connect fd (Unix.ADDR_INET (addr, t.port)) with
+    | () -> greet t fd
+    | exception Unix.Unix_error (Unix.EINPROGRESS, _, _) ->
+      t.phase <- Connecting fd;
+      []
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      fail t ("connect: " ^ Unix.error_message e))
+
+let dispatch t payload =
+  match Relay_proto.decode payload with
+  | Error e ->
+    (match conn t with
+     | Some c -> Conn.mark_closed c (Conn.Corrupt ("bad envelope: " ^ e))
+     | None -> ());
+    []
+  | Ok msg -> (
+    match (msg, t.phase) with
+    | Relay_proto.Snapshot s, (Greeting c | Live c) ->
+      (* joining (or a server-initiated resync): the session is live *)
+      t.phase <- Live c;
+      if t.was_live then M.incr t.tele.Tele.reconnects else M.incr t.tele.Tele.connects;
+      trace t (if t.was_live then "reconnect" else "connect") "";
+      trace t "snapshot" (string_of_int (String.length s) ^ " bytes");
+      t.was_live <- true;
+      Backoff.reset t.backoff;
+      [ Snapshot s ]
+    | Relay_proto.Snapshot _, _ -> []
+    | Relay_proto.Msg bytes, Live _ -> [ Message bytes ]
+    | Relay_proto.Msg _, _ ->
+      (match conn t with
+       | Some c -> Conn.mark_closed c (Conn.Corrupt "message before snapshot")
+       | None -> ());
+      []
+    | Relay_proto.Welcome _, _ -> []
+    | Relay_proto.Ping, _ ->
+      (match conn t with
+       | Some c -> Conn.send c (Relay_proto.encode Relay_proto.Pong)
+       | None -> ());
+      []
+    | Relay_proto.Pong, _ -> []
+    | Relay_proto.Bye reason, _ ->
+      (match conn t with
+       | Some c -> Conn.mark_closed c (Conn.Local ("server: " ^ reason))
+       | None -> ());
+      []
+    | Relay_proto.Hello _, _ ->
+      (match conn t with
+       | Some c -> Conn.mark_closed c (Conn.Corrupt "client-only envelope from server")
+       | None -> ());
+      [])
+
+let pump_conn t c timeout_ms =
+  let fd = Conn.fd c in
+  let wrs = if Conn.wants_write c then [ fd ] else [] in
+  let rd, wr, _ =
+    try Unix.select [ fd ] wrs [] (float_of_int timeout_ms /. 1000.)
+    with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+  in
+  let events =
+    if rd <> [] then List.concat_map (dispatch t) (Conn.handle_readable c) else []
+  in
+  if wr <> [] then Conn.handle_writable c;
+  (* heartbeat / idle policy *)
+  let now = now_ms () in
+  if Conn.alive c then
+    if now -. Conn.last_recv_ms c > float_of_int t.cfg.idle_timeout_ms then
+      Conn.mark_closed c Conn.Idle
+    else if now -. Conn.last_send_ms c > float_of_int t.cfg.heartbeat_ms then
+      Conn.send c (Relay_proto.encode Relay_proto.Ping);
+  match Conn.closed_reason c with
+  | None -> events
+  | Some reason ->
+    M.incr t.tele.Tele.disconnects;
+    events @ fail t (Conn.reason_string reason)
+
+let step ?(timeout_ms = 0) t =
+  match t.phase with
+  | Stopped -> []
+  | Waiting until ->
+    let now = now_ms () in
+    if now >= until then start_connect t
+    else begin
+      let wait = min (float_of_int timeout_ms) (until -. now) in
+      if wait > 0. then ignore (Unix.select [] [] [] (wait /. 1000.));
+      []
+    end
+  | Connecting fd -> (
+    let _, wr, _ =
+      try Unix.select [] [ fd ] [] (float_of_int timeout_ms /. 1000.)
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    if wr = [] then []
+    else
+      match Unix.getsockopt_error fd with
+      | None -> greet t fd
+      | Some e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        fail t ("connect: " ^ Unix.error_message e))
+  | Greeting c | Live c -> pump_conn t c timeout_ms
+
+let close t =
+  (match t.phase with
+   | Greeting c | Live c ->
+     Conn.send c (Relay_proto.encode (Relay_proto.Bye "client closing"));
+     Conn.handle_writable c;
+     Conn.shutdown c
+   | Connecting fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+   | _ -> ());
+  t.phase <- Stopped

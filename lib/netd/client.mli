@@ -1,0 +1,86 @@
+(** A site's connection to the relay, with automatic reconnection.
+
+    The client owns the transport only; the session logic stays with the
+    caller, which holds the controller.  The lifecycle surfaces as
+    {!event}s returned from {!step}:
+
+    - [Connected]: TCP is up and the [Hello] went out;
+    - [Snapshot blob]: the relay's state transfer — decode it with
+      [Proto.decode_state], load it, and {!Dce_core.Controller.rejoin}
+      as your own site.  Emitted on every (re)join: reconnection is a
+      resynchronization, not a resumption, because the relay has no way
+      to know which fan-outs a dead socket actually delivered;
+    - [Message blob]: a [Proto.encode_message] blob from another site;
+    - [Disconnected] / [Reconnecting]: the link dropped (any reason:
+      EOF, idle, corruption, backpressure) and a jittered exponential
+      backoff is scheduled;
+    - [Gave_up]: [max_attempts] exhausted; the client is inert.
+
+    Single-threaded and non-blocking, like {!Relay}: call {!step} from
+    your own loop (it blocks at most [timeout_ms] in [select]), or
+    [select] yourself on {!fd} and call {!step} when it fires. *)
+
+type event =
+  | Connected
+  | Snapshot of string
+  | Message of string
+  | Disconnected of string
+  | Reconnecting of { attempt : int; delay_ms : int }
+  | Gave_up of string
+
+type config = {
+  heartbeat_ms : int;
+  idle_timeout_ms : int;
+  max_outbox : int;
+  max_frame : int;
+  backoff_base_ms : int;
+  backoff_max_ms : int;
+  max_attempts : int option;  (** [None]: retry forever *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config ->
+  ?metrics:Dce_obs.Metrics.t ->
+  ?trace:Dce_obs.Trace.sink ->
+  ?seed:int ->
+  host:string ->
+  port:int ->
+  site:int ->
+  unit ->
+  t
+(** Does not touch the network; the first {!step} starts connecting.
+    [seed] fixes the backoff jitter (tests). *)
+
+val site : t -> int
+
+val step : ?timeout_ms:int -> t -> event list
+(** Advance the state machine: progress the non-blocking connect, read,
+    dispatch, flush, heartbeat, or wait out the backoff. *)
+
+val send : t -> string -> unit
+(** Queue a [Proto.encode_message] blob for the relay to fan out.
+    Dropped unless the session is live — locally generated requests
+    issued while disconnected cannot reach anyone and are superseded by
+    the snapshot on rejoin. *)
+
+val connected : t -> bool
+(** Live: the snapshot has been received. *)
+
+val stopped : t -> bool
+(** Closed or gave up; {!step} is a no-op. *)
+
+val fd : t -> Unix.file_descr option
+(** The socket, for embedding in an external [select] (e.g. together
+    with stdin). [None] while waiting out a backoff. *)
+
+val set_stamp : t -> (unit -> Dce_ot.Vclock.t * int) -> unit
+(** How to stamp this client's [Net] trace events with a vector clock
+    and policy version — point it at the live controller so traces stay
+    causally auditable. *)
+
+val close : t -> unit
+(** Send [Bye], close, and stop reconnecting. *)

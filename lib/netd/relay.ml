@@ -1,0 +1,252 @@
+module Obs = Dce_obs
+module M = Obs.Metrics
+module Proto = Dce_wire.Proto
+module Controller = Dce_core.Controller
+module IntSet = Set.Make (Int)
+
+type config = {
+  heartbeat_ms : int;
+  idle_timeout_ms : int;
+  max_outbox : int;
+  max_frame : int;
+}
+
+let default_config =
+  {
+    heartbeat_ms = 5_000;
+    idle_timeout_ms = 30_000;
+    max_outbox = 4 * 1024 * 1024;
+    max_frame = 8 * 1024 * 1024;
+  }
+
+type peer_state = Greeting | Joined of int
+
+type 'e t = {
+  cfg : config;
+  tele : Tele.t;
+  trace : Obs.Trace.sink;
+  codec : 'e Proto.elt_codec;
+  listen_fd : Unix.file_descr;
+  port : int;
+  mutable ctrl : 'e Controller.t;
+  mutable conns : (Conn.t * peer_state ref) list;
+  mutable seen : IntSet.t; (* sites that joined at least once: reconnect detection *)
+  mutable stopped : bool;
+}
+
+let trace t peer action detail =
+  if Obs.Trace.enabled t.trace then
+    Obs.Trace.emit t.trace ~site:(Controller.site t.ctrl) ~clock:(Controller.clock t.ctrl)
+      ~version:(Controller.version t.ctrl)
+      (Obs.Trace.Net { peer; action; detail })
+
+let create ?(config = default_config) ?metrics ?(trace = Obs.Trace.null)
+    ?(addr = Unix.inet_addr_loopback) ~codec ~controller ~port () =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.set_nonblock fd;
+  Unix.bind fd (Unix.ADDR_INET (addr, port));
+  Unix.listen fd 64;
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  {
+    cfg = config;
+    tele = Tele.make ?metrics ();
+    trace;
+    codec;
+    listen_fd = fd;
+    port;
+    ctrl = controller;
+    conns = [];
+    seen = IntSet.empty;
+    stopped = false;
+  }
+
+let port t = t.port
+let controller t = t.ctrl
+
+let connected_sites t =
+  List.sort compare
+    (List.filter_map
+       (fun (c, st) ->
+         match !st with Joined s when Conn.alive c -> Some s | _ -> None)
+       t.conns)
+
+let site_of st = match !st with Greeting -> -1 | Joined s -> s
+
+let fan_out t ~except bytes =
+  let env = Relay_proto.encode (Relay_proto.Msg bytes) in
+  List.iter
+    (fun (c, st) ->
+      match !st with
+      | Joined s when except <> Some s -> Conn.send c env
+      | _ -> ())
+    t.conns
+
+let join t conn st site =
+  (* a site reconnecting through a fresh socket supersedes its old,
+     possibly half-dead connection *)
+  List.iter
+    (fun (c, st') ->
+      match !st' with
+      | Joined s when s = site && c != conn -> Conn.mark_closed c Conn.Superseded
+      | _ -> ())
+    t.conns;
+  st := Joined site;
+  M.incr t.tele.Tele.connects;
+  let again = IntSet.mem site t.seen in
+  if again then M.incr t.tele.Tele.reconnects;
+  t.seen <- IntSet.add site t.seen;
+  trace t site (if again then "reconnect" else "connect") (Conn.peer conn);
+  Conn.send conn
+    (Relay_proto.encode
+       (Relay_proto.Welcome
+          { relay_site = Controller.site t.ctrl; heartbeat_ms = t.cfg.heartbeat_ms }));
+  Conn.send conn
+    (Relay_proto.encode
+       (Relay_proto.Snapshot (Proto.encode_state t.codec (Controller.dump t.ctrl))));
+  M.incr t.tele.Tele.snapshots;
+  trace t site "snapshot" ""
+
+let dispatch t conn st payload =
+  match Relay_proto.decode payload with
+  | Error e -> Conn.mark_closed conn (Conn.Corrupt ("bad envelope: " ^ e))
+  | Ok msg -> (
+    match (msg, !st) with
+    | Relay_proto.Hello { site }, Greeting -> join t conn st site
+    | Relay_proto.Hello _, Joined _ ->
+      Conn.mark_closed conn (Conn.Corrupt "duplicate hello")
+    | Relay_proto.Msg bytes, Joined src -> (
+      match Proto.decode_message t.codec bytes with
+      | Error e -> Conn.mark_closed conn (Conn.Corrupt ("bad message: " ^ e))
+      | Ok m ->
+        (* keep the hosted session current (this is what snapshots are
+           cut from), then fan the original bytes out verbatim *)
+        let ctrl, emitted = Controller.receive t.ctrl m in
+        t.ctrl <- ctrl;
+        M.incr t.tele.Tele.relayed;
+        fan_out t ~except:(Some src) bytes;
+        List.iter
+          (fun em -> fan_out t ~except:None (Proto.encode_message t.codec em))
+          emitted)
+    | Relay_proto.Msg _, Greeting ->
+      Conn.mark_closed conn (Conn.Corrupt "message before hello")
+    | Relay_proto.Ping, _ -> Conn.send conn (Relay_proto.encode Relay_proto.Pong)
+    | Relay_proto.Pong, _ -> ()
+    | Relay_proto.Bye _, _ -> Conn.mark_closed conn (Conn.Local "bye")
+    | (Relay_proto.Welcome _ | Relay_proto.Snapshot _), _ ->
+      Conn.mark_closed conn (Conn.Corrupt "server-only envelope from a client"))
+
+let rec accept_all t =
+  match Unix.accept ~cloexec:true t.listen_fd with
+  | fd, sockaddr ->
+    let peer =
+      match sockaddr with
+      | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+      | Unix.ADDR_UNIX p -> p
+    in
+    let conn =
+      Conn.create ~max_outbox:t.cfg.max_outbox ~max_frame:t.cfg.max_frame ~tele:t.tele
+        ~peer fd
+    in
+    t.conns <- t.conns @ [ (conn, ref Greeting) ];
+    accept_all t
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+
+let heartbeats t =
+  let now = Unix.gettimeofday () *. 1000. in
+  List.iter
+    (fun (c, _) ->
+      if Conn.alive c then
+        if now -. Conn.last_recv_ms c > float_of_int t.cfg.idle_timeout_ms then
+          Conn.mark_closed c Conn.Idle
+        else if now -. Conn.last_send_ms c > float_of_int t.cfg.heartbeat_ms then
+          Conn.send c (Relay_proto.encode Relay_proto.Ping))
+    t.conns
+
+let reap t =
+  let dead, live = List.partition (fun (c, _) -> not (Conn.alive c)) t.conns in
+  t.conns <- live;
+  List.iter
+    (fun (c, st) ->
+      let reason = Option.value ~default:Conn.Eof (Conn.closed_reason c) in
+      M.incr t.tele.Tele.disconnects;
+      let action =
+        match reason with
+        | Conn.Corrupt _ -> "frame_error"
+        | Conn.Overflow -> "overflow"
+        | Conn.Idle -> "idle"
+        | _ -> "disconnect"
+      in
+      trace t (site_of st) action (Conn.reason_string reason);
+      (* best-effort flush of anything already queued (e.g. a Pong),
+         then close *)
+      Conn.shutdown c)
+    dead
+
+let step ?(timeout_ms = 0) t =
+  if not t.stopped then begin
+    accept_all t;
+    let rds =
+      t.listen_fd
+      :: List.filter_map
+           (fun (c, _) -> if Conn.alive c then Some (Conn.fd c) else None)
+           t.conns
+    in
+    let wrs =
+      List.filter_map
+        (fun (c, _) -> if Conn.wants_write c then Some (Conn.fd c) else None)
+        t.conns
+    in
+    let rd, wr, _ =
+      try Unix.select rds wrs [] (float_of_int timeout_ms /. 1000.)
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    if List.mem t.listen_fd rd then accept_all t;
+    List.iter
+      (fun (c, st) ->
+        if List.mem (Conn.fd c) rd then
+          List.iter (dispatch t c st) (Conn.handle_readable c))
+      t.conns;
+    List.iter
+      (fun (c, _) -> if List.mem (Conn.fd c) wr then Conn.handle_writable c)
+      t.conns;
+    heartbeats t;
+    reap t
+  end
+
+let kick t ~site =
+  let found = ref false in
+  List.iter
+    (fun (c, st) ->
+      match !st with
+      | Joined s when s = site && Conn.alive c ->
+        found := true;
+        Conn.mark_closed c (Conn.Local "kicked")
+      | _ -> ())
+    t.conns;
+  !found
+
+let stopped t = t.stopped
+
+let shutdown t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    List.iter
+      (fun (c, _) ->
+        Conn.send c (Relay_proto.encode (Relay_proto.Bye "relay shutting down"));
+        Conn.handle_writable c;
+        Conn.shutdown c)
+      t.conns;
+    t.conns <- [];
+    try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+  end
+
+let run ?(tick_ms = 200) ?on_tick t =
+  while not t.stopped do
+    step ~timeout_ms:tick_ms t;
+    match on_tick with None -> () | Some f -> f t
+  done

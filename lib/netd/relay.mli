@@ -1,0 +1,75 @@
+(** The relay server: hosts a session and rebroadcasts between sites.
+
+    One process ([bin/dced]) listens for TCP connections; each client
+    identifies itself with a [Hello] carrying its site id, receives the
+    current session state as a snapshot (late joiners and reconnecting
+    sites need nothing else), and from then on every
+    [Controller.message] it sends is fanned out to every other
+    connected site.  The relay keeps its own controller — a passive,
+    non-editing group member — current by receiving everything it
+    relays; that controller is what snapshots are cut from.  If the
+    relay happens to hold the administrator role, messages its
+    controller emits on reception (validations) are fanned out too.
+
+    Trust: the relay validates framing, the envelope and the message
+    encoding (a malformed peer is disconnected, never a crash), but it
+    does {e not} arbitrate the paper's security model — policy
+    enforcement stays with every site's controller, exactly as in the
+    peer-to-peer deployment.  The relay is a reliable-broadcast device,
+    not a policy oracle.
+
+    Single-threaded: {!step} runs one bounded [select] round, so the
+    relay can be embedded cooperatively (tests, benchmarks) or driven
+    forever with {!run}. *)
+
+type config = {
+  heartbeat_ms : int;  (** ping a connection silent this long *)
+  idle_timeout_ms : int;  (** drop a connection silent this long *)
+  max_outbox : int;  (** per-connection write buffer bound, bytes *)
+  max_frame : int;  (** largest acceptable incoming frame, bytes *)
+}
+
+val default_config : config
+(** 5 s heartbeat, 30 s idle timeout, 4 MiB outbox, 8 MiB frames. *)
+
+type 'e t
+
+val create :
+  ?config:config ->
+  ?metrics:Dce_obs.Metrics.t ->
+  ?trace:Dce_obs.Trace.sink ->
+  ?addr:Unix.inet_addr ->
+  codec:'e Dce_wire.Proto.elt_codec ->
+  controller:'e Dce_core.Controller.t ->
+  port:int ->
+  unit ->
+  'e t
+(** Bind and listen ([addr] defaults to loopback; [port] 0 picks an
+    ephemeral port, see {!port}).  [controller] is the hosted session's
+    initial state; create it with a site id outside the user range.
+    Raises [Unix.Unix_error] if the address cannot be bound. *)
+
+val port : 'e t -> int
+(** The actually bound port. *)
+
+val controller : 'e t -> 'e Dce_core.Controller.t
+(** The relay's current copy of the session. *)
+
+val connected_sites : 'e t -> int list
+
+val step : ?timeout_ms:int -> 'e t -> unit
+(** One event-loop round: accept, read/dispatch, flush, heartbeat,
+    reap.  Blocks in [select] at most [timeout_ms] (default 0). *)
+
+val run : ?tick_ms:int -> ?on_tick:('e t -> unit) -> 'e t -> unit
+(** {!step} until {!shutdown} (e.g. from [on_tick] or a signal
+    handler's effect on a flag the callback checks). *)
+
+val kick : 'e t -> site:int -> bool
+(** Drop a site's connection (it may reconnect).  [false] if not
+    connected. *)
+
+val stopped : 'e t -> bool
+
+val shutdown : 'e t -> unit
+(** Send [Bye] to every peer, close everything, stop {!run}. *)

@@ -1,0 +1,66 @@
+open Dce_wire.Codec
+
+type t =
+  | Hello of { site : int }
+  | Welcome of { relay_site : int; heartbeat_ms : int }
+  | Snapshot of string
+  | Msg of string
+  | Ping
+  | Pong
+  | Bye of string
+
+let put b = function
+  | Hello { site } ->
+    put_char b 'H';
+    put_varint b site
+  | Welcome { relay_site; heartbeat_ms } ->
+    put_char b 'W';
+    put_varint b relay_site;
+    put_varint b heartbeat_ms
+  | Snapshot s ->
+    put_char b 'S';
+    put_string b s
+  | Msg s ->
+    put_char b 'M';
+    put_string b s
+  | Ping -> put_char b 'P'
+  | Pong -> put_char b 'Q'
+  | Bye reason ->
+    put_char b 'B';
+    put_string b reason
+
+let get d =
+  let* c = get_char d in
+  match c with
+  | 'H' ->
+    let* site = get_varint d in
+    Ok (Hello { site })
+  | 'W' ->
+    let* relay_site = get_varint d in
+    let* heartbeat_ms = get_varint d in
+    Ok (Welcome { relay_site; heartbeat_ms })
+  | 'S' ->
+    let* s = get_string d in
+    Ok (Snapshot s)
+  | 'M' ->
+    let* s = get_string d in
+    Ok (Msg s)
+  | 'P' -> Ok Ping
+  | 'Q' -> Ok Pong
+  | 'B' ->
+    let* reason = get_string d in
+    Ok (Bye reason)
+  | c -> Error (Printf.sprintf "unknown relay message kind %C" c)
+
+let encode m = to_string put m
+
+let decode s = of_string get s
+
+let label = function
+  | Hello _ -> "hello"
+  | Welcome _ -> "welcome"
+  | Snapshot _ -> "snapshot"
+  | Msg _ -> "msg"
+  | Ping -> "ping"
+  | Pong -> "pong"
+  | Bye _ -> "bye"

@@ -1,0 +1,32 @@
+(** The session envelope spoken over a relay connection.
+
+    Each value is one {!Dce_wire.Codec} frame payload.  [Snapshot] and
+    [Msg] carry the {!Dce_wire.Proto} encodings ({!encode_state} /
+    {!encode_message} output) verbatim as opaque strings: the relay fans
+    [Msg] bytes out without re-encoding, and stays generic over the
+    element type.
+
+    Handshake: the client sends [Hello] with its site id; the relay
+    answers [Welcome] then [Snapshot] (the current session state, which
+    is how late joiners and reconnecting sites catch up), after which
+    both sides exchange [Msg] and keep the link alive with [Ping]/[Pong].
+    [Bye] announces an orderly close.
+
+    Like every decoder in this repo, {!decode} never raises — the
+    envelope is parsed from untrusted bytes. *)
+
+type t =
+  | Hello of { site : int }
+  | Welcome of { relay_site : int; heartbeat_ms : int }
+  | Snapshot of string  (** a [Proto.encode_state] blob *)
+  | Msg of string  (** a [Proto.encode_message] blob *)
+  | Ping
+  | Pong
+  | Bye of string
+
+val encode : t -> string
+(** The frame payload (unframed; the connection layer frames it). *)
+
+val decode : string -> (t, string) result
+
+val label : t -> string

@@ -1,0 +1,53 @@
+module Codec = Dce_wire.Codec
+
+type t = {
+  mutable buf : Bytes.t;
+  mutable start : int; (* first unconsumed byte *)
+  mutable len : int; (* unconsumed bytes from [start] *)
+  max_payload : int;
+  mutable dead : string option;
+}
+
+let create ?(max_payload = 8 * 1024 * 1024) () =
+  { buf = Bytes.create 4096; start = 0; len = 0; max_payload; dead = None }
+
+let buffered t = t.len
+
+let corrupt t = t.dead
+
+let feed t src ~off ~len =
+  if len < 0 || off < 0 || off + len > Bytes.length src then
+    invalid_arg "Splitter.feed: bad range";
+  if t.dead = None && len > 0 then begin
+    let cap = Bytes.length t.buf in
+    if t.start + t.len + len > cap then begin
+      (* compact, growing only if the live bytes really need it *)
+      let need = t.len + len in
+      let dst = if need > cap then Bytes.create (max need (2 * cap)) else t.buf in
+      Bytes.blit t.buf t.start dst 0 t.len;
+      t.buf <- dst;
+      t.start <- 0
+    end;
+    Bytes.blit src off t.buf (t.start + t.len) len;
+    t.len <- t.len + len
+  end
+
+let feed_string t s = feed t (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)
+
+let next t =
+  match t.dead with
+  | Some e -> Error e
+  | None ->
+    if t.len = 0 then Ok None
+    else begin
+      let window = Bytes.sub_string t.buf t.start t.len in
+      match Codec.unframe_prefix ~max_payload:t.max_payload window ~pos:0 with
+      | Ok (payload, consumed) ->
+        t.start <- t.start + consumed;
+        t.len <- t.len - consumed;
+        Ok (Some payload)
+      | Error Codec.Truncated -> Ok None
+      | Error (Codec.Corrupt e) ->
+        t.dead <- Some e;
+        Error e
+    end

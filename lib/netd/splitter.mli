@@ -1,0 +1,32 @@
+(** Incremental frame splitter: a byte stream in, whole
+    {!Dce_wire.Codec} frame payloads out.
+
+    TCP delivers arbitrary chunks; {!feed} buffers them and {!next}
+    extracts complete frames as they become available, using
+    {!Dce_wire.Codec.unframe_prefix} to distinguish "the rest has not
+    arrived yet" from "this stream is corrupt".  Corruption is sticky:
+    after the first corrupt frame the splitter refuses everything, since
+    a stream with no synchronization points cannot be trusted past a bad
+    checksum — the connection must be dropped (and re-established, which
+    resets framing). *)
+
+type t
+
+val create : ?max_payload:int -> unit -> t
+(** [max_payload] (default 8 MiB) bounds the declared payload size of a
+    single frame; a larger declaration is treated as corruption before
+    any of the payload is buffered. *)
+
+val feed : t -> Bytes.t -> off:int -> len:int -> unit
+(** Append a chunk read from the socket.  No-op once corrupt. *)
+
+val feed_string : t -> string -> unit
+
+val next : t -> (string option, string) result
+(** [Ok (Some payload)]: one complete frame was consumed.  [Ok None]:
+    need more bytes.  [Error reason]: the stream is corrupt (sticky). *)
+
+val buffered : t -> int
+(** Unconsumed bytes currently held. *)
+
+val corrupt : t -> string option

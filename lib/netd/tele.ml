@@ -1,0 +1,38 @@
+module M = Dce_obs.Metrics
+
+type t = {
+  bytes_in : M.counter;
+  bytes_out : M.counter;
+  frames_in : M.counter;
+  frames_out : M.counter;
+  framing_errors : M.counter;
+  connects : M.counter;
+  disconnects : M.counter;
+  reconnects : M.counter;
+  snapshots : M.counter;
+  relayed : M.counter;
+  overflows : M.counter;
+  flush_ns : M.histogram;
+}
+
+(* With no registry supplied, counters come from a disabled one, so
+   every update is a load and a branch — no option checks on the hot
+   path. *)
+let disabled = lazy (M.create ~enabled:false ())
+
+let make ?metrics () =
+  let m = match metrics with Some m -> m | None -> Lazy.force disabled in
+  {
+    bytes_in = M.counter m "netd.bytes_in";
+    bytes_out = M.counter m "netd.bytes_out";
+    frames_in = M.counter m "netd.frames_in";
+    frames_out = M.counter m "netd.frames_out";
+    framing_errors = M.counter m "netd.framing_errors";
+    connects = M.counter m "netd.connects";
+    disconnects = M.counter m "netd.disconnects";
+    reconnects = M.counter m "netd.reconnects";
+    snapshots = M.counter m "netd.snapshots";
+    relayed = M.counter m "netd.relayed";
+    overflows = M.counter m "netd.overflows";
+    flush_ns = M.histogram m "netd.flush_ns";
+  }

@@ -1,0 +1,28 @@
+(** The transport's metric handles, resolved once per endpoint.
+
+    Counters: [netd.bytes_in]/[netd.bytes_out] (socket payload bytes),
+    [netd.frames_in]/[netd.frames_out], [netd.framing_errors] (corrupt
+    streams), [netd.connects]/[netd.disconnects]/[netd.reconnects]
+    (connection lifecycle), [netd.snapshots] (late-join state
+    transfers), [netd.relayed] (messages fanned out), [netd.overflows]
+    (connections dropped by backpressure).  Histogram: [netd.flush_ns]
+    (wall-clock time of a non-empty socket flush). *)
+
+type t = {
+  bytes_in : Dce_obs.Metrics.counter;
+  bytes_out : Dce_obs.Metrics.counter;
+  frames_in : Dce_obs.Metrics.counter;
+  frames_out : Dce_obs.Metrics.counter;
+  framing_errors : Dce_obs.Metrics.counter;
+  connects : Dce_obs.Metrics.counter;
+  disconnects : Dce_obs.Metrics.counter;
+  reconnects : Dce_obs.Metrics.counter;
+  snapshots : Dce_obs.Metrics.counter;
+  relayed : Dce_obs.Metrics.counter;
+  overflows : Dce_obs.Metrics.counter;
+  flush_ns : Dce_obs.Metrics.histogram;
+}
+
+val make : ?metrics:Dce_obs.Metrics.t -> unit -> t
+(** Without [metrics], handles point into a permanently disabled
+    registry, so updates cost one branch. *)

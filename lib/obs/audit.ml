@@ -92,7 +92,7 @@ let causality events =
           bad "[seq %d] site %d undid %a before integrating it" e.Trace.seq site
             Request.pp_id request
       | Trace.Check_local _ | Trace.Broadcast _ | Trace.Receive _ | Trace.Admin_apply _
-        -> ())
+      | Trace.Net _ -> ())
     events;
   List.rev !violations
 

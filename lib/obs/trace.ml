@@ -16,6 +16,7 @@ type kind =
   | Invalidate of { request : Request.id; cancel_version : int }
   | Deliver of { request : Request.id; gen_version : int; valid : bool }
   | Admin_apply of { op : string; restrictive : bool }
+  | Net of { peer : int; action : string; detail : string }
 
 type event = {
   seq : int;
@@ -37,6 +38,7 @@ let kind_name = function
   | Invalidate _ -> "invalidate"
   | Deliver _ -> "deliver"
   | Admin_apply _ -> "admin_apply"
+  | Net _ -> "net"
 
 (* ----- sinks ----- *)
 
@@ -123,6 +125,9 @@ let kind_fields = function
     ]
   | Admin_apply { op; restrictive } ->
     [ ("op", Json.String op); ("restrictive", Json.Bool restrictive) ]
+  | Net { peer; action; detail } ->
+    [ ("peer", Json.Int peer); ("action", Json.String action) ]
+    @ (if detail = "" then [] else [ ("detail", Json.String detail) ])
 
 let to_json e =
   Json.Obj
@@ -196,6 +201,15 @@ let kind_of_json name j =
     let* op = field "op" Json.to_str j in
     let* restrictive = field "restrictive" Json.to_bool j in
     Ok (Admin_apply { op; restrictive })
+  | "net" ->
+    let* peer = field "peer" Json.to_int j in
+    let* action = field "action" Json.to_str j in
+    let* detail =
+      match Json.member "detail" j with
+      | None -> Ok ""
+      | Some v -> Json.to_str v
+    in
+    Ok (Net { peer; action; detail })
   | other -> Error (Printf.sprintf "unknown event kind %S" other)
 
 let of_json j =
@@ -281,6 +295,9 @@ let pp_kind ppf = function
       (if valid then ", valid" else "")
   | Admin_apply { op; restrictive } ->
     Format.fprintf ppf "admin_apply %s%s" op (if restrictive then " (restrictive)" else "")
+  | Net { peer; action; detail } ->
+    Format.fprintf ppf "net %s peer %d%s" action peer
+      (if detail = "" then "" else " (" ^ detail ^ ")")
 
 let pp_event ppf e =
   Format.fprintf ppf "[%d] site %d v%d %a" e.seq e.site e.version pp_kind e.kind

@@ -52,6 +52,11 @@ type kind =
   | Admin_apply of { op : string; restrictive : bool }
       (** An administrative request was applied; the event's [version]
           is the version it produced. *)
+  | Net of { peer : int; action : string; detail : string }
+      (** A transport-level lifecycle event ([Dce_netd]): [action] is
+          one of [connect], [disconnect], [reconnect], [snapshot],
+          [frame_error], [overflow], [idle], [give_up]; [peer] is the
+          remote site id, [-1] before the peer has identified itself. *)
 
 type event = {
   seq : int;  (** process-wide emission order *)

@@ -214,28 +214,66 @@ let frame payload =
     Dce_obs.Metrics.observe i.enc_bytes (String.length s);
     s
 
-let unframe_raw s =
-  if String.length s < 4 || String.sub s 0 4 <> magic then Error "bad magic"
-  else begin
-    let d = { src = s; pos = 4 } in
-    let* version = get_varint d in
-    if version <> format_version then
-      Error (Printf.sprintf "unsupported format version %d" version)
+type frame_error = Truncated | Corrupt of string
+
+(* A varint read that distinguishes running off the end of the buffer
+   (the stream may simply not have delivered the rest of the frame yet)
+   from a malformed encoding (the peer is broken or hostile). *)
+let stream_varint s ~pos ~stop =
+  let rec go acc shift bytes pos =
+    if bytes > max_varint_bytes then Error (Corrupt "varint too long")
+    else if pos >= stop then Error Truncated
     else
-      let* len = get_varint d in
-      let* crc_lo = get_varint d in
-      let* crc_hi = get_varint d in
-      if len <> remaining d then Error "length mismatch"
-      else begin
-        let payload = String.sub d.src d.pos len in
-        let crc = crc32 payload in
-        if
-          crc_lo = Int32.to_int (Int32.logand crc 0xFFFFl)
-          && crc_hi = Int32.to_int (Int32.shift_right_logical crc 16)
-        then Ok payload
-        else Error "checksum mismatch"
-      end
-  end
+      let byte = Char.code s.[pos] in
+      let acc = acc lor ((byte land 0x7f) lsl shift) in
+      if byte land 0x80 = 0 then
+        if acc < 0 then Error (Corrupt "varint overflow") else Ok (acc, pos + 1)
+      else go acc (shift + 7) (bytes + 1) (pos + 1)
+  in
+  go 0 0 1 pos
+
+let ( let+ ) r f = match r with Ok x -> f x | Error _ as e -> e
+
+let unframe_prefix ?max_payload s ~pos =
+  let stop = String.length s in
+  if pos < 0 || pos > stop then invalid_arg "Codec.unframe_prefix: bad position";
+  let avail = stop - pos in
+  let magic_ok =
+    let n = min avail 4 in
+    let rec eq i = i >= n || (s.[pos + i] = magic.[i] && eq (i + 1)) in
+    eq 0
+  in
+  if not magic_ok then Error (Corrupt "bad magic")
+  else if avail < 4 then Error Truncated
+  else
+    let+ version, pos = stream_varint s ~pos:(pos + 4) ~stop in
+    if version <> format_version then
+      Error (Corrupt (Printf.sprintf "unsupported format version %d" version))
+    else
+      let+ len, pos = stream_varint s ~pos ~stop in
+      (match max_payload with
+       | Some m when len > m ->
+         Error (Corrupt (Printf.sprintf "frame payload of %d bytes exceeds limit %d" len m))
+       | _ ->
+         let+ crc_lo, pos = stream_varint s ~pos ~stop in
+         let+ crc_hi, pos = stream_varint s ~pos ~stop in
+         if stop - pos < len then Error Truncated
+         else begin
+           let payload = String.sub s pos len in
+           let crc = crc32 payload in
+           if
+             crc_lo = Int32.to_int (Int32.logand crc 0xFFFFl)
+             && crc_hi = Int32.to_int (Int32.shift_right_logical crc 16)
+           then Ok (payload, pos + len)
+           else Error (Corrupt "checksum mismatch")
+         end)
+
+let unframe_raw s =
+  match unframe_prefix s ~pos:0 with
+  | Ok (payload, stop) ->
+    if stop = String.length s then Ok payload else Error "length mismatch"
+  | Error Truncated -> Error "truncated frame"
+  | Error (Corrupt e) -> Error e
 
 let unframe s =
   match !instr with

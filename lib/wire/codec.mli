@@ -55,7 +55,25 @@ val frame : string -> string
 (** Wrap a payload: magic, format version, length, CRC-32, payload. *)
 
 val unframe : string -> string result
-(** Check magic/version/length/checksum and return the payload. *)
+(** Check magic/version/length/checksum and return the payload.  The
+    input must be exactly one frame; for byte streams use
+    {!unframe_prefix}. *)
+
+type frame_error =
+  | Truncated  (** The buffer ends mid-frame: wait for more bytes. *)
+  | Corrupt of string
+      (** The bytes can never become a valid frame (bad magic, version,
+          oversized length, checksum…): drop the connection. *)
+
+val unframe_prefix :
+  ?max_payload:int -> string -> pos:int -> (string * int, frame_error) Stdlib.result
+(** Decode one frame starting at [pos] of a byte stream: [Ok (payload,
+    next)] consumes bytes [pos..next-1].  This is the incremental entry
+    point a stream reader needs — [Truncated] means the stream has not
+    yet delivered the rest of the frame, [Corrupt] that it never will.
+    [max_payload] bounds the declared payload length before any
+    buffering happens, so a hostile length prefix cannot force
+    unbounded memory. *)
 
 val crc32 : string -> int32
 

@@ -1,0 +1,587 @@
+(* Tests for the TCP transport: incremental frame splitting (fed one
+   byte at a time, against hostile corruption), backoff scheduling, the
+   relay envelope, connection backpressure over a real socketpair, and
+   a full loopback session — relay plus three endpoints over real TCP,
+   with a late joiner and a kicked-and-reconnecting client — checked
+   against the same convergence oracle the simulator uses, and against
+   an in-process replay of the same scenario. *)
+
+open Dce_ot
+open Dce_core
+open Dce_netd
+module Codec = Dce_wire.Codec
+module Proto = Dce_wire.Proto
+module Obs = Dce_obs
+open Helpers
+
+(* ----- Codec.unframe_prefix: truncated vs corrupt ----- *)
+
+let prefix_tests =
+  [
+    qtest "every strict prefix of a frame is Truncated, never Corrupt" ~count:200
+      QCheck2.Gen.(string_size (int_range 0 200))
+      (Printf.sprintf "%S")
+      (fun payload ->
+        let framed = Codec.frame payload in
+        let whole =
+          Codec.unframe_prefix framed ~pos:0 = Ok (payload, String.length framed)
+        in
+        whole
+        && List.for_all
+             (fun i ->
+               Codec.unframe_prefix (String.sub framed 0 i) ~pos:0
+               = Error Codec.Truncated)
+             (List.init (String.length framed) Fun.id));
+    Alcotest.test_case "bad magic is Corrupt immediately" `Quick (fun () ->
+        (match Codec.unframe_prefix "XCE1whatever" ~pos:0 with
+         | Error (Codec.Corrupt _) -> ()
+         | _ -> Alcotest.fail "expected Corrupt");
+        (* even a 1-byte prefix that can never become the magic *)
+        match Codec.unframe_prefix "Q" ~pos:0 with
+        | Error (Codec.Corrupt _) -> ()
+        | _ -> Alcotest.fail "expected Corrupt on wrong first byte");
+    Alcotest.test_case "oversized declared payload is Corrupt before buffering" `Quick
+      (fun () ->
+        let framed = Codec.frame (String.make 100 'a') in
+        match Codec.unframe_prefix ~max_payload:10 framed ~pos:0 with
+        | Error (Codec.Corrupt _) -> ()
+        | _ -> Alcotest.fail "expected Corrupt");
+    Alcotest.test_case "frames decode mid-string at pos" `Quick (fun () ->
+        let framed = Codec.frame "hello" in
+        let s = "xy" ^ framed ^ "rest" in
+        match Codec.unframe_prefix s ~pos:2 with
+        | Ok ("hello", n) ->
+          Alcotest.(check int) "consumed" (2 + String.length framed) n
+        | _ -> Alcotest.fail "expected payload at offset");
+  ]
+
+(* ----- splitter ----- *)
+
+let random_payloads rng n =
+  List.init n (fun _ ->
+      let len = QCheck2.Gen.generate1 ~rand:rng QCheck2.Gen.(int_range 0 300) in
+      QCheck2.Gen.generate1 ~rand:rng QCheck2.Gen.(string_size (return len)))
+
+let feed_byte_at_a_time sp stream =
+  let got = ref [] in
+  let error = ref None in
+  String.iter
+    (fun c ->
+      Splitter.feed_string sp (String.make 1 c);
+      let rec drain () =
+        if !error = None then
+          match Splitter.next sp with
+          | Ok None -> ()
+          | Ok (Some p) ->
+            got := p :: !got;
+            drain ()
+          | Error e -> error := Some e
+      in
+      drain ())
+    stream;
+  (List.rev !got, !error)
+
+let splitter_tests =
+  [
+    qtest "byte-at-a-time splitting yields exactly unframe's payloads" ~count:60
+      QCheck2.Gen.(int_range 1 12)
+      string_of_int
+      (fun n ->
+        let rng = Random.State.make [| n; 77 |] in
+        let payloads = random_payloads rng n in
+        let stream = String.concat "" (List.map Codec.frame payloads) in
+        (* the oracle: each whole frame through the one-shot decoder *)
+        List.iter
+          (fun p -> assert (Codec.unframe (Codec.frame p) = Ok p))
+          payloads;
+        let got, error = feed_byte_at_a_time (Splitter.create ()) stream in
+        error = None && got = payloads);
+    qtest "single corrupted byte: no wrong payload ever comes out" ~count:120
+      QCheck2.Gen.(pair (int_range 1 8) (int_range 0 10_000))
+      (fun (n, k) -> Printf.sprintf "n=%d k=%d" n k)
+      (fun (n, k) ->
+        let rng = Random.State.make [| n; k; 13 |] in
+        let payloads = random_payloads rng n in
+        let stream = String.concat "" (List.map Codec.frame payloads) in
+        let pos = k mod String.length stream in
+        let b = Bytes.of_string stream in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x5a));
+        let got, error = feed_byte_at_a_time (Splitter.create ()) (Bytes.to_string b) in
+        (* connection-drop semantics: everything delivered must be an
+           honest prefix, and the stream must not have yielded all N
+           payloads as if nothing happened (either the splitter flagged
+           corruption, or it is stalled waiting for bytes that a real
+           connection would never complete) *)
+        let rec is_prefix xs ys =
+          match (xs, ys) with
+          | [], _ -> true
+          | x :: xs, y :: ys -> x = y && is_prefix xs ys
+          | _ :: _, [] -> false
+        in
+        is_prefix got payloads
+        && (error <> None || List.length got < List.length payloads));
+    Alcotest.test_case "corruption is sticky: honest frames after it are refused" `Quick
+      (fun () ->
+        let sp = Splitter.create () in
+        Splitter.feed_string sp "NOT A FRAME";
+        (match Splitter.next sp with
+         | Error _ -> ()
+         | Ok _ -> Alcotest.fail "expected corrupt");
+        Splitter.feed_string sp (Codec.frame "honest");
+        match Splitter.next sp with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "splitter must stay dead after corruption");
+    Alcotest.test_case "zero-length payloads split correctly" `Quick (fun () ->
+        let sp = Splitter.create () in
+        Splitter.feed_string sp (Codec.frame "" ^ Codec.frame "" ^ Codec.frame "x");
+        let rec drain acc =
+          match Splitter.next sp with
+          | Ok (Some p) -> drain (p :: acc)
+          | Ok None -> List.rev acc
+          | Error e -> Alcotest.fail e
+        in
+        Alcotest.(check (list string)) "payloads" [ ""; ""; "x" ] (drain []));
+    Alcotest.test_case "oversized frame is refused before its payload arrives" `Quick
+      (fun () ->
+        let sp = Splitter.create ~max_payload:16 () in
+        let framed = Codec.frame (String.make 1000 'z') in
+        (* header only — the declared length alone must kill it *)
+        Splitter.feed_string sp (String.sub framed 0 12);
+        match Splitter.next sp with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected refusal from the declared length");
+  ]
+
+(* ----- backoff ----- *)
+
+let backoff_tests =
+  [
+    Alcotest.test_case "delays grow geometrically, jittered, capped" `Quick (fun () ->
+        let b = Backoff.create ~base_ms:100 ~max_ms:2000 ~seed:42 () in
+        let delays = List.init 10 (fun _ -> Backoff.next b) in
+        List.iteri
+          (fun i d ->
+            let cap = min 2000 (100 * (1 lsl i)) in
+            Alcotest.(check bool)
+              (Printf.sprintf "attempt %d in [cap/2,cap]" i)
+              true
+              (d >= cap / 2 && d <= cap))
+          delays;
+        Backoff.reset b;
+        let d = Backoff.next b in
+        Alcotest.(check bool) "reset back to base" true (d >= 50 && d <= 100));
+    Alcotest.test_case "seeded backoff is deterministic" `Quick (fun () ->
+        let mk () =
+          let b = Backoff.create ~base_ms:100 ~max_ms:2000 ~seed:7 () in
+          List.init 6 (fun _ -> Backoff.next b)
+        in
+        Alcotest.(check (list int)) "same draws" (mk ()) (mk ()));
+  ]
+
+(* ----- relay envelope ----- *)
+
+let envelope_tests =
+  [
+    Alcotest.test_case "envelope roundtrips" `Quick (fun () ->
+        List.iter
+          (fun m ->
+            match Relay_proto.decode (Relay_proto.encode m) with
+            | Ok m' -> Alcotest.(check bool) (Relay_proto.label m) true (m = m')
+            | Error e -> Alcotest.fail e)
+          [
+            Relay_proto.Hello { site = 3 };
+            Relay_proto.Welcome { relay_site = 1_000_000; heartbeat_ms = 5000 };
+            Relay_proto.Snapshot "blob\x00\xff";
+            Relay_proto.Msg "";
+            Relay_proto.Ping;
+            Relay_proto.Pong;
+            Relay_proto.Bye "reason";
+          ]);
+    qtest "hostile envelope bytes never raise" ~count:500
+      QCheck2.Gen.(string_size (int_range 0 40))
+      (Printf.sprintf "%S")
+      (fun s ->
+        match Relay_proto.decode s with Ok _ -> true | Error _ -> true);
+  ]
+
+(* ----- connection backpressure over a socketpair ----- *)
+
+let conn_tests =
+  [
+    Alcotest.test_case "outbox overflow disconnects instead of buffering forever"
+      `Quick (fun () ->
+        let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        let tele = Tele.make () in
+        let conn = Conn.create ~max_outbox:4096 ~tele ~peer:"test" a in
+        (* nobody reads [b]; the kernel buffer plus our outbox bound
+           must eventually trip the overflow policy *)
+        let payload = String.make 1024 'q' in
+        let rec spam i =
+          if i > 10_000 then ()
+          else if Conn.alive conn then begin
+            Conn.send conn payload;
+            Conn.handle_writable conn;
+            spam (i + 1)
+          end
+        in
+        spam 0;
+        (match Conn.closed_reason conn with
+         | Some Conn.Overflow -> ()
+         | r ->
+           Alcotest.failf "expected Overflow, got %s"
+             (match r with None -> "alive" | Some r -> Conn.reason_string r));
+        Conn.shutdown conn;
+        Unix.close b);
+    Alcotest.test_case "partial writes resume cleanly" `Quick (fun () ->
+        let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        let tele = Tele.make () in
+        let sender = Conn.create ~max_outbox:(32 * 1024 * 1024) ~tele ~peer:"tx" a in
+        let receiver = Conn.create ~tele ~peer:"rx" b in
+        let payload = String.make 300_000 'p' in
+        Conn.send sender payload;
+        let got = ref [] in
+        let rounds = ref 0 in
+        while !got = [] && !rounds < 10_000 do
+          incr rounds;
+          Conn.handle_writable sender;
+          got := Conn.handle_readable receiver
+        done;
+        Alcotest.(check bool) "payload intact" true (!got = [ payload ]);
+        Conn.shutdown sender;
+        Conn.shutdown receiver);
+  ]
+
+(* ----- loopback integration: 3 sites over real TCP ----- *)
+
+let relay_site = 1_000_000
+
+let mk_controller ~site ~trace text =
+  let policy =
+    Policy.make ~users:[ 0; 1; 2 ]
+      [ Auth.grant [ Subject.Any ] [ Docobj.Whole ] Right.all ]
+  in
+  Controller.create ~eq:Char.equal ~site ~admin:0 ~policy ~trace
+    (Tdoc.of_string text)
+
+type endpoint = {
+  client : Client.t;
+  site : int;
+  mutable ctrl : char Controller.t option;
+  mutable snapshots : int;
+  mutable reconnect_events : int;
+}
+
+let on_event ep = function
+  | Client.Snapshot blob -> (
+    match Proto.Char_proto.decode_state blob with
+    | Error e -> Alcotest.failf "site %d: bad snapshot: %s" ep.site e
+    | Ok state -> (
+      match Controller.load ~eq:Char.equal state with
+      | Error e -> Alcotest.failf "site %d: snapshot rejected: %s" ep.site e
+      | Ok donor ->
+        ep.snapshots <- ep.snapshots + 1;
+        ep.ctrl <- Some (Controller.rejoin ~site:ep.site donor)))
+  | Client.Message blob -> (
+    match Proto.Char_proto.decode_message blob with
+    | Error e -> Alcotest.failf "site %d: bad message: %s" ep.site e
+    | Ok m ->
+      let c = Option.get ep.ctrl in
+      let c, emitted = Controller.receive c m in
+      ep.ctrl <- Some c;
+      List.iter
+        (fun m' -> Client.send ep.client (Proto.Char_proto.encode_message m'))
+        emitted)
+  | Client.Reconnecting _ -> ep.reconnect_events <- ep.reconnect_events + 1
+  | Client.Connected | Client.Disconnected _ -> ()
+  | Client.Gave_up reason -> Alcotest.failf "site %d gave up: %s" ep.site reason
+
+let mk_endpoint ~port ~site =
+  let config =
+    {
+      Client.default_config with
+      Client.backoff_base_ms = 5;
+      backoff_max_ms = 50;
+      max_attempts = Some 100;
+    }
+  in
+  { client = Client.create ~config ~seed:site ~host:"127.0.0.1" ~port ~site ();
+    site;
+    ctrl = None;
+    snapshots = 0;
+    reconnect_events = 0;
+  }
+
+let ep_step ep = List.iter (on_event ep) (Client.step ~timeout_ms:0 ep.client)
+
+let pump_until ?(max_rounds = 4000) relay eps cond =
+  let rec go i =
+    cond ()
+    ||
+    if i >= max_rounds then false
+    else begin
+      Relay.step ~timeout_ms:1 relay;
+      List.iter ep_step eps;
+      go (i + 1)
+    end
+  in
+  go 0
+
+let require name ok = if not ok then Alcotest.failf "timeout waiting for %s" name
+
+let doc ep =
+  match ep.ctrl with
+  | Some c -> Tdoc.visible_string (Controller.document c)
+  | None -> "<not joined>"
+
+let settled ep =
+  match ep.ctrl with
+  | None -> false
+  | Some c ->
+    Controller.tentative c = []
+    && Controller.pending_coop c = 0
+    && Controller.pending_admin c = 0
+
+let edit ep pos ch =
+  let c = Option.get ep.ctrl in
+  match Controller.generate c (Tdoc.ins_visible (Controller.document c) pos ch) with
+  | c, Controller.Accepted m ->
+    ep.ctrl <- Some c;
+    Client.send ep.client (Proto.Char_proto.encode_message m)
+  | _, Controller.Denied r -> Alcotest.failf "site %d denied: %s" ep.site r
+
+let try_update ep pos ch =
+  let c = Option.get ep.ctrl in
+  match Controller.generate c (Tdoc.up_visible (Controller.document c) pos ch) with
+  | c, Controller.Accepted m ->
+    ep.ctrl <- Some c;
+    Client.send ep.client (Proto.Char_proto.encode_message m);
+    true
+  | _, Controller.Denied _ -> false
+
+let admin_op ep op =
+  let c = Option.get ep.ctrl in
+  match Controller.admin_update c op with
+  | Ok (c, m) ->
+    ep.ctrl <- Some c;
+    Client.send ep.client (Proto.Char_proto.encode_message m)
+  | Error e -> Alcotest.failf "admin error: %s" e
+
+(* The same scenario, replayed through in-process controllers with
+   immediate delivery — the oracle for the networked final state. *)
+let inprocess_replay () =
+  let c0 = ref (mk_controller ~site:0 ~trace:Obs.Trace.null "abc") in
+  let c1 = ref (mk_controller ~site:1 ~trace:Obs.Trace.null "abc") in
+  let c2 = ref (mk_controller ~site:2 ~trace:Obs.Trace.null "abc") in
+  let cells = [ (0, c0); (1, c1); (2, c2) ] in
+  let rec deliver src msgs =
+    List.iter
+      (fun m ->
+        List.iter
+          (fun (s, cell) ->
+            if s <> src then begin
+              let c, emitted = Controller.receive !cell m in
+              cell := c;
+              deliver s emitted
+            end)
+          cells)
+      msgs
+  in
+  let gen cell site op =
+    match Controller.generate !cell op with
+    | c, Controller.Accepted m ->
+      cell := c;
+      deliver site [ m ]
+    | _, Controller.Denied r -> failwith r
+  in
+  gen c1 1 (Tdoc.ins_visible (Controller.document !c1) 0 'x');
+  (match
+     Controller.admin_update !c0
+       (Admin_op.Add_auth
+          (0, Auth.deny [ Subject.User 2 ] [ Docobj.Whole ] [ Right.Update ]))
+   with
+   | Ok (c, m) ->
+     c0 := c;
+     deliver 0 [ m ]
+   | Error e -> failwith e);
+  gen c2 2 (Tdoc.ins_visible (Controller.document !c2) 3 'z');
+  gen c1 1 (Tdoc.ins_visible (Controller.document !c1) 1 'y');
+  Tdoc.visible_string (Controller.document !c0)
+
+let integration_test () =
+  let metrics = Obs.Metrics.create () in
+  let controller = mk_controller ~site:relay_site ~trace:Obs.Trace.null "abc" in
+  let config = { Relay.default_config with Relay.heartbeat_ms = 200 } in
+  let relay =
+    Relay.create ~config ~metrics ~codec:Proto.char_codec ~controller ~port:0 ()
+  in
+  Fun.protect ~finally:(fun () -> Relay.shutdown relay) @@ fun () ->
+  let port = Relay.port relay in
+  (* admin and site 1 join a fresh session *)
+  let ep0 = mk_endpoint ~port ~site:0 in
+  let ep1 = mk_endpoint ~port ~site:1 in
+  let eps = [ ep0; ep1 ] in
+  require "initial join"
+    (pump_until relay eps (fun () -> ep0.ctrl <> None && ep1.ctrl <> None));
+  Alcotest.(check (list int)) "both connected" [ 0; 1 ] (Relay.connected_sites relay);
+
+  (* a user edit propagates and gets validated by the admin *)
+  edit ep1 0 'x';
+  require "edit propagated and validated"
+    (pump_until relay eps (fun () ->
+         doc ep0 = "xabc" && doc ep1 = "xabc" && settled ep0 && settled ep1));
+
+  (* the admin restricts site 2's update right; the policy change
+     reaches every connected site.  (Versions are compared relatively:
+     validations are administrative events too, so the count is higher
+     than the number of explicit policy edits.) *)
+  admin_op ep0
+    (Admin_op.Add_auth
+       (0, Auth.deny [ Subject.User 2 ] [ Docobj.Whole ] [ Right.Update ]));
+  let target_version = Controller.version (Option.get ep0.ctrl) in
+  require "restriction everywhere"
+    (pump_until relay eps (fun () ->
+         (match ep1.ctrl with
+          | Some b -> Controller.version b >= target_version
+          | None -> false)));
+
+  (* site 2 joins late, purely from the relay snapshot *)
+  let ep2 = mk_endpoint ~port ~site:2 in
+  let eps = [ ep0; ep1; ep2 ] in
+  require "late join" (pump_until relay eps (fun () -> ep2.ctrl <> None));
+  Alcotest.(check string) "late joiner caught up from snapshot" "xabc" (doc ep2);
+  Alcotest.(check bool) "late joiner sees the restriction" true
+    (Controller.version (Option.get ep2.ctrl) >= target_version);
+  (* ...and the restriction binds its local checks *)
+  Alcotest.(check bool) "denied update locally" false (try_update ep2 0 'Q');
+
+  (* the late joiner can still insert *)
+  edit ep2 3 'z';
+  require "late joiner's edit propagated"
+    (pump_until relay eps (fun () ->
+         doc ep0 = "xabzc" && doc ep1 = "xabzc" && doc ep2 = "xabzc"));
+
+  (* kick site 1: its client must reconnect with backoff and resync *)
+  require "settled before kick"
+    (pump_until relay eps (fun () -> List.for_all settled eps));
+  let snapshots_before = ep1.snapshots in
+  Alcotest.(check bool) "kick found the connection" true (Relay.kick relay ~site:1);
+  require "reconnected with a fresh snapshot"
+    (pump_until relay eps (fun () ->
+         ep1.snapshots > snapshots_before && Client.connected ep1.client));
+  Alcotest.(check bool) "reconnect went through backoff" true
+    (ep1.reconnect_events > 0);
+
+  (* the reconnected site keeps editing: serial numbering must have
+     resumed (Controller.rejoin), or every peer would drop this as a
+     duplicate *)
+  edit ep1 1 'y';
+  require "post-reconnect edit propagated"
+    (pump_until relay eps (fun () ->
+         doc ep0 = "xyabzc" && doc ep1 = "xyabzc" && doc ep2 = "xyabzc"
+         && List.for_all settled eps));
+
+  (* the paper's convergence oracle over the three real controllers *)
+  let ctrls = List.map (fun ep -> Option.get ep.ctrl) [ ep0; ep1; ep2 ] in
+  let report = Dce_sim.Convergence.check ctrls in
+  if not (Dce_sim.Convergence.ok report) then
+    Alcotest.failf "convergence violated: %s"
+      (Format.asprintf "%a" Dce_sim.Convergence.pp report);
+
+  (* the relay's own hosted copy agrees *)
+  Alcotest.(check string) "relay copy agrees" "xyabzc"
+    (Tdoc.visible_string (Controller.document (Relay.controller relay)));
+
+  (* and the networked outcome equals the in-process replay *)
+  Alcotest.(check string) "identical to the in-process replay"
+    (inprocess_replay ()) (doc ep0);
+
+  (* transport counters saw the lifecycle *)
+  let counter name = List.assoc ("netd." ^ name) (Obs.Metrics.counters metrics) in
+  Alcotest.(check bool) "bytes flowed" true
+    (counter "bytes_in" > 0 && counter "bytes_out" > 0);
+  Alcotest.(check bool) "frames flowed" true
+    (counter "frames_in" > 0 && counter "frames_out" > 0);
+  Alcotest.(check bool) "reconnect counted" true (counter "reconnects" >= 1);
+  Alcotest.(check int) "snapshots served: 0,1 join; 2 late; 1 resync" 4
+    (counter "snapshots");
+  List.iter (fun ep -> Client.close ep.client) [ ep0; ep1; ep2 ]
+
+(* a hostile peer: raw bytes at the relay must never crash it *)
+let hostile_peer_test () =
+  let controller = mk_controller ~site:relay_site ~trace:Obs.Trace.null "abc" in
+  let metrics = Obs.Metrics.create () in
+  let relay =
+    Relay.create ~metrics ~codec:Proto.char_codec ~controller ~port:0 ()
+  in
+  Fun.protect ~finally:(fun () -> Relay.shutdown relay) @@ fun () ->
+  let connect_raw () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Relay.port relay));
+    fd
+  in
+  let wait_eof fd =
+    (* the relay must close a corrupt connection; EOF is the proof *)
+    let rec go i =
+      if i > 2000 then false
+      else begin
+        Relay.step ~timeout_ms:1 relay;
+        match Unix.select [ fd ] [] [] 0.001 with
+        | [ _ ], _, _ ->
+          let n = Unix.read fd (Bytes.create 256) 0 256 in
+          if n = 0 then true else go (i + 1)
+        | _ -> go (i + 1)
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> true
+      end
+    in
+    go 0
+  in
+  (* garbage that is not even a frame *)
+  let fd = connect_raw () in
+  ignore (Unix.write_substring fd "total garbage \x00\xff\x13" 0 17);
+  Alcotest.(check bool) "garbage stream dropped" true (wait_eof fd);
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (* a valid frame whose payload is not a valid envelope *)
+  let fd = connect_raw () in
+  let framed = Codec.frame "\xffnot an envelope" in
+  ignore (Unix.write_substring fd framed 0 (String.length framed));
+  Alcotest.(check bool) "bad envelope dropped" true (wait_eof fd);
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (* a truncated frame is NOT an error: the relay waits patiently *)
+  let fd = connect_raw () in
+  let framed = Codec.frame (String.make 500 'x') in
+  ignore (Unix.write_substring fd framed 0 40);
+  for _ = 1 to 50 do
+    Relay.step ~timeout_ms:1 relay
+  done;
+  let still_open =
+    match Unix.select [ fd ] [] [] 0.01 with
+    | [ _ ], _, _ -> Unix.read fd (Bytes.create 16) 0 16 > 0 (* ping, perhaps *)
+    | _ -> true (* nothing to read: still connected *)
+  in
+  Alcotest.(check bool) "truncated frame waits, not drops" true still_open;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (* after all that abuse, an honest client still gets served *)
+  let ep = mk_endpoint ~port:(Relay.port relay) ~site:1 in
+  require "honest client joins after abuse"
+    (pump_until relay [ ep ] (fun () -> ep.ctrl <> None));
+  Alcotest.(check string) "and sees the document" "abc" (doc ep);
+  Alcotest.(check bool) "framing errors counted" true
+    (List.assoc "netd.framing_errors" (Obs.Metrics.counters metrics) >= 1);
+  Client.close ep.client
+
+let () =
+  Alcotest.run "dce_netd"
+    [
+      ("unframe_prefix", prefix_tests);
+      ("splitter", splitter_tests);
+      ("backoff", backoff_tests);
+      ("envelope", envelope_tests);
+      ("conn", conn_tests);
+      ( "loopback",
+        [
+          Alcotest.test_case "3 sites over TCP: edit/deny/late-join/reconnect" `Quick
+            integration_test;
+          Alcotest.test_case "hostile and truncated streams never crash the relay"
+            `Quick hostile_peer_test;
+        ] );
+    ]
