@@ -275,12 +275,23 @@ let net_handle st = function
     | Ok m -> (
       match st.ctrl with
       | None -> ()
-      | Some c ->
-        let c, emitted = Controller.receive c m in
-        st.ctrl <- Some c;
-        List.iter
-          (fun m' -> Netd.Client.send st.client (Proto.Char_proto.encode_message m'))
-          emitted))
+      | Some c -> (
+        (* the blob decoded, but applying it is what validates its
+           semantics — a buggy or hostile relay/peer must not abort
+           this process, so drop the message instead of propagating *)
+        match Controller.receive c m with
+        | c, emitted ->
+          st.ctrl <- Some c;
+          List.iter
+            (fun m' -> Netd.Client.send st.client (Proto.Char_proto.encode_message m'))
+            emitted
+        | exception e ->
+          let detail =
+            match e with
+            | Invalid_argument m | Failure m | Document.Edit_conflict m -> m
+            | e -> Printexc.to_string e
+          in
+          Printf.printf "bad message (dropped): %s\n%!" detail)))
   | Netd.Client.Disconnected reason -> Printf.printf "disconnected: %s\n%!" reason
   | Netd.Client.Reconnecting { attempt; delay_ms } ->
     Printf.printf "reconnecting (attempt %d) in %d ms\n%!" attempt delay_ms

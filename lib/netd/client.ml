@@ -46,6 +46,7 @@ type t = {
   site : int;
   backoff : Backoff.t;
   mutable phase : phase;
+  mutable failed_attempts : int; (* consecutive connect failures; see fail *)
   mutable was_live : bool; (* a future success is a reconnect, not a connect *)
   mutable stamp : unit -> Dce_ot.Vclock.t * int;
 }
@@ -65,6 +66,7 @@ let create ?(config = default_config) ?metrics ?(trace = Obs.Trace.null) ?seed ~
       Backoff.create ~base_ms:config.backoff_base_ms ~max_ms:config.backoff_max_ms ?seed
         ();
     phase = Waiting 0.;
+    failed_attempts = 0;
     was_live = false;
     stamp = (fun () -> (Dce_ot.Vclock.empty, 0));
   }
@@ -104,14 +106,20 @@ let resolve t =
     | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
     | _ -> raise Not_found)
 
-(* transition to the backoff state after any failure *)
+(* Transition to the backoff state after any failure.  Only a failed
+   connection attempt (resolve/connect error, or a drop before the
+   snapshot arrived) counts towards [max_attempts]; losing an
+   established session schedules a reconnect with the counter freshly
+   reset (it was zeroed when the snapshot made the session live). *)
 let fail t reason =
+  let was_established = match t.phase with Live _ -> true | _ -> false in
   (match t.phase with
    | Greeting c | Live c -> Conn.shutdown c
    | Connecting fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
    | _ -> ());
+  if not was_established then t.failed_attempts <- t.failed_attempts + 1;
   match t.cfg.max_attempts with
-  | Some m when Backoff.attempt t.backoff >= m ->
+  | Some m when (not was_established) && t.failed_attempts >= m ->
     t.phase <- Stopped;
     trace t "give_up" reason;
     [ Disconnected reason; Gave_up reason ]
@@ -166,6 +174,7 @@ let dispatch t payload =
       trace t "snapshot" (string_of_int (String.length s) ^ " bytes");
       t.was_live <- true;
       Backoff.reset t.backoff;
+      t.failed_attempts <- 0;
       [ Snapshot s ]
     | Relay_proto.Snapshot _, _ -> []
     | Relay_proto.Msg bytes, Live _ -> [ Message bytes ]

@@ -35,7 +35,12 @@ type config = {
   max_frame : int;
   backoff_base_ms : int;
   backoff_max_ms : int;
-  max_attempts : int option;  (** [None]: retry forever *)
+  max_attempts : int option;
+      (** [Some n]: emit [Gave_up] after exactly [n] consecutive failed
+          connection attempts (resolve/connect errors, or a drop before
+          the snapshot arrived).  The count resets when a session goes
+          live, and the loss of a live session schedules a reconnect
+          without counting as a failure.  [None]: retry forever. *)
 }
 
 val default_config : config

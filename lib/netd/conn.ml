@@ -117,8 +117,8 @@ let handle_readable t =
       mark_closed t (Socket_error (Unix.error_message e));
       []
 
-let handle_writable t =
-  if wants_write t then begin
+let write_outbox t =
+  begin
     let t0 = Dce_obs.Clock.now_ns () in
     let wrote = ref 0 in
     let continue = ref true in
@@ -149,6 +149,10 @@ let handle_writable t =
       M.observe t.tele.Tele.flush_ns (Dce_obs.Clock.now_ns () - t0)
     end
   end
+
+let handle_writable t = if wants_write t then write_outbox t
+
+let flush t = if t.out_bytes > 0 then write_outbox t
 
 let shutdown t =
   (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());

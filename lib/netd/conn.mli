@@ -46,7 +46,14 @@ val handle_readable : t -> string list
     payloads extracted before the corruption are still returned). *)
 
 val handle_writable : t -> unit
-(** Flush as much of the outbox as the kernel accepts. *)
+(** Flush as much of the outbox as the kernel accepts.  A no-op once
+    the connection is marked closed. *)
+
+val flush : t -> unit
+(** Like {!handle_writable} but also runs on a connection already
+    marked closed: a single best-effort push of whatever is queued (a
+    final [Pong], [Bye] or kick notice) before {!shutdown}.  Whatever
+    the kernel does not accept immediately is dropped. *)
 
 val wants_write : t -> bool
 (** Whether to put this socket in the [select] write set. *)

@@ -122,16 +122,28 @@ let dispatch t conn st payload =
     | Relay_proto.Msg bytes, Joined src -> (
       match Proto.decode_message t.codec bytes with
       | Error e -> Conn.mark_closed conn (Conn.Corrupt ("bad message: " ^ e))
-      | Ok m ->
-        (* keep the hosted session current (this is what snapshots are
-           cut from), then fan the original bytes out verbatim *)
-        let ctrl, emitted = Controller.receive t.ctrl m in
-        t.ctrl <- ctrl;
-        M.incr t.tele.Tele.relayed;
-        fan_out t ~except:(Some src) bytes;
-        List.iter
-          (fun em -> fan_out t ~except:None (Proto.encode_message t.codec em))
-          emitted)
+      | Ok m -> (
+        (* [decode_message] validates the encoding only; applying the
+           message is what checks its semantics.  A well-framed op with
+           an out-of-range position or a fabricated serial/context must
+           drop the peer, not the daemon — and must not be relayed. *)
+        match Controller.receive t.ctrl m with
+        | ctrl, emitted ->
+          (* keep the hosted session current (this is what snapshots are
+             cut from), then fan the original bytes out verbatim *)
+          t.ctrl <- ctrl;
+          M.incr t.tele.Tele.relayed;
+          fan_out t ~except:(Some src) bytes;
+          List.iter
+            (fun em -> fan_out t ~except:None (Proto.encode_message t.codec em))
+            emitted
+        | exception e ->
+          let detail =
+            match e with
+            | Invalid_argument m | Failure m | Dce_ot.Document.Edit_conflict m -> m
+            | e -> Printexc.to_string e
+          in
+          Conn.mark_closed conn (Conn.Corrupt ("rejected message: " ^ detail))))
     | Relay_proto.Msg _, Greeting ->
       Conn.mark_closed conn (Conn.Corrupt "message before hello")
     | Relay_proto.Ping, _ -> Conn.send conn (Relay_proto.encode Relay_proto.Pong)
@@ -184,6 +196,7 @@ let reap t =
       trace t (site_of st) action (Conn.reason_string reason);
       (* best-effort flush of anything already queued (e.g. a Pong),
          then close *)
+      Conn.flush c;
       Conn.shutdown c)
     dead
 

@@ -40,11 +40,15 @@ let next t =
   | None ->
     if t.len = 0 then Ok None
     else begin
-      let window = Bytes.sub_string t.buf t.start t.len in
-      match Codec.unframe_prefix ~max_payload:t.max_payload window ~pos:0 with
-      | Ok (payload, consumed) ->
-        t.start <- t.start + consumed;
-        t.len <- t.len - consumed;
+      (* parse in place: no copy of the buffered window, only the
+         returned payload is materialized *)
+      match
+        Codec.unframe_prefix_bytes ~max_payload:t.max_payload t.buf ~pos:t.start
+          ~stop:(t.start + t.len)
+      with
+      | Ok (payload, next) ->
+        t.len <- t.len - (next - t.start);
+        t.start <- next;
         Ok (Some payload)
       | Error Codec.Truncated -> Ok None
       | Error (Codec.Corrupt e) ->

@@ -219,12 +219,12 @@ type frame_error = Truncated | Corrupt of string
 (* A varint read that distinguishes running off the end of the buffer
    (the stream may simply not have delivered the rest of the frame yet)
    from a malformed encoding (the peer is broken or hostile). *)
-let stream_varint s ~pos ~stop =
+let stream_varint buf ~pos ~stop =
   let rec go acc shift bytes pos =
     if bytes > max_varint_bytes then Error (Corrupt "varint too long")
     else if pos >= stop then Error Truncated
     else
-      let byte = Char.code s.[pos] in
+      let byte = Char.code (Bytes.get buf pos) in
       let acc = acc lor ((byte land 0x7f) lsl shift) in
       if byte land 0x80 = 0 then
         if acc < 0 then Error (Corrupt "varint overflow") else Ok (acc, pos + 1)
@@ -234,32 +234,32 @@ let stream_varint s ~pos ~stop =
 
 let ( let+ ) r f = match r with Ok x -> f x | Error _ as e -> e
 
-let unframe_prefix ?max_payload s ~pos =
-  let stop = String.length s in
-  if pos < 0 || pos > stop then invalid_arg "Codec.unframe_prefix: bad position";
+let unframe_prefix_bytes ?max_payload buf ~pos ~stop =
+  if pos < 0 || pos > stop || stop > Bytes.length buf then
+    invalid_arg "Codec.unframe_prefix_bytes: bad range";
   let avail = stop - pos in
   let magic_ok =
     let n = min avail 4 in
-    let rec eq i = i >= n || (s.[pos + i] = magic.[i] && eq (i + 1)) in
+    let rec eq i = i >= n || (Bytes.get buf (pos + i) = magic.[i] && eq (i + 1)) in
     eq 0
   in
   if not magic_ok then Error (Corrupt "bad magic")
   else if avail < 4 then Error Truncated
   else
-    let+ version, pos = stream_varint s ~pos:(pos + 4) ~stop in
+    let+ version, pos = stream_varint buf ~pos:(pos + 4) ~stop in
     if version <> format_version then
       Error (Corrupt (Printf.sprintf "unsupported format version %d" version))
     else
-      let+ len, pos = stream_varint s ~pos ~stop in
+      let+ len, pos = stream_varint buf ~pos ~stop in
       (match max_payload with
        | Some m when len > m ->
          Error (Corrupt (Printf.sprintf "frame payload of %d bytes exceeds limit %d" len m))
        | _ ->
-         let+ crc_lo, pos = stream_varint s ~pos ~stop in
-         let+ crc_hi, pos = stream_varint s ~pos ~stop in
+         let+ crc_lo, pos = stream_varint buf ~pos ~stop in
+         let+ crc_hi, pos = stream_varint buf ~pos ~stop in
          if stop - pos < len then Error Truncated
          else begin
-           let payload = String.sub s pos len in
+           let payload = Bytes.sub_string buf pos len in
            let crc = crc32 payload in
            if
              crc_lo = Int32.to_int (Int32.logand crc 0xFFFFl)
@@ -267,6 +267,12 @@ let unframe_prefix ?max_payload s ~pos =
            then Ok (payload, pos + len)
            else Error (Corrupt "checksum mismatch")
          end)
+
+let unframe_prefix ?max_payload s ~pos =
+  (* unsafe_of_string is sound: unframe_prefix_bytes only reads *)
+  unframe_prefix_bytes ?max_payload
+    (Bytes.unsafe_of_string s)
+    ~pos ~stop:(String.length s)
 
 let unframe_raw s =
   match unframe_prefix s ~pos:0 with

@@ -75,6 +75,19 @@ val unframe_prefix :
     buffering happens, so a hostile length prefix cannot force
     unbounded memory. *)
 
+val unframe_prefix_bytes :
+  ?max_payload:int ->
+  Bytes.t ->
+  pos:int ->
+  stop:int ->
+  (string * int, frame_error) Stdlib.result
+(** {!unframe_prefix} over a [Bytes.t] window [pos..stop-1], reading
+    the header and payload in place.  This is what a stream reader with
+    a mutable receive buffer wants: the only allocation is the returned
+    payload, so probing a partially-received frame after every socket
+    read costs O(header) instead of a copy of everything buffered.
+    Raises [Invalid_argument] if the range is out of bounds. *)
+
 val crc32 : string -> int32
 
 (* {2 Telemetry} *)

@@ -560,6 +560,26 @@ let hostile_peer_test () =
   in
   Alcotest.(check bool) "truncated frame waits, not drops" true still_open;
   (try Unix.close fd with Unix.Unix_error _ -> ());
+  (* a well-framed Hello then a well-encoded Msg that is semantically
+     invalid for the hosted session (edit far beyond the document):
+     applying it must drop the peer, never the daemon *)
+  let fd = connect_raw () in
+  let send_payload s =
+    let framed = Codec.frame s in
+    ignore (Unix.write_substring fd framed 0 (String.length framed))
+  in
+  send_payload (Relay_proto.encode (Relay_proto.Hello { site = 2 }));
+  let donor = mk_controller ~site:2 ~trace:Obs.Trace.null "abcdefghij" in
+  let bad_msg =
+    match
+      Controller.generate donor (Tdoc.ins_visible (Controller.document donor) 9 'Z')
+    with
+    | _, Controller.Accepted m -> Proto.Char_proto.encode_message m
+    | _, Controller.Denied r -> Alcotest.failf "donor edit denied: %s" r
+  in
+  send_payload (Relay_proto.encode (Relay_proto.Msg bad_msg));
+  Alcotest.(check bool) "semantically invalid message dropped" true (wait_eof fd);
+  (try Unix.close fd with Unix.Unix_error _ -> ());
   (* after all that abuse, an honest client still gets served *)
   let ep = mk_endpoint ~port:(Relay.port relay) ~site:1 in
   require "honest client joins after abuse"
@@ -569,6 +589,47 @@ let hostile_peer_test () =
     (List.assoc "netd.framing_errors" (Obs.Metrics.counters metrics) >= 1);
   Client.close ep.client
 
+(* max_attempts bounds the number of failed connection attempts exactly *)
+let gives_up_after_max_attempts () =
+  (* find a loopback port with no listener: bind, read it back, close *)
+  let probe = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind probe (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname probe with Unix.ADDR_INET (_, p) -> p | _ -> 0
+  in
+  Unix.close probe;
+  let config =
+    {
+      Client.default_config with
+      Client.backoff_base_ms = 1;
+      backoff_max_ms = 2;
+      max_attempts = Some 3;
+    }
+  in
+  let c = Client.create ~config ~seed:42 ~host:"127.0.0.1" ~port ~site:1 () in
+  let disconnects = ref 0 and gave_up = ref 0 in
+  let rec go i =
+    if i < 10_000 && not (Client.stopped c) then begin
+      List.iter
+        (function
+          | Client.Disconnected _ -> incr disconnects
+          | Client.Gave_up _ -> incr gave_up
+          | _ -> ())
+        (Client.step ~timeout_ms:1 c);
+      go (i + 1)
+    end
+  in
+  go 0;
+  Alcotest.(check bool) "stopped" true (Client.stopped c);
+  Alcotest.(check int) "exactly max_attempts failed attempts" 3 !disconnects;
+  Alcotest.(check int) "gave up once" 1 !gave_up
+
+let client_tests =
+  [
+    Alcotest.test_case "max_attempts failed connects, then Gave_up" `Quick
+      gives_up_after_max_attempts;
+  ]
+
 let () =
   Alcotest.run "dce_netd"
     [
@@ -577,6 +638,7 @@ let () =
       ("backoff", backoff_tests);
       ("envelope", envelope_tests);
       ("conn", conn_tests);
+      ("client", client_tests);
       ( "loopback",
         [
           Alcotest.test_case "3 sites over TCP: edit/deny/late-join/reconnect" `Quick
