@@ -633,6 +633,74 @@ let run_netd () =
   run_netd_session ();
   print_newline ()
 
+(* ----- model checker throughput ----- *)
+
+(* Explorer performance on the standard bounded scenarios: raw state
+   throughput, the leverage of the two reduction mechanisms (state-cache
+   hit rate, sleep-set skips) and the search profile (peak in-flight
+   messages, depth).  The check.* counters accumulate across scenarios
+   via [bench_metrics]; per-scenario derived figures land under a
+   per-scenario prefix.  All of it reaches BENCH_check.json. *)
+
+let run_check () =
+  Printf.printf "== check: model-checker state throughput ==\n";
+  Printf.printf "%-26s %10s %10s %9s %8s %9s %10s\n" "scenario" "states" "distinct"
+    "dedup%" "sleep" "frontier" "states/s";
+  let scenarios =
+    [
+      ("s3c2a1", Dce_check.Scenario.make ~sites:3 ~coop:2 ~admin_ops:1 ());
+      ("s3c2a2x", Dce_check.Scenario.make ~mixed:true ~sites:3 ~coop:2 ~admin_ops:2 ());
+      ("s3c3a1", Dce_check.Scenario.make ~sites:3 ~coop:3 ~admin_ops:1 ());
+    ]
+  in
+  List.iter
+    (fun (name, scenario) ->
+      let outcome, s = Dce_check.Explore.run ~metrics:bench_metrics scenario in
+      (match outcome with
+       | Dce_check.Explore.Exhausted -> ()
+       | Dce_check.Explore.Found v ->
+         failwith ("check bench: unexpected violation: " ^ v.Dce_check.Explore.detail)
+       | Dce_check.Explore.Capped -> failwith "check bench: state cap hit");
+      let states_per_s =
+        int_of_float
+          (float_of_int s.Dce_check.Explore.states
+          /. Float.max s.Dce_check.Explore.elapsed_s 1e-6)
+      in
+      let dedup_permille =
+        1000 * s.Dce_check.Explore.dedup_hits / max 1 s.Dce_check.Explore.states
+      in
+      let put k v =
+        Obs.Metrics.add (Obs.Metrics.counter bench_metrics ("check." ^ name ^ "." ^ k)) v
+      in
+      put "states" s.Dce_check.Explore.states;
+      put "states_per_s" states_per_s;
+      put "dedup_hit_permille" dedup_permille;
+      put "peak_inflight" s.Dce_check.Explore.peak_inflight;
+      put "max_depth" s.Dce_check.Explore.max_depth;
+      put "frontiers" s.Dce_check.Explore.frontiers;
+      Printf.printf "%-26s %10d %10d %8.1f%% %8d %9d %10d\n" name
+        s.Dce_check.Explore.states s.Dce_check.Explore.distinct
+        (float_of_int dedup_permille /. 10.)
+        s.Dce_check.Explore.sleep_skips s.Dce_check.Explore.frontiers states_per_s)
+    scenarios;
+  (* exhaustive enumerator sweep rate *)
+  let t0 = now () in
+  let o = Dce_check.Enum.tp2 () in
+  let dt = now () -. t0 in
+  (match o.Dce_check.Enum.failed with
+   | Some c -> failwith ("check bench: TP2 counterexample: " ^ c)
+   | None -> ());
+  let cases_per_s = int_of_float (float_of_int o.Dce_check.Enum.cases /. Float.max dt 1e-6) in
+  Obs.Metrics.add
+    (Obs.Metrics.counter bench_metrics "check.enum.tp2_cases")
+    o.Dce_check.Enum.cases;
+  Obs.Metrics.add
+    (Obs.Metrics.counter bench_metrics "check.enum.tp2_cases_per_s")
+    cases_per_s;
+  Printf.printf "enum TP2: %d cases over %d docs in %.2f s (%d cases/s)\n"
+    o.Dce_check.Enum.cases o.Dce_check.Enum.docs dt cases_per_s;
+  print_newline ()
+
 (* ----- bechamel micro-benchmarks ----- *)
 
 let run_micro () =
@@ -725,6 +793,7 @@ let () =
     run "ablation" run_ablation;
     run "extras" run_extras;
     run "netd" run_netd;
+    run "check" run_check;
     run "micro" run_micro
   in
   (match !trace_file with

@@ -1,0 +1,123 @@
+open Dce_ot
+
+type bounds = { max_len : int; alphabet : char list; max_hide : int }
+
+let default = { max_len = 2; alphabet = [ 'a'; 'b' ]; max_hide = 1 }
+
+type outcome = { docs : int; cases : int; failed : string option }
+
+let cells b =
+  List.concat_map
+    (fun elt ->
+      List.init (b.max_hide + 1) (fun hidden -> { Tdoc.elt; writes = []; hidden }))
+    b.alphabet
+
+let docs b =
+  let cs = cells b in
+  let rec of_len n =
+    if n = 0 then [ [] ]
+    else
+      let shorter = of_len (n - 1) in
+      List.concat_map (fun c -> List.map (fun d -> c :: d) shorter) cs
+  in
+  List.concat_map (fun n -> List.map Tdoc.of_cells (of_len n))
+    (List.init (b.max_len + 1) Fun.id)
+
+(* Every valid operation site [pr] can hold on [doc]: insertions at every
+   position, deletion of every cell, update of every cell to every
+   letter, un-deletion of every hidden cell.  Concurrent sites carry
+   distinct [pr], so update tags never collide. *)
+let ops b ~pr doc =
+  let n = Tdoc.model_length doc in
+  let ins =
+    List.concat_map
+      (fun p -> List.map (fun e -> Op.ins ~pr p e) b.alphabet)
+      (List.init (n + 1) Fun.id)
+  in
+  let per_cell p =
+    let c = Tdoc.cell doc p in
+    (Op.del p c.Tdoc.elt
+     :: List.map (fun e -> Op.up ~tag:{ Op.stamp = pr; site = pr } p c.Tdoc.elt e) b.alphabet)
+    @ (if c.Tdoc.hidden > 0 then [ Op.undel p c.Tdoc.elt ] else [])
+  in
+  ins @ List.concat_map per_cell (List.init n Fun.id)
+
+(* Two concurrent un-deletions of one cell cannot arise in the protocol
+   (each request is cancelled by exactly one administrative cut) — same
+   exclusion as the randomized generators. *)
+let compatible ops =
+  let undel_pos =
+    List.filter_map (function Op.Undel { pos; _ } -> Some pos | _ -> None) ops
+  in
+  List.length undel_pos = List.length (List.sort_uniq compare undel_pos)
+
+let show_doc d = Format.asprintf "%a" (Tdoc.pp Fmt.char) d
+
+let show_op o = Format.asprintf "%a" (Op.pp Fmt.char) o
+
+let sweep ?(bounds = default) ~arity check =
+  let docs = docs bounds in
+  let cases = ref 0 in
+  let failed = ref None in
+  List.iter
+    (fun doc ->
+      if !failed = None then
+        let o1s = ops bounds ~pr:1 doc in
+        let o2s = ops bounds ~pr:2 doc in
+        let o3s = if arity >= 3 then ops bounds ~pr:3 doc else [ Op.Nop ] in
+        List.iter
+          (fun o1 ->
+            List.iter
+              (fun o2 ->
+                List.iter
+                  (fun o3 ->
+                    if
+                      !failed = None
+                      && compatible (if arity >= 3 then [ o1; o2; o3 ] else [ o1; o2 ])
+                    then begin
+                      incr cases;
+                      match check doc o1 o2 o3 with
+                      | None -> ()
+                      | Some msg -> failed := Some msg
+                    end)
+                  o3s)
+              o2s)
+          o1s)
+    docs;
+  { docs = List.length docs; cases = !cases; failed = !failed }
+
+let counterexample ~prop doc ops detail =
+  Printf.sprintf "%s violated: doc=%s %s%s" prop (show_doc doc)
+    (String.concat " "
+       (List.mapi (fun i o -> Printf.sprintf "o%d=%s" (i + 1) (show_op o)) ops))
+    (match detail with "" -> "" | d -> " (" ^ d ^ ")")
+
+let tp1 ?bounds () =
+  sweep ?bounds ~arity:2 (fun doc o1 o2 _ ->
+      let left = Tdoc.apply (Tdoc.apply doc o1) (Transform.it o2 o1) in
+      let right = Tdoc.apply (Tdoc.apply doc o2) (Transform.it o1 o2) in
+      if Tdoc.equal_model Char.equal left right then None
+      else
+        Some
+          (counterexample ~prop:"TP1" doc [ o1; o2 ]
+             (Printf.sprintf "%s <> %s" (show_doc left) (show_doc right))))
+
+let tp2 ?bounds () =
+  sweep ?bounds ~arity:3 (fun _doc o1 o2 o3 ->
+      let left = Transform.it_list o3 [ o1; Transform.it o2 o1 ] in
+      let right = Transform.it_list o3 [ o2; Transform.it o1 o2 ] in
+      if Op.equal Char.equal left right then None
+      else
+        Some
+          (counterexample ~prop:"TP2" _doc [ o1; o2; o3 ]
+             (Printf.sprintf "%s <> %s" (show_op left) (show_op right))))
+
+let inversion ?bounds () =
+  sweep ?bounds ~arity:2 (fun doc o1 o2 _ ->
+      let o1' = Transform.it o1 o2 in
+      let back = Transform.it (Transform.et o1' o2) o2 in
+      if Op.equal Char.equal o1' back then None
+      else
+        Some
+          (counterexample ~prop:"IT/ET inversion" doc [ o1; o2 ]
+             (Printf.sprintf "it(et(%s)) = %s" (show_op o1') (show_op back))))

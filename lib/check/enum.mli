@@ -1,0 +1,44 @@
+(** Exhaustive small-scope verification of the transformation layer.
+
+    The QCheck properties in [test/test_ot.ml] sample the space of
+    (document, concurrent operations) configurations; this module walks
+    {e all} of them up to a bound, in the spirit of the small-scope
+    hypothesis: transformation bugs that exist at all already show up on
+    documents of two or three cells over a two-letter alphabet.
+
+    The enumerated universe: every tombstone document of model length
+    [<= max_len] whose cells carry an element of [alphabet] and a hide
+    count in [[0, max_hide]] (no pre-existing writes — writes only arise
+    from updates, which the enumerated operations cover); and, per
+    document, every valid operation of each issuing site — insertions at
+    every position with every letter, the deletion of every cell, every
+    update of every cell to every letter, and the un-deletion of every
+    hidden cell.  Concurrent sets that two concurrent undos of one cell
+    would make unreachable in the protocol are excluded, exactly as in
+    the randomized generators. *)
+
+type bounds = { max_len : int; alphabet : char list; max_hide : int }
+
+val default : bounds
+(** [{ max_len = 2; alphabet = ['a'; 'b']; max_hide = 1 }] — 21
+    documents, a few hundred operation pairs per document; all three
+    properties below sweep in well under a second. *)
+
+type outcome = {
+  docs : int;  (** documents enumerated *)
+  cases : int;  (** operation pairs (or triples) checked *)
+  failed : string option;  (** first counterexample, rendered; [None] = property holds *)
+}
+
+val tp1 : ?bounds:bounds -> unit -> outcome
+(** Convergence property TP1 over all documents and concurrent pairs:
+    [Do(o1; it o2 o1) = Do(o2; it o1 o2)] (model equality). *)
+
+val tp2 : ?bounds:bounds -> unit -> outcome
+(** Convergence property TP2 over all documents and concurrent triples:
+    [it_list o3 [o1; it o2 o1] = it_list o3 [o2; it o1 o2]]. *)
+
+val inversion : ?bounds:bounds -> unit -> outcome
+(** IT/ET inversion over all documents and concurrent pairs:
+    [it (et o1' o2) o2 = o1'] for [o1' = it o1 o2] — the identity the
+    log transposition machinery relies on. *)

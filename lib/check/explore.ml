@@ -1,0 +1,606 @@
+open Dce_ot
+open Dce_core
+module Metrics = Dce_obs.Metrics
+module Convergence = Dce_sim.Convergence
+
+type mid = Mcoop of Request.id | Madmin of int
+
+type event = Act of Subject.user | Dlv of Subject.user * mid
+
+type stats = {
+  states : int;
+  distinct : int;
+  dedup_hits : int;
+  sleep_skips : int;
+  frontiers : int;
+  peak_inflight : int;
+  max_depth : int;
+  elapsed_s : float;
+}
+
+type violation = {
+  schedule : event list;
+  report : Convergence.report;
+  detail : string;
+}
+
+type outcome = Exhausted | Found of violation | Capped
+
+(* ----- the transition system ----- *)
+
+type msg = {
+  mid : mid;
+  payload : char Controller.message;
+  pending : Subject.user list;  (* destinations not yet delivered to *)
+}
+
+type node = {
+  ctrls : (Subject.user * char Controller.t) list;  (* scenario site order *)
+  msgs : msg list;  (* in flight, creation order; fully delivered dropped *)
+  scripts : (Subject.user * Scenario.action list) list;
+}
+
+let mid_of_message = function
+  | Controller.Coop q -> Mcoop q.Request.id
+  | Controller.Admin r -> Madmin r.Admin_op.version
+
+let mid_to_string = function
+  | Mcoop id -> Printf.sprintf "c%d.%d" id.Request.site id.Request.serial
+  | Madmin v -> Printf.sprintf "a%d" v
+
+let event_to_string = function
+  | Act u -> Printf.sprintf "g%d" u
+  | Dlv (u, m) -> Printf.sprintf "d%d:%s" u (mid_to_string m)
+
+let event_of_string s =
+  let fail () = Error (Printf.sprintf "cannot parse event %S" s) in
+  try
+    if String.length s = 0 then fail ()
+    else if s.[0] = 'g' then Ok (Act (int_of_string (String.sub s 1 (String.length s - 1))))
+    else
+      match String.index_opt s ':' with
+      | None -> fail ()
+      | Some i when s.[0] = 'd' && i + 1 < String.length s ->
+        let u = int_of_string (String.sub s 1 (i - 1)) in
+        let m = String.sub s (i + 1) (String.length s - i - 1) in
+        (match m.[0] with
+         | 'a' -> Ok (Dlv (u, Madmin (int_of_string (String.sub m 1 (String.length m - 1)))))
+         | 'c' ->
+           (match String.split_on_char '.' (String.sub m 1 (String.length m - 1)) with
+            | [ site; serial ] ->
+              Ok
+                (Dlv
+                   ( u,
+                     Mcoop
+                       { Request.site = int_of_string site; serial = int_of_string serial }
+                   ))
+            | _ -> fail ())
+         | _ -> fail ())
+      | Some _ -> fail ()
+  with Failure _ -> fail ()
+
+let schedule_to_string events = String.concat " " (List.map event_to_string events)
+
+let schedule_of_string s =
+  String.split_on_char ' ' (String.map (function ',' | '\n' | '\t' -> ' ' | c -> c) s)
+  |> List.filter (fun w -> w <> "")
+  |> List.fold_left
+       (fun acc w ->
+         match (acc, event_of_string w) with
+         | Error _, _ -> acc
+         | _, (Error _ as e) -> e
+         | Ok evs, Ok ev -> Ok (ev :: evs))
+       (Ok [])
+  |> Result.map List.rev
+
+let initial scenario =
+  {
+    ctrls = Scenario.controllers scenario;
+    msgs = [];
+    scripts = List.filter (fun (_, s) -> s <> []) scenario.Scenario.scripts;
+  }
+
+let set_ctrl u c node =
+  {
+    node with
+    ctrls = List.map (fun (v, c') -> if v = u then (v, c) else (v, c')) node.ctrls;
+  }
+
+let put_in_flight node src payloads =
+  let dests = List.filter (fun v -> v <> src) (List.map fst node.ctrls) in
+  let fresh =
+    List.map (fun m -> { mid = mid_of_message m; payload = m; pending = dests }) payloads
+  in
+  { node with msgs = node.msgs @ fresh }
+
+(* Execute one event.  Every step is a deterministic function of the
+   node, so a schedule identifies a unique run.  Returns the successor
+   and a human-readable line describing what happened. *)
+let exec node = function
+  | Act u ->
+    let action, rest =
+      match List.assoc u node.scripts with
+      | a :: rest -> (a, rest)
+      | [] | (exception Not_found) -> invalid_arg "Explore.exec: no script step"
+    in
+    let node =
+      {
+        node with
+        scripts =
+          List.filter_map
+            (fun (v, s) ->
+              if v <> u then Some (v, s) else if rest = [] then None else Some (v, rest))
+            node.scripts;
+      }
+    in
+    let c = List.assoc u node.ctrls in
+    (match action with
+     | Scenario.Edit e ->
+       let op = Scenario.op_of_edit (Controller.document c) e in
+       (match Controller.generate c op with
+        | c, Controller.Accepted m ->
+          ( put_in_flight (set_ctrl u c node) u [ m ],
+            Format.asprintf "site %d: generate %a -> %s" u (Op.pp Fmt.char) op
+              (mid_to_string (mid_of_message m)) )
+        | c, Controller.Denied reason ->
+          ( set_ctrl u c node,
+            Format.asprintf "site %d: generate %a denied locally (%s)" u (Op.pp Fmt.char)
+              op reason ))
+     | Scenario.Policy op ->
+       (match Controller.admin_update c op with
+        | Ok (c, m) ->
+          ( put_in_flight (set_ctrl u c node) u [ m ],
+            Format.asprintf "site %d: admin %a -> %s" u Admin_op.pp op
+              (mid_to_string (mid_of_message m)) )
+        | Error e ->
+          failwith
+            (Format.asprintf "administrative script action %a failed: %s" Admin_op.pp op e)))
+  | Dlv (u, mid) ->
+    let msg =
+      match List.find_opt (fun m -> m.mid = mid) node.msgs with
+      | Some m when List.mem u m.pending -> m
+      | _ -> invalid_arg "Explore.exec: delivery not enabled"
+    in
+    let msgs =
+      List.filter_map
+        (fun m ->
+          if m.mid <> mid then Some m
+          else
+            match List.filter (fun v -> v <> u) m.pending with
+            | [] -> None
+            | pending -> Some { m with pending })
+        node.msgs
+    in
+    let c, emitted = Controller.receive (List.assoc u node.ctrls) msg.payload in
+    let node = put_in_flight (set_ctrl u c { node with msgs }) u emitted in
+    ( node,
+      Format.asprintf "deliver %s -> site %d%s" (mid_to_string mid) u
+        (match emitted with
+         | [] -> ""
+         | ms ->
+           Printf.sprintf " (emits %s)"
+             (String.concat ", " (List.map (fun m -> mid_to_string (mid_of_message m)) ms)))
+    )
+
+(* Enabled events, in a fixed deterministic order: script steps in site
+   order, then deliveries in message creation order and destination
+   order. *)
+let enabled node =
+  List.map (fun (u, _) -> Act u) node.scripts
+  @ List.concat_map (fun m -> List.map (fun u -> Dlv (u, m.mid)) m.pending) node.msgs
+
+let in_flight node =
+  List.fold_left (fun acc m -> acc + List.length m.pending) 0 node.msgs
+
+(* ----- canonical state fingerprint -----
+
+   [Controller.t] holds closures (the element equality, the trace sink),
+   so structural hashing is out; instead every semantically relevant
+   component is printed in a canonical textual form and digested.
+   Vector clocks print their sorted bindings; the in-flight set prints
+   as a multiset sorted by message identity (two event orders that
+   produce the same messages in different creation order reach the same
+   fingerprint).  Receive-queue *order* is preserved — drain order is
+   semantically significant — and each request prints its generation
+   form and causal context, which [Request.pp] omits but which drive
+   future transitions. *)
+
+let fp_clock ppf k =
+  List.iter (fun (s, n) -> Format.fprintf ppf "%d:%d," s n) (Vclock.to_list k)
+
+let fp_op ppf op = Op.pp Fmt.char ppf op
+
+let fp_request ppf (q : char Request.t) =
+  Format.fprintf ppf "q%d.%d<%s>%a v%d c(%a) o%a g%a;" q.Request.id.Request.site
+    q.Request.id.Request.serial
+    (match q.Request.dep with
+     | None -> "-"
+     | Some d -> Printf.sprintf "%d.%d" d.Request.site d.Request.serial)
+    Request.pp_flag q.Request.flag q.Request.policy_version fp_clock q.Request.ctx fp_op
+    q.Request.op fp_op q.Request.gen_op
+
+let fp_admin_request ppf (r : Admin_op.request) =
+  Format.fprintf ppf "r%d@%d %a c(%a);" r.Admin_op.version r.Admin_op.admin Admin_op.pp
+    r.Admin_op.op fp_clock r.Admin_op.ctx
+
+let fp_cell ppf (cell : char Tdoc.cell) =
+  Format.fprintf ppf "%c.%d" cell.Tdoc.elt cell.Tdoc.hidden;
+  List.iter
+    (fun (w : char Tdoc.write) ->
+      Format.fprintf ppf "[%d.%d=%c-%d]" w.Tdoc.wtag.Op.stamp w.Tdoc.wtag.Op.site
+        w.Tdoc.value w.Tdoc.retracted)
+    cell.Tdoc.writes;
+  Format.fprintf ppf ","
+
+let fp_entry ppf (e : char Oplog.entry) =
+  (match e.Oplog.role with
+   | Oplog.Normal -> ()
+   | Oplog.Canceller id ->
+     Format.fprintf ppf "X%d.%d>" id.Request.site id.Request.serial);
+  fp_request ppf e.Oplog.req
+
+let fp_controller ppf c =
+  let st = Controller.dump c in
+  Format.fprintf ppf "s%d n%d k(%a)|D:" st.Controller.st_site st.Controller.st_serial
+    fp_clock st.Controller.st_clock;
+  List.iter (fp_cell ppf) st.Controller.st_doc;
+  Format.fprintf ppf "|H:";
+  List.iter (fp_entry ppf) st.Controller.st_oplog;
+  Format.fprintf ppf "|L:";
+  List.iter (fp_admin_request ppf) st.Controller.st_admin_requests;
+  Format.fprintf ppf "|F:";
+  List.iter (fp_request ppf) st.Controller.st_coop_queue;
+  Format.fprintf ppf "|Q:";
+  List.iter (fp_admin_request ppf) st.Controller.st_admin_queue
+
+let fp_message ppf = function
+  | Controller.Coop q -> fp_request ppf q
+  | Controller.Admin r -> fp_admin_request ppf r
+
+let fingerprint node =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  List.iter (fun (u, c) -> Format.fprintf ppf "C%d{%a}" u fp_controller c) node.ctrls;
+  let keyed =
+    List.map
+      (fun m ->
+        ( mid_to_string m.mid,
+          Format.asprintf "%a->%s" fp_message m.payload
+            (String.concat "," (List.map string_of_int (List.sort compare m.pending))) ))
+      node.msgs
+    |> List.sort compare
+  in
+  List.iter (fun (k, v) -> Format.fprintf ppf "M%s{%s}" k v) keyed;
+  List.iter
+    (fun (u, s) -> Format.fprintf ppf "S%d:%d" u (List.length s))
+    node.scripts;
+  Format.pp_print_flush ppf ();
+  Digest.string (Buffer.contents buf)
+
+(* ----- the frontier oracle -----
+
+   Checked at every quiescent frontier (no message in flight).
+   {!Convergence.check} covers the replicated-state oracles; on top of
+   it, the *security* oracle decides each request's legality from the
+   administrative log's ground truth and compares it with the fate the
+   sites agreed on — this is what catches the Fig. 3 hole, where every
+   site consistently accepts a request the policy history forbids.
+
+   Legality of a cooperative request generated at policy version [v]:
+   no version in [[v, hi]] denies the right its generation form
+   exercises, where [hi] is the version *preceding its validation* when
+   the administrator validated it (validation totally orders the
+   request before any later revocation — the Fig. 4 mechanism), and the
+   current version otherwise.  Requests issued by the administrator of
+   their generation version are legal by authority. *)
+
+let denial_between log ~lo ~hi ~user ~right ~pos =
+  let rec go v =
+    if v > hi then None
+    else
+      match Admin_log.policy_at log v with
+      | None -> None
+      | Some p -> if Policy.check p ~user ~right ~pos then go (v + 1) else Some v
+  in
+  go (max 0 lo)
+
+let validate_version log id =
+  List.find_map
+    (fun (r : Admin_op.request) ->
+      match r.Admin_op.op with
+      | Admin_op.Validate id' when Request.id_equal id id' -> Some r.Admin_op.version
+      | _ -> None)
+    (Admin_log.requests log)
+
+let legal log (q : char Request.t) =
+  let user = q.Request.id.Request.site in
+  match Right.of_op q.Request.gen_op with
+  | None -> true
+  | Some right ->
+    if Admin_log.admin_at log q.Request.policy_version = Some user then true
+    else
+      let hi =
+        match validate_version log q.Request.id with
+        | Some v -> v - 1
+        | None -> Admin_log.version log
+      in
+      let pos = Op.pos q.Request.gen_op in
+      denial_between log ~lo:q.Request.policy_version ~hi ~user ~right ~pos = None
+
+let security_violation ctrls =
+  match ctrls with
+  | [] -> None
+  | (_, c0) :: _ ->
+    let log = Controller.admin_log c0 in
+    List.find_map
+      (fun (q : char Request.t) ->
+        match (q.Request.flag, legal log q) with
+        | Request.Valid, false ->
+          Some
+            (Format.asprintf
+               "accepted-illegal: request %a (%a by user %d at version %d) is valid at \
+                every site but a version in its missed interval denies it"
+               Request.pp_id q.Request.id fp_op q.Request.gen_op q.Request.id.Request.site
+               q.Request.policy_version)
+        | Request.Invalid, true ->
+          Some
+            (Format.asprintf
+               "rejected-legal: request %a (%a by user %d at version %d) was invalidated \
+                although every policy version it crossed grants it"
+               Request.pp_id q.Request.id fp_op q.Request.gen_op q.Request.id.Request.site
+               q.Request.policy_version)
+        | _ -> None)
+      (Oplog.requests (Controller.oplog c0))
+
+let admin_log_violation ctrls =
+  match ctrls with
+  | [] | [ _ ] -> None
+  | (u0, c0) :: rest ->
+    let dump c =
+      List.map
+        (fun r -> Format.asprintf "%a" fp_admin_request r)
+        (Admin_log.requests (Controller.admin_log c))
+    in
+    let d0 = dump c0 in
+    List.find_map
+      (fun (u, c) ->
+        if dump c = d0 then None
+        else
+          Some
+            (Printf.sprintf
+               "administrative logs of sites %d and %d disagree (%d vs %d requests)" u0 u
+               (List.length d0)
+               (List.length (dump c))))
+      rest
+
+let frontier_violation ctrls =
+  let cs = List.map snd ctrls in
+  let report = Convergence.check cs in
+  if not (Convergence.ok report) then
+    let detail =
+      match Convergence.explain cs with
+      | Some d -> d
+      | None -> Format.asprintf "%a" Convergence.pp report
+    in
+    Some (report, detail)
+  else
+    match admin_log_violation ctrls with
+    | Some d -> Some (report, d)
+    | None -> (
+      match security_violation ctrls with
+      | Some d -> Some (report, d)
+      | None -> None)
+
+(* ----- sleep-set DFS with state caching ----- *)
+
+let site_of_event = function Act u -> u | Dlv (u, _) -> u
+
+(* Events at distinct sites commute: they touch different controllers,
+   and the in-flight set is order-canonical.  Events at one site never
+   commute (local execution order is semantically significant). *)
+let independent a b = site_of_event a <> site_of_event b
+
+let subset a b = List.for_all (fun x -> List.mem x b) a
+
+exception Stop of outcome
+
+let run ?metrics ?(max_states = 1_000_000) scenario =
+  let t0 = Sys.time () in
+  let states = ref 0
+  and distinct = ref 0
+  and dedup_hits = ref 0
+  and sleep_skips = ref 0
+  and frontiers = ref 0
+  and peak_inflight = ref 0
+  and max_depth = ref 0 in
+  let tick name =
+    match metrics with
+    | None -> fun () -> ()
+    | Some m ->
+      let c = Metrics.counter m ("check." ^ name) in
+      fun () -> Metrics.incr c
+  in
+  let m_states = tick "states"
+  and m_distinct = tick "distinct"
+  and m_dedup = tick "dedup_hits"
+  and m_sleep = tick "sleep_skips"
+  and m_frontiers = tick "frontiers" in
+  let visited : (string, event list) Hashtbl.t = Hashtbl.create 4096 in
+  let rec explore node sleep path depth =
+    incr states;
+    m_states ();
+    if !states > max_states then raise (Stop Capped);
+    if depth > !max_depth then max_depth := depth;
+    let inflight = in_flight node in
+    if inflight > !peak_inflight then peak_inflight := inflight;
+    let proceed sleep =
+      if node.msgs = [] then begin
+        incr frontiers;
+        m_frontiers ();
+        match frontier_violation node.ctrls with
+        | Some (report, detail) ->
+          raise (Stop (Found { schedule = List.rev path; report; detail }))
+        | None -> ()
+      end;
+      let current_sleep = ref sleep in
+      List.iter
+        (fun e ->
+          if List.mem e !current_sleep then begin
+            incr sleep_skips;
+            m_sleep ()
+          end
+          else begin
+            let child, _ =
+              try exec node e
+              with
+              | Document.Edit_conflict msg ->
+                let report = Convergence.check (List.map snd node.ctrls) in
+                raise
+                  (Stop
+                     (Found
+                        {
+                          schedule = List.rev (e :: path);
+                          report;
+                          detail =
+                            Printf.sprintf
+                              "crash: transformation conflict while executing %s (%s)"
+                              (event_to_string e) msg;
+                        }))
+              | Failure msg ->
+                let report = Convergence.check (List.map snd node.ctrls) in
+                raise
+                  (Stop
+                     (Found
+                        {
+                          schedule = List.rev (e :: path);
+                          report;
+                          detail =
+                            Printf.sprintf "crash: %s while executing %s" msg
+                              (event_to_string e);
+                        }))
+            in
+            explore child
+              (List.filter (fun t -> independent t e) !current_sleep)
+              (e :: path) (depth + 1);
+            current_sleep := e :: !current_sleep
+          end)
+        (enabled node)
+    in
+    let fp = fingerprint node in
+    match Hashtbl.find_opt visited fp with
+    | Some stored when subset stored sleep ->
+      incr dedup_hits;
+      m_dedup ()
+    | Some stored ->
+      (* Reached again with a sleep set that allows events the earlier
+         visit slept through: re-explore with the intersection (the only
+         events *both* visits may soundly skip), which keeps the
+         combination of sleep sets and state caching exhaustive. *)
+      let inter = List.filter (fun e -> List.mem e sleep) stored in
+      Hashtbl.replace visited fp inter;
+      proceed inter
+    | None ->
+      incr distinct;
+      m_distinct ();
+      Hashtbl.add visited fp sleep;
+      proceed sleep
+  in
+  let outcome =
+    try
+      explore (initial scenario) [] [] 0;
+      Exhausted
+    with Stop o -> o
+  in
+  ( outcome,
+    {
+      states = !states;
+      distinct = !distinct;
+      dedup_hits = !dedup_hits;
+      sleep_skips = !sleep_skips;
+      frontiers = !frontiers;
+      peak_inflight = !peak_inflight;
+      max_depth = !max_depth;
+      elapsed_s = Sys.time () -. t0;
+    } )
+
+(* ----- replay ----- *)
+
+type replay = {
+  controllers : (Subject.user * char Controller.t) list;
+  executed : event list;
+  skipped : int;
+  messages : int;
+  log : string list;
+  violation : string option;
+}
+
+let replay ?(drain = true) scenario schedule =
+  let seen = Hashtbl.create 16 in
+  let messages = ref 0 in
+  let node = ref (initial scenario) in
+  let executed = ref [] and skipped = ref 0 and log = ref [] in
+  let crashed = ref None in
+  let count_msgs n =
+    List.iter
+      (fun m ->
+        if not (Hashtbl.mem seen m.mid) then begin
+          Hashtbl.add seen m.mid ();
+          incr messages
+        end)
+      n.msgs
+  in
+  let is_enabled n = function
+    | Act u -> List.mem_assoc u n.scripts
+    | Dlv (u, mid) -> (
+      match List.find_opt (fun m -> m.mid = mid) n.msgs with
+      | Some m -> List.mem u m.pending
+      | None -> false)
+  in
+  let step e =
+    executed := e :: !executed;
+    match exec !node e with
+    | n, line ->
+      node := n;
+      count_msgs n;
+      log := line :: !log
+    | exception Document.Edit_conflict msg ->
+      crashed :=
+        Some
+          (Printf.sprintf "crash: transformation conflict while executing %s (%s)"
+             (event_to_string e) msg)
+    | exception Failure msg ->
+      crashed :=
+        Some (Printf.sprintf "crash: %s while executing %s" msg (event_to_string e))
+  in
+  List.iter
+    (fun e ->
+      if !crashed <> None then ()
+      else if is_enabled !node e then step e
+      else incr skipped)
+    schedule;
+  let rec drain_loop () =
+    if !crashed = None && drain then
+      match
+        List.find_opt (function Dlv _ -> true | Act _ -> false) (enabled !node)
+      with
+      | Some e ->
+        step e;
+        drain_loop ()
+      | None -> ()
+  in
+  drain_loop ();
+  let violation =
+    match !crashed with
+    | Some _ as c -> c
+    | None ->
+      if !node.msgs <> [] then None
+      else Option.map snd (frontier_violation !node.ctrls)
+  in
+  {
+    controllers = !node.ctrls;
+    executed = List.rev !executed;
+    skipped = !skipped;
+    messages = !messages;
+    log = List.rev !log;
+    violation;
+  }

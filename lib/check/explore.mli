@@ -1,0 +1,95 @@
+(** Exhaustive bounded exploration of delivery interleavings.
+
+    The explorer runs a {!Scenario} through the real
+    [Dce_core.Controller] — this is a race detector for the protocol
+    itself, not a reimplementation of it.  The transition system's
+    events are:
+
+    - [Act u]: site [u] executes the next step of its script (a
+      cooperative generation or an administrative operation), which may
+      put a message in flight to every other site;
+    - [Dlv (u, m)]: the in-flight message [m] is delivered to site [u]
+      ([Controller.receive]) — the administrator's reception can itself
+      emit validation messages, which join the in-flight set.
+
+    Every interleaving of these events is explored.  At each {e quiescent
+    frontier} — a state with no message in flight — the paper's oracles
+    must hold: convergence of document/policy/version
+    ({!Dce_sim.Convergence}), no accepted-illegal or rejected-legal
+    request (the Figs. 2–4 holes, checked against the administrative
+    log's ground truth), and administrative-log agreement.
+
+    Tractability comes from two mechanisms.  {e Canonical state hashing}:
+    semantically equal states reached by different event orders are
+    fingerprinted identically (in-flight messages as a multiset) and
+    explored once.  {e Sleep sets}: events at different sites commute, so
+    after exploring event [a] before [b], the [b]-first branch is pruned
+    from re-exploring [a] at the same point (Godefroid-style sleep sets,
+    sound with the state cache by re-exploring a cached state whenever it
+    is reached with a sleep set that does not contain the stored one). *)
+
+open Dce_core
+
+type mid =
+  | Mcoop of Dce_ot.Request.id
+  | Madmin of int  (** administrative requests are keyed by version *)
+
+type event = Act of Subject.user | Dlv of Subject.user * mid
+
+type stats = {
+  states : int;  (** search nodes visited (post-dedup visits included) *)
+  distinct : int;  (** distinct canonical states *)
+  dedup_hits : int;  (** nodes pruned by the state cache *)
+  sleep_skips : int;  (** enabled events pruned by sleep sets *)
+  frontiers : int;  (** quiescent frontiers checked *)
+  peak_inflight : int;  (** most messages simultaneously in flight *)
+  max_depth : int;
+  elapsed_s : float;
+}
+
+type violation = {
+  schedule : event list;  (** the violating schedule, root to frontier *)
+  report : Dce_sim.Convergence.report;
+  detail : string;  (** first failing oracle, in words *)
+}
+
+type outcome =
+  | Exhausted  (** every interleaving explored, all frontiers green *)
+  | Found of violation
+  | Capped  (** gave up at [max_states] *)
+
+val run :
+  ?metrics:Dce_obs.Metrics.t -> ?max_states:int -> Scenario.t -> outcome * stats
+(** [metrics] (optional) accumulates [check.states], [check.distinct],
+    [check.dedup_hits], [check.sleep_skips] and [check.frontiers]
+    counters alongside the returned {!stats}. *)
+
+(* {2 Replay} *)
+
+type replay = {
+  controllers : (Subject.user * char Controller.t) list;
+  executed : event list;  (** events actually executed, drain included *)
+  skipped : int;  (** schedule entries that were not enabled *)
+  messages : int;  (** messages put in flight over the run *)
+  log : string list;  (** one human-readable line per executed event *)
+  violation : string option;  (** oracle diagnosis of the final state *)
+}
+
+val replay : ?drain:bool -> Scenario.t -> event list -> replay
+(** Execute one specific schedule (events that are not enabled are
+    skipped), then — unless [drain] is [false] — deliver every remaining
+    in-flight message in deterministic order so the final state is a
+    quiescent frontier, and run the oracles on it. *)
+
+(* {2 Schedule scripts}
+
+   The textual form printed by shrunk counterexamples and accepted by
+   [dcecheck --schedule]: events separated by whitespace or commas,
+   [gU] for [Act U], [dU:cS.N] for delivery of cooperative request [S.N]
+   to site [U], [dU:aV] for delivery of administrative request version
+   [V] to site [U]. *)
+
+val event_to_string : event -> string
+val event_of_string : string -> (event, string) result
+val schedule_to_string : event list -> string
+val schedule_of_string : string -> (event list, string) result

@@ -1,0 +1,48 @@
+let fails scenario schedule = (Explore.replay scenario schedule).Explore.violation <> None
+
+(* Split [l] into [n] chunks whose lengths differ by at most one. *)
+let chunks n l =
+  let len = List.length l in
+  let base = len / n and extra = len mod n in
+  let rec take k l =
+    if k = 0 then ([], l)
+    else
+      match l with
+      | [] -> ([], [])
+      | x :: rest ->
+        let got, left = take (k - 1) rest in
+        (x :: got, left)
+  in
+  let rec go i l =
+    if i >= n || l = [] then []
+    else
+      let size = base + if i < extra then 1 else 0 in
+      let chunk, rest = take size l in
+      chunk :: go (i + 1) rest
+  in
+  go 0 l
+
+let remove_chunk i cs = List.concat (List.filteri (fun j _ -> j <> i) cs)
+
+let minimize scenario schedule =
+  if not (fails scenario schedule) then schedule
+  else
+    let rec ddmin current n =
+      let len = List.length current in
+      if len <= 1 then current
+      else
+        let n = min n len in
+        let cs = chunks n current in
+        let reduced =
+          List.find_map
+            (fun i ->
+              let candidate = remove_chunk i cs in
+              if candidate <> [] && fails scenario candidate then Some candidate
+              else None)
+            (List.init (List.length cs) Fun.id)
+        in
+        match reduced with
+        | Some candidate -> ddmin candidate (max (n - 1) 2)
+        | None -> if n < len then ddmin current (min len (2 * n)) else current
+    in
+    ddmin schedule 2

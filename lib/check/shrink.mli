@@ -1,0 +1,24 @@
+(** Delta-debugging of violating schedules.
+
+    The explorer's counterexamples are whole runs — every script step
+    and every delivery from the initial state to the violating frontier.
+    Most of those events are incidental.  {!minimize} reduces a
+    violating schedule to a locally minimal subsequence that still
+    violates the oracles, using Zeller–Hildebrandt [ddmin] with
+    {!Explore.replay} as the test function: a candidate subsequence is
+    replayed (events that are no longer enabled are skipped, remaining
+    messages are drained) and kept iff its final frontier still fails.
+
+    The result is 1-minimal with respect to that test — removing any
+    single event makes the violation disappear — which is what turns a
+    thousand-event interleaving into the handful of messages of the
+    paper's Fig. 2 diagram. *)
+
+val minimize : Scenario.t -> Explore.event list -> Explore.event list
+(** [minimize scenario schedule] assumes [schedule]'s replay violates;
+    if it does not, the schedule is returned unchanged.  The result is
+    a subsequence of [schedule]. *)
+
+val fails : Scenario.t -> Explore.event list -> bool
+(** The ddmin test function: does replaying the schedule (with drain)
+    end in a violated frontier or a crash? *)

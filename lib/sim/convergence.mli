@@ -18,7 +18,20 @@ type report = {
 }
 
 val check : char Controller.t list -> report
+(** Degenerate groups (empty and single-site lists) are trivially
+    convergent and yield an all-true report. *)
 
 val ok : report -> bool
 
 val pp : Format.formatter -> report -> unit
+
+val explain : char Controller.t list -> string option
+(** When the oracles are violated, a one-line diagnosis naming the first
+    divergent site pair and the differing fragment — the first model cell
+    where the documents part ways (with both visible texts), the first
+    policy decision that disagrees, the site with queued or tentative
+    requests, or the first request whose fate the sites dispute.  [None]
+    when every oracle holds (and always for degenerate groups). *)
+
+val pp_diff : Format.formatter -> char Controller.t list -> unit
+(** {!explain}, or ["all oracles hold"]. *)

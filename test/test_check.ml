@@ -1,0 +1,235 @@
+(* Tests for the bounded model checker (lib/check): the secure protocol
+   exhausts green at small bounds, each disabled mechanism surfaces its
+   paper figure's hole, counterexamples shrink to short replayable
+   traces, and the schedule codec round-trips. *)
+
+open Dce_check
+module Controller = Dce_core.Controller
+
+let secure = Controller.secure
+
+let no_retro = { Controller.secure with Controller.retroactive_undo = false }
+let no_interval = { Controller.secure with Controller.interval_check = false }
+let no_validation = { Controller.secure with Controller.validation = false }
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let run ?max_states scenario = Explore.run ?max_states scenario
+
+let expect_found name (outcome, _stats) =
+  match outcome with
+  | Explore.Found v -> v
+  | Explore.Exhausted -> Alcotest.failf "%s: expected a violation, exhausted green" name
+  | Explore.Capped -> Alcotest.failf "%s: state cap hit before any violation" name
+
+let scenario_tests =
+  [
+    Alcotest.test_case "scripts deal every action exactly once" `Quick (fun () ->
+        let s = Scenario.make ~sites:3 ~coop:3 ~admin_ops:1 () in
+        Alcotest.(check int) "total actions" 4 (Scenario.total_actions s);
+        Alcotest.(check int) "sites" 3 (List.length s.Scenario.sites);
+        (* round-robin: user 1 gets ops 0 and 2, user 2 gets op 1 *)
+        Alcotest.(check int) "user 1 script" 2
+          (List.length (List.assoc 1 s.Scenario.scripts));
+        Alcotest.(check int) "user 2 script" 1
+          (List.length (List.assoc 2 s.Scenario.scripts)));
+    Alcotest.test_case "controllers share document, policy and admin" `Quick (fun () ->
+        let s = Scenario.make ~sites:3 ~coop:2 ~admin_ops:1 () in
+        let cs = Scenario.controllers s in
+        Alcotest.(check int) "three controllers" 3 (List.length cs);
+        List.iter
+          (fun (u, c) ->
+            Alcotest.(check int) "site id" u (Controller.site c);
+            Alcotest.(check int) "admin is site 0" 0 (Controller.admin c);
+            Alcotest.(check string) "initial text" s.Scenario.initial
+              (Dce_ot.Tdoc.visible_string (Controller.document c)))
+          cs);
+  ]
+
+let explore_tests =
+  [
+    Alcotest.test_case "secure 3 sites / 2 ops / 1 revocation exhausts green" `Quick
+      (fun () ->
+        let s = Scenario.make ~features:secure ~sites:3 ~coop:2 ~admin_ops:1 () in
+        let outcome, stats = run s in
+        (match outcome with
+         | Explore.Exhausted -> ()
+         | Explore.Found v -> Alcotest.failf "violation: %s" v.Explore.detail
+         | Explore.Capped -> Alcotest.fail "capped");
+        Alcotest.(check bool) "explored states" true (stats.Explore.states > 100);
+        Alcotest.(check bool) "checked frontiers" true (stats.Explore.frontiers > 0);
+        Alcotest.(check bool) "state cache hits" true (stats.Explore.dedup_hits > 0);
+        Alcotest.(check bool) "sleep sets pruned" true (stats.Explore.sleep_skips > 0));
+    Alcotest.test_case "secure 3 sites / 3 ops / 1 revocation exhausts green" `Slow
+      (fun () ->
+        let s = Scenario.make ~features:secure ~sites:3 ~coop:3 ~admin_ops:1 () in
+        match run s with
+        | Explore.Exhausted, _ -> ()
+        | Explore.Found v, _ -> Alcotest.failf "violation: %s" v.Explore.detail
+        | Explore.Capped, _ -> Alcotest.fail "capped");
+    Alcotest.test_case "secure mixed edits / revoke+regrant exhausts green" `Slow
+      (fun () ->
+        let s =
+          Scenario.make ~features:secure ~mixed:true ~sites:3 ~coop:2 ~admin_ops:2 ()
+        in
+        match run s with
+        | Explore.Exhausted, _ -> ()
+        | Explore.Found v, _ -> Alcotest.failf "violation: %s" v.Explore.detail
+        | Explore.Capped, _ -> Alcotest.fail "capped");
+    Alcotest.test_case "state cap yields Capped, not a wrong verdict" `Quick (fun () ->
+        let s = Scenario.make ~features:secure ~sites:3 ~coop:2 ~admin_ops:1 () in
+        match run ~max_states:50 s with
+        | Explore.Capped, stats ->
+          Alcotest.(check bool) "stopped at the cap" true (stats.Explore.states <= 51)
+        | _ -> Alcotest.fail "expected Capped");
+  ]
+
+let hole_tests =
+  [
+    Alcotest.test_case "no retroactive undo: Fig. 2 hole, shrunk to <= 6 messages"
+      `Quick (fun () ->
+        let s = Scenario.make ~features:no_retro ~sites:3 ~coop:2 ~admin_ops:1 () in
+        let v = expect_found "no-retro" (run s) in
+        let minimal = Shrink.minimize s v.Explore.schedule in
+        Alcotest.(check bool) "minimal schedule still fails" true
+          (Shrink.fails s minimal);
+        let r = Explore.replay s minimal in
+        (match r.Explore.violation with
+         | None -> Alcotest.fail "replay of the minimal schedule does not violate"
+         | Some _ -> ());
+        Alcotest.(check bool)
+          (Printf.sprintf "at most 6 messages (got %d)" r.Explore.messages)
+          true (r.Explore.messages <= 6);
+        (* the printed trace is replayable: text -> events -> same verdict *)
+        let printed = Explore.schedule_to_string r.Explore.executed in
+        (match Explore.schedule_of_string printed with
+         | Error e -> Alcotest.failf "printed trace does not parse: %s" e
+         | Ok events ->
+           Alcotest.(check bool) "round-trips" true (events = r.Explore.executed);
+           let r' = Explore.replay s events in
+           Alcotest.(check (option string)) "same diagnosis on replay"
+             r.Explore.violation r'.Explore.violation));
+    Alcotest.test_case "no interval check: Fig. 3 hole" `Quick (fun () ->
+        let s = Scenario.make ~features:no_interval ~sites:3 ~coop:2 ~admin_ops:2 () in
+        ignore (expect_found "no-interval" (run s)));
+    Alcotest.test_case
+      "interval + retro off: accepted-illegal caught by the security oracle alone"
+      `Quick (fun () ->
+        let features =
+          { Controller.secure with
+            Controller.retroactive_undo = false;
+            interval_check = false
+          }
+        in
+        let s = Scenario.make ~features ~sites:3 ~coop:2 ~admin_ops:2 () in
+        let v = expect_found "no-retro+no-interval" (run s) in
+        Alcotest.(check bool)
+          (Printf.sprintf "security oracle fired (%s)" v.Explore.detail)
+          true
+          (contains v.Explore.detail "accepted-illegal");
+        (* the point: every replicated-state oracle is green — only the
+           ground-truth legality check sees this hole *)
+        Alcotest.(check bool) "convergence oracles all hold" true
+          (Dce_sim.Convergence.ok v.Explore.report));
+    Alcotest.test_case "no validation: Fig. 4 hole (work stuck tentative)" `Quick
+      (fun () ->
+        let s = Scenario.make ~features:no_validation ~sites:3 ~coop:2 ~admin_ops:1 () in
+        let v = expect_found "no-validation" (run s) in
+        Alcotest.(check bool)
+          (Printf.sprintf "tentative work named (%s)" v.Explore.detail)
+          true
+          (contains v.Explore.detail "tentative"));
+  ]
+
+let replay_tests =
+  [
+    Alcotest.test_case "schedule codec round-trips" `Quick (fun () ->
+        let events =
+          [ Explore.Act 0;
+            Explore.Act 2;
+            Explore.Dlv (1, Explore.Madmin 3);
+            Explore.Dlv (0, Explore.Mcoop { Dce_ot.Request.site = 2; serial = 11 })
+          ]
+        in
+        match Explore.schedule_of_string (Explore.schedule_to_string events) with
+        | Ok events' -> Alcotest.(check bool) "equal" true (events = events')
+        | Error e -> Alcotest.failf "parse error: %s" e);
+    Alcotest.test_case "bad schedules are rejected" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            match Explore.schedule_of_string s with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "accepted %S" s)
+          [ "x1"; "d1"; "d1:z9"; "g"; "d1:c2" ]);
+    Alcotest.test_case "replay skips disabled events and reports them" `Quick
+      (fun () ->
+        let s = Scenario.make ~features:secure ~sites:3 ~coop:2 ~admin_ops:1 () in
+        let r =
+          Explore.replay s
+            [ Explore.Act 9; Explore.Act 1; Explore.Dlv (2, Explore.Madmin 7) ]
+        in
+        Alcotest.(check int) "two skipped" 2 r.Explore.skipped;
+        (* one act, its two deliveries, then the admin's validation's two *)
+        Alcotest.(check int) "one executed + drain" 5 (List.length r.Explore.executed);
+        Alcotest.(check (option string)) "drained run is green" None
+          r.Explore.violation);
+    Alcotest.test_case "full in-order replay of a secure scenario is green" `Quick
+      (fun () ->
+        let s = Scenario.make ~features:secure ~sites:3 ~coop:2 ~admin_ops:1 () in
+        (* acts only; drain delivers everything in creation order *)
+        let r = Explore.replay s [ Explore.Act 0; Explore.Act 1; Explore.Act 2 ] in
+        Alcotest.(check (option string)) "green" None r.Explore.violation;
+        Alcotest.(check int) "no skips" 0 r.Explore.skipped;
+        Alcotest.(check bool) "messages flowed" true (r.Explore.messages >= 3));
+  ]
+
+let shrink_tests =
+  [
+    Alcotest.test_case "minimize returns a failing subsequence, 1-minimal" `Quick
+      (fun () ->
+        let s = Scenario.make ~features:no_retro ~sites:3 ~coop:2 ~admin_ops:1 () in
+        let v = expect_found "no-retro" (run s) in
+        let minimal = Shrink.minimize s v.Explore.schedule in
+        Alcotest.(check bool) "subsequence fails" true (Shrink.fails s minimal);
+        Alcotest.(check bool) "no longer than the original" true
+          (List.length minimal <= List.length v.Explore.schedule);
+        (* 1-minimality: dropping any single event loses the violation *)
+        List.iteri
+          (fun i _ ->
+            let without = List.filteri (fun j _ -> j <> i) minimal in
+            if Shrink.fails s without then
+              Alcotest.failf "dropping event %d still fails: not 1-minimal" i)
+          minimal);
+    Alcotest.test_case "minimize is the identity on green schedules" `Quick (fun () ->
+        let s = Scenario.make ~features:secure ~sites:3 ~coop:2 ~admin_ops:1 () in
+        let sched = [ Explore.Act 0; Explore.Act 1 ] in
+        Alcotest.(check bool) "unchanged" true (Shrink.minimize s sched = sched));
+  ]
+
+let enum_tests =
+  [
+    Alcotest.test_case "TP1 exhaustive at default bounds" `Quick (fun () ->
+        let o = Enum.tp1 () in
+        (match o.Enum.failed with Some c -> Alcotest.fail c | None -> ());
+        Alcotest.(check bool) "swept a real space" true (o.Enum.cases > 1000));
+    Alcotest.test_case "TP2 exhaustive at default bounds" `Quick (fun () ->
+        let o = Enum.tp2 () in
+        (match o.Enum.failed with Some c -> Alcotest.fail c | None -> ());
+        Alcotest.(check bool) "swept a real space" true (o.Enum.cases > 10_000));
+    Alcotest.test_case "IT/ET inversion exhaustive at default bounds" `Quick (fun () ->
+        let o = Enum.inversion () in
+        match o.Enum.failed with Some c -> Alcotest.fail c | None -> ());
+  ]
+
+let () =
+  Alcotest.run "dce_check"
+    [ ("scenario", scenario_tests);
+      ("explore", explore_tests);
+      ("holes", hole_tests);
+      ("replay", replay_tests);
+      ("shrink", shrink_tests);
+      ("enum", enum_tests)
+    ]

@@ -357,6 +357,38 @@ let controller_properties =
         ok);
   ]
 
+(* ----- exhaustive small-scope transformation properties -----
+
+   The QCheck properties above (and in test_ot.ml) sample these spaces;
+   here the same TP1/TP2/inversion statements are checked over EVERY
+   document and concurrent operation set up to the bound — documents of
+   model length <= 2 (length <= 3 for the pair properties in the slow
+   case) over the alphabet {a, b} with hide counts <= 1.  Small-scope
+   exhaustiveness and randomized depth are complementary: neither
+   subsumes the other. *)
+
+let enum_exhaustive ?bounds name f =
+  Alcotest.test_case name `Quick (fun () ->
+      let o = f ?bounds () in
+      match o.Dce_check.Enum.failed with
+      | None -> ()
+      | Some c -> Alcotest.fail c)
+
+let len3 = { Dce_check.Enum.default with Dce_check.Enum.max_len = 3 }
+
+let enum_properties =
+  [
+    enum_exhaustive "TP1 holds on ALL docs (len<=2, {a,b}, hide<=1)"
+      Dce_check.Enum.tp1;
+    enum_exhaustive "TP2 holds on ALL docs (len<=2, {a,b}, hide<=1)"
+      Dce_check.Enum.tp2;
+    enum_exhaustive "IT/ET inversion holds on ALL docs (len<=2, {a,b}, hide<=1)"
+      Dce_check.Enum.inversion;
+    enum_exhaustive ~bounds:len3 "TP1 holds on ALL docs (len<=3)" Dce_check.Enum.tp1;
+    enum_exhaustive ~bounds:len3 "IT/ET inversion holds on ALL docs (len<=3)"
+      Dce_check.Enum.inversion;
+  ]
+
 let () =
   Alcotest.run "dce_properties"
     [
@@ -365,4 +397,5 @@ let () =
       ("oplog", oplog_properties);
       ("policy", policy_properties);
       ("controller", controller_properties);
+      ("enum", enum_properties);
     ]

@@ -111,8 +111,9 @@ let quiescent_and_secure ?policy profile seed =
   let r = Runner.run ?policy profile ~seed in
   let report = Convergence.check r.Runner.controllers in
   if not (Convergence.ok report) then
-    Alcotest.failf "seed %d violates the oracles:@.%a@.stats:@.%a" seed Convergence.pp
-      report Runner.pp_stats r.Runner.stats
+    Alcotest.failf "seed %d violates the oracles:@.%a@.diagnosis: %a@.stats:@.%a" seed
+      Convergence.pp report Convergence.pp_diff r.Runner.controllers Runner.pp_stats
+      r.Runner.stats
 
 let runner_tests =
   [
@@ -304,6 +305,59 @@ let runner_tests =
                   (Dce_core.Controller.oplog (List.hd r.Runner.controllers)))));
   ]
 
+(* ----- Convergence: degenerate groups and diagnosis ----- *)
+
+let convergence_tests =
+  let mk site text =
+    Dce_core.Controller.create ~eq:Char.equal ~site ~admin:0
+      ~policy:
+        (Dce_core.Policy.make ~users:[ 0; 1 ]
+           [ Dce_core.Auth.grant [ Dce_core.Subject.Any ] [ Dce_core.Docobj.Whole ]
+               Dce_core.Right.all ])
+      (Dce_ot.Tdoc.of_string text)
+  in
+  [
+    Alcotest.test_case "empty group is trivially convergent" `Quick (fun () ->
+        let report = Convergence.check [] in
+        Alcotest.(check bool) "ok" true (Convergence.ok report);
+        Alcotest.(check bool) "no diagnosis" true (Convergence.explain [] = None));
+    Alcotest.test_case "single site is trivially convergent" `Quick (fun () ->
+        let c = mk 0 "abc" in
+        let report = Convergence.check [ c ] in
+        Alcotest.(check bool) "ok" true (Convergence.ok report);
+        Alcotest.(check bool) "no diagnosis" true (Convergence.explain [ c ] = None));
+    Alcotest.test_case "identical sites: all oracles hold, no diagnosis" `Quick
+      (fun () ->
+        let cs = [ mk 0 "abc"; mk 1 "abc" ] in
+        Alcotest.(check bool) "ok" true (Convergence.ok (Convergence.check cs));
+        Alcotest.(check bool) "no diagnosis" true (Convergence.explain cs = None));
+    Alcotest.test_case "diverged documents are named, with the differing cell" `Quick
+      (fun () ->
+        let cs = [ mk 0 "abc"; mk 1 "axc" ] in
+        let report = Convergence.check cs in
+        Alcotest.(check bool) "documents disagree" false (Convergence.ok report);
+        match Convergence.explain cs with
+        | None -> Alcotest.fail "expected a diagnosis"
+        | Some d ->
+          let contains s sub =
+            let n = String.length s and m = String.length sub in
+            let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+            m = 0 || go 0
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "names the site pair (%s)" d)
+            true
+            (contains d "sites 0 and 1");
+          Alcotest.(check bool)
+            (Printf.sprintf "names the differing fragment (%s)" d)
+            true
+            (contains d "documents differ"));
+  ]
+
 let () =
   Alcotest.run "dce_sim"
-    [ ("rng", rng_tests); ("net", net_tests); ("runner", runner_tests) ]
+    [ ("rng", rng_tests);
+      ("net", net_tests);
+      ("runner", runner_tests);
+      ("convergence", convergence_tests)
+    ]
