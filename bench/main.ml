@@ -106,6 +106,12 @@ let median_ms ?(reps = 5) ?hist f =
   in
   List.nth (List.sort compare xs) (reps / 2)
 
+(* min over reps: the stable estimator for a single-point ratio — a GC
+   pause or a scheduling blip inflates the median of a small sample but
+   never deflates the min *)
+let min_ms ?(reps = 5) f =
+  List.fold_left Float.min Float.infinity (List.init reps (fun _ -> time_once f))
+
 let budget_ms = 100.
 
 let flag ms = if ms <= budget_ms then " " else "*"
@@ -214,6 +220,150 @@ let measure_t1 c =
       | _, C.Denied r -> failwith r)
 
 let measure_t2 c = median_ms ~hist:h_t2 (fun () -> C.receive c (C.Coop (remote_insert 1)))
+
+(* ----- core: engine scaling baseline -----
+
+   The perf trajectory of the replication engine itself: local
+   generation, remote integration, retroactive undo and snapshot
+   encode/decode on documents of n model cells under logs of |H|
+   requests.  Every (n, |H|) point lands in BENCH_core.json as a
+   latency histogram plus an ops/s counter keyed by the point, so later
+   perf PRs diff against this baseline point-by-point.
+
+   The n=100k integration point is additionally measured against the
+   pre-stat-tree reference implementation (Tdoc_ref: flat cell array,
+   O(n) apply; the log side replays the old whole-log transform fold).
+   Both sides run in the same process in the same run, so the resulting
+   core.integrate_speedup_n100k_x counter is machine-portable — CI
+   gates on it rather than on raw nanoseconds. *)
+
+let core_policy =
+  Policy.make
+    ~users:[ adm; user; remote ]
+    [ Auth.grant [ Subject.Any ] [ Docobj.Whole ] Right.all ]
+
+(* a user site over an n-cell document with |H| = h random local edits
+   (tentative: [user] is not the administrator) *)
+let build_core_site ~n ~h =
+  let text = String.init n (fun i -> Char.chr (97 + (i mod 26))) in
+  let c =
+    C.create ~eq:Char.equal ~site:user ~admin:adm ~policy:core_policy
+      (Tdoc.of_string text)
+  in
+  let rec go c i =
+    if i = h then c
+    else
+      match C.generate c (random_op ~ins_pct:50 (C.document c)) with
+      | c, C.Accepted _ -> go c (i + 1)
+      | _, C.Denied r -> failwith ("core bench build: denied: " ^ r)
+  in
+  go c 0
+
+let size_label n =
+  if n >= 1000 && n mod 1000 = 0 then string_of_int (n / 1000) ^ "k"
+  else string_of_int n
+
+let core_point ~n ~h c =
+  let point = Printf.sprintf "n%s_h%s" (size_label n) (size_label h) in
+  let hist what = Obs.Metrics.histogram bench_metrics
+      (Printf.sprintf "core.%s_ns.%s" what point)
+  in
+  let per_s what ms =
+    Obs.Metrics.add
+      (Obs.Metrics.counter bench_metrics (Printf.sprintf "core.%s_per_s.%s" what point))
+      (int_of_float (1000. /. Float.max ms 1e-9))
+  in
+  let t_gen =
+    median_ms ~hist:(hist "generate") (fun () ->
+        match C.generate c (Tdoc.ins_visible (C.document c) 0 'z') with
+        | _, C.Accepted _ -> ()
+        | _, C.Denied r -> failwith r)
+  in
+  per_s "generate" t_gen;
+  let t_recv =
+    median_ms ~hist:(hist "integrate") (fun () ->
+        ignore (C.receive c (C.Coop (remote_insert 1))))
+  in
+  per_s "integrate" t_recv;
+  (* retroactively cancel the most recent request, document effect
+     included (what one enforce step per request costs) *)
+  let last_id = { Request.site = user; serial = h } in
+  let t_undo =
+    median_ms ~hist:(hist "undo") (fun () ->
+        match Oplog.undo ~cancel_version:1 last_id (C.oplog c) with
+        | Some (op, _) -> ignore (Tdoc.apply ~eq:Char.equal (C.document c) op)
+        | None -> failwith "core bench: undo target missing")
+  in
+  per_s "undo" t_undo;
+  let blob = Dce_wire.Proto.Char_proto.encode_state (C.dump c) in
+  let t_enc =
+    median_ms ~hist:(hist "snapshot_encode") (fun () ->
+        ignore (Dce_wire.Proto.Char_proto.encode_state (C.dump c)))
+  in
+  per_s "snapshot_encode" t_enc;
+  let t_dec =
+    median_ms ~hist:(hist "snapshot_decode") (fun () ->
+        match Dce_wire.Proto.Char_proto.decode_state blob with
+        | Ok _ -> ()
+        | Error e -> failwith e)
+  in
+  per_s "snapshot_decode" t_dec;
+  Printf.printf "%8s %8s %11.4f %11.4f %11.4f %11.3f %11.3f\n" (size_label n)
+    (size_label h) t_gen t_recv t_undo t_enc t_dec
+
+(* new stack vs the pre-change representation, same run: integrate one
+   remote insert at n=100k.  The reference side replays the old code
+   path's dominant work — transform against the whole log (the old
+   separation moves nothing for an empty-context request), then an O(n)
+   array-copying document apply. *)
+let core_speedup c =
+  let q = remote_insert 1 in
+  let arr = Tdoc_ref.of_tdoc (C.document c) in
+  let log_ops = Oplog.ops (C.oplog c) in
+  (* both sides measured from the same freshly compacted heap, so the
+     ratio does not depend on what the surrounding points allocated *)
+  Gc.compact ();
+  let t_new = min_ms ~reps:15 (fun () -> ignore (C.receive c (C.Coop q))) in
+  let t_ref =
+    min_ms ~reps:15 (fun () ->
+        let op =
+          List.fold_left (fun op o -> Transform.it op o) q.Request.op log_ops
+        in
+        ignore (Tdoc_ref.apply ~eq:Char.equal arr op))
+  in
+  let speedup = t_ref /. Float.max t_new 1e-9 in
+  let put k v = Obs.Metrics.add (Obs.Metrics.counter bench_metrics k) v in
+  put "core.integrate_new_ns_n100k" (int_of_float (t_new *. 1e6));
+  put "core.integrate_ref_ns_n100k" (int_of_float (t_ref *. 1e6));
+  put "core.integrate_speedup_n100k_x" (int_of_float speedup);
+  Printf.printf
+    "integrate @ n=100k: new %.4f ms, array/list reference %.3f ms  (%.0fx)\n"
+    t_new t_ref speedup
+
+let run_core ~quick () =
+  Printf.printf "== core: engine scaling baseline%s ==\n"
+    (if quick then " (quick)" else "");
+  Printf.printf "%8s %8s %11s %11s %11s %11s %11s\n" "n" "|H|" "gen(ms)"
+    "integ(ms)" "undo(ms)" "enc(ms)" "dec(ms)";
+  let points =
+    if quick then [ (1_000, 100); (100_000, 100) ]
+    else
+      List.concat_map
+        (fun n -> List.map (fun h -> (n, h)) [ 100; 1_000; 10_000 ])
+        [ 1_000; 10_000; 100_000 ]
+  in
+  let site100k =
+    List.fold_left
+      (fun acc (n, h) ->
+        let c = build_core_site ~n ~h in
+        core_point ~n ~h c;
+        if n = 100_000 && h = 100 then Some c else acc)
+      None points
+  in
+  (match site100k with
+   | Some c -> core_speedup c
+   | None -> failwith "core bench: n=100k |H|=100 point missing");
+  print_newline ()
 
 (* ----- E6: Fig. 7 ----- *)
 
@@ -765,6 +915,7 @@ let run_micro () =
 
 let () =
   let trace_file = ref None in
+  let quick = ref false in
   let rec parse section = function
     | [] -> section
     | "--metrics" :: rest ->
@@ -773,6 +924,9 @@ let () =
       parse section rest
     | "--trace" :: file :: rest ->
       trace_file := Some file;
+      parse section rest
+    | "--quick" :: rest ->
+      quick := true;
       parse section rest
     | w :: rest -> parse (Some w) rest
   in
@@ -786,6 +940,7 @@ let () =
       write_bench_json name
   in
   let all () =
+    run "core" (run_core ~quick:!quick);
     run "fig7" run_fig7;
     run "baselines" run_baselines;
     run "complexity" run_complexity;

@@ -14,6 +14,8 @@ let secure = { retroactive_undo = true; interval_check = true; validation = true
 
 let naive = { retroactive_undo = false; interval_check = false; validation = false }
 
+module User_map = Map.Make (Int)
+
 type 'e t = {
   site : Subject.user;
   features : features;
@@ -26,13 +28,15 @@ type 'e t = {
   admin_log : Admin_log.t; (* carries the policy, its version and L *)
   coop_queue : 'e Request.t list; (* F *)
   admin_queue : Admin_op.request list; (* Q *)
+  n_coop_queue : int; (* cached List.length coop_queue *)
+  n_admin_queue : int; (* cached List.length admin_queue *)
   (* stability bookkeeping for log compaction: per peer, the clock and
      policy version of its last request integrated HERE (sound: per-site
      serials integrate in order, so nothing older can arrive fresh), and
      the issue clock/version of its latest administrative request (a
      stronger bound, usable once the issuer's own edits are caught up) *)
-  peer_integrated : (Subject.user * (Vclock.t * int)) list;
-  peer_admin_hint : (Subject.user * (Vclock.t * int)) list;
+  peer_integrated : (Vclock.t * int) User_map.t;
+  peer_admin_hint : (Vclock.t * int) User_map.t;
 }
 
 let create ?(eq = ( = )) ?(features = secure) ?(trace = Dce_obs.Trace.null) ~site
@@ -49,11 +53,20 @@ let create ?(eq = ( = )) ?(features = secure) ?(trace = Dce_obs.Trace.null) ~sit
     admin_log = Admin_log.create ~admin policy;
     coop_queue = [];
     admin_queue = [];
-    peer_integrated = [];
-    peer_admin_hint = [];
+    n_coop_queue = 0;
+    n_admin_queue = 0;
+    peer_integrated = User_map.empty;
+    peer_admin_hint = User_map.empty;
   }
 
-let fork ~site t = { t with site; serial = 0; peer_integrated = []; peer_admin_hint = [] }
+let fork ~site t =
+  {
+    t with
+    site;
+    serial = 0;
+    peer_integrated = User_map.empty;
+    peer_admin_hint = User_map.empty;
+  }
 
 let rejoin ~site t = { (fork ~site t) with serial = Vclock.get t.clock site }
 
@@ -67,8 +80,8 @@ let version t = Admin_log.version t.admin_log
 let oplog t = t.oplog
 let admin_log t = t.admin_log
 let clock t = t.clock
-let pending_coop t = List.length t.coop_queue
-let pending_admin t = List.length t.admin_queue
+let pending_coop t = t.n_coop_queue
+let pending_admin t = t.n_admin_queue
 let tentative t = Oplog.tentative_requests t.oplog
 
 (* Telemetry: every security decision point emits a structured event
@@ -94,25 +107,20 @@ type 'e outcome = Accepted of 'e message | Denied of string
    requests only once every [w]-edit counted in it has been integrated
    here (otherwise one of those very edits may still be in flight). *)
 
-let assoc_update k f l = (k, f (List.assoc_opt k l)) :: List.remove_assoc k l
-
 let note_integrated t (q : 'e Request.t) =
   let peer = q.Request.id.Request.site in
   let bound = (Request.clock_after q, q.Request.policy_version) in
-  { t with peer_integrated = assoc_update peer (fun _ -> bound) t.peer_integrated }
+  { t with peer_integrated = User_map.add peer bound t.peer_integrated }
 
 let note_admin_hint t (r : Admin_op.request) =
   let bound = (r.Admin_op.ctx, r.Admin_op.version) in
-  {
-    t with
-    peer_admin_hint = assoc_update r.Admin_op.admin (fun _ -> bound) t.peer_admin_hint;
-  }
+  { t with peer_admin_hint = User_map.add r.Admin_op.admin bound t.peer_admin_hint }
 
 let peer_bound t u =
   let base_clock, base_version =
-    Option.value ~default:(Vclock.empty, 0) (List.assoc_opt u t.peer_integrated)
+    Option.value ~default:(Vclock.empty, 0) (User_map.find_opt u t.peer_integrated)
   in
-  match List.assoc_opt u t.peer_admin_hint with
+  match User_map.find_opt u t.peer_admin_hint with
   | Some (hint_clock, hint_version)
     when Vclock.get hint_clock u <= Vclock.get base_clock u ->
     (Vclock.merge base_clock hint_clock, max base_version hint_version)
@@ -375,7 +383,13 @@ let rec drain (t, msgs) =
   let ready_admin, rest_admin = List.partition (admin_ready t) t.admin_queue in
   match ready_admin with
   | r :: deferred ->
-    let t = { t with admin_queue = deferred @ rest_admin } in
+    let t =
+      {
+        t with
+        admin_queue = deferred @ rest_admin;
+        n_admin_queue = t.n_admin_queue - 1;
+      }
+    in
     (match apply_admin t r with
      | Ok (t, follow_ups) ->
        let t, more =
@@ -397,7 +411,13 @@ let rec drain (t, msgs) =
     (match ready_coop with
      | [] -> (t, msgs)
      | _ ->
-       let t = { t with coop_queue = waiting } in
+       let t =
+         {
+           t with
+           coop_queue = waiting;
+           n_coop_queue = t.n_coop_queue - List.length ready_coop;
+         }
+       in
        let t, more =
          List.fold_left
            (fun (t, acc) q ->
@@ -465,8 +485,10 @@ let load ?(eq = ( = )) ?(trace = Dce_obs.Trace.null) s =
         admin_log;
         coop_queue = s.st_coop_queue;
         admin_queue = s.st_admin_queue;
-        peer_integrated = [];
-        peer_admin_hint = [];
+        n_coop_queue = List.length s.st_coop_queue;
+        n_admin_queue = List.length s.st_admin_queue;
+        peer_integrated = User_map.empty;
+        peer_admin_hint = User_map.empty;
       }
 
 let receive t msg =
@@ -477,7 +499,11 @@ let receive t msg =
       || List.exists (fun q' -> Request.id_equal q'.Request.id q.Request.id) t.coop_queue
     in
     ev t (Dce_obs.Trace.Receive { coop = true; dup });
-    if dup then (t, []) else drain ({ t with coop_queue = q :: t.coop_queue }, [])
+    if dup then (t, [])
+    else
+      drain
+        ( { t with coop_queue = q :: t.coop_queue; n_coop_queue = t.n_coop_queue + 1 },
+          [] )
   | Admin r ->
     let t = note_admin_hint t r in
     let dup =
@@ -485,4 +511,12 @@ let receive t msg =
       || List.exists (fun r' -> r'.Admin_op.version = r.Admin_op.version) t.admin_queue
     in
     ev t (Dce_obs.Trace.Receive { coop = false; dup });
-    if dup then (t, []) else drain ({ t with admin_queue = r :: t.admin_queue }, [])
+    if dup then (t, [])
+    else
+      drain
+        ( {
+            t with
+            admin_queue = r :: t.admin_queue;
+            n_admin_queue = t.n_admin_queue + 1;
+          },
+          [] )

@@ -36,7 +36,21 @@
     Canceller entries belong to no request's causal context, so
     {!integrate} always classifies them as concurrent: a later request
     that causally includes an undone [q] is transformed against [q]'s
-    canceller, which excludes [q]'s effect exactly when needed. *)
+    canceller, which excludes [q]'s effect exactly when needed.
+
+    {2 Representation}
+
+    The log is a persistent stat tree of entries plus an id -> position
+    index over normal entries: {!length} is O(1), {!find}/{!mem}/
+    {!set_flag} are O(log H), {!tentative_requests} is O(T log H) for
+    [T] tentative entries, and {!integrate}'s reorder + transform work
+    touches only the {e concurrency window} — the log suffix after the
+    longest prefix lying entirely in the remote request's causal
+    context, which SOCT2 separation would leave in place anyway.
+    Canonization's [O(|Hdu|)] transposition count is inherent (Fig. 7),
+    but the bubble is batched: the movable suffix is reordered in a flat
+    array and written back in one [O(|Hdu| + log H)] range walk rather
+    than per-swap tree writes. *)
 
 type role = Normal | Canceller of Request.id
 
@@ -45,8 +59,13 @@ type 'e entry = { req : 'e Request.t; role : role }
 type 'e t
 
 val empty : 'e t
+
 val length : _ t -> int
+(** O(1). *)
+
 val entries : 'e t -> 'e entry list
+(** All stored entries in execution order (O(H) bulk conversion, for
+    wire snapshots and persistence). *)
 
 val of_entries : compacted:Vclock.t -> 'e entry list -> 'e t
 (** Rebuild a log from its parts (persistence tooling; see
@@ -60,13 +79,18 @@ val ops : 'e t -> 'e Op.t list
     state reproduces the current state. *)
 
 val find : Request.id -> 'e t -> 'e Request.t option
+(** O(log H) via the id index. *)
 
 val mem : Request.id -> 'e t -> bool
-(** [mem id h]: a normal entry with identity [id] is present. *)
+(** [mem id h]: a normal entry with identity [id] is present (or was
+    compacted away).  O(log H). *)
 
 val set_flag : Request.id -> Request.flag -> 'e t -> 'e t
+(** O(log H); the log is unchanged if [id] is absent. *)
 
 val tentative_requests : 'e t -> 'e Request.t list
+(** Normal entries still flagged [Tentative], in log order — O(T log H)
+    for [T] hits, settled entries are never visited. *)
 
 val broadcast_form : 'e Request.t -> 'e t -> 'e Request.t
 (** ComputeBF: stamp the request with its direct dependency (the most

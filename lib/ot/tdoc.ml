@@ -2,19 +2,26 @@ type 'e write = { wtag : Op.tag; value : 'e; retracted : int }
 
 type 'e cell = { elt : 'e; writes : 'e write list; hidden : int }
 
-type 'e t = 'e cell array
+(* A stat tree of cells, with the measure "visible?": the cached subtree
+   weight is the visible length, and select/rank implement the
+   visible<->model coordinate translation in O(log n). *)
+type 'e t = 'e cell Stree.t
 
-let empty = [||]
+let vis c = if c.hidden = 0 then 1 else 0
+
+let empty = Stree.empty
 
 let fresh_cell elt = { elt; writes = []; hidden = 0 }
 
-let of_list l = Array.of_list (List.map fresh_cell l)
+let of_list l = Stree.of_list ~measure:vis (List.map fresh_cell l)
 
 let of_string s = of_list (List.init (String.length s) (String.get s))
 
-let of_cells cells = Array.of_list cells
+let of_cells cells = Stree.of_list ~measure:vis cells
 
-let model_length = Array.length
+let model_length = Stree.length
+
+let visible_length = Stree.weight
 
 let content c =
   let best =
@@ -31,38 +38,30 @@ let content c =
 
 let history c = c.elt :: List.map (fun w -> w.value) c.writes
 
-let visible_length d =
-  Array.fold_left (fun n c -> if c.hidden = 0 then n + 1 else n) 0 d
+let cell d i = Stree.get d i
 
-let cell d i = d.(i)
-
+(* visible cells are exactly the cells of nonzero measure, so both
+   projections skip fully hidden subtrees *)
 let visible_list d =
-  Array.fold_right (fun c acc -> if c.hidden = 0 then content c :: acc else acc) d []
+  List.rev (Stree.fold_nonzero (fun acc c -> content c :: acc) [] d)
 
 let visible_string d =
-  let b = Buffer.create (Array.length d) in
-  Array.iter (fun c -> if c.hidden = 0 then Buffer.add_char b (content c)) d;
+  let b = Buffer.create (Stree.weight d) in
+  Stree.fold_nonzero (fun () c -> Buffer.add_char b (content c)) () d;
   Buffer.contents b
 
-let model_list d = Array.to_list d
+let model_list = Stree.to_list
 
 let model_of_visible d v =
   if v < 0 then invalid_arg "Tdoc.model_of_visible: negative position";
-  let n = Array.length d in
-  let rec go i seen =
-    if seen = v && (i >= n || d.(i).hidden = 0) then i
-    else if i >= n then invalid_arg "Tdoc.model_of_visible: beyond visible length"
-    else go (i + 1) (if d.(i).hidden = 0 then seen + 1 else seen)
-  in
-  go 0 0
+  let vl = visible_length d in
+  if v < vl then Stree.select d v
+  else if v = vl then model_length d
+  else invalid_arg "Tdoc.model_of_visible: beyond visible length"
 
 let visible_of_model d m =
-  let m = min m (Array.length d) in
-  let count = ref 0 in
-  for i = 0 to m - 1 do
-    if d.(i).hidden = 0 then incr count
-  done;
-  !count
+  if m < 0 then invalid_arg "Tdoc.visible_of_model: negative position";
+  Stree.rank d (min m (model_length d))
 
 let conflict fmt = Format.kasprintf (fun s -> raise (Document.Edit_conflict s)) fmt
 
@@ -71,53 +70,51 @@ let check_history ~eq ~what ~pos c expected =
     conflict "%s at model position %d: element never present in the cell" what pos
 
 let apply ?(eq = ( = )) d op =
-  let n = Array.length d in
+  let n = Stree.length d in
   let in_range what pos =
     if pos < 0 || pos >= n then
       invalid_arg (Printf.sprintf "Tdoc.apply: %s position %d out of range" what pos)
-  in
-  let update_cell pos f =
-    let d' = Array.copy d in
-    d'.(pos) <- f d.(pos);
-    d'
   in
   match op with
   | Op.Nop -> d
   | Op.Ins { pos; elt; _ } ->
     if pos < 0 || pos > n then invalid_arg "Tdoc.apply: Ins position out of range";
-    Array.init (n + 1) (fun i ->
-        if i < pos then d.(i) else if i = pos then fresh_cell elt else d.(i - 1))
+    Stree.insert ~measure:vis d pos (fresh_cell elt)
   | Op.Del { pos; elt } ->
     in_range "Del" pos;
-    check_history ~eq ~what:"Del" ~pos d.(pos) elt;
-    update_cell pos (fun c -> { c with hidden = c.hidden + 1 })
+    let c = Stree.get d pos in
+    check_history ~eq ~what:"Del" ~pos c elt;
+    Stree.set ~measure:vis d pos { c with hidden = c.hidden + 1 }
   | Op.Undel { pos; elt } ->
     in_range "Undel" pos;
-    check_history ~eq ~what:"Undel" ~pos d.(pos) elt;
-    if d.(pos).hidden = 0 then invalid_arg "Tdoc.apply: Undel of a visible cell";
-    update_cell pos (fun c -> { c with hidden = c.hidden - 1 })
+    let c = Stree.get d pos in
+    check_history ~eq ~what:"Undel" ~pos c elt;
+    if c.hidden = 0 then invalid_arg "Tdoc.apply: Undel of a visible cell";
+    Stree.set ~measure:vis d pos { c with hidden = c.hidden - 1 }
   | Op.Up { pos; before; after; tag } ->
     in_range "Up" pos;
-    check_history ~eq ~what:"Up" ~pos d.(pos) before;
-    if List.exists (fun w -> Op.compare_tag w.wtag tag = 0) d.(pos).writes then
+    let c = Stree.get d pos in
+    check_history ~eq ~what:"Up" ~pos c before;
+    if List.exists (fun w -> Op.compare_tag w.wtag tag = 0) c.writes then
       conflict "Up at model position %d: duplicate write tag" pos;
-    update_cell pos (fun c ->
-        { c with writes = { wtag = tag; value = after; retracted = 0 } :: c.writes })
+    Stree.set ~measure:vis d pos
+      { c with writes = { wtag = tag; value = after; retracted = 0 } :: c.writes }
   | Op.Unup { pos; tag; _ } ->
     in_range "Unup" pos;
-    if not (List.exists (fun w -> Op.compare_tag w.wtag tag = 0) d.(pos).writes) then
+    let c = Stree.get d pos in
+    if not (List.exists (fun w -> Op.compare_tag w.wtag tag = 0) c.writes) then
       conflict "Unup at model position %d: unknown write tag" pos;
-    update_cell pos (fun c ->
-        {
-          c with
-          writes =
-            List.map
-              (fun w ->
-                if Op.compare_tag w.wtag tag = 0 then
-                  { w with retracted = w.retracted + 1 }
-                else w)
-              c.writes;
-        })
+    Stree.set ~measure:vis d pos
+      {
+        c with
+        writes =
+          List.map
+            (fun w ->
+              if Op.compare_tag w.wtag tag = 0 then
+                { w with retracted = w.retracted + 1 }
+              else w)
+            c.writes;
+      }
 
 let apply_all ?eq d ops = List.fold_left (fun d o -> apply ?eq d o) d ops
 
@@ -125,17 +122,17 @@ let ins_visible ?pr d v elt = Op.ins ?pr (model_of_visible d v) elt
 
 let visible_cell_pos d v =
   let m = model_of_visible d v in
-  if m >= Array.length d || d.(m).hidden <> 0 then
+  if m >= Stree.length d || (Stree.get d m).hidden <> 0 then
     invalid_arg "Tdoc: no visible cell at this position";
   m
 
 let del_visible d v =
   let m = visible_cell_pos d v in
-  Op.del m (content d.(m))
+  Op.del m (content (Stree.get d m))
 
 let up_visible ?tag d v after =
   let m = visible_cell_pos d v in
-  Op.up ?tag m (content d.(m)) after
+  Op.up ?tag m (content (Stree.get d m)) after
 
 let equal_visible eq a b =
   let la = visible_list a and lb = visible_list b in
@@ -157,10 +154,14 @@ let equal_cell eq a b =
        wa wb
 
 let equal_model eq a b =
-  Array.length a = Array.length b
+  Stree.length a = Stree.length b
   &&
-  let rec go i = i >= Array.length a || (equal_cell eq a.(i) b.(i) && go (i + 1)) in
-  go 0
+  let rec go = function
+    | [], [] -> true
+    | ca :: ra, cb :: rb -> equal_cell eq ca cb && go (ra, rb)
+    | _ -> false
+  in
+  go (model_list a, model_list b)
 
 let pp pp_elt ppf d =
   let pp_cell ppf c =
@@ -169,4 +170,4 @@ let pp pp_elt ppf d =
   in
   Format.fprintf ppf "<%a>"
     (Format.pp_print_list ~pp_sep:(fun _ () -> ()) pp_cell)
-    (Array.to_list d)
+    (model_list d)

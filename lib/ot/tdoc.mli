@@ -28,7 +28,12 @@
     raises {!Document.Edit_conflict} and signals a transformation bug,
     never a user error.
 
-    The representation is persistent; {!apply} is O(n). *)
+    The representation is a persistent stat tree ({!Stree}) with the
+    measure "visible?": {!model_length} and {!visible_length} are O(1),
+    {!cell}, {!apply} and the visible<->model coordinate translations
+    are O(log n), and the visible projections skip fully hidden
+    subtrees.  {!of_cells}/{!model_list} remain O(n) bulk converters
+    for wire snapshots and persistence. *)
 
 type 'e write = { wtag : Op.tag; value : 'e; retracted : int }
 
@@ -43,10 +48,13 @@ val of_list : 'e list -> 'e t
 val of_string : string -> char t
 
 val model_length : 'e t -> int
+(** Cells including tombstones.  O(1). *)
+
 val visible_length : 'e t -> int
+(** Cells with hide count zero.  O(1). *)
 
 val cell : 'e t -> int -> 'e cell
-(** Cell at a model position. *)
+(** Cell at a model position.  O(log n). *)
 
 val content : 'e cell -> 'e
 (** Current content: greatest non-retracted write, or the initial
@@ -61,10 +69,16 @@ val model_list : 'e t -> 'e cell list
 
 val model_of_visible : 'e t -> int -> int
 (** Model position of the [v]-th visible cell; [model_length] when [v]
-    equals {!visible_length}.  Raises [Invalid_argument] beyond that. *)
+    equals {!visible_length}.  Raises [Invalid_argument] on a negative
+    position or beyond the visible length.  O(log n). *)
 
 val visible_of_model : 'e t -> int -> int
-(** Number of visible cells strictly before the given model position. *)
+(** Number of visible cells strictly before the given model position.
+    Raises [Invalid_argument] on a negative position; positions beyond
+    {!model_length} are clamped to it (returning {!visible_length}) —
+    transformation can carry a generation-context position past the
+    current end of a shorter context, and the visible rank of any such
+    position is the whole visible document.  O(log n). *)
 
 val apply : ?eq:('e -> 'e -> bool) -> 'e t -> 'e Op.t -> 'e t
 (** Execute a model-coordinate operation.  Raises

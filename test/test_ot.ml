@@ -102,6 +102,244 @@ let tdoc_unit_tests =
         Alcotest.(check string) "visible" "abC" (Tdoc.visible_string d));
   ]
 
+(* Boundary contracts of the coordinate translations: model_of_visible
+   is strict on both ends; visible_of_model is strict on negatives and
+   clamps past the model length (a transformed generation-context
+   position may point past a shorter context's end). *)
+let tdoc_boundary_tests =
+  let expect_invalid name f =
+    try
+      ignore (f ());
+      Alcotest.fail (name ^ ": expected Invalid_argument")
+    with Invalid_argument _ -> ()
+  in
+  [
+    Alcotest.test_case "model_of_visible rejects negatives and overshoot" `Quick
+      (fun () ->
+        let d = Tdoc.apply (Tdoc.of_string "abc") (Op.del 1 'b') in
+        expect_invalid "negative" (fun () -> Tdoc.model_of_visible d (-1));
+        Alcotest.(check int) "at visible_length" 3
+          (Tdoc.model_of_visible d (Tdoc.visible_length d));
+        expect_invalid "beyond" (fun () ->
+            Tdoc.model_of_visible d (Tdoc.visible_length d + 1)));
+    Alcotest.test_case "model_of_visible on an all-hidden document" `Quick (fun () ->
+        let d = Tdoc.apply_all (Tdoc.of_string "ab") [ Op.del 0 'a'; Op.del 1 'b' ] in
+        Alcotest.(check int) "visible empty" 0 (Tdoc.visible_length d);
+        Alcotest.(check int) "0 maps to model end" 2 (Tdoc.model_of_visible d 0);
+        expect_invalid "beyond" (fun () -> Tdoc.model_of_visible d 1));
+    Alcotest.test_case "visible_of_model rejects negatives" `Quick (fun () ->
+        let d = Tdoc.of_string "abc" in
+        expect_invalid "negative" (fun () -> Tdoc.visible_of_model d (-1));
+        expect_invalid "negative on empty" (fun () ->
+            Tdoc.visible_of_model Tdoc.empty (-1)));
+    Alcotest.test_case "visible_of_model clamps past the model length" `Quick
+      (fun () ->
+        let d = Tdoc.apply (Tdoc.of_string "abc") (Op.del 2 'c') in
+        Alcotest.(check int) "at model_length" 2 (Tdoc.visible_of_model d 3);
+        Alcotest.(check int) "one past" 2 (Tdoc.visible_of_model d 4);
+        Alcotest.(check int) "far past" 2 (Tdoc.visible_of_model d 1000);
+        Alcotest.(check int) "empty doc clamps to 0"
+          0 (Tdoc.visible_of_model Tdoc.empty 5));
+    Alcotest.test_case "visible_of_model at interior boundaries" `Quick (fun () ->
+        let d = Tdoc.apply (Tdoc.of_string "abc") (Op.del 0 'a') in
+        Alcotest.(check int) "0" 0 (Tdoc.visible_of_model d 0);
+        Alcotest.(check int) "after tombstone" 0 (Tdoc.visible_of_model d 1);
+        Alcotest.(check int) "after first visible" 1 (Tdoc.visible_of_model d 2);
+        Alcotest.(check int) "whole model" 2 (Tdoc.visible_of_model d 3));
+  ]
+
+(* ----- Stree (the stat tree underneath Tdoc and Oplog) ----- *)
+
+(* differential model: a plain list with the same measure *)
+let stree_tests =
+  let measure x = x land 1 in
+  let gen_list = QCheck2.Gen.(list_size (int_range 0 40) (int_range 0 100)) in
+  let print_list l = Format.asprintf "%a" Fmt.(Dump.list int) l in
+  [
+    qtest "of_list/to_list roundtrip, length and weight" ~count:500 gen_list
+      print_list (fun l ->
+        let t = Stree.of_list ~measure l in
+        Stree.to_list t = l
+        && Stree.length t = List.length l
+        && Stree.weight t = List.fold_left (fun a x -> a + measure x) 0 l);
+    qtest "insert agrees with list insertion" ~count:500
+      QCheck2.Gen.(
+        gen_list >>= fun l ->
+        int_range 0 (List.length l) >>= fun i ->
+        int_range 0 100 >>= fun x -> return (l, i, x))
+      (fun (l, i, x) -> Format.asprintf "%s i=%d x=%d" (print_list l) i x)
+      (fun (l, i, x) ->
+        let t = Stree.insert ~measure (Stree.of_list ~measure l) i x in
+        let expect = List.filteri (fun j _ -> j < i) l @ (x :: List.filteri (fun j _ -> j >= i) l) in
+        Stree.to_list t = expect && Stree.length t = List.length l + 1);
+    qtest "set/update/get agree with the list model" ~count:500
+      QCheck2.Gen.(
+        gen_list >>= fun l ->
+        if l = [] then return None
+        else
+          int_range 0 (List.length l - 1) >>= fun i ->
+          int_range 0 100 >>= fun x -> return (Some (l, i, x)))
+      (function
+        | None -> "empty"
+        | Some (l, i, x) -> Format.asprintf "%s i=%d x=%d" (print_list l) i x)
+      (function
+        | None -> true
+        | Some (l, i, x) ->
+          let t = Stree.of_list ~measure l in
+          Stree.get t i = List.nth l i
+          && Stree.to_list (Stree.set ~measure t i x)
+             = List.mapi (fun j y -> if j = i then x else y) l
+          && Stree.to_list (Stree.update ~measure t i (fun y -> y + 1))
+             = List.mapi (fun j y -> if j = i then y + 1 else y) l);
+    qtest "set_range agrees with element-wise set" ~count:500
+      QCheck2.Gen.(
+        gen_list >>= fun l ->
+        let n = List.length l in
+        int_range 0 n >>= fun pos ->
+        int_range 0 (n - pos) >>= fun len ->
+        list_size (return len) (int_range 0 100) >>= fun xs ->
+        return (l, pos, xs))
+      (fun (l, pos, xs) ->
+        Format.asprintf "%s pos=%d xs=%s" (print_list l) pos (print_list xs))
+      (fun (l, pos, xs) ->
+        let t0 = Stree.of_list ~measure l in
+        let t = Stree.set_range ~measure t0 ~pos (Array.of_list xs) in
+        let expect =
+          List.mapi
+            (fun j y ->
+              if j >= pos && j < pos + List.length xs then List.nth xs (j - pos)
+              else y)
+            l
+        in
+        Stree.to_list t = expect
+        && Stree.weight t = List.fold_left (fun a x -> a + measure x) 0 expect
+        && Stree.length t = List.length l);
+    qtest "rank is the prefix measure sum; select inverts it" ~count:500 gen_list
+      print_list (fun l ->
+        let t = Stree.of_list ~measure l in
+        let arr = Array.of_list l in
+        let n = Array.length arr in
+        let naive_rank i =
+          let s = ref 0 in
+          for j = 0 to i - 1 do
+            s := !s + measure arr.(j)
+          done;
+          !s
+        in
+        List.for_all (fun i -> Stree.rank t i = naive_rank i) (List.init (n + 1) Fun.id)
+        && List.for_all
+             (fun k ->
+               let i = Stree.select t k in
+               Stree.rank t i = k && measure arr.(i) = 1)
+             (List.init (Stree.weight t) Fun.id));
+    qtest "fold_range is the sublist fold; fold_nonzero filters" ~count:500
+      QCheck2.Gen.(
+        gen_list >>= fun l ->
+        let n = List.length l in
+        int_range 0 n >>= fun pos ->
+        int_range 0 (n - pos) >>= fun len -> return (l, pos, len))
+      (fun (l, pos, len) -> Format.asprintf "%s [%d,+%d)" (print_list l) pos len)
+      (fun (l, pos, len) ->
+        let t = Stree.of_list ~measure l in
+        List.rev (Stree.fold_range (fun acc x -> x :: acc) [] t ~pos ~len)
+        = List.filteri (fun j _ -> j >= pos && j < pos + len) l
+        && List.rev (Stree.fold_nonzero (fun acc x -> x :: acc) [] t)
+           = List.filter (fun x -> measure x <> 0) l);
+    qtest "prefix_length stops at the first failure" ~count:500 gen_list print_list
+      (fun l ->
+        let p x = x mod 3 <> 0 in
+        let t = Stree.of_list ~measure l in
+        let rec naive = function x :: rest when p x -> 1 + naive rest | _ -> 0 in
+        Stree.prefix_length p t = naive l);
+    qtest "random append/insert sequences stay balanced enough to agree"
+      ~count:200
+      QCheck2.Gen.(list_size (int_range 0 200) (pair (int_range 0 1000) (int_range 0 100)))
+      (fun ops -> Format.asprintf "%d ops" (List.length ops))
+      (fun ops ->
+        let t, l =
+          List.fold_left
+            (fun (t, l) (at, x) ->
+              let i = at mod (Stree.length t + 1) in
+              ( Stree.insert ~measure t i x,
+                List.filteri (fun j _ -> j < i) l
+                @ (x :: List.filteri (fun j _ -> j >= i) l) ))
+            (Stree.empty, []) ops
+        in
+        Stree.to_list t = l);
+  ]
+
+(* ----- Tdoc vs the array-based reference oracle ----- *)
+
+(* A start state and a random op/undo sequence: each step is a valid op
+   on the current document, sometimes followed immediately by its
+   inverse (the document-level undo primitive). *)
+let gen_doc_op_seq =
+  let open QCheck2.Gen in
+  gen_tdoc >>= fun d0 ->
+  int_range 0 25 >>= fun n ->
+  let rec steps doc acc k =
+    if k = 0 then return (d0, List.rev acc)
+    else
+      gen_valid_op ~pr:1 doc >>= fun op ->
+      bool >>= fun undo_too ->
+      let ops = if undo_too then [ op; Op.inverse op ] else [ op ] in
+      steps (Tdoc.apply_all doc ops) (List.rev_append ops acc) (k - 1)
+  in
+  steps d0 [] n
+
+let print_doc_op_seq (d0, ops) =
+  Format.asprintf "%s then @[%a@]" (show_tdoc d0)
+    Fmt.(list ~sep:semi pp_char_op)
+    ops
+
+let differential_tests =
+  [
+    qtest "tree and array documents agree on every projection" ~count:1000
+      gen_doc_op_seq print_doc_op_seq (fun (d0, ops) ->
+        let cells = Tdoc.model_list d0 in
+        let tree = Tdoc.apply_all (Tdoc.of_cells cells) ops in
+        let arr = Tdoc_ref.apply_all (Tdoc_ref.of_cells cells) ops in
+        Tdoc.visible_string tree = Tdoc_ref.visible_string arr
+        && Tdoc.model_list tree = Tdoc_ref.model_list arr
+        && Tdoc.model_length tree = Tdoc_ref.model_length arr
+        && Tdoc.visible_length tree = Tdoc_ref.visible_length arr);
+    qtest "tree and array documents agree on coordinate translations" ~count:500
+      gen_doc_op_seq print_doc_op_seq (fun (d0, ops) ->
+        let cells = Tdoc.model_list d0 in
+        let tree = Tdoc.apply_all (Tdoc.of_cells cells) ops in
+        let arr = Tdoc_ref.apply_all (Tdoc_ref.of_cells cells) ops in
+        let vl = Tdoc.visible_length tree and ml = Tdoc.model_length tree in
+        List.for_all
+          (fun v -> Tdoc.model_of_visible tree v = Tdoc_ref.model_of_visible arr v)
+          (List.init (vl + 1) Fun.id)
+        && List.for_all
+             (fun m -> Tdoc.visible_of_model tree m = Tdoc_ref.visible_of_model arr m)
+             (List.init (ml + 2) Fun.id))
+      (* ml+1 exercises the documented clamp *);
+    qtest "tree and array documents build identical visible-coordinate ops"
+      ~count:500 gen_doc_op_seq print_doc_op_seq (fun (d0, ops) ->
+        let cells = Tdoc.model_list d0 in
+        let tree = Tdoc.apply_all (Tdoc.of_cells cells) ops in
+        let arr = Tdoc_ref.apply_all (Tdoc_ref.of_cells cells) ops in
+        let vl = Tdoc.visible_length tree in
+        List.for_all
+          (fun v ->
+            Op.equal Char.equal
+              (Tdoc.ins_visible ~pr:1 tree v 'q')
+              (Tdoc_ref.ins_visible ~pr:1 arr v 'q'))
+          (List.init (vl + 1) Fun.id)
+        && List.for_all
+             (fun v ->
+               Op.equal Char.equal (Tdoc.del_visible tree v)
+                 (Tdoc_ref.del_visible arr v)
+               &&
+               let tag = { Op.stamp = 999; site = 1 } in
+               Op.equal Char.equal
+                 (Tdoc.up_visible ~tag tree v 'Q')
+                 (Tdoc_ref.up_visible ~tag arr v 'Q'))
+             (List.init vl Fun.id));
+  ]
+
 (* ----- plain Document (positional; used by baselines) ----- *)
 
 let doc_unit_tests =
@@ -666,7 +904,9 @@ let () =
   Alcotest.run "dce_ot"
     [
       ("op", op_unit_tests @ [ test_inverse_cancels ]);
-      ("tdoc", tdoc_unit_tests);
+      ("stree", stree_tests);
+      ("tdoc", tdoc_unit_tests @ tdoc_boundary_tests);
+      ("tdoc-differential", differential_tests);
       ("document", doc_unit_tests @ [ test_doc_impl_equivalence ]);
       ( "transform",
         transform_unit_tests

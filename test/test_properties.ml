@@ -216,6 +216,86 @@ let oplog_properties =
         && List.for_all
              (fun (q : char Request.t) -> Oplog.mem q.Request.id h')
              (Oplog.requests h));
+    (* The log's id index must keep agreeing with a scan of the stored
+       entries through every mutation: append, window-local integration
+       (which permutes entries), undo (which appends a canceller and
+       reflags), set_flag, and compaction (which shifts positions). *)
+    qtest "id index agrees with entry scans through mixed workloads" ~count:500
+      QCheck2.Gen.(
+        gen_local_history >>= fun (_, h) ->
+        let n = List.length (Oplog.requests h) in
+        list_size (int_range 0 4) (int_range 0 n) >>= fun floors ->
+        int_range 0 n >>= fun undo_serial ->
+        int_range 0 n >>= fun validate_serial ->
+        int_range 0 (n + 1) >>= fun compact_upto ->
+        return (h, floors, undo_serial, validate_serial, compact_upto))
+      (fun (h, floors, u, v, c) ->
+        Format.asprintf "|H|=%d remotes=%d undo=%d validate=%d compact=%d"
+          (Oplog.length h) (List.length floors) u v c)
+      (fun (h, floors, undo_serial, validate_serial, compact_upto) ->
+        (* integrate remote site-2 requests whose contexts cover random
+           prefixes of the site-1 history, so the concurrency windows
+           start at different depths and overlap each other *)
+        let h, _ =
+          List.fold_left
+            (fun (h, serial) floor ->
+              let ctx =
+                Vclock.merge
+                  (Vclock.of_list [ (1, floor) ])
+                  (Vclock.of_list [ (2, serial - 1) ])
+              in
+              let q =
+                Request.make ~site:2 ~serial ~op:(Op.ins ~pr:2 0 'z') ~ctx
+                  ~policy_version:0 ~flag:Request.Tentative ()
+              in
+              let _, h = Oplog.integrate q h in
+              (h, serial + 1))
+            (h, 1) floors
+        in
+        let h =
+          if validate_serial = 0 then h
+          else Oplog.set_flag { Request.site = 1; serial = validate_serial }
+              Request.Valid h
+        in
+        let h =
+          if undo_serial = 0 then h
+          else
+            match
+              Oplog.undo ~cancel_version:1 { Request.site = 1; serial = undo_serial } h
+            with
+            | Some (_, h) -> h
+            | None -> h
+        in
+        let h =
+          Oplog.compact ~stable:(Vclock.of_list [ (1, compact_upto) ])
+            ~stable_version:0 h
+        in
+        let scan_normal =
+          List.filter_map
+            (fun (e : char Oplog.entry) ->
+              match e.Oplog.role with
+              | Oplog.Normal -> Some e.Oplog.req
+              | Oplog.Canceller _ -> None)
+            (Oplog.entries h)
+        in
+        Oplog.length h = List.length (Oplog.entries h)
+        && List.for_all
+             (fun (q : char Request.t) ->
+               Oplog.mem q.Request.id h
+               &&
+               match Oplog.find q.Request.id h with
+               | Some q' ->
+                 Request.id_equal q'.Request.id q.Request.id
+                 && q'.Request.flag = q.Request.flag
+                 && Op.equal Char.equal q'.Request.op q.Request.op
+               | None -> false)
+             scan_normal
+        && Oplog.find { Request.site = 9; serial = 1 } h = None
+        && (not (Oplog.mem { Request.site = 9; serial = 1 } h))
+        && Oplog.tentative_requests h
+           = List.filter
+               (fun (q : char Request.t) -> q.Request.flag = Request.Tentative)
+               scan_normal);
   ]
 
 (* ----- Policy / Admin_log cross-checks ----- *)
