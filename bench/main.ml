@@ -851,6 +851,135 @@ let run_check () =
     o.Dce_check.Enum.cases o.Dce_check.Enum.docs dt cases_per_s;
   print_newline ()
 
+(* ----- store: WAL append throughput and recovery latency ----- *)
+
+(* The two questions the durability design turns on: what each fsync
+   policy costs per appended record (the write path runs on every
+   journaled input), and how recovery time grows with log length (the
+   snapshot cadence is exactly the knob that bounds it).  Records are
+   real journal entries — an encoded [Generated] insert — so append
+   throughput includes the codec, and the recovery figures replay them
+   through a live controller, not just the frame scan.  Everything
+   lands in BENCH_store.json. *)
+
+let rec bench_rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun n -> bench_rm_rf (Filename.concat path n)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+
+let run_store () =
+  Printf.printf "== store: WAL append throughput and recovery latency ==\n";
+  let module Wal = Dce_store.Wal in
+  let module Store = Dce_store.Store in
+  let module Persist = Dce_store.Persist in
+  let scratch name =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dce-bench-store-%d-%s" (Unix.getpid ()) name)
+  in
+  let put k v = Obs.Metrics.add (Obs.Metrics.counter bench_metrics ("store." ^ k)) v in
+  (* a representative journal record: one encoded cooperative insert *)
+  let record =
+    Persist.encode_record Dce_wire.Proto.char_codec (Persist.Generated (Op.ins 0 'q'))
+  in
+  Printf.printf "WAL append (record payload = %d bytes before framing):\n"
+    (String.length record);
+  Printf.printf "%14s %10s %12s %10s\n" "fsync" "records" "records/s" "MiB/s";
+  List.iter
+    (fun (policy, n) ->
+      let dir = scratch "wal" in
+      bench_rm_rf dir;
+      Unix.mkdir dir 0o755;
+      let w =
+        match Wal.openfile ~fsync:policy (Filename.concat dir "bench.log") with
+        | Ok (w, _) -> w
+        | Error e -> failwith e
+      in
+      let t0 = now () in
+      for _ = 1 to n do
+        Wal.append w record
+      done;
+      Wal.close w;
+      let dt = Float.max (now () -. t0) 1e-9 in
+      let per_s = float_of_int n /. dt in
+      let label = Store.fsync_policy_to_string policy in
+      put ("append." ^ label ^ ".records_per_s") (int_of_float per_s);
+      Printf.printf "%14s %10d %12.0f %10.1f\n" label n per_s
+        (float_of_int (n * String.length record) /. dt /. (1024. *. 1024.));
+      bench_rm_rf dir)
+    [ (Wal.Always, 2_000); (Wal.Interval 64, 50_000); (Wal.Never, 50_000) ];
+  (* recovery: journal n controller inputs into one generation, then
+     time a cold [Persist.opendir] — snapshot load plus full replay *)
+  Printf.printf "recovery (snapshot + replay of n journaled edits):\n";
+  Printf.printf "%10s %12s %12s\n" "n" "recover ms" "records/s";
+  let config =
+    { Store.fsync = Wal.Never; snapshot_every = max_int; keep_generations = 2 }
+  in
+  let policy = Policy.make ~users:[ 0; 1 ] [ Auth.grant [ Subject.Any ] [ Docobj.Whole ] Right.all ] in
+  let open_journal dir =
+    match
+      Persist.opendir ~config ~eq:Char.equal ~codec:Dce_wire.Proto.char_codec dir
+    with
+    | Ok v -> v
+    | Error e -> failwith e
+  in
+  List.iter
+    (fun n ->
+      let dir = scratch (Printf.sprintf "recover-%d" n) in
+      bench_rm_rf dir;
+      let j, _ = open_journal dir in
+      let c =
+        ref (C.create ~eq:Char.equal ~site:0 ~admin:0 ~policy (Tdoc.of_string "seed"))
+      in
+      (match Persist.checkpoint j !c with Ok () -> () | Error e -> failwith e);
+      for i = 1 to n do
+        let op = Op.ins (i mod 4) 'k' in
+        (match C.generate !c op with
+         | c', C.Accepted _ -> c := c'
+         | _, C.Denied e -> failwith e);
+        Persist.record j (Persist.Generated op)
+      done;
+      Persist.close j;
+      let ms =
+        min_ms ~reps:3 (fun () ->
+            let j, r = open_journal dir in
+            Persist.close j;
+            match r.Persist.controller with
+            | Some _ when r.Persist.replayed = n -> ()
+            | _ -> failwith "store bench: recovery came back wrong")
+      in
+      let per_s = float_of_int n /. (ms /. 1_000.) in
+      put (Printf.sprintf "recover.%d.ms" n) (int_of_float (Float.max ms 1.));
+      put (Printf.sprintf "recover.%d.records_per_s" n) (int_of_float per_s);
+      Printf.printf "%10d %12.1f %12.0f\n" n ms per_s;
+      bench_rm_rf dir)
+    [ 512; 2_048; 8_192 ];
+  (* checkpoint cost at the default cadence's scale: serialize, write
+     atomically, prune — what a site pays every [snapshot_every] inputs *)
+  let dir = scratch "checkpoint" in
+  bench_rm_rf dir;
+  let j, _ = open_journal dir in
+  let c =
+    ref (C.create ~eq:Char.equal ~site:0 ~admin:0 ~policy (Tdoc.of_string initial_text))
+  in
+  (match Persist.checkpoint j !c with Ok () -> () | Error e -> failwith e);
+  let ms =
+    median_ms ~reps:5 (fun () ->
+        match Persist.checkpoint j !c with Ok () -> () | Error e -> failwith e)
+  in
+  let state_kib =
+    String.length (Dce_wire.Proto.Char_proto.encode_state (C.dump !c)) / 1024
+  in
+  put "checkpoint.ms" (int_of_float (Float.max ms 1.));
+  put "checkpoint.state_kib" state_kib;
+  Printf.printf "checkpoint (%d KiB state): %.1f ms\n" state_kib ms;
+  Persist.close j;
+  bench_rm_rf dir;
+  print_newline ()
+
 (* ----- bechamel micro-benchmarks ----- *)
 
 let run_micro () =
@@ -949,6 +1078,7 @@ let () =
     run "extras" run_extras;
     run "netd" run_netd;
     run "check" run_check;
+    run "store" run_store;
     run "micro" run_micro
   in
   (match !trace_file with

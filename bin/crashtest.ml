@@ -1,0 +1,504 @@
+(* crashtest: the recovery torture harness.
+
+   Runs an in-process replica of the deployed topology — N client sites
+   plus a passive relay, every one of them journaling its inputs through
+   [Dce_store.Persist] — and tortures it.  Each cycle:
+
+     1. the sites trade random edits and administrative actions through
+        the relay (deliveries deliberately lag, so there is always
+        traffic in flight when the axe falls);
+     2. one process — a client or the relay itself — is kill-9'd: its
+        controller and journal handle are dropped on the floor, no
+        final checkpoint, nothing graceful;
+     3. with some probability the victim's write-ahead-log tail is
+        mangled the way a torn write would mangle it — truncated by a
+        random count of bytes, or a byte near the end flipped;
+     4. the victim restarts from its data directory alone and the
+        reconnect handshake runs: a client catches up from the relay's
+        session copy (the donor that, like dced, integrated and
+        journaled every message before fanning it out, so it dominates
+        anything the client ever consumed); after a relay restart every
+        client reconnects, re-broadcasting whatever the rolled-back
+        relay can no longer prove acknowledged;
+     5. the network flushes to quiescence.
+
+   The oracle, per cycle:
+
+     - recovery NEVER fails, whatever was done to the tail;
+     - with an intact log, the recovered state fingerprints identical
+       to the pre-kill state — exact replay, not approximate;
+     - after catch-up and the flush, the convergence oracles hold
+       across every site including the relay ([Dce_sim.Convergence]).
+
+   The fsync policy rotates across restarts (always / interval:8 /
+   never) and the snapshot cadence is kept short so every run crosses
+   several store generations.  Exit status 0 iff every cycle passes;
+   on failure the data directories are kept and named for post-mortem. *)
+
+open Dce_core
+module Tdoc = Dce_ot.Tdoc
+module Persist = Dce_store.Persist
+module Store = Dce_store.Store
+module Wal = Dce_store.Wal
+module Proto = Dce_wire.Proto
+module Rng = Dce_sim.Rng
+module Convergence = Dce_sim.Convergence
+
+exception Torture_failure of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Torture_failure s)) fmt
+
+(* Threading an immutable Rng through a torture loop obscures the
+   torture; one ref, drawn from left to right. *)
+let rand_int rng n =
+  let v, r = Rng.int !rng n in
+  rng := r;
+  v
+
+let rand_range rng lo hi =
+  let v, r = Rng.in_range !rng lo hi in
+  rng := r;
+  v
+
+let rand_bool rng p =
+  let v, r = Rng.bool !rng p in
+  rng := r;
+  v
+
+let rand_pick rng l =
+  let v, r = Rng.pick !rng l in
+  rng := r;
+  v
+
+let rand_weighted rng l =
+  let v, r = Rng.weighted !rng l in
+  rng := r;
+  v
+
+(* One journaled process: a client site or the relay. *)
+type node = {
+  id : int;
+  name : string;
+  dir : string;
+  mutable ctrl : char Controller.t;
+  mutable journal : char Persist.t;
+  mailbox : char Controller.message Queue.t;
+      (** undelivered fan-out; keeps filling while the node is down, as
+          the relay's per-connection send queue would *)
+}
+
+type session = { clients : node array; relay : node }
+
+(* Same passive-member site id dced uses. *)
+let relay_site = 1_000_000
+
+let all_nodes sess = Array.to_list sess.clients @ [ sess.relay ]
+
+let fsync_policies = [| Wal.Always; Wal.Interval 8; Wal.Never |]
+
+let config_for cycle =
+  {
+    Store.fsync = fsync_policies.(cycle mod Array.length fsync_policies);
+    snapshot_every = 16;
+    keep_generations = 2;
+  }
+
+let open_journal ~cycle dir =
+  Persist.opendir ~config:(config_for cycle) ~eq:Char.equal
+    ~codec:Proto.char_codec dir
+
+let checkpoint_maybe n =
+  match Persist.maybe_checkpoint n.journal n.ctrl with
+  | Ok _ -> ()
+  | Error e -> failf "%s: checkpoint failed: %s" n.name e
+
+(* Broadcast mirrors dced: the relay integrates and journals the message
+   BEFORE any client can see it — which is what makes the relay a sound
+   catch-up donor (it dominates everything any client ever consumed). *)
+let rec broadcast sess ~from msgs =
+  List.iter
+    (fun m ->
+       if from <> relay_site then begin
+         let ctrl, emitted = Controller.receive sess.relay.ctrl m in
+         sess.relay.ctrl <- ctrl;
+         Persist.record sess.relay.journal (Persist.Received m);
+         checkpoint_maybe sess.relay;
+         if emitted <> [] then broadcast sess ~from:relay_site emitted
+       end;
+       Array.iter
+         (fun c -> if c.id <> from then Queue.add m c.mailbox)
+         sess.clients)
+    msgs
+
+(* Deliver one queued message: integrate, then journal — a message that
+   makes [receive] raise must never poison the log (see Persist). *)
+let deliver sess c m =
+  let ctrl, emitted = Controller.receive c.ctrl m in
+  c.ctrl <- ctrl;
+  Persist.record c.journal (Persist.Received m);
+  checkpoint_maybe c;
+  broadcast sess ~from:c.id emitted
+
+let pump_some sess ~down rng budget =
+  let delivered = ref 0 in
+  (try
+     while !delivered < budget do
+       let ready =
+         Array.to_list sess.clients
+         |> List.filter (fun c ->
+                c.id <> down && not (Queue.is_empty c.mailbox))
+       in
+       if ready = [] then raise Exit;
+       let c = rand_pick rng ready in
+       deliver sess c (Queue.take c.mailbox);
+       incr delivered
+     done
+   with Exit -> ());
+  !delivered
+
+let flush sess rng = ignore (pump_some sess ~down:(-1) rng max_int)
+
+(* {2 Workload} *)
+
+let letter rng = Char.chr (97 + rand_int rng 26)
+
+let random_op rng doc =
+  let n = Tdoc.visible_length doc in
+  if n = 0 then Tdoc.ins_visible doc 0 (letter rng)
+  else
+    match rand_weighted rng [ (5, `Ins); (3, `Del); (2, `Up) ] with
+    | `Ins -> Tdoc.ins_visible doc (rand_int rng (n + 1)) (letter rng)
+    | `Del -> Tdoc.del_visible doc (rand_int rng n)
+    | `Up ->
+      Tdoc.up_visible doc (rand_int rng n)
+        (Char.uppercase_ascii (letter rng))
+
+let do_edit sess c rng =
+  let op = random_op rng (Controller.document c.ctrl) in
+  match Controller.generate c.ctrl op with
+  | ctrl, Controller.Accepted m ->
+    c.ctrl <- ctrl;
+    (* journal before broadcast: the group must never hold a request
+       its origin site could forget in a crash *)
+    Persist.record c.journal (Persist.Generated op);
+    checkpoint_maybe c;
+    broadcast sess ~from:c.id [ m ]
+  | ctrl, Controller.Denied _ -> c.ctrl <- ctrl
+
+(* The torture administrator toggles per-user denials, same shape as the
+   simulator's workload: restrictive actions are what make validation,
+   retroactive undo and the interval check earn their keep. *)
+let do_admin sess c rng users =
+  let negatives =
+    Controller.policy c.ctrl |> Policy.auths
+    |> List.mapi (fun i a -> (i, a))
+    |> List.filter (fun (_, a) -> Auth.is_restrictive a)
+  in
+  let op =
+    if negatives = [] || rand_bool rng 0.6 then
+      let u = rand_pick rng users in
+      let right = rand_pick rng [ Right.Insert; Right.Delete; Right.Update ] in
+      Admin_op.Add_auth (0, Auth.deny [ Subject.User u ] [ Docobj.Whole ] [ right ])
+    else
+      let i, _ = rand_pick rng negatives in
+      Admin_op.Del_auth i
+  in
+  match Controller.admin_update c.ctrl op with
+  | Ok (ctrl, m) ->
+    c.ctrl <- ctrl;
+    Persist.record c.journal (Persist.Admin_cmd op);
+    checkpoint_maybe c;
+    broadcast sess ~from:c.id [ m ]
+  | Error _ -> ()
+
+(* {2 Tail mangling} *)
+
+type mangle = Truncated of int | Flipped of int
+
+let pp_mangle ppf = function
+  | None -> Format.fprintf ppf "log intact"
+  | Some (Truncated n) -> Format.fprintf ppf "tail truncated by %d byte(s)" n
+  | Some (Flipped pos) -> Format.fprintf ppf "byte flipped at offset %d" pos
+
+let mangle_tail rng path =
+  let size = (Unix.stat path).Unix.st_size in
+  if size = 0 then None
+  else if rand_bool rng 0.5 then begin
+    let n = rand_range rng 1 (min 64 size) in
+    let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+    Unix.ftruncate fd (size - n);
+    Unix.close fd;
+    Some (Truncated n)
+  end
+  else begin
+    let pos = size - 1 - rand_int rng (min 64 size) in
+    let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+    ignore (Unix.lseek fd pos Unix.SEEK_SET);
+    let b = Bytes.create 1 in
+    if Unix.read fd b 0 1 <> 1 then failf "mangle: short read on %s" path;
+    Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x5a));
+    ignore (Unix.lseek fd pos Unix.SEEK_SET);
+    if Unix.write fd b 0 1 <> 1 then failf "mangle: short write on %s" path;
+    Unix.close fd;
+    Some (Flipped pos)
+  end
+
+(* {2 Kill, mangle, restart} *)
+
+(* kill -9: no checkpoint, no sync beyond what the policy already did;
+   returns what recovery must reproduce when the tail survives. *)
+let kill n =
+  let gen = Persist.generation n.journal in
+  let pre_fp = Persist.fingerprint n.journal n.ctrl in
+  Persist.close n.journal;
+  (gen, pre_fp)
+
+let restart ~cycle ~mangled ~pre_fp n =
+  match open_journal ~cycle n.dir with
+  | Error e -> failf "cycle %d: recovery of %s failed: %s" cycle n.name e
+  | Ok (j, r) ->
+    let ctrl =
+      match r.Persist.controller with
+      | Some c -> c
+      | None -> failf "cycle %d: %s recovered no state" cycle n.name
+    in
+    (match mangled with
+     | None ->
+       if Persist.fingerprint j ctrl <> pre_fp then
+         failf
+           "cycle %d: %s recovered from an intact log but does not \
+            fingerprint-match its pre-kill state"
+           cycle n.name
+     | Some _ -> ());
+    n.journal <- j;
+    n.ctrl <- ctrl;
+    r
+
+(* The reconnect handshake, as p2pedit runs it against a dced snapshot:
+   catch up from the relay's session copy, checkpoint (the catch-up
+   inputs came from the donor, not the journal, so the log can no
+   longer reproduce this state), re-broadcast what the relay cannot
+   prove acknowledged. *)
+let reconnect sess c =
+  let caught, out = Controller.catch_up c.ctrl sess.relay.ctrl in
+  c.ctrl <- caught;
+  (match Persist.checkpoint c.journal caught with
+   | Ok () -> ()
+   | Error e -> failf "%s: post-catch-up checkpoint failed: %s" c.name e);
+  broadcast sess ~from:c.id out
+
+(* {2 Setup, oracle, teardown} *)
+
+let make_node ~root ~policy ~text ~name id =
+  let dir = Filename.concat root name in
+  match open_journal ~cycle:0 dir with
+  | Error e -> failf "%s: cannot open store: %s" name e
+  | Ok (j, r) ->
+    (match r.Persist.controller with
+     | Some _ -> failf "%s: data dir %s is not empty" name dir
+     | None -> ());
+    let ctrl =
+      Controller.create ~eq:Char.equal ~site:id ~admin:0 ~policy
+        (Tdoc.of_string text)
+    in
+    (match Persist.checkpoint j ctrl with
+     | Ok () -> ()
+     | Error e -> failf "%s: bootstrap checkpoint failed: %s" name e);
+    { id; name; dir; ctrl; journal = j; mailbox = Queue.create () }
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let pp_cell ppf (c : char Tdoc.cell) =
+  Format.fprintf ppf "{%c h%d [%s]}" c.Tdoc.elt c.Tdoc.hidden
+    (String.concat ";"
+       (List.map
+          (fun (w : char Tdoc.write) ->
+             Printf.sprintf "%c@%d.%d r%d" w.Tdoc.value w.Tdoc.wtag.Dce_ot.Op.stamp
+               w.Tdoc.wtag.Dce_ot.Op.site w.Tdoc.retracted)
+          c.Tdoc.writes))
+
+let dump_node n =
+  Format.eprintf "%s (v%d, F=%d Q=%d tentative=%d): %a@." n.name
+    (Controller.version n.ctrl)
+    (Controller.pending_coop n.ctrl)
+    (Controller.pending_admin n.ctrl)
+    (List.length (Controller.tentative n.ctrl))
+    (Format.pp_print_list ~pp_sep:(fun _ () -> ()) pp_cell)
+    (Tdoc.model_list (Controller.document n.ctrl));
+  let st = Controller.dump n.ctrl in
+  List.iter
+    (fun (r : Admin_op.request) ->
+       Format.eprintf "  admin_queue: v%d by %d %a@." r.Admin_op.version
+         r.Admin_op.admin Admin_op.pp r.Admin_op.op)
+    st.Controller.st_admin_queue;
+  List.iter
+    (fun (q : char Dce_ot.Request.t) ->
+       Format.eprintf "  coop_queue: q%d.%d pv%d@."
+         q.Dce_ot.Request.id.Dce_ot.Request.site
+         q.Dce_ot.Request.id.Dce_ot.Request.serial
+         q.Dce_ot.Request.policy_version)
+    st.Controller.st_coop_queue
+
+let check_convergence ~cycle sess =
+  let ctrls = List.map (fun n -> n.ctrl) (all_nodes sess) in
+  match Convergence.explain ctrls with
+  | None -> ()
+  | Some why ->
+    List.iter dump_node (all_nodes sess);
+    failf "cycle %d: divergence after recovery: %s" cycle why
+
+let torture ~cycles ~nsites ~events ~corrupt_prob ~seed ~quiet root =
+  let rng = ref (Rng.of_int seed) in
+  let users = List.init nsites Fun.id in
+  let policy =
+    Policy.make ~users [ Auth.grant [ Subject.Any ] [ Docobj.Whole ] Right.all ]
+  in
+  let sess =
+    {
+      clients =
+        Array.init nsites (fun i ->
+            make_node ~root ~policy ~text:"secure document"
+              ~name:(Printf.sprintf "site-%d" i) i);
+      relay = make_node ~root ~policy ~text:"secure document" ~name:"relay" relay_site;
+    }
+  in
+  let say fmt =
+    if quiet then Format.ifprintf Format.std_formatter fmt
+    else Format.printf fmt
+  in
+  let mangled_cycles = ref 0 in
+  let replayed_total = ref 0 in
+  for cycle = 1 to cycles do
+    (* phase 1: traffic, under-pumped so messages are in flight *)
+    for _ = 1 to events do
+      match rand_weighted rng [ (6, `Edit); (1, `Admin); (3, `Pump) ] with
+      | `Edit -> do_edit sess (rand_pick rng (Array.to_list sess.clients)) rng
+      | `Admin -> do_admin sess sess.clients.(0) rng users
+      | `Pump -> ignore (pump_some sess ~down:(-1) rng 3)
+    done;
+    (* phases 2-4: kill -9, mangle, restart, reconnect *)
+    let victim_relay = rand_int rng (nsites + 1) = nsites in
+    let victim = if victim_relay then sess.relay else sess.clients.(rand_int rng nsites) in
+    let gen, pre_fp = kill victim in
+    let wal_file =
+      Filename.concat victim.dir (Printf.sprintf "wal-%010d.log" gen)
+    in
+    let mangled =
+      if rand_bool rng corrupt_prob then mangle_tail rng wal_file else None
+    in
+    if mangled <> None then incr mangled_cycles;
+    let r = restart ~cycle ~mangled ~pre_fp victim in
+    replayed_total := !replayed_total + r.Persist.replayed;
+    if victim_relay then
+      (* the relay may have rolled back past traffic it already fanned
+         out: every client reconnects, and each one's catch-up
+         re-broadcasts its own requests the relay no longer proves
+         acked — exactly how the group heals a forgetful dced *)
+      Array.iter (fun c -> reconnect sess c) sess.clients
+    else begin
+      broadcast sess ~from:victim.id r.Persist.emitted;
+      reconnect sess victim
+    end;
+    say "cycle %3d/%d: killed %s (fsync %s), %a -> gen %d, %d replayed%s@."
+      cycle cycles victim.name
+      (Store.fsync_policy_to_string (config_for cycle).Store.fsync)
+      pp_mangle mangled (Persist.generation victim.journal) r.Persist.replayed
+      (if r.Persist.truncated_bytes > 0 then
+         Printf.sprintf " (%d torn byte(s) dropped)" r.Persist.truncated_bytes
+       else "");
+    (* phase 5: flush and judge *)
+    flush sess rng;
+    check_convergence ~cycle sess
+  done;
+  (* final oracle: every journal still round-trips exactly *)
+  List.iter
+    (fun n ->
+       let pre = Persist.fingerprint n.journal n.ctrl in
+       Persist.close n.journal;
+       match open_journal ~cycle:0 n.dir with
+       | Error e -> failf "final reopen of %s failed: %s" n.name e
+       | Ok (j, r) -> (
+         match r.Persist.controller with
+         | Some c when Persist.fingerprint j c = pre -> Persist.close j
+         | Some _ -> failf "final reopen of %s does not fingerprint-match" n.name
+         | None -> failf "final reopen of %s came back empty" n.name))
+    (all_nodes sess);
+  Format.printf
+    "crashtest: %d kill/restart cycle(s), %d with a mangled tail, %d record(s) \
+     replayed; every recovery clean, every cycle convergent@."
+    cycles !mangled_cycles !replayed_total;
+  Format.printf "final doc %S (policy v%d)@."
+    (Tdoc.visible_string (Controller.document sess.relay.ctrl))
+    (Controller.version sess.relay.ctrl)
+
+let run cycles nsites events corrupt_prob seed dir keep quiet =
+  if nsites < 2 then begin
+    prerr_endline "crashtest: need at least 2 sites";
+    exit 2
+  end;
+  let root =
+    match dir with
+    | Some d -> d
+    | None ->
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "crashtest-%d" (Unix.getpid ()))
+  in
+  match torture ~cycles ~nsites ~events ~corrupt_prob ~seed ~quiet root with
+  | () -> if not keep then rm_rf root
+  | exception Torture_failure msg ->
+    Printf.eprintf "crashtest: FAILED: %s\n" msg;
+    Printf.eprintf "crashtest: data directories kept in %s\n" root;
+    exit 1
+
+open Cmdliner
+
+let cycles =
+  Arg.(value & opt int 50
+       & info [ "cycles" ] ~docv:"N" ~doc:"Kill-9/restart cycles to run.")
+
+let nsites =
+  Arg.(value & opt int 3
+       & info [ "sites" ] ~docv:"N"
+           ~doc:"Client sites in the session (site 0 is the administrator); \
+                 the relay is an additional kill target.")
+
+let events =
+  Arg.(value & opt int 40
+       & info [ "events" ] ~docv:"N" ~doc:"Workload events per cycle before the kill.")
+
+let corrupt_prob =
+  Arg.(value & opt float 0.5
+       & info [ "corrupt" ] ~docv:"P"
+           ~doc:"Probability that a kill also mangles the victim's log tail.")
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic seed.")
+
+let dir =
+  Arg.(value & opt (some string) None
+       & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Root for the per-site data directories (default: a fresh \
+                 directory under the system temp dir, removed on success).")
+
+let keep =
+  Arg.(value & flag
+       & info [ "keep" ] ~doc:"Keep the data directories even on success.")
+
+let quiet =
+  Arg.(value & flag & info [ "quiet" ] ~doc:"Only print the final summary.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "crashtest"
+       ~doc:"Torture the WAL + snapshot recovery path with kill-9/restart \
+             cycles and torn log tails")
+    Term.(const run $ cycles $ nsites $ events $ corrupt_prob $ seed $ dir
+          $ keep $ quiet)
+
+let () = exit (Cmd.eval cmd)

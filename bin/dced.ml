@@ -27,7 +27,11 @@ module Netd = Dce_netd
    passive group member that only integrates what it relays. *)
 let relay_site = 1_000_000
 
-let run port bind users text heartbeat_ms idle_timeout_ms trace_file metrics_flag =
+let run port bind users text heartbeat_ms idle_timeout_ms data_dir fsync trace_file
+    metrics_flag =
+  (* a peer slamming its socket shut mid-write must surface as EPIPE on
+     that connection, not kill the daemon *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let metrics = if metrics_flag then Some (Obs.Metrics.create ()) else None in
   Dce_wire.Codec.set_metrics metrics;
   let with_sink f =
@@ -35,22 +39,64 @@ let run port bind users text heartbeat_ms idle_timeout_ms trace_file metrics_fla
     | None -> f Obs.Trace.null
     | Some path -> Obs.Trace.with_file path f
   in
+  let fsync =
+    match Dce_store.Store.fsync_policy_of_string fsync with
+    | Ok p -> p
+    | Error e ->
+      prerr_endline ("dced: " ^ e);
+      exit 2
+  in
   with_sink (fun sink ->
-      let all = List.init (users + 1) Fun.id in
-      let policy =
-        Policy.make ~users:all
-          [ Auth.grant [ Subject.Any ] [ Docobj.Whole ] Right.all ]
-      in
-      let controller =
+      let fresh () =
+        let all = List.init (users + 1) Fun.id in
+        let policy =
+          Policy.make ~users:all
+            [ Auth.grant [ Subject.Any ] [ Docobj.Whole ] Right.all ]
+        in
         Controller.create ~eq:Char.equal ~site:relay_site ~admin:0 ~policy ~trace:sink
           (Dce_ot.Tdoc.of_string text)
+      in
+      let journal, controller =
+        match data_dir with
+        | None -> (None, fresh ())
+        | Some dir -> (
+          let config = { Dce_store.Store.default_config with fsync } in
+          match
+            Dce_store.Persist.opendir ~config ~eq:Char.equal ~trace:sink
+              ~codec:Dce_wire.Proto.char_codec dir
+          with
+          | Error e ->
+            prerr_endline ("dced: " ^ e);
+            exit 1
+          | Ok (j, rec_) -> (
+            match rec_.Dce_store.Persist.controller with
+            | Some c ->
+              Printf.printf
+                "dced: recovered session from %s (generation %d, %d log record(s) \
+                 replayed%s)\n%!"
+                dir
+                (Dce_store.Persist.generation j)
+                rec_.Dce_store.Persist.replayed
+                (if rec_.Dce_store.Persist.truncated_bytes > 0 then
+                   Printf.sprintf ", %d torn byte(s) dropped"
+                     rec_.Dce_store.Persist.truncated_bytes
+                 else "");
+              (Some j, c)
+            | None ->
+              let c = fresh () in
+              (match Dce_store.Persist.checkpoint j c with
+               | Ok () -> ()
+               | Error e ->
+                 prerr_endline ("dced: " ^ e);
+                 exit 1);
+              (Some j, c)))
       in
       let addr = Unix.inet_addr_of_string bind in
       let config =
         { Netd.Relay.default_config with heartbeat_ms; idle_timeout_ms }
       in
       let relay =
-        Netd.Relay.create ~config ?metrics ~trace:sink ~addr
+        Netd.Relay.create ~config ?metrics ~trace:sink ~addr ?journal
           ~codec:Dce_wire.Proto.char_codec ~controller ~port ()
       in
       let stop = ref false in
@@ -62,6 +108,15 @@ let run port bind users text heartbeat_ms idle_timeout_ms trace_file metrics_fla
       Netd.Relay.run
         ~on_tick:(fun r -> if !stop then Netd.Relay.shutdown r)
         relay;
+      (match journal with
+       | None -> ()
+       | Some j ->
+         (* a clean shutdown leaves a fresh snapshot so the next start
+            replays nothing *)
+         (match Dce_store.Persist.checkpoint j (Netd.Relay.controller relay) with
+          | Ok () -> ()
+          | Error e -> prerr_endline ("dced: final checkpoint failed: " ^ e));
+         Dce_store.Persist.close j);
       Printf.printf "dced: shut down; final doc %S (policy v%d)\n%!"
         (Dce_ot.Tdoc.visible_string (Controller.document (Netd.Relay.controller relay)))
         (Controller.version (Netd.Relay.controller relay)));
@@ -97,6 +152,19 @@ let idle_timeout_ms =
   Arg.(value & opt int 30000
        & info [ "idle-timeout-ms" ] ~docv:"MS" ~doc:"Drop a silent connection after $(docv).")
 
+let data_dir =
+  Arg.(value & opt (some string) None
+       & info [ "data-dir" ] ~docv:"DIR"
+           ~doc:"Persist the session to $(docv) (write-ahead log + snapshots): a \
+                 killed or crashed daemon restarted on the same directory resumes \
+                 the session with seqnos and late-joiner snapshots intact.")
+
+let fsync =
+  Arg.(value & opt string "interval:64"
+       & info [ "fsync" ] ~docv:"POLICY"
+           ~doc:"Log durability policy with --data-dir: $(b,always), $(b,never), \
+                 or $(b,interval:N) (fsync every N records).")
+
 let trace_file =
   Arg.(value & opt (some string) None
        & info [ "trace" ] ~docv:"FILE"
@@ -113,6 +181,6 @@ let cmd =
   Cmd.v
     (Cmd.info "dced" ~doc:"Relay daemon for multi-process collaborative sessions")
     Term.(const run $ port $ bind $ users $ text $ heartbeat_ms $ idle_timeout_ms
-          $ trace_file $ metrics_flag)
+          $ data_dir $ fsync $ trace_file $ metrics_flag)
 
 let () = exit (Cmd.eval cmd)

@@ -238,8 +238,32 @@ type net_state = {
   client : Netd.Client.t;
   my_site : int;
   sink : Obs.Trace.sink;
+  journal : char Dce_store.Persist.t option;
   mutable ctrl : char Controller.t option;
+  (* messages owed to the group (WAL-replay re-emissions) held until the
+     connection is live: Client.send drops anything sent earlier *)
+  mutable pending : char Controller.message list;
 }
+
+let journal_record st r =
+  match st.journal with
+  | None -> ()
+  | Some j -> (
+    Dce_store.Persist.record j r;
+    match st.ctrl with
+    | None -> ()
+    | Some c -> (
+      match Dce_store.Persist.maybe_checkpoint j c with
+      | Ok _ -> ()
+      | Error e -> Printf.printf "journal error: %s\n%!" e))
+
+let journal_checkpoint st =
+  match (st.journal, st.ctrl) with
+  | Some j, Some c -> (
+    match Dce_store.Persist.checkpoint j c with
+    | Ok () -> ()
+    | Error e -> Printf.printf "journal error: %s\n%!" e)
+  | _ -> ()
 
 let net_show st =
   match st.ctrl with
@@ -263,7 +287,32 @@ let net_handle st = function
       match Controller.load ~eq:Char.equal ~trace:st.sink state with
       | Error e -> Printf.printf "snapshot rejected: %s\n%!" e
       | Ok donor ->
-        st.ctrl <- Some (Controller.rejoin ~site:st.my_site donor);
+        let to_send =
+          match st.ctrl with
+          | Some mine ->
+            (* we hold local state (journal recovery, or a previous
+               connection): keep it, replay the relay's history through
+               our own controller, and re-broadcast whatever the group
+               has not seen — the durable alternative to the lossy
+               [rejoin] *)
+            let mine, out = Controller.catch_up mine donor in
+            st.ctrl <- Some mine;
+            if out <> [] then
+              Printf.printf "caught up; re-broadcasting %d message(s)\n%!"
+                (List.length out);
+            out
+          | None ->
+            st.ctrl <- Some (Controller.rejoin ~site:st.my_site donor);
+            []
+        in
+        let to_send = to_send @ st.pending in
+        st.pending <- [];
+        List.iter
+          (fun m -> Netd.Client.send st.client (Proto.Char_proto.encode_message m))
+          to_send;
+        (* the catch-up inputs came from the snapshot, not the journal:
+           cut a checkpoint so the store reflects the merged state *)
+        journal_checkpoint st;
         Netd.Client.set_stamp st.client (fun () ->
             match st.ctrl with
             | Some c -> (Controller.clock c, Controller.version c)
@@ -282,6 +331,7 @@ let net_handle st = function
         match Controller.receive c m with
         | c, emitted ->
           st.ctrl <- Some c;
+          journal_record st (Dce_store.Persist.Received m);
           List.iter
             (fun m' -> Netd.Client.send st.client (Proto.Char_proto.encode_message m'))
             emitted
@@ -301,9 +351,9 @@ let net_step st timeout_ms =
   List.iter (net_handle st) (Netd.Client.step ~timeout_ms st.client)
 
 let net_pump st ms =
-  let deadline = Unix.gettimeofday () +. (float_of_int ms /. 1000.) in
+  let deadline = Obs.Clock.now_ms () +. float_of_int ms in
   let rec go () =
-    let remaining_ms = (deadline -. Unix.gettimeofday ()) *. 1000. in
+    let remaining_ms = deadline -. Obs.Clock.now_ms () in
     if remaining_ms > 0. && not (Netd.Client.stopped st.client) then begin
       net_step st (int_of_float (Float.min 50. remaining_ms));
       go ()
@@ -315,9 +365,13 @@ let net_edit st op_of_ctrl =
   match st.ctrl with
   | None -> Printf.printf "not joined yet\n%!"
   | Some c -> (
-    match Controller.generate c (op_of_ctrl c) with
+    let op = op_of_ctrl c in
+    match Controller.generate c op with
     | c, Controller.Accepted m ->
       st.ctrl <- Some c;
+      (* journal before broadcast: the group must never hold a request
+         its origin site could forget in a crash *)
+      journal_record st (Dce_store.Persist.Generated op);
       Netd.Client.send st.client (Proto.Char_proto.encode_message m);
       Printf.printf "site %d -> %S\n%!" st.my_site
         (Tdoc.visible_string (Controller.document c))
@@ -330,6 +384,7 @@ let net_admin st op =
     match Controller.admin_update c op with
     | Ok (c, m) ->
       st.ctrl <- Some c;
+      journal_record st (Dce_store.Persist.Admin_cmd op);
       Netd.Client.send st.client (Proto.Char_proto.encode_message m);
       Printf.printf "admin -> policy v%d\n%!" (Controller.version c)
     | Error e -> Printf.printf "admin error: %s\n%!" e)
@@ -379,11 +434,46 @@ let net_command st words =
 (* stdin is consumed with raw reads and an explicit line buffer, so it
    can sit in the same select as the socket without an in_channel
    buffering the lines away between wakeups *)
-let net_session host port my_site sink metrics =
+let net_session host port my_site sink metrics data_dir fsync =
+  let journal, ctrl0, pending0 =
+    match data_dir with
+    | None -> (None, None, [])
+    | Some dir -> (
+      let config = { Dce_store.Store.default_config with fsync } in
+      match
+        Dce_store.Persist.opendir ~config ~eq:Char.equal ~trace:sink
+          ~codec:Proto.char_codec dir
+      with
+      | Error e ->
+        prerr_endline ("p2pedit: " ^ e);
+        exit 1
+      | Ok (j, rec_) ->
+        (match rec_.Dce_store.Persist.controller with
+         | Some _ ->
+           Printf.printf
+             "recovered site %d from %s (generation %d, %d log record(s) replayed%s)\n%!"
+             my_site dir
+             (Dce_store.Persist.generation j)
+             rec_.Dce_store.Persist.replayed
+             (if rec_.Dce_store.Persist.truncated_bytes > 0 then
+                Printf.sprintf ", %d torn byte(s) dropped"
+                  rec_.Dce_store.Persist.truncated_bytes
+              else "")
+         | None -> ());
+        ( Some j,
+          rec_.Dce_store.Persist.controller,
+          rec_.Dce_store.Persist.emitted ))
+  in
+  (match ctrl0 with
+   | Some c when Controller.site c <> my_site ->
+     Printf.eprintf "p2pedit: %s holds state for site %d, not --site %d\n"
+       (Option.get data_dir) (Controller.site c) my_site;
+     exit 2
+   | _ -> ());
   let client =
     Netd.Client.create ?metrics ~trace:sink ~host ~port ~site:my_site ()
   in
-  let st = { client; my_site; sink; ctrl = None } in
+  let st = { client; my_site; sink; journal; ctrl = ctrl0; pending = pending0 } in
   let buf = Buffer.create 256 in
   let chunk = Bytes.create 4096 in
   let eof = ref false in
@@ -424,6 +514,11 @@ let net_session host port my_site sink metrics =
      done
    with Exit -> ());
   Netd.Client.close st.client;
+  (match st.journal with
+   | None -> ()
+   | Some j ->
+     journal_checkpoint st;
+     Dce_store.Persist.close j);
   print_endline "final state:";
   net_show st
 
@@ -449,9 +544,24 @@ let run_local users text trace_file metrics_flag =
   | Some m -> Format.printf "metrics:@.%a@." Obs.Metrics.pp m
   | None -> ()
 
-let run users text trace_file metrics_flag connect site_arg =
+let run users text trace_file metrics_flag connect site_arg data_dir fsync =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let fsync =
+    match Dce_store.Store.fsync_policy_of_string fsync with
+    | Ok p -> p
+    | Error e ->
+      prerr_endline ("p2pedit: " ^ e);
+      exit 2
+  in
   match connect with
-  | None -> run_local users text trace_file metrics_flag
+  | None ->
+    ignore fsync;
+    (match data_dir with
+     | Some _ ->
+       prerr_endline "p2pedit: --data-dir applies to connect mode (--connect)";
+       exit 2
+     | None -> ());
+    run_local users text trace_file metrics_flag
   | Some spec ->
     let host, port =
       match String.rindex_opt spec ':' with
@@ -472,7 +582,7 @@ let run users text trace_file metrics_flag connect site_arg =
       | None -> f Obs.Trace.null
       | Some path -> Obs.Trace.with_file path f
     in
-    with_sink (fun sink -> net_session host port site_arg sink metrics);
+    with_sink (fun sink -> net_session host port site_arg sink metrics data_dir fsync);
     (match trace_file with
      | Some path -> Printf.printf "trace written to %s\n" path
      | None -> ());
@@ -509,9 +619,25 @@ let site_arg =
        & info [ "site" ] ~docv:"N"
            ~doc:"Site id to join as (with --connect; 0 is the administrator).")
 
+let data_dir =
+  Arg.(value & opt (some string) None
+       & info [ "data-dir" ] ~docv:"DIR"
+           ~doc:"With --connect: persist this site to $(docv) (write-ahead log + \
+                 snapshots).  A killed process restarted on the same directory \
+                 replays its log, resumes its identity, and re-broadcasts local \
+                 requests the group has not seen — instead of the lossy snapshot \
+                 rejoin.")
+
+let fsync =
+  Arg.(value & opt string "interval:64"
+       & info [ "fsync" ] ~docv:"POLICY"
+           ~doc:"Log durability policy with --data-dir: $(b,always), $(b,never), \
+                 or $(b,interval:N).")
+
 let cmd =
   Cmd.v
     (Cmd.info "p2pedit" ~doc:"Scriptable secured collaborative editing session")
-    Term.(const run $ users $ text $ trace_file $ metrics_flag $ connect $ site_arg)
+    Term.(const run $ users $ text $ trace_file $ metrics_flag $ connect $ site_arg
+          $ data_dir $ fsync)
 
 let () = exit (Cmd.eval cmd)

@@ -37,6 +37,10 @@ type 'e t = {
      stronger bound, usable once the issuer's own edits are caught up) *)
   peer_integrated : (Vclock.t * int) User_map.t;
   peer_admin_hint : (Vclock.t * int) User_map.t;
+  (* true while [catch_up] replays a donor's history: the administrator
+     must not mint fresh validations for requests whose settled fate is
+     already recorded in the history being replayed *)
+  replay : bool;
 }
 
 let create ?(eq = ( = )) ?(features = secure) ?(trace = Dce_obs.Trace.null) ~site
@@ -57,6 +61,7 @@ let create ?(eq = ( = )) ?(features = secure) ?(trace = Dce_obs.Trace.null) ~sit
     n_admin_queue = 0;
     peer_integrated = User_map.empty;
     peer_admin_hint = User_map.empty;
+    replay = false;
   }
 
 let fork ~site t =
@@ -262,7 +267,7 @@ let apply_admin t (r : Admin_op.request) =
          | Some _ | None -> t
        in
        Ok (t, [])
-     | Admin_op.Transfer_admin u when u = t.site && t.features.validation ->
+     | Admin_op.Transfer_admin u when u = t.site && t.features.validation && not t.replay ->
        let backlog =
          List.map (fun (q : 'e Request.t) -> Admin_op.Validate q.Request.id) (tentative t)
        in
@@ -340,7 +345,7 @@ let integrate_coop t (q : 'e Request.t) =
     (t, [])
   | None ->
     let q, emitted =
-      if is_admin t && not from_admin && t.features.validation then
+      if is_admin t && not from_admin && t.features.validation && not t.replay then
         ({ q with Request.flag = Request.Valid }, [ Admin_op.Validate q.Request.id ])
       else (q, [])
     in
@@ -440,6 +445,8 @@ type 'e state = {
   st_admin_requests : Admin_op.request list;
   st_coop_queue : 'e Request.t list;
   st_admin_queue : Admin_op.request list;
+  st_peer_integrated : (Subject.user * (Vclock.t * int)) list;
+  st_peer_admin_hint : (Subject.user * (Vclock.t * int)) list;
 }
 
 let dump t =
@@ -456,6 +463,8 @@ let dump t =
     st_admin_requests = Admin_log.requests t.admin_log;
     st_coop_queue = t.coop_queue;
     st_admin_queue = t.admin_queue;
+    st_peer_integrated = User_map.bindings t.peer_integrated;
+    st_peer_admin_hint = User_map.bindings t.peer_admin_hint;
   }
 
 let load ?(eq = ( = )) ?(trace = Dce_obs.Trace.null) s =
@@ -487,8 +496,10 @@ let load ?(eq = ( = )) ?(trace = Dce_obs.Trace.null) s =
         admin_queue = s.st_admin_queue;
         n_coop_queue = List.length s.st_coop_queue;
         n_admin_queue = List.length s.st_admin_queue;
-        peer_integrated = User_map.empty;
-        peer_admin_hint = User_map.empty;
+        peer_integrated =
+          User_map.of_seq (List.to_seq s.st_peer_integrated);
+        peer_admin_hint = User_map.of_seq (List.to_seq s.st_peer_admin_hint);
+        replay = false;
       }
 
 let receive t msg =
@@ -520,3 +531,88 @@ let receive t msg =
             n_admin_queue = t.n_admin_queue + 1;
           },
           [] )
+
+(* ----- reconnection by replay (the durable alternative to [rejoin]) ----- *)
+
+(* A stored request's broadcast form: the generation-context operation
+   with the flag it was born with (the administrator's own requests are
+   born valid; everything else starts tentative and is settled by the
+   validations and denials the receiver derives itself). *)
+let born_copy admin_log (q : 'e Request.t) =
+  let born_valid =
+    Admin_log.admin_at admin_log q.Request.policy_version
+    = Some q.Request.id.Request.site
+  in
+  {
+    q with
+    Request.op = q.Request.gen_op;
+    flag = (if born_valid then Request.Valid else Request.Tentative);
+  }
+
+let normal_requests oplog =
+  List.filter_map
+    (fun (e : 'e Oplog.entry) ->
+      match e.Oplog.role with
+      | Oplog.Canceller _ -> None (* derived: every site re-derives its own *)
+      | Oplog.Normal -> Some e.Oplog.req)
+    (Oplog.entries oplog)
+
+let catch_up t donor =
+  (* Reconstruct the donor's whole history as ordinary messages and push
+     it through [receive]: duplicates are dropped, the rest queues until
+     causally ready, and every security decision (interval checks,
+     rejections, undo) is taken by this site's own algorithm rather than
+     trusted from the donor.  Administrative requests go first so the
+     version sequence — and with it the administrator identity at every
+     point — is settled before cooperative traffic integrates. *)
+  let history =
+    List.map (fun r -> Admin r) (Admin_log.requests donor.admin_log)
+    @ List.map
+        (fun q -> Coop (born_copy donor.admin_log q))
+        (normal_requests donor.oplog)
+    @ List.map (fun q -> Coop q) (List.rev donor.coop_queue)
+    @ List.map (fun r -> Admin r) (List.rev donor.admin_queue)
+  in
+  let t, replayed =
+    List.fold_left
+      (fun (t, acc) m ->
+        let t, ms = receive t m in
+        (t, acc @ ms))
+      ({ t with replay = true }, [])
+      history
+  in
+  let t = { t with replay = false } in
+  (* our serial counter must clear everything the group has already seen
+     from us, or fresh requests would be dropped as duplicates *)
+  let t = { t with serial = max t.serial (Vclock.get t.clock t.site) } in
+  (* requests of ours the donor never saw: put them back on the wire
+     (receivers deduplicate, so over-sending is harmless) *)
+  let donor_version = Admin_log.version donor.admin_log in
+  let unacked_admin =
+    Admin_log.requests t.admin_log
+    |> List.filter (fun (r : Admin_op.request) ->
+           r.Admin_op.admin = t.site && r.Admin_op.version > donor_version)
+    |> List.map (fun r -> Admin r)
+  in
+  let donor_floor = Vclock.get donor.clock t.site in
+  let unacked_coop =
+    normal_requests t.oplog
+    |> List.filter (fun (q : 'e Request.t) ->
+           q.Request.id.Request.site = t.site
+           && q.Request.id.Request.serial > donor_floor)
+    |> List.map (fun q -> Coop (born_copy t.admin_log q))
+  in
+  (* if the administrator role sits here, requests that reached the
+     group while this site was down are still tentative everywhere:
+     validate the backlog now (same obligation as an admin transfer) *)
+  let t, validations =
+    if is_admin t && t.features.validation then
+      List.fold_left
+        (fun (t, acc) (q : 'e Request.t) ->
+          match issue_admin t (Admin_op.Validate q.Request.id) with
+          | Ok (t, ms) -> (t, acc @ ms)
+          | Error _ -> (t, acc))
+        (t, []) (tentative t)
+    else (t, [])
+  in
+  (t, replayed @ unacked_admin @ unacked_coop @ validations)

@@ -191,12 +191,30 @@ type 'e state = {
   st_admin_requests : Admin_op.request list;
   st_coop_queue : 'e Dce_ot.Request.t list;
   st_admin_queue : Admin_op.request list;
+  st_peer_integrated : (Subject.user * (Dce_ot.Vclock.t * int)) list;
+      (** stability bookkeeping (see {!stable_frontier}) — preserved so a
+          reloaded site keeps its compaction progress *)
+  st_peer_admin_hint : (Subject.user * (Dce_ot.Vclock.t * int)) list;
 }
 
 val dump : 'e t -> 'e state
 
 val load :
   ?eq:('e -> 'e -> bool) -> ?trace:Dce_obs.Trace.sink -> 'e state -> ('e t, string) result
+
+val catch_up : 'e t -> 'e t -> 'e t * 'e message list
+(** [catch_up t donor]: bring a recovered site up to date from a peer's
+    snapshot {e without} abandoning local state — the durable
+    alternative to {!rejoin}.  The donor's history (administrative log,
+    cooperative log in broadcast form, receive queues) is replayed
+    through this site's own {!receive}, so duplicates drop out and every
+    security decision is re-derived locally rather than trusted.  The
+    returned messages must be broadcast: they carry this site's requests
+    the donor had not yet seen — exactly the traffic {!rejoin}
+    documents as lost — plus, when this site holds the administrator
+    role, validations for the backlog that accumulated while it was
+    down.  Symmetric: if the {e donor} is the stale side, the replay
+    no-ops and the returned messages heal the donor instead. *)
 
 (* {2 Log garbage collection (paper §7's future work)}
 

@@ -51,7 +51,7 @@ type t = {
   mutable stamp : unit -> Dce_ot.Vclock.t * int;
 }
 
-let now_ms () = Unix.gettimeofday () *. 1000.
+let now_ms = Dce_obs.Clock.now_ms
 
 let create ?(config = default_config) ?metrics ?(trace = Obs.Trace.null) ?seed ~host
     ~port ~site () =

@@ -34,7 +34,9 @@ type t = {
   tele : Tele.t;
 }
 
-let now_ms () = Unix.gettimeofday () *. 1000.
+(* Monotonic, injectable for tests: wall-clock steps (NTP, suspend) must
+   not fire idle timeouts or freeze heartbeats. *)
+let now_ms = Dce_obs.Clock.now_ms
 
 let create ?(max_outbox = 4 * 1024 * 1024) ?(max_frame = 8 * 1024 * 1024) ~tele ~peer fd
     =
@@ -113,6 +115,10 @@ let handle_readable t =
       drain_frames t
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
       []
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      (* an abortive close is still just "the peer went away" *)
+      mark_closed t Eof;
+      drain_frames t
     | exception Unix.Unix_error (e, _, _) ->
       mark_closed t (Socket_error (Unix.error_message e));
       []
@@ -139,6 +145,12 @@ let write_outbox t =
         end
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
         -> continue := false
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        (* writing into a connection the peer already slammed shut: a
+           disconnect, not an error (the process-level SIGPIPE must be
+           ignored for the write to surface as EPIPE at all) *)
+        mark_closed t Eof;
+        continue := false
       | exception Unix.Unix_error (e, _, _) ->
         mark_closed t (Socket_error (Unix.error_message e));
         continue := false

@@ -28,6 +28,7 @@ type 'e t = {
   codec : 'e Proto.elt_codec;
   listen_fd : Unix.file_descr;
   port : int;
+  journal : 'e Dce_store.Persist.t option;
   mutable ctrl : 'e Controller.t;
   mutable conns : (Conn.t * peer_state ref) list;
   mutable seen : IntSet.t; (* sites that joined at least once: reconnect detection *)
@@ -41,7 +42,7 @@ let trace t peer action detail =
       (Obs.Trace.Net { peer; action; detail })
 
 let create ?(config = default_config) ?metrics ?(trace = Obs.Trace.null)
-    ?(addr = Unix.inet_addr_loopback) ~codec ~controller ~port () =
+    ?(addr = Unix.inet_addr_loopback) ?journal ~codec ~controller ~port () =
   let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
   Unix.set_nonblock fd;
@@ -59,6 +60,7 @@ let create ?(config = default_config) ?metrics ?(trace = Obs.Trace.null)
     codec;
     listen_fd = fd;
     port;
+    journal;
     ctrl = controller;
     conns = [];
     seen = IntSet.empty;
@@ -111,6 +113,18 @@ let join t conn st site =
   M.incr t.tele.Tele.snapshots;
   trace t site "snapshot" ""
 
+(* Journal an integrated message and checkpoint on cadence.  Journal
+   errors degrade durability, not availability: the live session keeps
+   running and the failure is surfaced through the trace. *)
+let journal_received t m =
+  match t.journal with
+  | None -> ()
+  | Some j -> (
+    Dce_store.Persist.record j (Dce_store.Persist.Received m);
+    match Dce_store.Persist.maybe_checkpoint j t.ctrl with
+    | Ok did -> if did then trace t (Controller.site t.ctrl) "checkpoint" ""
+    | Error e -> trace t (Controller.site t.ctrl) "journal_error" e)
+
 let dispatch t conn st payload =
   match Relay_proto.decode payload with
   | Error e -> Conn.mark_closed conn (Conn.Corrupt ("bad envelope: " ^ e))
@@ -130,8 +144,10 @@ let dispatch t conn st payload =
         match Controller.receive t.ctrl m with
         | ctrl, emitted ->
           (* keep the hosted session current (this is what snapshots are
-             cut from), then fan the original bytes out verbatim *)
+             cut from), journal the accepted input before it produces any
+             external effect, then fan the original bytes out verbatim *)
           t.ctrl <- ctrl;
+          journal_received t m;
           M.incr t.tele.Tele.relayed;
           fan_out t ~except:(Some src) bytes;
           List.iter
@@ -169,7 +185,7 @@ let rec accept_all t =
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
 
 let heartbeats t =
-  let now = Unix.gettimeofday () *. 1000. in
+  let now = Dce_obs.Clock.now_ms () in
   List.iter
     (fun (c, _) ->
       if Conn.alive c then

@@ -39,6 +39,7 @@ val create :
   ?metrics:Dce_obs.Metrics.t ->
   ?trace:Dce_obs.Trace.sink ->
   ?addr:Unix.inet_addr ->
+  ?journal:'e Dce_store.Persist.t ->
   codec:'e Dce_wire.Proto.elt_codec ->
   controller:'e Dce_core.Controller.t ->
   port:int ->
@@ -47,6 +48,13 @@ val create :
 (** Bind and listen ([addr] defaults to loopback; [port] 0 picks an
     ephemeral port, see {!port}).  [controller] is the hosted session's
     initial state; create it with a site id outside the user range.
+    With [journal], every message the hosted controller integrates is
+    appended to the write-ahead log before it is fanned out, and the
+    full state is checkpointed on the journal's cadence — restart the
+    daemon on the same directory and the session (seqnos, late-joiner
+    snapshots, validation state) survives.  The caller opens the
+    journal, checkpoints the initial state if the store was empty, and
+    closes it after {!shutdown}.
     Raises [Unix.Unix_error] if the address cannot be bound. *)
 
 val port : 'e t -> int

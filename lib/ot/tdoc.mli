@@ -96,6 +96,12 @@ val equal_visible : ('e -> 'e -> bool) -> 'e t -> 'e t -> bool
 (** Equality of the visible projections (the paper's convergence
     criterion). *)
 
+val equal_cell : ('e -> 'e -> bool) -> 'e cell -> 'e cell -> bool
+(** Cell equality as {!equal_model} sees it: contents, hide count, and
+    the write {e set} — a cell's [writes] list is in arrival order,
+    which legitimately differs across converged sites, so writes are
+    compared sorted by tag. *)
+
 val equal_model : ('e -> 'e -> bool) -> 'e t -> 'e t -> bool
 (** Cell-wise equality: contents, hide counts, and write sets. *)
 

@@ -20,7 +20,18 @@ type stats = {
           hand-incremented, so these counts cannot drift from the
           telemetry stream *)
   validated : int;  (** likewise: [validate] + born/delivered-valid events at site 0 *)
+  crashes : int;  (** fault injections that actually fired *)
 }
+
+type crash = { site : int; at : int; restart_at : int }
+(** Kill [site] at virtual time [at] and bring it back at [restart_at].
+    The crash captures the site's fully serialized state (the bytes a
+    [Dce_store] snapshot would persist); the restart decodes and reloads
+    it — putting the round trip itself under test — and re-delivers the
+    messages that arrived while the site was down, as a durable relay
+    would.  While down the site generates nothing, and the simulated
+    administrator never acts from a down site.  A serialization defect
+    raises [Failure] instead of diverging silently. *)
 
 type result = {
   controllers : char Dce_core.Controller.t list;  (** site order: admin first *)
@@ -34,6 +45,7 @@ val run :
   ?policy:Dce_core.Policy.t ->
   ?sink:Dce_obs.Trace.sink ->
   ?metrics:Dce_obs.Metrics.t ->
+  ?crashes:crash list ->
   Workload.profile ->
   seed:int ->
   result

@@ -1,0 +1,114 @@
+module Codec = Dce_wire.Codec
+
+type fsync_policy = Always | Interval of int | Never
+
+type recovery = {
+  records : string list;
+  valid_bytes : int;
+  truncated_bytes : int;
+}
+
+type t = {
+  path : string;
+  fsync : fsync_policy;
+  mutable fd : Unix.file_descr option;
+  mutable written : int; (* appends since open *)
+  mutable unsynced : int; (* appends since the last fsync *)
+  mutable size : int;
+}
+
+(* Scan the whole file and keep the longest prefix of valid frames.
+   [Truncated] at the tail is the normal signature of a crash mid-write;
+   [Corrupt] anywhere means bit rot or a torn overwrite — either way
+   everything from the first bad byte on is dropped, because records
+   after a gap cannot be trusted to align with frame boundaries. *)
+let scan data =
+  let stop = String.length data in
+  let rec go pos acc =
+    if pos >= stop then (List.rev acc, pos)
+    else
+      match Codec.unframe_prefix data ~pos with
+      | Ok (payload, next) -> go next (payload :: acc)
+      | Error (Codec.Truncated | Codec.Corrupt _) -> (List.rev acc, pos)
+  in
+  go 0 []
+
+let read_all fd =
+  let len = (Unix.fstat fd).Unix.st_size in
+  let buf = Bytes.create len in
+  let rec fill off =
+    if off < len then
+      match Unix.read fd buf off (len - off) with
+      | 0 -> off (* shrank underneath us; keep what we got *)
+      | n -> fill (off + n)
+    else off
+  in
+  let got = fill 0 in
+  Bytes.sub_string buf 0 got
+
+let openfile ?(fsync = Interval 64) path =
+  match Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ] 0o644 with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "wal: cannot open %s: %s" path (Unix.error_message e))
+  | fd -> (
+    try
+      let data = read_all fd in
+      let records, valid_bytes = scan data in
+      let truncated_bytes = String.length data - valid_bytes in
+      if truncated_bytes > 0 then Unix.ftruncate fd valid_bytes;
+      ignore (Unix.lseek fd valid_bytes Unix.SEEK_SET);
+      Ok
+        ( { path; fsync; fd = Some fd; written = 0; unsynced = 0; size = valid_bytes },
+          { records; valid_bytes; truncated_bytes } )
+    with Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "wal: cannot recover %s: %s" path (Unix.error_message e)))
+
+let live t =
+  match t.fd with
+  | Some fd -> fd
+  | None -> invalid_arg "Wal: log is closed"
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then go (off + Unix.write_substring fd s off (len - off))
+  in
+  go 0
+
+let append t payload =
+  let fd = live t in
+  let framed = Codec.frame payload in
+  write_all fd framed;
+  t.size <- t.size + String.length framed;
+  t.written <- t.written + 1;
+  t.unsynced <- t.unsynced + 1;
+  match t.fsync with
+  | Always ->
+    Unix.fsync fd;
+    t.unsynced <- 0
+  | Interval n when t.unsynced >= n ->
+    Unix.fsync fd;
+    t.unsynced <- 0
+  | Interval _ | Never -> ()
+
+let sync t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+    Unix.fsync fd;
+    t.unsynced <- 0
+
+let records_written t = t.written
+let size_bytes t = t.size
+let path t = t.path
+
+let close t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+    (match t.fsync with
+     | Never -> ()
+     | Always | Interval _ -> ( try Unix.fsync fd with Unix.Unix_error _ -> ()));
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    t.fd <- None

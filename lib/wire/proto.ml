@@ -409,7 +409,10 @@ let put_state ec b (s : _ Controller.state) =
   put_varint b s.Controller.st_initial_admin;
   put_list put_admin_request b s.Controller.st_admin_requests;
   put_list (put_request ec) b s.Controller.st_coop_queue;
-  put_list put_admin_request b s.Controller.st_admin_queue
+  put_list put_admin_request b s.Controller.st_admin_queue;
+  let put_bound = put_pair put_varint (put_pair put_vclock put_varint) in
+  put_list put_bound b s.Controller.st_peer_integrated;
+  put_list put_bound b s.Controller.st_peer_admin_hint
 
 let get_state ec d =
   let* st_site = get_varint d in
@@ -424,6 +427,9 @@ let get_state ec d =
   let* st_admin_requests = get_list get_admin_request d in
   let* st_coop_queue = get_list (get_request ec) d in
   let* st_admin_queue = get_list get_admin_request d in
+  let get_bound = get_pair get_varint (get_pair get_vclock get_varint) in
+  let* st_peer_integrated = get_list get_bound d in
+  let* st_peer_admin_hint = get_list get_bound d in
   Ok
     {
       Controller.st_site;
@@ -438,6 +444,8 @@ let get_state ec d =
       st_admin_requests;
       st_coop_queue;
       st_admin_queue;
+      st_peer_integrated;
+      st_peer_admin_hint;
     }
 
 let encode_state ec s = frame (to_string (put_state ec) s)
@@ -445,6 +453,9 @@ let encode_state ec s = frame (to_string (put_state ec) s)
 let decode_state ec s =
   let* payload = unframe s in
   of_string (get_state ec) payload
+
+let fingerprint ec c =
+  Digest.to_hex (Digest.string (encode_state ec (Controller.dump c)))
 
 module Char_proto = struct
   let encode_message = encode_message char_codec

@@ -36,8 +36,14 @@ val get_request : 'e elt_codec -> Codec.decoder -> 'e Request.t Codec.result
 val put_policy : Codec.encoder -> Policy.t -> unit
 val get_policy : Codec.decoder -> Policy.t Codec.result
 
+val put_admin_op : Codec.encoder -> Admin_op.t -> unit
+val get_admin_op : Codec.decoder -> Admin_op.t Codec.result
+
 val put_admin_request : Codec.encoder -> Admin_op.request -> unit
 val get_admin_request : Codec.decoder -> Admin_op.request Codec.result
+
+val put_message : 'e elt_codec -> Codec.encoder -> 'e Controller.message -> unit
+val get_message : 'e elt_codec -> Codec.decoder -> 'e Controller.message Codec.result
 
 (* {2 Framed top-level encodings} *)
 
@@ -46,6 +52,12 @@ val decode_message : 'e elt_codec -> string -> 'e Controller.message Codec.resul
 
 val encode_state : 'e elt_codec -> 'e Controller.state -> string
 val decode_state : 'e elt_codec -> string -> 'e Controller.state Codec.result
+
+val fingerprint : 'e elt_codec -> 'e Controller.t -> string
+(** A stable hex digest of the controller's full serialized state
+    ({!encode_state} of {!Controller.dump}).  Two controllers with equal
+    fingerprints hold byte-identical persisted state — the recovery
+    oracle's definition of "replayed to exactly the pre-crash state". *)
 
 (** Character documents, the common instantiation. *)
 module Char_proto : sig

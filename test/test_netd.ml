@@ -249,6 +249,54 @@ let conn_tests =
         Alcotest.(check bool) "payload intact" true (!got = [ payload ]);
         Conn.shutdown sender;
         Conn.shutdown receiver);
+    Alcotest.test_case "peer slamming the connection shut mid-flush is Eof" `Quick
+      (fun () ->
+        (* without this the kernel delivers SIGPIPE and kills the
+           process before EPIPE can ever surface — the daemons install
+           the same handler at startup *)
+        Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+        let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        let tele = Tele.make () in
+        let conn = Conn.create ~max_outbox:(32 * 1024 * 1024) ~tele ~peer:"slam" a in
+        Unix.close b;
+        let payload = String.make 65_536 'x' in
+        let rounds = ref 0 in
+        while Conn.alive conn && !rounds < 1_000 do
+          incr rounds;
+          Conn.send conn payload;
+          Conn.handle_writable conn
+        done;
+        (match Conn.closed_reason conn with
+         | Some Conn.Eof -> ()
+         | Some r -> Alcotest.failf "expected Eof, got %s" (Conn.reason_string r)
+         | None -> Alcotest.fail "connection survived writing into a closed peer");
+        Conn.shutdown conn);
+    Alcotest.test_case "idle timers run on the injected clock" `Quick (fun () ->
+        (* the fake source starts slightly ahead of the real clock (the
+           monotone clamp would otherwise freeze it) and is advanced by
+           hand — no sleeping *)
+        let base = Unix.gettimeofday () +. 0.05 in
+        let now = ref base in
+        Obs.Clock.set_source (Some (fun () -> !now));
+        Fun.protect ~finally:(fun () -> Obs.Clock.set_source None) @@ fun () ->
+        let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        let tele = Tele.make () in
+        let sender = Conn.create ~tele ~peer:"tx" a in
+        let receiver = Conn.create ~tele ~peer:"rx" b in
+        let t0_send = Conn.last_send_ms sender in
+        let t0_recv = Conn.last_recv_ms receiver in
+        now := base +. 0.007;
+        Conn.send sender "ping";
+        Conn.handle_writable sender;
+        ignore (Conn.handle_readable receiver);
+        Alcotest.(check (float 0.01))
+          "send stamped 7 fake milliseconds later" 7.0
+          (Conn.last_send_ms sender -. t0_send);
+        Alcotest.(check (float 0.01))
+          "receive stamped 7 fake milliseconds later" 7.0
+          (Conn.last_recv_ms receiver -. t0_recv);
+        Conn.shutdown sender;
+        Conn.shutdown receiver);
   ]
 
 (* ----- loopback integration: 3 sites over real TCP ----- *)

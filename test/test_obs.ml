@@ -282,6 +282,53 @@ let runner_tests =
           stats.Dce_sim.Runner.validated);
   ]
 
+(* ----- clock: monotone clamp and test injection ----- *)
+
+(* Fake sources start slightly ahead of the real clock: the monotone
+   clamp never rewinds below a value already handed out, so a source in
+   the past would read as frozen.  Keeping the offset small means the
+   real clock catches up within a fraction of a second once restored. *)
+let clock_tests =
+  [
+    Alcotest.test_case "an injected source drives both clocks" `Quick (fun () ->
+        let base = Unix.gettimeofday () +. 0.05 in
+        let now = ref base in
+        Obs.Clock.set_source (Some (fun () -> !now));
+        Fun.protect ~finally:(fun () -> Obs.Clock.set_source None) @@ fun () ->
+        let a = Obs.Clock.now_ms () in
+        now := base +. 0.005;
+        let b = Obs.Clock.now_ms () in
+        Alcotest.(check (float 0.01)) "advanced by the source step" 5.0 (b -. a));
+    Alcotest.test_case "a backwards step freezes the ms clock, never rewinds it"
+      `Quick (fun () ->
+        let base = Unix.gettimeofday () +. 0.1 in
+        let now = ref base in
+        Obs.Clock.set_source (Some (fun () -> !now));
+        Fun.protect ~finally:(fun () -> Obs.Clock.set_source None) @@ fun () ->
+        let a = Obs.Clock.now_ms () in
+        now := base -. 0.02;
+        (* NTP stepped the wall clock back *)
+        let b = Obs.Clock.now_ms () in
+        Alcotest.(check (float 0.0001)) "no time elapsed" a b;
+        now := base +. 0.03;
+        let c = Obs.Clock.now_ms () in
+        Alcotest.(check bool) "resumes once real time catches up" true (c > b));
+    Alcotest.test_case "now_ns is strictly increasing even when the source is frozen"
+      `Quick (fun () ->
+        let base = Unix.gettimeofday () +. 0.15 in
+        Obs.Clock.set_source (Some (fun () -> base));
+        Fun.protect ~finally:(fun () -> Obs.Clock.set_source None) @@ fun () ->
+        let a = Obs.Clock.now_ns () in
+        let b = Obs.Clock.now_ns () in
+        let c = Obs.Clock.now_ns () in
+        Alcotest.(check bool) "distinct and ordered" true (a < b && b < c));
+    Alcotest.test_case "set_source None restores a live clock" `Quick (fun () ->
+        Obs.Clock.set_source None;
+        let a = Obs.Clock.now_ms () in
+        let b = Obs.Clock.now_ms () in
+        Alcotest.(check bool) "still monotone" true (b >= a));
+  ]
+
 let () =
   Alcotest.run "dce_obs"
     [
@@ -290,4 +337,5 @@ let () =
       ("jsonl", json_tests);
       ("audit", audit_tests);
       ("runner stats", runner_tests);
+      ("clock", clock_tests);
     ]
