@@ -1042,6 +1042,66 @@ let run_micro () =
     tests;
   print_newline ()
 
+(* ----- obs: the export plane itself -----
+
+   What a scrape costs the scraped process: rendering the exposition,
+   and what the scraper pays to parse and fold it back into a registry
+   (loadgen's merge path).  The registry is shaped like a live
+   daemon's: a few dozen counters, a handful of gauges, four populated
+   histograms. *)
+
+let run_obs () =
+  let put k v = Obs.Metrics.add (Obs.Metrics.counter bench_metrics ("obs." ^ k)) v in
+  let live = Obs.Metrics.create () in
+  for i = 0 to 31 do
+    Obs.Metrics.add (Obs.Metrics.counter live (Printf.sprintf "counter.%d" i))
+      ((i * 1013) + 1)
+  done;
+  for i = 0 to 7 do
+    Obs.Metrics.set (Obs.Metrics.gauge live (Printf.sprintf "gauge.%d" i)) (i * 37)
+  done;
+  for i = 0 to 3 do
+    let h = Obs.Metrics.histogram live (Printf.sprintf "hist.%d" i) in
+    for k = 1 to 2000 do
+      Obs.Metrics.observe h (k * 611 mod 1_000_000)
+    done
+  done;
+  let time iters f =
+    let t0 = Obs.Clock.now_ns () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    let dt = max 1 (Obs.Clock.now_ns () - t0) in
+    (dt / iters, iters * 1_000_000_000 / dt)
+  in
+  let expo = ref "" in
+  let render_ns, render_per_s =
+    time 500 (fun () -> expo := Obs.Export.exposition ~process_stats:false live)
+  in
+  put "exposition_ns" render_ns;
+  put "exposition_per_s" render_per_s;
+  put "exposition_bytes" (String.length !expo);
+  let parsed = ref (Obs.Export.parse_exposition !expo) in
+  let parse_ns, parse_per_s =
+    time 500 (fun () -> parsed := Obs.Export.parse_exposition !expo)
+  in
+  put "parse_ns" parse_ns;
+  put "parse_per_s" parse_per_s;
+  let merge_ns, merge_per_s =
+    time 500 (fun () ->
+        let m2 = Obs.Metrics.create () in
+        Obs.Export.merge_into m2 !parsed)
+  in
+  put "merge_ns" merge_ns;
+  put "merge_per_s" merge_per_s;
+  let snap_ns, snap_per_s = time 2000 (fun () -> ignore (Obs.Export.snapshot live)) in
+  put "snapshot_ns" snap_ns;
+  put "snapshot_per_s" snap_per_s;
+  Printf.printf
+    "obs: exposition %d B; render %d ns, parse %d ns, merge %d ns, snapshot %d \
+     ns per call\n\n"
+    (String.length !expo) render_ns parse_ns merge_ns snap_ns
+
 let () =
   let trace_file = ref None in
   let quick = ref false in
@@ -1079,7 +1139,8 @@ let () =
     run "netd" run_netd;
     run "check" run_check;
     run "store" run_store;
-    run "micro" run_micro
+    run "micro" run_micro;
+    run "obs" run_obs
   in
   (match !trace_file with
    | None -> all ()

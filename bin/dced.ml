@@ -28,11 +28,17 @@ module Netd = Dce_netd
 let relay_site = 1_000_000
 
 let run port bind users text heartbeat_ms idle_timeout_ms data_dir fsync trace_file
-    metrics_flag =
+    metrics_flag admin_port stats_jsonl =
   (* a peer slamming its socket shut mid-write must surface as EPIPE on
      that connection, not kill the daemon *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let metrics = if metrics_flag then Some (Obs.Metrics.create ()) else None in
+  (* the admin socket and the JSONL series both serve the registry, so
+     either implies it *)
+  let metrics =
+    if metrics_flag || admin_port <> None || stats_jsonl <> None then
+      Some (Obs.Metrics.create ())
+    else None
+  in
   Dce_wire.Codec.set_metrics metrics;
   let with_sink f =
     match trace_file with
@@ -54,7 +60,7 @@ let run port bind users text heartbeat_ms idle_timeout_ms data_dir fsync trace_f
             [ Auth.grant [ Subject.Any ] [ Docobj.Whole ] Right.all ]
         in
         Controller.create ~eq:Char.equal ~site:relay_site ~admin:0 ~policy ~trace:sink
-          (Dce_ot.Tdoc.of_string text)
+          ?metrics (Dce_ot.Tdoc.of_string text)
       in
       let journal, controller =
         match data_dir with
@@ -91,6 +97,11 @@ let run port bind users text heartbeat_ms idle_timeout_ms data_dir fsync trace_f
                  exit 1);
               (Some j, c)))
       in
+      let controller =
+        match metrics with
+        | Some m -> Controller.with_metrics m controller
+        | None -> controller
+      in
       let addr = Unix.inet_addr_of_string bind in
       let config =
         { Netd.Relay.default_config with heartbeat_ms; idle_timeout_ms }
@@ -99,15 +110,61 @@ let run port bind users text heartbeat_ms idle_timeout_ms data_dir fsync trace_f
         Netd.Relay.create ~config ?metrics ~trace:sink ~addr ?journal
           ~codec:Dce_wire.Proto.char_codec ~controller ~port ()
       in
+      let sessions () =
+        let c = Netd.Relay.controller relay in
+        Obs.Json.Obj
+          [
+            ("sites", Obs.Json.List
+               (List.map (fun s -> Obs.Json.Int s) (Netd.Relay.connected_sites relay)));
+            ("doc_len", Obs.Json.Int
+               (Dce_ot.Tdoc.visible_length (Controller.document c)));
+            ("policy_version", Obs.Json.Int (Controller.version c));
+            ("pending_coop", Obs.Json.Int (Controller.pending_coop c));
+            ("pending_admin", Obs.Json.Int (Controller.pending_admin c));
+          ]
+      in
+      let healthz () =
+        Obs.Json.Obj
+          [
+            ("status", Obs.Json.String "ok");
+            ("role", Obs.Json.String "relay");
+            ("pid", Obs.Json.Int (Unix.getpid ()));
+            ("port", Obs.Json.Int (Netd.Relay.port relay));
+          ]
+      in
+      let admin =
+        Option.map
+          (fun p -> Netd.Admin.create ?metrics ~healthz ~sessions ~port:p ())
+          admin_port
+      in
+      let series =
+        Option.map (fun path -> Obs.Export.series_create ~path ~interval_ms:1000)
+          stats_jsonl
+      in
       let stop = ref false in
       let handler = Sys.Signal_handle (fun _ -> stop := true) in
       Sys.set_signal Sys.sigint handler;
       Sys.set_signal Sys.sigterm handler;
       Printf.printf "dced: listening on %s:%d (%d user(s) + admin, doc %S)\n%!" bind
         (Netd.Relay.port relay) users text;
-      Netd.Relay.run
-        ~on_tick:(fun r -> if !stop then Netd.Relay.shutdown r)
+      (match admin with
+       | Some a -> Printf.printf "dced: admin socket on %d\n%!" (Netd.Admin.port a)
+       | None -> ());
+      Netd.Relay.run ~tick_ms:100
+        ~on_tick:(fun r ->
+          (match metrics with
+           | Some m ->
+             Obs.Metrics.set (Obs.Metrics.gauge m "netd.conns")
+               (Netd.Relay.conn_count r);
+             Obs.Metrics.set (Obs.Metrics.gauge m "netd.outbox_bytes")
+               (Netd.Relay.outbox_bytes r);
+             Option.iter (fun s -> Obs.Export.series_tick s m) series
+           | None -> ());
+          Option.iter Netd.Admin.step admin;
+          if !stop then Netd.Relay.shutdown r)
         relay;
+      Option.iter Netd.Admin.close admin;
+      Option.iter Obs.Export.series_close series;
       (match journal with
        | None -> ()
        | Some j ->
@@ -177,10 +234,23 @@ let metrics_flag =
            ~doc:"Count transport work (bytes/frames in/out, connection lifecycle); \
                  print the registry on exit.")
 
+let admin_port =
+  Arg.(value & opt (some int) None
+       & info [ "admin" ] ~docv:"PORT"
+           ~doc:"Serve a loopback admin socket on $(docv) (0 = ephemeral): \
+                 $(b,/metrics) (Prometheus text exposition), $(b,/healthz) and \
+                 $(b,/sessions) (JSON).  Implies --metrics.")
+
+let stats_jsonl =
+  Arg.(value & opt (some string) None
+       & info [ "stats-jsonl" ] ~docv:"FILE"
+           ~doc:"Append a JSON metrics snapshot to $(docv) every second (a JSONL \
+                 time series).  Implies --metrics.")
+
 let cmd =
   Cmd.v
     (Cmd.info "dced" ~doc:"Relay daemon for multi-process collaborative sessions")
     Term.(const run $ port $ bind $ users $ text $ heartbeat_ms $ idle_timeout_ms
-          $ data_dir $ fsync $ trace_file $ metrics_flag)
+          $ data_dir $ fsync $ trace_file $ metrics_flag $ admin_port $ stats_jsonl)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,541 @@
+(* loadgen: open-loop SLO load harness for the networked deployment.
+
+   Spawns one relay process plus N editor processes (site 0 is the
+   administrator, so the validation path is exercised), drives each
+   editor open-loop at a configured op rate — the next op is due at
+   start + k/rate regardless of how the system keeps up, so queueing
+   shows in the latency numbers instead of silently throttling the
+   offered load — then scrapes every process's admin endpoint and
+   folds the expositions into one report:
+
+     dune exec bin/loadgen.exe -- --editors 3 --rate 20 --duration 5
+
+   Outputs BENCH_load.json (delivered throughput, end-to-end
+   propagation percentiles, queue depths, overflow/reconnect counts)
+   and leaves one JSONL trace per process in --trace-dir, ready for
+   `trace.exe merge`.  Exits non-zero when nothing was delivered, no
+   end-to-end sample was measured, or the delivery ratio falls under
+   --min-delivery-ratio — the CI regression gate. *)
+
+open Dce_core
+module Obs = Dce_obs
+module Netd = Dce_netd
+module Proto = Dce_wire.Proto
+module Tdoc = Dce_ot.Tdoc
+
+let relay_site = 1_000_000
+
+(* ----- a tiny blocking HTTP GET, for scraping the admin sockets ----- *)
+
+let find_sub hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub hay i m = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let http_get ~port ~path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  try
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.;
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.;
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    let req =
+      Printf.sprintf "GET %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+        path
+    in
+    ignore (Unix.write_substring fd req 0 (String.length req));
+    let buf = Bytes.create 65536 in
+    let b = Buffer.create 4096 in
+    let rec drain () =
+      match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 -> ()
+      | n ->
+        Buffer.add_subbytes b buf 0 n;
+        drain ()
+    in
+    drain ();
+    let raw = Buffer.contents b in
+    match find_sub raw "\r\n\r\n" with
+    | None -> Error "no header/body separator"
+    | Some i ->
+      let body = String.sub raw (i + 4) (String.length raw - i - 4) in
+      if String.length raw >= 12 && String.sub raw 9 3 = "200" then Ok body
+      else Error (String.trim (String.sub raw 0 (min 32 (String.length raw))))
+  with Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+(* ----- the relay process ----- *)
+
+let relay_child ~relay ~admin ~metrics ~oc () =
+  let stop = ref false in
+  let handler = Sys.Signal_handle (fun _ -> stop := true) in
+  Sys.set_signal Sys.sigterm handler;
+  Sys.set_signal Sys.sigint handler;
+  let rec serve () =
+    (* a SIGTERM mid-select surfaces as EINTR; re-enter so on_tick sees
+       the stop flag and shuts down cleanly *)
+    try
+      Netd.Relay.run ~tick_ms:50
+        ~on_tick:(fun r ->
+          Obs.Metrics.set (Obs.Metrics.gauge metrics "netd.conns")
+            (Netd.Relay.conn_count r);
+          Obs.Metrics.set (Obs.Metrics.gauge metrics "netd.outbox_bytes")
+            (Netd.Relay.outbox_bytes r);
+          Netd.Admin.step admin;
+          if !stop then Netd.Relay.shutdown r)
+        relay
+    with Unix.Unix_error (Unix.EINTR, _, _) ->
+      if not (Netd.Relay.stopped relay) then serve ()
+  in
+  serve ();
+  Netd.Admin.close admin;
+  close_out_noerr oc;
+  exit 0
+
+(* ----- an editor process -----
+
+   Status shared with the pre-fork admin callbacks: the parent created
+   the admin socket (so it knows the port), the child updates this
+   cell and steps the server. *)
+
+type editor_cell = {
+  mutable ec_joined : bool;
+  mutable ec_doc_len : int;
+  mutable ec_version : int;
+  mutable ec_pending_coop : int;
+  mutable ec_pending_admin : int;
+  mutable ec_tentative : int;
+  mutable ec_sent : int;
+}
+
+let fresh_cell () =
+  {
+    ec_joined = false;
+    ec_doc_len = 0;
+    ec_version = 0;
+    ec_pending_coop = 0;
+    ec_pending_admin = 0;
+    ec_tentative = 0;
+    ec_sent = 0;
+  }
+
+let editor_child ~cell ~metrics ~admin ~site ~relay_port ~rate ~duration
+    ~trace_path () =
+  let stop = ref false in
+  let handler = Sys.Signal_handle (fun _ -> stop := true) in
+  Sys.set_signal Sys.sigterm handler;
+  Sys.set_signal Sys.sigint handler;
+  let oc = open_out trace_path in
+  let sink = Obs.Trace.to_channel oc in
+  let client =
+    Netd.Client.create ~metrics ~trace:sink ~host:"127.0.0.1" ~port:relay_port
+      ~site ()
+  in
+  let e2e = Obs.Metrics.histogram metrics "e2e.propagation_ns" in
+  let sent_c = Obs.Metrics.counter metrics "load.sent" in
+  let outbox_g = Obs.Metrics.gauge metrics "netd.outbox_bytes" in
+  let ctrl = ref None in
+  let send m =
+    Netd.Client.send client
+      (Proto.Char_proto.encode_message ~stamp:(Proto.stamp_now ~site ()) m)
+  in
+  (* open loop: op k is due at join + k/rate, whether or not the
+     system kept up with op k-1 *)
+  let total = int_of_float (rate *. duration) in
+  let k = ref 0 in
+  let start = ref None in
+  let handle = function
+    | Netd.Client.Connected -> ()
+    | Netd.Client.Snapshot blob -> (
+      match Proto.Char_proto.decode_state blob with
+      | Error _ -> ()
+      | Ok state -> (
+        match Controller.load ~eq:Char.equal ~trace:sink ~metrics state with
+        | Error _ -> ()
+        | Ok donor ->
+          let c =
+            match !ctrl with
+            | Some mine ->
+              let mine, out = Controller.catch_up mine donor in
+              List.iter send out;
+              mine
+            | None -> Controller.rejoin ~site donor
+          in
+          ctrl := Some c;
+          if !start = None then start := Some (Obs.Clock.now_ms ());
+          Netd.Client.set_stamp client (fun () ->
+              match !ctrl with
+              | Some c -> (Controller.clock c, Controller.version c)
+              | None -> (Dce_ot.Vclock.empty, 0))))
+    | Netd.Client.Message blob -> (
+      match Proto.Char_proto.decode_message_stamped blob with
+      | Error _ -> ()
+      | Ok (stamp, m) -> (
+        match !ctrl with
+        | None -> ()
+        | Some c -> (
+          match Controller.receive c m with
+          | c, emitted ->
+            ctrl := Some c;
+            (match stamp with
+             | Some s ->
+               Obs.Metrics.observe e2e (Obs.Clock.now_ns () - s.Proto.s_ns)
+             | None -> ());
+            List.iter send emitted
+          | exception _ -> ())))
+    | Netd.Client.Disconnected _ | Netd.Client.Reconnecting _ -> ()
+    | Netd.Client.Gave_up _ -> stop := true
+  in
+  while not !stop do
+    let due_ms =
+      match !start with
+      | Some t0 when !k < total -> Some (t0 +. (float_of_int !k *. 1000. /. rate))
+      | _ -> None
+    in
+    let timeout_ms =
+      match due_ms with
+      | Some d -> max 0 (min 20 (int_of_float (d -. Obs.Clock.now_ms ())))
+      | None -> 50
+    in
+    let events =
+      try Netd.Client.step ~timeout_ms client
+      with Unix.Unix_error (Unix.EINTR, _, _) -> []
+    in
+    List.iter handle events;
+    Netd.Admin.step admin;
+    Obs.Metrics.set outbox_g (Netd.Client.outbox_bytes client);
+    (match (due_ms, !ctrl) with
+     | Some d, Some c
+       when Obs.Clock.now_ms () >= d && Netd.Client.connected client -> (
+       incr k;
+       let doc = Controller.document c in
+       let len = Tdoc.visible_length doc in
+       let pos = if len = 0 then 0 else !k mod len in
+       let ch = Char.chr (Char.code 'a' + (!k mod 26)) in
+       match Controller.generate c (Tdoc.ins_visible doc pos ch) with
+       | c, Controller.Accepted m ->
+         ctrl := Some c;
+         Obs.Metrics.incr sent_c;
+         cell.ec_sent <- cell.ec_sent + 1;
+         send m
+       | _, Controller.Denied _ -> ())
+     | _ -> ());
+    cell.ec_joined <- Option.is_some !ctrl;
+    match !ctrl with
+    | Some c ->
+      cell.ec_doc_len <- Tdoc.visible_length (Controller.document c);
+      cell.ec_version <- Controller.version c;
+      cell.ec_pending_coop <- Controller.pending_coop c;
+      cell.ec_pending_admin <- Controller.pending_admin c;
+      cell.ec_tentative <- List.length (Controller.tentative c)
+    | None -> ()
+  done;
+  Netd.Client.close client;
+  Netd.Admin.close admin;
+  close_out_noerr oc;
+  exit 0
+
+(* ----- the harness ----- *)
+
+let json_of_summary (s : Obs.Metrics.summary) =
+  Obs.Json.Obj
+    [
+      ("count", Obs.Json.Int s.Obs.Metrics.count);
+      ("sum", Obs.Json.Int s.Obs.Metrics.sum);
+      ("min", Obs.Json.Int s.Obs.Metrics.min);
+      ("max", Obs.Json.Int s.Obs.Metrics.max);
+      ("median", Obs.Json.Float s.Obs.Metrics.p50);
+      ("p95", Obs.Json.Float s.Obs.Metrics.p95);
+      ("p99", Obs.Json.Float s.Obs.Metrics.p99);
+    ]
+
+let reap pid =
+  let rec poll tries =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+      if tries = 0 then begin
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid)
+      end
+      else begin
+        Unix.sleepf 0.1;
+        poll (tries - 1)
+      end
+    | _ | (exception Unix.Unix_error (Unix.ECHILD, _, _)) -> ()
+  in
+  poll 50
+
+let kill_all pids =
+  List.iter
+    (fun pid -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+    pids;
+  List.iter reap pids
+
+let run editors rate duration drain_ms port text trace_dir out min_ratio =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  if editors < 2 then begin
+    prerr_endline "loadgen: need at least 2 editors";
+    exit 2
+  end;
+  (try Unix.mkdir trace_dir 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  (* relay created pre-fork so its ports are known here; the child
+     inherits the bound sockets and runs the loop *)
+  let relay_metrics = Obs.Metrics.create () in
+  let relay_oc = open_out (Filename.concat trace_dir "relay.jsonl") in
+  let relay_sink = Obs.Trace.to_channel relay_oc in
+  let all_users = List.init editors Fun.id in
+  let policy =
+    Policy.make ~users:all_users
+      [ Auth.grant [ Subject.Any ] [ Docobj.Whole ] Right.all ]
+  in
+  let controller =
+    Controller.create ~eq:Char.equal ~site:relay_site ~admin:0 ~policy
+      ~trace:relay_sink ~metrics:relay_metrics (Tdoc.of_string text)
+  in
+  let relay =
+    Netd.Relay.create ~metrics:relay_metrics ~trace:relay_sink
+      ~codec:Proto.char_codec ~controller ~port ()
+  in
+  let relay_port = Netd.Relay.port relay in
+  let relay_admin =
+    Netd.Admin.create ~metrics:relay_metrics
+      ~healthz:(fun () ->
+        Obs.Json.Obj
+          [
+            ("status", Obs.Json.String "ok");
+            ("role", Obs.Json.String "relay");
+            ("port", Obs.Json.Int relay_port);
+          ])
+      ~sessions:(fun () ->
+        let c = Netd.Relay.controller relay in
+        Obs.Json.Obj
+          [
+            ( "sites",
+              Obs.Json.List
+                (List.map
+                   (fun s -> Obs.Json.Int s)
+                   (Netd.Relay.connected_sites relay)) );
+            ("doc_len", Obs.Json.Int (Tdoc.visible_length (Controller.document c)));
+            ("policy_version", Obs.Json.Int (Controller.version c));
+          ])
+      ~port:0 ()
+  in
+  let relay_admin_port = Netd.Admin.port relay_admin in
+  let relay_pid = Unix.fork () in
+  if relay_pid = 0 then
+    relay_child ~relay ~admin:relay_admin ~metrics:relay_metrics ~oc:relay_oc ();
+  (* editors: sites 0..N-1; site 0 is the administrator, so its copies
+     validate the others' tentative requests *)
+  let eds =
+    List.map
+      (fun site ->
+        let metrics = Obs.Metrics.create () in
+        let cell = fresh_cell () in
+        let admin =
+          Netd.Admin.create ~metrics
+            ~healthz:(fun () ->
+              Obs.Json.Obj
+                [
+                  ("status", Obs.Json.String "ok");
+                  ("role", Obs.Json.String "editor");
+                  ("site", Obs.Json.Int site);
+                  ("joined", Obs.Json.Bool cell.ec_joined);
+                ])
+            ~sessions:(fun () ->
+              Obs.Json.Obj
+                [
+                  ("site", Obs.Json.Int site);
+                  ("joined", Obs.Json.Bool cell.ec_joined);
+                  ("doc_len", Obs.Json.Int cell.ec_doc_len);
+                  ("policy_version", Obs.Json.Int cell.ec_version);
+                  ("pending_coop", Obs.Json.Int cell.ec_pending_coop);
+                  ("pending_admin", Obs.Json.Int cell.ec_pending_admin);
+                  ("tentative", Obs.Json.Int cell.ec_tentative);
+                  ("sent", Obs.Json.Int cell.ec_sent);
+                ])
+            ~port:0 ()
+        in
+        let admin_port = Netd.Admin.port admin in
+        let trace_path =
+          Filename.concat trace_dir (Printf.sprintf "site%d.jsonl" site)
+        in
+        let pid = Unix.fork () in
+        if pid = 0 then
+          editor_child ~cell ~metrics ~admin ~site ~relay_port ~rate ~duration
+            ~trace_path ();
+        (site, pid, admin_port))
+      all_users
+  in
+  let pids = relay_pid :: List.map (fun (_, p, _) -> p) eds in
+  Printf.printf
+    "loadgen: relay on %d (admin %d), %d editor(s), %g op/s each for %gs\n%!"
+    relay_port relay_admin_port editors rate duration;
+  (* phase 1: every editor joined *)
+  let joined (_, _, aport) =
+    match http_get ~port:aport ~path:"/healthz" with
+    | Error _ -> false
+    | Ok body -> (
+      match Obs.Json.of_string (String.trim body) with
+      | Error _ -> false
+      | Ok j -> (
+        match Obs.Json.member "joined" j with
+        | Some (Obs.Json.Bool b) -> b
+        | _ -> false))
+  in
+  let join_deadline = Obs.Clock.now_ms () +. 30_000. in
+  let rec wait_join () =
+    if List.for_all joined eds then true
+    else if Obs.Clock.now_ms () > join_deadline then false
+    else begin
+      Unix.sleepf 0.1;
+      wait_join ()
+    end
+  in
+  if not (wait_join ()) then begin
+    prerr_endline "loadgen: editors failed to join within 30s";
+    kill_all pids;
+    exit 2
+  end;
+  Printf.printf "loadgen: all editors joined; driving load...\n%!";
+  (* phase 2: the measurement window, plus drain time for stragglers *)
+  Unix.sleepf (duration +. (float_of_int drain_ms /. 1000.));
+  (* phase 3: scrape every live admin endpoint and merge *)
+  let merged = Obs.Metrics.create () in
+  let scrape_failures = ref [] in
+  List.iter
+    (fun (name, aport) ->
+      match http_get ~port:aport ~path:"/metrics" with
+      | Ok body -> Obs.Export.merge_into merged (Obs.Export.parse_exposition body)
+      | Error e -> scrape_failures := (name ^ ": " ^ e) :: !scrape_failures)
+    (("relay", relay_admin_port)
+     :: List.map (fun (s, _, p) -> (Printf.sprintf "site%d" s, p)) eds);
+  kill_all pids;
+  (* phase 4: the report *)
+  let counters = Obs.Metrics.counters merged in
+  let gauges = Obs.Metrics.gauges merged in
+  let hists = Obs.Metrics.histograms merged in
+  let counter name = try List.assoc name counters with Not_found -> 0 in
+  let sent = counter "load_sent" in
+  let delivered = counter "controller_delivered" in
+  let e2e =
+    try Some (List.assoc "e2e_propagation_ns" hists) with Not_found -> None
+  in
+  let e2e_count = match e2e with Some s -> s.Obs.Metrics.count | None -> 0 in
+  let e2e_p f = match e2e with Some s when e2e_count > 0 -> f s | _ -> 0. in
+  let offered = float_of_int editors *. rate *. duration in
+  (* every sent op should be delivered at the other N-1 editors plus
+     the relay's own controller: N deliveries per op *)
+  let expected = sent * editors in
+  let ratio =
+    if expected = 0 then 0. else float_of_int delivered /. float_of_int expected
+  in
+  let throughput = float_of_int delivered /. duration in
+  let report =
+    Obs.Json.Obj
+      [
+        ("section", Obs.Json.String "load");
+        ("editors", Obs.Json.Int editors);
+        ("rate_per_editor", Obs.Json.Float rate);
+        ("duration_s", Obs.Json.Float duration);
+        ("offered_ops", Obs.Json.Float offered);
+        ("sent_ops", Obs.Json.Int sent);
+        ("delivered", Obs.Json.Int delivered);
+        ("delivery_ratio", Obs.Json.Float ratio);
+        ("throughput_per_s", Obs.Json.Float throughput);
+        ("e2e_samples", Obs.Json.Int e2e_count);
+        ("e2e_p50_ns", Obs.Json.Float (e2e_p (fun s -> s.Obs.Metrics.p50)));
+        ("e2e_p95_ns", Obs.Json.Float (e2e_p (fun s -> s.Obs.Metrics.p95)));
+        ("e2e_p99_ns", Obs.Json.Float (e2e_p (fun s -> s.Obs.Metrics.p99)));
+        ( "counters",
+          Obs.Json.Obj (List.map (fun (n, v) -> (n, Obs.Json.Int v)) counters) );
+        ( "gauges",
+          Obs.Json.Obj (List.map (fun (n, v) -> (n, Obs.Json.Int v)) gauges) );
+        ( "histograms",
+          Obs.Json.Obj (List.map (fun (n, s) -> (n, json_of_summary s)) hists) );
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Obs.Json.to_string report);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "loadgen: sent %d, delivered %d (%.0f%% of expected), %.1f deliveries/s, \
+     e2e p95 %.3f ms (%d sample(s))\n\
+     report written to %s; traces in %s/\n%!"
+    sent delivered (ratio *. 100.) throughput
+    (e2e_p (fun s -> s.Obs.Metrics.p95) /. 1e6)
+    e2e_count out trace_dir;
+  let failures =
+    List.concat
+      [
+        List.map (fun f -> "scrape failed: " ^ f) !scrape_failures;
+        (if delivered = 0 then [ "nothing was delivered" ] else []);
+        (if e2e_count = 0 then [ "no end-to-end latency samples" ] else []);
+        (if ratio < min_ratio then
+           [
+             Printf.sprintf "delivery ratio %.2f under the gate %.2f" ratio
+               min_ratio;
+           ]
+         else []);
+      ]
+  in
+  List.iter (fun f -> Printf.eprintf "loadgen: FAIL: %s\n%!" f) failures;
+  if failures = [] then 0 else 1
+
+open Cmdliner
+
+let editors =
+  Arg.(value & opt int 3
+       & info [ "editors" ] ~docv:"N" ~doc:"Editor processes (>= 2); site 0 is \
+                                            the administrator.")
+
+let rate =
+  Arg.(value & opt float 20.
+       & info [ "rate" ] ~docv:"OPS" ~doc:"Offered load per editor, ops/second \
+                                           (open loop).")
+
+let duration =
+  Arg.(value & opt float 5.
+       & info [ "duration" ] ~docv:"SECONDS" ~doc:"Length of the generation window.")
+
+let drain_ms =
+  Arg.(value & opt int 2000
+       & info [ "drain-ms" ] ~docv:"MS"
+           ~doc:"Extra settle time before scraping, for in-flight messages.")
+
+let port =
+  Arg.(value & opt int 0
+       & info [ "port" ] ~docv:"PORT" ~doc:"Relay TCP port (0 = ephemeral).")
+
+let text =
+  Arg.(value & opt string "abc" & info [ "text" ] ~docv:"TEXT" ~doc:"Initial document.")
+
+let trace_dir =
+  Arg.(value & opt string "loadgen-traces"
+       & info [ "trace-dir" ] ~docv:"DIR"
+           ~doc:"Per-process JSONL traces land here (one per site plus the \
+                 relay), ready for `trace.exe merge`.")
+
+let out =
+  Arg.(value & opt string "BENCH_load.json"
+       & info [ "out" ] ~docv:"FILE" ~doc:"Report file.")
+
+let min_ratio =
+  Arg.(value & opt float 0.
+       & info [ "min-delivery-ratio" ] ~docv:"R"
+           ~doc:"Fail (exit 1) when delivered / (sent * editors) falls under \
+                 $(docv) — the CI throughput-regression gate.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Open-loop SLO load harness: relay + N editors, scraped live")
+    Term.(const run $ editors $ rate $ duration $ drain_ms $ port $ text
+          $ trace_dir $ out $ min_ratio)
+
+let () = exit (Cmd.eval' cmd)

@@ -239,11 +239,22 @@ type net_state = {
   my_site : int;
   sink : Obs.Trace.sink;
   journal : char Dce_store.Persist.t option;
+  metrics : Obs.Metrics.t option;
+  (* origin-stamp to integration latency of incoming stamped messages;
+     points into a disabled registry when --metrics is off *)
+  e2e_ns : Obs.Metrics.histogram;
   mutable ctrl : char Controller.t option;
   (* messages owed to the group (WAL-replay re-emissions) held until the
      connection is live: Client.send drops anything sent earlier *)
   mutable pending : char Controller.message list;
+  mutable admin_srv : Netd.Admin.t option;
 }
+
+(* every outgoing message carries an origin stamp: receivers measure
+   end-to-end propagation from it, and it costs ~15 bytes *)
+let net_send st m =
+  Netd.Client.send st.client
+    (Proto.Char_proto.encode_message ~stamp:(Proto.stamp_now ~site:st.my_site ()) m)
 
 let journal_record st r =
   match st.journal with
@@ -284,7 +295,7 @@ let net_handle st = function
     match Proto.Char_proto.decode_state blob with
     | Error e -> Printf.printf "bad snapshot: %s\n%!" e
     | Ok state -> (
-      match Controller.load ~eq:Char.equal ~trace:st.sink state with
+      match Controller.load ~eq:Char.equal ~trace:st.sink ?metrics:st.metrics state with
       | Error e -> Printf.printf "snapshot rejected: %s\n%!" e
       | Ok donor ->
         let to_send =
@@ -307,9 +318,7 @@ let net_handle st = function
         in
         let to_send = to_send @ st.pending in
         st.pending <- [];
-        List.iter
-          (fun m -> Netd.Client.send st.client (Proto.Char_proto.encode_message m))
-          to_send;
+        List.iter (net_send st) to_send;
         (* the catch-up inputs came from the snapshot, not the journal:
            cut a checkpoint so the store reflects the merged state *)
         journal_checkpoint st;
@@ -319,9 +328,9 @@ let net_handle st = function
             | None -> (Vclock.empty, 0));
         net_show st))
   | Netd.Client.Message blob -> (
-    match Proto.Char_proto.decode_message blob with
+    match Proto.Char_proto.decode_message_stamped blob with
     | Error e -> Printf.printf "bad message: %s\n%!" e
-    | Ok m -> (
+    | Ok (stamp, m) -> (
       match st.ctrl with
       | None -> ()
       | Some c -> (
@@ -331,10 +340,12 @@ let net_handle st = function
         match Controller.receive c m with
         | c, emitted ->
           st.ctrl <- Some c;
+          (match stamp with
+           | Some s ->
+             Obs.Metrics.observe st.e2e_ns (Obs.Clock.now_ns () - s.Proto.s_ns)
+           | None -> ());
           journal_record st (Dce_store.Persist.Received m);
-          List.iter
-            (fun m' -> Netd.Client.send st.client (Proto.Char_proto.encode_message m'))
-            emitted
+          List.iter (net_send st) emitted
         | exception e ->
           let detail =
             match e with
@@ -348,7 +359,8 @@ let net_handle st = function
   | Netd.Client.Gave_up reason -> Printf.printf "gave up: %s\n%!" reason
 
 let net_step st timeout_ms =
-  List.iter (net_handle st) (Netd.Client.step ~timeout_ms st.client)
+  List.iter (net_handle st) (Netd.Client.step ~timeout_ms st.client);
+  Option.iter Netd.Admin.step st.admin_srv
 
 let net_pump st ms =
   let deadline = Obs.Clock.now_ms () +. float_of_int ms in
@@ -372,7 +384,7 @@ let net_edit st op_of_ctrl =
       (* journal before broadcast: the group must never hold a request
          its origin site could forget in a crash *)
       journal_record st (Dce_store.Persist.Generated op);
-      Netd.Client.send st.client (Proto.Char_proto.encode_message m);
+      net_send st m;
       Printf.printf "site %d -> %S\n%!" st.my_site
         (Tdoc.visible_string (Controller.document c))
     | _, Controller.Denied reason -> Printf.printf "denied: %s\n%!" reason)
@@ -385,7 +397,7 @@ let net_admin st op =
     | Ok (c, m) ->
       st.ctrl <- Some c;
       journal_record st (Dce_store.Persist.Admin_cmd op);
-      Netd.Client.send st.client (Proto.Char_proto.encode_message m);
+      net_send st m;
       Printf.printf "admin -> policy v%d\n%!" (Controller.version c)
     | Error e -> Printf.printf "admin error: %s\n%!" e)
 
@@ -434,7 +446,7 @@ let net_command st words =
 (* stdin is consumed with raw reads and an explicit line buffer, so it
    can sit in the same select as the socket without an in_channel
    buffering the lines away between wakeups *)
-let net_session host port my_site sink metrics data_dir fsync =
+let net_session host port my_site sink metrics data_dir fsync admin_port =
   let journal, ctrl0, pending0 =
     match data_dir with
     | None -> (None, None, [])
@@ -470,22 +482,87 @@ let net_session host port my_site sink metrics data_dir fsync =
        (Option.get data_dir) (Controller.site c) my_site;
      exit 2
    | _ -> ());
+  let ctrl0 =
+    match (ctrl0, metrics) with
+    | Some c, Some m -> Some (Controller.with_metrics m c)
+    | _ -> ctrl0
+  in
   let client =
     Netd.Client.create ?metrics ~trace:sink ~host ~port ~site:my_site ()
   in
-  let st = { client; my_site; sink; journal; ctrl = ctrl0; pending = pending0 } in
+  let e2e_ns =
+    let reg =
+      match metrics with Some m -> m | None -> Obs.Metrics.create ~enabled:false ()
+    in
+    Obs.Metrics.histogram reg "e2e.propagation_ns"
+  in
+  let st =
+    {
+      client;
+      my_site;
+      sink;
+      journal;
+      metrics;
+      e2e_ns;
+      ctrl = ctrl0;
+      pending = pending0;
+      admin_srv = None;
+    }
+  in
+  st.admin_srv <-
+    Option.map
+      (fun p ->
+        let healthz () =
+          Obs.Json.Obj
+            [
+              ("status", Obs.Json.String "ok");
+              ("role", Obs.Json.String "editor");
+              ("site", Obs.Json.Int my_site);
+              ("pid", Obs.Json.Int (Unix.getpid ()));
+              ("connected", Obs.Json.Bool (Netd.Client.connected st.client));
+            ]
+        in
+        let sessions () =
+          match st.ctrl with
+          | None -> Obs.Json.Obj [ ("joined", Obs.Json.Bool false) ]
+          | Some c ->
+            Obs.Json.Obj
+              [
+                ("joined", Obs.Json.Bool true);
+                ("site", Obs.Json.Int my_site);
+                ("doc_len", Obs.Json.Int
+                   (Tdoc.visible_length (Controller.document c)));
+                ("policy_version", Obs.Json.Int (Controller.version c));
+                ("pending_coop", Obs.Json.Int (Controller.pending_coop c));
+                ("pending_admin", Obs.Json.Int (Controller.pending_admin c));
+                ("tentative", Obs.Json.Int
+                   (List.length (Controller.tentative c)));
+              ]
+        in
+        let a = Netd.Admin.create ?metrics ~healthz ~sessions ~port:p () in
+        Printf.printf "admin socket on %d\n%!" (Netd.Admin.port a);
+        a)
+      admin_port;
   let buf = Buffer.create 256 in
   let chunk = Bytes.create 4096 in
   let eof = ref false in
   (try
      while not !eof && not (Netd.Client.stopped st.client) do
        let fds =
-         Unix.stdin :: (match Netd.Client.fd st.client with Some fd -> [ fd ] | None -> [])
+         Unix.stdin
+         :: ((match Netd.Client.fd st.client with Some fd -> [ fd ] | None -> [])
+             @ match st.admin_srv with Some a -> Netd.Admin.fds a | None -> [])
        in
        let rd, _, _ =
          try Unix.select fds [] [] 0.1
          with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
        in
+       (match metrics with
+        | Some m ->
+          Obs.Metrics.set
+            (Obs.Metrics.gauge m "netd.outbox_bytes")
+            (Netd.Client.outbox_bytes st.client)
+        | None -> ());
        net_step st 0;
        if List.mem Unix.stdin rd then begin
          (match Unix.read Unix.stdin chunk 0 (Bytes.length chunk) with
@@ -513,6 +590,7 @@ let net_session host port my_site sink metrics data_dir fsync =
        end
      done
    with Exit -> ());
+  Option.iter Netd.Admin.close st.admin_srv;
   Netd.Client.close st.client;
   (match st.journal with
    | None -> ()
@@ -544,7 +622,7 @@ let run_local users text trace_file metrics_flag =
   | Some m -> Format.printf "metrics:@.%a@." Obs.Metrics.pp m
   | None -> ()
 
-let run users text trace_file metrics_flag connect site_arg data_dir fsync =
+let run users text trace_file metrics_flag connect site_arg data_dir fsync admin_port =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let fsync =
     match Dce_store.Store.fsync_policy_of_string fsync with
@@ -575,14 +653,18 @@ let run users text trace_file metrics_flag connect site_arg data_dir fsync =
       Printf.eprintf "p2pedit: --connect expects HOST:PORT, got %S\n" spec;
       exit 2
     end;
-    let metrics = if metrics_flag then Some (Obs.Metrics.create ()) else None in
+    let metrics =
+      if metrics_flag || admin_port <> None then Some (Obs.Metrics.create ())
+      else None
+    in
     Dce_wire.Codec.set_metrics metrics;
     let with_sink f =
       match trace_file with
       | None -> f Obs.Trace.null
       | Some path -> Obs.Trace.with_file path f
     in
-    with_sink (fun sink -> net_session host port site_arg sink metrics data_dir fsync);
+    with_sink (fun sink ->
+        net_session host port site_arg sink metrics data_dir fsync admin_port);
     (match trace_file with
      | Some path -> Printf.printf "trace written to %s\n" path
      | None -> ());
@@ -634,10 +716,17 @@ let fsync =
            ~doc:"Log durability policy with --data-dir: $(b,always), $(b,never), \
                  or $(b,interval:N).")
 
+let admin_port =
+  Arg.(value & opt (some int) None
+       & info [ "admin" ] ~docv:"PORT"
+           ~doc:"With --connect: serve a loopback admin socket on $(docv) (0 = \
+                 ephemeral): $(b,/metrics) (Prometheus text exposition), \
+                 $(b,/healthz) and $(b,/sessions) (JSON).  Implies --metrics.")
+
 let cmd =
   Cmd.v
     (Cmd.info "p2pedit" ~doc:"Scriptable secured collaborative editing session")
     Term.(const run $ users $ text $ trace_file $ metrics_flag $ connect $ site_arg
-          $ data_dir $ fsync)
+          $ data_dir $ fsync $ admin_port)
 
 let () = exit (Cmd.eval cmd)

@@ -128,6 +128,262 @@ let propagation ppf events =
       "@.propagation (generate -> deliver): %d sample(s), p50 %.0f ns, p95 %.0f ns, p99 %.0f ns, max %d ns@."
       s.Metrics.count s.Metrics.p50 s.Metrics.p95 s.Metrics.p99 s.Metrics.max
 
+(* ----- multi-file merge -----
+
+   One JSONL trace per process (each editor, the relay), joined into a
+   cross-process view.  Every process stamps events with its own wall
+   clock, so raw cross-file differences mix true latency with clock
+   skew; we estimate per-process offsets from the traffic itself and
+   report skew-corrected per-site latency histograms, plus the causal
+   audit over every file. *)
+
+module PairM = Map.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+(* Minimum observed generate->deliver gap for every (origin,
+   destination) pair: the raw material for skew estimation. *)
+let min_delays born events =
+  List.fold_left
+    (fun m e ->
+      match e.Trace.kind with
+      | Trace.Deliver { request; _ } -> (
+        match Hashtbl.find_opt born request with
+        | Some (origin, t0) when origin <> e.Trace.site ->
+          let d = e.Trace.t_ns - t0 in
+          PairM.update (origin, e.Trace.site)
+            (function None -> Some d | Some d' -> Some (min d d'))
+            m
+        | _ -> m)
+      | _ -> m)
+    PairM.empty events
+
+(* Per-site clock offsets relative to [reference], in ns: corrected
+   time = t_ns - offset.  When a pair exchanged traffic both ways the
+   symmetric-delay estimate skew = (d_ab - d_ba) / 2 cancels the true
+   network delay; one-directional pairs (the relay never generates)
+   only admit a lower bound, obtained by shifting the minimum observed
+   latency to zero.  Offsets propagate breadth-first from the
+   reference through the traffic graph. *)
+let estimate_offsets ~reference sites delays =
+  let tbl = Hashtbl.create 8 in
+  Hashtbl.replace tbl reference (0, "reference");
+  let q = Queue.create () in
+  Queue.add reference q;
+  while not (Queue.is_empty q) do
+    let a = Queue.pop q in
+    let o_a, _ = Hashtbl.find tbl a in
+    List.iter
+      (fun b ->
+        if b <> a && not (Hashtbl.mem tbl b) then begin
+          let fwd = PairM.find_opt (a, b) delays
+          and bwd = PairM.find_opt (b, a) delays in
+          match fwd, bwd with
+          | Some d_ab, Some d_ba ->
+            Hashtbl.replace tbl b (o_a + ((d_ab - d_ba) / 2), "paired");
+            Queue.add b q
+          | Some d_ab, None ->
+            Hashtbl.replace tbl b (o_a + d_ab, "lower-bound");
+            Queue.add b q
+          | None, Some d_ba ->
+            Hashtbl.replace tbl b (o_a - d_ba, "lower-bound");
+            Queue.add b q
+          | None, None -> ()
+        end)
+      sites
+  done;
+  List.iter
+    (fun s -> if not (Hashtbl.mem tbl s) then Hashtbl.replace tbl s (0, "unsynced"))
+    sites;
+  tbl
+
+let summary_json (s : Metrics.summary) =
+  Json.Obj
+    [
+      ("count", Json.Int s.Metrics.count);
+      ("p50_ns", Json.Float s.Metrics.p50);
+      ("p95_ns", Json.Float s.Metrics.p95);
+      ("p99_ns", Json.Float s.Metrics.p99);
+      ("max_ns", Json.Int s.Metrics.max);
+    ]
+
+let pp_latency_table ppf label per_site =
+  let any = ref false in
+  List.iter
+    (fun (site, h) ->
+      let s = Metrics.summary h in
+      if s.Metrics.count > 0 then begin
+        if not !any then Format.fprintf ppf "@.%s (skew-corrected):@." label;
+        any := true;
+        Format.fprintf ppf
+          "  site %d: %d sample(s), p50 %.0f ns, p95 %.0f ns, p99 %.0f ns, max %d ns@."
+          site s.Metrics.count s.Metrics.p50 s.Metrics.p95 s.Metrics.p99
+          s.Metrics.max
+      end)
+    per_site
+
+let merge_main files reference json_out =
+  let rec read acc = function
+    | [] -> Ok (List.rev acc)
+    | f :: rest -> (
+      match Trace.read_file f with
+      | Error msg -> Error (f ^ ": " ^ msg)
+      | Ok evs -> read ((f, evs) :: acc) rest)
+  in
+  match read [] files with
+  | Error msg ->
+    Format.eprintf "trace: %s@." msg;
+    2
+  | Ok per_file ->
+    let ppf = Format.std_formatter in
+    let events = List.concat_map snd per_file in
+    let sites = sites_of events in
+    (* each site's events must come from exactly one file for the
+       per-file audits to cover per-site ordering *)
+    let home = Hashtbl.create 8 in
+    List.iter
+      (fun (f, evs) ->
+        List.iter
+          (fun e ->
+            match Hashtbl.find_opt home e.Trace.site with
+            | None -> Hashtbl.add home e.Trace.site f
+            | Some f' when f' <> f ->
+              Format.eprintf
+                "trace: warning: site %d appears in both %s and %s@."
+                e.Trace.site f' f
+            | Some _ -> ())
+          evs)
+      per_file;
+    Format.fprintf ppf "merged %d file(s): " (List.length per_file);
+    summary ppf events;
+    (* origin timestamps, and which requests were born tentative *)
+    let born = Hashtbl.create 256 in
+    let born_tentative = Hashtbl.create 256 in
+    List.iter
+      (fun e ->
+        match e.Trace.kind with
+        | Trace.Generate { request; valid } ->
+          if not (Hashtbl.mem born request) then begin
+            Hashtbl.add born request (e.Trace.site, e.Trace.t_ns);
+            if not valid then Hashtbl.add born_tentative request ()
+          end
+        | _ -> ())
+      events;
+    let delays = min_delays born events in
+    let reference =
+      match reference with
+      | Some r -> r
+      | None -> ( match sites with s :: _ -> s | [] -> 0)
+    in
+    let offsets = estimate_offsets ~reference sites delays in
+    let offset s =
+      match Hashtbl.find_opt offsets s with Some (o, _) -> o | None -> 0
+    in
+    Format.fprintf ppf "@.clock offsets (reference site %d):@." reference;
+    List.iter
+      (fun s ->
+        let o, how = Hashtbl.find offsets s in
+        Format.fprintf ppf "  site %d: %+d ns (%s)@." s o how)
+      sites;
+    (* skew-corrected per-destination-site latency histograms *)
+    let m = Metrics.create () in
+    let hist_for tbl fmt site =
+      match Hashtbl.find_opt tbl site with
+      | Some h -> h
+      | None ->
+        let h = Metrics.histogram m (Printf.sprintf fmt site) in
+        Hashtbl.add tbl site h;
+        h
+    in
+    let prop_tbl = Hashtbl.create 8 and valid_tbl = Hashtbl.create 8 in
+    List.iter
+      (fun e ->
+        let corrected request tbl fmt =
+          match Hashtbl.find_opt born request with
+          | Some (origin, t0) when origin <> e.Trace.site ->
+            let lat =
+              e.Trace.t_ns - offset e.Trace.site - (t0 - offset origin)
+            in
+            Metrics.observe (hist_for tbl fmt e.Trace.site) (max 0 lat)
+          | _ -> ()
+        in
+        match e.Trace.kind with
+        | Trace.Deliver { request; _ } ->
+          corrected request prop_tbl "propagation.site_%d_ns"
+        | Trace.Validate request ->
+          if Hashtbl.mem born_tentative request then
+            corrected request valid_tbl "validation.site_%d_ns"
+        | _ -> ())
+      events;
+    let by_site tbl =
+      List.filter_map
+        (fun s ->
+          Option.map (fun h -> (s, h)) (Hashtbl.find_opt tbl s))
+        sites
+    in
+    let prop = by_site prop_tbl and valid = by_site valid_tbl in
+    pp_latency_table ppf "propagation (generate -> deliver)" prop;
+    pp_latency_table ppf "admin validation (tentative generate -> validate)" valid;
+    (* the audit's checks are all per-site, and every site lives in one
+       file, so auditing file by file covers the merged trace *)
+    let violations =
+      List.concat_map
+        (fun (f, evs) ->
+          List.map (fun v -> f ^ ": " ^ v) (Audit.causality evs))
+        per_file
+    in
+    Format.fprintf ppf "@.%a" Audit.pp_report violations;
+    (match json_out with
+     | None -> ()
+     | Some path ->
+       let site_list tbl_pairs =
+         Json.List
+           (List.filter_map
+              (fun (s, h) ->
+                let sm = Metrics.summary h in
+                if sm.Metrics.count = 0 then None
+                else
+                  Some
+                    (Json.Obj
+                       (("site", Json.Int s)
+                        :: (match summary_json sm with
+                            | Json.Obj fields -> fields
+                            | _ -> []))))
+              tbl_pairs)
+       in
+       let report =
+         Json.Obj
+           [
+             ("files", Json.Int (List.length per_file));
+             ("events", Json.Int (List.length events));
+             ("sites", Json.List (List.map (fun s -> Json.Int s) sites));
+             ("reference_site", Json.Int reference);
+             ( "offsets",
+               Json.List
+                 (List.map
+                    (fun s ->
+                      let o, how = Hashtbl.find offsets s in
+                      Json.Obj
+                        [
+                          ("site", Json.Int s);
+                          ("offset_ns", Json.Int o);
+                          ("method", Json.String how);
+                        ])
+                    sites) );
+             ("propagation", site_list prop);
+             ("validation", site_list valid);
+             ("violations", Json.Int (List.length violations));
+           ]
+       in
+       let oc = open_out path in
+       output_string oc (Json.to_string report);
+       output_char oc '\n';
+       close_out oc;
+       Format.fprintf ppf "@.report written to %s@." path);
+    if violations = [] then 0 else 1
+
 (* ----- entry point ----- *)
 
 let main file only_site limit quiet =
@@ -164,9 +420,54 @@ let quiet =
   Arg.(value & flag
        & info [ "quiet"; "q" ] ~doc:"Only the summary and the causality check.")
 
-let cmd =
-  Cmd.v
-    (Cmd.info "trace" ~doc:"Inspect and audit a JSONL trace")
-    Term.(const main $ file $ only_site $ limit $ quiet)
+let inspect_term = Term.(const main $ file $ only_site $ limit $ quiet)
 
-let () = exit (Cmd.eval' cmd)
+let merge_files =
+  Arg.(non_empty & pos_all file []
+       & info [] ~docv:"TRACE" ~doc:"Per-process JSONL trace files to merge.")
+
+let merge_reference =
+  Arg.(value & opt (some int) None
+       & info [ "ref" ] ~docv:"SITE"
+           ~doc:"Reference site for clock-offset estimation (default: the \
+                 lowest site id present).")
+
+let merge_json =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~docv:"FILE" ~doc:"Also write the report as JSON to $(docv).")
+
+let merge_cmd =
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:"Join per-process traces into a cross-process latency report"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Each process of a distributed session (every p2pedit editor, \
+              the dced relay) writes its own JSONL trace against its own \
+              clock.  $(tname) estimates per-process clock offsets from the \
+              traffic itself — symmetric minimum one-way delays where a pair \
+              exchanged requests both ways, a zero-latency lower bound \
+              otherwise — and reports skew-corrected per-site propagation \
+              (generate to deliver) and administrative validation (tentative \
+              generate to validate) latency histograms, plus the causal \
+              audit over every file.  Exits non-zero on audit violations.";
+         ])
+    Term.(const merge_main $ merge_files $ merge_reference $ merge_json)
+
+let inspect_cmd =
+  Cmd.v (Cmd.info "trace" ~doc:"Inspect and audit JSONL traces") inspect_term
+
+(* Cmdliner groups refuse positional arguments on the default command, so
+   dispatch by hand: `trace merge ...` joins per-process traces, anything
+   else is the original single-file inspector. *)
+let () =
+  let argv = Sys.argv in
+  if Array.length argv > 1 && argv.(1) = "merge" then begin
+    let argv =
+      Array.append [| argv.(0) ^ " merge" |] (Array.sub argv 2 (Array.length argv - 2))
+    in
+    exit (Cmd.eval' ~argv merge_cmd)
+  end
+  else exit (Cmd.eval' inspect_cmd)

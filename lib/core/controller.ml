@@ -16,6 +16,51 @@ let naive = { retroactive_undo = false; interval_check = false; validation = fal
 
 module User_map = Map.Make (Int)
 
+(* Optional live meters: counters at every security decision point and
+   level gauges refreshed after each state transition.  When no registry
+   is supplied, handles point into a shared disabled registry and every
+   update is a single dead branch — same always-compiled-in contract as
+   the trace sink. *)
+module M = Dce_obs.Metrics
+
+type meters = {
+  m_generated : M.counter;
+  m_denied_local : M.counter;
+  m_delivered : M.counter;
+  m_invalidated : M.counter;
+  m_validated : M.counter;
+  m_admin_applied : M.counter;
+  m_undone : M.counter;
+  m_dups : M.counter;
+  g_pending_coop : M.gauge;
+  g_pending_admin : M.gauge;
+  g_oplog : M.gauge;
+  g_doc : M.gauge;
+  g_version : M.gauge;
+}
+
+let disabled_registry = lazy (M.create ~enabled:false ())
+
+let meters_of metrics =
+  let reg =
+    match metrics with Some m -> m | None -> Lazy.force disabled_registry
+  in
+  {
+    m_generated = M.counter reg "controller.generated";
+    m_denied_local = M.counter reg "controller.denied_local";
+    m_delivered = M.counter reg "controller.delivered";
+    m_invalidated = M.counter reg "controller.invalidated";
+    m_validated = M.counter reg "controller.validated";
+    m_admin_applied = M.counter reg "controller.admin_applied";
+    m_undone = M.counter reg "controller.undone";
+    m_dups = M.counter reg "controller.dups";
+    g_pending_coop = M.gauge reg "controller.pending_coop";
+    g_pending_admin = M.gauge reg "controller.pending_admin";
+    g_oplog = M.gauge reg "controller.oplog_live";
+    g_doc = M.gauge reg "controller.doc_visible";
+    g_version = M.gauge reg "controller.policy_version";
+  }
+
 type 'e t = {
   site : Subject.user;
   features : features;
@@ -41,10 +86,11 @@ type 'e t = {
      must not mint fresh validations for requests whose settled fate is
      already recorded in the history being replayed *)
   replay : bool;
+  m : meters;
 }
 
-let create ?(eq = ( = )) ?(features = secure) ?(trace = Dce_obs.Trace.null) ~site
-    ~admin ~policy doc =
+let create ?(eq = ( = )) ?(features = secure) ?(trace = Dce_obs.Trace.null)
+    ?metrics ~site ~admin ~policy doc =
   {
     site;
     features;
@@ -62,6 +108,7 @@ let create ?(eq = ( = )) ?(features = secure) ?(trace = Dce_obs.Trace.null) ~sit
     peer_integrated = User_map.empty;
     peer_admin_hint = User_map.empty;
     replay = false;
+    m = meters_of metrics;
   }
 
 let fork ~site t =
@@ -88,6 +135,19 @@ let clock t = t.clock
 let pending_coop t = t.n_coop_queue
 let pending_admin t = t.n_admin_queue
 let tentative t = Oplog.tentative_requests t.oplog
+
+(* refresh the level gauges; returns [t] so call sites can tail it *)
+let note_levels t =
+  M.set t.m.g_pending_coop t.n_coop_queue;
+  M.set t.m.g_pending_admin t.n_admin_queue;
+  M.set t.m.g_oplog (Oplog.live_length t.oplog);
+  M.set t.m.g_doc (Tdoc.visible_length t.doc);
+  M.set t.m.g_version (version t);
+  t
+
+(* Meters, like trace sinks, are process-local and not part of persisted
+   state: re-attach them after a [load]/restore. *)
+let with_metrics metrics t = note_levels { t with m = meters_of (Some metrics) }
 
 (* Telemetry: every security decision point emits a structured event
    stamped with this site's id, vector clock and policy version.  [ev]
@@ -158,6 +218,7 @@ let generate t op =
   let op = Op.with_stamp ~site:t.site ~stamp:(Vclock.sum t.clock + 1) op in
   if not (Policy.check_op (policy t) ~user:t.site op) then begin
     ev t (Dce_obs.Trace.Check_local { granted = false });
+    M.incr t.m.m_denied_local;
     (t, Denied "denied by the local policy copy")
   end
   else begin
@@ -176,7 +237,8 @@ let generate t op =
     ev t
       (Dce_obs.Trace.Generate
          { request = q.Request.id; valid = flag = Request.Valid });
-    (t, Accepted (Coop q))
+    M.incr t.m.m_generated;
+    (note_levels t, Accepted (Coop q))
   end
 
 (* A composite edit: pre-check every operation, then execute the run.
@@ -233,6 +295,7 @@ let enforce t r =
             ev t
               (Dce_obs.Trace.Retroactive_undo
                  { request = qt.Request.id; cancel_version = r.Admin_op.version });
+            M.incr t.m.m_undone;
             t)
       t (tentative t)
 
@@ -247,6 +310,7 @@ let apply_admin t (r : Admin_op.request) =
   | Error e -> Error e
   | Ok admin_log ->
     let t = { t with admin_log } in
+    M.incr t.m.m_admin_applied;
     if Dce_obs.Trace.enabled t.trace then
       ev t
         (Dce_obs.Trace.Admin_apply
@@ -263,6 +327,7 @@ let apply_admin t (r : Admin_op.request) =
          | Some q when q.Request.flag = Request.Tentative ->
            let t = { t with oplog = Oplog.set_flag id Request.Valid t.oplog } in
            ev t (Dce_obs.Trace.Validate id);
+           M.incr t.m.m_validated;
            t
          | Some _ | None -> t
        in
@@ -297,7 +362,7 @@ let admin_update t op =
   else
     match issue_admin t op with
     | Error e -> Error e
-    | Ok (t, [ m ]) -> Ok (t, m)
+    | Ok (t, [ m ]) -> Ok (note_levels t, m)
     | Ok (_, _) -> assert false (* user-issued operations trigger no follow-ups *)
 
 (* ----- Algorithm 3: remote cooperative requests ----- *)
@@ -342,6 +407,7 @@ let integrate_coop t (q : 'e Request.t) =
     let clock = Vclock.tick t.clock q.Request.id.Request.site in
     let t = { t with doc; oplog; clock } in
     ev t (Dce_obs.Trace.Invalidate { request = q.Request.id; cancel_version });
+    M.incr t.m.m_invalidated;
     (t, [])
   | None ->
     let q, emitted =
@@ -360,6 +426,7 @@ let integrate_coop t (q : 'e Request.t) =
            gen_version = q.Request.policy_version;
            valid = q.Request.flag = Request.Valid;
          });
+    M.incr t.m.m_delivered;
     (* the administrator's validation consumes the next version number
        and is broadcast *)
     List.fold_left
@@ -467,7 +534,7 @@ let dump t =
     st_peer_admin_hint = User_map.bindings t.peer_admin_hint;
   }
 
-let load ?(eq = ( = )) ?(trace = Dce_obs.Trace.null) s =
+let load ?(eq = ( = )) ?(trace = Dce_obs.Trace.null) ?metrics s =
   let rec replay l = function
     | [] -> Ok l
     | r :: rest -> (
@@ -500,6 +567,7 @@ let load ?(eq = ( = )) ?(trace = Dce_obs.Trace.null) s =
           User_map.of_seq (List.to_seq s.st_peer_integrated);
         peer_admin_hint = User_map.of_seq (List.to_seq s.st_peer_admin_hint);
         replay = false;
+        m = meters_of metrics;
       }
 
 let receive t msg =
@@ -510,11 +578,17 @@ let receive t msg =
       || List.exists (fun q' -> Request.id_equal q'.Request.id q.Request.id) t.coop_queue
     in
     ev t (Dce_obs.Trace.Receive { coop = true; dup });
-    if dup then (t, [])
+    if dup then begin
+      M.incr t.m.m_dups;
+      (t, [])
+    end
     else
-      drain
-        ( { t with coop_queue = q :: t.coop_queue; n_coop_queue = t.n_coop_queue + 1 },
-          [] )
+      let t, msgs =
+        drain
+          ( { t with coop_queue = q :: t.coop_queue; n_coop_queue = t.n_coop_queue + 1 },
+            [] )
+      in
+      (note_levels t, msgs)
   | Admin r ->
     let t = note_admin_hint t r in
     let dup =
@@ -522,15 +596,21 @@ let receive t msg =
       || List.exists (fun r' -> r'.Admin_op.version = r.Admin_op.version) t.admin_queue
     in
     ev t (Dce_obs.Trace.Receive { coop = false; dup });
-    if dup then (t, [])
+    if dup then begin
+      M.incr t.m.m_dups;
+      (t, [])
+    end
     else
-      drain
-        ( {
-            t with
-            admin_queue = r :: t.admin_queue;
-            n_admin_queue = t.n_admin_queue + 1;
-          },
-          [] )
+      let t, msgs =
+        drain
+          ( {
+              t with
+              admin_queue = r :: t.admin_queue;
+              n_admin_queue = t.n_admin_queue + 1;
+            },
+            [] )
+      in
+      (note_levels t, msgs)
 
 (* ----- reconnection by replay (the durable alternative to [rejoin]) ----- *)
 

@@ -80,6 +80,7 @@ val create :
   ?eq:('e -> 'e -> bool) ->
   ?features:features ->
   ?trace:Dce_obs.Trace.sink ->
+  ?metrics:Dce_obs.Metrics.t ->
   site:Subject.user ->
   admin:Subject.user ->
   policy:Policy.t ->
@@ -94,7 +95,21 @@ val create :
     local checks, interval re-checks, retroactive undo, validation,
     invalidation, integration, administrative application — each
     stamped with this site's id, vector clock and policy version.  With
-    the null sink the instrumentation costs one branch per decision. *)
+    the null sink the instrumentation costs one branch per decision.
+
+    [metrics] attaches live meters alongside the trace sink: counters
+    [controller.generated] / [delivered] / [validated] / [invalidated] /
+    [denied_local] / [admin_applied] / [undone] / [dups] at the
+    corresponding decision points, and level gauges
+    [controller.pending_coop] / [pending_admin] / [oplog_live] /
+    [doc_visible] / [policy_version] refreshed after each transition.
+    Omitted, every update is a dead branch, like the null sink. *)
+
+val with_metrics : Dce_obs.Metrics.t -> 'e t -> 'e t
+(** Re-attach live meters (see {!create}) to a controller that came out
+    of {!load} or a state-transfer constructor — meters, like trace
+    sinks, are process-local and not part of persisted state.  The
+    level gauges are refreshed immediately. *)
 
 val fork : site:Subject.user -> 'e t -> 'e t
 (** Late join (the paper's dynamic-groups requirement): bootstrap a new
@@ -200,7 +215,11 @@ type 'e state = {
 val dump : 'e t -> 'e state
 
 val load :
-  ?eq:('e -> 'e -> bool) -> ?trace:Dce_obs.Trace.sink -> 'e state -> ('e t, string) result
+  ?eq:('e -> 'e -> bool) ->
+  ?trace:Dce_obs.Trace.sink ->
+  ?metrics:Dce_obs.Metrics.t ->
+  'e state ->
+  ('e t, string) result
 
 val catch_up : 'e t -> 'e t -> 'e t * 'e message list
 (** [catch_up t donor]: bring a recovered site up to date from a peer's

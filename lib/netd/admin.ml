@@ -1,0 +1,194 @@
+(* Admin plane: a tiny non-blocking HTTP/1.1 server for scraping a live
+   daemon.  Three read-only routes — /metrics (Prometheus text
+   exposition of the process registry), /healthz and /sessions (JSON
+   from caller callbacks) — one response per connection, then close.
+   It shares the owner's event loop: callers either put [fds] into
+   their select read set or just call [step] on every tick; a step
+   costs one non-blocking accept plus a read attempt per open
+   connection, so polling from a hot loop is fine. *)
+
+module Obs = Dce_obs
+
+let max_request = 4096
+let max_conns = 32
+let conn_ttl_ms = 10_000.
+
+type http_conn = {
+  fd : Unix.file_descr;
+  born_ms : float;
+  inbuf : Buffer.t;
+  mutable out : string;  (* response bytes not yet written *)
+  mutable responding : bool;
+  mutable dead : bool;
+}
+
+type t = {
+  listen_fd : Unix.file_descr;
+  port : int;
+  metrics : Obs.Metrics.t;
+  healthz : unit -> Obs.Json.t;
+  sessions : unit -> Obs.Json.t;
+  mutable conns : http_conn list;
+  mutable closed : bool;
+}
+
+let default_healthz () = Obs.Json.Obj [ ("status", Obs.Json.String "ok") ]
+let default_sessions () = Obs.Json.Obj []
+
+let create ?(addr = Unix.inet_addr_loopback) ?metrics ?healthz ?sessions ~port () =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.set_nonblock fd;
+  Unix.bind fd (Unix.ADDR_INET (addr, port));
+  Unix.listen fd 16;
+  let port =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  {
+    listen_fd = fd;
+    port;
+    metrics =
+      (match metrics with Some m -> m | None -> Obs.Metrics.create ~enabled:false ());
+    healthz = Option.value ~default:default_healthz healthz;
+    sessions = Option.value ~default:default_sessions sessions;
+    conns = [];
+    closed = false;
+  }
+
+let port t = t.port
+
+let fds t =
+  if t.closed then []
+  else t.listen_fd :: List.filter_map (fun c -> if c.dead then None else Some c.fd) t.conns
+
+let response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let route t path =
+  match path with
+  | "/metrics" ->
+    response ~status:"200 OK" ~content_type:"text/plain; version=0.0.4"
+      (Obs.Export.exposition t.metrics)
+  | "/healthz" ->
+    response ~status:"200 OK" ~content_type:"application/json"
+      (Obs.Json.to_string (t.healthz ()) ^ "\n")
+  | "/sessions" ->
+    response ~status:"200 OK" ~content_type:"application/json"
+      (Obs.Json.to_string (t.sessions ()) ^ "\n")
+  | _ -> response ~status:"404 Not Found" ~content_type:"text/plain" "not found\n"
+
+(* "GET <path> HTTP/1.x" — anything else is a 400. *)
+let parse_request_line line =
+  match String.split_on_char ' ' line with
+  | [ "GET"; path; _http ] ->
+    (* drop any query string: the routes take no parameters *)
+    Some (match String.index_opt path '?' with
+          | Some q -> String.sub path 0 q
+          | None -> path)
+  | _ -> None
+
+let feed t c =
+  let buf = Bytes.create 1024 in
+  let rec drain () =
+    match Unix.read c.fd buf 0 (Bytes.length buf) with
+    | 0 -> c.dead <- true
+    | n ->
+      Buffer.add_subbytes c.inbuf buf 0 n;
+      if Buffer.length c.inbuf > max_request then c.dead <- true else drain ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      -> ()
+    | exception Unix.Unix_error _ -> c.dead <- true
+  in
+  drain ();
+  if (not c.dead) && not c.responding then begin
+    let data = Buffer.contents c.inbuf in
+    (* headers complete once the blank line arrives ("\n\n" or
+       "\n\r\n"); we only need the request line *)
+    let complete =
+      let n = String.length data in
+      let rec find i =
+        i < n - 1
+        && (data.[i] = '\n'
+            && (data.[i + 1] = '\n'
+                || (i < n - 2 && data.[i + 1] = '\r' && data.[i + 2] = '\n'))
+           || find (i + 1))
+      in
+      find 0
+    in
+    if complete then begin
+      c.responding <- true;
+      let first_line =
+        match String.index_opt data '\r' with
+        | Some i -> String.sub data 0 i
+        | None -> (
+          match String.index_opt data '\n' with
+          | Some i -> String.sub data 0 i
+          | None -> data)
+      in
+      c.out <-
+        (match parse_request_line first_line with
+         | Some path -> route t path
+         | None ->
+           response ~status:"400 Bad Request" ~content_type:"text/plain"
+             "bad request\n")
+    end
+  end
+
+let write_out c =
+  if c.out <> "" then begin
+    match Unix.write_substring c.fd c.out 0 (String.length c.out) with
+    | n ->
+      c.out <- String.sub c.out n (String.length c.out - n);
+      if c.out = "" then c.dead <- true (* response done: close *)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      -> ()
+    | exception Unix.Unix_error _ -> c.dead <- true
+  end
+
+let rec accept_all t =
+  if List.length t.conns < max_conns then
+    match Unix.accept ~cloexec:true t.listen_fd with
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      t.conns <-
+        t.conns
+        @ [
+            {
+              fd;
+              born_ms = Obs.Clock.now_ms ();
+              inbuf = Buffer.create 256;
+              out = "";
+              responding = false;
+              dead = false;
+            };
+          ];
+      accept_all t
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      -> ()
+
+let step t =
+  if not t.closed then begin
+    accept_all t;
+    let now = Obs.Clock.now_ms () in
+    List.iter
+      (fun c ->
+        if not c.dead then begin
+          if not c.responding then feed t c;
+          write_out c;
+          if now -. c.born_ms > conn_ttl_ms then c.dead <- true
+        end)
+      t.conns;
+    let dead, live = List.partition (fun c -> c.dead) t.conns in
+    t.conns <- live;
+    List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) dead
+  end
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
+    t.conns <- [];
+    try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+  end

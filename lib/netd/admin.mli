@@ -1,0 +1,41 @@
+(** Admin plane: a minimal non-blocking HTTP server for scraping a
+    live daemon.
+
+    Three read-only routes, one response per connection, then close:
+    - [/metrics] — Prometheus text exposition of the process registry
+      (process/GC gauges refreshed on each scrape);
+    - [/healthz] — JSON from the [healthz] callback (default
+      [{"status":"ok"}]);
+    - [/sessions] — JSON from the [sessions] callback (default [{}]).
+
+    The server owns no thread: the embedding daemon either adds {!fds}
+    to its select read set or simply calls {!step} every loop tick —
+    a step is one non-blocking accept plus a read/write attempt per
+    open connection, cheap enough for hot loops.  Requests are bounded
+    (4 KiB) and connections aged out (10 s), so a stuck scraper cannot
+    pin resources. *)
+
+type t
+
+val create :
+  ?addr:Unix.inet_addr ->
+  ?metrics:Dce_obs.Metrics.t ->
+  ?healthz:(unit -> Dce_obs.Json.t) ->
+  ?sessions:(unit -> Dce_obs.Json.t) ->
+  port:int ->
+  unit ->
+  t
+(** Bind and listen on [addr] (default loopback) : [port] (0 picks an
+    ephemeral port — read it back with {!port}).  Raises
+    [Unix.Unix_error] if the address cannot be bound. *)
+
+val port : t -> int
+
+val fds : t -> Unix.file_descr list
+(** The listening socket plus any open scrape connections, for callers
+    that select instead of polling. *)
+
+val step : t -> unit
+(** Accept, read, respond, flush, reap — all non-blocking. *)
+
+val close : t -> unit

@@ -94,6 +94,9 @@ let fd t =
 
 let conn t = match t.phase with Greeting c | Live c -> Some c | _ -> None
 
+let outbox_bytes t =
+  match conn t with Some c -> Conn.outbox_bytes c | None -> 0
+
 let send t bytes =
   match t.phase with
   | Live c -> Conn.send c (Relay_proto.encode (Relay_proto.Msg bytes))

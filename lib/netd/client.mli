@@ -78,6 +78,11 @@ val connected : t -> bool
 val stopped : t -> bool
 (** Closed or gave up; {!step} is a no-op. *)
 
+val outbox_bytes : t -> int
+(** Bytes queued for write on the current connection (0 when not
+    connected) — the client-side backpressure level, exported as a
+    gauge by the editor daemons. *)
+
 val fd : t -> Unix.file_descr option
 (** The socket, for embedding in an external [select] (e.g. together
     with stdin). [None] while waiting out a backoff. *)

@@ -69,6 +69,12 @@ let create ?(config = default_config) ?metrics ?(trace = Obs.Trace.null)
 
 let port t = t.port
 let controller t = t.ctrl
+let conn_count t = List.length (List.filter (fun (c, _) -> Conn.alive c) t.conns)
+
+let outbox_bytes t =
+  List.fold_left
+    (fun acc (c, _) -> if Conn.alive c then acc + Conn.outbox_bytes c else acc)
+    0 t.conns
 
 let connected_sites t =
   List.sort compare
@@ -134,9 +140,12 @@ let dispatch t conn st payload =
     | Relay_proto.Hello _, Joined _ ->
       Conn.mark_closed conn (Conn.Corrupt "duplicate hello")
     | Relay_proto.Msg bytes, Joined src -> (
-      match Proto.decode_message t.codec bytes with
+      match Proto.decode_message_stamped t.codec bytes with
       | Error e -> Conn.mark_closed conn (Conn.Corrupt ("bad message: " ^ e))
-      | Ok m -> (
+      | Ok (stamp, m) -> (
+        (match stamp with
+         | Some s -> M.observe t.tele.Tele.e2e_ns (Obs.Clock.now_ns () - s.Proto.s_ns)
+         | None -> ());
         (* [decode_message] validates the encoding only; applying the
            message is what checks its semantics.  A well-framed op with
            an out-of-range position or a fabricated serial/context must

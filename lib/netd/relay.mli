@@ -65,6 +65,13 @@ val controller : 'e t -> 'e Dce_core.Controller.t
 
 val connected_sites : 'e t -> int list
 
+val conn_count : 'e t -> int
+(** Live connections (including peers still in the greeting phase). *)
+
+val outbox_bytes : 'e t -> int
+(** Bytes queued for write across all live connections — the relay's
+    aggregate backpressure level, exported as a gauge by [dced]. *)
+
 val step : ?timeout_ms:int -> 'e t -> unit
 (** One event-loop round: accept, read/dispatch, flush, heartbeat,
     reap.  Blocks in [select] at most [timeout_ms] (default 0). *)

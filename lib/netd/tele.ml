@@ -13,6 +13,7 @@ type t = {
   relayed : M.counter;
   overflows : M.counter;
   flush_ns : M.histogram;
+  e2e_ns : M.histogram;
 }
 
 (* With no registry supplied, counters come from a disabled one, so
@@ -35,4 +36,5 @@ let make ?metrics () =
     relayed = M.counter m "netd.relayed";
     overflows = M.counter m "netd.overflows";
     flush_ns = M.histogram m "netd.flush_ns";
+    e2e_ns = M.histogram m "e2e.propagation_ns";
   }

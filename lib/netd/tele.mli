@@ -5,8 +5,10 @@
     streams), [netd.connects]/[netd.disconnects]/[netd.reconnects]
     (connection lifecycle), [netd.snapshots] (late-join state
     transfers), [netd.relayed] (messages fanned out), [netd.overflows]
-    (connections dropped by backpressure).  Histogram: [netd.flush_ns]
-    (wall-clock time of a non-empty socket flush). *)
+    (connections dropped by backpressure).  Histograms: [netd.flush_ns]
+    (wall-clock time of a non-empty socket flush) and
+    [e2e.propagation_ns] (origin-stamp to local integration latency of
+    stamped messages; raw cross-host readings include clock skew). *)
 
 type t = {
   bytes_in : Dce_obs.Metrics.counter;
@@ -21,6 +23,7 @@ type t = {
   relayed : Dce_obs.Metrics.counter;
   overflows : Dce_obs.Metrics.counter;
   flush_ns : Dce_obs.Metrics.histogram;
+  e2e_ns : Dce_obs.Metrics.histogram;
 }
 
 val make : ?metrics:Dce_obs.Metrics.t -> unit -> t

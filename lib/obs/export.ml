@@ -1,0 +1,242 @@
+(* Export plane: turn a Metrics registry into scrapeable artifacts.
+
+   Three output shapes, one input:
+   - Prometheus text exposition (via Metrics.dump) for /metrics;
+   - a JSON snapshot (one object per scrape) for JSONL time series;
+   - parsed expositions merged back into a local registry, which is how
+     loadgen aggregates histograms scraped from child processes. *)
+
+module M = Metrics
+
+let started_ms = Clock.now_ms ()
+
+(* ------------------------------------------------------------------ *)
+(* Process / GC gauges                                                *)
+
+let page_size = 4096
+
+let rss_bytes () =
+  (* /proc/self/statm: size resident shared ... (pages) *)
+  let path = "/proc/self/statm" in
+  if not (Sys.file_exists path) then None
+  else
+    try
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match String.split_on_char ' ' (input_line ic) with
+          | _size :: resident :: _ -> Some (int_of_string resident * page_size)
+          | _ -> None)
+    with _ -> None
+
+let update_process_stats m =
+  let q = Gc.quick_stat () in
+  M.set (M.gauge m "process.heap_words") q.Gc.heap_words;
+  M.set (M.gauge m "process.top_heap_words") q.Gc.top_heap_words;
+  M.set (M.gauge m "process.minor_collections") q.Gc.minor_collections;
+  M.set (M.gauge m "process.major_collections") q.Gc.major_collections;
+  M.set (M.gauge m "process.compactions") q.Gc.compactions;
+  M.set (M.gauge m "process.uptime_ms") (int_of_float (Clock.now_ms () -. started_ms));
+  match rss_bytes () with
+  | Some b -> M.set (M.gauge m "process.rss_bytes") b
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Text exposition                                                    *)
+
+let exposition ?(process_stats = true) m =
+  if process_stats then update_process_stats m;
+  M.dump m
+
+(* ------------------------------------------------------------------ *)
+(* JSON snapshots (one object per scrape; write one per line to get a
+   JSONL time series)                                                 *)
+
+let json_of_summary (s : M.summary) =
+  let f v = Json.Float (if s.M.count = 0 then 0. else v) in
+  Json.Obj
+    [
+      ("count", Json.Int s.M.count);
+      ("sum", Json.Int s.M.sum);
+      ("min", Json.Int s.M.min);
+      ("max", Json.Int s.M.max);
+      ("p50", f s.M.p50);
+      ("p95", f s.M.p95);
+      ("p99", f s.M.p99);
+    ]
+
+let snapshot ?now_ns m =
+  let t_ns = match now_ns with Some t -> t | None -> Clock.now_ns () in
+  Json.Obj
+    [
+      ("t_ns", Json.Int t_ns);
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (M.counters m)));
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (M.gauges m)));
+      ( "histograms",
+        Json.Obj (List.map (fun (k, s) -> (k, json_of_summary s)) (M.histograms m)) );
+    ]
+
+let counter_deltas older newer =
+  let tbl_of j =
+    match Json.member "counters" j with
+    | Some (Json.Obj kvs) ->
+      List.filter_map
+        (fun (k, v) -> match v with Json.Int n -> Some (k, n) | _ -> None)
+        kvs
+    | _ -> []
+  in
+  let old_kvs = tbl_of older in
+  List.map
+    (fun (k, v) ->
+      let prev = match List.assoc_opt k old_kvs with Some p -> p | None -> 0 in
+      (k, v - prev))
+    (tbl_of newer)
+
+type series = { oc : out_channel; interval_ms : int; mutable last_ms : float }
+
+let series_create ~path ~interval_ms =
+  { oc = open_out path; interval_ms; last_ms = 0. }
+
+let series_tick s m =
+  let now = Clock.now_ms () in
+  if now -. s.last_ms >= float_of_int s.interval_ms then begin
+    s.last_ms <- now;
+    update_process_stats m;
+    output_string s.oc (Json.to_string (snapshot m));
+    output_char s.oc '\n';
+    flush s.oc
+  end
+
+let series_close s = close_out s.oc
+
+(* ------------------------------------------------------------------ *)
+(* Parsing an exposition back                                         *)
+
+type hist_samples = {
+  hs_buckets : (int * int) list;  (* (inclusive upper bound, non-cumulative count) *)
+  hs_inf : int;  (* observations above the last finite bucket *)
+  hs_sum : int;
+  hs_count : int;
+}
+
+type parsed = {
+  p_counters : (string * int) list;
+  p_gauges : (string * int) list;
+  p_hists : (string * hist_samples) list;
+}
+
+type acc_hist = {
+  mutable a_les : (float * int) list;  (* cumulative, as scraped *)
+  mutable a_sum : int;
+  mutable a_count : int;
+}
+
+let strip_suffix s suf =
+  let n = String.length s and m = String.length suf in
+  if n >= m && String.sub s (n - m) m = suf then Some (String.sub s 0 (n - m)) else None
+
+let parse_exposition text =
+  let types : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let counters = ref [] and gauges = ref [] in
+  let hists : (string, acc_hist) Hashtbl.t = Hashtbl.create 16 in
+  let hist_acc name =
+    match Hashtbl.find_opt hists name with
+    | Some a -> a
+    | None ->
+      let a = { a_les = []; a_sum = 0; a_count = 0 } in
+      Hashtbl.add hists name a;
+      a
+  in
+  let sample line =
+    (* "name value" or "name{le=\"X\"} value" *)
+    match String.index_opt line ' ' with
+    | None -> ()
+    | Some sp ->
+      let head = String.sub line 0 sp in
+      let value = String.sub line (sp + 1) (String.length line - sp - 1) in
+      let name, le =
+        match String.index_opt head '{' with
+        | None -> (head, None)
+        | Some br ->
+          let base = String.sub head 0 br in
+          let labels = String.sub head br (String.length head - br) in
+          let le =
+            match String.index_opt labels '"' with
+            | None -> None
+            | Some q1 -> (
+              match String.index_from_opt labels (q1 + 1) '"' with
+              | None -> None
+              | Some q2 -> Some (String.sub labels (q1 + 1) (q2 - q1 - 1)))
+          in
+          (base, le)
+      in
+      match le with
+      | Some le_str -> (
+        match strip_suffix name "_bucket" with
+        | None -> ()
+        | Some base ->
+          let le = if le_str = "+Inf" then infinity else float_of_string le_str in
+          let a = hist_acc base in
+          a.a_les <- (le, int_of_string (String.trim value)) :: a.a_les)
+      | None -> (
+        match (strip_suffix name "_sum", strip_suffix name "_count") with
+        | Some base, _ when Hashtbl.mem hists base ->
+          (hist_acc base).a_sum <- int_of_string (String.trim value)
+        | _, Some base when Hashtbl.mem hists base ->
+          (hist_acc base).a_count <- int_of_string (String.trim value)
+        | _ -> (
+          let v = int_of_string (String.trim value) in
+          match Hashtbl.find_opt types name with
+          | Some "gauge" -> gauges := (name, v) :: !gauges
+          | Some "histogram" -> ()
+          | _ -> counters := (name, v) :: !counters))
+  in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if line = "" then ()
+         else if String.length line > 0 && line.[0] = '#' then begin
+           match String.split_on_char ' ' line with
+           | [ "#"; "TYPE"; name; kind ] -> Hashtbl.replace types name kind
+           | _ -> ()
+         end
+         else try sample line with _ -> ());
+  let p_hists =
+    Hashtbl.fold
+      (fun name a acc ->
+        let finite, inf =
+          List.partition (fun (le, _) -> le <> infinity) a.a_les
+        in
+        let finite = List.sort (fun (a, _) (b, _) -> compare a b) finite in
+        let _, buckets =
+          List.fold_left
+            (fun (prev, out) (le, cum) -> (cum, (int_of_float le, cum - prev) :: out))
+            (0, []) finite
+        in
+        let buckets = List.rev buckets in
+        let finite_total = List.fold_left (fun s (_, c) -> s + c) 0 buckets in
+        let inf_cum = match inf with (_, c) :: _ -> c | [] -> a.a_count in
+        let hs_inf = max 0 (inf_cum - finite_total) in
+        (name, { hs_buckets = buckets; hs_inf; hs_sum = a.a_sum; hs_count = a.a_count })
+        :: acc)
+      hists []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  {
+    p_counters = List.sort compare (List.rev !counters);
+    p_gauges = List.sort compare (List.rev !gauges);
+    p_hists;
+  }
+
+let merge_into m p =
+  List.iter (fun (k, v) -> M.add (M.counter m k) v) p.p_counters;
+  List.iter
+    (fun (k, v) -> M.set (M.gauge m k) (M.gauge_value (M.gauge m k) + v))
+    p.p_gauges;
+  List.iter
+    (fun (k, hs) ->
+      let h = M.histogram m k in
+      List.iter (fun (hi, c) -> M.observe_n h hi c) hs.hs_buckets;
+      if hs.hs_inf > 0 then M.observe_n h max_int hs.hs_inf)
+    p.p_hists

@@ -1,0 +1,74 @@
+(** Export plane: scrapeable artifacts out of a {!Metrics} registry.
+
+    One registry, three shapes:
+    - {!exposition}: Prometheus-style text, served on [/metrics] by the
+      daemons' admin sockets;
+    - {!snapshot} / {!series_tick}: JSON objects, one per scrape,
+      written one-per-line as a JSONL time series;
+    - {!parse_exposition} / {!merge_into}: the inverse direction, used
+      by [loadgen] to fold expositions scraped from child processes
+      back into one local registry (histograms merge exactly at bucket
+      granularity — see {!Metrics.observe_n}). *)
+
+(** {2 Process / GC stats} *)
+
+val update_process_stats : Metrics.t -> unit
+(** Refresh the [process.*] gauges: OCaml GC figures from
+    [Gc.quick_stat] (heap words, collection counts), resident set size
+    from [/proc/self/statm] when that file exists (silently skipped
+    elsewhere), and uptime. *)
+
+(** {2 Rendering} *)
+
+val exposition : ?process_stats:bool -> Metrics.t -> string
+(** Text exposition of the registry ({!Metrics.dump}), refreshing the
+    [process.*] gauges first unless [~process_stats:false]. *)
+
+val snapshot : ?now_ns:int -> Metrics.t -> Json.t
+(** One JSON object: [{t_ns, counters, gauges, histograms}], histogram
+    values summarised as count/sum/min/max/p50/p95/p99. *)
+
+val counter_deltas : Json.t -> Json.t -> (string * int) list
+(** [counter_deltas older newer] diffs the ["counters"] members of two
+    snapshots: for every counter in [newer], its increase over [older]
+    (counters absent from [older] count from 0). *)
+
+type series
+
+val series_create : path:string -> interval_ms:int -> series
+(** Open a JSONL time-series file (truncating [path]). *)
+
+val series_tick : series -> Metrics.t -> unit
+(** Append one {!snapshot} line if at least [interval_ms] has elapsed
+    since the last write ({!Clock.now_ms} time); otherwise a no-op, so
+    it is safe to call from a hot event loop. *)
+
+val series_close : series -> unit
+
+(** {2 Parsing} *)
+
+type hist_samples = {
+  hs_buckets : (int * int) list;
+      (** [(inclusive upper bound, non-cumulative count)], increasing *)
+  hs_inf : int;  (** observations above the last finite bucket *)
+  hs_sum : int;
+  hs_count : int;
+}
+
+type parsed = {
+  p_counters : (string * int) list;
+  p_gauges : (string * int) list;
+  p_hists : (string * hist_samples) list;
+}
+
+val parse_exposition : string -> parsed
+(** Parse a text exposition produced by {!exposition} (names come back
+    in their escaped form).  Unparseable lines are skipped, families
+    are sorted by name, cumulative [_bucket] series are de-cumulated. *)
+
+val merge_into : Metrics.t -> parsed -> unit
+(** Fold a parsed exposition into [m]: counters add, gauges sum, and
+    histogram buckets replay through {!Metrics.observe_n} at their
+    upper bounds (exact bucket-level merge; the merged [sum] is the
+    bucket-bound approximation, within the usual 12.5% relative
+    error). *)

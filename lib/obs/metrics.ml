@@ -37,15 +37,23 @@ type hist = {
 type t = {
   mutable on : bool;
   counters_tbl : (string, int ref) Hashtbl.t;
+  gauges_tbl : (string, int ref) Hashtbl.t;
   hists_tbl : (string, hist) Hashtbl.t;
 }
 
 type counter = { reg : t; cell : int ref }
 
+type gauge = { greg : t; gcell : int ref }
+
 type histogram = { hreg : t; h : hist }
 
 let create ?(enabled = true) () =
-  { on = enabled; counters_tbl = Hashtbl.create 16; hists_tbl = Hashtbl.create 16 }
+  {
+    on = enabled;
+    counters_tbl = Hashtbl.create 16;
+    gauges_tbl = Hashtbl.create 16;
+    hists_tbl = Hashtbl.create 16;
+  }
 
 let enabled t = t.on
 let set_enabled t v = t.on <- v
@@ -61,6 +69,17 @@ let counter t name =
 let incr c = if c.reg.on then Stdlib.incr c.cell
 let add c n = if c.reg.on then c.cell := !(c.cell) + n
 let value c = !(c.cell)
+
+let gauge t name =
+  match Hashtbl.find_opt t.gauges_tbl name with
+  | Some gcell -> { greg = t; gcell }
+  | None ->
+    let gcell = ref 0 in
+    Hashtbl.add t.gauges_tbl name gcell;
+    { greg = t; gcell }
+
+let set g v = if g.greg.on then g.gcell := v
+let gauge_value g = !(g.gcell)
 
 let fresh_hist () =
   { buckets = Array.make n_buckets 0; h_count = 0; h_sum = 0; h_min = max_int; h_max = 0 }
@@ -80,6 +99,17 @@ let observe hg v =
     h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
     h.h_count <- h.h_count + 1;
     h.h_sum <- h.h_sum + v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+  end
+
+let observe_n hg v n =
+  if hg.hreg.on && n > 0 then begin
+    let h = hg.h in
+    let v = if v < 0 then 0 else v in
+    h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + n;
+    h.h_count <- h.h_count + n;
+    h.h_sum <- h.h_sum + (v * n);
     if v < h.h_min then h.h_min <- v;
     if v > h.h_max then h.h_max <- v
   end
@@ -131,12 +161,23 @@ let sorted_bindings tbl =
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let counters t = List.map (fun (k, cell) -> (k, !cell)) (sorted_bindings t.counters_tbl)
+let gauges t = List.map (fun (k, cell) -> (k, !cell)) (sorted_bindings t.gauges_tbl)
 
 let histograms t =
   List.map (fun (k, h) -> (k, summary_of_hist h)) (sorted_bindings t.hists_tbl)
 
+let buckets_of_hist h =
+  let acc = ref [] in
+  for k = n_buckets - 1 downto 0 do
+    if h.buckets.(k) > 0 then acc := (snd (bucket_range k), h.buckets.(k)) :: !acc
+  done;
+  !acc
+
+let buckets hg = buckets_of_hist hg.h
+
 let reset t =
   Hashtbl.iter (fun _ cell -> cell := 0) t.counters_tbl;
+  Hashtbl.iter (fun _ cell -> cell := 0) t.gauges_tbl;
   Hashtbl.iter
     (fun _ h ->
       Array.fill h.buckets 0 n_buckets 0;
@@ -147,11 +188,15 @@ let reset t =
     t.hists_tbl
 
 let pp ppf t =
-  let cs = counters t and hs = histograms t in
+  let cs = counters t and gs = gauges t and hs = histograms t in
   Format.fprintf ppf "@[<v>";
   if cs <> [] then begin
     Format.fprintf ppf "counters:@ ";
     List.iter (fun (name, v) -> Format.fprintf ppf "  %-36s %12d@ " name v) cs
+  end;
+  if gs <> [] then begin
+    Format.fprintf ppf "gauges:@ ";
+    List.iter (fun (name, v) -> Format.fprintf ppf "  %-36s %12d@ " name v) gs
   end;
   if hs <> [] then begin
     Format.fprintf ppf "histograms:@ ";
@@ -163,5 +208,55 @@ let pp ppf t =
           s.p95 s.p99 s.max)
       hs
   end;
-  if cs = [] && hs = [] then Format.fprintf ppf "(no metrics registered)@ ";
+  if cs = [] && gs = [] && hs = [] then Format.fprintf ppf "(no metrics registered)@ ";
   Format.fprintf ppf "@]"
+
+(* Prometheus-style text exposition.  Metric names are escaped to the
+   legal charset ([a-zA-Z0-9_:], no leading digit); output is sorted by
+   name within each family so two dumps of the same registry state are
+   byte-identical and diff cleanly. *)
+
+let escape_name name =
+  let n = String.length name in
+  let b = Buffer.create (n + 1) in
+  if n > 0 && name.[0] >= '0' && name.[0] <= '9' then Buffer.add_char b '_';
+  String.iter
+    (fun c ->
+      let ok =
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+        || c = '_' || c = ':'
+      in
+      Buffer.add_char b (if ok then c else '_'))
+    name;
+  Buffer.contents b
+
+let dump t =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (name, v) ->
+      let n = escape_name name in
+      line "# TYPE %s counter\n%s %d\n" n n v)
+    (counters t);
+  List.iter
+    (fun (name, v) ->
+      let n = escape_name name in
+      line "# TYPE %s gauge\n%s %d\n" n n v)
+    (gauges t);
+  List.iter
+    (fun (name, h) ->
+      let n = escape_name name in
+      line "# TYPE %s histogram\n" n;
+      let cum = ref 0 in
+      List.iter
+        (fun (hi, c) ->
+          cum := !cum + c;
+          line "%s_bucket{le=\"%d\"} %d\n" n hi !cum)
+        (buckets_of_hist h);
+      line "%s_bucket{le=\"+Inf\"} %d\n" n h.h_count;
+      line "%s_sum %d\n" n h.h_sum;
+      line "%s_count %d\n" n h.h_count)
+    (sorted_bindings t.hists_tbl);
+  Buffer.contents buf

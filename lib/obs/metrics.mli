@@ -33,6 +33,20 @@ val incr : counter -> unit
 val add : counter -> int -> unit
 val value : counter -> int
 
+(** {2 Gauges}
+
+    A gauge is a named instantaneous level (queue depth, connection
+    count, heap words): the last {!set} wins, and [reset] returns it to
+    0.  Like counters, updates on a disabled registry are no-ops. *)
+
+type gauge
+
+val gauge : t -> string -> gauge
+(** The gauge registered under [name], created on first use. *)
+
+val set : gauge -> int -> unit
+val gauge_value : gauge -> int
+
 (** {2 Histograms} *)
 
 type histogram
@@ -41,6 +55,18 @@ val histogram : t -> string -> histogram
 
 val observe : histogram -> int -> unit
 (** Record one value.  Negative values are clamped to 0. *)
+
+val observe_n : histogram -> int -> int -> unit
+(** [observe_n h v n] records the value [v] [n] times in one update —
+    the building block for merging histograms scraped from other
+    processes (replay each bucket's upper bound with its count).
+    [n <= 0] is a no-op. *)
+
+val buckets : histogram -> (int * int) list
+(** Non-empty buckets as [(inclusive_upper_bound, count)] pairs in
+    increasing bound order.  Feeding each pair back through
+    {!observe_n} reproduces the same bucket array exactly (the upper
+    bound of a bucket maps back to that bucket). *)
 
 type summary = {
   count : int;
@@ -64,10 +90,25 @@ val percentile : histogram -> float -> float
 val counters : t -> (string * int) list
 (** All registered counters, sorted by name. *)
 
+val gauges : t -> (string * int) list
+(** All registered gauges, sorted by name. *)
+
 val histograms : t -> (string * summary) list
 
 val reset : t -> unit
-(** Zero every counter and histogram; registrations survive. *)
+(** Zero every counter, gauge and histogram; registrations survive. *)
 
 val pp : Format.formatter -> t -> unit
-(** Tabular dump of every counter and histogram summary. *)
+(** Tabular dump of every counter, gauge and histogram summary. *)
+
+val escape_name : string -> string
+(** Map an internal metric name (e.g. ["netd.frames_in"]) onto the
+    Prometheus-legal charset [[a-zA-Z0-9_:]]: every other byte becomes
+    ['_'], and a leading digit gains a ['_'] prefix. *)
+
+val dump : t -> string
+(** Prometheus text exposition of the whole registry: counters, gauges,
+    then histograms (as cumulative [_bucket{le="..."}] series plus
+    [_sum]/[_count]), each family sorted by name.  Names are passed
+    through {!escape_name}; two dumps of identical registry state are
+    byte-identical, so scraped snapshots diff cleanly. *)

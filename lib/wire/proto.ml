@@ -316,7 +316,30 @@ let get_admin_request d =
 
 (* ----- Messages ----- *)
 
-let put_message ec b = function
+(* An optional origin stamp rides in front of the message kind byte:
+   'S', then origin site, origin wall-clock (ns since the epoch, fits
+   the 63-bit varint range until ~2262) and a per-process trace id.
+   Decoders that don't care ({!get_message}) skip it transparently, so
+   stamped and unstamped messages — including pre-stamp journal records
+   — share one wire format. *)
+
+type stamp = { s_site : int; s_ns : int; s_tid : int }
+
+let tid_counter = ref 0
+
+let stamp_now ~site () =
+  incr tid_counter;
+  { s_site = site; s_ns = Dce_obs.Clock.now_ns (); s_tid = !tid_counter }
+
+let put_stamp b s =
+  put_char b 'S';
+  put_varint b s.s_site;
+  put_varint b s.s_ns;
+  put_varint b s.s_tid
+
+let put_message ?stamp ec b m =
+  (match stamp with Some s -> put_stamp b s | None -> ());
+  match m with
   | Controller.Coop q ->
     put_char b 'C';
     put_request ec b q
@@ -324,22 +347,39 @@ let put_message ec b = function
     put_char b 'M';
     put_admin_request b r
 
-let get_message ec d =
+let get_message_stamped ec d =
   let* c = get_char d in
+  let* stamp, c =
+    if c = 'S' then
+      let* s_site = get_varint d in
+      let* s_ns = get_varint d in
+      let* s_tid = get_varint d in
+      let* c = get_char d in
+      Ok (Some { s_site; s_ns; s_tid }, c)
+    else Ok (None, c)
+  in
   match c with
   | 'C' ->
     let* q = get_request ec d in
-    Ok (Controller.Coop q)
+    Ok (stamp, Controller.Coop q)
   | 'M' ->
     let* r = get_admin_request d in
-    Ok (Controller.Admin r)
+    Ok (stamp, Controller.Admin r)
   | c -> Error (Printf.sprintf "unknown message kind %C" c)
 
-let encode_message ec m = frame (to_string (put_message ec) m)
+let get_message ec d =
+  let* _, m = get_message_stamped ec d in
+  Ok m
+
+let encode_message ?stamp ec m = frame (to_string (put_message ?stamp ec) m)
 
 let decode_message ec s =
   let* payload = unframe s in
   of_string (get_message ec) payload
+
+let decode_message_stamped ec s =
+  let* payload = unframe s in
+  of_string (get_message_stamped ec) payload
 
 (* ----- Controller state ----- *)
 
@@ -458,8 +498,9 @@ let fingerprint ec c =
   Digest.to_hex (Digest.string (encode_state ec (Controller.dump c)))
 
 module Char_proto = struct
-  let encode_message = encode_message char_codec
+  let encode_message ?stamp m = encode_message ?stamp char_codec m
   let decode_message = decode_message char_codec
+  let decode_message_stamped = decode_message_stamped char_codec
   let encode_state = encode_state char_codec
   let decode_state = decode_state char_codec
 

@@ -42,13 +42,42 @@ val get_admin_op : Codec.decoder -> Admin_op.t Codec.result
 val put_admin_request : Codec.encoder -> Admin_op.request -> unit
 val get_admin_request : Codec.decoder -> Admin_op.request Codec.result
 
-val put_message : 'e elt_codec -> Codec.encoder -> 'e Controller.message -> unit
+(** {2 Origin stamps}
+
+    A small tracing header a sender can prepend to any message: origin
+    site, origin wall clock (nanoseconds since the epoch) and a
+    per-process trace id.  Stamps survive relaying (the relay fans out
+    the original bytes), so a receiver can measure end-to-end
+    propagation latency as [Clock.now_ns () - s_ns] — modulo clock skew
+    between hosts, which the offline [trace.exe merge] analysis
+    normalizes away.  {!get_message} skips stamps transparently:
+    stamped and unstamped encodings (including pre-stamp journal
+    records) share one wire format. *)
+
+type stamp = { s_site : int; s_ns : int; s_tid : int }
+
+val stamp_now : site:int -> unit -> stamp
+(** A fresh stamp for [site]: current {!Dce_obs.Clock.now_ns} and the
+    next value of a process-local trace-id counter. *)
+
+val put_message :
+  ?stamp:stamp -> 'e elt_codec -> Codec.encoder -> 'e Controller.message -> unit
+
 val get_message : 'e elt_codec -> Codec.decoder -> 'e Controller.message Codec.result
+(** Decode a message, discarding any origin stamp. *)
+
+val get_message_stamped :
+  'e elt_codec ->
+  Codec.decoder ->
+  (stamp option * 'e Controller.message) Codec.result
 
 (* {2 Framed top-level encodings} *)
 
-val encode_message : 'e elt_codec -> 'e Controller.message -> string
+val encode_message : ?stamp:stamp -> 'e elt_codec -> 'e Controller.message -> string
 val decode_message : 'e elt_codec -> string -> 'e Controller.message Codec.result
+
+val decode_message_stamped :
+  'e elt_codec -> string -> (stamp option * 'e Controller.message) Codec.result
 
 val encode_state : 'e elt_codec -> 'e Controller.state -> string
 val decode_state : 'e elt_codec -> string -> 'e Controller.state Codec.result
@@ -61,8 +90,11 @@ val fingerprint : 'e elt_codec -> 'e Controller.t -> string
 
 (** Character documents, the common instantiation. *)
 module Char_proto : sig
-  val encode_message : char Controller.message -> string
+  val encode_message : ?stamp:stamp -> char Controller.message -> string
   val decode_message : string -> char Controller.message Codec.result
+
+  val decode_message_stamped :
+    string -> (stamp option * char Controller.message) Codec.result
   val encode_state : char Controller.state -> string
   val decode_state : string -> char Controller.state Codec.result
 

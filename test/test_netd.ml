@@ -672,6 +672,102 @@ let gives_up_after_max_attempts () =
   Alcotest.(check int) "exactly max_attempts failed attempts" 3 !disconnects;
   Alcotest.(check int) "gave up once" 1 !gave_up
 
+(* ----- admin socket: scraping a live session ----- *)
+
+let find_sub hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub hay i m = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* The admin server is single-threaded and shares the caller's loop, so
+   the scrape drives [Admin.step] itself between non-blocking reads. *)
+let http_scrape admin path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Admin.port admin));
+  let req = "GET " ^ path ^ " HTTP/1.1\r\n\r\n" in
+  ignore (Unix.write_substring fd req 0 (String.length req));
+  Unix.set_nonblock fd;
+  let b = Buffer.create 1024 in
+  let buf = Bytes.create 4096 in
+  let rec go rounds =
+    if rounds > 2000 then Alcotest.failf "scraping %s timed out" path;
+    Admin.step admin;
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes b buf 0 n;
+      go (rounds + 1)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      Unix.sleepf 0.001;
+      go (rounds + 1)
+  in
+  go 0;
+  Buffer.contents b
+
+let admin_scrape_test () =
+  let metrics = Obs.Metrics.create () in
+  let controller = mk_controller ~site:relay_site ~trace:Obs.Trace.null "abc" in
+  let relay = Relay.create ~metrics ~codec:Proto.char_codec ~controller ~port:0 () in
+  let admin =
+    Admin.create ~metrics
+      ~healthz:(fun () -> Obs.Json.Obj [ ("status", Obs.Json.String "ok") ])
+      ~sessions:(fun () ->
+        Obs.Json.Obj
+          [
+            ( "sites",
+              Obs.Json.List
+                (List.map (fun s -> Obs.Json.Int s) (Relay.connected_sites relay)) );
+          ])
+      ~port:0 ()
+  in
+  Fun.protect ~finally:(fun () ->
+      Admin.close admin;
+      Relay.shutdown relay)
+  @@ fun () ->
+  let port = Relay.port relay in
+  let ep0 = mk_endpoint ~port ~site:0 in
+  let ep1 = mk_endpoint ~port ~site:1 in
+  let ep2 = mk_endpoint ~port ~site:2 in
+  let eps = [ ep0; ep1; ep2 ] in
+  require "all three joined"
+    (pump_until relay eps (fun () -> List.for_all (fun e -> e.ctrl <> None) eps));
+  edit ep1 0 'x';
+  edit ep2 0 'y';
+  require "edits settled"
+    (pump_until relay eps (fun () ->
+         List.for_all settled eps && doc ep0 = doc ep1 && doc ep1 = doc ep2));
+  (* /metrics: a parseable exposition with live transport counters *)
+  let raw = http_scrape admin "/metrics" in
+  Alcotest.(check bool) "200" true (find_sub raw "HTTP/1.1 200" = Some 0);
+  let body =
+    match find_sub raw "\r\n\r\n" with
+    | Some i -> String.sub raw (i + 4) (String.length raw - i - 4)
+    | None -> Alcotest.fail "no body"
+  in
+  let p = Obs.Export.parse_exposition body in
+  let counter name =
+    try List.assoc name p.Obs.Export.p_counters with Not_found -> 0
+  in
+  Alcotest.(check bool) "netd_frames_in is live" true (counter "netd_frames_in" > 0);
+  Alcotest.(check bool) "netd_bytes_out is live" true (counter "netd_bytes_out" > 0);
+  (* /healthz and /sessions serve the callbacks' JSON *)
+  let hz = http_scrape admin "/healthz" in
+  Alcotest.(check bool) "healthz ok" true (find_sub hz "\"status\":\"ok\"" <> None);
+  let ss = http_scrape admin "/sessions" in
+  Alcotest.(check bool) "sessions lists the sites" true
+    (find_sub ss "\"sites\":[0,1,2]" <> None);
+  (* unknown routes 404 without killing the server *)
+  let nf = http_scrape admin "/nope" in
+  Alcotest.(check bool) "404" true (find_sub nf "404" <> None);
+  let again = http_scrape admin "/healthz" in
+  Alcotest.(check bool) "server survives" true (find_sub again "200" <> None)
+
 let client_tests =
   [
     Alcotest.test_case "max_attempts failed connects, then Gave_up" `Quick
@@ -693,5 +789,7 @@ let () =
             integration_test;
           Alcotest.test_case "hostile and truncated streams never crash the relay"
             `Quick hostile_peer_test;
+          Alcotest.test_case "admin socket scrapes a live 3-site session" `Quick
+            admin_scrape_test;
         ] );
     ]

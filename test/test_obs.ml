@@ -282,6 +282,120 @@ let runner_tests =
           stats.Dce_sim.Runner.validated);
   ]
 
+(* ----- the export plane: gauges, exposition, snapshots ----- *)
+
+let export_tests =
+  [
+    Alcotest.test_case "gauges hold the last set level" `Quick (fun () ->
+        let m = M.create () in
+        let g = M.gauge m "depth" in
+        M.set g 7;
+        M.set g 3;
+        Alcotest.(check int) "last set wins" 3 (M.gauge_value g);
+        Alcotest.(check int) "same name same cell" 3 (M.gauge_value (M.gauge m "depth"));
+        Alcotest.(check (list (pair string int))) "listing" [ ("depth", 3) ]
+          (M.gauges m);
+        M.reset m;
+        Alcotest.(check int) "reset zeroes" 0 (M.gauge_value g));
+    Alcotest.test_case "disabled gauges are inert" `Quick (fun () ->
+        let m = M.create ~enabled:false () in
+        let g = M.gauge m "depth" in
+        M.set g 9;
+        Alcotest.(check int) "no-op" 0 (M.gauge_value g));
+    Alcotest.test_case "exposition escapes names, sorts, and is stable" `Quick
+      (fun () ->
+        let m = M.create () in
+        M.incr (M.counter m "netd.frames_in");
+        M.add (M.counter m "a.b-c") 2;
+        M.set (M.gauge m "9lives") 9;
+        M.observe (M.histogram m "lat.ns") 5;
+        let d = M.dump m in
+        Alcotest.(check string) "two dumps byte-identical" d (M.dump m);
+        List.iter
+          (fun frag ->
+            Alcotest.(check bool) ("contains " ^ frag) true (contains d frag))
+          [
+            "# TYPE netd_frames_in counter\nnetd_frames_in 1\n";
+            "# TYPE a_b_c counter\na_b_c 2\n";
+            "# TYPE _9lives gauge\n_9lives 9\n";
+            "# TYPE lat_ns histogram\n";
+            "lat_ns_bucket{le=\"5\"} 1\n";
+            "lat_ns_bucket{le=\"+Inf\"} 1\n";
+            "lat_ns_sum 5\n";
+            "lat_ns_count 1\n";
+          ];
+        (* families come out sorted by name *)
+        let idx frag =
+          let rec go i =
+            if i + String.length frag > String.length d then -1
+            else if String.sub d i (String.length frag) = frag then i
+            else go (i + 1)
+          in
+          go 0
+        in
+        Alcotest.(check bool) "a_b_c before netd_frames_in" true
+          (idx "a_b_c 2" < idx "netd_frames_in 1"));
+    Alcotest.test_case "observe_n replays buckets exactly" `Quick (fun () ->
+        let m = M.create () in
+        let h = M.histogram m "h" in
+        List.iter (M.observe h) [ 0; 1; 5; 9; 123; 123; 4096; 100_000 ];
+        let m2 = M.create () in
+        let h2 = M.histogram m2 "h" in
+        List.iter (fun (v, n) -> M.observe_n h2 v n) (M.buckets h);
+        Alcotest.(check (list (pair int int))) "same buckets" (M.buckets h)
+          (M.buckets h2);
+        Alcotest.(check int) "same count" (M.summary h).M.count
+          (M.summary h2).M.count);
+    Alcotest.test_case "parse_exposition/merge_into round-trips a registry"
+      `Quick (fun () ->
+        let m = M.create () in
+        M.add (M.counter m "c.x") 5;
+        M.set (M.gauge m "g.y") 11;
+        let h = M.histogram m "lat" in
+        List.iter (M.observe h) [ 3; 70; 900; 60_000 ];
+        let p = Obs.Export.parse_exposition (M.dump m) in
+        let m2 = M.create () in
+        Obs.Export.merge_into m2 p;
+        Obs.Export.merge_into m2 p;
+        (* merged twice: counters add, gauges sum, histograms double *)
+        Alcotest.(check int) "counters add" 10 (M.value (M.counter m2 "c_x"));
+        Alcotest.(check int) "gauges sum" 22 (M.gauge_value (M.gauge m2 "g_y"));
+        let s = M.summary (M.histogram m2 "lat") in
+        Alcotest.(check int) "histogram count" 8 s.M.count;
+        Alcotest.(check bool) "p95 finite" true (Float.is_finite s.M.p95));
+    Alcotest.test_case "snapshot counter deltas" `Quick (fun () ->
+        let m = M.create () in
+        let c = M.counter m "ops" in
+        M.add c 3;
+        let s1 = Obs.Export.snapshot m in
+        M.add c 4;
+        M.incr (M.counter m "fresh");
+        let s2 = Obs.Export.snapshot m in
+        Alcotest.(check (list (pair string int))) "increases since s1"
+          [ ("fresh", 1); ("ops", 4) ]
+          (Obs.Export.counter_deltas s1 s2));
+    Alcotest.test_case "trace timestamps follow the injected clock" `Quick
+      (fun () ->
+        (* small offset: runs before the clock suite, whose bases are
+           larger — the global monotone clamp must keep growing *)
+        let base = Unix.gettimeofday () +. 0.02 in
+        Obs.Clock.set_source (Some (fun () -> base));
+        Fun.protect ~finally:(fun () -> Obs.Clock.set_source None) @@ fun () ->
+        let r = T.ring ~capacity:4 in
+        let sink = T.ring_sink r in
+        T.emit sink ~site:0 ~clock:Vclock.empty ~version:0
+          (T.Check_local { granted = true });
+        T.emit sink ~site:0 ~clock:Vclock.empty ~version:0
+          (T.Check_local { granted = false });
+        match T.ring_events r with
+        | [ e1; e2 ] ->
+          let base_ns = int_of_float (base *. 1e9) in
+          Alcotest.(check bool) "stamped from the source" true
+            (abs (e1.T.t_ns - base_ns) < 10_000_000);
+          Alcotest.(check bool) "strictly ordered" true (e1.T.t_ns < e2.T.t_ns)
+        | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs));
+  ]
+
 (* ----- clock: monotone clamp and test injection ----- *)
 
 (* Fake sources start slightly ahead of the real clock: the monotone
@@ -337,5 +451,6 @@ let () =
       ("jsonl", json_tests);
       ("audit", audit_tests);
       ("runner stats", runner_tests);
+      ("export", export_tests);
       ("clock", clock_tests);
     ]
