@@ -711,20 +711,23 @@ let bench_ep_step ep =
     (Dce_netd.Client.step ~timeout_ms:0 ep.bclient)
 
 let run_netd_session () =
-  Printf.printf "end-to-end relay session (loopback TCP, relay + admin + editor):\n";
-  let policy =
-    Policy.make ~users:[ adm; user ]
-      [ Auth.grant [ Subject.Any ] [ Docobj.Whole ] Right.all ]
+  Printf.printf "end-to-end hub session (loopback TCP, hub + admin + editor):\n";
+  let factory _doc =
+    let policy =
+      Policy.make ~users:[ adm; user ]
+        [ Auth.grant [ Subject.Any ] [ Docobj.Whole ] Right.all ]
+    in
+    Ok
+      ( C.create ~eq:Char.equal ~site:1_000_000 ~admin:adm ~policy
+          (Tdoc.of_string "seed"),
+        None )
   in
-  let controller =
-    C.create ~eq:Char.equal ~site:1_000_000 ~admin:adm ~policy (Tdoc.of_string "seed")
+  let hub =
+    Dce_hub.Hub.create ~metrics:bench_metrics ~codec:Dce_wire.Proto.char_codec
+      ~factory ~docs:[ "main" ] ~port:0 ()
   in
-  let relay =
-    Dce_netd.Relay.create ~metrics:bench_metrics ~codec:Dce_wire.Proto.char_codec
-      ~controller ~port:0 ()
-  in
-  Fun.protect ~finally:(fun () -> Dce_netd.Relay.shutdown relay) @@ fun () ->
-  let port = Dce_netd.Relay.port relay in
+  Fun.protect ~finally:(fun () -> Dce_hub.Hub.shutdown hub) @@ fun () ->
+  let port = Dce_hub.Hub.port hub in
   let mk site =
     {
       bclient =
@@ -740,7 +743,7 @@ let run_netd_session () =
       if cond () then ()
       else if i > 2_000_000 then failwith "netd bench: session stalled"
       else begin
-        Dce_netd.Relay.step ~timeout_ms:1 relay;
+        Dce_hub.Hub.step ~timeout_ms:1 hub;
         List.iter bench_ep_step eps;
         go (i + 1)
       end
@@ -766,7 +769,7 @@ let run_netd_session () =
          (Dce_wire.Proto.Char_proto.encode_message m)
      | _, C.Denied r -> failwith r);
     (* keep the loop turning so the outbox drains as we go *)
-    Dce_netd.Relay.step relay;
+    Dce_hub.Hub.step hub;
     List.iter bench_ep_step eps
   done;
   pump_until (fun () -> List.for_all settled eps);
@@ -781,6 +784,143 @@ let run_netd () =
   Printf.printf "== netd: loopback transport throughput ==\n";
   run_netd_raw ();
   run_netd_session ();
+  print_newline ()
+
+(* ----- hub: multi-document scaling -----
+
+   One hub process hosting D independent sessions, two real TCP
+   clients per document (admin + editor).  Two figures per
+   configuration: aggregate relayed throughput with every document
+   active concurrently (frames/s), and the fan-out latency of a single
+   quiet edit — send at the user endpoint, integrated at the admin
+   endpoint — sampled serially on a few documents.  D = 1 is the
+   single-session baseline; 8 and 64 show what the session registry
+   and the poll-based event loop cost as the document count grows. *)
+
+let run_hub_docs ~quick ndocs =
+  let doc_name d = Printf.sprintf "doc%02d" d in
+  let factory _doc =
+    let policy =
+      Policy.make ~users:[ adm; user ]
+        [ Auth.grant [ Subject.Any ] [ Docobj.Whole ] Right.all ]
+    in
+    Ok
+      ( C.create ~eq:Char.equal ~site:1_000_000 ~admin:adm ~policy
+          (Tdoc.of_string "seed"),
+        None )
+  in
+  let hub =
+    Dce_hub.Hub.create
+      ~config:{ Dce_hub.Hub.default_config with Dce_hub.Hub.default_doc = doc_name 0 }
+      ~metrics:bench_metrics ~codec:Dce_wire.Proto.char_codec ~factory
+      ~docs:(List.init ndocs doc_name) ~port:0 ()
+  in
+  Fun.protect ~finally:(fun () -> Dce_hub.Hub.shutdown hub) @@ fun () ->
+  let port = Dce_hub.Hub.port hub in
+  let mk site doc =
+    {
+      bclient =
+        Dce_netd.Client.create ~metrics:bench_metrics ~doc ~host:"127.0.0.1"
+          ~port ~site ();
+      bsite = site;
+      bctrl = None;
+    }
+  in
+  let groups =
+    List.init ndocs (fun d ->
+        let doc = doc_name d in
+        (doc, mk adm doc, mk user doc))
+  in
+  let eps = List.concat_map (fun (_, a, u) -> [ a; u ]) groups in
+  let pump_until cond =
+    let rec go i =
+      if cond () then ()
+      else if i > 4_000_000 then failwith "hub bench: session stalled"
+      else begin
+        Dce_hub.Hub.step ~timeout_ms:1 hub;
+        List.iter bench_ep_step eps;
+        go (i + 1)
+      end
+    in
+    go 0
+  in
+  pump_until (fun () -> List.for_all (fun ep -> ep.bctrl <> None) eps);
+  let len ep =
+    match ep.bctrl with
+    | None -> 0
+    | Some c -> Tdoc.visible_length (C.document c)
+  in
+  let send_edit ep =
+    let c = Option.get ep.bctrl in
+    match C.generate c (Tdoc.ins_visible (C.document c) 0 (letter ())) with
+    | c', C.Accepted m ->
+      ep.bctrl <- Some c';
+      Dce_netd.Client.send ep.bclient (Dce_wire.Proto.Char_proto.encode_message m)
+    | _, C.Denied r -> failwith r
+  in
+  (* fan-out latency, one quiet edit at a time on a sample of docs *)
+  let fan_h =
+    Obs.Metrics.histogram bench_metrics
+      (Printf.sprintf "hub.docs%d.fanout_ns" ndocs)
+  in
+  let samples = min ndocs 8 in
+  List.iteri
+    (fun i (_, ep_a, ep_u) ->
+      if i < samples then begin
+        let target = len ep_a + 1 in
+        let t0 = Obs.Clock.now_ns () in
+        send_edit ep_u;
+        pump_until (fun () -> len ep_a >= target);
+        Obs.Metrics.observe fan_h (Obs.Clock.now_ns () - t0)
+      end)
+    groups;
+  (* aggregate throughput: every document active at once *)
+  let edits_per_doc = max 4 ((if quick then 256 else 1024) / ndocs) in
+  let expected =
+    List.map (fun (doc, ep_a, _) -> (doc, len ep_a + edits_per_doc)) groups
+  in
+  let settled () =
+    List.for_all2
+      (fun (_, ep_a, ep_u) (_, want) ->
+        List.for_all
+          (fun ep ->
+            match ep.bctrl with
+            | None -> false
+            | Some c ->
+              Tdoc.visible_length (C.document c) = want
+              && C.tentative c = [] && C.pending_coop c = 0)
+          [ ep_a; ep_u ])
+      groups expected
+  in
+  let t0 = now () in
+  for _ = 1 to edits_per_doc do
+    List.iter (fun (_, _, ep_u) -> send_edit ep_u) groups;
+    Dce_hub.Hub.step hub;
+    List.iter bench_ep_step eps
+  done;
+  pump_until settled;
+  let dt = now () -. t0 in
+  let total = ndocs * edits_per_doc in
+  let frames_per_s = int_of_float (float_of_int total /. Float.max dt 1e-9) in
+  Obs.Metrics.add
+    (Obs.Metrics.counter bench_metrics
+       (Printf.sprintf "hub.docs%d.frames_per_s" ndocs))
+    frames_per_s;
+  Obs.Metrics.add
+    (Obs.Metrics.counter bench_metrics (Printf.sprintf "hub.docs%d.docs" ndocs))
+    ndocs;
+  let fan = Obs.Metrics.summary fan_h in
+  Printf.printf
+    "%3d doc(s): %5d edits relayed in %.3f s (%6d frames/s), fan-out p50 %.2f ms \
+     (%d sample(s))\n%!"
+    ndocs total dt frames_per_s
+    (fan.Obs.Metrics.p50 /. 1e6)
+    samples;
+  List.iter (fun ep -> Dce_netd.Client.close ep.bclient) eps
+
+let run_hub ~quick () =
+  Printf.printf "== hub: multi-document scaling (frames/s, fan-out latency) ==\n";
+  List.iter (run_hub_docs ~quick) [ 1; 8; 64 ];
   print_newline ()
 
 (* ----- model checker throughput ----- *)
@@ -1137,6 +1277,7 @@ let () =
     run "ablation" run_ablation;
     run "extras" run_extras;
     run "netd" run_netd;
+    run "hub" (run_hub ~quick:!quick);
     run "check" run_check;
     run "store" run_store;
     run "micro" run_micro;

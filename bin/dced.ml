@@ -1,18 +1,26 @@
-(* dced: the relay daemon.
+(* dced: the hub daemon.
 
-   Hosts one collaborative editing session over real TCP: every
-   connected site's messages are fanned out to every other site, and
-   late joiners (or reconnecting sites) bootstrap from a snapshot of
-   the relay's own session copy.  The relay enforces nothing from the
-   paper's security model — each site's controller does, exactly as in
-   the peer-to-peer deployment; the daemon only provides the reliable
-   broadcast the model assumes (§3.3).
+   Hosts any number of named collaborative editing sessions over real
+   TCP: every document has its own controller, journal and member set,
+   and every connected site's messages are fanned out to the other
+   members of the same document.  Late joiners (or reconnecting sites)
+   bootstrap from a snapshot of the hub's own session copy.  The hub
+   enforces nothing from the paper's security model — each site's
+   controller does, exactly as in the peer-to-peer deployment; the
+   daemon only provides the reliable broadcast the model assumes (§3.3).
 
      dune exec bin/dced.exe -- --port 7471 --users 2 --text "abc"
 
    Then, from other terminals / machines:
 
      dune exec bin/p2pedit.exe -- --connect 127.0.0.1:7471 --site 1
+     dune exec bin/p2pedit.exe -- --connect 127.0.0.1:7471 --site 1 --doc notes
+
+   Old clients (no --doc) attach to the default document "main".
+   Federation: a leaf hub relays a home hub's documents to its own
+   members with
+
+     dced --port 7472 --hub-id 2 --upstream 127.0.0.1:7471
 
    Site 0 is the administrator; sites 0..N are registered up front
    (more can join after an `adduser`).  SIGINT/SIGTERM shut down
@@ -22,13 +30,26 @@
 open Dce_core
 module Obs = Dce_obs
 module Netd = Dce_netd
+module Hub = Dce_hub.Hub
 
-(* A site id no user will ever hold: the relay's controller is a
-   passive group member that only integrates what it relays. *)
-let relay_site = 1_000_000
+(* A site id no user will ever hold: each hosted controller is a
+   passive group member that only integrates what it relays.  Offset by
+   the hub id so federated hubs join each other's sessions under
+   distinct sites. *)
+let relay_site hub_id = 1_000_000 + hub_id
+
+let parse_host_port s =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+    let host = String.sub s 0 i
+    and p = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt p with
+    | Some p when host <> "" -> Ok (host, p)
+    | _ -> Error (Printf.sprintf "bad HOST:PORT %S" s))
+  | None -> Error (Printf.sprintf "bad HOST:PORT %S" s)
 
 let run port bind users text heartbeat_ms idle_timeout_ms data_dir fsync trace_file
-    metrics_flag admin_port stats_jsonl =
+    metrics_flag admin_port stats_jsonl docs_arg auto_create hub_id upstream_arg =
   (* a peer slamming its socket shut mid-write must surface as EPIPE on
      that connection, not kill the daemon *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -40,6 +61,21 @@ let run port bind users text heartbeat_ms idle_timeout_ms data_dir fsync trace_f
     else None
   in
   Dce_wire.Codec.set_metrics metrics;
+  let upstream =
+    match upstream_arg with
+    | None -> None
+    | Some s -> (
+      match parse_host_port s with
+      | Ok hp -> Some hp
+      | Error e ->
+        prerr_endline ("dced: --upstream: " ^ e);
+        exit 2)
+  in
+  let docs =
+    List.filter (fun d -> d <> "") (String.split_on_char ',' docs_arg)
+  in
+  let docs = if docs = [] then [ Hub.default_config.Hub.default_doc ] else docs in
+  let default_doc = List.hd docs in
   let with_sink f =
     match trace_file with
     | None -> f Obs.Trace.null
@@ -59,77 +95,113 @@ let run port bind users text heartbeat_ms idle_timeout_ms data_dir fsync trace_f
           Policy.make ~users:all
             [ Auth.grant [ Subject.Any ] [ Docobj.Whole ] Right.all ]
         in
-        Controller.create ~eq:Char.equal ~site:relay_site ~admin:0 ~policy ~trace:sink
-          ?metrics (Dce_ot.Tdoc.of_string text)
+        Controller.create ~eq:Char.equal ~site:(relay_site hub_id) ~admin:0 ~policy
+          ~trace:sink ?metrics (Dce_ot.Tdoc.of_string text)
       in
-      let journal, controller =
+      (* Per-doc durability layout: the default document keeps the
+         data-dir root (so a pre-hub directory recovers unchanged) and
+         every other document journals under docs/<name>. *)
+      let doc_dir root doc =
+        if doc = default_doc then root else Filename.concat (Filename.concat root "docs") doc
+      in
+      let journals = ref [] in
+      let factory doc =
         match data_dir with
-        | None -> (None, fresh ())
-        | Some dir -> (
+        | None -> Ok (fresh (), None)
+        | Some root -> (
+          let dir = doc_dir root doc in
           let config = { Dce_store.Store.default_config with fsync } in
           match
             Dce_store.Persist.opendir ~config ~eq:Char.equal ~trace:sink
               ~codec:Dce_wire.Proto.char_codec dir
           with
-          | Error e ->
-            prerr_endline ("dced: " ^ e);
-            exit 1
+          | Error e -> Error e
           | Ok (j, rec_) -> (
+            journals := (doc, j) :: !journals;
             match rec_.Dce_store.Persist.controller with
             | Some c ->
               Printf.printf
-                "dced: recovered session from %s (generation %d, %d log record(s) \
+                "dced: recovered session %S from %s (generation %d, %d log record(s) \
                  replayed%s)\n%!"
-                dir
+                doc dir
                 (Dce_store.Persist.generation j)
                 rec_.Dce_store.Persist.replayed
                 (if rec_.Dce_store.Persist.truncated_bytes > 0 then
                    Printf.sprintf ", %d torn byte(s) dropped"
                      rec_.Dce_store.Persist.truncated_bytes
                  else "");
-              (Some j, c)
-            | None ->
+              let c =
+                match metrics with Some m -> Controller.with_metrics m c | None -> c
+              in
+              Ok (c, Some j)
+            | None -> (
               let c = fresh () in
-              (match Dce_store.Persist.checkpoint j c with
-               | Ok () -> ()
-               | Error e ->
-                 prerr_endline ("dced: " ^ e);
-                 exit 1);
-              (Some j, c)))
-      in
-      let controller =
-        match metrics with
-        | Some m -> Controller.with_metrics m controller
-        | None -> controller
+              match Dce_store.Persist.checkpoint j c with
+              | Ok () -> Ok (c, Some j)
+              | Error e -> Error e)))
       in
       let addr = Unix.inet_addr_of_string bind in
       let config =
-        { Netd.Relay.default_config with heartbeat_ms; idle_timeout_ms }
+        {
+          Hub.default_config with
+          Hub.heartbeat_ms;
+          idle_timeout_ms;
+          hub_id;
+          default_doc;
+          auto_create;
+        }
       in
-      let relay =
-        Netd.Relay.create ~config ?metrics ~trace:sink ~addr ?journal
-          ~codec:Dce_wire.Proto.char_codec ~controller ~port ()
+      let hub =
+        try
+          Hub.create ~config ?metrics ~trace:sink ~addr ?upstream ~eq:Char.equal
+            ~codec:Dce_wire.Proto.char_codec ~factory ~docs ~port ()
+        with Failure e | Invalid_argument e ->
+          prerr_endline ("dced: " ^ e);
+          exit 1
       in
-      let sessions () =
-        let c = Netd.Relay.controller relay in
+      let doc_json doc =
+        let c = Hub.controller ~doc hub in
         Obs.Json.Obj
           [
+            ("doc", Obs.Json.String doc);
             ("sites", Obs.Json.List
-               (List.map (fun s -> Obs.Json.Int s) (Netd.Relay.connected_sites relay)));
+               (List.map (fun s -> Obs.Json.Int s) (Hub.connected_sites ~doc hub)));
+            ("members", Obs.Json.Int (Hub.member_count ~doc hub));
             ("doc_len", Obs.Json.Int
                (Dce_ot.Tdoc.visible_length (Controller.document c)));
             ("policy_version", Obs.Json.Int (Controller.version c));
             ("pending_coop", Obs.Json.Int (Controller.pending_coop c));
             ("pending_admin", Obs.Json.Int (Controller.pending_admin c));
+            ("fingerprint", Obs.Json.String
+               (Dce_wire.Proto.content_fingerprint Dce_wire.Proto.char_codec c));
+          ]
+      in
+      let sessions () =
+        (* top-level fields describe the default document (the shape
+           the single-session daemon served); "docs" lists everyone *)
+        let c = Hub.controller hub in
+        Obs.Json.Obj
+          [
+            ("sites", Obs.Json.List
+               (List.map (fun s -> Obs.Json.Int s) (Hub.connected_sites hub)));
+            ("doc_len", Obs.Json.Int
+               (Dce_ot.Tdoc.visible_length (Controller.document c)));
+            ("policy_version", Obs.Json.Int (Controller.version c));
+            ("pending_coop", Obs.Json.Int (Controller.pending_coop c));
+            ("pending_admin", Obs.Json.Int (Controller.pending_admin c));
+            ("hub_id", Obs.Json.Int hub_id);
+            ("upstream_connected", Obs.Json.Bool (Hub.upstream_connected hub));
+            ("docs", Obs.Json.List (List.map doc_json (Hub.docs hub)));
           ]
       in
       let healthz () =
         Obs.Json.Obj
           [
             ("status", Obs.Json.String "ok");
-            ("role", Obs.Json.String "relay");
+            ("role", Obs.Json.String "hub");
             ("pid", Obs.Json.Int (Unix.getpid ()));
-            ("port", Obs.Json.Int (Netd.Relay.port relay));
+            ("port", Obs.Json.Int (Hub.port hub));
+            ("docs", Obs.Json.Int (List.length (Hub.docs hub)));
           ]
       in
       let admin =
@@ -145,38 +217,50 @@ let run port bind users text heartbeat_ms idle_timeout_ms data_dir fsync trace_f
       let handler = Sys.Signal_handle (fun _ -> stop := true) in
       Sys.set_signal Sys.sigint handler;
       Sys.set_signal Sys.sigterm handler;
-      Printf.printf "dced: listening on %s:%d (%d user(s) + admin, doc %S)\n%!" bind
-        (Netd.Relay.port relay) users text;
+      Printf.printf "dced: listening on %s:%d (%d user(s) + admin, doc %S, %d doc(s))\n%!"
+        bind (Hub.port hub) users text
+        (List.length (Hub.docs hub));
+      (match upstream with
+       | Some (h, p) -> Printf.printf "dced: leaf of %s:%d (hub id %d)\n%!" h p hub_id
+       | None -> ());
       (match admin with
        | Some a -> Printf.printf "dced: admin socket on %d\n%!" (Netd.Admin.port a)
        | None -> ());
-      Netd.Relay.run ~tick_ms:100
-        ~on_tick:(fun r ->
+      Hub.run ~tick_ms:100
+        ~on_tick:(fun h ->
           (match metrics with
            | Some m ->
-             Obs.Metrics.set (Obs.Metrics.gauge m "netd.conns")
-               (Netd.Relay.conn_count r);
+             Obs.Metrics.set (Obs.Metrics.gauge m "netd.conns") (Hub.conn_count h);
              Obs.Metrics.set (Obs.Metrics.gauge m "netd.outbox_bytes")
-               (Netd.Relay.outbox_bytes r);
+               (Hub.outbox_bytes h);
              Option.iter (fun s -> Obs.Export.series_tick s m) series
            | None -> ());
           Option.iter Netd.Admin.step admin;
-          if !stop then Netd.Relay.shutdown r)
-        relay;
+          if !stop then Hub.shutdown h)
+        hub;
       Option.iter Netd.Admin.close admin;
       Option.iter Obs.Export.series_close series;
-      (match journal with
-       | None -> ()
-       | Some j ->
-         (* a clean shutdown leaves a fresh snapshot so the next start
-            replays nothing *)
-         (match Dce_store.Persist.checkpoint j (Netd.Relay.controller relay) with
-          | Ok () -> ()
-          | Error e -> prerr_endline ("dced: final checkpoint failed: " ^ e));
-         Dce_store.Persist.close j);
-      Printf.printf "dced: shut down; final doc %S (policy v%d)\n%!"
-        (Dce_ot.Tdoc.visible_string (Controller.document (Netd.Relay.controller relay)))
-        (Controller.version (Netd.Relay.controller relay)));
+      (* a clean shutdown leaves fresh snapshots so the next start
+         replays nothing *)
+      List.iter
+        (fun (doc, j) ->
+          (match Hub.controller ~doc hub with
+           | c -> (
+             match Dce_store.Persist.checkpoint j c with
+             | Ok () -> ()
+             | Error e ->
+               prerr_endline
+                 (Printf.sprintf "dced: final checkpoint of %S failed: %s" doc e))
+           | exception Invalid_argument _ -> ());
+          Dce_store.Persist.close j)
+        !journals;
+      List.iter
+        (fun doc ->
+          let c = Hub.controller ~doc hub in
+          Printf.printf "dced: shut down; doc %S final %S (policy v%d)\n%!" doc
+            (Dce_ot.Tdoc.visible_string (Controller.document c))
+            (Controller.version c))
+        (Hub.docs hub));
   (match trace_file with
    | Some path -> Printf.printf "trace written to %s\n" path
    | None -> ());
@@ -212,9 +296,11 @@ let idle_timeout_ms =
 let data_dir =
   Arg.(value & opt (some string) None
        & info [ "data-dir" ] ~docv:"DIR"
-           ~doc:"Persist the session to $(docv) (write-ahead log + snapshots): a \
+           ~doc:"Persist the sessions to $(docv) (write-ahead log + snapshots): a \
                  killed or crashed daemon restarted on the same directory resumes \
-                 the session with seqnos and late-joiner snapshots intact.")
+                 every session with seqnos and late-joiner snapshots intact.  The \
+                 default document keeps the directory root; other documents \
+                 journal under $(docv)/docs/NAME.")
 
 let fsync =
   Arg.(value & opt string "interval:64"
@@ -225,21 +311,22 @@ let fsync =
 let trace_file =
   Arg.(value & opt (some string) None
        & info [ "trace" ] ~docv:"FILE"
-           ~doc:"Write a JSONL trace (connection lifecycle + the relay's own \
+           ~doc:"Write a JSONL trace (connection lifecycle + the hub's own \
                  integration events) to $(docv).")
 
 let metrics_flag =
   Arg.(value & flag
        & info [ "metrics" ]
-           ~doc:"Count transport work (bytes/frames in/out, connection lifecycle); \
-                 print the registry on exit.")
+           ~doc:"Count transport work (bytes/frames in/out, connection lifecycle, \
+                 per-doc fan-out); print the registry on exit.")
 
 let admin_port =
   Arg.(value & opt (some int) None
        & info [ "admin" ] ~docv:"PORT"
            ~doc:"Serve a loopback admin socket on $(docv) (0 = ephemeral): \
                  $(b,/metrics) (Prometheus text exposition), $(b,/healthz) and \
-                 $(b,/sessions) (JSON).  Implies --metrics.")
+                 $(b,/sessions) (JSON, one entry per hosted document).  Implies \
+                 --metrics.")
 
 let stats_jsonl =
   Arg.(value & opt (some string) None
@@ -247,10 +334,36 @@ let stats_jsonl =
            ~doc:"Append a JSON metrics snapshot to $(docv) every second (a JSONL \
                  time series).  Implies --metrics.")
 
+let docs_arg =
+  Arg.(value & opt string "main"
+       & info [ "docs" ] ~docv:"NAMES"
+           ~doc:"Comma-separated document names to host (the first is the default \
+                 document old single-doc clients attach to).")
+
+let auto_create =
+  Arg.(value & flag
+       & info [ "auto-create" ]
+           ~doc:"Open a new session on the first $(b,Attach) to an unknown \
+                 document name; without this flag, unknown names drop the peer.")
+
+let hub_id =
+  Arg.(value & opt int 0
+       & info [ "hub-id" ] ~docv:"N"
+           ~doc:"This hub's federation identity (loop prevention); required \
+                 nonzero and unique with --upstream.")
+
+let upstream_arg =
+  Arg.(value & opt (some string) None
+       & info [ "upstream" ] ~docv:"HOST:PORT"
+           ~doc:"Run as a federation leaf of the given home hub: every hosted \
+                 document is attached upstream, local frames are forwarded up and \
+                 home frames are rebroadcast to local members.")
+
 let cmd =
   Cmd.v
-    (Cmd.info "dced" ~doc:"Relay daemon for multi-process collaborative sessions")
+    (Cmd.info "dced" ~doc:"Hub daemon for multi-process collaborative sessions")
     Term.(const run $ port $ bind $ users $ text $ heartbeat_ms $ idle_timeout_ms
-          $ data_dir $ fsync $ trace_file $ metrics_flag $ admin_port $ stats_jsonl)
+          $ data_dir $ fsync $ trace_file $ metrics_flag $ admin_port $ stats_jsonl
+          $ docs_arg $ auto_create $ hub_id $ upstream_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,14 +1,20 @@
 (* loadgen: open-loop SLO load harness for the networked deployment.
 
-   Spawns one relay process plus N editor processes (site 0 is the
-   administrator, so the validation path is exercised), drives each
-   editor open-loop at a configured op rate — the next op is due at
+   Spawns one hub process plus N editor processes, drives each editor
+   open-loop at a configured op rate — the next op is due at
    start + k/rate regardless of how the system keeps up, so queueing
    shows in the latency numbers instead of silently throttling the
    offered load — then scrapes every process's admin endpoint and
    folds the expositions into one report:
 
      dune exec bin/loadgen.exe -- --editors 3 --rate 20 --duration 5
+
+   With --docs K the hub hosts K independent documents (load0..loadK-1)
+   and editor i attaches to doc load(i mod K): each document is its own
+   session with its own policy (users = the sites sharing the doc,
+   admin = the lowest of them, so the validation path is exercised in
+   every shard) and the report breaks delivered throughput down per
+   document on top of the aggregate.
 
    Outputs BENCH_load.json (delivered throughput, end-to-end
    propagation percentiles, queue depths, overflow/reconnect counts)
@@ -20,6 +26,7 @@
 open Dce_core
 module Obs = Dce_obs
 module Netd = Dce_netd
+module Hub = Dce_hub.Hub
 module Proto = Dce_wire.Proto
 module Tdoc = Dce_ot.Tdoc
 
@@ -68,28 +75,28 @@ let http_get ~port ~path =
       else Error (String.trim (String.sub raw 0 (min 32 (String.length raw))))
   with Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
 
-(* ----- the relay process ----- *)
+(* ----- the hub process ----- *)
 
-let relay_child ~relay ~admin ~metrics ~oc () =
+let relay_child ~hub ~admin ~metrics ~oc () =
   let stop = ref false in
   let handler = Sys.Signal_handle (fun _ -> stop := true) in
   Sys.set_signal Sys.sigterm handler;
   Sys.set_signal Sys.sigint handler;
   let rec serve () =
-    (* a SIGTERM mid-select surfaces as EINTR; re-enter so on_tick sees
+    (* a SIGTERM mid-poll surfaces as EINTR; re-enter so on_tick sees
        the stop flag and shuts down cleanly *)
     try
-      Netd.Relay.run ~tick_ms:50
-        ~on_tick:(fun r ->
+      Hub.run ~tick_ms:50
+        ~on_tick:(fun h ->
           Obs.Metrics.set (Obs.Metrics.gauge metrics "netd.conns")
-            (Netd.Relay.conn_count r);
+            (Hub.conn_count h);
           Obs.Metrics.set (Obs.Metrics.gauge metrics "netd.outbox_bytes")
-            (Netd.Relay.outbox_bytes r);
+            (Hub.outbox_bytes h);
           Netd.Admin.step admin;
-          if !stop then Netd.Relay.shutdown r)
-        relay
+          if !stop then Hub.shutdown h)
+        hub
     with Unix.Unix_error (Unix.EINTR, _, _) ->
-      if not (Netd.Relay.stopped relay) then serve ()
+      if not (Hub.stopped hub) then serve ()
   in
   serve ();
   Netd.Admin.close admin;
@@ -123,7 +130,7 @@ let fresh_cell () =
     ec_sent = 0;
   }
 
-let editor_child ~cell ~metrics ~admin ~site ~relay_port ~rate ~duration
+let editor_child ~cell ~metrics ~admin ~site ~doc ~relay_port ~rate ~duration
     ~trace_path () =
   let stop = ref false in
   let handler = Sys.Signal_handle (fun _ -> stop := true) in
@@ -132,11 +139,20 @@ let editor_child ~cell ~metrics ~admin ~site ~relay_port ~rate ~duration
   let oc = open_out trace_path in
   let sink = Obs.Trace.to_channel oc in
   let client =
-    Netd.Client.create ~metrics ~trace:sink ~host:"127.0.0.1" ~port:relay_port
-      ~site ()
+    Netd.Client.create ~metrics ~trace:sink ~doc ~host:"127.0.0.1"
+      ~port:relay_port ~site ()
   in
   let e2e = Obs.Metrics.histogram metrics "e2e.propagation_ns" in
-  let sent_c = Obs.Metrics.counter metrics "load.sent" in
+  (* doc-labeled, so the harness can break the merged totals down per
+     shard after scraping *)
+  let sent_c =
+    Obs.Metrics.counter metrics
+      (Obs.Metrics.with_label "load.sent" ~key:"doc" ~value:doc)
+  in
+  let delivered_c =
+    Obs.Metrics.counter metrics
+      (Obs.Metrics.with_label "load.delivered" ~key:"doc" ~value:doc)
+  in
   let outbox_g = Obs.Metrics.gauge metrics "netd.outbox_bytes" in
   let ctrl = ref None in
   let send m =
@@ -181,6 +197,7 @@ let editor_child ~cell ~metrics ~admin ~site ~relay_port ~rate ~duration
           match Controller.receive c m with
           | c, emitted ->
             ctrl := Some c;
+            Obs.Metrics.incr delivered_c;
             (match stamp with
              | Some s ->
                Obs.Metrics.observe e2e (Obs.Clock.now_ns () - s.Proto.s_ns)
@@ -275,67 +292,102 @@ let kill_all pids =
     pids;
   List.iter reap pids
 
-let run editors rate duration drain_ms port text trace_dir out min_ratio =
+let run editors rate duration drain_ms port text trace_dir out min_ratio docs_k =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   if editors < 2 then begin
     prerr_endline "loadgen: need at least 2 editors";
     exit 2
   end;
+  if docs_k < 1 then begin
+    prerr_endline "loadgen: --docs must be >= 1";
+    exit 2
+  end;
   (try Unix.mkdir trace_dir 0o755
    with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-  (* relay created pre-fork so its ports are known here; the child
+  (* document sharding: editor i works on doc load(i mod K); every doc
+     is an independent session whose users are exactly the sites that
+     share it, the lowest of them the admin *)
+  let ndocs = max 1 (min docs_k editors) in
+  let doc_name d = Printf.sprintf "load%d" d in
+  let doc_of_site i = doc_name (i mod ndocs) in
+  let all_users = List.init editors Fun.id in
+  let doc_sites d = List.filter (fun i -> i mod ndocs = d) all_users in
+  (* hub created pre-fork so its ports are known here; the child
      inherits the bound sockets and runs the loop *)
   let relay_metrics = Obs.Metrics.create () in
   let relay_oc = open_out (Filename.concat trace_dir "relay.jsonl") in
   let relay_sink = Obs.Trace.to_channel relay_oc in
-  let all_users = List.init editors Fun.id in
-  let policy =
-    Policy.make ~users:all_users
-      [ Auth.grant [ Subject.Any ] [ Docobj.Whole ] Right.all ]
+  let factory doc =
+    let d =
+      try Scanf.sscanf doc "load%d" Fun.id
+      with Scanf.Scan_failure _ | Failure _ | End_of_file -> -1
+    in
+    match doc_sites d with
+    | [] -> Error (Printf.sprintf "unknown doc %S" doc)
+    | (admin :: _) as sites ->
+      let policy =
+        Policy.make ~users:sites
+          [ Auth.grant [ Subject.Any ] [ Docobj.Whole ] Right.all ]
+      in
+      Ok
+        ( Controller.create ~eq:Char.equal ~site:relay_site ~admin ~policy
+            ~trace:relay_sink ~metrics:relay_metrics (Tdoc.of_string text),
+          None )
   in
-  let controller =
-    Controller.create ~eq:Char.equal ~site:relay_site ~admin:0 ~policy
-      ~trace:relay_sink ~metrics:relay_metrics (Tdoc.of_string text)
+  let hub =
+    Hub.create
+      ~config:{ Hub.default_config with Hub.default_doc = doc_name 0 }
+      ~metrics:relay_metrics ~trace:relay_sink ~codec:Proto.char_codec ~factory
+      ~docs:(List.init ndocs doc_name) ~port ()
   in
-  let relay =
-    Netd.Relay.create ~metrics:relay_metrics ~trace:relay_sink
-      ~codec:Proto.char_codec ~controller ~port ()
-  in
-  let relay_port = Netd.Relay.port relay in
+  let relay_port = Hub.port hub in
   let relay_admin =
     Netd.Admin.create ~metrics:relay_metrics
       ~healthz:(fun () ->
         Obs.Json.Obj
           [
             ("status", Obs.Json.String "ok");
-            ("role", Obs.Json.String "relay");
+            ("role", Obs.Json.String "hub");
             ("port", Obs.Json.Int relay_port);
+            ("docs", Obs.Json.Int ndocs);
           ])
       ~sessions:(fun () ->
-        let c = Netd.Relay.controller relay in
         Obs.Json.Obj
           [
-            ( "sites",
+            ( "docs",
               Obs.Json.List
                 (List.map
-                   (fun s -> Obs.Json.Int s)
-                   (Netd.Relay.connected_sites relay)) );
-            ("doc_len", Obs.Json.Int (Tdoc.visible_length (Controller.document c)));
-            ("policy_version", Obs.Json.Int (Controller.version c));
+                   (fun doc ->
+                     let c = Hub.controller ~doc hub in
+                     Obs.Json.Obj
+                       [
+                         ("doc", Obs.Json.String doc);
+                         ( "sites",
+                           Obs.Json.List
+                             (List.map
+                                (fun s -> Obs.Json.Int s)
+                                (Hub.connected_sites ~doc hub)) );
+                         ( "doc_len",
+                           Obs.Json.Int
+                             (Tdoc.visible_length (Controller.document c)) );
+                         ("policy_version", Obs.Json.Int (Controller.version c));
+                       ])
+                   (Hub.docs hub)) );
           ])
       ~port:0 ()
   in
   let relay_admin_port = Netd.Admin.port relay_admin in
   let relay_pid = Unix.fork () in
   if relay_pid = 0 then
-    relay_child ~relay ~admin:relay_admin ~metrics:relay_metrics ~oc:relay_oc ();
-  (* editors: sites 0..N-1; site 0 is the administrator, so its copies
-     validate the others' tentative requests *)
+    relay_child ~hub ~admin:relay_admin ~metrics:relay_metrics ~oc:relay_oc ();
+  (* editors: sites 0..N-1; each doc's lowest site is its administrator,
+     so its copies validate the others' tentative requests *)
   let eds =
     List.map
       (fun site ->
         let metrics = Obs.Metrics.create () in
         let cell = fresh_cell () in
+        let doc = doc_of_site site in
         let admin =
           Netd.Admin.create ~metrics
             ~healthz:(fun () ->
@@ -344,12 +396,14 @@ let run editors rate duration drain_ms port text trace_dir out min_ratio =
                   ("status", Obs.Json.String "ok");
                   ("role", Obs.Json.String "editor");
                   ("site", Obs.Json.Int site);
+                  ("doc", Obs.Json.String doc);
                   ("joined", Obs.Json.Bool cell.ec_joined);
                 ])
             ~sessions:(fun () ->
               Obs.Json.Obj
                 [
                   ("site", Obs.Json.Int site);
+                  ("doc", Obs.Json.String doc);
                   ("joined", Obs.Json.Bool cell.ec_joined);
                   ("doc_len", Obs.Json.Int cell.ec_doc_len);
                   ("policy_version", Obs.Json.Int cell.ec_version);
@@ -366,15 +420,16 @@ let run editors rate duration drain_ms port text trace_dir out min_ratio =
         in
         let pid = Unix.fork () in
         if pid = 0 then
-          editor_child ~cell ~metrics ~admin ~site ~relay_port ~rate ~duration
-            ~trace_path ();
+          editor_child ~cell ~metrics ~admin ~site ~doc ~relay_port ~rate
+            ~duration ~trace_path ();
         (site, pid, admin_port))
       all_users
   in
   let pids = relay_pid :: List.map (fun (_, p, _) -> p) eds in
   Printf.printf
-    "loadgen: relay on %d (admin %d), %d editor(s), %g op/s each for %gs\n%!"
-    relay_port relay_admin_port editors rate duration;
+    "loadgen: hub on %d (admin %d), %d editor(s) over %d doc(s), %g op/s each \
+     for %gs\n%!"
+    relay_port relay_admin_port editors ndocs rate duration;
   (* phase 1: every editor joined *)
   let joined (_, _, aport) =
     match http_get ~port:aport ~path:"/healthz" with
@@ -420,7 +475,16 @@ let run editors rate duration drain_ms port text trace_dir out min_ratio =
   let gauges = Obs.Metrics.gauges merged in
   let hists = Obs.Metrics.histograms merged in
   let counter name = try List.assoc name counters with Not_found -> 0 in
-  let sent = counter "load_sent" in
+  let labeled base doc =
+    counter (base ^ Obs.Metrics.render_labels [ ("doc", doc) ])
+  in
+  let per_doc =
+    List.init ndocs (fun d ->
+        let doc = doc_name d in
+        let members = List.length (doc_sites d) in
+        (doc, members, labeled "load_sent" doc, labeled "load_delivered" doc))
+  in
+  let sent = List.fold_left (fun a (_, _, s, _) -> a + s) 0 per_doc in
   let delivered = counter "controller_delivered" in
   let e2e =
     try Some (List.assoc "e2e_propagation_ns" hists) with Not_found -> None
@@ -428,18 +492,35 @@ let run editors rate duration drain_ms port text trace_dir out min_ratio =
   let e2e_count = match e2e with Some s -> s.Obs.Metrics.count | None -> 0 in
   let e2e_p f = match e2e with Some s when e2e_count > 0 -> f s | _ -> 0. in
   let offered = float_of_int editors *. rate *. duration in
-  (* every sent op should be delivered at the other N-1 editors plus
-     the relay's own controller: N deliveries per op *)
-  let expected = sent * editors in
+  (* every op sent into doc d should be delivered at the doc's other
+     n_d - 1 editors plus the hub's own controller: n_d deliveries *)
+  let expected =
+    List.fold_left (fun a (_, n, s, _) -> a + (s * n)) 0 per_doc
+  in
   let ratio =
     if expected = 0 then 0. else float_of_int delivered /. float_of_int expected
   in
   let throughput = float_of_int delivered /. duration in
+  let per_doc_json =
+    List.map
+      (fun (doc, members, s, d) ->
+        Obs.Json.Obj
+          [
+            ("doc", Obs.Json.String doc);
+            ("editors", Obs.Json.Int members);
+            ("sent_ops", Obs.Json.Int s);
+            ("delivered", Obs.Json.Int d);
+            ( "throughput_per_s",
+              Obs.Json.Float (float_of_int d /. duration) );
+          ])
+      per_doc
+  in
   let report =
     Obs.Json.Obj
       [
         ("section", Obs.Json.String "load");
         ("editors", Obs.Json.Int editors);
+        ("docs", Obs.Json.Int ndocs);
         ("rate_per_editor", Obs.Json.Float rate);
         ("duration_s", Obs.Json.Float duration);
         ("offered_ops", Obs.Json.Float offered);
@@ -447,6 +528,7 @@ let run editors rate duration drain_ms port text trace_dir out min_ratio =
         ("delivered", Obs.Json.Int delivered);
         ("delivery_ratio", Obs.Json.Float ratio);
         ("throughput_per_s", Obs.Json.Float throughput);
+        ("per_doc", Obs.Json.List per_doc_json);
         ("e2e_samples", Obs.Json.Int e2e_count);
         ("e2e_p50_ns", Obs.Json.Float (e2e_p (fun s -> s.Obs.Metrics.p50)));
         ("e2e_p95_ns", Obs.Json.Float (e2e_p (fun s -> s.Obs.Metrics.p95)));
@@ -528,14 +610,21 @@ let out =
 let min_ratio =
   Arg.(value & opt float 0.
        & info [ "min-delivery-ratio" ] ~docv:"R"
-           ~doc:"Fail (exit 1) when delivered / (sent * editors) falls under \
-                 $(docv) — the CI throughput-regression gate.")
+           ~doc:"Fail (exit 1) when delivered / expected falls under $(docv) — \
+                 the CI throughput-regression gate.")
+
+let docs_k =
+  Arg.(value & opt int 1
+       & info [ "docs" ] ~docv:"K"
+           ~doc:"Shard the editors over $(docv) hub documents (editor i works \
+                 on doc load(i mod K)); the report adds a per-document \
+                 throughput breakdown.")
 
 let cmd =
   Cmd.v
     (Cmd.info "loadgen"
-       ~doc:"Open-loop SLO load harness: relay + N editors, scraped live")
+       ~doc:"Open-loop SLO load harness: hub + N editors, scraped live")
     Term.(const run $ editors $ rate $ duration $ drain_ms $ port $ text
-          $ trace_dir $ out $ min_ratio)
+          $ trace_dir $ out $ min_ratio $ docs_k)
 
 let () = exit (Cmd.eval' cmd)

@@ -446,7 +446,7 @@ let net_command st words =
 (* stdin is consumed with raw reads and an explicit line buffer, so it
    can sit in the same select as the socket without an in_channel
    buffering the lines away between wakeups *)
-let net_session host port my_site sink metrics data_dir fsync admin_port =
+let net_session host port my_site doc sink metrics data_dir fsync admin_port =
   let journal, ctrl0, pending0 =
     match data_dir with
     | None -> (None, None, [])
@@ -488,7 +488,7 @@ let net_session host port my_site sink metrics data_dir fsync admin_port =
     | _ -> ctrl0
   in
   let client =
-    Netd.Client.create ?metrics ~trace:sink ~host ~port ~site:my_site ()
+    Netd.Client.create ?metrics ~trace:sink ?doc ~host ~port ~site:my_site ()
   in
   let e2e_ns =
     let reg =
@@ -622,7 +622,8 @@ let run_local users text trace_file metrics_flag =
   | Some m -> Format.printf "metrics:@.%a@." Obs.Metrics.pp m
   | None -> ()
 
-let run users text trace_file metrics_flag connect site_arg data_dir fsync admin_port =
+let run users text trace_file metrics_flag connect site_arg doc_arg data_dir fsync
+    admin_port =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let fsync =
     match Dce_store.Store.fsync_policy_of_string fsync with
@@ -637,6 +638,11 @@ let run users text trace_file metrics_flag connect site_arg data_dir fsync admin
     (match data_dir with
      | Some _ ->
        prerr_endline "p2pedit: --data-dir applies to connect mode (--connect)";
+       exit 2
+     | None -> ());
+    (match doc_arg with
+     | Some _ ->
+       prerr_endline "p2pedit: --doc applies to connect mode (--connect)";
        exit 2
      | None -> ());
     run_local users text trace_file metrics_flag
@@ -664,7 +670,7 @@ let run users text trace_file metrics_flag connect site_arg data_dir fsync admin
       | Some path -> Obs.Trace.with_file path f
     in
     with_sink (fun sink ->
-        net_session host port site_arg sink metrics data_dir fsync admin_port);
+        net_session host port site_arg doc_arg sink metrics data_dir fsync admin_port);
     (match trace_file with
      | Some path -> Printf.printf "trace written to %s\n" path
      | None -> ());
@@ -701,6 +707,13 @@ let site_arg =
        & info [ "site" ] ~docv:"N"
            ~doc:"Site id to join as (with --connect; 0 is the administrator).")
 
+let doc_arg =
+  Arg.(value & opt (some string) None
+       & info [ "doc" ] ~docv:"NAME"
+           ~doc:"With --connect: attach to the hub's document $(docv) (v2 wire \
+                 dialect).  Omitted, the client speaks the original single-doc \
+                 protocol and the hub attaches it to its default document.")
+
 let data_dir =
   Arg.(value & opt (some string) None
        & info [ "data-dir" ] ~docv:"DIR"
@@ -727,6 +740,6 @@ let cmd =
   Cmd.v
     (Cmd.info "p2pedit" ~doc:"Scriptable secured collaborative editing session")
     Term.(const run $ users $ text $ trace_file $ metrics_flag $ connect $ site_arg
-          $ data_dir $ fsync $ admin_port)
+          $ doc_arg $ data_dir $ fsync $ admin_port)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,19 @@
+let max_length = 64
+
+let valid_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '.' || c = '_' || c = '-'
+
+let validate name =
+  let n = String.length name in
+  if n = 0 then Error "empty document name"
+  else if n > max_length then
+    Error (Printf.sprintf "document name longer than %d bytes" max_length)
+  else if name.[0] = '.' || name.[0] = '-' then
+    Error "document name may not start with '.' or '-'"
+  else if String.for_all valid_char name then Ok name
+  else Error "document name: allowed characters are A-Z a-z 0-9 . _ -"
+
+let valid name = Result.is_ok (validate name)

@@ -1,0 +1,13 @@
+(** Document names: the keys of the hub's session registry.
+
+    A valid name is 1–64 bytes of [A-Za-z0-9._-] not starting with ['.']
+    or ['-'] — safe to use verbatim as a filesystem directory name (the
+    per-doc durability layout), a metric label value and a wire string.
+    Names arrive in [Attach] frames from untrusted peers, so the hub
+    validates before touching the registry and drops the connection as
+    [Corrupt] on failure. *)
+
+val max_length : int
+
+val validate : string -> (string, string) result
+val valid : string -> bool

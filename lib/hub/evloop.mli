@@ -1,0 +1,31 @@
+(** Readiness polling without the [Unix.select] cliff.
+
+    [Unix.select] is limited to [FD_SETSIZE] (1024) file descriptors;
+    passing an fd whose {e number} is ≥ 1024 corrupts the fd_set.  A hub
+    hosting thousands of member connections from one event loop needs
+    [poll(2)], which takes an explicit array and scales to the process
+    fd limit — this module is the thin binding, used by {!Hub},
+    {!Upstream} and the daemons' loops.
+
+    The interface mirrors the [select] idiom the rest of the repo uses:
+    pass the fds you want readable/writable, get back the ready
+    subsets.  [EINTR] (and a timeout expiring) returns two empty lists —
+    callers always re-poll on the next tick.  Error conditions on a
+    socket ([POLLERR]/[POLLHUP]/[POLLNVAL]) are reported as readiness so
+    the owner's read/write handler observes the failure and retires the
+    connection. *)
+
+val wait :
+  ?timeout_ms:int ->
+  read:Unix.file_descr list ->
+  write:Unix.file_descr list ->
+  unit ->
+  Unix.file_descr list * Unix.file_descr list
+(** [(readable, writable)] among the given fds.  An fd may appear in
+    both input lists (one underlying pollfd entry is used).
+    [timeout_ms] defaults to 0 (pure poll); [-1] would block forever, so
+    callers pass an explicit tick instead. *)
+
+val sleep_ms : int -> unit
+(** Sleep via an empty poll — a [select]-free [Unix.sleepf] for loops
+    that have nothing to watch this tick. *)

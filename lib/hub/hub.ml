@@ -1,0 +1,548 @@
+module Obs = Dce_obs
+module M = Obs.Metrics
+module Proto = Dce_wire.Proto
+module Controller = Dce_core.Controller
+module Conn = Dce_netd.Conn
+module Tele = Dce_netd.Tele
+module Relay_proto = Dce_netd.Relay_proto
+module Persist = Dce_store.Persist
+
+type config = {
+  heartbeat_ms : int;
+  idle_timeout_ms : int;
+  max_outbox : int;
+  max_frame : int;
+  hub_id : int;
+  default_doc : string;
+  auto_create : bool;
+  max_docs : int;
+}
+
+let default_config =
+  {
+    heartbeat_ms = 5_000;
+    idle_timeout_ms = 30_000;
+    max_outbox = 4 * 1024 * 1024;
+    max_frame = 8 * 1024 * 1024;
+    hub_id = 0;
+    default_doc = "main";
+    auto_create = false;
+    max_docs = 4096;
+  }
+
+(* Per-connection mux state.  Which docs a connection is attached to
+   (and as which site) is tracked here for routing and teardown; the
+   per-doc member lists used for fan-out live in the sessions. *)
+type conn_state = {
+  conn : Conn.t;
+  mutable v1 : bool; (* greeted with the single-doc Hello *)
+  mutable atts : (string * int) list; (* doc name -> site *)
+}
+
+type 'e t = {
+  cfg : config;
+  tele : Tele.t;
+  reg : M.t; (* per-doc labeled series; disabled registry when unmetered *)
+  trace : Obs.Trace.sink;
+  codec : 'e Proto.elt_codec;
+  eq : 'e -> 'e -> bool;
+  listen_fd : Unix.file_descr;
+  port : int;
+  registry : 'e Registry.t;
+  upstream : Upstream.t option;
+  mutable conns : conn_state list;
+  mutable stopped : bool;
+}
+
+let trace_s t s peer action detail =
+  if Obs.Trace.enabled t.trace then begin
+    let c = Session.controller s in
+    Obs.Trace.emit t.trace ~site:(Controller.site c) ~clock:(Controller.clock c)
+      ~version:(Controller.version c)
+      (Obs.Trace.Net { peer; action; detail })
+  end
+
+let member_gauge t doc = M.gauge t.reg (M.with_label "hub.members" ~key:"doc" ~value:doc)
+
+let doc_frames t doc = M.counter t.reg (M.with_label "hub.frames" ~key:"doc" ~value:doc)
+
+let update_doc_gauges t s =
+  M.set (member_gauge t (Session.name s)) (Session.member_count s);
+  M.set (M.gauge t.reg "hub.docs") (Registry.count t.registry)
+
+let create ?(config = default_config) ?metrics ?(trace = Obs.Trace.null)
+    ?(addr = Unix.inet_addr_loopback) ?upstream:up ?seed ?(eq = ( = )) ~codec ~factory
+    ~docs ~port () =
+  (match up with
+   | Some _ when config.hub_id = 0 ->
+     invalid_arg "Hub.create: federation requires a nonzero hub_id"
+   | _ -> ());
+  let registry = Registry.create ~max_docs:config.max_docs ~factory () in
+  List.iter
+    (fun d ->
+      match Registry.open_doc registry d with
+      | Ok _ -> ()
+      | Error e -> failwith ("Hub.create: " ^ e))
+    docs;
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.set_nonblock fd;
+  Unix.bind fd (Unix.ADDR_INET (addr, port));
+  Unix.listen fd 64;
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let upstream =
+    Option.map
+      (fun (host, uport) ->
+        let site =
+          match Registry.docs registry with
+          | s :: _ -> Controller.site (Session.controller s)
+          | [] -> invalid_arg "Hub.create: federation requires at least one document"
+        in
+        let u = Upstream.create ?metrics ?seed ~host ~port:uport ~site () in
+        List.iter
+          (fun s -> Upstream.attach u ~doc:(Session.name s))
+          (Registry.docs registry);
+        u)
+      up
+  in
+  let t =
+    {
+      cfg = config;
+      tele = Tele.make ?metrics ();
+      reg = (match metrics with Some m -> m | None -> M.create ~enabled:false ());
+      trace;
+      codec;
+      eq;
+      listen_fd = fd;
+      port;
+      registry;
+      upstream;
+      conns = [];
+      stopped = false;
+    }
+  in
+  List.iter (update_doc_gauges t) (Registry.docs registry);
+  t
+
+let port t = t.port
+let hub_id t = t.cfg.hub_id
+let default_doc t = t.cfg.default_doc
+let docs t = Registry.names t.registry
+let stopped t = t.stopped
+let upstream_connected t =
+  match t.upstream with Some u -> Upstream.connected u | None -> false
+
+let session t doc =
+  match Registry.find t.registry doc with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Hub: unknown document %S" doc)
+
+let the_doc t doc = match doc with Some d -> d | None -> t.cfg.default_doc
+
+let controller ?doc t = Session.controller (session t (the_doc t doc))
+
+let connected_sites ?doc t = Session.connected_sites (session t (the_doc t doc))
+
+let member_count ?doc t = Session.member_count (session t (the_doc t doc))
+
+let conn_count t = List.length (List.filter (fun cs -> Conn.alive cs.conn) t.conns)
+
+let outbox_bytes t =
+  List.fold_left
+    (fun acc cs -> if Conn.alive cs.conn then acc + Conn.outbox_bytes cs.conn else acc)
+    0 t.conns
+
+(* ------------------------------------------------------------------ *)
+(* Attach / fan-out                                                   *)
+
+let greeting_frames t s dialect doc =
+  let ctrl = Session.controller s in
+  let relay_site = Controller.site ctrl in
+  let state = Proto.encode_state t.codec (Controller.dump ctrl) in
+  match dialect with
+  | Session.V1 ->
+    [ Relay_proto.Welcome { relay_site; heartbeat_ms = t.cfg.heartbeat_ms };
+      Relay_proto.Snapshot state;
+    ]
+  | Session.V2 ->
+    [ Relay_proto.Attached { doc; relay_site; heartbeat_ms = t.cfg.heartbeat_ms };
+      Relay_proto.Doc_snapshot { doc; state };
+    ]
+
+let attach t cs ~dialect ~session:s ~site =
+  let doc = Session.name s in
+  (* a site reconnecting through a fresh socket supersedes its old,
+     possibly half-dead attachment; the old connection is closed once it
+     holds no other attachment *)
+  (match Session.find_site s ~site with
+   | Some m when m.Session.conn != cs.conn ->
+     ignore (Session.remove_conn s m.Session.conn);
+     (match List.find_opt (fun c' -> c'.conn == m.Session.conn) t.conns with
+      | Some c' ->
+        c'.atts <- List.filter (fun (d, _) -> d <> doc) c'.atts;
+        if c'.atts = [] then Conn.mark_closed c'.conn Conn.Superseded
+      | None -> ())
+   | _ -> ());
+  cs.atts <- cs.atts @ [ (doc, site) ];
+  let again = Session.add_member s { Session.conn = cs.conn; site; dialect } in
+  M.incr t.tele.Tele.connects;
+  if again then M.incr t.tele.Tele.reconnects;
+  trace_s t s site (if again then "reconnect" else "connect") (Conn.peer cs.conn);
+  List.iter
+    (fun frame -> Conn.send cs.conn (Relay_proto.encode frame))
+    (greeting_frames t s dialect doc);
+  M.incr t.tele.Tele.snapshots;
+  trace_s t s site "snapshot" "";
+  update_doc_gauges t s
+
+(* Journal an integrated message and checkpoint on cadence.  Journal
+   errors degrade durability, not availability: the live session keeps
+   running and the failure is surfaced through the trace. *)
+let journal_received t s m =
+  match Session.journal s with
+  | None -> ()
+  | Some j -> (
+    Persist.record j (Persist.Received m);
+    match Persist.maybe_checkpoint j (Session.controller s) with
+    | Ok did -> if did then trace_s t s (Controller.site (Session.controller s)) "checkpoint" ""
+    | Error e -> trace_s t s (Controller.site (Session.controller s)) "journal_error" e)
+
+let fan_frame s ~except ~origin bytes =
+  let doc = Session.name s in
+  let v1 = lazy (Relay_proto.encode (Relay_proto.Msg bytes)) in
+  let v2 = lazy (Relay_proto.encode (Relay_proto.Doc_msg { doc; origin; msg = bytes })) in
+  List.iter
+    (fun (m : Session.member) ->
+      let skip = match except with Some c -> m.Session.conn == c | None -> false in
+      if not skip then
+        Conn.send m.Session.conn
+          (Lazy.force (match m.Session.dialect with Session.V1 -> v1 | Session.V2 -> v2)))
+    (Session.members s)
+
+let forward_up t ~from_upstream ~doc ~origin bytes =
+  match t.upstream with
+  | Some u when not from_upstream -> Upstream.send u ~doc ~origin bytes
+  | _ -> ()
+
+(* Apply one replication frame to a session and propagate it: fan the
+   original bytes verbatim to the doc's other members (v1 members get
+   the bare [Msg] dialect), forward up the federation link unless the
+   frame came down it, and fan any validations the hosted controller
+   emitted.  [src = None] marks frames from upstream. *)
+let route t ~session:s ~src ~origin ~from_upstream bytes =
+  let doc = Session.name s in
+  if t.cfg.hub_id <> 0 && origin = t.cfg.hub_id then
+    (* our own frame came back around the federation graph: drop it *)
+    M.incr (M.counter t.reg "hub.loop_drops")
+  else
+    match Proto.decode_message_stamped t.codec bytes with
+    | Error e -> (
+      match src with
+      | Some c -> Conn.mark_closed c (Conn.Corrupt ("bad message: " ^ e))
+      | None -> Option.iter (fun u -> Upstream.close u) t.upstream)
+    | Ok (stamp, m) -> (
+      (match stamp with
+       | Some st -> M.observe t.tele.Tele.e2e_ns (Obs.Clock.now_ns () - st.Proto.s_ns)
+       | None -> ());
+      (* [decode_message] validates the encoding only; applying the
+         message is what checks its semantics.  A well-framed op with an
+         out-of-range position or a fabricated serial/context must drop
+         the peer, not the daemon — and must not be relayed. *)
+      match Controller.receive (Session.controller s) m with
+      | ctrl, emitted ->
+        Session.set_controller s ctrl;
+        journal_received t s m;
+        M.incr t.tele.Tele.relayed;
+        M.incr (doc_frames t doc);
+        let origin = if origin <> 0 then origin else t.cfg.hub_id in
+        fan_frame s ~except:src ~origin bytes;
+        forward_up t ~from_upstream ~doc ~origin bytes;
+        List.iter
+          (fun em ->
+            let eb = Proto.encode_message t.codec em in
+            fan_frame s ~except:None ~origin:t.cfg.hub_id eb;
+            (* emitted frames are local productions: they go up even
+               when the triggering frame came down *)
+            forward_up t ~from_upstream:false ~doc ~origin:t.cfg.hub_id eb)
+          emitted
+      | exception e ->
+        let detail =
+          match e with
+          | Invalid_argument m | Failure m | Dce_ot.Document.Edit_conflict m -> m
+          | e -> Printexc.to_string e
+        in
+        (match src with
+         | Some c -> Conn.mark_closed c (Conn.Corrupt ("rejected message: " ^ detail))
+         | None -> Option.iter (fun u -> Upstream.close u) t.upstream))
+
+(* ------------------------------------------------------------------ *)
+(* Member dispatch                                                    *)
+
+let corrupt conn why = Conn.mark_closed conn (Conn.Corrupt why)
+
+let open_for_attach t name =
+  match Doc_name.validate name with
+  | Error e -> Error e
+  | Ok name -> (
+    match Registry.find t.registry name with
+    | Some s -> Ok s
+    | None ->
+      if not (t.cfg.auto_create || name = t.cfg.default_doc) then
+        Error (Printf.sprintf "unknown document %S" name)
+      else (
+        match Registry.open_doc t.registry name with
+        | Ok s ->
+          Option.iter (fun u -> Upstream.attach u ~doc:name) t.upstream;
+          update_doc_gauges t s;
+          Ok s
+        | Error e -> Error e))
+
+let dispatch t cs payload =
+  match Relay_proto.decode payload with
+  | Error e -> corrupt cs.conn ("bad envelope: " ^ e)
+  | Ok msg -> (
+    match msg with
+    | Relay_proto.Hello { site } ->
+      if cs.atts <> [] || cs.v1 then corrupt cs.conn "duplicate hello"
+      else (
+        cs.v1 <- true;
+        match open_for_attach t t.cfg.default_doc with
+        | Ok s -> attach t cs ~dialect:Session.V1 ~session:s ~site
+        | Error e -> corrupt cs.conn e)
+    | Relay_proto.Attach { doc; site } ->
+      if cs.v1 then corrupt cs.conn "attach on a v1 connection"
+      else if List.mem_assoc doc cs.atts then corrupt cs.conn ("duplicate attach: " ^ doc)
+      else (
+        match open_for_attach t doc with
+        | Ok s -> attach t cs ~dialect:Session.V2 ~session:s ~site
+        | Error e -> corrupt cs.conn e)
+    | Relay_proto.Detach { doc } -> (
+      if cs.v1 then corrupt cs.conn "detach on a v1 connection"
+      else
+        match List.mem_assoc doc cs.atts with
+        | false -> corrupt cs.conn ("detach without attach: " ^ doc)
+        | true ->
+          cs.atts <- List.filter (fun (d, _) -> d <> doc) cs.atts;
+          (match Registry.find t.registry doc with
+           | Some s ->
+             ignore (Session.remove_conn s cs.conn);
+             (* a conn can re-attach later; sessions keep running *)
+             update_doc_gauges t s
+           | None -> ()))
+    | Relay_proto.Msg bytes -> (
+      match cs.atts with
+      | [ (doc, _site) ] when cs.v1 ->
+        route t ~session:(session t doc) ~src:(Some cs.conn) ~origin:0
+          ~from_upstream:false bytes
+      | _ when not cs.v1 -> corrupt cs.conn "single-doc message on a multi-doc connection"
+      | _ -> corrupt cs.conn "message before hello")
+    | Relay_proto.Doc_msg { doc; origin; msg } -> (
+      if cs.v1 then corrupt cs.conn "multi-doc message on a v1 connection"
+      else
+        match List.mem_assoc doc cs.atts with
+        | false -> corrupt cs.conn ("message for unattached document " ^ doc)
+        | true ->
+          route t ~session:(session t doc) ~src:(Some cs.conn) ~origin
+            ~from_upstream:false msg)
+    | Relay_proto.Ping -> Conn.send cs.conn (Relay_proto.encode Relay_proto.Pong)
+    | Relay_proto.Pong -> ()
+    | Relay_proto.Bye _ -> Conn.mark_closed cs.conn (Conn.Local "bye")
+    | Relay_proto.Welcome _ | Relay_proto.Snapshot _ | Relay_proto.Attached _
+    | Relay_proto.Doc_snapshot _ ->
+      corrupt cs.conn "server-only envelope from a client")
+
+(* ------------------------------------------------------------------ *)
+(* Federation events                                                  *)
+
+(* A session-state push to every member — the same resynchronization a
+   late joiner gets, used after a federation merge brings in history
+   that was never fanned out as frames. *)
+let resync_members t s =
+  let doc = Session.name s in
+  let state = Proto.encode_state t.codec (Controller.dump (Session.controller s)) in
+  List.iter
+    (fun (m : Session.member) ->
+      let frame =
+        match m.Session.dialect with
+        | Session.V1 -> Relay_proto.Snapshot state
+        | Session.V2 -> Relay_proto.Doc_snapshot { doc; state }
+      in
+      Conn.send m.Session.conn (Relay_proto.encode frame);
+      M.incr t.tele.Tele.snapshots)
+    (Session.members s)
+
+let handle_upstream_event t = function
+  | Upstream.Up_connected | Upstream.Up_disconnected _ -> ()
+  | Upstream.Up_msg { doc; origin; msg } -> (
+    match Registry.find t.registry doc with
+    | None -> () (* a doc we never attached: ignore *)
+    | Some s -> route t ~session:s ~src:None ~origin ~from_upstream:true msg)
+  | Upstream.Up_snapshot { doc; state } -> (
+    match Registry.find t.registry doc with
+    | None -> ()
+    | Some s -> (
+      match Proto.decode_state t.codec state with
+      | Error _ -> Option.iter Upstream.close t.upstream
+      | Ok st -> (
+        match Controller.load ~eq:t.eq st with
+        | Error _ -> Option.iter Upstream.close t.upstream
+        | Ok donor ->
+          (* heal, don't replace: the donor's history replays through
+             this replica's own [receive], duplicates drop out, and the
+             returned messages are local requests the home had not seen
+             — push those up so the healing is symmetric *)
+          let merged, out = Controller.catch_up (Session.controller s) donor in
+          Session.set_controller s merged;
+          List.iter
+            (fun m ->
+              forward_up t ~from_upstream:false ~doc ~origin:t.cfg.hub_id
+                (Proto.encode_message t.codec m))
+            out;
+          (* the merge bypassed the per-message journal path; cut a
+             checkpoint so recovery keeps the merged history *)
+          (match Session.journal s with
+           | Some j -> ignore (Persist.checkpoint j merged)
+           | None -> ());
+          (* members may lack whatever the merge brought in *)
+          resync_members t s)))
+
+(* ------------------------------------------------------------------ *)
+
+let rec accept_all t =
+  match Unix.accept ~cloexec:true t.listen_fd with
+  | fd, sockaddr ->
+    let peer =
+      match sockaddr with
+      | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+      | Unix.ADDR_UNIX p -> p
+    in
+    let conn =
+      Conn.create ~max_outbox:t.cfg.max_outbox ~max_frame:t.cfg.max_frame ~tele:t.tele
+        ~peer fd
+    in
+    t.conns <- t.conns @ [ { conn; v1 = false; atts = [] } ];
+    accept_all t
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+
+let heartbeats t =
+  let now = Obs.Clock.now_ms () in
+  List.iter
+    (fun cs ->
+      let c = cs.conn in
+      if Conn.alive c then
+        if now -. Conn.last_recv_ms c > float_of_int t.cfg.idle_timeout_ms then
+          Conn.mark_closed c Conn.Idle
+        else if now -. Conn.last_send_ms c > float_of_int t.cfg.heartbeat_ms then
+          Conn.send c (Relay_proto.encode Relay_proto.Ping))
+    t.conns
+
+let reap t =
+  let dead, live = List.partition (fun cs -> not (Conn.alive cs.conn)) t.conns in
+  t.conns <- live;
+  List.iter
+    (fun cs ->
+      let reason = Option.value ~default:Conn.Eof (Conn.closed_reason cs.conn) in
+      M.incr t.tele.Tele.disconnects;
+      let action =
+        match reason with
+        | Conn.Corrupt _ -> "frame_error"
+        | Conn.Overflow -> "overflow"
+        | Conn.Idle -> "idle"
+        | _ -> "disconnect"
+      in
+      List.iter
+        (fun (doc, site) ->
+          match Registry.find t.registry doc with
+          | Some s ->
+            ignore (Session.remove_conn s cs.conn);
+            trace_s t s site action (Conn.reason_string reason);
+            update_doc_gauges t s
+          | None -> ())
+        cs.atts;
+      (* best-effort flush of anything already queued (e.g. a Pong),
+         then close *)
+      Conn.flush cs.conn;
+      Conn.shutdown cs.conn)
+    dead
+
+let step ?(timeout_ms = 0) t =
+  if not t.stopped then begin
+    accept_all t;
+    let read =
+      t.listen_fd
+      :: List.filter_map
+           (fun cs -> if Conn.alive cs.conn then Some (Conn.fd cs.conn) else None)
+           t.conns
+    in
+    let read =
+      match t.upstream with
+      | Some u -> ( match Upstream.fd u with Some fd -> fd :: read | None -> read)
+      | None -> read
+    in
+    let write =
+      List.filter_map
+        (fun cs -> if Conn.wants_write cs.conn then Some (Conn.fd cs.conn) else None)
+        t.conns
+    in
+    let write =
+      match t.upstream with
+      | Some u when Upstream.wants_write u -> (
+        match Upstream.fd u with Some fd -> fd :: write | None -> write)
+      | _ -> write
+    in
+    let rd, wr = Evloop.wait ~timeout_ms ~read ~write () in
+    if List.memq t.listen_fd rd then accept_all t;
+    List.iter
+      (fun cs ->
+        if List.memq (Conn.fd cs.conn) rd then
+          List.iter (dispatch t cs) (Conn.handle_readable cs.conn))
+      t.conns;
+    List.iter
+      (fun cs -> if List.memq (Conn.fd cs.conn) wr then Conn.handle_writable cs.conn)
+      t.conns;
+    (match t.upstream with
+     | Some u -> List.iter (handle_upstream_event t) (Upstream.step ~timeout_ms:0 u)
+     | None -> ());
+    heartbeats t;
+    reap t
+  end
+
+let kick ?doc t ~site =
+  let docs = match doc with Some d -> [ d ] | None -> Registry.names t.registry in
+  let found = ref false in
+  List.iter
+    (fun d ->
+      match Registry.find t.registry d with
+      | None -> ()
+      | Some s -> (
+        match Session.find_site s ~site with
+        | Some m ->
+          found := true;
+          Conn.mark_closed m.Session.conn (Conn.Local "kicked")
+        | None -> ()))
+    docs;
+  !found
+
+let shutdown t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Option.iter Upstream.close t.upstream;
+    List.iter
+      (fun cs ->
+        Conn.send cs.conn (Relay_proto.encode (Relay_proto.Bye "hub shutting down"));
+        Conn.handle_writable cs.conn;
+        Conn.shutdown cs.conn)
+      t.conns;
+    t.conns <- [];
+    try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+  end
+
+let run ?(tick_ms = 200) ?on_tick t =
+  while not t.stopped do
+    step ~timeout_ms:tick_ms t;
+    match on_tick with None -> () | Some f -> f t
+  done

@@ -1,0 +1,49 @@
+module Controller = Dce_core.Controller
+module Conn = Dce_netd.Conn
+module Persist = Dce_store.Persist
+module IntSet = Set.Make (Int)
+
+type dialect = V1 | V2
+
+type member = { conn : Conn.t; site : int; dialect : dialect }
+
+type 'e t = {
+  name : string;
+  journal : 'e Persist.t option;
+  mutable ctrl : 'e Controller.t;
+  mutable members : member list;
+  mutable seen : IntSet.t; (* sites that joined at least once *)
+}
+
+let create ~name ~controller ~journal =
+  { name; journal; ctrl = controller; members = []; seen = IntSet.empty }
+
+let name t = t.name
+let controller t = t.ctrl
+let set_controller t c = t.ctrl <- c
+let journal t = t.journal
+let members t = t.members
+
+let live_members t = List.filter (fun m -> Conn.alive m.conn) t.members
+
+let member_count t = List.length (live_members t)
+
+let connected_sites t =
+  List.sort compare (List.map (fun m -> m.site) (live_members t))
+
+let find_site t ~site =
+  List.find_opt (fun m -> m.site = site && Conn.alive m.conn) t.members
+
+let member_of_conn t conn =
+  List.find_opt (fun m -> m.conn == conn) t.members
+
+let add_member t member =
+  t.members <- t.members @ [ member ];
+  let again = IntSet.mem member.site t.seen in
+  t.seen <- IntSet.add member.site t.seen;
+  again
+
+let remove_conn t conn =
+  let gone, kept = List.partition (fun m -> m.conn == conn) t.members in
+  t.members <- kept;
+  gone <> []

@@ -1,0 +1,69 @@
+(** The federation link: a leaf hub's connection to its home hub.
+
+    A leaf attaches upstream as a quasi-client, one [Attach] per hosted
+    document over a single multiplexed socket, using the leaf's hosted
+    relay site as its member site at the home hub.  Local frames are
+    forwarded up with {!send}; frames fanned down by the home arrive as
+    {!event}s for the hub to apply and rebroadcast to local members.
+    Reconnection is jittered exponential {!Dce_netd.Backoff}, and every
+    reconnect re-attaches all docs — each [Doc_snapshot] reply then
+    heals the leaf's replica ({!Dce_core.Controller.catch_up}), exactly
+    like a late-joining client.
+
+    Like {!Dce_netd.Client} this owns the transport only; the hub holds
+    the controllers and drives {!step} from its event loop. *)
+
+type event =
+  | Up_connected  (** TCP up; all docs re-attached *)
+  | Up_snapshot of { doc : string; state : string }
+  | Up_msg of { doc : string; origin : int; msg : string }
+  | Up_disconnected of string
+
+type config = {
+  heartbeat_ms : int;
+  idle_timeout_ms : int;
+  max_outbox : int;
+  max_frame : int;
+  backoff_base_ms : int;
+  backoff_max_ms : int;
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config ->
+  ?metrics:Dce_obs.Metrics.t ->
+  ?seed:int ->
+  host:string ->
+  port:int ->
+  site:int ->
+  unit ->
+  t
+(** [site] is the member site this leaf presents at the home hub — its
+    own hosted relay site, so supersede-on-reconnect works upstream
+    too.  Does not touch the network; the first {!step} connects. *)
+
+val attach : t -> doc:string -> unit
+(** Add [doc] to the attached set (idempotent).  Sent immediately when
+    live, and re-sent on every reconnect. *)
+
+val send : t -> doc:string -> origin:int -> string -> unit
+(** Queue a [Proto.encode_message] blob for [doc]; dropped when the
+    link is down (the reconnect snapshot heals the gap). *)
+
+val step : ?timeout_ms:int -> t -> event list
+(** Advance the link: progress the non-blocking connect, read,
+    dispatch, flush, heartbeat, or wait out the backoff. *)
+
+val connected : t -> bool
+val stopped : t -> bool
+
+val fd : t -> Unix.file_descr option
+(** For embedding in the hub's {!Evloop} set ([None] during backoff). *)
+
+val wants_write : t -> bool
+
+val close : t -> unit
+(** Send [Bye], close, stop reconnecting. *)

@@ -44,6 +44,7 @@ type t = {
   host : string;
   port : int;
   site : int;
+  doc : string option; (* None = v1 Hello dialect, Some = v2 Attach *)
   backoff : Backoff.t;
   mutable phase : phase;
   mutable failed_attempts : int; (* consecutive connect failures; see fail *)
@@ -53,8 +54,8 @@ type t = {
 
 let now_ms = Dce_obs.Clock.now_ms
 
-let create ?(config = default_config) ?metrics ?(trace = Obs.Trace.null) ?seed ~host
-    ~port ~site () =
+let create ?(config = default_config) ?metrics ?(trace = Obs.Trace.null) ?seed ?doc
+    ~host ~port ~site () =
   {
     cfg = config;
     tele = Tele.make ?metrics ();
@@ -62,6 +63,7 @@ let create ?(config = default_config) ?metrics ?(trace = Obs.Trace.null) ?seed ~
     host;
     port;
     site;
+    doc;
     backoff =
       Backoff.create ~base_ms:config.backoff_base_ms ~max_ms:config.backoff_max_ms ?seed
         ();
@@ -72,6 +74,8 @@ let create ?(config = default_config) ?metrics ?(trace = Obs.Trace.null) ?seed ~
   }
 
 let site t = t.site
+
+let doc t = t.doc
 
 let set_stamp t f = t.stamp <- f
 
@@ -99,7 +103,13 @@ let outbox_bytes t =
 
 let send t bytes =
   match t.phase with
-  | Live c -> Conn.send c (Relay_proto.encode (Relay_proto.Msg bytes))
+  | Live c ->
+    let frame =
+      match t.doc with
+      | None -> Relay_proto.Msg bytes
+      | Some doc -> Relay_proto.Doc_msg { doc; origin = 0; msg = bytes }
+    in
+    Conn.send c (Relay_proto.encode frame)
   | _ -> ()
 
 let resolve t =
@@ -140,7 +150,12 @@ let greet t fd =
       ~peer:(Printf.sprintf "%s:%d" t.host t.port)
       fd
   in
-  Conn.send conn (Relay_proto.encode (Relay_proto.Hello { site = t.site }));
+  let hello =
+    match t.doc with
+    | None -> Relay_proto.Hello { site = t.site }
+    | Some doc -> Relay_proto.Attach { doc; site = t.site }
+  in
+  Conn.send conn (Relay_proto.encode hello);
   Conn.handle_writable conn;
   t.phase <- Greeting conn;
   [ Connected ]
@@ -168,9 +183,8 @@ let dispatch t payload =
      | None -> ());
     []
   | Ok msg -> (
-    match (msg, t.phase) with
-    | Relay_proto.Snapshot s, (Greeting c | Live c) ->
-      (* joining (or a server-initiated resync): the session is live *)
+    (* joining (or a server-initiated resync): the session is live *)
+    let go_live c s =
       t.phase <- Live c;
       if t.was_live then M.incr t.tele.Tele.reconnects else M.incr t.tele.Tele.connects;
       trace t (if t.was_live then "reconnect" else "connect") "";
@@ -179,14 +193,33 @@ let dispatch t payload =
       Backoff.reset t.backoff;
       t.failed_attempts <- 0;
       [ Snapshot s ]
-    | Relay_proto.Snapshot _, _ -> []
-    | Relay_proto.Msg bytes, Live _ -> [ Message bytes ]
-    | Relay_proto.Msg _, _ ->
+    in
+    let corrupt why =
       (match conn t with
-       | Some c -> Conn.mark_closed c (Conn.Corrupt "message before snapshot")
+       | Some c -> Conn.mark_closed c (Conn.Corrupt why)
        | None -> ());
       []
-    | Relay_proto.Welcome _, _ -> []
+    in
+    match (msg, t.phase) with
+    | Relay_proto.Snapshot s, (Greeting c | Live c) when t.doc = None -> go_live c s
+    | Relay_proto.Snapshot _, (Greeting _ | Live _) ->
+      corrupt "single-doc snapshot on a multi-doc session"
+    | Relay_proto.Snapshot _, _ -> []
+    | Relay_proto.Doc_snapshot { doc; state }, (Greeting c | Live c)
+      when t.doc = Some doc ->
+      go_live c state
+    | Relay_proto.Doc_snapshot _, (Greeting _ | Live _) ->
+      corrupt "snapshot for a document this client never attached"
+    | Relay_proto.Doc_snapshot _, _ -> []
+    | Relay_proto.Msg bytes, Live _ when t.doc = None -> [ Message bytes ]
+    | Relay_proto.Msg _, Live _ -> corrupt "single-doc message on a multi-doc session"
+    | Relay_proto.Msg _, _ -> corrupt "message before snapshot"
+    | Relay_proto.Doc_msg { doc; msg; _ }, Live _ when t.doc = Some doc ->
+      [ Message msg ]
+    | Relay_proto.Doc_msg _, Live _ ->
+      corrupt "message for a document this client never attached"
+    | Relay_proto.Doc_msg _, _ -> corrupt "message before snapshot"
+    | (Relay_proto.Welcome _ | Relay_proto.Attached _), _ -> []
     | Relay_proto.Ping, _ ->
       (match conn t with
        | Some c -> Conn.send c (Relay_proto.encode Relay_proto.Pong)
@@ -198,11 +231,8 @@ let dispatch t payload =
        | Some c -> Conn.mark_closed c (Conn.Local ("server: " ^ reason))
        | None -> ());
       []
-    | Relay_proto.Hello _, _ ->
-      (match conn t with
-       | Some c -> Conn.mark_closed c (Conn.Corrupt "client-only envelope from server")
-       | None -> ());
-      [])
+    | (Relay_proto.Hello _ | Relay_proto.Attach _ | Relay_proto.Detach _), _ ->
+      corrupt "client-only envelope from server")
 
 let pump_conn t c timeout_ms =
   let fd = Conn.fd c in

@@ -16,7 +16,7 @@
       backoff is scheduled;
     - [Gave_up]: [max_attempts] exhausted; the client is inert.
 
-    Single-threaded and non-blocking, like {!Relay}: call {!step} from
+    Single-threaded and non-blocking, like the hub: call {!step} from
     your own loop (it blocks at most [timeout_ms] in [select]), or
     [select] yourself on {!fd} and call {!step} when it fires. *)
 
@@ -52,15 +52,24 @@ val create :
   ?metrics:Dce_obs.Metrics.t ->
   ?trace:Dce_obs.Trace.sink ->
   ?seed:int ->
+  ?doc:string ->
   host:string ->
   port:int ->
   site:int ->
   unit ->
   t
 (** Does not touch the network; the first {!step} starts connecting.
-    [seed] fixes the backoff jitter (tests). *)
+    [seed] fixes the backoff jitter (tests).  [doc] selects the wire
+    dialect: omitted, the client greets with the v1 [Hello] and the hub
+    attaches it to its default document; given, it greets with the v2
+    [Attach doc] and exchanges [Doc_msg]/[Doc_snapshot] frames for that
+    document.  Either way the {!event} surface is identical. *)
 
 val site : t -> int
+
+val doc : t -> string option
+(** The document requested at {!create} ([None] = the v1 dialect on the
+    hub's default document). *)
 
 val step : ?timeout_ms:int -> t -> event list
 (** Advance the state machine: progress the non-blocking connect, read,

@@ -8,6 +8,16 @@ type t =
   | Ping
   | Pong
   | Bye of string
+  (* v2: multi-document multiplexing.  Old peers reject these tags as
+     "unknown relay message kind" and drop the connection — which is the
+     correct failure mode for a v1-only peer wired to a v2-only flow —
+     while the hub speaks v1 to any connection that greeted with
+     [Hello]. *)
+  | Attach of { doc : string; site : int }
+  | Attached of { doc : string; relay_site : int; heartbeat_ms : int }
+  | Detach of { doc : string }
+  | Doc_snapshot of { doc : string; state : string }
+  | Doc_msg of { doc : string; origin : int; msg : string }
 
 let put b = function
   | Hello { site } ->
@@ -28,6 +38,27 @@ let put b = function
   | Bye reason ->
     put_char b 'B';
     put_string b reason
+  | Attach { doc; site } ->
+    put_char b 'A';
+    put_string b doc;
+    put_varint b site
+  | Attached { doc; relay_site; heartbeat_ms } ->
+    put_char b 'a';
+    put_string b doc;
+    put_varint b relay_site;
+    put_varint b heartbeat_ms
+  | Detach { doc } ->
+    put_char b 'D';
+    put_string b doc
+  | Doc_snapshot { doc; state } ->
+    put_char b 's';
+    put_string b doc;
+    put_string b state
+  | Doc_msg { doc; origin; msg } ->
+    put_char b 'm';
+    put_string b doc;
+    put_varint b origin;
+    put_string b msg
 
 let get d =
   let* c = get_char d in
@@ -50,6 +81,27 @@ let get d =
   | 'B' ->
     let* reason = get_string d in
     Ok (Bye reason)
+  | 'A' ->
+    let* doc = get_string d in
+    let* site = get_varint d in
+    Ok (Attach { doc; site })
+  | 'a' ->
+    let* doc = get_string d in
+    let* relay_site = get_varint d in
+    let* heartbeat_ms = get_varint d in
+    Ok (Attached { doc; relay_site; heartbeat_ms })
+  | 'D' ->
+    let* doc = get_string d in
+    Ok (Detach { doc })
+  | 's' ->
+    let* doc = get_string d in
+    let* state = get_string d in
+    Ok (Doc_snapshot { doc; state })
+  | 'm' ->
+    let* doc = get_string d in
+    let* origin = get_varint d in
+    let* msg = get_string d in
+    Ok (Doc_msg { doc; origin; msg })
   | c -> Error (Printf.sprintf "unknown relay message kind %C" c)
 
 let encode m = to_string put m
@@ -64,3 +116,8 @@ let label = function
   | Ping -> "ping"
   | Pong -> "pong"
   | Bye _ -> "bye"
+  | Attach _ -> "attach"
+  | Attached _ -> "attached"
+  | Detach _ -> "detach"
+  | Doc_snapshot _ -> "doc_snapshot"
+  | Doc_msg _ -> "doc_msg"

@@ -6,11 +6,24 @@
     [Msg] bytes out without re-encoding, and stays generic over the
     element type.
 
-    Handshake: the client sends [Hello] with its site id; the relay
-    answers [Welcome] then [Snapshot] (the current session state, which
-    is how late joiners and reconnecting sites catch up), after which
-    both sides exchange [Msg] and keep the link alive with [Ping]/[Pong].
-    [Bye] announces an orderly close.
+    {b v1 handshake (single document)}: the client sends [Hello] with
+    its site id; the relay answers [Welcome] then [Snapshot] (the
+    current session state, which is how late joiners and reconnecting
+    sites catch up), after which both sides exchange [Msg] and keep the
+    link alive with [Ping]/[Pong].  [Bye] announces an orderly close.
+    A v1 connection is implicitly attached to the hub's default
+    document.
+
+    {b v2 handshake (multi-document)}: the client sends [Attach] naming
+    a document; the hub answers [Attached] then [Doc_snapshot] for that
+    document.  One connection can attach to several documents (send
+    further [Attach] frames at any time) and carries [Doc_msg] frames
+    tagged with the document name; [Detach] leaves one document without
+    closing the socket.  [Doc_msg.origin] is the hub id of the relay
+    that first accepted the message into the federation (0 = an
+    ordinary editor); hubs drop frames whose origin equals their own id,
+    which is what prevents forwarding loops between federated relays.
+    [Ping]/[Pong]/[Bye] are shared with v1.
 
     Like every decoder in this repo, {!decode} never raises — the
     envelope is parsed from untrusted bytes. *)
@@ -23,6 +36,16 @@ type t =
   | Ping
   | Pong
   | Bye of string
+  | Attach of { doc : string; site : int }
+      (** v2 hello: join [doc] as [site]; repeatable per connection *)
+  | Attached of { doc : string; relay_site : int; heartbeat_ms : int }
+      (** v2 welcome, answered per [Attach] *)
+  | Detach of { doc : string }  (** leave one doc, keep the socket *)
+  | Doc_snapshot of { doc : string; state : string }
+      (** a [Proto.encode_state] blob for one document *)
+  | Doc_msg of { doc : string; origin : int; msg : string }
+      (** a [Proto.encode_message] blob routed to [doc]; [origin] is the
+          federation loop guard (hub id of the first relay, 0 = editor) *)
 
 val encode : t -> string
 (** The frame payload (unframed; the connection layer frames it). *)

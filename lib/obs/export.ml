@@ -149,48 +149,47 @@ let parse_exposition text =
       a
   in
   let sample line =
-    (* "name value" or "name{le=\"X\"} value" *)
+    (* "name value", "name{doc=\"D\"} value" or
+       "name_bucket{doc=\"D\",le=\"X\"} value".  Per-doc (and other)
+       labels are part of the series identity: the name we record is
+       the full labeled head, minus any [le] pair, so it maps straight
+       back onto the {!Metrics.with_label} name that produced it. *)
     match String.index_opt line ' ' with
     | None -> ()
     | Some sp ->
       let head = String.sub line 0 sp in
       let value = String.sub line (sp + 1) (String.length line - sp - 1) in
-      let name, le =
-        match String.index_opt head '{' with
-        | None -> (head, None)
-        | Some br ->
-          let base = String.sub head 0 br in
-          let labels = String.sub head br (String.length head - br) in
-          let le =
-            match String.index_opt labels '"' with
-            | None -> None
-            | Some q1 -> (
-              match String.index_from_opt labels (q1 + 1) '"' with
-              | None -> None
-              | Some q2 -> Some (String.sub labels (q1 + 1) (q2 - q1 - 1)))
-          in
-          (base, le)
+      let bare, labels =
+        match Metrics.split_labels head with
+        | Some (base, pairs) -> (base, pairs)
+        | None -> (head, [])
+      in
+      let le = List.assoc_opt "le" labels in
+      let rest = List.filter (fun (k, _) -> k <> "le") labels in
+      (* the labeled-series name with [le] removed, as with_label built it *)
+      let series base =
+        if rest = [] then base else base ^ Metrics.render_labels rest
       in
       match le with
       | Some le_str -> (
-        match strip_suffix name "_bucket" with
+        match strip_suffix bare "_bucket" with
         | None -> ()
         | Some base ->
           let le = if le_str = "+Inf" then infinity else float_of_string le_str in
-          let a = hist_acc base in
+          let a = hist_acc (series base) in
           a.a_les <- (le, int_of_string (String.trim value)) :: a.a_les)
       | None -> (
-        match (strip_suffix name "_sum", strip_suffix name "_count") with
-        | Some base, _ when Hashtbl.mem hists base ->
-          (hist_acc base).a_sum <- int_of_string (String.trim value)
-        | _, Some base when Hashtbl.mem hists base ->
-          (hist_acc base).a_count <- int_of_string (String.trim value)
+        match (strip_suffix bare "_sum", strip_suffix bare "_count") with
+        | Some base, _ when Hashtbl.mem hists (series base) ->
+          (hist_acc (series base)).a_sum <- int_of_string (String.trim value)
+        | _, Some base when Hashtbl.mem hists (series base) ->
+          (hist_acc (series base)).a_count <- int_of_string (String.trim value)
         | _ -> (
           let v = int_of_string (String.trim value) in
-          match Hashtbl.find_opt types name with
-          | Some "gauge" -> gauges := (name, v) :: !gauges
+          match Hashtbl.find_opt types bare with
+          | Some "gauge" -> gauges := (series bare, v) :: !gauges
           | Some "histogram" -> ()
-          | _ -> counters := (name, v) :: !counters))
+          | _ -> counters := (series bare, v) :: !counters))
   in
   String.split_on_char '\n' text
   |> List.iter (fun line ->

@@ -216,7 +216,7 @@ let pp ppf t =
    name within each family so two dumps of the same registry state are
    byte-identical and diff cleanly. *)
 
-let escape_name name =
+let escape_bare name =
   let n = String.length name in
   let b = Buffer.create (n + 1) in
   if n > 0 && name.[0] >= '0' && name.[0] <= '9' then Buffer.add_char b '_';
@@ -232,31 +232,108 @@ let escape_name name =
     name;
   Buffer.contents b
 
+(* Label values travel inside double quotes, so the sanitized charset
+   must exclude quotes, backslashes, braces, commas, [=] and whitespace
+   — everything the exposition grammar uses as a delimiter. *)
+let escape_label_value value =
+  String.map
+    (fun c ->
+      let ok =
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+        || c = '_' || c = '.' || c = ':' || c = '/' || c = '-'
+      in
+      if ok then c else '_')
+    value
+
+(* "base{k1=\"v1\",k2=\"v2\"}" -> Some (base, [(k1, v1); (k2, v2)]) *)
+let split_labels name =
+  let n = String.length name in
+  match String.index_opt name '{' with
+  | Some br when n > br + 1 && name.[n - 1] = '}' ->
+    let inner = String.sub name (br + 1) (n - br - 2) in
+    let pairs =
+      String.split_on_char ',' inner
+      |> List.map (fun kv ->
+             match String.index_opt kv '=' with
+             | None -> None
+             | Some eq ->
+               let k = String.sub kv 0 eq in
+               let v = String.sub kv (eq + 1) (String.length kv - eq - 1) in
+               if String.length v >= 2 && v.[0] = '"' && v.[String.length v - 1] = '"'
+               then Some (k, String.sub v 1 (String.length v - 2))
+               else None)
+    in
+    if List.exists (fun p -> p = None) pairs then None
+    else Some (String.sub name 0 br, List.filter_map Fun.id pairs)
+  | _ -> None
+
+let render_labels pairs =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k v) pairs)
+  ^ "}"
+
+let with_label name ~key ~value =
+  let key = escape_bare key and value = escape_label_value value in
+  match split_labels name with
+  | Some (base, pairs) -> base ^ render_labels (pairs @ [ (key, value) ])
+  | None -> name ^ render_labels [ (key, value) ]
+
+let escape_name name =
+  match split_labels name with
+  | Some (base, pairs) ->
+    escape_bare base
+    ^ render_labels
+        (List.map (fun (k, v) -> (escape_bare k, escape_label_value v)) pairs)
+  | None -> escape_bare name
+
 let dump t =
   let buf = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (* TYPE declares the family, so labeled series (name{doc="a"},
+     name{doc="b"}) share one TYPE line keyed on the bare name. *)
+  let typed : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let type_line base kind =
+    if not (Hashtbl.mem typed (kind ^ base)) then begin
+      Hashtbl.add typed (kind ^ base) ();
+      line "# TYPE %s %s\n" base kind
+    end
+  in
+  let base_and_suffix n =
+    match split_labels n with
+    | Some (base, pairs) -> (base, render_labels pairs, pairs)
+    | None -> (n, "", [])
+  in
   List.iter
     (fun (name, v) ->
       let n = escape_name name in
-      line "# TYPE %s counter\n%s %d\n" n n v)
+      let base, suffix, _ = base_and_suffix n in
+      type_line base "counter";
+      line "%s%s %d\n" base suffix v)
     (counters t);
   List.iter
     (fun (name, v) ->
       let n = escape_name name in
-      line "# TYPE %s gauge\n%s %d\n" n n v)
+      let base, suffix, _ = base_and_suffix n in
+      type_line base "gauge";
+      line "%s%s %d\n" base suffix v)
     (gauges t);
   List.iter
     (fun (name, h) ->
       let n = escape_name name in
-      line "# TYPE %s histogram\n" n;
+      let base, suffix, pairs = base_and_suffix n in
+      type_line base "histogram";
+      let le v = render_labels (pairs @ [ ("le", v) ]) in
       let cum = ref 0 in
       List.iter
         (fun (hi, c) ->
           cum := !cum + c;
-          line "%s_bucket{le=\"%d\"} %d\n" n hi !cum)
+          line "%s_bucket%s %d\n" base (le (string_of_int hi)) !cum)
         (buckets_of_hist h);
-      line "%s_bucket{le=\"+Inf\"} %d\n" n h.h_count;
-      line "%s_sum %d\n" n h.h_sum;
-      line "%s_count %d\n" n h.h_count)
+      line "%s_bucket%s %d\n" base (le "+Inf") h.h_count;
+      line "%s_sum%s %d\n" base suffix h.h_sum;
+      line "%s_count%s %d\n" base suffix h.h_count)
     (sorted_bindings t.hists_tbl);
   Buffer.contents buf

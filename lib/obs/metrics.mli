@@ -101,10 +101,33 @@ val reset : t -> unit
 val pp : Format.formatter -> t -> unit
 (** Tabular dump of every counter, gauge and histogram summary. *)
 
+val with_label : string -> key:string -> value:string -> string
+(** [with_label name ~key ~value] is the per-series name
+    [name{key="value"}] — e.g. [with_label "hub.members" ~key:"doc"
+    ~value:"notes"] = ["hub.members{doc=\"notes\"}"].  The result is an
+    ordinary registry name (pass it to {!counter}/{!gauge}/{!histogram});
+    {!dump} renders the label block Prometheus-style (one TYPE line per
+    bare family, [le] appended after existing labels on histogram
+    buckets) and {!Export.parse_exposition} maps it back to the same
+    string.  [value] is sanitized to [[a-zA-Z0-9_.:/-]] so it can never
+    break the exposition grammar; applying [with_label] to an already
+    labeled name appends to its label block. *)
+
+val split_labels : string -> (string * (string * string) list) option
+(** [split_labels "name{k=\"v\",k2=\"v2\"}"] is
+    [Some ("name", [("k","v"); ("k2","v2")])]; [None] when the name has
+    no well-formed trailing label block. *)
+
+val render_labels : (string * string) list -> string
+(** Inverse of the label part of {!split_labels}:
+    [render_labels [("k","v")]] is ["{k=\"v\"}"]. *)
+
 val escape_name : string -> string
 (** Map an internal metric name (e.g. ["netd.frames_in"]) onto the
     Prometheus-legal charset [[a-zA-Z0-9_:]]: every other byte becomes
-    ['_'], and a leading digit gains a ['_'] prefix. *)
+    ['_'], and a leading digit gains a ['_'] prefix.  A well-formed
+    trailing label block ([name{k="v",...}], as built by {!with_label})
+    is preserved, with the keys and values sanitized in place. *)
 
 val dump : t -> string
 (** Prometheus text exposition of the whole registry: counters, gauges,

@@ -497,6 +497,17 @@ let decode_state ec s =
 let fingerprint ec c =
   Digest.to_hex (Digest.string (encode_state ec (Controller.dump c)))
 
+let content_fingerprint ec c =
+  (* Covers what every converged replica must agree on — the visible
+     document, the policy and the policy version — and nothing
+     site-local (site id, serials, peer tables), so two relays hosting
+     the same session under different relay sites compare equal. *)
+  let b = Buffer.create 256 in
+  put_list ec.put b (Controller.visible c);
+  put_policy b (Controller.policy c);
+  put_varint b (Controller.version c);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 module Char_proto = struct
   let encode_message ?stamp m = encode_message ?stamp char_codec m
   let decode_message = decode_message char_codec

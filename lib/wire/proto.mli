@@ -88,6 +88,13 @@ val fingerprint : 'e elt_codec -> 'e Controller.t -> string
     fingerprints hold byte-identical persisted state — the recovery
     oracle's definition of "replayed to exactly the pre-crash state". *)
 
+val content_fingerprint : 'e elt_codec -> 'e Controller.t -> string
+(** A site-independent hex digest of the converged content: the visible
+    document, the policy and the policy version.  Unlike {!fingerprint}
+    it ignores the local site id, serials and peer tables, so replicas
+    of the same session held by {e different} sites (e.g. two federated
+    relays) compare equal exactly when they have converged. *)
+
 (** Character documents, the common instantiation. *)
 module Char_proto : sig
   val encode_message : ?stamp:stamp -> char Controller.message -> string

@@ -1,0 +1,555 @@
+(* Tests for the multi-document hub: document-name hygiene, the
+   poll-based event loop (including the select() FD_SETSIZE cliff it
+   exists to avoid), multi-doc isolation over real TCP, raw-socket
+   multiplexing with attach/detach, v1/v2 interop on the default
+   document, hostile attach frames, and two-hub federation with a late
+   joiner snapshotting from the leaf. *)
+
+open Dce_ot
+open Dce_core
+module Netd = Dce_netd
+module Hub = Dce_hub.Hub
+module Evloop = Dce_hub.Evloop
+module Doc_name = Dce_hub.Doc_name
+module Codec = Dce_wire.Codec
+module Proto = Dce_wire.Proto
+module Obs = Dce_obs
+
+(* ----- document names ----- *)
+
+let doc_name_tests =
+  [
+    Alcotest.test_case "accepts fs/metric/wire-safe names" `Quick (fun () ->
+        List.iter
+          (fun n ->
+            Alcotest.(check bool) (Printf.sprintf "valid %S" n) true
+              (Doc_name.valid n))
+          [ "main"; "a"; "notes-2024"; "team.docs"; "A_b.C-d"; String.make 64 'x' ]);
+    Alcotest.test_case "rejects hostile names" `Quick (fun () ->
+        List.iter
+          (fun n ->
+            Alcotest.(check bool) (Printf.sprintf "invalid %S" n) false
+              (Doc_name.valid n))
+          [
+            "";
+            String.make 65 'x';
+            "../evil";
+            "a/b";
+            "a b";
+            ".hidden";
+            "-flag";
+            "caf\xc3\xa9";
+            "a\nb";
+            "doc\x00";
+          ]);
+  ]
+
+(* ----- evloop ----- *)
+
+let evloop_tests =
+  [
+    Alcotest.test_case "readiness on a socketpair" `Quick (fun () ->
+        let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Fun.protect ~finally:(fun () -> Unix.close a; Unix.close b) @@ fun () ->
+        (* nothing to read yet: only write readiness *)
+        let rd, wr = Evloop.wait ~timeout_ms:0 ~read:[ a ] ~write:[ a ] () in
+        Alcotest.(check bool) "no read readiness on a quiet socket" true (rd = []);
+        Alcotest.(check bool) "write readiness on an empty buffer" true (wr = [ a ]);
+        ignore (Unix.write_substring b "x" 0 1);
+        let rd, _ = Evloop.wait ~timeout_ms:100 ~read:[ a; b ] ~write:[] () in
+        Alcotest.(check bool) "readable end reported" true (List.memq a rd);
+        Alcotest.(check bool) "quiet end not reported" false (List.memq b rd));
+    Alcotest.test_case "timeout expires on quiet fds" `Quick (fun () ->
+        let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Fun.protect ~finally:(fun () -> Unix.close a; Unix.close b) @@ fun () ->
+        let t0 = Unix.gettimeofday () in
+        let rd, wr = Evloop.wait ~timeout_ms:60 ~read:[ a; b ] ~write:[] () in
+        let dt = Unix.gettimeofday () -. t0 in
+        Alcotest.(check bool) "nothing ready" true (rd = [] && wr = []);
+        Alcotest.(check bool) "waited for the timeout" true (dt >= 0.03));
+    Alcotest.test_case "duplicate fds are reported once" `Quick (fun () ->
+        let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Fun.protect ~finally:(fun () -> Unix.close a; Unix.close b) @@ fun () ->
+        ignore (Unix.write_substring b "x" 0 1);
+        let rd, _ = Evloop.wait ~timeout_ms:100 ~read:[ a; a; a ] ~write:[] () in
+        Alcotest.(check int) "one entry" 1 (List.length rd));
+    Alcotest.test_case "survives >1024 fds (select's FD_SETSIZE cliff)" `Quick
+      (fun () ->
+        (* allocate pipes until the read set alone passes FD_SETSIZE;
+           select() would refuse or corrupt beyond 1024, poll() must
+           not.  When the fd ulimit forbids it, log a skip. *)
+        let pipes = ref [] in
+        let failed = ref None in
+        (try
+           while List.length !pipes < 600 do
+             pipes := Unix.pipe ~cloexec:true () :: !pipes
+           done
+         with Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
+           failed := Some "fd ulimit");
+        Fun.protect ~finally:(fun () ->
+            List.iter
+              (fun (r, w) ->
+                (try Unix.close r with Unix.Unix_error _ -> ());
+                try Unix.close w with Unix.Unix_error _ -> ())
+              !pipes)
+        @@ fun () ->
+        match !failed with
+        | Some why ->
+          Printf.printf "SKIP: cannot allocate >1024 fds here (%s)\n%!" why
+        | None ->
+          let reads = List.map fst !pipes in
+          let high =
+            List.fold_left (fun acc fd -> max acc (Obj.magic fd : int)) 0 reads
+          in
+          Alcotest.(check bool) "an fd beyond FD_SETSIZE is in the set" true
+            (high >= 1024);
+          let target_r, target_w = List.nth !pipes 17 in
+          ignore (Unix.write_substring target_w "y" 0 1);
+          let rd, _ = Evloop.wait ~timeout_ms:1000 ~read:reads ~write:[] () in
+          Alcotest.(check bool) "the one readable pipe is found" true
+            (List.memq target_r rd);
+          Alcotest.(check int) "and only that one" 1 (List.length rd));
+  ]
+
+(* ----- loopback helpers ----- *)
+
+let relay_site = 1_000_000
+
+let mk_controller ~site text =
+  let policy =
+    Policy.make ~users:[ 0; 1; 2 ]
+      [ Auth.grant [ Subject.Any ] [ Docobj.Whole ] Right.all ]
+  in
+  Controller.create ~eq:Char.equal ~site ~admin:0 ~policy ~trace:Obs.Trace.null
+    (Tdoc.of_string text)
+
+let mk_hub ?metrics ?(docs = [ "main" ]) ?(hub_id = 0) ?upstream ?(auto_create = false)
+    () =
+  Hub.create
+    ~config:{ Hub.default_config with Hub.hub_id; auto_create }
+    ?metrics ?upstream ~codec:Proto.char_codec
+    ~factory:(fun _doc -> Ok (mk_controller ~site:(relay_site + hub_id) "abc", None))
+    ~docs ~port:0 ()
+
+type endpoint = {
+  client : Netd.Client.t;
+  site : int;
+  mutable ctrl : char Controller.t option;
+  mutable snapshots : int;
+  mutable got_msgs : int;
+}
+
+let on_event ep = function
+  | Netd.Client.Snapshot blob -> (
+    match Proto.Char_proto.decode_state blob with
+    | Error e -> Alcotest.failf "site %d: bad snapshot: %s" ep.site e
+    | Ok state -> (
+      match Controller.load ~eq:Char.equal state with
+      | Error e -> Alcotest.failf "site %d: snapshot rejected: %s" ep.site e
+      | Ok donor ->
+        ep.snapshots <- ep.snapshots + 1;
+        (match ep.ctrl with
+         | None -> ep.ctrl <- Some (Controller.rejoin ~site:ep.site donor)
+         | Some mine ->
+           (* a mid-session resync (e.g. after a federation heal): keep
+              local state and re-broadcast what the group lacks, like
+              p2pedit does *)
+           let mine, out = Controller.catch_up mine donor in
+           ep.ctrl <- Some mine;
+           List.iter
+             (fun m ->
+               Netd.Client.send ep.client (Proto.Char_proto.encode_message m))
+             out)))
+  | Netd.Client.Message blob -> (
+    match Proto.Char_proto.decode_message blob with
+    | Error e -> Alcotest.failf "site %d: bad message: %s" ep.site e
+    | Ok m ->
+      ep.got_msgs <- ep.got_msgs + 1;
+      let c = Option.get ep.ctrl in
+      let c, emitted = Controller.receive c m in
+      ep.ctrl <- Some c;
+      List.iter
+        (fun m' -> Netd.Client.send ep.client (Proto.Char_proto.encode_message m'))
+        emitted)
+  | Netd.Client.Connected | Netd.Client.Disconnected _ | Netd.Client.Reconnecting _ ->
+    ()
+  | Netd.Client.Gave_up reason -> Alcotest.failf "site %d gave up: %s" ep.site reason
+
+let mk_endpoint ?doc ~port ~site () =
+  let config =
+    {
+      Netd.Client.default_config with
+      Netd.Client.backoff_base_ms = 5;
+      backoff_max_ms = 50;
+      max_attempts = Some 100;
+    }
+  in
+  {
+    client =
+      Netd.Client.create ~config ~seed:site ?doc ~host:"127.0.0.1" ~port ~site ();
+    site;
+    ctrl = None;
+    snapshots = 0;
+    got_msgs = 0;
+  }
+
+let ep_step ep = List.iter (on_event ep) (Netd.Client.step ~timeout_ms:0 ep.client)
+
+let pump_until ?(max_rounds = 8000) hubs eps cond =
+  let rec go i =
+    cond ()
+    ||
+    if i >= max_rounds then false
+    else begin
+      List.iter (fun h -> Hub.step ~timeout_ms:1 h) hubs;
+      List.iter ep_step eps;
+      go (i + 1)
+    end
+  in
+  go 0
+
+let require name ok = if not ok then Alcotest.failf "timeout waiting for %s" name
+
+let doc_of ep =
+  match ep.ctrl with
+  | Some c -> Tdoc.visible_string (Controller.document c)
+  | None -> "<not joined>"
+
+let settled ep =
+  match ep.ctrl with
+  | None -> false
+  | Some c ->
+    Controller.tentative c = []
+    && Controller.pending_coop c = 0
+    && Controller.pending_admin c = 0
+
+let edit ep pos ch =
+  let c = Option.get ep.ctrl in
+  match Controller.generate c (Tdoc.ins_visible (Controller.document c) pos ch) with
+  | c, Controller.Accepted m ->
+    ep.ctrl <- Some c;
+    Netd.Client.send ep.client (Proto.Char_proto.encode_message m)
+  | _, Controller.Denied r -> Alcotest.failf "site %d denied: %s" ep.site r
+
+let hub_doc ?doc hub = Tdoc.visible_string (Controller.document (Hub.controller ?doc hub))
+
+(* ----- multi-doc isolation ----- *)
+
+let isolation_test () =
+  let metrics = Obs.Metrics.create () in
+  let hub = mk_hub ~metrics ~docs:[ "alpha"; "beta" ] () in
+  Fun.protect ~finally:(fun () -> Hub.shutdown hub) @@ fun () ->
+  let port = Hub.port hub in
+  (* alpha hosts sites 0 and 1; beta hosts its own site 1 — same user
+     id, unrelated session *)
+  let a0 = mk_endpoint ~doc:"alpha" ~port ~site:0 () in
+  let a1 = mk_endpoint ~doc:"alpha" ~port ~site:1 () in
+  let b1 = mk_endpoint ~doc:"beta" ~port ~site:1 () in
+  let eps = [ a0; a1; b1 ] in
+  require "all joined"
+    (pump_until [ hub ] eps (fun () -> List.for_all (fun e -> e.ctrl <> None) eps));
+  Alcotest.(check (list int)) "alpha members" [ 0; 1 ]
+    (Hub.connected_sites ~doc:"alpha" hub);
+  Alcotest.(check (list int)) "beta members" [ 1 ]
+    (Hub.connected_sites ~doc:"beta" hub);
+  edit a1 0 'x';
+  edit a1 1 'y';
+  require "alpha converged"
+    (pump_until [ hub ] eps (fun () ->
+         doc_of a0 = "xyabc" && doc_of a1 = "xyabc" && settled a0 && settled a1));
+  (* isolation: beta saw nothing — not the hub copy, not the member *)
+  Alcotest.(check string) "beta hub copy untouched" "abc" (hub_doc ~doc:"beta" hub);
+  Alcotest.(check string) "beta member untouched" "abc" (doc_of b1);
+  Alcotest.(check int) "no frame ever reached the beta member" 0 b1.got_msgs;
+  (* and the reverse direction *)
+  edit b1 3 'z';
+  require "beta converged"
+    (pump_until [ hub ] eps (fun () -> hub_doc ~doc:"beta" hub = "abcz"));
+  Alcotest.(check string) "alpha hub copy untouched by beta" "xyabc"
+    (hub_doc ~doc:"alpha" hub);
+  Alcotest.(check string) "alpha members untouched by beta" "xyabc" (doc_of a0);
+  (* per-doc labeled metrics carry the member counts *)
+  let g =
+    List.assoc
+      (Obs.Metrics.with_label "hub.members" ~key:"doc" ~value:"alpha")
+      (Obs.Metrics.gauges metrics)
+  in
+  Alcotest.(check int) "alpha member gauge" 2 g;
+  List.iter (fun ep -> Netd.Client.close ep.client) eps
+
+(* ----- raw-socket multiplexing: one socket, two docs ----- *)
+
+let send_payload fd s =
+  let framed = Codec.frame s in
+  ignore (Unix.write_substring fd framed 0 (String.length framed))
+
+(* read frames off a raw socket until [stop] says enough or the server
+   hangs up; the hub is stepped while we wait *)
+let drain_frames hub fd ~rounds stop =
+  let sp = Netd.Splitter.create () in
+  let buf = Bytes.create 4096 in
+  let got = ref [] in
+  let eof = ref false in
+  Unix.set_nonblock fd;
+  let rec go i =
+    if i < rounds && (not !eof) && not (stop !got) then begin
+      Hub.step ~timeout_ms:1 hub;
+      (match Unix.read fd buf 0 (Bytes.length buf) with
+       | 0 -> eof := true
+       | n -> Netd.Splitter.feed sp buf ~off:0 ~len:n
+       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+       | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+         eof := true);
+      let rec pull () =
+        match Netd.Splitter.next sp with
+        | Ok (Some p) -> (
+          match Netd.Relay_proto.decode p with
+          | Ok m ->
+            got := !got @ [ m ];
+            pull ()
+          | Error e -> Alcotest.failf "undecodable frame from hub: %s" e)
+        | Ok None -> ()
+        | Error e -> Alcotest.failf "corrupt stream from hub: %s" e
+      in
+      pull ();
+      go (i + 1)
+    end
+  in
+  go 0;
+  (!got, !eof)
+
+let multiplex_test () =
+  let hub = mk_hub ~docs:[ "alpha"; "beta" ] () in
+  Fun.protect ~finally:(fun () -> Hub.shutdown hub) @@ fun () ->
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Hub.port hub));
+  send_payload fd
+    (Netd.Relay_proto.encode (Netd.Relay_proto.Attach { doc = "alpha"; site = 2 }));
+  send_payload fd
+    (Netd.Relay_proto.encode (Netd.Relay_proto.Attach { doc = "beta"; site = 2 }));
+  let is_snapshot d = function
+    | Netd.Relay_proto.Doc_snapshot { doc; _ } -> doc = d
+    | _ -> false
+  in
+  let got, eof =
+    drain_frames hub fd ~rounds:2000 (fun got ->
+        List.exists (is_snapshot "alpha") got && List.exists (is_snapshot "beta") got)
+  in
+  Alcotest.(check bool) "still connected" false eof;
+  Alcotest.(check bool) "snapshot for each attached doc" true
+    (List.exists (is_snapshot "alpha") got && List.exists (is_snapshot "beta") got);
+  Alcotest.(check (list int)) "one socket, member of both docs" [ 2 ]
+    (Hub.connected_sites ~doc:"alpha" hub);
+  Alcotest.(check (list int)) "…and beta" [ 2 ] (Hub.connected_sites ~doc:"beta" hub);
+  (* an edit into alpha through the shared socket *)
+  let donor = Controller.rejoin ~site:2 (Hub.controller ~doc:"alpha" hub) in
+  let msg =
+    match
+      Controller.generate donor (Tdoc.ins_visible (Controller.document donor) 0 'm')
+    with
+    | _, Controller.Accepted m -> Proto.Char_proto.encode_message m
+    | _, Controller.Denied r -> Alcotest.failf "donor denied: %s" r
+  in
+  send_payload fd
+    (Netd.Relay_proto.encode
+       (Netd.Relay_proto.Doc_msg { doc = "alpha"; origin = 0; msg }));
+  let applied () = hub_doc ~doc:"alpha" hub = "mabc" in
+  let _, eof = drain_frames hub fd ~rounds:2000 (fun _ -> applied ()) in
+  Alcotest.(check bool) "edit applied to alpha" true (applied ());
+  Alcotest.(check bool) "still connected after the edit" false eof;
+  Alcotest.(check string) "beta isolated from the mux edit" "abc"
+    (hub_doc ~doc:"beta" hub);
+  (* detach from alpha; the beta attachment must survive *)
+  send_payload fd
+    (Netd.Relay_proto.encode (Netd.Relay_proto.Detach { doc = "alpha" }));
+  let detached () = Hub.connected_sites ~doc:"alpha" hub = [] in
+  let _, eof = drain_frames hub fd ~rounds:2000 (fun _ -> detached ()) in
+  Alcotest.(check bool) "alpha detached" true (detached ());
+  Alcotest.(check bool) "socket survives the detach" false eof;
+  Alcotest.(check (list int)) "beta attachment survives" [ 2 ]
+    (Hub.connected_sites ~doc:"beta" hub);
+  (* a message for the now-unattached doc is a protocol violation *)
+  send_payload fd
+    (Netd.Relay_proto.encode
+       (Netd.Relay_proto.Doc_msg { doc = "alpha"; origin = 0; msg }));
+  let _, eof = drain_frames hub fd ~rounds:2000 (fun _ -> false) in
+  Alcotest.(check bool) "message after detach drops the peer" true eof
+
+(* ----- v1/v2 interop on the default document ----- *)
+
+let interop_test () =
+  let hub = mk_hub () in
+  Fun.protect ~finally:(fun () -> Hub.shutdown hub) @@ fun () ->
+  let port = Hub.port hub in
+  (* ep_old speaks the original single-doc protocol (no --doc), ep_new
+     attaches to "main" explicitly; they must share the session *)
+  let ep_old = mk_endpoint ~port ~site:0 () in
+  let ep_new = mk_endpoint ~doc:"main" ~port ~site:1 () in
+  let eps = [ ep_old; ep_new ] in
+  require "both joined"
+    (pump_until [ hub ] eps (fun () -> List.for_all (fun e -> e.ctrl <> None) eps));
+  Alcotest.(check (list int)) "one session, both dialects" [ 0; 1 ]
+    (Hub.connected_sites hub);
+  edit ep_old 0 'o';
+  require "v1 edit reaches the v2 member"
+    (pump_until [ hub ] eps (fun () -> doc_of ep_new = "oabc"));
+  edit ep_new 4 'n';
+  require "v2 edit reaches the v1 member"
+    (pump_until [ hub ] eps (fun () ->
+         doc_of ep_old = "oabcn" && doc_of ep_new = "oabcn"
+         && List.for_all settled eps));
+  Alcotest.(check string) "hub copy agrees" "oabcn" (hub_doc hub);
+  List.iter (fun ep -> Netd.Client.close ep.client) eps
+
+(* ----- hostile attach frames ----- *)
+
+let hostile_attach_test () =
+  let hub = mk_hub ~docs:[ "main" ] () in
+  Fun.protect ~finally:(fun () -> Hub.shutdown hub) @@ fun () ->
+  let connect_raw () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Hub.port hub));
+    fd
+  in
+  let dropped fd =
+    let _, eof = drain_frames hub fd ~rounds:2000 (fun _ -> false) in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    eof
+  in
+  (* a traversal name must never reach the filesystem or the registry *)
+  let fd = connect_raw () in
+  send_payload fd
+    (Netd.Relay_proto.encode
+       (Netd.Relay_proto.Attach { doc = "../../etc/passwd"; site = 1 }));
+  Alcotest.(check bool) "path traversal attach dropped" true (dropped fd);
+  (* unknown doc without auto-create *)
+  let fd = connect_raw () in
+  send_payload fd
+    (Netd.Relay_proto.encode (Netd.Relay_proto.Attach { doc = "nosuch"; site = 1 }));
+  Alcotest.(check bool) "unknown doc attach dropped" true (dropped fd);
+  (* oversized name *)
+  let fd = connect_raw () in
+  send_payload fd
+    (Netd.Relay_proto.encode
+       (Netd.Relay_proto.Attach { doc = String.make 400 'a'; site = 1 }));
+  Alcotest.(check bool) "oversized doc name dropped" true (dropped fd);
+  (* a malformed attach envelope: tag 'A' with a truncated body *)
+  let fd = connect_raw () in
+  send_payload fd "A\x05";
+  Alcotest.(check bool) "malformed attach envelope dropped" true (dropped fd);
+  (* v1 greeting then a v2 attach on the same socket *)
+  let fd = connect_raw () in
+  send_payload fd (Netd.Relay_proto.encode (Netd.Relay_proto.Hello { site = 1 }));
+  send_payload fd
+    (Netd.Relay_proto.encode (Netd.Relay_proto.Attach { doc = "main"; site = 1 }));
+  Alcotest.(check bool) "attach after hello dropped" true (dropped fd);
+  (* after all of it, an honest member still gets served *)
+  let ep = mk_endpoint ~doc:"main" ~port:(Hub.port hub) ~site:2 () in
+  require "honest client joins after abuse"
+    (pump_until [ hub ] [ ep ] (fun () -> ep.ctrl <> None));
+  Alcotest.(check string) "and sees the document" "abc" (doc_of ep);
+  Alcotest.(check int) "hostile attaches never became sessions" 1
+    (List.length (Hub.docs hub));
+  Netd.Client.close ep.client
+
+(* ----- federation: home + leaf, late joiner from the leaf ----- *)
+
+let federation_test () =
+  let home_metrics = Obs.Metrics.create () in
+  let home = mk_hub ~metrics:home_metrics ~hub_id:1 () in
+  Fun.protect ~finally:(fun () -> Hub.shutdown home) @@ fun () ->
+  let leaf =
+    mk_hub ~hub_id:2 ~upstream:("127.0.0.1", Hub.port home) ()
+  in
+  Fun.protect ~finally:(fun () -> Hub.shutdown leaf) @@ fun () ->
+  let hubs = [ home; leaf ] in
+  (* the admin joins the home hub, a user joins the leaf *)
+  let ep0 = mk_endpoint ~doc:"main" ~port:(Hub.port home) ~site:0 () in
+  let ep2 = mk_endpoint ~doc:"main" ~port:(Hub.port leaf) ~site:2 () in
+  let eps = [ ep0; ep2 ] in
+  require "members joined and the leaf linked up"
+    (pump_until hubs eps (fun () ->
+         ep0.ctrl <> None && ep2.ctrl <> None && Hub.upstream_connected leaf));
+  (* the leaf presents its hosted site at the home hub *)
+  Alcotest.(check (list int)) "home sees admin + leaf" [ 0; relay_site + 2 ]
+    (Hub.connected_sites home);
+  (* edits from both ends of the topology *)
+  edit ep2 0 'l';
+  require "leaf edit crosses up to the home member"
+    (pump_until hubs eps (fun () -> doc_of ep0 = "labc"));
+  edit ep0 4 'h';
+  let fingerprint hub = Proto.content_fingerprint Proto.char_codec (Hub.controller hub) in
+  let ok =
+    pump_until hubs eps (fun () ->
+        doc_of ep0 = "labch" && doc_of ep2 = "labch"
+        && List.for_all settled eps
+        && fingerprint home = fingerprint leaf)
+  in
+  if not ok then
+    Printf.printf
+      "DIAG ep0=%S ep2=%S settled0=%b settled2=%b home=%S leaf=%S fh=%s fl=%s \
+       snaps2=%d msgs2=%d leaf_sites=%s up=%b\n%!"
+      (doc_of ep0) (doc_of ep2) (settled ep0) (settled ep2) (hub_doc home)
+      (hub_doc leaf) (fingerprint home) (fingerprint leaf) ep2.snapshots
+      ep2.got_msgs
+      (String.concat "," (List.map string_of_int (Hub.connected_sites leaf)))
+      (Hub.upstream_connected leaf);
+  require "home edit crosses down, everything settles" ok;
+  (* the two hosted replicas sit at different sites, so convergence is
+     checked on the site-independent content fingerprint *)
+  Alcotest.(check string) "federated replicas converged" (fingerprint home)
+    (fingerprint leaf);
+  Alcotest.(check string) "home replica content" "labch" (hub_doc home);
+  Alcotest.(check string) "leaf replica content" "labch" (hub_doc leaf);
+  (* a late joiner attaches to the LEAF and must bootstrap from the
+     leaf's snapshot — no round trip to the home hub *)
+  let ep1 = mk_endpoint ~doc:"main" ~port:(Hub.port leaf) ~site:1 () in
+  let eps = ep1 :: eps in
+  require "late joiner boots from the leaf"
+    (pump_until hubs eps (fun () -> ep1.ctrl <> None));
+  Alcotest.(check string) "late joiner caught up from the leaf snapshot" "labch"
+    (doc_of ep1);
+  edit ep1 0 'z';
+  require "late joiner's edit reaches every replica"
+    (pump_until hubs eps (fun () ->
+         doc_of ep0 = "zlabch" && doc_of ep2 = "zlabch"
+         && List.for_all settled eps
+         && fingerprint home = fingerprint leaf));
+  (* convergence oracle over the three real member controllers *)
+  let report =
+    Dce_sim.Convergence.check (List.map (fun ep -> Option.get ep.ctrl) eps)
+  in
+  if not (Dce_sim.Convergence.ok report) then
+    Alcotest.failf "convergence violated: %s"
+      (Format.asprintf "%a" Dce_sim.Convergence.pp report);
+  (* a 2-node graph has no cycle, so the loop guard never fired *)
+  Alcotest.(check int) "no loop drops at the home hub" 0
+    (try List.assoc "hub.loop_drops" (Obs.Metrics.counters home_metrics)
+     with Not_found -> 0);
+  List.iter (fun ep -> Netd.Client.close ep.client) eps
+
+let () =
+  Alcotest.run "dce_hub"
+    [
+      ("doc_name", doc_name_tests);
+      ("evloop", evloop_tests);
+      ( "loopback",
+        [
+          Alcotest.test_case "two docs on one hub never leak frames" `Quick
+            isolation_test;
+          Alcotest.test_case "one socket multiplexes attach/detach over two docs"
+            `Quick multiplex_test;
+          Alcotest.test_case "v1 and v2 clients interoperate on the default doc"
+            `Quick interop_test;
+          Alcotest.test_case "hostile attach frames drop the peer, not the hub"
+            `Quick hostile_attach_test;
+        ] );
+      ( "federation",
+        [
+          Alcotest.test_case
+            "home + leaf converge; late joiner snapshots from the leaf" `Quick
+            federation_test;
+        ] );
+    ]

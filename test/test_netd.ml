@@ -1,7 +1,7 @@
 (* Tests for the TCP transport: incremental frame splitting (fed one
    byte at a time, against hostile corruption), backoff scheduling, the
-   relay envelope, connection backpressure over a real socketpair, and
-   a full loopback session — relay plus three endpoints over real TCP,
+   hub envelope, connection backpressure over a real socketpair, and
+   a full loopback session — hub plus three endpoints over real TCP,
    with a late joiner and a kicked-and-reconnecting client — checked
    against the same convergence oracle the simulator uses, and against
    an in-process replay of the same scenario. *)
@@ -9,6 +9,7 @@
 open Dce_ot
 open Dce_core
 open Dce_netd
+module Hub = Dce_hub.Hub
 module Codec = Dce_wire.Codec
 module Proto = Dce_wire.Proto
 module Obs = Dce_obs
@@ -311,6 +312,19 @@ let mk_controller ~site ~trace text =
   Controller.create ~eq:Char.equal ~site ~admin:0 ~policy ~trace
     (Tdoc.of_string text)
 
+(* a single-document hub, every doc a fresh "abc" session *)
+let mk_hub ?config ?metrics ?(docs = [ "main" ]) ?upstream ?hub_id () =
+  let config =
+    match (config, hub_id) with
+    | Some c, _ -> c
+    | None, Some id -> { Hub.default_config with Hub.hub_id = id }
+    | None, None -> Hub.default_config
+  in
+  Hub.create ~config ?metrics ?upstream ~codec:Proto.char_codec
+    ~factory:(fun _doc ->
+      Ok (mk_controller ~site:relay_site ~trace:Obs.Trace.null "abc", None))
+    ~docs ~port:0 ()
+
 type endpoint = {
   client : Client.t;
   site : int;
@@ -361,13 +375,13 @@ let mk_endpoint ~port ~site =
 
 let ep_step ep = List.iter (on_event ep) (Client.step ~timeout_ms:0 ep.client)
 
-let pump_until ?(max_rounds = 4000) relay eps cond =
+let pump_until ?(max_rounds = 4000) hub eps cond =
   let rec go i =
     cond ()
     ||
     if i >= max_rounds then false
     else begin
-      Relay.step ~timeout_ms:1 relay;
+      Hub.step ~timeout_ms:1 hub;
       List.iter ep_step eps;
       go (i + 1)
     end
@@ -457,25 +471,22 @@ let inprocess_replay () =
 
 let integration_test () =
   let metrics = Obs.Metrics.create () in
-  let controller = mk_controller ~site:relay_site ~trace:Obs.Trace.null "abc" in
-  let config = { Relay.default_config with Relay.heartbeat_ms = 200 } in
-  let relay =
-    Relay.create ~config ~metrics ~codec:Proto.char_codec ~controller ~port:0 ()
-  in
-  Fun.protect ~finally:(fun () -> Relay.shutdown relay) @@ fun () ->
-  let port = Relay.port relay in
+  let config = { Hub.default_config with Hub.heartbeat_ms = 200 } in
+  let hub = mk_hub ~config ~metrics () in
+  Fun.protect ~finally:(fun () -> Hub.shutdown hub) @@ fun () ->
+  let port = Hub.port hub in
   (* admin and site 1 join a fresh session *)
   let ep0 = mk_endpoint ~port ~site:0 in
   let ep1 = mk_endpoint ~port ~site:1 in
   let eps = [ ep0; ep1 ] in
   require "initial join"
-    (pump_until relay eps (fun () -> ep0.ctrl <> None && ep1.ctrl <> None));
-  Alcotest.(check (list int)) "both connected" [ 0; 1 ] (Relay.connected_sites relay);
+    (pump_until hub eps (fun () -> ep0.ctrl <> None && ep1.ctrl <> None));
+  Alcotest.(check (list int)) "both connected" [ 0; 1 ] (Hub.connected_sites hub);
 
   (* a user edit propagates and gets validated by the admin *)
   edit ep1 0 'x';
   require "edit propagated and validated"
-    (pump_until relay eps (fun () ->
+    (pump_until hub eps (fun () ->
          doc ep0 = "xabc" && doc ep1 = "xabc" && settled ep0 && settled ep1));
 
   (* the admin restricts site 2's update right; the policy change
@@ -487,7 +498,7 @@ let integration_test () =
        (0, Auth.deny [ Subject.User 2 ] [ Docobj.Whole ] [ Right.Update ]));
   let target_version = Controller.version (Option.get ep0.ctrl) in
   require "restriction everywhere"
-    (pump_until relay eps (fun () ->
+    (pump_until hub eps (fun () ->
          (match ep1.ctrl with
           | Some b -> Controller.version b >= target_version
           | None -> false)));
@@ -495,7 +506,7 @@ let integration_test () =
   (* site 2 joins late, purely from the relay snapshot *)
   let ep2 = mk_endpoint ~port ~site:2 in
   let eps = [ ep0; ep1; ep2 ] in
-  require "late join" (pump_until relay eps (fun () -> ep2.ctrl <> None));
+  require "late join" (pump_until hub eps (fun () -> ep2.ctrl <> None));
   Alcotest.(check string) "late joiner caught up from snapshot" "xabc" (doc ep2);
   Alcotest.(check bool) "late joiner sees the restriction" true
     (Controller.version (Option.get ep2.ctrl) >= target_version);
@@ -505,16 +516,16 @@ let integration_test () =
   (* the late joiner can still insert *)
   edit ep2 3 'z';
   require "late joiner's edit propagated"
-    (pump_until relay eps (fun () ->
+    (pump_until hub eps (fun () ->
          doc ep0 = "xabzc" && doc ep1 = "xabzc" && doc ep2 = "xabzc"));
 
   (* kick site 1: its client must reconnect with backoff and resync *)
   require "settled before kick"
-    (pump_until relay eps (fun () -> List.for_all settled eps));
+    (pump_until hub eps (fun () -> List.for_all settled eps));
   let snapshots_before = ep1.snapshots in
-  Alcotest.(check bool) "kick found the connection" true (Relay.kick relay ~site:1);
+  Alcotest.(check bool) "kick found the connection" true (Hub.kick hub ~site:1);
   require "reconnected with a fresh snapshot"
-    (pump_until relay eps (fun () ->
+    (pump_until hub eps (fun () ->
          ep1.snapshots > snapshots_before && Client.connected ep1.client));
   Alcotest.(check bool) "reconnect went through backoff" true
     (ep1.reconnect_events > 0);
@@ -524,7 +535,7 @@ let integration_test () =
      duplicate *)
   edit ep1 1 'y';
   require "post-reconnect edit propagated"
-    (pump_until relay eps (fun () ->
+    (pump_until hub eps (fun () ->
          doc ep0 = "xyabzc" && doc ep1 = "xyabzc" && doc ep2 = "xyabzc"
          && List.for_all settled eps));
 
@@ -535,9 +546,9 @@ let integration_test () =
     Alcotest.failf "convergence violated: %s"
       (Format.asprintf "%a" Dce_sim.Convergence.pp report);
 
-  (* the relay's own hosted copy agrees *)
-  Alcotest.(check string) "relay copy agrees" "xyabzc"
-    (Tdoc.visible_string (Controller.document (Relay.controller relay)));
+  (* the hub's own hosted copy agrees *)
+  Alcotest.(check string) "hub copy agrees" "xyabzc"
+    (Tdoc.visible_string (Controller.document (Hub.controller hub)));
 
   (* and the networked outcome equals the in-process replay *)
   Alcotest.(check string) "identical to the in-process replay"
@@ -556,23 +567,20 @@ let integration_test () =
 
 (* a hostile peer: raw bytes at the relay must never crash it *)
 let hostile_peer_test () =
-  let controller = mk_controller ~site:relay_site ~trace:Obs.Trace.null "abc" in
   let metrics = Obs.Metrics.create () in
-  let relay =
-    Relay.create ~metrics ~codec:Proto.char_codec ~controller ~port:0 ()
-  in
-  Fun.protect ~finally:(fun () -> Relay.shutdown relay) @@ fun () ->
+  let hub = mk_hub ~metrics () in
+  Fun.protect ~finally:(fun () -> Hub.shutdown hub) @@ fun () ->
   let connect_raw () =
     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Relay.port relay));
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Hub.port hub));
     fd
   in
   let wait_eof fd =
-    (* the relay must close a corrupt connection; EOF is the proof *)
+    (* the hub must close a corrupt connection; EOF is the proof *)
     let rec go i =
       if i > 2000 then false
       else begin
-        Relay.step ~timeout_ms:1 relay;
+        Hub.step ~timeout_ms:1 hub;
         match Unix.select [ fd ] [] [] 0.001 with
         | [ _ ], _, _ ->
           let n = Unix.read fd (Bytes.create 256) 0 256 in
@@ -599,7 +607,7 @@ let hostile_peer_test () =
   let framed = Codec.frame (String.make 500 'x') in
   ignore (Unix.write_substring fd framed 0 40);
   for _ = 1 to 50 do
-    Relay.step ~timeout_ms:1 relay
+    Hub.step ~timeout_ms:1 hub
   done;
   let still_open =
     match Unix.select [ fd ] [] [] 0.01 with
@@ -629,9 +637,9 @@ let hostile_peer_test () =
   Alcotest.(check bool) "semantically invalid message dropped" true (wait_eof fd);
   (try Unix.close fd with Unix.Unix_error _ -> ());
   (* after all that abuse, an honest client still gets served *)
-  let ep = mk_endpoint ~port:(Relay.port relay) ~site:1 in
+  let ep = mk_endpoint ~port:(Hub.port hub) ~site:1 in
   require "honest client joins after abuse"
-    (pump_until relay [ ep ] (fun () -> ep.ctrl <> None));
+    (pump_until hub [ ep ] (fun () -> ep.ctrl <> None));
   Alcotest.(check string) "and sees the document" "abc" (doc ep);
   Alcotest.(check bool) "framing errors counted" true
     (List.assoc "netd.framing_errors" (Obs.Metrics.counters metrics) >= 1);
@@ -712,8 +720,7 @@ let http_scrape admin path =
 
 let admin_scrape_test () =
   let metrics = Obs.Metrics.create () in
-  let controller = mk_controller ~site:relay_site ~trace:Obs.Trace.null "abc" in
-  let relay = Relay.create ~metrics ~codec:Proto.char_codec ~controller ~port:0 () in
+  let hub = mk_hub ~metrics () in
   let admin =
     Admin.create ~metrics
       ~healthz:(fun () -> Obs.Json.Obj [ ("status", Obs.Json.String "ok") ])
@@ -722,25 +729,25 @@ let admin_scrape_test () =
           [
             ( "sites",
               Obs.Json.List
-                (List.map (fun s -> Obs.Json.Int s) (Relay.connected_sites relay)) );
+                (List.map (fun s -> Obs.Json.Int s) (Hub.connected_sites hub)) );
           ])
       ~port:0 ()
   in
   Fun.protect ~finally:(fun () ->
       Admin.close admin;
-      Relay.shutdown relay)
+      Hub.shutdown hub)
   @@ fun () ->
-  let port = Relay.port relay in
+  let port = Hub.port hub in
   let ep0 = mk_endpoint ~port ~site:0 in
   let ep1 = mk_endpoint ~port ~site:1 in
   let ep2 = mk_endpoint ~port ~site:2 in
   let eps = [ ep0; ep1; ep2 ] in
   require "all three joined"
-    (pump_until relay eps (fun () -> List.for_all (fun e -> e.ctrl <> None) eps));
+    (pump_until hub eps (fun () -> List.for_all (fun e -> e.ctrl <> None) eps));
   edit ep1 0 'x';
   edit ep2 0 'y';
   require "edits settled"
-    (pump_until relay eps (fun () ->
+    (pump_until hub eps (fun () ->
          List.for_all settled eps && doc ep0 = doc ep1 && doc ep1 = doc ep2));
   (* /metrics: a parseable exposition with live transport counters *)
   let raw = http_scrape admin "/metrics" in
@@ -787,7 +794,7 @@ let () =
         [
           Alcotest.test_case "3 sites over TCP: edit/deny/late-join/reconnect" `Quick
             integration_test;
-          Alcotest.test_case "hostile and truncated streams never crash the relay"
+          Alcotest.test_case "hostile and truncated streams never crash the hub"
             `Quick hostile_peer_test;
           Alcotest.test_case "admin socket scrapes a live 3-site session" `Quick
             admin_scrape_test;

@@ -363,6 +363,48 @@ let export_tests =
         let s = M.summary (M.histogram m2 "lat") in
         Alcotest.(check int) "histogram count" 8 s.M.count;
         Alcotest.(check bool) "p95 finite" true (Float.is_finite s.M.p95));
+    Alcotest.test_case "labeled series round-trip dump/parse/merge" `Quick
+      (fun () ->
+        let m = M.create () in
+        let frames d = M.with_label "hub.frames" ~key:"doc" ~value:d in
+        M.add (M.counter m (frames "alpha")) 7;
+        M.add (M.counter m (frames "beta")) 2;
+        M.set (M.gauge m (M.with_label "hub.members" ~key:"doc" ~value:"alpha")) 3;
+        let h = M.histogram m (M.with_label "fan.ns" ~key:"doc" ~value:"alpha") in
+        List.iter (M.observe h) [ 10; 200; 3000 ];
+        let d = M.dump m in
+        List.iter
+          (fun frag ->
+            Alcotest.(check bool) ("contains " ^ frag) true (contains d frag))
+          [
+            (* one TYPE line per bare family, one series line per label *)
+            "# TYPE hub_frames counter\n";
+            "hub_frames{doc=\"alpha\"} 7\n";
+            "hub_frames{doc=\"beta\"} 2\n";
+            "hub_members{doc=\"alpha\"} 3\n";
+            (* [le] rides after the existing labels on histogram buckets *)
+            "fan_ns_bucket{doc=\"alpha\",le=";
+            "fan_ns_sum{doc=\"alpha\"} 3210\n";
+            "fan_ns_count{doc=\"alpha\"} 3\n";
+          ];
+        Alcotest.(check string) "labeled dump is stable" d (M.dump m);
+        (* a scrape of the dump merges back into the same labeled series *)
+        let p = Obs.Export.parse_exposition d in
+        let m2 = M.create () in
+        Obs.Export.merge_into m2 p;
+        let back base doc =
+          M.value (M.counter m2 (M.with_label base ~key:"doc" ~value:doc))
+        in
+        Alcotest.(check int) "alpha counter survives" 7 (back "hub_frames" "alpha");
+        Alcotest.(check int) "beta counter survives" 2 (back "hub_frames" "beta");
+        Alcotest.(check int) "labeled gauge survives" 3
+          (M.gauge_value
+             (M.gauge m2 (M.with_label "hub_members" ~key:"doc" ~value:"alpha")));
+        let s =
+          M.summary
+            (M.histogram m2 (M.with_label "fan_ns" ~key:"doc" ~value:"alpha"))
+        in
+        Alcotest.(check int) "labeled histogram count survives" 3 s.M.count);
     Alcotest.test_case "snapshot counter deltas" `Quick (fun () ->
         let m = M.create () in
         let c = M.counter m "ops" in
