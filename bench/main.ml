@@ -1120,6 +1120,125 @@ let run_store () =
   bench_rm_rf dir;
   print_newline ()
 
+(* ----- analysis: indexed decision engine vs the flat first-match scan -----
+
+   ROADMAP item 4 asks what an indexed policy representation buys over
+   the linear first-match scan once |P| stops being toy-sized.  The
+   decision-domain engine of lib/analysis is that index: this section
+   builds it over generated policies of |P| ∈ {1k, 10k, 100k} rules
+   (fixed vocabulary: 128 users, 8 groups, zones within a 10k-position
+   document, the paper's mix of user-, group- and any-subject rules,
+   ~20% restrictive) and measures build cost, per-check latency of both
+   paths — asserting they agree on every sampled access first — and the
+   analyzer's full lint pass.  The speedup lands in BENCH_analysis.json
+   as analysis.check_speedup_pNNN_x; CI gates on the 10k point. *)
+
+let analysis_user_pool = 128
+
+let analysis_policy ~rules =
+  let users = List.init analysis_user_pool (fun i -> i) in
+  let groups =
+    List.init 8 (fun g ->
+        (Printf.sprintf "g%d" g, List.filter (fun u -> u mod 8 = g) users))
+  in
+  let auths =
+    List.init rules (fun _ ->
+        let subjects =
+          match rand 50 with
+          | 0 -> [ Subject.Any ]
+          | x when x < 5 -> [ Subject.Group (Printf.sprintf "g%d" (rand 8)) ]
+          | _ -> [ Subject.User (rand analysis_user_pool) ]
+        in
+        let objects =
+          match rand 8 with
+          | 0 -> [ Docobj.Whole ]
+          | 1 | 2 -> [ Docobj.Element (rand 10_000) ]
+          | _ ->
+            let lo = rand 10_000 in
+            [ Docobj.zone lo (lo + rand 512) ]
+        in
+        let rights = [ Right.of_index (rand Right.count) ] in
+        let make = if rand 5 = 0 then Auth.deny else Auth.grant in
+        make subjects objects rights)
+  in
+  Policy.make ~users ~groups auths
+
+let run_analysis ~quick () =
+  let module An = Dce_analysis in
+  Printf.printf "== analysis: indexed policy checks vs flat first-match scan ==\n";
+  Printf.printf "%8s %8s %8s %10s %12s %12s %9s\n" "|P|" "classes" "segs"
+    "build(ms)" "flat(ns)" "engine(ns)" "speedup";
+  let sizes = if quick then [ 1_000; 10_000 ] else [ 1_000; 10_000; 100_000 ] in
+  List.iter
+    (fun n ->
+      let p = analysis_policy ~rules:n in
+      let label = "p" ^ size_label n in
+      let put k v =
+        Obs.Metrics.add
+          (Obs.Metrics.counter bench_metrics (Printf.sprintf "analysis.%s.%s" label k))
+          v
+      in
+      let build_ms =
+        min_ms ~reps:(if n >= 100_000 then 1 else 3) (fun () -> An.Engine.build p)
+      in
+      let engine, _ = An.Engine.build p in
+      let queries =
+        Array.init 4096 (fun _ ->
+            ( rand (analysis_user_pool + 16),
+              Right.of_index (rand Right.count),
+              if rand 20 = 0 then None else Some (rand 12_000) ))
+      in
+      Array.iter
+        (fun (user, right, pos) ->
+          if An.Engine.check engine ~user ~right ~pos <> Policy.check p ~user ~right ~pos
+          then failwith "analysis bench: engine disagrees with the flat scan")
+        queries;
+      let flat_reps = if n >= 100_000 then 64 else 1024 in
+      let t_flat =
+        min_ms ~reps:3 (fun () ->
+            for i = 0 to flat_reps - 1 do
+              let user, right, pos = queries.(i) in
+              ignore (Sys.opaque_identity (Policy.check p ~user ~right ~pos))
+            done)
+      in
+      let flat_ns = t_flat *. 1e6 /. float_of_int flat_reps in
+      let t_engine =
+        min_ms ~reps:3 (fun () ->
+            Array.iter
+              (fun (user, right, pos) ->
+                ignore (Sys.opaque_identity (An.Engine.check engine ~user ~right ~pos)))
+              queries)
+      in
+      let engine_ns = t_engine *. 1e6 /. float_of_int (Array.length queries) in
+      let speedup = flat_ns /. Float.max engine_ns 1e-9 in
+      put "build_ms" (int_of_float (Float.max build_ms 1.));
+      put "flat_check_ns" (int_of_float flat_ns);
+      put "engine_check_ns" (int_of_float (Float.max engine_ns 1.));
+      Obs.Metrics.add
+        (Obs.Metrics.counter bench_metrics
+           (Printf.sprintf "analysis.check_speedup_%s_x" label))
+        (int_of_float speedup);
+      Printf.printf "%8s %8d %8d %10.1f %12.0f %12.1f %8.0fx\n" (size_label n)
+        (An.Classes.count (An.Engine.classes engine))
+        (An.Engine.seg_count engine) build_ms flat_ns engine_ns speedup)
+    sizes;
+  (* the full analyzer pass (engine + findings + witness validation) on
+     the 10k-rule policy: what `dcepolicy lint` costs at that size *)
+  let p = analysis_policy ~rules:10_000 in
+  let lint_ms = min_ms ~reps:3 (fun () -> An.Analyze.run p) in
+  let r = An.Analyze.run p in
+  let n_err = List.length (An.Analyze.errors r)
+  and n_warn = List.length (An.Analyze.warnings r)
+  and n_ref = List.length (An.Analyze.refuted r) in
+  if n_ref > 0 then failwith "analysis bench: refuted findings";
+  let put k v = Obs.Metrics.add (Obs.Metrics.counter bench_metrics ("analysis." ^ k)) v in
+  put "lint_p10k.ms" (int_of_float (Float.max lint_ms 1.));
+  put "lint_p10k.errors" n_err;
+  put "lint_p10k.warnings" n_warn;
+  Printf.printf "full lint @ |P|=10k: %.1f ms (%d error(s), %d warning(s), 0 refuted)\n"
+    lint_ms n_err n_warn;
+  print_newline ()
+
 (* ----- bechamel micro-benchmarks ----- *)
 
 let run_micro () =
@@ -1280,6 +1399,7 @@ let () =
     run "hub" (run_hub ~quick:!quick);
     run "check" run_check;
     run "store" run_store;
+    run "analysis" (run_analysis ~quick:!quick);
     run "micro" run_micro;
     run "obs" run_obs
   in

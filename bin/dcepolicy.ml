@@ -1,0 +1,195 @@
+(* dcepolicy: static analyzer for access-control policies.
+
+   Where bin/dcecheck.exe explores the dynamic interleavings of a small
+   session, dcepolicy analyzes the policy itself — no session at all:
+
+     dune exec bin/dcepolicy.exe -- lint examples/policies/wiki.dcep
+     dune exec bin/dcepolicy.exe -- diff old.dcep new.dcep
+     dune exec bin/dcepolicy.exe -- trajectory examples/policies/storm.dcep
+     dune exec bin/dcepolicy.exe -- check FILE --user 1 --right insert --pos 4
+
+   Every finding carries a concrete witness access that is replayed
+   through the real Policy.check/explain before it is reported; a
+   REFUTED finding means an analyzer bug and exits 3.
+
+   Exit status: 0 clean, 1 confirmed error findings (lint) or changes
+   (diff/trajectory with --fail-on-change), 2 usage/parse error,
+   3 internal (refuted witness). *)
+
+module An = Dce_analysis
+
+let load_file path =
+  match An.Policy_file.load path with
+  | Error e ->
+    Format.eprintf "%s: %s@." path e;
+    None
+  | Ok pf -> (
+    match An.Policy_file.final_policy pf with
+    | Error e ->
+      Format.eprintf "%s: %s@." path e;
+      None
+    | Ok p -> Some (pf, p))
+
+let lint file json strict =
+  match load_file file with
+  | None -> 2
+  | Some (_, policy) ->
+    let r = An.Analyze.run policy in
+    let errors = An.Analyze.errors r
+    and warnings = An.Analyze.warnings r
+    and refuted = An.Analyze.refuted r in
+    if json then print_endline (Dce_obs.Json.to_string (An.Analyze.report_to_json r))
+    else Format.printf "%a@." An.Analyze.pp_report r;
+    if refuted <> [] then 3
+    else if errors <> [] || (strict && warnings <> []) then 1
+    else 0
+
+let print_changes ~json changes =
+  if json then
+    print_endline
+      (Dce_obs.Json.to_string
+         (Dce_obs.Json.Obj
+            [
+              ("changes", Dce_obs.Json.Int (List.length changes));
+              ("decisions", Dce_obs.Json.List (List.map An.Diff.change_to_json changes));
+            ]))
+  else if changes = [] then Format.printf "no decision changes@."
+  else begin
+    List.iter (fun c -> Format.printf "  %a@." An.Diff.pp_change c) changes;
+    Format.printf "%d changed region(s)@." (List.length changes)
+  end
+
+let diff file_a file_b json fail_on_change =
+  match (load_file file_a, load_file file_b) with
+  | Some (_, a), Some (_, b) ->
+    let changes = An.Diff.policies a b in
+    print_changes ~json changes;
+    if fail_on_change && changes <> [] then 1 else 0
+  | _ -> 2
+
+let trajectory file json fail_on_change =
+  match load_file file with
+  | None -> 2
+  | Some (pf, _) -> (
+    match An.Policy_file.log_of pf with
+    | Error e ->
+      Format.eprintf "%s: %s@." file e;
+      2
+    | Ok log ->
+      let steps = An.Diff.trajectory log in
+      let total = ref 0 in
+      if json then
+        print_endline
+          (Dce_obs.Json.to_string
+             (Dce_obs.Json.List
+                (List.map
+                   (fun ((r : Dce_core.Admin_op.request), changes) ->
+                     total := !total + List.length changes;
+                     Dce_obs.Json.Obj
+                       [
+                         ("version", Dce_obs.Json.Int r.version);
+                         ( "op",
+                           Dce_obs.Json.String
+                             (Format.asprintf "%a" Dce_core.Admin_op.pp r.op) );
+                         ( "decisions",
+                           Dce_obs.Json.List (List.map An.Diff.change_to_json changes)
+                         );
+                       ])
+                   steps)))
+      else
+        List.iter
+          (fun ((r : Dce_core.Admin_op.request), changes) ->
+            total := !total + List.length changes;
+            Format.printf "v%d %a: %d changed region(s)@." r.version
+              Dce_core.Admin_op.pp r.op (List.length changes);
+            List.iter (fun c -> Format.printf "    %a@." An.Diff.pp_change c) changes)
+          steps;
+      if fail_on_change && !total > 0 then 1 else 0)
+
+let parse_right = function
+  | "read" -> Some Dce_core.Right.Read
+  | "insert" -> Some Dce_core.Right.Insert
+  | "delete" -> Some Dce_core.Right.Delete
+  | "update" -> Some Dce_core.Right.Update
+  | s -> Dce_core.Right.of_string s
+
+let check file user right pos =
+  match parse_right right with
+  | None ->
+    Format.eprintf "bad --right %S (want read/insert/delete/update)@." right;
+    2
+  | Some right -> (
+    match load_file file with
+    | None -> 2
+    | Some (_, policy) ->
+      let engine, _ = An.Engine.build policy in
+      let flat = Dce_core.Policy.check policy ~user ~right ~pos in
+      let indexed = An.Engine.check engine ~user ~right ~pos in
+      let verdict = Dce_core.Policy.explain policy ~user ~right ~pos in
+      Format.printf "%s (%s)@."
+        (if flat then "ALLOW" else "DENY")
+        (match verdict with
+         | Dce_core.Policy.Unregistered -> "user not registered"
+         | Dce_core.Policy.Default_deny -> "no rule matched: default deny"
+         | Dce_core.Policy.Matched i ->
+           Format.asprintf "decided by P%d: %a" i Dce_core.Auth.pp
+             (Option.get (Dce_core.Policy.auth_at policy i)));
+      if flat <> indexed then begin
+        Format.eprintf
+          "INTERNAL: indexed engine disagrees with the flat scan (engine=%b flat=%b)@."
+          indexed flat;
+        3
+      end
+      else 0)
+
+open Cmdliner
+
+let file_arg p = Arg.(required & pos p (some string) None & info [] ~docv:"FILE")
+let json = Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
+
+let fail_on_change =
+  Arg.(value & flag
+       & info [ "fail-on-change" ] ~doc:"Exit 1 if any decision changed.")
+
+let lint_cmd =
+  let strict =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Treat warnings as errors.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Shadowing, conflicts, redundancy and integrity lints over one policy")
+    Term.(const lint $ file_arg 0 $ json $ strict)
+
+let diff_cmd =
+  Cmd.v
+    (Cmd.info "diff" ~doc:"Exact decision changes between two policies")
+    Term.(const diff $ file_arg 0 $ file_arg 1 $ json $ fail_on_change)
+
+let trajectory_cmd =
+  Cmd.v
+    (Cmd.info "trajectory"
+       ~doc:"Blast radius of every administrative step of a policy file's log")
+    Term.(const trajectory $ file_arg 0 $ json $ fail_on_change)
+
+let check_cmd =
+  let user =
+    Arg.(required & opt (some int) None & info [ "user" ] ~docv:"N" ~doc:"User id.")
+  in
+  let right =
+    Arg.(value & opt string "insert"
+         & info [ "right" ] ~docv:"R" ~doc:"read, insert, delete or update.")
+  in
+  let pos =
+    Arg.(value & opt (some int) None & info [ "pos" ] ~docv:"P" ~doc:"Position.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Decide one access, explain the deciding rule, cross-check the index")
+    Term.(const check $ file_arg 0 $ user $ right $ pos)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "dcepolicy" ~doc:"Static analyzer for access-control policies")
+    [ lint_cmd; diff_cmd; trajectory_cmd; check_cmd ]
+
+let () = exit (Cmd.eval' cmd)

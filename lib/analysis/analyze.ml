@@ -1,0 +1,234 @@
+module P = Dce_core.Policy
+module R = Dce_core.Right
+module S = Dce_core.Subject
+module O = Dce_core.Docobj
+module J = Dce_obs.Json
+
+type report = {
+  policy : P.t;
+  engine : Engine.t;
+  fates : Engine.fate array;
+  findings : Findings.t list;
+}
+
+let witness_of_engine classes (at : Engine.witness) ~expect : Findings.witness =
+  { user = Classes.rep classes at.klass; right = at.right; pos = at.pos; expect }
+
+(* why does a rule match nothing?  (diagnostic detail only) *)
+let empty_reason policy (a : Dce_core.Auth.t) =
+  let subject_live = function
+    | S.Any -> P.users policy <> []
+    | S.User u -> P.is_user policy u
+    | S.Group g -> List.exists (fun u -> P.member policy g u) (P.users policy)
+  in
+  let object_live o =
+    let concrete = function
+      | O.Whole -> true
+      | O.Element q -> q >= 0
+      | O.Zone _ -> true
+      | O.Named _ -> false
+    in
+    match o with
+    | O.Named n -> (
+      match P.resolve policy n with Some o' -> concrete o' | None -> false)
+    | o -> concrete o
+  in
+  if not (List.exists subject_live a.subjects) then
+    "its subjects match no registered user"
+  else if not (List.exists object_live a.objects) then
+    "its objects denote no position"
+  else "its domain is empty"
+
+let fate_findings policy classes ~has_dangling (fates : Engine.fate array) =
+  let acc = ref [] in
+  let emit f = acc := f :: !acc in
+  Array.iter
+    (fun (f : Engine.fate) ->
+      let auth = Option.get (P.auth_at policy f.rule) in
+      if f.empty then begin
+        (* a rule emptied by a dangling reference is already reported by
+           the (by-design, warning-level) dangling lint — only flag rules
+           that match nothing for some other reason *)
+        if not (has_dangling f.rule) then
+          emit
+            {
+              Findings.kind = Never_matches { rule = f.rule };
+              witness = None;
+              detail = empty_reason policy auth;
+              status = Findings.Confirmed;
+            }
+      end
+      else begin
+        (if f.live = None then
+           match f.overlaps with
+           | [] -> () (* unreachable: a dead non-empty rule overlaps something *)
+           | first :: _ ->
+             let witness =
+               Some (witness_of_engine classes first.at ~expect:first.earlier_allows)
+             in
+             let kind, detail =
+               match f.deciders with
+               | [ j ] when not f.overlaps_truncated ->
+                 let same =
+                   (not (Dce_core.Auth.is_restrictive auth)) = first.earlier_allows
+                 in
+                 if same then
+                   ( Findings.Subsumed { rule = f.rule; by = j },
+                     Printf.sprintf
+                       "every access it matches is already decided the same way by \
+                        P%d: deleting it changes nothing" j )
+                 else
+                   ( Findings.Shadowed { rule = f.rule; by = j },
+                     Printf.sprintf
+                       "every access it matches is decided (oppositely) by P%d: the \
+                        rule can never take effect" j )
+               | _ ->
+                 ( Findings.Shadowed { rule = f.rule; by = first.earlier },
+                   Printf.sprintf
+                     "no access survives to it under first-match (%d earlier rule(s) \
+                      cover its domain%s)"
+                     (List.length f.deciders)
+                     (if f.overlaps_truncated then ", truncated" else "") )
+             in
+             emit { Findings.kind; witness; detail; status = Findings.Confirmed });
+        List.iter
+          (fun (o : Engine.overlap) ->
+            if not o.same_sign then
+              emit
+                {
+                  Findings.kind = Conflict { earlier = o.earlier; later = f.rule };
+                  witness =
+                    Some (witness_of_engine classes o.at ~expect:o.earlier_allows);
+                  detail =
+                    Printf.sprintf
+                      "signs disagree on an overlapping domain: swapping P%d and P%d \
+                       flips the witness to %s"
+                      o.earlier f.rule
+                      (if o.earlier_allows then "deny" else "allow");
+                  status = Findings.Confirmed;
+                })
+          f.overlaps
+      end)
+    fates;
+  List.rev !acc
+
+let lint_findings policy =
+  let acc = ref [] in
+  let emit f = acc := f :: !acc in
+  List.iteri
+    (fun i (a : Dce_core.Auth.t) ->
+      let first_right = List.hd a.rights in
+      List.iter
+        (function
+          | S.User u when not (P.is_user policy u) ->
+            emit
+              {
+                Findings.kind = Dangling_user { rule = i; user = u };
+                witness =
+                  Some
+                    {
+                      Findings.user = u;
+                      right = first_right;
+                      pos = None;
+                      expect = false;
+                    };
+                detail =
+                  "the user is not registered (deleted?): the reference is inert \
+                   until a re-registration resurrects it";
+                status = Findings.Confirmed;
+              }
+          | S.Group g
+            when not (List.exists (fun u -> P.member policy g u) (P.users policy)) ->
+            emit
+              {
+                Findings.kind = Dangling_group { rule = i; group = g };
+                witness = None;
+                detail =
+                  (let exists = List.mem_assoc g (P.groups policy) in
+                   let what = if exists then "is empty" else "does not exist" in
+                   if Dce_core.Auth.is_restrictive a then
+                     Printf.sprintf "group %s %s" g what
+                   else
+                     Printf.sprintf
+                       "group %s %s but is still granted rights: the grant is dead \
+                        until someone joins" g what);
+                status = Findings.Confirmed;
+              }
+          | _ -> ())
+        (List.sort_uniq compare a.subjects);
+      List.iter
+        (function
+          | O.Named n when P.resolve policy n = None ->
+            emit
+              {
+                Findings.kind = Dangling_object { rule = i; name = n };
+                witness = None;
+                detail = "the named object is not registered (deleted?)";
+                status = Findings.Confirmed;
+              }
+          | _ -> ())
+        (List.sort_uniq compare a.objects))
+    (P.auths policy);
+  List.rev !acc
+
+let run ?classes policy =
+  let engine, fates = Engine.build ?classes policy in
+  let classes = Engine.classes engine in
+  let lints = lint_findings policy in
+  let dangling = Hashtbl.create 7 in
+  List.iter
+    (fun (f : Findings.t) ->
+      match f.kind with
+      | Dangling_user { rule; _ }
+      | Dangling_group { rule; _ }
+      | Dangling_object { rule; _ } -> Hashtbl.replace dangling rule ()
+      | _ -> ())
+    lints;
+  let has_dangling rule = Hashtbl.mem dangling rule in
+  let findings = fate_findings policy classes ~has_dangling fates @ lints in
+  let findings = List.map (Findings.validate policy) findings in
+  { policy; engine; fates; findings }
+
+let errors r =
+  List.filter
+    (fun (f : Findings.t) ->
+      f.status = Findings.Confirmed && Findings.severity f.kind = `Error)
+    r.findings
+
+let warnings r =
+  List.filter
+    (fun (f : Findings.t) ->
+      f.status = Findings.Confirmed && Findings.severity f.kind = `Warning)
+    r.findings
+
+let refuted r =
+  List.filter (fun (f : Findings.t) -> f.status <> Findings.Confirmed) r.findings
+
+let pp_report ppf r =
+  let n_err = List.length (errors r)
+  and n_warn = List.length (warnings r)
+  and n_ref = List.length (refuted r) in
+  Format.fprintf ppf
+    "@[<v>policy: %d rule(s), %d user(s), %d group(s), %d object(s)@ index: %d \
+     class(es), %d segment(s)@ "
+    (P.auth_count r.policy)
+    (List.length (P.users r.policy))
+    (List.length (P.groups r.policy))
+    (List.length (P.objects r.policy))
+    (Classes.count (Engine.classes r.engine))
+    (Engine.seg_count r.engine);
+  List.iter (fun f -> Format.fprintf ppf "%a@ " Findings.pp f) r.findings;
+  Format.fprintf ppf "findings: %d error(s), %d warning(s)%s@]" n_err n_warn
+    (if n_ref > 0 then Printf.sprintf ", %d REFUTED (analyzer bug!)" n_ref else "")
+
+let report_to_json r =
+  J.Obj
+    [
+      ("rules", J.Int (P.auth_count r.policy));
+      ("classes", J.Int (Classes.count (Engine.classes r.engine)));
+      ("segments", J.Int (Engine.seg_count r.engine));
+      ("errors", J.Int (List.length (errors r)));
+      ("warnings", J.Int (List.length (warnings r)));
+      ("refuted", J.Int (List.length (refuted r)));
+      ("findings", J.List (List.map Findings.to_json r.findings));
+    ]

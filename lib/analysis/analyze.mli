@@ -1,0 +1,23 @@
+(** The analyzer entry point: one engine build pass plus integrity
+    lints, every finding validated against the real checker. *)
+
+type report = {
+  policy : Dce_core.Policy.t;
+  engine : Engine.t;
+  fates : Engine.fate array;
+  findings : Findings.t list;  (** rule order; conflicts deduplicated *)
+}
+
+val run : ?classes:Classes.t -> Dce_core.Policy.t -> report
+
+val errors : report -> Findings.t list
+(** Confirmed findings of severity [`Error] — the CLI's exit-1 set. *)
+
+val warnings : report -> Findings.t list
+val refuted : report -> Findings.t list
+(** Findings whose witness replay disagreed with the claim.  Always
+    empty unless the symbolic engine has a bug; the CLI treats any entry
+    as an internal error. *)
+
+val pp_report : Format.formatter -> report -> unit
+val report_to_json : report -> Dce_obs.Json.t

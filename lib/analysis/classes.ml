@@ -1,0 +1,80 @@
+module P = Dce_core.Policy
+module IntSet = Set.Make (Int)
+
+type t = {
+  class_of : (int, int) Hashtbl.t;
+  reps : int array;
+  members : int array array;
+}
+
+(* A user's discriminator: either "named individually somewhere" (own
+   class) or the per-policy (registered?, groups containing u) vector.
+   No authorization can distinguish two users with equal keys. *)
+type key =
+  | Named of int
+  | Profile of (bool * string list) list
+
+let build policies =
+  let named = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (a : Dce_core.Auth.t) ->
+          List.iter
+            (function
+              | Dce_core.Subject.User u -> Hashtbl.replace named u ()
+              | Dce_core.Subject.Any | Dce_core.Subject.Group _ -> ())
+            a.subjects)
+        (P.auths p))
+    policies;
+  let universe =
+    List.fold_left
+      (fun s p -> List.fold_left (fun s u -> IntSet.add u s) s (P.users p))
+      IntSet.empty policies
+  in
+  let group_names = List.map (fun p -> List.map fst (P.groups p)) policies in
+  let key u =
+    if Hashtbl.mem named u then Named u
+    else
+      Profile
+        (List.map2
+           (fun p gs ->
+             (P.is_user p u, List.filter (fun g -> P.member p g u) gs))
+           policies group_names)
+  in
+  let buckets = Hashtbl.create 64 in
+  IntSet.iter
+    (fun u ->
+      let k = key u in
+      let l = try Hashtbl.find buckets k with Not_found -> [] in
+      Hashtbl.replace buckets k (u :: l))
+    universe;
+  let classes =
+    List.sort compare
+      (Hashtbl.fold (fun _ us acc -> List.sort compare us :: acc) buckets [])
+  in
+  let n = List.length classes in
+  let members = Array.make n [||] in
+  let reps = Array.make n 0 in
+  let class_of = Hashtbl.create (max 16 (IntSet.cardinal universe)) in
+  List.iteri
+    (fun i us ->
+      let arr = Array.of_list us in
+      members.(i) <- arr;
+      reps.(i) <- arr.(0);
+      Array.iter (fun u -> Hashtbl.replace class_of u i) arr)
+    classes;
+  { class_of; reps; members }
+
+let count t = Array.length t.reps
+let rep t i = t.reps.(i)
+let members t i = Array.to_list t.members.(i)
+let size t i = Array.length t.members.(i)
+let class_of_user t u = Hashtbl.find_opt t.class_of u
+
+let classes_where t f =
+  let acc = ref [] in
+  for i = count t - 1 downto 0 do
+    if f t.reps.(i) then acc := i :: !acc
+  done;
+  !acc

@@ -1,0 +1,36 @@
+(** The subject axis of the decision domain.
+
+    Concrete users are partitioned into equivalence classes: two users
+    land in the same class when no authorization of any of the supplied
+    policies can tell them apart — they have the same registration
+    status and the same group memberships in every policy, and neither
+    is named individually by any authorization.  A policy over 100k
+    users but a handful of groups collapses to a handful of classes, so
+    the analyzer's per-class work is bounded by the policy's own
+    vocabulary, not by the user population.
+
+    Building over {e several} policies (semantic diff needs two) refines
+    the partition across all of them at once, so one class can be used
+    to index decision cells of every policy involved. *)
+
+type t
+
+val build : Dce_core.Policy.t list -> t
+(** Partition the union of the policies' registered users.  Users named
+    by an authorization ([Subject.User u]) get singleton classes;
+    unregistered named users get no class at all (they are denied before
+    the authorization list is consulted). *)
+
+val count : t -> int
+val rep : t -> int -> Dce_core.Subject.user
+(** Canonical representative (smallest member) — the user every witness
+    access is phrased in terms of. *)
+
+val members : t -> int -> Dce_core.Subject.user list
+val size : t -> int -> int
+val class_of_user : t -> Dce_core.Subject.user -> int option
+
+val classes_where : t -> (Dce_core.Subject.user -> bool) -> int list
+(** Classes whose representative satisfies a predicate.  Sound whenever
+    the predicate cannot distinguish members of one class — registration
+    and group-membership tests against the policies used to {!build}. *)

@@ -1,0 +1,257 @@
+module P = Dce_core.Policy
+module R = Dce_core.Right
+module S = Dce_core.Subject
+module O = Dce_core.Docobj
+module IntSet = Set.Make (Int)
+
+type witness = { klass : int; right : R.t; pos : int option }
+
+type overlap = {
+  earlier : int;
+  earlier_allows : bool;
+  same_sign : bool;
+  at : witness;
+}
+
+type fate = {
+  rule : int;
+  allows : bool;
+  empty : bool;
+  live : witness option;
+  overlaps : overlap list;
+  overlaps_truncated : bool;
+  deciders : int list;
+}
+
+(* mutable cell during the build pass *)
+type seg = { slo : int; shi : int option; srule : int; sallow : bool }
+type bcell = { mutable none_dec : (int * bool) option; mutable segs : seg list }
+
+(* frozen cell: struct-of-arrays, [chi] uses [max_int] for "unbounded" *)
+type cell = {
+  cnone : (int * bool) option;
+  clo : int array;
+  chi : int array;
+  crule : int array;
+  callow : bool array;
+}
+
+type t = { policy : P.t; classes : Classes.t; cells : cell array array }
+
+let policy t = t.policy
+let classes t = t.classes
+
+let denote_object p o =
+  let concrete = function
+    | O.Whole -> (true, Iset.full)
+    | O.Element q -> (false, if q < 0 then Iset.empty else Iset.point q)
+    | O.Zone { lo; hi } -> (false, Iset.range lo (Some hi))
+    | O.Named _ -> (false, Iset.empty) (* a name resolving to a name matches nothing *)
+  in
+  match o with
+  | O.Named n -> (
+    match P.resolve p n with Some o' -> concrete o' | None -> (false, Iset.empty))
+  | o -> concrete o
+
+let denote_subject classes p = function
+  | S.Any -> Classes.classes_where classes (P.is_user p)
+  | S.User u ->
+    if P.is_user p u then Option.to_list (Classes.class_of_user classes u) else []
+  | S.Group g -> Classes.classes_where classes (fun u -> P.member p g u)
+
+(* Keep one overlap per distinct earlier decider; cap the recorded
+   deciders so a Whole-document rule landing on thousands of earlier
+   segments stays cheap.  The cap only loses precision on the
+   subsumed-vs-shadowed distinction, never on liveness. *)
+let decider_cap = 64
+
+type fb = {
+  mutable fempty : bool;
+  mutable flive : witness option;
+  mutable foverlaps : overlap list; (* reversed *)
+  mutable fdeciders : IntSet.t;
+  mutable ftrunc : bool;
+}
+
+let build ?classes:shared policy =
+  let classes =
+    match shared with Some c -> c | None -> Classes.build [ policy ]
+  in
+  let nclasses = Classes.count classes in
+  let bcells =
+    Array.init nclasses (fun _ ->
+        Array.init R.count (fun _ -> { none_dec = None; segs = [] }))
+  in
+  let auths = Array.of_list (P.auths policy) in
+  let fbs =
+    Array.map
+      (fun _ ->
+        {
+          fempty = false;
+          flive = None;
+          foverlaps = [];
+          fdeciders = IntSet.empty;
+          ftrunc = false;
+        })
+      auths
+  in
+  Array.iteri
+    (fun i (a : Dce_core.Auth.t) ->
+      let fb = fbs.(i) in
+      let allow = not (Dce_core.Auth.is_restrictive a) in
+      let klasses =
+        List.sort_uniq compare (List.concat_map (denote_subject classes policy) a.subjects)
+      in
+      let rights =
+        List.sort_uniq (fun r1 r2 -> compare (R.index r1) (R.index r2)) a.rights
+      in
+      let none, dom =
+        List.fold_left
+          (fun (n, d) o ->
+            let n', d' = denote_object policy o in
+            (n || n', Iset.union d d'))
+          (false, Iset.empty) a.objects
+      in
+      if klasses = [] || (Iset.is_empty dom && not none) then fb.fempty <- true
+      else
+        List.iter
+          (fun k ->
+            List.iter
+              (fun r ->
+                let cell = bcells.(k).(R.index r) in
+                let record_overlap earlier eallow pos =
+                  if not (IntSet.mem earlier fb.fdeciders) then
+                    if IntSet.cardinal fb.fdeciders >= decider_cap then
+                      fb.ftrunc <- true
+                    else begin
+                      fb.fdeciders <- IntSet.add earlier fb.fdeciders;
+                      fb.foverlaps <-
+                        {
+                          earlier;
+                          earlier_allows = eallow;
+                          same_sign = eallow = allow;
+                          at = { klass = k; right = r; pos };
+                        }
+                        :: fb.foverlaps
+                    end
+                in
+                if not (Iset.is_empty dom) then begin
+                  List.iter
+                    (fun s ->
+                      let o =
+                        Iset.inter dom [ { Iset.lo = s.slo; hi = s.shi } ]
+                      in
+                      match Iset.min_elt o with
+                      | Some p -> record_overlap s.srule s.sallow (Some p)
+                      | None -> ())
+                    cell.segs;
+                  let free =
+                    Iset.diff dom
+                      (List.map (fun s -> { Iset.lo = s.slo; hi = s.shi }) cell.segs)
+                  in
+                  (match Iset.min_elt free with
+                   | Some p ->
+                     if fb.flive = None then
+                       fb.flive <- Some { klass = k; right = r; pos = Some p }
+                   | None -> ());
+                  match
+                    List.map
+                      (fun ({ Iset.lo; hi } : Iset.itv) ->
+                        { slo = lo; shi = hi; srule = i; sallow = allow })
+                      free
+                  with
+                  | [] -> ()
+                  | newsegs ->
+                    cell.segs <-
+                      List.merge (fun a b -> compare a.slo b.slo) cell.segs newsegs
+                end;
+                if none then
+                  match cell.none_dec with
+                  | None ->
+                    if fb.flive = None then
+                      fb.flive <- Some { klass = k; right = r; pos = None };
+                    cell.none_dec <- Some (i, allow)
+                  | Some (e, ea) -> record_overlap e ea None)
+              rights)
+          klasses)
+    auths;
+  let freeze (b : bcell) =
+    let n = List.length b.segs in
+    let clo = Array.make n 0
+    and chi = Array.make n 0
+    and crule = Array.make n 0
+    and callow = Array.make n false in
+    List.iteri
+      (fun j s ->
+        clo.(j) <- s.slo;
+        chi.(j) <- (match s.shi with Some h -> h | None -> max_int);
+        crule.(j) <- s.srule;
+        callow.(j) <- s.sallow)
+      b.segs;
+    { cnone = b.none_dec; clo; chi; crule; callow }
+  in
+  let cells = Array.map (Array.map freeze) bcells in
+  let fates =
+    Array.mapi
+      (fun i (a : Dce_core.Auth.t) ->
+        let fb = fbs.(i) in
+        {
+          rule = i;
+          allows = not (Dce_core.Auth.is_restrictive a);
+          empty = fb.fempty;
+          live = fb.flive;
+          overlaps = List.rev fb.foverlaps;
+          overlaps_truncated = fb.ftrunc;
+          deciders = IntSet.elements fb.fdeciders;
+        })
+      auths
+  in
+  ({ policy; classes; cells }, fates)
+
+let lookup cell p =
+  let n = Array.length cell.clo in
+  if n = 0 then None
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) and res = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cell.clo.(mid) <= p then begin
+        res := mid;
+        lo := mid + 1
+      end
+      else hi := mid - 1
+    done;
+    if !res >= 0 && p <= cell.chi.(!res) then
+      Some (cell.crule.(!res), cell.callow.(!res))
+    else None
+  end
+
+let decision t ~klass ~right ~pos =
+  let cell = t.cells.(klass).(R.index right) in
+  match pos with None -> cell.cnone | Some p -> lookup cell p
+
+let check t ~user ~right ~pos =
+  P.is_user t.policy user
+  &&
+  match Classes.class_of_user t.classes user with
+  | None -> false
+  | Some k -> (
+    match decision t ~klass:k ~right ~pos with
+    | Some (_, allow) -> allow
+    | None -> false)
+
+let cell_ranges t ~klass ~right =
+  let cell = t.cells.(klass).(R.index right) in
+  List.init (Array.length cell.clo) (fun j ->
+      ( cell.clo.(j),
+        (if cell.chi.(j) = max_int then None else Some cell.chi.(j)),
+        cell.crule.(j),
+        cell.callow.(j) ))
+
+let cell_none t ~klass ~right = (t.cells.(klass).(R.index right)).cnone
+
+let seg_count t =
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left (fun acc c -> acc + Array.length c.clo) acc row)
+    0 t.cells

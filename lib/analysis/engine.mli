@@ -1,0 +1,74 @@
+(** The indexed decision engine and its build-time byproducts.
+
+    The engine materializes first-match semantics: for every subject
+    class × right it keeps the positions axis as sorted disjoint
+    segments, each labelled with the {e deciding} rule (the first-match
+    winner) and its sign.  Building it is one pass over the
+    authorization list in priority order — each rule claims whatever
+    part of its denotation is still undecided; whatever is already
+    claimed is recorded as an overlap with the earlier decider.
+
+    That single pass yields both artifacts of this PR:
+
+    - an O(log segments) {!check} that agrees exactly with the flat
+      first-match scan of {!Dce_core.Policy.check} (the indexed policy
+      store of ROADMAP item 4), and
+    - per-rule {!fate}s — did any access survive to the rule (with a
+      concrete witness), and which earlier rules captured the rest —
+      from which shadowing, subsumption and order-sensitivity findings
+      are derived without ever enumerating accesses. *)
+
+type witness = {
+  klass : int;  (** subject class (see {!Classes}) *)
+  right : Dce_core.Right.t;
+  pos : int option;  (** [None] is the distinguished no-position access *)
+}
+
+type overlap = {
+  earlier : int;  (** rule that already decided part of this rule's domain *)
+  earlier_allows : bool;
+  same_sign : bool;  (** [false] = this pair is an order-sensitive conflict *)
+  at : witness;  (** a concrete access in the captured region *)
+}
+
+type fate = {
+  rule : int;
+  allows : bool;
+  empty : bool;  (** denotation matches no access at all (never-matching rule) *)
+  live : witness option;
+      (** an access that survives to this rule under first-match;
+          [None] (with [empty = false]) means the rule is dead *)
+  overlaps : overlap list;  (** one per distinct earlier decider, discovery order *)
+  overlaps_truncated : bool;  (** more distinct deciders existed than were kept *)
+  deciders : int list;  (** distinct earlier deciders, ascending *)
+}
+
+type t
+
+val build : ?classes:Classes.t -> Dce_core.Policy.t -> t * fate array
+(** Pass [classes] to index several policies against one shared
+    partition (semantic diff); it must have been built over a policy
+    list including this one. *)
+
+val policy : t -> Dce_core.Policy.t
+val classes : t -> Classes.t
+
+val check : t -> user:int -> right:Dce_core.Right.t -> pos:int option -> bool
+(** Indexed equivalent of {!Dce_core.Policy.check}: registration test,
+    class lookup, binary search.  Agreement with the flat scan is
+    enforced by QCheck in [test_analysis] and asserted in the bench. *)
+
+val decision :
+  t -> klass:int -> right:Dce_core.Right.t -> pos:int option -> (int * bool) option
+(** The (deciding rule, allows) at a point of the symbolic domain;
+    [None] = default deny. *)
+
+val cell_ranges :
+  t -> klass:int -> right:Dce_core.Right.t -> (int * int option * int * bool) list
+(** The decided segments [(lo, hi, rule, allows)] of one cell, ascending
+    ([hi = None] unbounded) — the raw material of the semantic diff. *)
+
+val cell_none : t -> klass:int -> right:Dce_core.Right.t -> (int * bool) option
+
+val seg_count : t -> int
+(** Total segments over all cells (index size measure). *)

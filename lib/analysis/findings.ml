@@ -1,0 +1,158 @@
+module P = Dce_core.Policy
+module R = Dce_core.Right
+module J = Dce_obs.Json
+
+type witness = {
+  user : Dce_core.Subject.user;
+  right : R.t;
+  pos : int option;
+  expect : bool;
+}
+
+type kind =
+  | Shadowed of { rule : int; by : int }
+  | Subsumed of { rule : int; by : int }
+  | Never_matches of { rule : int }
+  | Conflict of { earlier : int; later : int }
+  | Dangling_user of { rule : int; user : int }
+  | Dangling_group of { rule : int; group : string }
+  | Dangling_object of { rule : int; name : string }
+
+type status = Confirmed | Refuted of string
+
+type t = {
+  kind : kind;
+  witness : witness option;
+  detail : string;
+  status : status;
+}
+
+let severity = function
+  | Shadowed _ | Subsumed _ | Never_matches _ | Conflict _ -> `Error
+  | Dangling_user _ | Dangling_group _ | Dangling_object _ -> `Warning
+
+let kind_name = function
+  | Shadowed _ -> "shadowed"
+  | Subsumed _ -> "subsumed"
+  | Never_matches _ -> "never-matches"
+  | Conflict _ -> "conflict"
+  | Dangling_user _ -> "dangling-user"
+  | Dangling_group _ -> "dangling-group"
+  | Dangling_object _ -> "dangling-object"
+
+let rule_of = function
+  | Shadowed { rule; _ }
+  | Subsumed { rule; _ }
+  | Never_matches { rule }
+  | Dangling_user { rule; _ }
+  | Dangling_group { rule; _ }
+  | Dangling_object { rule; _ } -> rule
+  | Conflict { later; _ } -> later
+
+let pp_verdict ppf = function
+  | P.Unregistered -> Format.pp_print_string ppf "unregistered"
+  | P.Default_deny -> Format.pp_print_string ppf "default-deny"
+  | P.Matched i -> Format.fprintf ppf "matched P%d" i
+
+(* The claim each kind makes about its witness, beyond the boolean:
+   which verdict must [Policy.explain] return? *)
+let expected_verdict kind =
+  match kind with
+  | Shadowed { by; _ } | Subsumed { by; _ } -> Some (P.Matched by)
+  | Conflict { earlier; _ } -> Some (P.Matched earlier)
+  | Dangling_user _ -> Some P.Unregistered
+  | Never_matches _ | Dangling_group _ | Dangling_object _ -> None
+
+let validate policy f =
+  match f.witness with
+  | None -> f
+  | Some w ->
+    let v = P.explain policy ~user:w.user ~right:w.right ~pos:w.pos in
+    let allow = P.verdict_allows policy v in
+    let verdict_ok =
+      match expected_verdict f.kind with Some ev -> v = ev | None -> true
+    in
+    if allow = w.expect && verdict_ok then { f with status = Confirmed }
+    else
+      { f with
+        status =
+          Refuted
+            (Format.asprintf
+               "witness replay disagrees: policy %s the access via %a, analyzer \
+                claimed %s%t"
+               (if allow then "allows" else "denies")
+               pp_verdict v
+               (if w.expect then "allow" else "deny")
+               (fun ppf ->
+                 match expected_verdict f.kind with
+                 | Some ev -> Format.fprintf ppf " via %a" pp_verdict ev
+                 | None -> ()))
+      }
+
+let pp_witness ppf (w : witness) =
+  Format.fprintf ppf "s%d %a %s -> %s" w.user R.pp w.right
+    (match w.pos with Some p -> Printf.sprintf "@%d" p | None -> "@-")
+    (if w.expect then "allow" else "deny")
+
+let pp ppf f =
+  let sev = match severity f.kind with `Error -> "error" | `Warning -> "warning" in
+  (match f.kind with
+   | Shadowed { rule; by } -> Format.fprintf ppf "%s: P%d shadowed (first captured by P%d)" sev rule by
+   | Subsumed { rule; by } -> Format.fprintf ppf "%s: P%d subsumed by P%d" sev rule by
+   | Never_matches { rule } -> Format.fprintf ppf "%s: P%d never matches" sev rule
+   | Conflict { earlier; later } ->
+     Format.fprintf ppf "%s: P%d/P%d order-sensitive conflict" sev earlier later
+   | Dangling_user { rule; user } ->
+     Format.fprintf ppf "%s: P%d names unregistered user %d" sev rule user
+   | Dangling_group { rule; group } ->
+     Format.fprintf ppf "%s: P%d names missing/empty group %s" sev rule group
+   | Dangling_object { rule; name } ->
+     Format.fprintf ppf "%s: P%d names unresolvable object %s" sev rule name);
+  if f.detail <> "" then Format.fprintf ppf " — %s" f.detail;
+  (match f.witness with
+   | Some w -> Format.fprintf ppf " [witness %a]" pp_witness w
+   | None -> ());
+  match f.status with
+  | Confirmed -> Format.fprintf ppf " CONFIRMED"
+  | Refuted why -> Format.fprintf ppf " REFUTED (%s)" why
+
+let to_json f =
+  let base =
+    [
+      ("kind", J.String (kind_name f.kind));
+      ("rule", J.Int (rule_of f.kind));
+      ( "severity",
+        J.String (match severity f.kind with `Error -> "error" | `Warning -> "warning") );
+      ("detail", J.String f.detail);
+      ( "status",
+        match f.status with
+        | Confirmed -> J.String "confirmed"
+        | Refuted why -> J.String ("refuted: " ^ why) );
+    ]
+  in
+  let extra =
+    match f.kind with
+    | Shadowed { by; _ } | Subsumed { by; _ } -> [ ("by", J.Int by) ]
+    | Conflict { earlier; later } ->
+      [ ("earlier", J.Int earlier); ("later", J.Int later) ]
+    | Dangling_user { user; _ } -> [ ("user", J.Int user) ]
+    | Dangling_group { group; _ } -> [ ("group", J.String group) ]
+    | Dangling_object { name; _ } -> [ ("object", J.String name) ]
+    | Never_matches _ -> []
+  in
+  let witness =
+    match f.witness with
+    | None -> []
+    | Some w ->
+      [
+        ( "witness",
+          J.Obj
+            [
+              ("user", J.Int w.user);
+              ("right", J.String (R.to_string w.right));
+              ("pos", match w.pos with Some p -> J.Int p | None -> J.Null);
+              ("expect_allow", J.Bool w.expect);
+            ] );
+      ]
+  in
+  J.Obj (base @ extra @ witness)

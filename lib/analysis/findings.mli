@@ -1,0 +1,57 @@
+(** Analyzer findings and the witness-validation loop.
+
+    Every positional finding carries a concrete witness access and a
+    claim about it: which rule decides it ({!Dce_core.Policy.explain})
+    and whether it is allowed ({!Dce_core.Policy.check}).  {!validate}
+    replays the witness through the {e real} first-match checker; only a
+    finding whose replay matches its claim is [Confirmed].  A bug in the
+    symbolic engine therefore produces [Refuted] findings — visible and
+    alarming — never a confirmed false report. *)
+
+type witness = {
+  user : Dce_core.Subject.user;
+  right : Dce_core.Right.t;
+  pos : int option;
+  expect : bool;  (** the decision the analyzer claims the policy makes *)
+}
+
+type kind =
+  | Shadowed of { rule : int; by : int }
+      (** no access survives to [rule]; [by] decides the witness *)
+  | Subsumed of { rule : int; by : int }
+      (** shadowed by the single same-sign rule [by]: pure redundancy *)
+  | Never_matches of { rule : int }
+      (** the rule's denotation is empty — it matches no access at all *)
+  | Conflict of { earlier : int; later : int }
+      (** signs disagree on an overlapping domain and the order matters:
+          swapping the two rules would change the witness's decision *)
+  | Dangling_user of { rule : int; user : int }
+      (** the rule names an unregistered user (e.g. after [del_user]) *)
+  | Dangling_group of { rule : int; group : string }
+      (** the rule names a group that is missing or empty *)
+  | Dangling_object of { rule : int; name : string }
+      (** the rule names an object that does not resolve (after [del_obj]) *)
+
+type status =
+  | Confirmed
+  | Refuted of string  (** witness replay disagreed — engine bug, never hidden *)
+
+type t = {
+  kind : kind;
+  witness : witness option;  (** [None] for structural lints with no access *)
+  detail : string;
+  status : status;
+}
+
+val severity : kind -> [ `Error | `Warning ]
+(** Dead and order-sensitive rules are errors (the policy does not mean
+    what it says); dangling references are warnings (retained by design,
+    see {!Dce_core.Policy.del_user}). *)
+
+val validate : Dce_core.Policy.t -> t -> t
+(** Replay the witness through [Policy.explain]/[Policy.check] and set
+    the status.  Witness-less findings are confirmed structurally by
+    their constructors. *)
+
+val pp : Format.formatter -> t -> unit
+val to_json : t -> Dce_obs.Json.t

@@ -1,0 +1,104 @@
+type itv = { lo : int; hi : int option }
+type t = itv list
+
+let empty = []
+let full = [ { lo = 0; hi = None } ]
+
+let range lo hi =
+  if lo < 0 then invalid_arg "Iset.range: negative lo";
+  (match hi with
+   | Some h when h < lo -> invalid_arg "Iset.range: hi < lo"
+   | _ -> ());
+  [ { lo; hi } ]
+
+let point p = range p (Some p)
+let is_empty t = t = []
+
+(* upper-bound comparisons, [None] = +inf *)
+let hi_before_lo hi lo = match hi with Some h -> h < lo | None -> false
+let hi_min a b =
+  match (a, b) with
+  | Some x, Some y -> Some (min x y)
+  | Some _, None -> a
+  | None, _ -> b
+
+let mem p t = List.exists (fun i -> i.lo <= p && not (hi_before_lo i.hi p)) t
+let min_elt = function [] -> None | i :: _ -> Some i.lo
+
+(* coalesce a lo-sorted list: merge overlapping or adjacent intervals *)
+let coalesce l =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | x :: rest -> (
+      match acc with
+      | cur :: acc'
+        when (match cur.hi with None -> true | Some h -> x.lo <= h + 1) ->
+        let hi =
+          match (cur.hi, x.hi) with
+          | None, _ | _, None -> None
+          | Some a, Some b -> Some (max a b)
+        in
+        go ({ lo = cur.lo; hi } :: acc') rest
+      | _ -> go (x :: acc) rest)
+  in
+  go [] l
+
+let union a b = coalesce (List.merge (fun x y -> compare x.lo y.lo) a b)
+
+let inter a b =
+  let rec go a b acc =
+    match (a, b) with
+    | [], _ | _, [] -> List.rev acc
+    | x :: xs, y :: ys ->
+      let lo = max x.lo y.lo in
+      let hi = hi_min x.hi y.hi in
+      let acc = if hi_before_lo hi lo then acc else { lo; hi } :: acc in
+      (match (x.hi, y.hi) with
+       | Some hx, Some hy ->
+         if hx < hy then go xs b acc
+         else if hy < hx then go a ys acc
+         else go xs ys acc
+       | Some _, None -> go xs b acc
+       | None, Some _ -> go a ys acc
+       | None, None -> List.rev acc)
+  in
+  go a b []
+
+let diff a b =
+  let rec go a b acc =
+    match (a, b) with
+    | [], _ -> List.rev acc
+    | _, [] -> List.rev_append acc a
+    | x :: xs, y :: ys ->
+      if hi_before_lo y.hi x.lo then go a ys acc (* y entirely before x *)
+      else if hi_before_lo x.hi y.lo then go xs b (x :: acc) (* x entirely before y *)
+      else
+        (* they overlap: keep the part of x left of y, then continue with
+           the part of x right of y (if any) *)
+        let acc =
+          if x.lo < y.lo then { lo = x.lo; hi = Some (y.lo - 1) } :: acc else acc
+        in
+        (match y.hi with
+         | None -> go xs b acc
+         | Some hy -> (
+           match x.hi with
+           | Some hx when hx <= hy -> go xs b acc
+           | _ -> go ({ lo = hy + 1; hi = x.hi } :: xs) ys acc))
+  in
+  go a b []
+
+let subset a b = is_empty (diff a b)
+let equal (a : t) (b : t) = a = b
+
+let pp ppf t =
+  let pp_itv ppf i =
+    match i.hi with
+    | Some h when h = i.lo -> Format.fprintf ppf "{%d}" i.lo
+    | Some h -> Format.fprintf ppf "[%d,%d]" i.lo h
+    | None -> Format.fprintf ppf "[%d,inf)" i.lo
+  in
+  if t = [] then Format.pp_print_string ppf "{}"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "+")
+      pp_itv ppf t

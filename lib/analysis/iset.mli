@@ -1,0 +1,42 @@
+(** Sets of document positions as sorted disjoint integer intervals.
+
+    This is the positional axis of the analyzer's symbolic decision
+    domain.  Positions live in [[0, +inf)]: a [Docobj.Whole] object
+    denotes the full ray, so intervals carry an optional upper bound
+    ([None] = unbounded).  The representation is canonical — sorted,
+    disjoint, adjacent runs coalesced — so structural equality is
+    semantic equality.
+
+    The distinguished "no position" access ([pos = None] in
+    {!Dce_core.Policy.check}) is {e not} part of this type; the engine
+    tracks that single extra point separately. *)
+
+type itv = { lo : int; hi : int option }
+(** The closed interval [[lo, hi]]; [hi = None] means unbounded. *)
+
+type t = itv list
+(** Canonical form (sorted by [lo], disjoint, non-adjacent).  Exposed so
+    the engine can walk intervals directly; build values only with the
+    constructors below. *)
+
+val empty : t
+val full : t
+(** [[0, +inf)]. *)
+
+val range : int -> int option -> t
+(** [range lo hi] is [[lo, hi]]; raises [Invalid_argument] if [lo < 0]
+    or [hi < lo]. *)
+
+val point : int -> t
+
+val is_empty : t -> bool
+val mem : int -> t -> bool
+val min_elt : t -> int option
+(** Smallest member, [None] on empty — the canonical witness position. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,284 @@
+module P = Dce_core.Policy
+module S = Dce_core.Subject
+module O = Dce_core.Docobj
+module R = Dce_core.Right
+module A = Dce_core.Auth
+module Op = Dce_core.Admin_op
+module L = Dce_core.Admin_log
+
+type t = { initial_admin : S.user; initial : P.t; steps : Op.t list }
+
+let ( let* ) = Result.bind
+
+let err ln fmt = Format.kasprintf (fun m -> Error (Printf.sprintf "line %d: %s" ln m)) fmt
+
+let int_of ln what s =
+  match int_of_string_opt s with
+  | Some n -> Ok n
+  | None -> err ln "%s: expected an integer, got %S" what s
+
+let split_commas s = String.split_on_char ',' s
+
+let parse_subject ln tok =
+  if tok = "*" then Ok S.Any
+  else if String.length tok > 1 && tok.[0] = 'u' then
+    let* u = int_of ln "subject" (String.sub tok 1 (String.length tok - 1)) in
+    Ok (S.User u)
+  else
+    match String.index_opt tok ':' with
+    | Some 1 when tok.[0] = 'g' && String.length tok > 2 ->
+      Ok (S.Group (String.sub tok 2 (String.length tok - 2)))
+    | _ -> err ln "bad subject %S (want *, uN or g:NAME)" tok
+
+let parse_right ln tok =
+  match tok with
+  | "read" -> Ok R.Read
+  | "insert" -> Ok R.Insert
+  | "delete" -> Ok R.Delete
+  | "update" -> Ok R.Update
+  | _ -> (
+    match R.of_string tok with
+    | Some r -> Ok r
+    | None -> err ln "bad right %S (want read/insert/delete/update)" tok)
+
+let parse_object ln tok =
+  if tok = "doc" then Ok O.Whole
+  else
+    match String.index_opt tok ':' with
+    | Some i -> (
+      let head = String.sub tok 0 i
+      and rest = String.sub tok (i + 1) (String.length tok - i - 1) in
+      match head with
+      | "elt" ->
+        let* p = int_of ln "elt position" rest in
+        Ok (O.Element p)
+      | "obj" -> if rest = "" then err ln "empty object name" else Ok (O.Named rest)
+      | "zone" -> (
+        match String.index_opt rest '-' with
+        | Some j ->
+          let* lo = int_of ln "zone lo" (String.sub rest 0 j) in
+          let* hi =
+            int_of ln "zone hi" (String.sub rest (j + 1) (String.length rest - j - 1))
+          in
+          if lo < 0 || hi < lo then err ln "bad zone %S" tok else Ok (O.zone lo hi)
+        | None -> err ln "bad zone %S (want zone:LO-HI)" tok)
+      | _ -> err ln "bad object %S" tok)
+    | None -> err ln "bad object %S (want doc, elt:N, zone:LO-HI or obj:NAME)" tok
+
+let parse_list ln what parse_one tok =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | "" :: _ -> err ln "empty %s in %S" what tok
+    | x :: rest ->
+      let* v = parse_one ln x in
+      go (v :: acc) rest
+  in
+  if tok = "" then err ln "empty %s list" what else go [] (split_commas tok)
+
+let parse_auth ln sign fields =
+  match fields with
+  | [ subjects; rights; objects ] ->
+    let* subjects = parse_list ln "subject" parse_subject subjects in
+    let* rights = parse_list ln "right" parse_right rights in
+    let* objects = parse_list ln "object" parse_object objects in
+    Ok (A.make ~subjects ~objects ~rights sign)
+  | _ -> err ln "want: %s SUBJECTS RIGHTS OBJECTS"
+           (match sign with A.Positive -> "allow" | A.Negative -> "deny")
+
+let parse_step ln fields =
+  match fields with
+  | [ "adduser"; u ] ->
+    let* u = int_of ln "user" u in
+    Ok (Op.Add_user u)
+  | [ "deluser"; u ] ->
+    let* u = int_of ln "user" u in
+    Ok (Op.Del_user u)
+  | [ "joingroup"; g; u ] ->
+    let* u = int_of ln "user" u in
+    Ok (Op.Add_to_group (g, u))
+  | [ "leavegroup"; g; u ] ->
+    let* u = int_of ln "user" u in
+    Ok (Op.Del_from_group (g, u))
+  | [ "addobj"; name; o ] ->
+    let* o = parse_object ln o in
+    Ok (Op.Add_obj (name, o))
+  | [ "delobj"; name ] -> Ok (Op.Del_obj name)
+  | "addauth" :: idx :: sign :: rest ->
+    let* idx = int_of ln "auth index" idx in
+    let* sign =
+      match sign with
+      | "allow" -> Ok A.Positive
+      | "deny" -> Ok A.Negative
+      | s -> err ln "bad sign %S (want allow or deny)" s
+    in
+    let* a = parse_auth ln sign rest in
+    Ok (Op.Add_auth (idx, a))
+  | [ "delauth"; idx ] ->
+    let* idx = int_of ln "auth index" idx in
+    Ok (Op.Del_auth idx)
+  | [ "transferadmin"; u ] ->
+    let* u = int_of ln "user" u in
+    Ok (Op.Transfer_admin u)
+  | w :: _ -> err ln "unknown step %S" w
+  | [] -> err ln "empty step"
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let parse content =
+  let lines = String.split_on_char '\n' content in
+  let admin = ref 0 in
+  let users = ref [] and groups = ref [] and objects = ref [] and auths = ref [] in
+  let steps = ref [] in
+  let in_steps = ref false in
+  let rec go ln = function
+    | [] -> Ok ()
+    | line :: rest ->
+      let line =
+        String.trim
+          (String.map (function '\t' -> ' ' | c -> c) (strip_comment line))
+      in
+      let* () =
+        if line = "" then Ok ()
+        else if line = "---" then begin
+          in_steps := true;
+          Ok ()
+        end
+        else
+          let fields =
+            List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
+          in
+          if !in_steps then
+            let* op = parse_step ln fields in
+            steps := op :: !steps;
+            Ok ()
+          else
+            match fields with
+            | [ "admin"; u ] ->
+              let* u = int_of ln "admin" u in
+              admin := u;
+              Ok ()
+            | "user" :: us ->
+              let* us =
+                List.fold_left
+                  (fun acc u ->
+                    let* acc = acc in
+                    let* u = int_of ln "user" u in
+                    Ok (u :: acc))
+                  (Ok []) us
+              in
+              if us = [] then err ln "user: want at least one id"
+              else begin
+                users := us @ !users;
+                Ok ()
+              end
+            | "group" :: name :: us ->
+              let* us =
+                List.fold_left
+                  (fun acc u ->
+                    let* acc = acc in
+                    let* u = int_of ln "group member" u in
+                    Ok (u :: acc))
+                  (Ok []) us
+              in
+              groups := (name, List.rev us) :: !groups;
+              Ok ()
+            | [ "object"; name; o ] ->
+              let* o = parse_object ln o in
+              objects := (name, o) :: !objects;
+              Ok ()
+            | "allow" :: fields ->
+              let* a = parse_auth ln A.Positive fields in
+              auths := a :: !auths;
+              Ok ()
+            | "deny" :: fields ->
+              let* a = parse_auth ln A.Negative fields in
+              auths := a :: !auths;
+              Ok ()
+            | w :: _ -> err ln "unknown directive %S" w
+            | [] -> Ok ()
+      in
+      go (ln + 1) rest
+  in
+  let* () = go 1 lines in
+  Ok
+    {
+      initial_admin = !admin;
+      initial =
+        P.make ~users:(List.rev !users) ~groups:(List.rev !groups)
+          ~objects:(List.rev !objects) (List.rev !auths);
+      steps = List.rev !steps;
+    }
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | content -> parse content
+  | exception Sys_error e -> Error e
+
+let log_of t =
+  List.fold_left
+    (fun acc op ->
+      let* log = acc in
+      match
+        L.append log
+          {
+            Op.admin = L.current_admin log;
+            version = L.version log + 1;
+            op;
+            ctx = Dce_ot.Vclock.empty;
+          }
+      with
+      | Ok log -> Ok log
+      | Error e ->
+        Error (Format.asprintf "step %d (%a): %s" (L.version log + 1) Op.pp op e))
+    (Ok (L.create ~admin:t.initial_admin t.initial))
+    t.steps
+
+let final_policy t =
+  let* log = log_of t in
+  Ok (L.current log)
+
+let subject_str = function
+  | S.Any -> "*"
+  | S.User u -> Printf.sprintf "u%d" u
+  | S.Group g -> "g:" ^ g
+
+let right_str = function
+  | R.Read -> "read"
+  | R.Insert -> "insert"
+  | R.Delete -> "delete"
+  | R.Update -> "update"
+
+let object_str = function
+  | O.Whole -> "doc"
+  | O.Element p -> Printf.sprintf "elt:%d" p
+  | O.Zone { lo; hi } -> Printf.sprintf "zone:%d-%d" lo hi
+  | O.Named n -> "obj:" ^ n
+
+let print_policy p =
+  let buf = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  (match P.users p with
+   | [] -> ()
+   | us -> line "user %s" (String.concat " " (List.map string_of_int us)));
+  List.iter
+    (fun (g, us) ->
+      line "group %s %s" g (String.concat " " (List.map string_of_int us)))
+    (P.groups p);
+  List.iter (fun (n, o) -> line "object %s %s" n (object_str o)) (P.objects p);
+  List.iter
+    (fun (a : A.t) ->
+      line "%s %s %s %s"
+        (match a.sign with A.Positive -> "allow" | A.Negative -> "deny")
+        (String.concat "," (List.map subject_str a.subjects))
+        (String.concat "," (List.map right_str a.rights))
+        (String.concat "," (List.map object_str a.objects)))
+    (P.auths p);
+  Buffer.contents buf

@@ -1,0 +1,51 @@
+(** A small text format for policies and admin-log trajectories, so
+    [dcepolicy] can lint committed example policies and diff admin
+    histories without a live session.
+
+    {v
+    # initial policy: one directive per line, auths in priority order
+    admin 0
+    user 1 2 3
+    group eng 1 2
+    object intro zone:0-9
+    deny  g:eng        delete        zone:3-5
+    allow u1,u2        insert,delete doc
+    allow *            read          obj:intro
+    ---
+    # after ---, each line is one administrative step (one log version)
+    deluser 3
+    addauth 0 deny u1 insert doc
+    delauth 2
+    v}
+
+    Subjects: [*] (any), [uN], [g:NAME] — comma-separated lists.
+    Rights: [read]/[insert]/[delete]/[update] (or the paper's
+    [rR]/[iR]/[dR]/[uR]) — comma-separated.  Objects: [doc], [elt:N],
+    [zone:LO-HI], [obj:NAME] — comma-separated.  [#] starts a comment.
+
+    Steps: [adduser N], [deluser N], [joingroup G N], [leavegroup G N],
+    [addobj NAME OBJ], [delobj NAME], [addauth IDX allow|deny S R O],
+    [delauth IDX], [transferadmin N]. *)
+
+type t = {
+  initial_admin : Dce_core.Subject.user;
+  initial : Dce_core.Policy.t;
+  steps : Dce_core.Admin_op.t list;
+}
+
+val parse : string -> (t, string) result
+(** Parse file contents; errors carry a line number. *)
+
+val load : string -> (t, string) result
+(** [parse] on a file path. *)
+
+val log_of : t -> (Dce_core.Admin_log.t, string) result
+(** Replay the steps through a real {!Dce_core.Admin_log} (version
+    checks included), producing the trajectory the differ walks. *)
+
+val final_policy : t -> (Dce_core.Policy.t, string) result
+(** The policy after every step ([initial] when there are none). *)
+
+val print_policy : Dce_core.Policy.t -> string
+(** Render a policy back in this format.  [parse] of the result yields a
+    structurally equal policy (round-trip tested). *)

@@ -51,10 +51,39 @@ let check_op t ~user op =
   | None -> true
   | Some right -> check t ~user ~right ~pos:(Dce_ot.Op.pos op)
 
+type verdict = Unregistered | Default_deny | Matched of int
+
+let explain t ~user ~right ~pos =
+  if not (is_user t user) then Unregistered
+  else
+    let member g u = member t g u and resolve n = resolve t n in
+    let rec go i = function
+      | [] -> Default_deny
+      | a :: rest ->
+        if Auth.matches ~member ~resolve a ~user ~right ~pos then Matched i
+        else go (i + 1) rest
+    in
+    go 0 t.auths
+
+let auth_at t i = List.nth_opt t.auths i
+
+let verdict_allows t = function
+  | Unregistered | Default_deny -> false
+  | Matched i ->
+    (match auth_at t i with Some a -> not (Auth.is_restrictive a) | None -> false)
+
 let add_user t u =
   if ISet.mem u t.users then Error (Printf.sprintf "user %d already registered" u)
   else Ok { t with users = ISet.add u t.users }
 
+(* Deletion deliberately does NOT rewrite the authorization list, even
+   though auths may still name the deleted user/object (see the .mli):
+   [Add_auth]/[Del_auth] address authorizations by index, so a silent
+   rewrite here would shift indices under concurrently issued
+   administrative requests.  The dangling references are inert —
+   unregistered users fail [check] before any auth is consulted, and an
+   unresolvable [Named] object matches nothing — and are surfaced by the
+   static analyzer (dcepolicy dangling-reference lints). *)
 let del_user t u =
   if not (ISet.mem u t.users) then Error (Printf.sprintf "user %d not registered" u)
   else

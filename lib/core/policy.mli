@@ -48,16 +48,52 @@ val check_op : t -> user:Subject.user -> 'e Dce_ot.Op.t -> bool
 (** {!check} on the right and position the operation exercises.  [Nop]
     and [Undel] (no associated right) are always allowed. *)
 
+type verdict =
+  | Unregistered  (** denied before any authorization is consulted *)
+  | Default_deny  (** registered, but no authorization matched *)
+  | Matched of int  (** index of the first-match authorization that decided *)
+
+val explain : t -> user:Subject.user -> right:Right.t -> pos:int option -> verdict
+(** Like {!check}, but tells {e which} rule decided — the witness hook
+    the static analyzer ([Dce_analysis]) validates its findings against:
+    a claimed shadowing/conflict witness must replay to exactly the
+    predicted [Matched] index. *)
+
+val verdict_allows : t -> verdict -> bool
+(** The boolean {!check} would return for this verdict:
+    [Matched i] allows iff authorization [i] is positive. *)
+
+val auth_at : t -> int -> Auth.t option
+(** The authorization at an index ([P]'s priority order, 0 first). *)
+
 (* {2 Mutation (administrator only, via administrative operations)} *)
 
 val add_user : t -> Subject.user -> (t, string) result
+
 val del_user : t -> Subject.user -> (t, string) result
+(** Unregisters the user and removes them from every group.
+    {b Dangling references are retained by design}: authorizations that
+    name the deleted user stay in [P] untouched.  Rewriting the list
+    here would renumber authorization indices, and [Add_auth]/[Del_auth]
+    requests from concurrent administrators address rules {e by index} —
+    a silent shift would make them land on the wrong rule.  The retained
+    references are inert (an unregistered user is denied before [P] is
+    consulted) and are reported by the [dcepolicy] dangling-reference
+    lint so an administrator can garbage-collect them with explicit
+    [Del_auth] requests. *)
+
 val add_to_group : t -> string -> Subject.user -> (t, string) result
 (** Creates the group if needed; the user must be registered. *)
 
 val del_from_group : t -> string -> Subject.user -> (t, string) result
 val add_obj : t -> string -> Docobj.t -> (t, string) result
+
 val del_obj : t -> string -> (t, string) result
+(** Same retention policy as {!del_user}: authorizations that reference
+    the deleted object by name keep their [Named] entry.  An
+    unresolvable name matches no access (so the rule silently narrows or
+    dies), which is exactly what the [dcepolicy] dangling-object and
+    never-matches lints exist to surface. *)
 
 val add_auth : t -> int -> Auth.t -> (t, string) result
 (** Insert at index [p] (0 = highest precedence); [p] may equal the

@@ -11,6 +11,17 @@ let of_op = function
 let equal = ( = )
 let compare = compare
 
+let count = 4
+
+let index = function Read -> 0 | Insert -> 1 | Delete -> 2 | Update -> 3
+
+let of_index = function
+  | 0 -> Read
+  | 1 -> Insert
+  | 2 -> Delete
+  | 3 -> Update
+  | i -> invalid_arg (Printf.sprintf "Right.of_index: %d" i)
+
 let to_string = function
   | Read -> "rR"
   | Insert -> "iR"

@@ -1,0 +1,421 @@
+(* Tests for the static policy analyzer (lib/analysis).
+
+   The load-bearing properties are oracle comparisons against the flat
+   first-match scan of Policy.check/explain: the indexed engine must
+   agree on every access, the liveness verdicts (shadowing) must agree
+   with brute-force enumeration, and the semantic diff must flag exactly
+   the accesses whose decision changed.  Generated policies keep every
+   positional bound below 10, so probing positions 0..9 plus one point
+   beyond every zone (and the no-position access) covers every region of
+   the decision domain. *)
+
+open Dce_core
+module An = Dce_analysis
+
+let samples =
+  None :: List.map (fun p -> Some p) [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 1000 ]
+
+let universe = [ 0; 1; 2; 3; 4; 5 ]
+
+(* ----- Iset ----- *)
+
+let iset_tests =
+  let open An.Iset in
+  let check_eq name a b = Alcotest.(check bool) name true (equal a b) in
+  [
+    Alcotest.test_case "canonical form coalesces" `Quick (fun () ->
+        check_eq "adjacent" (union (range 0 (Some 3)) (range 4 (Some 6))) (range 0 (Some 6));
+        check_eq "overlapping" (union (range 0 (Some 5)) (range 3 (Some 8))) (range 0 (Some 8));
+        check_eq "unbounded swallows" (union (range 2 None) (range 5 (Some 9))) (range 2 None);
+        Alcotest.(check bool) "disjoint stays split" false
+          (equal (union (point 0) (point 2)) (range 0 (Some 2))));
+    Alcotest.test_case "inter / diff / subset" `Quick (fun () ->
+        check_eq "inter" (inter (range 0 (Some 5)) (range 3 None)) (range 3 (Some 5));
+        check_eq "diff punches a hole"
+          (diff full (range 3 (Some 5)))
+          (union (range 0 (Some 2)) (range 6 None));
+        check_eq "diff to empty" (diff (range 3 (Some 5)) full) empty;
+        Alcotest.(check bool) "subset" true (subset (point 4) (range 3 (Some 5)));
+        Alcotest.(check bool) "not subset" false (subset (range 3 (Some 6)) (range 3 (Some 5)));
+        Alcotest.(check bool) "mem" true (mem 9 (range 2 None));
+        Alcotest.(check bool) "min_elt" true (min_elt (union (point 7) (point 3)) = Some 3));
+    Alcotest.test_case "invalid range rejected" `Quick (fun () ->
+        try
+          ignore (range 5 (Some 2));
+          Alcotest.fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+  ]
+
+(* ----- finding selectors ----- *)
+
+let find_kind report pred =
+  List.find_opt (fun (f : An.Findings.t) -> pred f.kind) report.An.Analyze.findings
+
+let confirmed (f : An.Findings.t option) =
+  match f with Some f -> f.status = An.Findings.Confirmed | None -> false
+
+(* ----- unit findings: the two cases from the issue ----- *)
+
+let shadowed_grant () =
+  (* P0 blanket-denies deletion, so the later grant can never fire. *)
+  let p =
+    Policy.make ~users:[ 0; 1 ]
+      [
+        Auth.deny [ Subject.Any ] [ Docobj.Whole ] [ Right.Delete ];
+        Auth.grant [ Subject.User 1 ] [ Docobj.zone 2 6 ] [ Right.Delete ];
+      ]
+  in
+  let r = An.Analyze.run p in
+  let shadowed =
+    find_kind r (function
+      | An.Findings.Shadowed { rule = 1; by = 0 } -> true
+      | _ -> false)
+  in
+  Alcotest.(check bool) "P1 shadowed by P0, confirmed" true (confirmed shadowed);
+  (match shadowed with
+   | Some { witness = Some w; _ } ->
+     Alcotest.(check bool) "witness replays to deny" false
+       (Policy.check p ~user:w.user ~right:w.right ~pos:w.pos)
+   | _ -> Alcotest.fail "shadowing finding carries no witness");
+  Alcotest.(check int) "no refuted findings" 0 (List.length (An.Analyze.refuted r));
+  Alcotest.(check bool) "it is an error" true (An.Analyze.errors r <> [])
+
+let order_sensitive_conflict () =
+  (* P0 grants the group everything, P1 denies one member a zone:
+     under first-match P1 is dead, but swapping the two changes real
+     decisions — the definition of an order-sensitive conflict. *)
+  let auth0 = Auth.grant [ Subject.Group "eng" ] [ Docobj.Whole ] [ Right.Insert ]
+  and auth1 = Auth.deny [ Subject.User 2 ] [ Docobj.zone 3 9 ] [ Right.Insert ] in
+  let p = Policy.make ~users:[ 0; 1; 2 ] ~groups:[ ("eng", [ 1; 2 ]) ] [ auth0; auth1 ] in
+  let r = An.Analyze.run p in
+  let conflict =
+    find_kind r (function
+      | An.Findings.Conflict { earlier = 0; later = 1 } -> true
+      | _ -> false)
+  in
+  Alcotest.(check bool) "P0/P1 conflict, confirmed" true (confirmed conflict);
+  match conflict with
+  | Some { witness = Some w; _ } ->
+    let swapped =
+      Policy.make ~users:[ 0; 1; 2 ] ~groups:[ ("eng", [ 1; 2 ]) ] [ auth1; auth0 ]
+    in
+    Alcotest.(check bool) "witness decision flips when the pair is swapped" true
+      (Policy.check p ~user:w.user ~right:w.right ~pos:w.pos
+      <> Policy.check swapped ~user:w.user ~right:w.right ~pos:w.pos)
+  | _ -> Alcotest.fail "conflict finding carries no witness"
+
+let subsumed_rule () =
+  let p =
+    Policy.make ~users:[ 0; 1 ]
+      [
+        Auth.grant [ Subject.Any ] [ Docobj.Whole ] [ Right.Read ];
+        Auth.grant [ Subject.User 1 ] [ Docobj.zone 0 5 ] [ Right.Read ];
+      ]
+  in
+  let r = An.Analyze.run p in
+  Alcotest.(check bool) "P1 subsumed by P0" true
+    (confirmed
+       (find_kind r (function
+          | An.Findings.Subsumed { rule = 1; by = 0 } -> true
+          | _ -> false)))
+
+let never_matches () =
+  let p =
+    Policy.make ~users:[ 0; 1 ]
+      [ Auth.grant [ Subject.User 1 ] [ Docobj.Element (-1) ] [ Right.Read ] ]
+  in
+  let r = An.Analyze.run p in
+  Alcotest.(check bool) "structurally empty rule flagged" true
+    (confirmed
+       (find_kind r (function
+          | An.Findings.Never_matches { rule = 0 } -> true
+          | _ -> false)))
+
+(* ----- del_user / del_obj retention (documented semantics) ----- *)
+
+let deletion_retains_references () =
+  let p =
+    Policy.make ~users:[ 0; 1; 2 ] ~objects:[ ("intro", Docobj.zone 0 9) ]
+      [
+        Auth.grant [ Subject.User 2 ] [ Docobj.Whole ] [ Right.Insert ];
+        Auth.grant [ Subject.Any ] [ Docobj.Named "intro" ] [ Right.Update ];
+        Auth.grant [ Subject.Any ] [ Docobj.Whole ] [ Right.Read ];
+      ]
+  in
+  let p = Result.get_ok (Policy.del_user p 2) in
+  let p = Result.get_ok (Policy.del_obj p "intro") in
+  (* the authorization list is untouched: indices keep their meaning for
+     concurrent Add_auth/Del_auth requests *)
+  Alcotest.(check int) "auth list untouched" 3 (Policy.auth_count p);
+  Alcotest.(check bool) "deleted user denied before P is consulted" true
+    (Policy.explain p ~user:2 ~right:Right.Insert ~pos:(Some 0) = Policy.Unregistered);
+  Alcotest.(check bool) "unresolvable object matches nothing" false
+    (Policy.check p ~user:1 ~right:Right.Update ~pos:(Some 3));
+  let r = An.Analyze.run p in
+  Alcotest.(check bool) "dangling user lint" true
+    (confirmed
+       (find_kind r (function
+          | An.Findings.Dangling_user { rule = 0; user = 2 } -> true
+          | _ -> false)));
+  Alcotest.(check bool) "dangling object lint" true
+    (confirmed
+       (find_kind r (function
+          | An.Findings.Dangling_object { rule = 1; name = "intro" } -> true
+          | _ -> false)));
+  (* the emptied rules are explained by the dangling lints: warnings,
+     not never-matches errors *)
+  Alcotest.(check int) "retention produces warnings only" 0
+    (List.length (An.Analyze.errors r))
+
+(* ----- random policies ----- *)
+
+let gen_policy =
+  let open QCheck2.Gen in
+  let* included = array_size (return 5) bool in
+  let users =
+    match List.filteri (fun i _ -> included.(i)) [ 0; 1; 2; 3; 4 ] with
+    | [] -> [ 0 ]
+    | us -> us
+  in
+  let* g0 = list_size (int_range 0 3) (oneofl users) in
+  let* g1 = list_size (int_range 0 3) (oneofl users) in
+  let groups = [ ("g0", List.sort_uniq compare g0); ("g1", List.sort_uniq compare g1) ] in
+  let* objects =
+    oneofl [ []; [ ("intro", Docobj.zone 0 4) ]; [ ("intro", Docobj.Element 7) ] ]
+  in
+  let gen_subject =
+    oneof
+      [
+        return Subject.Any;
+        (let* u = int_range 0 5 in
+         return (Subject.User u));
+        (let* g = oneofl [ "g0"; "g1"; "ghost" ] in
+         return (Subject.Group g));
+      ]
+  in
+  let gen_object =
+    oneof
+      [
+        return Docobj.Whole;
+        (let* e = int_range 0 7 in
+         return (Docobj.Element e));
+        (let* lo = int_range 0 7 in
+         let* hi = int_range lo 7 in
+         return (Docobj.zone lo hi));
+        (let* n = oneofl [ "intro"; "ghost" ] in
+         return (Docobj.Named n));
+      ]
+  in
+  let gen_auth =
+    let* subjects = list_size (int_range 1 2) gen_subject in
+    let* objs = list_size (int_range 1 2) gen_object in
+    let* mask = int_range 1 15 in
+    let rights = List.filter (fun r -> mask land (1 lsl Right.index r) <> 0) Right.all in
+    let* restrictive = bool in
+    return (if restrictive then Auth.deny subjects objs rights else Auth.grant subjects objs rights)
+  in
+  let* auths = list_size (int_range 0 6) gen_auth in
+  return (Policy.make ~users ~groups ~objects auths)
+
+let print_policy p = An.Policy_file.print_policy p
+
+let qtest ?(count = 200) name gen print prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ~print gen prop)
+
+let property_tests =
+  [
+    qtest "indexed engine agrees with the flat scan" gen_policy print_policy (fun p ->
+        let engine, _ = An.Engine.build p in
+        List.for_all
+          (fun user ->
+            List.for_all
+              (fun right ->
+                List.for_all
+                  (fun pos ->
+                    An.Engine.check engine ~user ~right ~pos
+                    = Policy.check p ~user ~right ~pos)
+                  samples)
+              Right.all)
+          universe);
+    qtest "liveness verdicts agree with brute-force enumeration" gen_policy print_policy
+      (fun p ->
+        let r = An.Analyze.run p in
+        let brute_live i =
+          List.exists
+            (fun user ->
+              List.exists
+                (fun right ->
+                  List.exists
+                    (fun pos -> Policy.explain p ~user ~right ~pos = Policy.Matched i)
+                    samples)
+                Right.all)
+            universe
+        in
+        Array.for_all
+          (fun (f : An.Engine.fate) -> brute_live f.rule = (f.live <> None))
+          r.fates
+        && List.for_all
+             (fun (f : An.Findings.t) ->
+               match f.kind with
+               | An.Findings.Shadowed { rule; _ }
+               | An.Findings.Subsumed { rule; _ }
+               | An.Findings.Never_matches { rule } -> not (brute_live rule)
+               | _ -> true)
+             r.findings);
+    qtest "every finding's witness survives replay (none refuted)" gen_policy
+      print_policy (fun p -> An.Analyze.refuted (An.Analyze.run p) = []);
+    qtest "semantic diff flags exactly the changed accesses" ~count:150
+      QCheck2.Gen.(
+        let* a = gen_policy in
+        let* b = gen_policy in
+        return (a, b))
+      (fun (a, b) -> print_policy a ^ "--- vs ---\n" ^ print_policy b)
+      (fun (a, b) ->
+        let changes = An.Diff.policies a b in
+        List.for_all
+          (fun user ->
+            List.for_all
+              (fun right ->
+                List.for_all
+                  (fun pos ->
+                    An.Diff.affects changes ~user ~right ~pos
+                    = (Policy.check a ~user ~right ~pos
+                      <> Policy.check b ~user ~right ~pos))
+                  samples)
+              Right.all)
+          universe);
+    qtest "policy file round-trips" ~count:150 gen_policy print_policy (fun p ->
+        match An.Policy_file.parse (print_policy p) with
+        | Error _ -> false
+        | Ok pf -> (
+          match An.Policy_file.final_policy pf with
+          | Error _ -> false
+          | Ok p' ->
+            List.for_all
+              (fun user ->
+                List.for_all
+                  (fun right ->
+                    List.for_all
+                      (fun pos ->
+                        Policy.check p ~user ~right ~pos = Policy.check p' ~user ~right ~pos)
+                      samples)
+                  Right.all)
+              universe));
+  ]
+
+(* ----- diff on a concrete revocation ----- *)
+
+let diff_revocation () =
+  let base =
+    Policy.make ~users:[ 0; 1; 2 ] ~groups:[ ("eng", [ 1; 2 ]) ]
+      [
+        Auth.grant [ Subject.Group "eng" ] [ Docobj.Whole ] [ Right.Insert; Right.Delete ];
+        Auth.grant [ Subject.Any ] [ Docobj.Whole ] [ Right.Read ];
+      ]
+  in
+  let revoked =
+    Policy.make ~users:[ 0; 1; 2 ] ~groups:[ ("eng", [ 1; 2 ]) ]
+      [
+        Auth.deny [ Subject.User 2 ] [ Docobj.zone 0 4 ] [ Right.Insert ];
+        Auth.grant [ Subject.Group "eng" ] [ Docobj.Whole ] [ Right.Insert; Right.Delete ];
+        Auth.grant [ Subject.Any ] [ Docobj.Whole ] [ Right.Read ];
+      ]
+  in
+  let changes = An.Diff.policies base revoked in
+  Alcotest.(check bool) "u2 loses insert in the zone" true
+    (An.Diff.affects changes ~user:2 ~right:Right.Insert ~pos:(Some 3));
+  Alcotest.(check bool) "u2 keeps insert outside it" false
+    (An.Diff.affects changes ~user:2 ~right:Right.Insert ~pos:(Some 5));
+  Alcotest.(check bool) "u1 untouched" false
+    (An.Diff.affects changes ~user:1 ~right:Right.Insert ~pos:(Some 3));
+  Alcotest.(check bool) "reads untouched" false
+    (An.Diff.affects changes ~user:2 ~right:Right.Read ~pos:(Some 3))
+
+(* ----- the committed example files ----- *)
+
+let example path = Filename.concat "../examples/policies" path
+
+let examples_lint () =
+  match An.Policy_file.load (example "wiki.dcep") with
+  | Error e -> Alcotest.fail e
+  | Ok pf ->
+    let p = Result.get_ok (An.Policy_file.final_policy pf) in
+    let r = An.Analyze.run p in
+    Alcotest.(check int) "wiki.dcep is clean" 0
+      (List.length (An.Analyze.errors r) + List.length (An.Analyze.warnings r));
+    (match An.Policy_file.load (example "shadowed.dcep") with
+     | Error e -> Alcotest.fail e
+     | Ok pf ->
+       let p = Result.get_ok (An.Policy_file.final_policy pf) in
+       let r = An.Analyze.run p in
+       Alcotest.(check bool) "shadowed.dcep has confirmed errors" true
+         (An.Analyze.errors r <> [])
+       ;
+       Alcotest.(check int) "and no refuted findings" 0
+         (List.length (An.Analyze.refuted r)))
+
+let examples_trajectory () =
+  match An.Policy_file.load (example "storm.dcep") with
+  | Error e -> Alcotest.fail e
+  | Ok pf -> (
+    match An.Policy_file.log_of pf with
+    | Error e -> Alcotest.fail e
+    | Ok log ->
+      let steps = An.Diff.trajectory log in
+      Alcotest.(check int) "one diff per administrative step" (List.length pf.steps)
+        (List.length steps);
+      (* the first step denies u3 deletion everywhere *)
+      (match steps with
+       | (_, changes) :: _ ->
+         Alcotest.(check bool) "first step revokes u3's delete" true
+           (An.Diff.affects changes ~user:3 ~right:Right.Delete ~pos:(Some 0))
+       | [] -> Alcotest.fail "empty trajectory");
+      (* every step's diff agrees with checking the two versions *)
+      List.iteri
+        (fun i (_, changes) ->
+          let before = Option.get (Admin_log.policy_at log i)
+          and after = Option.get (Admin_log.policy_at log (i + 1)) in
+          List.iter
+            (fun user ->
+              List.iter
+                (fun right ->
+                  List.iter
+                    (fun pos ->
+                      Alcotest.(check bool) "trajectory diff is exact"
+                        (Policy.check before ~user ~right ~pos
+                        <> Policy.check after ~user ~right ~pos)
+                        (An.Diff.affects changes ~user ~right ~pos))
+                    samples)
+                Right.all)
+            universe)
+        steps)
+
+let () =
+  Alcotest.run "dce_analysis"
+    [
+      ("iset", iset_tests);
+      ( "findings",
+        [
+          Alcotest.test_case "shadowed grant is reported with a witness" `Quick
+            shadowed_grant;
+          Alcotest.test_case "order-sensitive conflict: swapping flips the witness"
+            `Quick order_sensitive_conflict;
+          Alcotest.test_case "pure redundancy is reported as subsumption" `Quick
+            subsumed_rule;
+          Alcotest.test_case "never-matching rule is flagged" `Quick never_matches;
+          Alcotest.test_case "del_user/del_obj retain references; lint flags them"
+            `Quick deletion_retains_references;
+        ] );
+      ("properties", property_tests);
+      ( "diff",
+        [
+          Alcotest.test_case "revocation blast radius is exact" `Quick diff_revocation;
+        ] );
+      ( "examples",
+        [
+          Alcotest.test_case "committed examples lint as documented" `Quick
+            examples_lint;
+          Alcotest.test_case "storm trajectory is exact at every step" `Quick
+            examples_trajectory;
+        ] );
+    ]
