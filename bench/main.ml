@@ -340,6 +340,170 @@ let core_speedup c =
     "integrate @ n=100k: new %.4f ms, array/list reference %.3f ms  (%.0fx)\n"
     t_new t_ref speedup
 
+(* ----- steady state: the stability protocol flattening the |H| cliff -----
+
+   A two-site session where the peer beacons its delivery clock back and
+   the measured site compacts every [steady_compact_every] generations —
+   the regime the live beacon protocol creates for every session.  Total
+   history |H| keeps growing, the live window does not, so generation
+   cost must stay flat: the gate requires the |H|=10k point to hold at
+   least half of the |H|=100 throughput at the same n.  (The
+   never-compacted baseline above collapses by ~300x between the same
+   two points.) *)
+
+let steady_compact_every = 100
+
+(* only the two live participants: a registered user that never sends
+   traffic nor a beacon pins the stability frontier at zero, which is
+   exactly the cliff the beacon protocol removes for LIVE groups *)
+let steady_policy =
+  Policy.make ~users:[ adm; user ]
+    [ Auth.grant [ Subject.Any ] [ Docobj.Whole ] Right.all ]
+
+let build_steady_site ~n ~h =
+  let text = String.init n (fun i -> Char.chr (97 + (i mod 26))) in
+  let mk site =
+    C.create ~eq:Char.equal ~site ~admin:adm ~policy:steady_policy
+      (Tdoc.of_string text)
+  in
+  (* the measured site is the administrator: its requests are born
+     valid, so the stable prefix is actually droppable (a tentative
+     backlog stays pinned until validation no matter what the frontier
+     says) *)
+  let a = ref (mk adm) in
+  let b = ref (mk user) in
+  for i = 1 to h do
+    (match C.generate !a (random_op ~ins_pct:50 (C.document !a)) with
+     | a', C.Accepted m ->
+       a := a';
+       b := fst (C.receive !b m)
+     | _, C.Denied r -> failwith ("steady bench build: denied: " ^ r));
+    if i mod steady_compact_every = 0 then begin
+      let clock, version = C.beacon !b in
+      a := C.compact (C.receive_beacon !a ~peer:user ~clock ~version);
+      let clock, version = C.beacon !a in
+      b := C.compact (C.receive_beacon !b ~peer:adm ~clock ~version)
+    end
+  done;
+  !a
+
+(* a compacted-window generate is sub-microsecond: time batches on the
+   monotonic ns clock and keep the best batch (same rationale as
+   [min_ms]), recording per-op ns in the histogram *)
+let batch_ns ?(batches = 5) ?(iters = 500) ~hist f =
+  let best = ref max_int in
+  for _ = 1 to batches do
+    let t0 = Obs.Clock.now_ns () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    let per_op = max 1 ((Obs.Clock.now_ns () - t0) / iters) in
+    Obs.Metrics.observe hist per_op;
+    if per_op < !best then best := per_op
+  done;
+  !best
+
+let run_steady () =
+  Printf.printf
+    "== core: steady state under the stability protocol (compact every %d) ==\n"
+    steady_compact_every;
+  Printf.printf "%8s %8s %11s %11s %9s\n" "n" "|H|" "gen(ns)" "gen/s" "window";
+  let points = [ (1_000, 100); (1_000, 10_000); (100_000, 100); (100_000, 10_000) ] in
+  let rates =
+    List.map
+      (fun (n, h) ->
+        let c = build_steady_site ~n ~h in
+        let point = Printf.sprintf "n%s_h%s" (size_label n) (size_label h) in
+        let hist =
+          Obs.Metrics.histogram bench_metrics ("core.steady_generate_ns." ^ point)
+        in
+        let t_ns =
+          batch_ns ~hist (fun () ->
+              match C.generate c (Tdoc.ins_visible (C.document c) 0 'z') with
+              | _, C.Accepted _ -> ()
+              | _, C.Denied r -> failwith r)
+        in
+        let per_s = 1_000_000_000 / t_ns in
+        Obs.Metrics.add
+          (Obs.Metrics.counter bench_metrics ("core.steady_generate_per_s." ^ point))
+          per_s;
+        Printf.printf "%8s %8s %11d %11d %9d\n" (size_label n) (size_label h) t_ns
+          per_s (C.window_len c);
+        ((n, h), per_s))
+      points
+  in
+  (* the machine-portable cliff gate: worst |H|=10k / |H|=100 ratio *)
+  let pct =
+    List.fold_left
+      (fun acc ((n, h), r10k) ->
+        if h = 10_000 then min acc (100 * r10k / max (List.assoc (n, 100) rates) 1)
+        else acc)
+      max_int rates
+  in
+  Obs.Metrics.add (Obs.Metrics.counter bench_metrics "core.steady_h10k_vs_h100_pct") pct;
+  Printf.printf "steady |H|=10k holds %d%% of the |H|=100 throughput (gate: >= 50)\n" pct
+
+(* ----- delta catch-up vs the full snapshot ----- *)
+
+let run_delta_sync () =
+  let n = 1_000 and h = 2_000 and lag = 50 in
+  let text = String.init n (fun i -> Char.chr (97 + (i mod 26))) in
+  let mk site =
+    C.create ~eq:Char.equal ~site ~admin:adm ~policy:core_policy (Tdoc.of_string text)
+  in
+  (* the joiner integrates all but the last [lag] requests, then parks —
+     the rejoining-laptop shape the hub's Attach_at answers *)
+  let donor = ref (mk adm) in
+  let joiner = ref (mk user) in
+  for i = 1 to h do
+    match C.generate !donor (random_op ~ins_pct:50 (C.document !donor)) with
+    | d, C.Accepted m ->
+      donor := d;
+      if i <= h - lag then joiner := fst (C.receive !joiner m)
+    | _, C.Denied r -> failwith ("delta bench build: denied: " ^ r)
+  done;
+  let full_blob = Dce_wire.Proto.Char_proto.encode_state (C.dump !donor) in
+  let d =
+    match C.delta_since !donor ~clock:(C.clock !joiner) ~version:(C.version !joiner) with
+    | Some d -> d
+    | None -> failwith "delta bench: donor unexpectedly compacted past the joiner"
+  in
+  let delta_blob = Dce_wire.Proto.Char_proto.encode_delta d in
+  let t_full =
+    median_ms ~hist:(Obs.Metrics.histogram bench_metrics "core.fullsync_ns") (fun () ->
+        match Dce_wire.Proto.Char_proto.decode_state full_blob with
+        | Error e -> failwith e
+        | Ok st -> (
+          match C.load ~eq:Char.equal st with
+          | Error e -> failwith e
+          | Ok dn -> ignore (C.catch_up !joiner dn)))
+  in
+  let t_delta =
+    median_ms ~hist:(Obs.Metrics.histogram bench_metrics "core.deltasync_ns") (fun () ->
+        match Dce_wire.Proto.Char_proto.decode_delta delta_blob with
+        | Error e -> failwith e
+        | Ok d -> (
+          match C.apply_delta !joiner d with
+          | Ok _ -> ()
+          | Error e -> failwith e))
+  in
+  (* the delta path must really reconstruct the donor's state *)
+  (match C.apply_delta !joiner d with
+   | Error e -> failwith ("delta bench: " ^ e)
+   | Ok (j, _) ->
+     let fp = Dce_wire.Proto.content_fingerprint Dce_wire.Proto.char_codec in
+     if fp j <> fp !donor then
+       failwith "delta bench: fingerprint mismatch after delta catch-up");
+  let pct = 100 * String.length delta_blob / max 1 (String.length full_blob) in
+  let put k v = Obs.Metrics.add (Obs.Metrics.counter bench_metrics k) v in
+  put "core.fullsync_bytes" (String.length full_blob);
+  put "core.deltasync_bytes" (String.length delta_blob);
+  put "core.delta_vs_full_pct" pct;
+  Printf.printf
+    "catch-up after %d missed of %d ops: full %d B / %.3f ms, delta %d B / %.3f ms  \
+     (%d%% of full bytes; gate: <= 10)\n"
+    lag h (String.length full_blob) t_full (String.length delta_blob) t_delta pct
+
 let run_core ~quick () =
   Printf.printf "== core: engine scaling baseline%s ==\n"
     (if quick then " (quick)" else "");
@@ -363,6 +527,9 @@ let run_core ~quick () =
   (match site100k with
    | Some c -> core_speedup c
    | None -> failwith "core bench: n=100k |H|=100 point missing");
+  print_newline ();
+  run_steady ();
+  run_delta_sync ();
   print_newline ()
 
 (* ----- E6: Fig. 7 ----- *)

@@ -121,6 +121,12 @@ let run_smoke max_states =
         expect "secure 3 sites / 2 mixed ops / 2 admin ops" `Green
           (mk ~features:secure ~mixed:true ~sites:3 ~coop:2 ~admin_ops:2 ()));
       (fun () ->
+        (* beacons and compaction woven between every action: exhausts in
+           ~1s at 2 sites (3 sites put ~10^6 distinct states behind the
+           same frontiers and adds nothing the oracles can see) *)
+        expect "secure 2 sites / 2 ops / 1 revocation, compaction interleaved" `Green
+          (mk ~features:secure ~stability:1 ~sites:2 ~coop:2 ~admin_ops:1 ()));
+      (fun () ->
         expect "no retroactive undo finds the Fig. 2 hole" `Violation
           (mk
              ~features:(features ~no_retro:true ~no_interval:false ~no_validation:false)
@@ -146,13 +152,15 @@ let run_smoke max_states =
   Format.printf "%s@." (if ok then "smoke: all checks behaved as expected" else "smoke: FAILURES");
   if ok then 0 else 1
 
-let main sites coop admin_ops mixed initial no_retro no_interval no_validation
-    max_states stats smoke enum enum_len schedule =
+let main sites coop admin_ops mixed initial stability no_retro no_interval
+    no_validation max_states stats smoke enum enum_len schedule =
   let features = features ~no_retro ~no_interval ~no_validation in
   if smoke then run_smoke max_states
   else if enum then run_enum enum_len
   else
-    let scenario = Scenario.make ~features ?initial ~mixed ~sites ~coop ~admin_ops () in
+    let scenario =
+      Scenario.make ~features ?initial ~mixed ?stability ~sites ~coop ~admin_ops ()
+    in
     match schedule with
     | Some s -> (
       match Explore.schedule_of_string s with
@@ -185,6 +193,12 @@ let mixed =
 
 let initial =
   Arg.(value & opt (some string) None & info [ "initial" ] ~docv:"TEXT" ~doc:"Initial document.")
+
+let stability =
+  Arg.(value & opt (some int) None
+       & info [ "stability" ] ~docv:"K"
+           ~doc:"Weave a beacon broadcast + window compaction into every site's script \
+                 after each K-th action, interleaved with all delivery orders.")
 
 let no_retro =
   Arg.(value & flag & info [ "no-retro"; "no-undo" ] ~doc:"Disable retroactive undo (Fig. 2 hole).")
@@ -220,7 +234,8 @@ let cmd =
   Cmd.v
     (Cmd.info "dcecheck" ~doc:"Exhaustive bounded model checker for the secured-OT protocol")
     Term.(
-      const main $ sites $ coop $ admin_ops $ mixed $ initial $ no_retro $ no_interval
-      $ no_validation $ max_states $ stats $ smoke $ enum $ enum_len $ schedule)
+      const main $ sites $ coop $ admin_ops $ mixed $ initial $ stability $ no_retro
+      $ no_interval $ no_validation $ max_states $ stats $ smoke $ enum $ enum_len
+      $ schedule)
 
 let () = exit (Cmd.eval' cmd)

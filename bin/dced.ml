@@ -172,6 +172,10 @@ let run port bind users text heartbeat_ms idle_timeout_ms data_dir fsync trace_f
             ("policy_version", Obs.Json.Int (Controller.version c));
             ("pending_coop", Obs.Json.Int (Controller.pending_coop c));
             ("pending_admin", Obs.Json.Int (Controller.pending_admin c));
+            ("window_len", Obs.Json.Int (Controller.window_len c));
+            ("compacted_upto", Obs.Json.Int
+               (Dce_ot.Vclock.sum (Controller.compacted_upto c)));
+            ("stable_lag", Obs.Json.Int (Controller.stable_lag c));
             ("fingerprint", Obs.Json.String
                (Dce_wire.Proto.content_fingerprint Dce_wire.Proto.char_codec c));
           ]

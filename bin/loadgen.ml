@@ -204,9 +204,30 @@ let editor_child ~cell ~metrics ~admin ~site ~doc ~relay_port ~rate ~duration
              | None -> ());
             List.iter send emitted
           | exception _ -> ())))
+    | Netd.Client.Beacon blob -> (
+      (* the hub's aggregate stability gossip: absorbing it is what lets
+         this editor compact below, keeping |H| flat for the whole run *)
+      match Proto.decode_frontier blob with
+      | Error _ -> ()
+      | Ok entries -> (
+        match !ctrl with
+        | None -> ()
+        | Some c ->
+          ctrl :=
+            Some
+              (List.fold_left
+                 (fun c (b : Proto.beacon) ->
+                   Controller.receive_beacon c ~peer:b.Proto.b_site
+                     ~clock:b.Proto.b_clock ~version:b.Proto.b_version)
+                 c entries)))
+    | Netd.Client.Delta _ ->
+      (* editors here never present a resume point, so no delta arrives;
+         tolerate one anyway (the snapshot fallback heals on reconnect) *)
+      ()
     | Netd.Client.Disconnected _ | Netd.Client.Reconnecting _ -> ()
     | Netd.Client.Gave_up _ -> stop := true
   in
+  let last_compact = ref 0. in
   while not !stop do
     let due_ms =
       match !start with
@@ -241,6 +262,13 @@ let editor_child ~cell ~metrics ~admin ~site ~doc ~relay_port ~rate ~duration
          send m
        | _, Controller.Denied _ -> ())
      | _ -> ());
+    (let now = Obs.Clock.now_ms () in
+     if now -. !last_compact >= 2_000. then begin
+       last_compact := now;
+       match !ctrl with
+       | Some c -> ctrl := Some (Controller.compact c)
+       | None -> ()
+     end);
     cell.ec_joined <- Option.is_some !ctrl;
     match !ctrl with
     | Some c ->
@@ -371,6 +399,11 @@ let run editors rate duration drain_ms port text trace_dir out min_ratio docs_k 
                            Obs.Json.Int
                              (Tdoc.visible_length (Controller.document c)) );
                          ("policy_version", Obs.Json.Int (Controller.version c));
+                         ("window_len", Obs.Json.Int (Controller.window_len c));
+                         ( "compacted_upto",
+                           Obs.Json.Int
+                             (Dce_ot.Vclock.sum (Controller.compacted_upto c)) );
+                         ("stable_lag", Obs.Json.Int (Controller.stable_lag c));
                        ])
                    (Hub.docs hub)) );
           ])

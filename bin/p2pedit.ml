@@ -248,6 +248,7 @@ type net_state = {
      connection is live: Client.send drops anything sent earlier *)
   mutable pending : char Controller.message list;
   mutable admin_srv : Netd.Admin.t option;
+  mutable last_compact_ms : float;
 }
 
 (* every outgoing message carries an origin stamp: receivers measure
@@ -353,13 +354,77 @@ let net_handle st = function
             | e -> Printexc.to_string e
           in
           Printf.printf "bad message (dropped): %s\n%!" detail)))
+  | Netd.Client.Delta blob -> (
+    (* the relay honored our resume point: a log suffix instead of a full
+       snapshot.  Only ever sent when we presented local state, so a
+       missing controller here is a protocol violation worth reporting *)
+    match Proto.Char_proto.decode_delta blob with
+    | Error e -> Printf.printf "bad delta: %s\n%!" e
+    | Ok d -> (
+      match st.ctrl with
+      | None -> Printf.printf "delta without local state (dropped)\n%!"
+      | Some mine -> (
+        match Controller.apply_delta mine d with
+        | Error e -> Printf.printf "delta rejected: %s\n%!" e
+        | Ok (mine, out) ->
+          st.ctrl <- Some mine;
+          if out <> [] then
+            Printf.printf "caught up (delta); re-broadcasting %d message(s)\n%!"
+              (List.length out);
+          let to_send = out @ st.pending in
+          st.pending <- [];
+          List.iter (net_send st) to_send;
+          journal_checkpoint st;
+          Netd.Client.set_stamp st.client (fun () ->
+              match st.ctrl with
+              | Some c -> (Controller.clock c, Controller.version c)
+              | None -> (Vclock.empty, 0));
+          net_show st)))
+  | Netd.Client.Beacon blob -> (
+    match Proto.decode_frontier blob with
+    | Error _ -> () (* gossip is advisory; a bad blob costs nothing *)
+    | Ok entries -> (
+      match st.ctrl with
+      | None -> ()
+      | Some c ->
+        st.ctrl <-
+          Some
+            (List.fold_left
+               (fun c (b : Proto.beacon) ->
+                 Controller.receive_beacon c ~peer:b.Proto.b_site
+                   ~clock:b.Proto.b_clock ~version:b.Proto.b_version)
+               c entries)))
   | Netd.Client.Disconnected reason -> Printf.printf "disconnected: %s\n%!" reason
   | Netd.Client.Reconnecting { attempt; delay_ms } ->
     Printf.printf "reconnecting (attempt %d) in %d ms\n%!" attempt delay_ms
   | Netd.Client.Gave_up reason -> Printf.printf "gave up: %s\n%!" reason
 
+(* Periodic window compaction.  Journaled editors never let the
+   compaction cut outrun the durable snapshot: checkpoint first when the
+   stable frontier moved past the last cut, then clamp to it. *)
+let net_compact st =
+  match st.ctrl with
+  | None -> ()
+  | Some c -> (
+    match st.journal with
+    | None -> st.ctrl <- Some (Controller.compact c)
+    | Some j ->
+      (match Dce_store.Persist.checkpoint_clock j with
+       | Some cut when Vclock.leq (Controller.stable_frontier c) cut -> ()
+       | _ -> journal_checkpoint st);
+      (match Dce_store.Persist.checkpoint_clock j with
+       | Some limit -> st.ctrl <- Some (Controller.compact ~limit c)
+       | None -> ()))
+
+let compact_every_ms = 5_000.
+
 let net_step st timeout_ms =
   List.iter (net_handle st) (Netd.Client.step ~timeout_ms st.client);
+  let now = Obs.Clock.now_ms () in
+  if now -. st.last_compact_ms >= compact_every_ms then begin
+    st.last_compact_ms <- now;
+    net_compact st
+  end;
   Option.iter Netd.Admin.step st.admin_srv
 
 let net_pump st ms =
@@ -487,8 +552,19 @@ let net_session host port my_site doc sink metrics data_dir fsync admin_port =
     | Some c, Some m -> Some (Controller.with_metrics m c)
     | _ -> ctrl0
   in
+  (* advertise recovered state on (re)connect so the relay can answer
+     with a cheap log-suffix delta instead of a full snapshot; reads
+     through a cell because the live controller is held by [st] below *)
+  let resume_src =
+    ref (fun () ->
+        match ctrl0 with
+        | Some c -> Some (Controller.clock c, Controller.version c)
+        | None -> None)
+  in
   let client =
-    Netd.Client.create ?metrics ~trace:sink ?doc ~host ~port ~site:my_site ()
+    Netd.Client.create ?metrics ~trace:sink ?doc ~host ~port ~site:my_site
+      ~resume:(fun () -> !resume_src ())
+      ()
   in
   let e2e_ns =
     let reg =
@@ -507,8 +583,14 @@ let net_session host port my_site doc sink metrics data_dir fsync admin_port =
       ctrl = ctrl0;
       pending = pending0;
       admin_srv = None;
+      last_compact_ms = 0.;
     }
   in
+  resume_src :=
+    (fun () ->
+      match st.ctrl with
+      | Some c -> Some (Controller.clock c, Controller.version c)
+      | None -> None);
   st.admin_srv <-
     Option.map
       (fun p ->
@@ -537,6 +619,10 @@ let net_session host port my_site doc sink metrics data_dir fsync admin_port =
                 ("pending_admin", Obs.Json.Int (Controller.pending_admin c));
                 ("tentative", Obs.Json.Int
                    (List.length (Controller.tentative c)));
+                ("window_len", Obs.Json.Int (Controller.window_len c));
+                ("compacted_upto", Obs.Json.Int
+                   (Vclock.sum (Controller.compacted_upto c)));
+                ("stable_lag", Obs.Json.Int (Controller.stable_lag c));
               ]
         in
         let a = Netd.Admin.create ?metrics ~healthz ~sessions ~port:p () in

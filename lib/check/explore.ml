@@ -3,7 +3,7 @@ open Dce_core
 module Metrics = Dce_obs.Metrics
 module Convergence = Dce_sim.Convergence
 
-type mid = Mcoop of Request.id | Madmin of int
+type mid = Mcoop of Request.id | Madmin of int | Mbeacon of int * int
 
 type event = Act of Subject.user | Dlv of Subject.user * mid
 
@@ -28,9 +28,13 @@ type outcome = Exhausted | Found of violation | Capped
 
 (* ----- the transition system ----- *)
 
+type payload =
+  | Pmsg of char Controller.message
+  | Pbeacon of Vclock.t * int  (* issuer clock and policy version *)
+
 type msg = {
   mid : mid;
-  payload : char Controller.message;
+  payload : payload;
   pending : Subject.user list;  (* destinations not yet delivered to *)
 }
 
@@ -38,6 +42,15 @@ type node = {
   ctrls : (Subject.user * char Controller.t) list;  (* scenario site order *)
   msgs : msg list;  (* in flight, creation order; fully delivered dropped *)
   scripts : (Subject.user * Scenario.action list) list;
+  (* per-site beacon sequence numbers — per-site (not global) so that
+     beacon actions at distinct sites still commute, which the sleep-set
+     independence relation below relies on *)
+  bseq : (Subject.user * int) list;
+  (* whether any script contains a Beacon/Compact action.  When none
+     does, the stability bounds and compaction cut drive no transition,
+     so the fingerprint soundly omits them — keeping the state cache as
+     coarse (and exploration as fast) as before stability existed. *)
+  stab : bool;
 }
 
 let mid_of_message = function
@@ -47,6 +60,7 @@ let mid_of_message = function
 let mid_to_string = function
   | Mcoop id -> Printf.sprintf "c%d.%d" id.Request.site id.Request.serial
   | Madmin v -> Printf.sprintf "a%d" v
+  | Mbeacon (s, k) -> Printf.sprintf "b%d.%d" s k
 
 let event_to_string = function
   | Act u -> Printf.sprintf "g%d" u
@@ -75,6 +89,11 @@ let event_of_string s =
                        { Request.site = int_of_string site; serial = int_of_string serial }
                    ))
             | _ -> fail ())
+         | 'b' ->
+           (match String.split_on_char '.' (String.sub m 1 (String.length m - 1)) with
+            | [ site; k ] ->
+              Ok (Dlv (u, Mbeacon (int_of_string site, int_of_string k)))
+            | _ -> fail ())
          | _ -> fail ())
       | Some _ -> fail ()
   with Failure _ -> fail ()
@@ -98,6 +117,14 @@ let initial scenario =
     ctrls = Scenario.controllers scenario;
     msgs = [];
     scripts = List.filter (fun (_, s) -> s <> []) scenario.Scenario.scripts;
+    bseq = [];
+    stab =
+      List.exists
+        (fun (_, s) ->
+          List.exists
+            (function Scenario.Beacon | Scenario.Compact -> true | _ -> false)
+            s)
+        scenario.Scenario.scripts;
   }
 
 let set_ctrl u c node =
@@ -109,7 +136,9 @@ let set_ctrl u c node =
 let put_in_flight node src payloads =
   let dests = List.filter (fun v -> v <> src) (List.map fst node.ctrls) in
   let fresh =
-    List.map (fun m -> { mid = mid_of_message m; payload = m; pending = dests }) payloads
+    List.map
+      (fun m -> { mid = mid_of_message m; payload = Pmsg m; pending = dests })
+      payloads
   in
   { node with msgs = node.msgs @ fresh }
 
@@ -154,7 +183,22 @@ let exec node = function
               (mid_to_string (mid_of_message m)) )
         | Error e ->
           failwith
-            (Format.asprintf "administrative script action %a failed: %s" Admin_op.pp op e)))
+            (Format.asprintf "administrative script action %a failed: %s" Admin_op.pp op e))
+     | Scenario.Beacon ->
+       let clock, version = Controller.beacon c in
+       let k = (match List.assoc_opt u node.bseq with Some k -> k | None -> 0) + 1 in
+       let mid = Mbeacon (u, k) in
+       let dests = List.filter (fun v -> v <> u) (List.map fst node.ctrls) in
+       ( {
+           node with
+           bseq = (u, k) :: List.remove_assoc u node.bseq;
+           msgs = node.msgs @ [ { mid; payload = Pbeacon (clock, version); pending = dests } ];
+         },
+         Printf.sprintf "site %d: beacon -> %s" u (mid_to_string mid) )
+     | Scenario.Compact ->
+       let c = Controller.compact c in
+       ( set_ctrl u c node,
+         Printf.sprintf "site %d: compact (window %d)" u (Controller.window_len c) ))
   | Dlv (u, mid) ->
     let msg =
       match List.find_opt (fun m -> m.mid = mid) node.msgs with
@@ -171,7 +215,13 @@ let exec node = function
             | pending -> Some { m with pending })
         node.msgs
     in
-    let c, emitted = Controller.receive (List.assoc u node.ctrls) msg.payload in
+    let c, emitted =
+      match msg.payload with
+      | Pmsg payload -> Controller.receive (List.assoc u node.ctrls) payload
+      | Pbeacon (clock, version) ->
+        let peer = match mid with Mbeacon (s, _) -> s | _ -> assert false in
+        (Controller.receive_beacon (List.assoc u node.ctrls) ~peer ~clock ~version, [])
+    in
     let node = put_in_flight (set_ctrl u c { node with msgs }) u emitted in
     ( node,
       Format.asprintf "deliver %s -> site %d%s" (mid_to_string mid) u
@@ -239,13 +289,27 @@ let fp_entry ppf (e : char Oplog.entry) =
      Format.fprintf ppf "X%d.%d>" id.Request.site id.Request.serial);
   fp_request ppf e.Oplog.req
 
-let fp_controller ppf c =
+let fp_bound ppf (u, (k, v)) = Format.fprintf ppf "%d<(%a)%d;" u fp_clock k v
+
+let fp_controller ?(stab = true) ppf c =
   let st = Controller.dump c in
   Format.fprintf ppf "s%d n%d k(%a)|D:" st.Controller.st_site st.Controller.st_serial
     fp_clock st.Controller.st_clock;
   List.iter (fp_cell ppf) st.Controller.st_doc;
   Format.fprintf ppf "|H:";
   List.iter (fp_entry ppf) st.Controller.st_oplog;
+  (* compaction state and stability bounds drive future compact/beacon
+     transitions, so in a stability scenario they are part of the
+     canonical state (the bound tables come sorted from
+     [User_map.bindings]) *)
+  if stab then begin
+    Format.fprintf ppf "|G:%a|Pi:" fp_clock st.Controller.st_compacted;
+    List.iter (fp_bound ppf) st.Controller.st_peer_integrated;
+    Format.fprintf ppf "|Ph:";
+    List.iter (fp_bound ppf) st.Controller.st_peer_admin_hint;
+    Format.fprintf ppf "|Pb:";
+    List.iter (fp_bound ppf) st.Controller.st_peer_beacon
+  end;
   Format.fprintf ppf "|L:";
   List.iter (fp_admin_request ppf) st.Controller.st_admin_requests;
   Format.fprintf ppf "|F:";
@@ -254,13 +318,16 @@ let fp_controller ppf c =
   List.iter (fp_admin_request ppf) st.Controller.st_admin_queue
 
 let fp_message ppf = function
-  | Controller.Coop q -> fp_request ppf q
-  | Controller.Admin r -> fp_admin_request ppf r
+  | Pmsg (Controller.Coop q) -> fp_request ppf q
+  | Pmsg (Controller.Admin r) -> fp_admin_request ppf r
+  | Pbeacon (k, v) -> Format.fprintf ppf "B(%a)%d;" fp_clock k v
 
 let fingerprint node =
   let buf = Buffer.create 1024 in
   let ppf = Format.formatter_of_buffer buf in
-  List.iter (fun (u, c) -> Format.fprintf ppf "C%d{%a}" u fp_controller c) node.ctrls;
+  List.iter
+    (fun (u, c) -> Format.fprintf ppf "C%d{%a}" u (fp_controller ~stab:node.stab) c)
+    node.ctrls;
   let keyed =
     List.map
       (fun m ->
@@ -274,6 +341,9 @@ let fingerprint node =
   List.iter
     (fun (u, s) -> Format.fprintf ppf "S%d:%d" u (List.length s))
     node.scripts;
+  List.iter
+    (fun (u, k) -> Format.fprintf ppf "B%d:%d" u k)
+    (List.sort compare node.bseq);
   Format.pp_print_flush ppf ();
   Digest.string (Buffer.contents buf)
 

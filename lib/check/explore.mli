@@ -33,6 +33,10 @@ open Dce_core
 type mid =
   | Mcoop of Dce_ot.Request.id
   | Madmin of int  (** administrative requests are keyed by version *)
+  | Mbeacon of int * int
+      (** stability beacons, keyed by (issuer site, per-site sequence
+          number); delivery feeds [Controller.receive_beacon] and never
+          emits follow-up messages *)
 
 type event = Act of Subject.user | Dlv of Subject.user * mid
 
@@ -87,7 +91,8 @@ val replay : ?drain:bool -> Scenario.t -> event list -> replay
    [dcecheck --schedule]: events separated by whitespace or commas,
    [gU] for [Act U], [dU:cS.N] for delivery of cooperative request [S.N]
    to site [U], [dU:aV] for delivery of administrative request version
-   [V] to site [U]. *)
+   [V] to site [U], [dU:bS.K] for delivery of site [S]'s [K]-th
+   stability beacon to site [U]. *)
 
 val event_to_string : event -> string
 val event_of_string : string -> (event, string) result

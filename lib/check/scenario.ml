@@ -3,7 +3,7 @@ open Dce_core
 
 type edit = Ins of int * char | Del of int | Up of int * char
 
-type action = Edit of edit | Policy of Admin_op.t
+type action = Edit of edit | Policy of Admin_op.t | Beacon | Compact
 
 type t = {
   sites : Subject.user list;
@@ -29,8 +29,8 @@ let revoke_insert user =
 let regrant_insert user =
   Admin_op.Add_auth (0, Auth.grant [ Subject.User user ] [ Docobj.Whole ] [ Right.Insert ])
 
-let make ?(features = Controller.secure) ?initial ?(mixed = false) ~sites ~coop
-    ~admin_ops () =
+let make ?(features = Controller.secure) ?initial ?(mixed = false) ?stability
+    ~sites ~coop ~admin_ops () =
   if sites < 2 then invalid_arg "Scenario.make: need at least two sites";
   let site_ids = List.init sites Fun.id in
   let users = List.init (sites - 1) (fun i -> i + 1) in
@@ -48,13 +48,30 @@ let make ?(features = Controller.secure) ?initial ?(mixed = false) ~sites ~coop
       | 1 -> Del k
       | _ -> Up (k, Char.uppercase_ascii c)
   in
+  (* With [stability = k], every site broadcasts a stability beacon and
+     compacts its window after each k-th action (and once at the end of
+     its script), so the explorer interleaves beacon deliveries and
+     compaction freely with ordinary delivery transitions. *)
+  let weave actions =
+    match stability with
+    | None -> actions
+    | Some k when k < 1 -> invalid_arg "Scenario.make: stability must be >= 1"
+    | Some k ->
+      List.concat
+        (List.mapi
+           (fun i a -> if (i + 1) mod k = 0 then [ a; Beacon; Compact ] else [ a ])
+           actions)
+      @ if List.length actions mod k = 0 then [] else [ Beacon; Compact ]
+  in
   let coop_script u =
     List.filteri (fun k _ -> k mod (sites - 1) = u - 1) (List.init coop edit)
     |> List.map (fun e -> Edit e)
+    |> weave
   in
   let admin_script =
-    List.init admin_ops (fun k ->
-        Policy (if k mod 2 = 0 then revoke_insert 1 else regrant_insert 1))
+    weave
+      (List.init admin_ops (fun k ->
+           Policy (if k mod 2 = 0 then revoke_insert 1 else regrant_insert 1)))
   in
   {
     sites = site_ids;
@@ -86,6 +103,8 @@ let pp_edit ppf = function
 let pp_action ppf = function
   | Edit e -> pp_edit ppf e
   | Policy op -> Admin_op.pp ppf op
+  | Beacon -> Format.pp_print_string ppf "beacon"
+  | Compact -> Format.pp_print_string ppf "compact"
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>%d sites (admin %d), initial %S%a@]" (List.length t.sites)

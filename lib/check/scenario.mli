@@ -22,6 +22,13 @@ type edit =
 type action =
   | Edit of edit  (** a cooperative operation: [Controller.generate] *)
   | Policy of Admin_op.t  (** an administrative operation (admin site only) *)
+  | Beacon
+      (** broadcast a stability beacon: the issuer's current clock and
+          policy version go in flight to every other site, delivered (in
+          any order) into [Controller.receive_beacon] *)
+  | Compact
+      (** garbage-collect the issuer's window:
+          [Controller.compact] at the causally-stable frontier *)
 
 type t = {
   sites : Subject.user list;  (** pairwise distinct; head is the administrator *)
@@ -35,6 +42,7 @@ val make :
   ?features:Controller.features ->
   ?initial:string ->
   ?mixed:bool ->
+  ?stability:int ->
   sites:int ->
   coop:int ->
   admin_ops:int ->
@@ -48,7 +56,10 @@ val make :
     with its re-grant — the paper's adversarial shape.  The initial
     policy registers every site and grants everything to everyone; the
     initial document (default: long enough that deletions never empty
-    it) seeds the text.  [features] defaults to [Controller.secure]. *)
+    it) seeds the text.  [features] defaults to [Controller.secure].
+    [stability = k] weaves a [Beacon]; [Compact] pair into every site's
+    script after each k-th action (and at script end), so exploration
+    interleaves window compaction with every delivery order. *)
 
 val controllers : t -> (Subject.user * char Controller.t) list
 (** Fresh controllers for every site, in [sites] order. *)

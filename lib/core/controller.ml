@@ -24,6 +24,7 @@ module User_map = Map.Make (Int)
 module M = Dce_obs.Metrics
 
 type meters = {
+  reg : M.t;
   m_generated : M.counter;
   m_denied_local : M.counter;
   m_delivered : M.counter;
@@ -37,6 +38,9 @@ type meters = {
   g_oplog : M.gauge;
   g_doc : M.gauge;
   g_version : M.gauge;
+  g_window : M.gauge;
+  g_compacted : M.gauge;
+  g_stable_lag : M.gauge;
 }
 
 let disabled_registry = lazy (M.create ~enabled:false ())
@@ -46,6 +50,7 @@ let meters_of metrics =
     match metrics with Some m -> m | None -> Lazy.force disabled_registry
   in
   {
+    reg;
     m_generated = M.counter reg "controller.generated";
     m_denied_local = M.counter reg "controller.denied_local";
     m_delivered = M.counter reg "controller.delivered";
@@ -59,6 +64,9 @@ let meters_of metrics =
     g_oplog = M.gauge reg "controller.oplog_live";
     g_doc = M.gauge reg "controller.doc_visible";
     g_version = M.gauge reg "controller.policy_version";
+    g_window = M.gauge reg "controller.window_len";
+    g_compacted = M.gauge reg "controller.compacted_upto";
+    g_stable_lag = M.gauge reg "controller.stable_lag";
   }
 
 type 'e t = {
@@ -82,6 +90,11 @@ type 'e t = {
      stronger bound, usable once the issuer's own edits are caught up) *)
   peer_integrated : (Vclock.t * int) User_map.t;
   peer_admin_hint : (Vclock.t * int) User_map.t;
+  (* explicit stability beacons: per peer, the latest (delivery clock,
+     policy version) it advertised over the wire.  Beacons let silent
+     peers advance the frontier; they merge monotonically so stale or
+     reordered beacons are no-ops. *)
+  peer_beacon : (Vclock.t * int) User_map.t;
   (* true while [catch_up] replays a donor's history: the administrator
      must not mint fresh validations for requests whose settled fate is
      already recorded in the history being replayed *)
@@ -107,6 +120,7 @@ let create ?(eq = ( = )) ?(features = secure) ?(trace = Dce_obs.Trace.null)
     n_admin_queue = 0;
     peer_integrated = User_map.empty;
     peer_admin_hint = User_map.empty;
+    peer_beacon = User_map.empty;
     replay = false;
     m = meters_of metrics;
   }
@@ -118,6 +132,7 @@ let fork ~site t =
     serial = 0;
     peer_integrated = User_map.empty;
     peer_admin_hint = User_map.empty;
+    peer_beacon = User_map.empty;
   }
 
 let rejoin ~site t = { (fork ~site t) with serial = Vclock.get t.clock site }
@@ -143,6 +158,10 @@ let note_levels t =
   M.set t.m.g_oplog (Oplog.live_length t.oplog);
   M.set t.m.g_doc (Tdoc.visible_length t.doc);
   M.set t.m.g_version (version t);
+  if M.enabled t.m.reg then begin
+    M.set t.m.g_window (Oplog.live_length t.oplog);
+    M.set t.m.g_compacted (Vclock.sum (Oplog.compacted_upto t.oplog))
+  end;
   t
 
 (* Meters, like trace sinks, are process-local and not part of persisted
@@ -181,15 +200,24 @@ let note_admin_hint t (r : Admin_op.request) =
   let bound = (r.Admin_op.ctx, r.Admin_op.version) in
   { t with peer_admin_hint = User_map.add r.Admin_op.admin bound t.peer_admin_hint }
 
-let peer_bound t u =
-  let base_clock, base_version =
-    Option.value ~default:(Vclock.empty, 0) (User_map.find_opt u t.peer_integrated)
-  in
-  match User_map.find_opt u t.peer_admin_hint with
+(* A wire beacon from [w] advertises [w]'s own delivery clock, so like an
+   admin hint it bounds [w]'s future requests only once every [w]-edit it
+   counts has been integrated here; until then one of those edits may
+   still be in flight with an older context.  A silent peer's beacon has
+   [get clock w = 0], so the gate always passes and the frontier advances
+   past peers that never edit — the whole point of the protocol. *)
+let apply_hint u (base_clock, base_version) = function
   | Some (hint_clock, hint_version)
     when Vclock.get hint_clock u <= Vclock.get base_clock u ->
     (Vclock.merge base_clock hint_clock, max base_version hint_version)
   | _ -> (base_clock, base_version)
+
+let peer_bound t u =
+  let base =
+    Option.value ~default:(Vclock.empty, 0) (User_map.find_opt u t.peer_integrated)
+  in
+  let base = apply_hint u base (User_map.find_opt u t.peer_admin_hint) in
+  apply_hint u base (User_map.find_opt u t.peer_beacon)
 
 let group_peers t =
   List.filter (fun u -> u <> t.site) (Policy.users (Admin_log.current t.admin_log))
@@ -204,13 +232,40 @@ let stable_version t =
     (Admin_log.version t.admin_log)
     (group_peers t)
 
-let compact t =
-  {
-    t with
-    oplog =
-      Oplog.compact ~stable:(stable_frontier t) ~stable_version:(stable_version t)
-        t.oplog;
-  }
+let receive_beacon t ~peer ~clock ~version =
+  if peer = t.site then t
+  else
+    let clock, version =
+      match User_map.find_opt peer t.peer_beacon with
+      | Some (old_clock, old_version) ->
+        (Vclock.merge old_clock clock, max old_version version)
+      | None -> (clock, version)
+    in
+    { t with peer_beacon = User_map.add peer (clock, version) t.peer_beacon }
+
+(* What this site advertises to peers: its own delivery clock and policy
+   version.  Everything counted here has been integrated locally. *)
+let beacon t = (t.clock, version t)
+
+let window_len t = Oplog.live_length t.oplog
+let compacted_upto t = Oplog.compacted_upto t.oplog
+
+let stable_lag t =
+  Vclock.sum t.clock - Vclock.sum (stable_frontier t)
+
+(* [limit] clamps the cut (used by journaled sessions so compaction never
+   outruns the durable snapshot: replay after a crash starts from the
+   snapshot and must find every entry it needs either in the snapshot or
+   the WAL — an entry dropped below the snapshot cut satisfies that, one
+   dropped above it would not). *)
+let compact ?limit t =
+  let stable = stable_frontier t in
+  let stable =
+    match limit with None -> stable | Some l -> Vclock.meet stable l
+  in
+  M.set t.m.g_stable_lag (Vclock.sum t.clock - Vclock.sum stable);
+  note_levels
+    { t with oplog = Oplog.compact ~stable ~stable_version:(stable_version t) t.oplog }
 
 (* ----- Algorithm 2: local generation ----- *)
 
@@ -514,6 +569,7 @@ type 'e state = {
   st_admin_queue : Admin_op.request list;
   st_peer_integrated : (Subject.user * (Vclock.t * int)) list;
   st_peer_admin_hint : (Subject.user * (Vclock.t * int)) list;
+  st_peer_beacon : (Subject.user * (Vclock.t * int)) list;
 }
 
 let dump t =
@@ -532,6 +588,7 @@ let dump t =
     st_admin_queue = t.admin_queue;
     st_peer_integrated = User_map.bindings t.peer_integrated;
     st_peer_admin_hint = User_map.bindings t.peer_admin_hint;
+    st_peer_beacon = User_map.bindings t.peer_beacon;
   }
 
 let load ?(eq = ( = )) ?(trace = Dce_obs.Trace.null) ?metrics s =
@@ -566,6 +623,7 @@ let load ?(eq = ( = )) ?(trace = Dce_obs.Trace.null) ?metrics s =
         peer_integrated =
           User_map.of_seq (List.to_seq s.st_peer_integrated);
         peer_admin_hint = User_map.of_seq (List.to_seq s.st_peer_admin_hint);
+        peer_beacon = User_map.of_seq (List.to_seq s.st_peer_beacon);
         replay = false;
         m = meters_of metrics;
       }
@@ -637,22 +695,11 @@ let normal_requests oplog =
       | Oplog.Normal -> Some e.Oplog.req)
     (Oplog.entries oplog)
 
-let catch_up t donor =
-  (* Reconstruct the donor's whole history as ordinary messages and push
-     it through [receive]: duplicates are dropped, the rest queues until
-     causally ready, and every security decision (interval checks,
-     rejections, undo) is taken by this site's own algorithm rather than
-     trusted from the donor.  Administrative requests go first so the
-     version sequence — and with it the administrator identity at every
-     point — is settled before cooperative traffic integrates. *)
-  let history =
-    List.map (fun r -> Admin r) (Admin_log.requests donor.admin_log)
-    @ List.map
-        (fun q -> Coop (born_copy donor.admin_log q))
-        (normal_requests donor.oplog)
-    @ List.map (fun q -> Coop q) (List.rev donor.coop_queue)
-    @ List.map (fun r -> Admin r) (List.rev donor.admin_queue)
-  in
+(* Feed a list of history messages through [receive] in replay mode:
+   duplicates are dropped, the rest queues until causally ready, and
+   every security decision (interval checks, rejections, undo) is taken
+   by this site's own algorithm rather than trusted from the donor. *)
+let replay_history t history =
   let t, replayed =
     List.fold_left
       (fun (t, acc) m ->
@@ -661,20 +708,19 @@ let catch_up t donor =
       ({ t with replay = true }, [])
       history
   in
-  let t = { t with replay = false } in
-  (* our serial counter must clear everything the group has already seen
-     from us, or fresh requests would be dropped as duplicates *)
-  let t = { t with serial = max t.serial (Vclock.get t.clock t.site) } in
-  (* requests of ours the donor never saw: put them back on the wire
-     (receivers deduplicate, so over-sending is harmless) *)
-  let donor_version = Admin_log.version donor.admin_log in
+  ({ t with replay = false }, replayed)
+
+(* Requests of ours a donor at [donor_clock]/[donor_version] never saw:
+   put them back on the wire (receivers deduplicate, so over-sending is
+   harmless). *)
+let unacked_by t ~donor_clock ~donor_version =
   let unacked_admin =
     Admin_log.requests t.admin_log
     |> List.filter (fun (r : Admin_op.request) ->
            r.Admin_op.admin = t.site && r.Admin_op.version > donor_version)
     |> List.map (fun r -> Admin r)
   in
-  let donor_floor = Vclock.get donor.clock t.site in
+  let donor_floor = Vclock.get donor_clock t.site in
   let unacked_coop =
     normal_requests t.oplog
     |> List.filter (fun (q : 'e Request.t) ->
@@ -682,17 +728,134 @@ let catch_up t donor =
            && q.Request.id.Request.serial > donor_floor)
     |> List.map (fun q -> Coop (born_copy t.admin_log q))
   in
-  (* if the administrator role sits here, requests that reached the
-     group while this site was down are still tentative everywhere:
-     validate the backlog now (same obligation as an admin transfer) *)
-  let t, validations =
-    if is_admin t && t.features.validation then
-      List.fold_left
-        (fun (t, acc) (q : 'e Request.t) ->
-          match issue_admin t (Admin_op.Validate q.Request.id) with
-          | Ok (t, ms) -> (t, acc @ ms)
-          | Error _ -> (t, acc))
-        (t, []) (tentative t)
-    else (t, [])
-  in
-  (t, replayed @ unacked_admin @ unacked_coop @ validations)
+  unacked_admin @ unacked_coop
+
+(* If the administrator role sits here, requests that reached the group
+   while this site was down are still tentative everywhere: validate the
+   backlog now (same obligation as an admin transfer). *)
+let validate_backlog t =
+  if is_admin t && t.features.validation then
+    List.fold_left
+      (fun (t, acc) (q : 'e Request.t) ->
+        match issue_admin t (Admin_op.Validate q.Request.id) with
+        | Ok (t, ms) -> (t, acc @ ms)
+        | Error _ -> (t, acc))
+      (t, []) (tentative t)
+  else (t, [])
+
+let catch_up t donor =
+  if Vclock.leq (Oplog.compacted_upto donor.oplog) t.clock then begin
+    (* Reconstruct the donor's whole (remaining) history as ordinary
+       messages and push it through [receive].  Administrative requests
+       go first so the version sequence — and with it the administrator
+       identity at every point — is settled before cooperative traffic
+       integrates.  Sound even though the donor's log is compacted: every
+       dropped entry is below the donor's cut, which our own clock
+       dominates, so we already hold it. *)
+    let history =
+      List.map (fun r -> Admin r) (Admin_log.requests donor.admin_log)
+      @ List.map
+          (fun q -> Coop (born_copy donor.admin_log q))
+          (normal_requests donor.oplog)
+      @ List.map (fun q -> Coop q) (List.rev donor.coop_queue)
+      @ List.map (fun r -> Admin r) (List.rev donor.admin_queue)
+    in
+    let t, replayed = replay_history t history in
+    (* our serial counter must clear everything the group has already seen
+       from us, or fresh requests would be dropped as duplicates *)
+    let t = { t with serial = max t.serial (Vclock.get t.clock t.site) } in
+    let unacked =
+      unacked_by t ~donor_clock:donor.clock
+        ~donor_version:(Admin_log.version donor.admin_log)
+    in
+    let t, validations = validate_backlog t in
+    (note_levels t, replayed @ unacked @ validations)
+  end
+  else begin
+    (* The donor compacted past this site's clock: entries we lack were
+       dropped from the donor's log for good, so a replay would be
+       silently incomplete.  Adopt the donor's state wholesale instead
+       (rejoin semantics), then re-feed and re-broadcast our own
+       unacknowledged requests — the only part of our divergent state
+       the group may not already hold.  Messages parked in our queues are
+       other sites' traffic; their origins (or any donor) redeliver them. *)
+    let unacked =
+      unacked_by t ~donor_clock:donor.clock
+        ~donor_version:(Admin_log.version donor.admin_log)
+    in
+    let fresh = rejoin ~site:t.site donor in
+    let fresh =
+      {
+        fresh with
+        eq = t.eq;
+        trace = t.trace;
+        m = t.m;
+        features = t.features;
+        serial = max t.serial fresh.serial;
+      }
+    in
+    let fresh, refed = replay_history fresh unacked in
+    let fresh, validations = validate_backlog fresh in
+    (note_levels fresh, refed @ unacked @ validations)
+  end
+
+(* ----- delta catch-up: ship only the suffix a joiner lacks ----- *)
+
+type 'e delta = {
+  dl_clock : Vclock.t;
+  dl_version : int;
+  dl_compacted : Vclock.t;
+  dl_admin : Admin_op.request list;
+  dl_coop : 'e Request.t list;
+  dl_coop_queue : 'e Request.t list;
+  dl_admin_queue : Admin_op.request list;
+}
+
+let delta_since donor ~clock ~version =
+  (* Only offered when the joiner's clock dominates the donor's cut:
+     below the cut the donor has dropped entries it cannot resend, and a
+     joiner that lacks any of them needs the full snapshot.  At or above
+     it, the joiner's clock counts exactly what it has integrated, so
+     the entries it does not count are exactly what it lacks. *)
+  if not (Vclock.leq (Oplog.compacted_upto donor.oplog) clock) then None
+  else
+    let dl_admin =
+      List.filter
+        (fun (r : Admin_op.request) -> r.Admin_op.version > version)
+        (Admin_log.requests donor.admin_log)
+    in
+    let dl_coop =
+      normal_requests donor.oplog
+      |> List.filter (fun (q : 'e Request.t) ->
+             not
+               (Vclock.dominates_event clock ~site:q.Request.id.Request.site
+                  ~count:q.Request.id.Request.serial))
+      |> List.map (born_copy donor.admin_log)
+    in
+    Some
+      {
+        dl_clock = donor.clock;
+        dl_version = Admin_log.version donor.admin_log;
+        dl_compacted = Oplog.compacted_upto donor.oplog;
+        dl_admin;
+        dl_coop;
+        dl_coop_queue = List.rev donor.coop_queue;
+        dl_admin_queue = List.rev donor.admin_queue;
+      }
+
+let apply_delta t (d : 'e delta) =
+  if not (Vclock.leq d.dl_compacted t.clock) then
+    Error "delta starts past this site's clock: full snapshot required"
+  else begin
+    let history =
+      List.map (fun r -> Admin r) d.dl_admin
+      @ List.map (fun q -> Coop q) d.dl_coop
+      @ List.map (fun q -> Coop q) d.dl_coop_queue
+      @ List.map (fun r -> Admin r) d.dl_admin_queue
+    in
+    let t, replayed = replay_history t history in
+    let t = { t with serial = max t.serial (Vclock.get t.clock t.site) } in
+    let unacked = unacked_by t ~donor_clock:d.dl_clock ~donor_version:d.dl_version in
+    let t, validations = validate_backlog t in
+    Ok (note_levels t, replayed @ unacked @ validations)
+  end

@@ -210,6 +210,7 @@ type 'e state = {
       (** stability bookkeeping (see {!stable_frontier}) — preserved so a
           reloaded site keeps its compaction progress *)
   st_peer_admin_hint : (Subject.user * (Dce_ot.Vclock.t * int)) list;
+  st_peer_beacon : (Subject.user * (Dce_ot.Vclock.t * int)) list;
 }
 
 val dump : 'e t -> 'e state
@@ -233,7 +234,16 @@ val catch_up : 'e t -> 'e t -> 'e t * 'e message list
     documents as lost — plus, when this site holds the administrator
     role, validations for the backlog that accumulated while it was
     down.  Symmetric: if the {e donor} is the stale side, the replay
-    no-ops and the returned messages heal the donor instead. *)
+    no-ops and the returned messages heal the donor instead.
+
+    If the donor's log is compacted {e past} this site's clock, a replay
+    would be silently incomplete (the donor dropped entries we lack for
+    good), so [catch_up] detects it and falls back to adopting the
+    donor's state wholesale ({!rejoin} semantics) — except that, unlike
+    a bare [rejoin], this site's own unacknowledged requests are
+    re-fed and re-broadcast, so nothing of ours the group might miss is
+    lost.  Messages parked in the local receive queues are other sites'
+    traffic and are redelivered by their origins. *)
 
 (* {2 Log garbage collection (paper §7's future work)}
 
@@ -250,13 +260,85 @@ val catch_up : 'e t -> 'e t -> 'e t * 'e message list
 
 val stable_frontier : 'e t -> Dce_ot.Vclock.t
 (** Requests every registered group member is known to have integrated.
-    Conservative: silent peers pin the frontier down. *)
+    Conservative: a peer that has neither sent traffic nor a
+    {!beacon} pins the frontier down. *)
 
 val stable_version : 'e t -> int
 (** A policy version every registered group member is known to have
     reached. *)
 
-val compact : 'e t -> 'e t
+val beacon : 'e t -> Dce_ot.Vclock.t * int
+(** This site's stability advertisement: its own delivery clock and
+    policy version.  Periodically broadcast it (even — especially — when
+    idle) so peers' frontiers advance past this site; see
+    {!receive_beacon}. *)
+
+val receive_beacon :
+  'e t -> peer:Subject.user -> clock:Dce_ot.Vclock.t -> version:int -> 'e t
+(** Absorb a peer's {!beacon}.  Monotone (clocks merge, versions max), so
+    stale, duplicated or reordered beacons are no-ops, and idempotent.
+    Like an administrative hint, a beacon bounds the peer's future
+    requests only once every edit of the peer's own that it counts has
+    been integrated here — until then one of those edits may still be in
+    flight with an older context.  A silent peer's beacon counts none of
+    its own edits, so it always applies: this is what unpins the frontier
+    from peers that never write. *)
+
+val window_len : 'e t -> int
+(** Live entries in the cooperative log — the concurrency window |H| that
+    bounds transformation cost.  Exposed as gauge
+    [controller.window_len]. *)
+
+val compacted_upto : 'e t -> Dce_ot.Vclock.t
+(** The compaction cut: per-site serial floor below which log entries
+    have been dropped.  Exposed (as its event count sum) as gauge
+    [controller.compacted_upto]. *)
+
+val stable_lag : 'e t -> int
+(** Events integrated here but not yet known stable — the distance
+    between this site's clock and its stability frontier (sums of event
+    counts).  What compaction cannot yet reclaim.  Exposed as gauge
+    [controller.stable_lag], refreshed on {!compact}. *)
+
+val compact : ?limit:Dce_ot.Vclock.t -> 'e t -> 'e t
 (** Drop the stable prefix of the cooperative log.  Safe to call at any
     time; typically after {!receive}.  The document (including
-    tombstones) is untouched. *)
+    tombstones) is untouched.  [limit] clamps the cut (pointwise meet):
+    journaled sessions pass their last durable snapshot's clock so the
+    compaction cut never outruns the durability cut — crash replay must
+    find every entry it needs either in the snapshot or the WAL. *)
+
+(* {2 Delta catch-up}
+
+   The wire-level complement to compaction: a joiner that presents a
+   clock at or above the donor's compaction cut gets only the log suffix
+   and policy delta it lacks, instead of an O(n x |H|) full-state
+   snapshot. *)
+
+type 'e delta = {
+  dl_clock : Dce_ot.Vclock.t;  (** donor's delivery clock at emission *)
+  dl_version : int;  (** donor's policy version *)
+  dl_compacted : Dce_ot.Vclock.t;  (** donor's compaction cut *)
+  dl_admin : Admin_op.request list;
+      (** administrative suffix, version ascending *)
+  dl_coop : 'e Dce_ot.Request.t list;
+      (** cooperative suffix in broadcast form, donor log order *)
+  dl_coop_queue : 'e Dce_ot.Request.t list;  (** donor's parked traffic *)
+  dl_admin_queue : Admin_op.request list;
+}
+
+val delta_since :
+  'e t -> clock:Dce_ot.Vclock.t -> version:int -> 'e delta option
+(** [delta_since donor ~clock ~version]: the suffix a joiner that has
+    integrated exactly [clock] / [version] still lacks.  [None] when the
+    donor's log is compacted past [clock] — the dropped entries cannot be
+    resent, so the joiner needs a full snapshot ({!catch_up} on an
+    encoded state). *)
+
+val apply_delta : 'e t -> 'e delta -> ('e t * 'e message list, string) result
+(** Replay a donor's {!delta_since} result through this site's own
+    {!receive} (same re-derivation discipline as {!catch_up}) and return
+    the messages to broadcast (unacknowledged local requests, admin
+    backlog validations).  [Error] if the delta's cut is above this
+    site's clock — the receiver-side guard against a donor that compacted
+    concurrently with the handshake; fall back to a full snapshot. *)

@@ -1,6 +1,7 @@
 module Obs = Dce_obs
 module M = Obs.Metrics
 module Proto = Dce_wire.Proto
+module Vclock = Dce_ot.Vclock
 module Controller = Dce_core.Controller
 module Conn = Dce_netd.Conn
 module Tele = Dce_netd.Tele
@@ -16,6 +17,8 @@ type config = {
   default_doc : string;
   auto_create : bool;
   max_docs : int;
+  beacon_ms : int;
+  compact_ms : int;
 }
 
 let default_config =
@@ -28,6 +31,8 @@ let default_config =
     default_doc = "main";
     auto_create = false;
     max_docs = 4096;
+    beacon_ms = 5_000;
+    compact_ms = 5_000;
   }
 
 (* Per-connection mux state.  Which docs a connection is attached to
@@ -52,6 +57,8 @@ type 'e t = {
   upstream : Upstream.t option;
   mutable conns : conn_state list;
   mutable stopped : bool;
+  mutable last_beacon_ms : float;
+  mutable last_compact_ms : float;
 }
 
 let trace_s t s peer action detail =
@@ -123,6 +130,8 @@ let create ?(config = default_config) ?metrics ?(trace = Obs.Trace.null)
       upstream;
       conns = [];
       stopped = false;
+      last_beacon_ms = 0.;
+      last_compact_ms = 0.;
     }
   in
   List.iter (update_doc_gauges t) (Registry.docs registry);
@@ -159,21 +168,36 @@ let outbox_bytes t =
 (* ------------------------------------------------------------------ *)
 (* Attach / fan-out                                                   *)
 
-let greeting_frames t s dialect doc =
+(* [resume] is a v2 joiner's presented resume point.  When the hosted
+   log still covers it, the state transfer is a delta — the suffix the
+   joiner lacks — instead of the full O(n x |H|) snapshot encode; when
+   the log has compacted past it (or there is no resume point), the
+   full snapshot is the sound fallback. *)
+let greeting_frames t s dialect doc ~resume =
   let ctrl = Session.controller s in
   let relay_site = Controller.site ctrl in
-  let state = Proto.encode_state t.codec (Controller.dump ctrl) in
+  let full () = Proto.encode_state t.codec (Controller.dump ctrl) in
   match dialect with
   | Session.V1 ->
     [ Relay_proto.Welcome { relay_site; heartbeat_ms = t.cfg.heartbeat_ms };
-      Relay_proto.Snapshot state;
+      Relay_proto.Snapshot (full ());
     ]
   | Session.V2 ->
+    let transfer =
+      match
+        Option.bind resume (fun (clock, version) ->
+            Controller.delta_since ctrl ~clock ~version)
+      with
+      | Some d ->
+        M.incr (M.counter t.reg "hub.deltas");
+        Relay_proto.Doc_delta { doc; delta = Proto.encode_delta t.codec d }
+      | None -> Relay_proto.Doc_snapshot { doc; state = full () }
+    in
     [ Relay_proto.Attached { doc; relay_site; heartbeat_ms = t.cfg.heartbeat_ms };
-      Relay_proto.Doc_snapshot { doc; state };
+      transfer;
     ]
 
-let attach t cs ~dialect ~session:s ~site =
+let attach ?resume t cs ~dialect ~session:s ~site =
   let doc = Session.name s in
   (* a site reconnecting through a fresh socket supersedes its old,
      possibly half-dead attachment; the old connection is closed once it
@@ -194,7 +218,7 @@ let attach t cs ~dialect ~session:s ~site =
   trace_s t s site (if again then "reconnect" else "connect") (Conn.peer cs.conn);
   List.iter
     (fun frame -> Conn.send cs.conn (Relay_proto.encode frame))
-    (greeting_frames t s dialect doc);
+    (greeting_frames t s dialect doc ~resume);
   M.incr t.tele.Tele.snapshots;
   trace_s t s site "snapshot" "";
   update_doc_gauges t s
@@ -320,6 +344,45 @@ let dispatch t cs payload =
         match open_for_attach t doc with
         | Ok s -> attach t cs ~dialect:Session.V2 ~session:s ~site
         | Error e -> corrupt cs.conn e)
+    | Relay_proto.Attach_at { doc; site; resume } ->
+      if cs.v1 then corrupt cs.conn "attach on a v1 connection"
+      else if List.mem_assoc doc cs.atts then corrupt cs.conn ("duplicate attach: " ^ doc)
+      else (
+        match Proto.decode_frontier resume with
+        | Error e -> corrupt cs.conn ("bad resume point: " ^ e)
+        | Ok entries -> (
+          match open_for_attach t doc with
+          | Ok s ->
+            (* the presented clock is also a stability advertisement:
+               absorb it before choosing the transfer *)
+            List.iter
+              (fun (b : Proto.beacon) ->
+                Session.note_frontier s ~site:b.Proto.b_site ~clock:b.Proto.b_clock
+                  ~version:b.Proto.b_version)
+              entries;
+            let resume =
+              match entries with
+              | [ b ] when b.Proto.b_site = site ->
+                Some (b.Proto.b_clock, b.Proto.b_version)
+              | _ -> None (* malformed resume blob: serve the snapshot *)
+            in
+            attach ?resume t cs ~dialect:Session.V2 ~session:s ~site
+          | Error e -> corrupt cs.conn e))
+    | Relay_proto.Beacon { doc; frontier } -> (
+      if cs.v1 then corrupt cs.conn "beacon on a v1 connection"
+      else
+        match List.mem_assoc doc cs.atts with
+        | false -> corrupt cs.conn ("beacon for unattached document " ^ doc)
+        | true -> (
+          match Proto.decode_frontier frontier with
+          | Error e -> corrupt cs.conn ("bad frontier: " ^ e)
+          | Ok entries ->
+            let s = session t doc in
+            List.iter
+              (fun (b : Proto.beacon) ->
+                Session.note_frontier s ~site:b.Proto.b_site ~clock:b.Proto.b_clock
+                  ~version:b.Proto.b_version)
+              entries))
     | Relay_proto.Detach { doc } -> (
       if cs.v1 then corrupt cs.conn "detach on a v1 connection"
       else
@@ -352,7 +415,7 @@ let dispatch t cs payload =
     | Relay_proto.Pong -> ()
     | Relay_proto.Bye _ -> Conn.mark_closed cs.conn (Conn.Local "bye")
     | Relay_proto.Welcome _ | Relay_proto.Snapshot _ | Relay_proto.Attached _
-    | Relay_proto.Doc_snapshot _ ->
+    | Relay_proto.Doc_snapshot _ | Relay_proto.Doc_delta _ ->
       corrupt cs.conn "server-only envelope from a client")
 
 (* ------------------------------------------------------------------ *)
@@ -377,6 +440,18 @@ let resync_members t s =
 
 let handle_upstream_event t = function
   | Upstream.Up_connected | Upstream.Up_disconnected _ -> ()
+  | Upstream.Up_beacon { doc; frontier } -> (
+    match Registry.find t.registry doc with
+    | None -> ()
+    | Some s -> (
+      match Proto.decode_frontier frontier with
+      | Error _ -> Option.iter Upstream.close t.upstream
+      | Ok entries ->
+        List.iter
+          (fun (b : Proto.beacon) ->
+            Session.note_frontier s ~site:b.Proto.b_site ~clock:b.Proto.b_clock
+              ~version:b.Proto.b_version)
+          entries))
   | Upstream.Up_msg { doc; origin; msg } -> (
     match Registry.find t.registry doc with
     | None -> () (* a doc we never attached: ignore *)
@@ -439,6 +514,82 @@ let heartbeats t =
         else if now -. Conn.last_send_ms c > float_of_int t.cfg.heartbeat_ms then
           Conn.send c (Relay_proto.encode Relay_proto.Ping))
     t.conns
+
+(* ------------------------------------------------------------------ *)
+(* Stability protocol: beacon fan-out and window compaction           *)
+
+let doc_window_gauges t s =
+  let doc = Session.name s in
+  let ctrl = Session.controller s in
+  let g name v = M.set (M.gauge t.reg (M.with_label name ~key:"doc" ~value:doc)) v in
+  g "hub.window_len" (Controller.window_len ctrl);
+  g "hub.compacted_upto" (Vclock.sum (Controller.compacted_upto ctrl));
+  g "hub.stable_lag" (Controller.stable_lag ctrl)
+
+(* Fan the per-doc aggregate frontier — every member's latest
+   advertisement plus the hub's own — to v2 members and up the
+   federation link.  Gossip converges because [note_frontier] merges
+   monotonically at every hop; echoes (the home fanning our own report
+   back) are idempotent no-ops. *)
+let beacon_session t s =
+  let ctrl = Session.controller s in
+  let clock, version = Controller.beacon ctrl in
+  Session.note_frontier s ~site:(Controller.site ctrl) ~clock ~version;
+  let entries =
+    List.map
+      (fun (site, (clock, version)) ->
+        { Proto.b_site = site; b_clock = clock; b_version = version })
+      (Session.frontier s)
+  in
+  let doc = Session.name s in
+  let blob = Proto.encode_frontier entries in
+  let frame = lazy (Relay_proto.encode (Relay_proto.Beacon { doc; frontier = blob })) in
+  List.iter
+    (fun (m : Session.member) ->
+      match m.Session.dialect with
+      | Session.V2 -> Conn.send m.Session.conn (Lazy.force frame)
+      | Session.V1 -> () (* a v1 peer would drop the unknown tag *))
+    (Session.members s);
+  Option.iter (fun u -> Upstream.send_beacon u ~doc blob) t.upstream
+
+(* Compact one session's log behind its stability frontier.  For a
+   journaled session the cut is clamped to the durability cut — and when
+   the frontier has advanced past the last durable snapshot, a fresh
+   checkpoint is taken first so the clamp does not hold compaction back.
+   A journaled session with no snapshot yet is never compacted. *)
+let compact_session t s =
+  let ctrl = Session.controller s in
+  (match Session.journal s with
+   | None -> Session.set_controller s (Controller.compact ctrl)
+   | Some j ->
+     let limit =
+       let fresh_enough cut = Vclock.leq (Controller.stable_frontier ctrl) cut in
+       match Persist.checkpoint_clock j with
+       | Some cut when fresh_enough cut -> Some cut
+       | _ -> (
+         match Persist.checkpoint j ctrl with
+         | Ok () ->
+           trace_s t s (Controller.site ctrl) "checkpoint" "pre-compaction";
+           Persist.checkpoint_clock j
+         | Error e ->
+           trace_s t s (Controller.site ctrl) "journal_error" e;
+           Persist.checkpoint_clock j)
+     in
+     match limit with
+     | Some limit -> Session.set_controller s (Controller.compact ~limit ctrl)
+     | None -> ());
+  doc_window_gauges t s
+
+let stability t =
+  let now = Obs.Clock.now_ms () in
+  if now -. t.last_beacon_ms >= float_of_int t.cfg.beacon_ms then begin
+    t.last_beacon_ms <- now;
+    List.iter (beacon_session t) (Registry.docs t.registry)
+  end;
+  if now -. t.last_compact_ms >= float_of_int t.cfg.compact_ms then begin
+    t.last_compact_ms <- now;
+    List.iter (compact_session t) (Registry.docs t.registry)
+  end
 
 let reap t =
   let dead, live = List.partition (fun cs -> not (Conn.alive cs.conn)) t.conns in
@@ -508,6 +659,7 @@ let step ?(timeout_ms = 0) t =
      | Some u -> List.iter (handle_upstream_event t) (Upstream.step ~timeout_ms:0 u)
      | None -> ());
     heartbeats t;
+    stability t;
     reap t
   end
 

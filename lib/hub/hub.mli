@@ -35,11 +35,19 @@ type config = {
       (** open unknown docs on [Attach] via the factory; off, an
           unknown name drops the peer as [Corrupt] *)
   max_docs : int;  (** registry bound, see {!Registry.create} *)
+  beacon_ms : int;
+      (** cadence of the per-doc aggregate stability [Beacon] fanned to
+          v2 members and reported up the federation link *)
+  compact_ms : int;
+      (** cadence of automatic {!Dce_core.Controller.compact} on every
+          hosted session; journaled sessions checkpoint first so the
+          compaction cut never outruns the durability cut *)
 }
 
 val default_config : config
 (** 5s heartbeat, 30s idle timeout, 4 MiB outbox, 8 MiB frames,
-    [hub_id = 0], default doc ["main"], no auto-create, 4096 docs. *)
+    [hub_id = 0], default doc ["main"], no auto-create, 4096 docs,
+    5s beacon and compaction cadences. *)
 
 type 'e t
 

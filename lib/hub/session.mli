@@ -41,3 +41,15 @@ val add_member : 'e t -> member -> bool
 
 val remove_conn : 'e t -> Dce_netd.Conn.t -> bool
 (** Drop every membership held by this connection; [true] if any. *)
+
+val note_frontier :
+  'e t -> site:int -> clock:Dce_ot.Vclock.t -> version:int -> unit
+(** Absorb one site's stability advertisement: merge it (monotonically)
+    into the per-doc frontier table and feed it to the hosted
+    controller's {!Dce_core.Controller.receive_beacon}.  Sources: member
+    [Beacon] frames, upstream aggregate beacons, and the hub's own
+    periodic self-report. *)
+
+val frontier : 'e t -> (int * (Dce_ot.Vclock.t * int)) list
+(** The aggregate gossip table, site-ascending — what the hub fans to v2
+    members and reports upstream. *)

@@ -9,6 +9,7 @@ type event =
   | Up_connected
   | Up_snapshot of { doc : string; state : string }
   | Up_msg of { doc : string; origin : int; msg : string }
+  | Up_beacon of { doc : string; frontier : string }
   | Up_disconnected of string
 
 type config = {
@@ -96,6 +97,13 @@ let send t ~doc ~origin msg =
   | Live c -> Conn.send c (Relay_proto.encode (Relay_proto.Doc_msg { doc; origin; msg }))
   | _ -> ()
 
+(* Report this hub's aggregate frontier for [doc] up the tree, so the
+   home hub's stability view covers sites it has never seen directly. *)
+let send_beacon t ~doc frontier =
+  match t.phase with
+  | Live c -> Conn.send c (Relay_proto.encode (Relay_proto.Beacon { doc; frontier }))
+  | _ -> ()
+
 let resolve t =
   try Unix.inet_addr_of_string t.host
   with Failure _ -> (
@@ -164,6 +172,11 @@ let dispatch t payload =
       M.incr t.tele.Tele.snapshots;
       [ Up_snapshot { doc; state } ]
     | Relay_proto.Doc_msg { doc; origin; msg } -> [ Up_msg { doc; origin; msg } ]
+    | Relay_proto.Beacon { doc; frontier } -> [ Up_beacon { doc; frontier } ]
+    | Relay_proto.Doc_delta _ ->
+      (* hubs always bootstrap from full snapshots (they never present a
+         resume point), so a delta here is protocol abuse *)
+      corrupt t "unsolicited delta on a federation link"
     | Relay_proto.Ping ->
       (match conn t with
        | Some c -> Conn.send c (Relay_proto.encode Relay_proto.Pong)
@@ -178,7 +191,8 @@ let dispatch t payload =
       | None -> [])
     | Relay_proto.Welcome _ | Relay_proto.Snapshot _ | Relay_proto.Msg _ ->
       corrupt t "v1 envelope on a federation link"
-    | Relay_proto.Hello _ | Relay_proto.Attach _ | Relay_proto.Detach _ ->
+    | Relay_proto.Hello _ | Relay_proto.Attach _ | Relay_proto.Attach_at _
+    | Relay_proto.Detach _ ->
       corrupt t "client-only envelope from upstream")
 
 let pump_conn t c timeout_ms =

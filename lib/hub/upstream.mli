@@ -17,6 +17,11 @@ type event =
   | Up_connected  (** TCP up; all docs re-attached *)
   | Up_snapshot of { doc : string; state : string }
   | Up_msg of { doc : string; origin : int; msg : string }
+  | Up_beacon of { doc : string; frontier : string }
+      (** the home hub's aggregate stability gossip for [doc] (a
+          [Proto.encode_frontier] blob) — absorb it into the local
+          session so the leaf's frontier covers sites attached
+          elsewhere in the federation *)
   | Up_disconnected of string
 
 type config = {
@@ -52,6 +57,11 @@ val attach : t -> doc:string -> unit
 val send : t -> doc:string -> origin:int -> string -> unit
 (** Queue a [Proto.encode_message] blob for [doc]; dropped when the
     link is down (the reconnect snapshot heals the gap). *)
+
+val send_beacon : t -> doc:string -> string -> unit
+(** Queue a [Proto.encode_frontier] blob for [doc] — this leaf's
+    aggregate stability report.  Dropped when the link is down: beacons
+    are periodic, the next cadence resends. *)
 
 val step : ?timeout_ms:int -> t -> event list
 (** Advance the link: progress the non-blocking connect, read,

@@ -4,7 +4,9 @@ module M = Obs.Metrics
 type event =
   | Connected
   | Snapshot of string
+  | Delta of string
   | Message of string
+  | Beacon of string
   | Disconnected of string
   | Reconnecting of { attempt : int; delay_ms : int }
   | Gave_up of string
@@ -45,17 +47,19 @@ type t = {
   port : int;
   site : int;
   doc : string option; (* None = v1 Hello dialect, Some = v2 Attach *)
+  resume : unit -> (Dce_ot.Vclock.t * int) option;
   backoff : Backoff.t;
   mutable phase : phase;
   mutable failed_attempts : int; (* consecutive connect failures; see fail *)
   mutable was_live : bool; (* a future success is a reconnect, not a connect *)
   mutable stamp : unit -> Dce_ot.Vclock.t * int;
+  mutable last_beacon_ms : float;
 }
 
 let now_ms = Dce_obs.Clock.now_ms
 
 let create ?(config = default_config) ?metrics ?(trace = Obs.Trace.null) ?seed ?doc
-    ~host ~port ~site () =
+    ?(resume = fun () -> None) ~host ~port ~site () =
   {
     cfg = config;
     tele = Tele.make ?metrics ();
@@ -64,6 +68,7 @@ let create ?(config = default_config) ?metrics ?(trace = Obs.Trace.null) ?seed ?
     port;
     site;
     doc;
+    resume;
     backoff =
       Backoff.create ~base_ms:config.backoff_base_ms ~max_ms:config.backoff_max_ms ?seed
         ();
@@ -71,6 +76,7 @@ let create ?(config = default_config) ?metrics ?(trace = Obs.Trace.null) ?seed ?
     failed_attempts = 0;
     was_live = false;
     stamp = (fun () -> (Dce_ot.Vclock.empty, 0));
+    last_beacon_ms = 0.;
   }
 
 let site t = t.site
@@ -153,7 +159,18 @@ let greet t fd =
   let hello =
     match t.doc with
     | None -> Relay_proto.Hello { site = t.site }
-    | Some doc -> Relay_proto.Attach { doc; site = t.site }
+    | Some doc -> (
+      (* a client with recovered local state presents its resume point:
+         the hub answers with a delta when its log still covers it, and
+         a full snapshot otherwise *)
+      match t.resume () with
+      | Some (clock, version) ->
+        let resume =
+          Dce_wire.Proto.encode_frontier
+            [ { Dce_wire.Proto.b_site = t.site; b_clock = clock; b_version = version } ]
+        in
+        Relay_proto.Attach_at { doc; site = t.site; resume }
+      | None -> Relay_proto.Attach { doc; site = t.site })
   in
   Conn.send conn (Relay_proto.encode hello);
   Conn.handle_writable conn;
@@ -183,17 +200,19 @@ let dispatch t payload =
      | None -> ());
     []
   | Ok msg -> (
-    (* joining (or a server-initiated resync): the session is live *)
-    let go_live c s =
+    (* joining (or a server-initiated resync): the session is live.
+       [what] is "snapshot" or "delta"; the matching event is returned. *)
+    let go_live_with what event c s =
       t.phase <- Live c;
       if t.was_live then M.incr t.tele.Tele.reconnects else M.incr t.tele.Tele.connects;
       trace t (if t.was_live then "reconnect" else "connect") "";
-      trace t "snapshot" (string_of_int (String.length s) ^ " bytes");
+      trace t what (string_of_int (String.length s) ^ " bytes");
       t.was_live <- true;
       Backoff.reset t.backoff;
       t.failed_attempts <- 0;
-      [ Snapshot s ]
+      [ event ]
     in
+    let go_live c s = go_live_with "snapshot" (Snapshot s) c s in
     let corrupt why =
       (match conn t with
        | Some c -> Conn.mark_closed c (Conn.Corrupt why)
@@ -211,6 +230,15 @@ let dispatch t payload =
     | Relay_proto.Doc_snapshot _, (Greeting _ | Live _) ->
       corrupt "snapshot for a document this client never attached"
     | Relay_proto.Doc_snapshot _, _ -> []
+    | Relay_proto.Doc_delta { doc; delta }, (Greeting c | Live c)
+      when t.doc = Some doc ->
+      go_live_with "delta" (Delta delta) c delta
+    | Relay_proto.Doc_delta _, (Greeting _ | Live _) ->
+      corrupt "delta for a document this client never attached"
+    | Relay_proto.Doc_delta _, _ -> []
+    | Relay_proto.Beacon { doc; frontier }, Live _ when t.doc = Some doc ->
+      [ Beacon frontier ]
+    | Relay_proto.Beacon _, _ -> []
     | Relay_proto.Msg bytes, Live _ when t.doc = None -> [ Message bytes ]
     | Relay_proto.Msg _, Live _ -> corrupt "single-doc message on a multi-doc session"
     | Relay_proto.Msg _, _ -> corrupt "message before snapshot"
@@ -231,7 +259,9 @@ let dispatch t payload =
        | Some c -> Conn.mark_closed c (Conn.Local ("server: " ^ reason))
        | None -> ());
       []
-    | (Relay_proto.Hello _ | Relay_proto.Attach _ | Relay_proto.Detach _), _ ->
+    | ( ( Relay_proto.Hello _ | Relay_proto.Attach _ | Relay_proto.Attach_at _
+        | Relay_proto.Detach _ ),
+        _ ) ->
       corrupt "client-only envelope from server")
 
 let pump_conn t c timeout_ms =
@@ -247,11 +277,33 @@ let pump_conn t c timeout_ms =
   if wr <> [] then Conn.handle_writable c;
   (* heartbeat / idle policy *)
   let now = now_ms () in
-  if Conn.alive c then
+  if Conn.alive c then begin
     if now -. Conn.last_recv_ms c > float_of_int t.cfg.idle_timeout_ms then
       Conn.mark_closed c Conn.Idle
     else if now -. Conn.last_send_ms c > float_of_int t.cfg.heartbeat_ms then
       Conn.send c (Relay_proto.encode Relay_proto.Ping);
+    (* stability beacon: the client's own delivery clock, on the
+       heartbeat cadence, v2 sessions only (a v1 server would drop the
+       connection on the unknown tag).  Sent even — especially — when
+       idle: this is what lets the rest of the group compact past a
+       silent editor.  Unlike the Ping above it is not suppressed by
+       regular traffic, so the cadence holds under load too. *)
+    match t.phase with
+    | Live _
+      when t.doc <> None
+           && now -. t.last_beacon_ms > float_of_int t.cfg.heartbeat_ms -> (
+      match t.doc with
+      | Some doc ->
+        let clock, version = t.stamp () in
+        let frontier =
+          Dce_wire.Proto.encode_frontier
+            [ { Dce_wire.Proto.b_site = t.site; b_clock = clock; b_version = version } ]
+        in
+        Conn.send c (Relay_proto.encode (Relay_proto.Beacon { doc; frontier }));
+        t.last_beacon_ms <- now
+      | None -> ())
+    | _ -> ()
+  end;
   match Conn.closed_reason c with
   | None -> events
   | Some reason ->

@@ -23,7 +23,18 @@
 type event =
   | Connected
   | Snapshot of string
+  | Delta of string
+      (** a [Proto.encode_delta] blob: the hub's answer to a resuming
+          attach ({!create}'s [resume]) when its log still covers the
+          presented point — decode with [Proto.decode_delta] and apply
+          with {!Dce_core.Controller.apply_delta} instead of reloading a
+          full snapshot.  Falls back to [Snapshot] otherwise. *)
   | Message of string
+  | Beacon of string
+      (** a [Proto.encode_frontier] blob: the hub's aggregate stability
+          gossip for this document — feed each entry to
+          {!Dce_core.Controller.receive_beacon} so the local frontier
+          advances past silent peers and the log can compact. *)
   | Disconnected of string
   | Reconnecting of { attempt : int; delay_ms : int }
   | Gave_up of string
@@ -53,6 +64,7 @@ val create :
   ?trace:Dce_obs.Trace.sink ->
   ?seed:int ->
   ?doc:string ->
+  ?resume:(unit -> (Dce_ot.Vclock.t * int) option) ->
   host:string ->
   port:int ->
   site:int ->
@@ -63,7 +75,13 @@ val create :
     dialect: omitted, the client greets with the v1 [Hello] and the hub
     attaches it to its default document; given, it greets with the v2
     [Attach doc] and exchanges [Doc_msg]/[Doc_snapshot] frames for that
-    document.  Either way the {!event} surface is identical. *)
+    document.  Either way the {!event} surface is identical.
+
+    [resume] (v2 only) is consulted at every (re)connect: return the
+    local controller's clock and policy version to request a [Delta]
+    instead of a full snapshot — the hub still answers [Snapshot] if its
+    log is compacted past that point.  Return [None] (the default) when
+    there is no local state to resume from. *)
 
 val site : t -> int
 
@@ -99,7 +117,9 @@ val fd : t -> Unix.file_descr option
 val set_stamp : t -> (unit -> Dce_ot.Vclock.t * int) -> unit
 (** How to stamp this client's [Net] trace events with a vector clock
     and policy version — point it at the live controller so traces stay
-    causally auditable. *)
+    causally auditable.  On v2 sessions the same source feeds the
+    periodic stability beacon (sent on the heartbeat cadence, even when
+    idle, so the rest of the group can compact past this site). *)
 
 val close : t -> unit
 (** Send [Bye], close, and stop reconnecting. *)

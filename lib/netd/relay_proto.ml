@@ -18,6 +18,16 @@ type t =
   | Detach of { doc : string }
   | Doc_snapshot of { doc : string; state : string }
   | Doc_msg of { doc : string; origin : int; msg : string }
+  (* v2 stability protocol.  [Attach_at] is [Attach] plus the joiner's
+     resume point (an encoded [Proto] frontier beacon): the hub answers
+     [Doc_delta] when its log still covers that point, [Doc_snapshot]
+     otherwise.  [Beacon] carries an encoded frontier — one entry from a
+     client, a whole membership aggregate from a hub — and flows both
+     ways.  Payloads stay opaque strings here, like snapshots and
+     messages, so this layer never depends on the document codec. *)
+  | Attach_at of { doc : string; site : int; resume : string }
+  | Doc_delta of { doc : string; delta : string }
+  | Beacon of { doc : string; frontier : string }
 
 let put b = function
   | Hello { site } ->
@@ -59,6 +69,19 @@ let put b = function
     put_string b doc;
     put_varint b origin;
     put_string b msg
+  | Attach_at { doc; site; resume } ->
+    put_char b 'J';
+    put_string b doc;
+    put_varint b site;
+    put_string b resume
+  | Doc_delta { doc; delta } ->
+    put_char b 'e';
+    put_string b doc;
+    put_string b delta
+  | Beacon { doc; frontier } ->
+    put_char b 'F';
+    put_string b doc;
+    put_string b frontier
 
 let get d =
   let* c = get_char d in
@@ -102,6 +125,19 @@ let get d =
     let* origin = get_varint d in
     let* msg = get_string d in
     Ok (Doc_msg { doc; origin; msg })
+  | 'J' ->
+    let* doc = get_string d in
+    let* site = get_varint d in
+    let* resume = get_string d in
+    Ok (Attach_at { doc; site; resume })
+  | 'e' ->
+    let* doc = get_string d in
+    let* delta = get_string d in
+    Ok (Doc_delta { doc; delta })
+  | 'F' ->
+    let* doc = get_string d in
+    let* frontier = get_string d in
+    Ok (Beacon { doc; frontier })
   | c -> Error (Printf.sprintf "unknown relay message kind %C" c)
 
 let encode m = to_string put m
@@ -121,3 +157,6 @@ let label = function
   | Detach _ -> "detach"
   | Doc_snapshot _ -> "doc_snapshot"
   | Doc_msg _ -> "doc_msg"
+  | Attach_at _ -> "attach_at"
+  | Doc_delta _ -> "doc_delta"
+  | Beacon _ -> "beacon"

@@ -45,7 +45,23 @@ type t =
       (** a [Proto.encode_state] blob for one document *)
   | Doc_msg of { doc : string; origin : int; msg : string }
       (** a [Proto.encode_message] blob routed to [doc]; [origin] is the
-          federation loop guard (hub id of the first relay, 0 = editor) *)
+          federation loop guard (hub id of the first relay, 0 = editor)
+          *)
+  | Attach_at of { doc : string; site : int; resume : string }
+      (** v2 resuming attach: like [Attach] plus the joiner's resume
+          point, a [Proto.encode_frontier] blob holding one beacon (the
+          joiner's own clock and policy version).  The hub answers
+          [Attached] then [Doc_delta] when its log still covers that
+          point, or [Doc_snapshot] when it compacted past it. *)
+  | Doc_delta of { doc : string; delta : string }
+      (** a [Proto.encode_delta] blob: the suffix a resuming joiner
+          lacks, in place of a full [Doc_snapshot] *)
+  | Beacon of { doc : string; frontier : string }
+      (** a [Proto.encode_frontier] blob — stability gossip.  Clients
+          send their own single-entry frontier on the heartbeat cadence;
+          hubs fan the per-doc aggregate to members and report it
+          upstream, which is what lets every replica's stability
+          frontier advance past silent peers and compact its log. *)
 
 val encode : t -> string
 (** The frame payload (unframed; the connection layer frames it). *)

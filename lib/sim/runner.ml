@@ -240,7 +240,23 @@ let run ?trace ?(features = Controller.secure) ?policy ?sink ?metrics
     let c =
       match p.Workload.compact_every with
       | Some every when (s.stats.messages_delivered + 1) mod every = 0 ->
-        Controller.compact c
+        (* a compaction round models the live protocol's cadence: first
+           absorb a stability beacon from every up site (their current
+           clock and policy version — what the wire's Beacon frame
+           carries), then cut at the causally-stable frontier.  Without
+           the beacons, sites that delivered everything but generated
+           nothing recently would pin the frontier at their last edit. *)
+        let c = ref c in
+        Array.iteri
+          (fun peer_site peer ->
+            if peer_site <> dst && not down.(peer_site) then begin
+              let clock, version = Controller.beacon peer in
+              c :=
+                Controller.receive_beacon !c ~peer:(Controller.site peer) ~clock
+                  ~version
+            end)
+          s.controllers;
+        Controller.compact !c
       | _ -> c
     in
     tr "  -> site %d doc=%S version=%d@." dst

@@ -41,6 +41,11 @@ type 'e t = {
   ec : 'e Proto.elt_codec;
   store : Store.t;
   mutable has_snapshot : bool;
+  (* clock of the newest durable snapshot — the durability cut.  Log
+     compaction must never outrun it: crash replay starts from the
+     snapshot and re-drives the WAL through [receive], so any log entry
+     above this clock must still be resendable by the snapshot state. *)
+  mutable checkpoint_clock : Dce_ot.Vclock.t option;
 }
 
 type 'e recovery = {
@@ -73,7 +78,12 @@ let opendir ?config ?(eq = ( = )) ?(trace = Dce_obs.Trace.null) ~codec dir =
   | Error e -> Error e
   | Ok (store, recovered) -> (
     let t =
-      { ec = codec; store; has_snapshot = recovered.Store.snapshot <> None }
+      {
+        ec = codec;
+        store;
+        has_snapshot = recovered.Store.snapshot <> None;
+        checkpoint_clock = None;
+      }
     in
     match recovered.Store.snapshot with
     | None ->
@@ -105,6 +115,7 @@ let opendir ?config ?(eq = ( = )) ?(trace = Dce_obs.Trace.null) ~codec dir =
         Store.close store;
         Error (Printf.sprintf "store %s: %s" dir e)
       | Ok c -> (
+        t.checkpoint_clock <- Some (Controller.clock c);
         let rec replay acc n = function
           | [] -> Ok (acc, n)
           | raw :: rest -> (
@@ -136,8 +147,11 @@ let checkpoint t c =
   match Store.checkpoint t.store (Proto.encode_state t.ec (Controller.dump c)) with
   | Ok () ->
     t.has_snapshot <- true;
+    t.checkpoint_clock <- Some (Controller.clock c);
     Ok ()
   | Error _ as e -> e
+
+let checkpoint_clock t = t.checkpoint_clock
 
 let maybe_checkpoint t c =
   if Store.should_checkpoint t.store then

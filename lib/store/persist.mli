@@ -76,6 +76,14 @@ val maybe_checkpoint : 'e t -> 'e Controller.t -> (bool, string) result
 (** {!checkpoint} iff the log has absorbed [snapshot_every] records
     since the last one; returns whether it did. *)
 
+val checkpoint_clock : 'e t -> Dce_ot.Vclock.t option
+(** The clock of the newest durable snapshot (set by {!checkpoint} and
+    by {!opendir} recovery; [None] on a fresh store) — the durability
+    cut.  Pass it as [Controller.compact ~limit] so log compaction never
+    outruns what a crash replay can rebuild: replay starts from the
+    snapshot, and every entry above this clock must still exist
+    somewhere the WAL's [receive] records can find it. *)
+
 val fingerprint : 'e t -> 'e Controller.t -> string
 (** [Dce_wire.Proto.fingerprint] under this journal's codec. *)
 

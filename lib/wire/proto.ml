@@ -452,7 +452,8 @@ let put_state ec b (s : _ Controller.state) =
   put_list put_admin_request b s.Controller.st_admin_queue;
   let put_bound = put_pair put_varint (put_pair put_vclock put_varint) in
   put_list put_bound b s.Controller.st_peer_integrated;
-  put_list put_bound b s.Controller.st_peer_admin_hint
+  put_list put_bound b s.Controller.st_peer_admin_hint;
+  put_list put_bound b s.Controller.st_peer_beacon
 
 let get_state ec d =
   let* st_site = get_varint d in
@@ -470,6 +471,7 @@ let get_state ec d =
   let get_bound = get_pair get_varint (get_pair get_vclock get_varint) in
   let* st_peer_integrated = get_list get_bound d in
   let* st_peer_admin_hint = get_list get_bound d in
+  let* st_peer_beacon = get_list get_bound d in
   Ok
     {
       Controller.st_site;
@@ -486,6 +488,7 @@ let get_state ec d =
       st_admin_queue;
       st_peer_integrated;
       st_peer_admin_hint;
+      st_peer_beacon;
     }
 
 let encode_state ec s = frame (to_string (put_state ec) s)
@@ -508,12 +511,71 @@ let content_fingerprint ec c =
   put_varint b (Controller.version c);
   Digest.to_hex (Digest.string (Buffer.contents b))
 
+(* ----- stability beacons (frontier gossip) ----- *)
+
+type beacon = { b_site : int; b_clock : Vclock.t; b_version : int }
+
+let put_beacon b (x : beacon) =
+  put_varint b x.b_site;
+  put_vclock b x.b_clock;
+  put_varint b x.b_version
+
+let get_beacon d =
+  let* b_site = get_varint d in
+  let* b_clock = get_vclock d in
+  let* b_version = get_varint d in
+  Ok { b_site; b_clock; b_version }
+
+let encode_frontier f = frame (to_string (put_list put_beacon) f)
+
+let decode_frontier s =
+  let* payload = unframe s in
+  of_string (get_list get_beacon) payload
+
+(* ----- delta catch-up blobs ----- *)
+
+let put_delta ec b (d : _ Controller.delta) =
+  put_vclock b d.Controller.dl_clock;
+  put_varint b d.Controller.dl_version;
+  put_vclock b d.Controller.dl_compacted;
+  put_list put_admin_request b d.Controller.dl_admin;
+  put_list (put_request ec) b d.Controller.dl_coop;
+  put_list (put_request ec) b d.Controller.dl_coop_queue;
+  put_list put_admin_request b d.Controller.dl_admin_queue
+
+let get_delta ec d =
+  let* dl_clock = get_vclock d in
+  let* dl_version = get_varint d in
+  let* dl_compacted = get_vclock d in
+  let* dl_admin = get_list get_admin_request d in
+  let* dl_coop = get_list (get_request ec) d in
+  let* dl_coop_queue = get_list (get_request ec) d in
+  let* dl_admin_queue = get_list get_admin_request d in
+  Ok
+    {
+      Controller.dl_clock;
+      dl_version;
+      dl_compacted;
+      dl_admin;
+      dl_coop;
+      dl_coop_queue;
+      dl_admin_queue;
+    }
+
+let encode_delta ec d = frame (to_string (put_delta ec) d)
+
+let decode_delta ec s =
+  let* payload = unframe s in
+  of_string (get_delta ec) payload
+
 module Char_proto = struct
   let encode_message ?stamp m = encode_message ?stamp char_codec m
   let decode_message = decode_message char_codec
   let decode_message_stamped = decode_message_stamped char_codec
   let encode_state = encode_state char_codec
   let decode_state = decode_state char_codec
+  let encode_delta = encode_delta char_codec
+  let decode_delta = decode_delta char_codec
 
   let save path c =
     let oc = open_out_bin path in

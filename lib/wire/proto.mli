@@ -95,6 +95,31 @@ val content_fingerprint : 'e elt_codec -> 'e Controller.t -> string
     of the same session held by {e different} sites (e.g. two federated
     relays) compare equal exactly when they have converged. *)
 
+(** {2 Stability beacons}
+
+    One site's advertisement of what it has integrated
+    ({!Controller.beacon}); a {e frontier} is a batch of them — what a
+    hub knows about its whole membership.  Encoded framed so they travel
+    as opaque payloads inside relay envelopes. *)
+
+type beacon = { b_site : int; b_clock : Vclock.t; b_version : int }
+
+val put_beacon : Codec.encoder -> beacon -> unit
+val get_beacon : Codec.decoder -> beacon Codec.result
+val encode_frontier : beacon list -> string
+val decode_frontier : string -> beacon list Codec.result
+
+(** {2 Delta catch-up blobs}
+
+    {!Controller.delta_since} results on the wire: the log suffix and
+    policy delta a resuming joiner lacks, instead of a full-state
+    snapshot. *)
+
+val put_delta : 'e elt_codec -> Codec.encoder -> 'e Controller.delta -> unit
+val get_delta : 'e elt_codec -> Codec.decoder -> 'e Controller.delta Codec.result
+val encode_delta : 'e elt_codec -> 'e Controller.delta -> string
+val decode_delta : 'e elt_codec -> string -> 'e Controller.delta Codec.result
+
 (** Character documents, the common instantiation. *)
 module Char_proto : sig
   val encode_message : ?stamp:stamp -> char Controller.message -> string
@@ -104,6 +129,8 @@ module Char_proto : sig
     string -> (stamp option * char Controller.message) Codec.result
   val encode_state : char Controller.state -> string
   val decode_state : string -> char Controller.state Codec.result
+  val encode_delta : char Controller.delta -> string
+  val decode_delta : string -> char Controller.delta Codec.result
 
   val save : string -> char Controller.t -> unit
   (** Write a controller snapshot to a file. *)

@@ -79,6 +79,26 @@ let explore_tests =
         | Explore.Exhausted, _ -> ()
         | Explore.Found v, _ -> Alcotest.failf "violation: %s" v.Explore.detail
         | Explore.Capped, _ -> Alcotest.fail "capped");
+    Alcotest.test_case "compaction interleaved with delivery exhausts green" `Quick
+      (fun () ->
+        (* beacon + compact woven after every action: the explorer
+           interleaves window GC with every delivery order, and the
+           compaction-tolerant oracles must stay green at each frontier *)
+        let s =
+          Scenario.make ~features:secure ~stability:1 ~sites:2 ~coop:2 ~admin_ops:1 ()
+        in
+        let outcome, stats = run s in
+        (match outcome with
+         | Explore.Exhausted -> ()
+         | Explore.Found v -> Alcotest.failf "violation: %s" v.Explore.detail
+         | Explore.Capped -> Alcotest.fail "capped");
+        Alcotest.(check bool) "checked frontiers" true (stats.Explore.frontiers > 100);
+        Alcotest.(check bool) "sleep sets still prune" true
+          (stats.Explore.sleep_skips > 0);
+        (* the same scripts replay deterministically with beacons drained
+           like any other message *)
+        let r = Explore.replay s [ Explore.Act 0; Explore.Act 1; Explore.Act 1 ] in
+        Alcotest.(check (option string)) "drained run green" None r.Explore.violation);
     Alcotest.test_case "state cap yields Capped, not a wrong verdict" `Quick (fun () ->
         let s = Scenario.make ~features:secure ~sites:3 ~coop:2 ~admin_ops:1 () in
         match run ~max_states:50 s with

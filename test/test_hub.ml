@@ -124,10 +124,15 @@ let mk_controller ~site text =
     (Tdoc.of_string text)
 
 let mk_hub ?metrics ?(docs = [ "main" ]) ?(hub_id = 0) ?upstream ?(auto_create = false)
-    () =
-  Hub.create
-    ~config:{ Hub.default_config with Hub.hub_id; auto_create }
-    ?metrics ?upstream ~codec:Proto.char_codec
+    ?beacon_ms ?compact_ms () =
+  let config = { Hub.default_config with Hub.hub_id; auto_create } in
+  let config =
+    match beacon_ms with None -> config | Some b -> { config with Hub.beacon_ms = b }
+  in
+  let config =
+    match compact_ms with None -> config | Some c -> { config with Hub.compact_ms = c }
+  in
+  Hub.create ~config ?metrics ?upstream ~codec:Proto.char_codec
     ~factory:(fun _doc -> Ok (mk_controller ~site:(relay_site + hub_id) "abc", None))
     ~docs ~port:0 ()
 
@@ -171,11 +176,42 @@ let on_event ep = function
       List.iter
         (fun m' -> Netd.Client.send ep.client (Proto.Char_proto.encode_message m'))
         emitted)
+  | Netd.Client.Beacon blob -> (
+    (* absorb the hub's aggregate gossip like a real editor would *)
+    match Proto.decode_frontier blob with
+    | Error e -> Alcotest.failf "site %d: bad frontier: %s" ep.site e
+    | Ok entries -> (
+      match ep.ctrl with
+      | None -> ()
+      | Some c ->
+        ep.ctrl <-
+          Some
+            (List.fold_left
+               (fun c (b : Proto.beacon) ->
+                 Controller.receive_beacon c ~peer:b.Proto.b_site
+                   ~clock:b.Proto.b_clock ~version:b.Proto.b_version)
+               c entries)))
+  | Netd.Client.Delta blob -> (
+    match Proto.Char_proto.decode_delta blob with
+    | Error e -> Alcotest.failf "site %d: bad delta: %s" ep.site e
+    | Ok d -> (
+      match ep.ctrl with
+      | None -> Alcotest.failf "site %d: delta before any local state" ep.site
+      | Some mine -> (
+        match Controller.apply_delta mine d with
+        | Error e -> Alcotest.failf "site %d: delta rejected: %s" ep.site e
+        | Ok (mine, out) ->
+          ep.snapshots <- ep.snapshots + 1;
+          ep.ctrl <- Some mine;
+          List.iter
+            (fun m ->
+              Netd.Client.send ep.client (Proto.Char_proto.encode_message m))
+            out)))
   | Netd.Client.Connected | Netd.Client.Disconnected _ | Netd.Client.Reconnecting _ ->
     ()
   | Netd.Client.Gave_up reason -> Alcotest.failf "site %d gave up: %s" ep.site reason
 
-let mk_endpoint ?doc ~port ~site () =
+let mk_endpoint ?doc ?heartbeat_ms ?resume ~port ~site () =
   let config =
     {
       Netd.Client.default_config with
@@ -184,14 +220,29 @@ let mk_endpoint ?doc ~port ~site () =
       max_attempts = Some 100;
     }
   in
-  {
-    client =
-      Netd.Client.create ~config ~seed:site ?doc ~host:"127.0.0.1" ~port ~site ();
-    site;
-    ctrl = None;
-    snapshots = 0;
-    got_msgs = 0;
-  }
+  let config =
+    match heartbeat_ms with
+    | None -> config
+    | Some h -> { config with Netd.Client.heartbeat_ms = h }
+  in
+  let ep =
+    {
+      client =
+        Netd.Client.create ~config ~seed:site ?doc ?resume ~host:"127.0.0.1" ~port
+          ~site ();
+      site;
+      ctrl = None;
+      snapshots = 0;
+      got_msgs = 0;
+    }
+  in
+  (* stamp traces — and, on v2, the periodic stability beacon — from the
+     live controller once one exists *)
+  Netd.Client.set_stamp ep.client (fun () ->
+      match ep.ctrl with
+      | Some c -> (Controller.clock c, Controller.version c)
+      | None -> (Dce_ot.Vclock.empty, 0));
+  ep
 
 let ep_step ep = List.iter (on_event ep) (Netd.Client.step ~timeout_ms:0 ep.client)
 
@@ -530,6 +581,97 @@ let federation_test () =
      with Not_found -> 0);
   List.iter (fun ep -> Netd.Client.close ep.client) eps
 
+(* ----- delta catch-up: resume inside the hosted window ----- *)
+
+let delta_resume_test () =
+  let metrics = Obs.Metrics.create () in
+  let hub = mk_hub ~metrics () in
+  Fun.protect ~finally:(fun () -> Hub.shutdown hub) @@ fun () ->
+  let port = Hub.port hub in
+  let ep0 = mk_endpoint ~doc:"main" ~port ~site:0 () in
+  let ep1 = mk_endpoint ~doc:"main" ~port ~site:1 () in
+  let eps = [ ep0; ep1 ] in
+  require "both joined"
+    (pump_until [ hub ] eps (fun () -> List.for_all (fun e -> e.ctrl <> None) eps));
+  edit ep0 0 'x';
+  edit ep1 3 'y';
+  require "both converged"
+    (pump_until [ hub ] eps (fun () ->
+         doc_of ep0 = doc_of ep1 && List.for_all settled eps));
+  (* ep1 goes away holding its state — a laptop lid closing *)
+  let parked = Option.get ep1.ctrl in
+  Netd.Client.close ep1.client;
+  (* the session moves on without it *)
+  edit ep0 0 'z';
+  require "the survivor settles alone"
+    (pump_until [ hub ] [ ep0 ] (fun () -> settled ep0));
+  (* resume presenting the parked clock: the hub has never compacted,
+     so the state transfer must be the missed suffix, not a snapshot *)
+  let resume () = Some (Controller.clock parked, Controller.version parked) in
+  let ep1b = mk_endpoint ~doc:"main" ~resume ~port ~site:1 () in
+  ep1b.ctrl <- Some parked;
+  let eps = [ ep0; ep1b ] in
+  require "resumed client catches up via the delta"
+    (pump_until [ hub ] eps (fun () ->
+         doc_of ep1b = doc_of ep0 && List.for_all settled eps));
+  Alcotest.(check int) "the hub answered with a delta" 1
+    (try List.assoc "hub.deltas" (Obs.Metrics.counters metrics) with Not_found -> 0);
+  Alcotest.(check string) "hub copy agrees" (doc_of ep0) (hub_doc hub);
+  List.iter (fun ep -> Netd.Client.close ep.client) eps
+
+(* ----- delta catch-up: resume behind the compaction cut ----- *)
+
+let snapshot_fallback_test () =
+  let metrics = Obs.Metrics.create () in
+  (* aggressive stability cadence so the hub compacts within the test *)
+  let hub = mk_hub ~metrics ~beacon_ms:5 ~compact_ms:5 () in
+  Fun.protect ~finally:(fun () -> Hub.shutdown hub) @@ fun () ->
+  let port = Hub.port hub in
+  (* every policy user participates and beacons fast, so the hub's
+     stable frontier can cover the whole group's edits *)
+  let ep0 = mk_endpoint ~doc:"main" ~heartbeat_ms:5 ~port ~site:0 () in
+  let ep1 = mk_endpoint ~doc:"main" ~heartbeat_ms:5 ~port ~site:1 () in
+  let ep2 = mk_endpoint ~doc:"main" ~heartbeat_ms:5 ~port ~site:2 () in
+  let eps = [ ep0; ep1; ep2 ] in
+  require "all joined"
+    (pump_until [ hub ] eps (fun () -> List.for_all (fun e -> e.ctrl <> None) eps));
+  edit ep1 0 'a';
+  require "first edit converges"
+    (pump_until [ hub ] eps (fun () ->
+         List.for_all (fun e -> doc_of e = "aabc") eps && List.for_all settled eps));
+  (* the resurrection point: ep1's state before the next round of edits *)
+  let stale = Option.get ep1.ctrl in
+  edit ep0 0 'b';
+  edit ep2 0 'c';
+  (* keep everyone — ep1 included — live and beaconing until the hub's
+     compaction cut moves past the stale clock *)
+  let cut_past_stale () =
+    not
+      (Dce_ot.Vclock.leq
+         (Controller.compacted_upto (Hub.controller hub))
+         (Controller.clock stale))
+    && Dce_ot.Vclock.leq (Controller.clock stale)
+         (Controller.compacted_upto (Hub.controller hub))
+  in
+  require "hub compacts past the stale clock" (pump_until [ hub ] eps cut_past_stale);
+  let converged = doc_of ep0 in
+  Netd.Client.close ep1.client;
+  (* resurrect site 1 from the stale state: the hosted log no longer
+     covers its clock, so the hub must fall back to a full snapshot *)
+  let resume () = Some (Controller.clock stale, Controller.version stale) in
+  let ep1b = mk_endpoint ~doc:"main" ~heartbeat_ms:5 ~resume ~port ~site:1 () in
+  ep1b.ctrl <- Some stale;
+  let eps = [ ep0; ep1b; ep2 ] in
+  require "stale resume falls back to a snapshot and converges"
+    (pump_until [ hub ] eps (fun () ->
+         doc_of ep1b = converged && doc_of ep0 = converged
+         && List.for_all settled eps));
+  Alcotest.(check int) "no delta was served" 0
+    (try List.assoc "hub.deltas" (Obs.Metrics.counters metrics) with Not_found -> 0);
+  Alcotest.(check int) "the resurrected site resynced from one snapshot" 1
+    ep1b.snapshots;
+  List.iter (fun ep -> Netd.Client.close ep.client) eps
+
 let () =
   Alcotest.run "dce_hub"
     [
@@ -551,5 +693,13 @@ let () =
           Alcotest.test_case
             "home + leaf converge; late joiner snapshots from the leaf" `Quick
             federation_test;
+        ] );
+      ( "stability",
+        [
+          Alcotest.test_case "resume inside the window is served a delta" `Quick
+            delta_resume_test;
+          Alcotest.test_case
+            "resume behind the compaction cut falls back to a snapshot" `Quick
+            snapshot_fallback_test;
         ] );
     ]

@@ -435,6 +435,107 @@ let controller_properties =
             (c, true) choices
         in
         ok);
+    qtest "compaction at arbitrary points is invisible to a never-compacted twin"
+      ~count:120
+      QCheck2.Gen.(list_size (int_range 8 60) (int_range 0 100_000))
+      (fun l -> Printf.sprintf "%d choices" (List.length l))
+      (fun choices ->
+        (* Two fleets run the SAME session in lockstep — same generations,
+           same delivery schedule.  The [twin] fleet additionally absorbs
+           beacons and compacts its window at points chosen by the random
+           stream; [plain] never compacts.  Compaction is pure garbage
+           collection, so at quiescence every twin must be
+           content-fingerprint-identical to its plain double — and, with
+           every peer's beacon in hand, must compact its window to zero. *)
+        let nsites = 3 in
+        let policy =
+          Policy.make ~users:[ 0; 1; 2 ]
+            [ Auth.grant [ Subject.Any ] [ Docobj.Whole ] Right.all ]
+        in
+        let mk site =
+          Controller.create ~eq:Char.equal ~site ~admin:0 ~policy (Tdoc.of_string "seed")
+        in
+        let plain = Array.init nsites mk in
+        let twin = Array.init nsites mk in
+        (* pending.(dst): messages awaiting delivery at dst, oldest first *)
+        let pending = Array.make nsites [] in
+        let enqueue src msgs =
+          List.iter
+            (fun m ->
+              for dst = 0 to nsites - 1 do
+                if dst <> src then pending.(dst) <- pending.(dst) @ [ m ]
+              done)
+            msgs
+        in
+        let deliver dst =
+          match pending.(dst) with
+          | [] -> ()
+          | m :: rest ->
+            pending.(dst) <- rest;
+            let p, out = Controller.receive plain.(dst) m in
+            let t, _ = Controller.receive twin.(dst) m in
+            plain.(dst) <- p;
+            twin.(dst) <- t;
+            enqueue dst out
+        in
+        let generate site k =
+          let d = Controller.document plain.(site) in
+          let pos = k mod (Tdoc.visible_length d + 1) in
+          let op = Tdoc.ins_visible d pos (Char.chr (Char.code 'a' + (k mod 26))) in
+          match Controller.generate plain.(site) op with
+          | p, Controller.Accepted m ->
+            (* the twin holds the same state, so the same op is accepted
+               there and produces the same request *)
+            let t, _ = Controller.generate twin.(site) op in
+            plain.(site) <- p;
+            twin.(site) <- t;
+            enqueue site [ m ]
+          | _, Controller.Denied _ -> ()
+        in
+        let beacon_and_compact site =
+          for peer = 0 to nsites - 1 do
+            if peer <> site then begin
+              let clock, version = Controller.beacon twin.(peer) in
+              twin.(site) <-
+                Controller.receive_beacon twin.(site)
+                  ~peer:(Controller.site twin.(peer))
+                  ~clock ~version
+            end
+          done;
+          twin.(site) <- Controller.compact twin.(site)
+        in
+        List.iter
+          (fun k ->
+            let site = k mod nsites in
+            match (k / nsites) mod 3 with
+            | 0 -> generate site (k / 9)
+            | 1 -> deliver site
+            | _ -> beacon_and_compact site)
+          choices;
+        (* drain to quiescence: everyone delivers everything *)
+        let rec drain () =
+          if Array.exists (fun q -> q <> []) pending then begin
+            for dst = 0 to nsites - 1 do
+              deliver dst
+            done;
+            drain ()
+          end
+        in
+        drain ();
+        (* a final full beacon exchange lets every twin compact to zero *)
+        for site = 0 to nsites - 1 do
+          beacon_and_compact site
+        done;
+        let fp c = Dce_wire.Proto.content_fingerprint Dce_wire.Proto.char_codec c in
+        Array.for_all Fun.id
+          (Array.init nsites (fun i ->
+               String.equal (fp plain.(i)) (fp twin.(i))
+               && Tdoc.equal_model Char.equal
+                    (Controller.document plain.(i))
+                    (Controller.document twin.(i))
+               && Vclock.equal (Controller.clock plain.(i)) (Controller.clock twin.(i))
+               && Controller.version plain.(i) = Controller.version twin.(i)
+               && Controller.window_len twin.(i) = 0)));
   ]
 
 (* ----- exhaustive small-scope transformation properties -----

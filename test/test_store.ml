@@ -590,6 +590,109 @@ let recovery_tests =
              Alcotest.failf "recovered session diverged:@.%a@.%a" Convergence.pp report
                Convergence.pp_diff all;
            Persist.close !j));
+    Alcotest.test_case
+      "donor compacted past a resurrected joiner: full-snapshot fallback converges"
+      `Quick
+      (in_dir (fun dir ->
+           let module Vclock = Dce_ot.Vclock in
+           (* Site 2 checkpoints early, then keeps editing without its
+              journal seeing any of it (a crash that loses the WAL tail).
+              The survivors exchange stability beacons and compact past
+              that stale cut; the resurrected site must then be served by
+              the degraded catch-up path — adopt the donor's snapshot,
+              re-feed its own unacked work — and still converge. *)
+           let j = ref (fst (ok_exn "open" (open_journal dir))) in
+           let c0 = ref (mk_ctrl ~site:0 "base") in
+           let c1 = ref (mk_ctrl ~site:1 "base") in
+           let c2 = ref (mk_ctrl ~site:2 "base") in
+           let all = [ (0, c0); (1, c1); (2, c2) ] in
+           let rec bcast ~from msgs =
+             List.iter
+               (fun m ->
+                 List.iter
+                   (fun (i, c) ->
+                     if i <> from then begin
+                       let c', out = Controller.receive !c m in
+                       c := c';
+                       bcast ~from:i out
+                     end)
+                   all)
+               msgs
+           in
+           let edit i ch =
+             let c = List.assoc i all in
+             let c', m = gen_accept !c (Tdoc.ins_visible (Controller.document !c) 0 ch) in
+             c := c';
+             bcast ~from:i [ m ]
+           in
+           (* the durable cut: site 2 has seen nothing yet *)
+           ok_exn "early checkpoint" (Persist.checkpoint !j !c2);
+           edit 2 'x';
+           edit 0 'y';
+           edit 1 'z';
+           edit 2 'w';
+           (* survivors absorb everyone's beacons (site 2 was still up
+              when it last beaconed) and compact: the session is
+              quiescent, so the frontier reaches the full clock *)
+           List.iter
+             (fun (i, c) ->
+               List.iter
+                 (fun (p, pc) ->
+                   if p <> i then
+                     let clock, version = Controller.beacon !pc in
+                     c := Controller.receive_beacon !c ~peer:p ~clock ~version)
+                 all;
+               c := Controller.compact !c)
+             all;
+           Alcotest.(check int) "donor window emptied" 0 (Controller.window_len !c0);
+           (* kill -9 site 2; resurrect it from the stale journal *)
+           Persist.close !j;
+           let j2, r = ok_exn "reopen" (open_journal dir) in
+           j := j2;
+           let victim =
+             match r.Persist.controller with
+             | Some c -> c
+             | None -> Alcotest.fail "no controller recovered"
+           in
+           Alcotest.(check string) "resurrected state predates everything" "base"
+             (Tdoc.visible_string (Controller.document victim));
+           Alcotest.(check bool) "donor really compacted past the joiner" false
+             (Vclock.leq (Controller.compacted_upto !c0) (Controller.clock victim));
+           (* catch up from the compacted donor: the suffix it would need
+              is gone, so the fallback adopts the donor's full state *)
+           let caught, out = Controller.catch_up victim !c0 in
+           c2 := caught;
+           ok_exn "post-fallback checkpoint" (Persist.checkpoint !j caught);
+           bcast ~from:2 out;
+           let final = [ !c0; !c1; !c2 ] in
+           let report = Convergence.check final in
+           if not (Convergence.ok report) then
+             Alcotest.failf "fallback diverged:@.%a@.%a" Convergence.pp report
+               Convergence.pp_diff final;
+           Alcotest.(check string) "document adopted"
+             (Tdoc.visible_string (Controller.document !c0))
+             (Tdoc.visible_string (Controller.document !c2));
+           Persist.close !j));
+    Alcotest.test_case "checkpoint_clock tracks the durable cut" `Quick
+      (in_dir (fun dir ->
+           let j, r = ok_exn "open" (open_journal dir) in
+           Alcotest.(check bool) "fresh store has no durable cut" true
+             (r.Persist.controller = None && Persist.checkpoint_clock j = None);
+           let c = mk_ctrl ~site:2 "ab" in
+           ok_exn "checkpoint" (Persist.checkpoint j c);
+           Alcotest.(check bool) "cut is the snapshot clock" true
+             (Persist.checkpoint_clock j = Some (Controller.clock c));
+           let c', _ = gen_accept c (Tdoc.ins_visible (Controller.document c) 0 'k') in
+           ok_exn "checkpoint 2" (Persist.checkpoint j c');
+           Alcotest.(check bool) "cut advances with the snapshot" true
+             (Persist.checkpoint_clock j = Some (Controller.clock c'));
+           Persist.close j;
+           (* reopen: the cut is the recovered snapshot's clock, before
+              WAL replay *)
+           let j, _ = ok_exn "reopen" (open_journal dir) in
+           Alcotest.(check bool) "cut survives reopen" true
+             (Persist.checkpoint_clock j = Some (Controller.clock c'));
+           Persist.close j));
     Alcotest.test_case "rejoin loses the unsent edit; the journal does not" `Quick
       (in_dir (fun dir ->
            let j, _ = ok_exn "open" (open_journal dir) in
