@@ -30,10 +30,16 @@
      - after catch-up and the flush, the convergence oracles hold
        across every site including the relay ([Dce_sim.Convergence]).
 
-   The fsync policy rotates across restarts (always / interval:8 /
-   never) and the snapshot cadence is kept short so every run crosses
-   several store generations.  Exit status 0 iff every cycle passes;
-   on failure the data directories are kept and named for post-mortem. *)
+   The fsync policy rotates per node AND per cycle (always / interval:8
+   / never — so a single cycle runs all three side by side) and the
+   snapshot cadence is kept short so every run crosses several store
+   generations.  With --chaos, every fan-out enqueue runs through a
+   seeded [Dce_netd.Faults] plan: duplicated deliveries exercise the
+   receiver dedup, and drop/delay/swap decisions hold deliveries back
+   until the end of the cycle (reordering, never losing — the paper
+   assumes reliable broadcast).  Exit status 0 iff every cycle passes;
+   on failure the data directories are kept and named for post-mortem,
+   and the next green run on the same machine prunes them. *)
 
 open Dce_core
 module Tdoc = Dce_ot.Tdoc
@@ -43,6 +49,7 @@ module Wal = Dce_store.Wal
 module Proto = Dce_wire.Proto
 module Rng = Dce_sim.Rng
 module Convergence = Dce_sim.Convergence
+module Faults = Dce_netd.Faults
 
 exception Torture_failure of string
 
@@ -85,9 +92,12 @@ type node = {
   mailbox : char Controller.message Queue.t;
       (** undelivered fan-out; keeps filling while the node is down, as
           the relay's per-connection send queue would *)
+  delayed : char Controller.message Queue.t;
+      (** chaos-held deliveries: released into the mailbox at the end of
+          the cycle, so faults reorder but never lose (§3.3) *)
 }
 
-type session = { clients : node array; relay : node }
+type session = { clients : node array; relay : node; faults : Faults.t option }
 
 (* Same passive-member site id dced uses. *)
 let relay_site = 1_000_000
@@ -96,15 +106,18 @@ let all_nodes sess = Array.to_list sess.clients @ [ sess.relay ]
 
 let fsync_policies = [| Wal.Always; Wal.Interval 8; Wal.Never |]
 
-let config_for cycle =
+(* Rotate per node AND per cycle: within any one cycle the session mixes
+   all three durability policies, and each node cycles through them
+   across its own restarts. *)
+let config_for ~cycle ~id =
   {
-    Store.fsync = fsync_policies.(cycle mod Array.length fsync_policies);
+    Store.fsync = fsync_policies.((cycle + id) mod Array.length fsync_policies);
     snapshot_every = 16;
     keep_generations = 2;
   }
 
-let open_journal ~cycle dir =
-  Persist.opendir ~config:(config_for cycle) ~eq:Char.equal
+let open_journal ~cycle ~id dir =
+  Persist.opendir ~config:(config_for ~cycle ~id) ~eq:Char.equal
     ~codec:Proto.char_codec dir
 
 let checkpoint_maybe n =
@@ -126,7 +139,20 @@ let rec broadcast sess ~from msgs =
          if emitted <> [] then broadcast sess ~from:relay_site emitted
        end;
        Array.iter
-         (fun c -> if c.id <> from then Queue.add m c.mailbox)
+         (fun c ->
+            if c.id <> from then
+              match sess.faults with
+              | None -> Queue.add m c.mailbox
+              | Some f -> (
+                match Faults.decide f with
+                | Faults.Pass -> Queue.add m c.mailbox
+                | Faults.Dup ->
+                  (* receivers deduplicate; the journal replays the dup too *)
+                  Queue.add m c.mailbox;
+                  Queue.add m c.mailbox
+                | Faults.Drop | Faults.Delay _ | Faults.Swap ->
+                  (* held back, not lost: released at the end of the cycle *)
+                  Queue.add m c.delayed))
          sess.clients)
     msgs
 
@@ -156,7 +182,21 @@ let pump_some sess ~down rng budget =
    with Exit -> ());
   !delivered
 
-let flush sess rng = ignore (pump_some sess ~down:(-1) rng max_int)
+let release_delayed sess =
+  Array.iter
+    (fun c -> Queue.transfer c.delayed c.mailbox)
+    sess.clients
+
+(* Full quiescence: pumping can emit fresh broadcasts (the admin's
+   validations) which chaos may hold back again, so release and pump
+   until both queues are empty everywhere. *)
+let flush sess rng =
+  let rec go () =
+    release_delayed sess;
+    ignore (pump_some sess ~down:(-1) rng max_int);
+    if Array.exists (fun c -> not (Queue.is_empty c.delayed)) sess.clients then go ()
+  in
+  go ()
 
 (* {2 Workload} *)
 
@@ -254,7 +294,7 @@ let kill n =
   (gen, pre_fp)
 
 let restart ~cycle ~mangled ~pre_fp n =
-  match open_journal ~cycle n.dir with
+  match open_journal ~cycle ~id:n.id n.dir with
   | Error e -> failf "cycle %d: recovery of %s failed: %s" cycle n.name e
   | Ok (j, r) ->
     let ctrl =
@@ -291,7 +331,7 @@ let reconnect sess c =
 
 let make_node ~root ~policy ~text ~name id =
   let dir = Filename.concat root name in
-  match open_journal ~cycle:0 dir with
+  match open_journal ~cycle:0 ~id dir with
   | Error e -> failf "%s: cannot open store: %s" name e
   | Ok (j, r) ->
     (match r.Persist.controller with
@@ -304,7 +344,8 @@ let make_node ~root ~policy ~text ~name id =
     (match Persist.checkpoint j ctrl with
      | Ok () -> ()
      | Error e -> failf "%s: bootstrap checkpoint failed: %s" name e);
-    { id; name; dir; ctrl; journal = j; mailbox = Queue.create () }
+    { id; name; dir; ctrl; journal = j; mailbox = Queue.create ();
+      delayed = Queue.create () }
 
 let rec rm_rf path =
   match Unix.lstat path with
@@ -353,7 +394,7 @@ let check_convergence ~cycle sess =
     List.iter dump_node (all_nodes sess);
     failf "cycle %d: divergence after recovery: %s" cycle why
 
-let torture ~cycles ~nsites ~events ~corrupt_prob ~seed ~quiet root =
+let torture ~cycles ~nsites ~events ~corrupt_prob ~seed ~chaos ~quiet root =
   let rng = ref (Rng.of_int seed) in
   let users = List.init nsites Fun.id in
   let policy =
@@ -366,6 +407,8 @@ let torture ~cycles ~nsites ~events ~corrupt_prob ~seed ~quiet root =
             make_node ~root ~policy ~text:"secure document"
               ~name:(Printf.sprintf "site-%d" i) i);
       relay = make_node ~root ~policy ~text:"secure document" ~name:"relay" relay_site;
+      faults =
+        Option.map (fun cfg -> Faults.create ~config:cfg ~seed ~label:"crashtest" ()) chaos;
     }
   in
   let say fmt =
@@ -407,7 +450,7 @@ let torture ~cycles ~nsites ~events ~corrupt_prob ~seed ~quiet root =
     end;
     say "cycle %3d/%d: killed %s (fsync %s), %a -> gen %d, %d replayed%s@."
       cycle cycles victim.name
-      (Store.fsync_policy_to_string (config_for cycle).Store.fsync)
+      (Store.fsync_policy_to_string (config_for ~cycle ~id:victim.id).Store.fsync)
       pp_mangle mangled (Persist.generation victim.journal) r.Persist.replayed
       (if r.Persist.truncated_bytes > 0 then
          Printf.sprintf " (%d torn byte(s) dropped)" r.Persist.truncated_bytes
@@ -421,7 +464,7 @@ let torture ~cycles ~nsites ~events ~corrupt_prob ~seed ~quiet root =
     (fun n ->
        let pre = Persist.fingerprint n.journal n.ctrl in
        Persist.close n.journal;
-       match open_journal ~cycle:0 n.dir with
+       match open_journal ~cycle:0 ~id:n.id n.dir with
        | Error e -> failf "final reopen of %s failed: %s" n.name e
        | Ok (j, r) -> (
          match r.Persist.controller with
@@ -437,11 +480,35 @@ let torture ~cycles ~nsites ~events ~corrupt_prob ~seed ~quiet root =
     (Tdoc.visible_string (Controller.document sess.relay.ctrl))
     (Controller.version sess.relay.ctrl)
 
-let run cycles nsites events corrupt_prob seed dir keep quiet =
+(* A failing run keeps its directories for post-mortem; the next green
+   run on the same machine reclaims every one of them (anything under
+   the temp dir matching our own naming scheme). *)
+let prune_stale_runs () =
+  let tmp = Filename.get_temp_dir_name () in
+  match Sys.readdir tmp with
+  | names ->
+    Array.iter
+      (fun n ->
+         if String.length n > 10 && String.sub n 0 10 = "crashtest-" then
+           try rm_rf (Filename.concat tmp n) with Unix.Unix_error _ | Sys_error _ -> ())
+      names
+  | exception Sys_error _ -> ()
+
+let run cycles nsites events corrupt_prob seed chaos_arg dir keep quiet =
   if nsites < 2 then begin
     prerr_endline "crashtest: need at least 2 sites";
     exit 2
   end;
+  let chaos =
+    match chaos_arg with
+    | None -> None
+    | Some spec -> (
+      match Faults.of_string spec with
+      | Ok cfg -> Some cfg
+      | Error e ->
+        prerr_endline ("crashtest: --chaos: " ^ e);
+        exit 2)
+  in
   let root =
     match dir with
     | Some d -> d
@@ -449,8 +516,12 @@ let run cycles nsites events corrupt_prob seed dir keep quiet =
       Filename.concat (Filename.get_temp_dir_name ())
         (Printf.sprintf "crashtest-%d" (Unix.getpid ()))
   in
-  match torture ~cycles ~nsites ~events ~corrupt_prob ~seed ~quiet root with
-  | () -> if not keep then rm_rf root
+  match torture ~cycles ~nsites ~events ~corrupt_prob ~seed ~chaos ~quiet root with
+  | () ->
+    if not keep then begin
+      rm_rf root;
+      if dir = None then prune_stale_runs ()
+    end
   | exception Torture_failure msg ->
     Printf.eprintf "crashtest: FAILED: %s\n" msg;
     Printf.eprintf "crashtest: data directories kept in %s\n" root;
@@ -480,6 +551,15 @@ let corrupt_prob =
 let seed =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic seed.")
 
+let chaos_arg =
+  Arg.(value & opt (some string) None
+       & info [ "chaos" ] ~docv:"SPEC"
+           ~doc:"Run every fan-out enqueue through a seeded fault plan, e.g. \
+                 $(b,dup=0.1,delay=0.2,reorder=0.1): duplicated deliveries \
+                 exercise receiver dedup, drop/delay/swap decisions hold the \
+                 delivery back until the end of the cycle (reordered, never \
+                 lost).")
+
 let dir =
   Arg.(value & opt (some string) None
        & info [ "dir" ] ~docv:"DIR"
@@ -498,7 +578,7 @@ let cmd =
     (Cmd.info "crashtest"
        ~doc:"Torture the WAL + snapshot recovery path with kill-9/restart \
              cycles and torn log tails")
-    Term.(const run $ cycles $ nsites $ events $ corrupt_prob $ seed $ dir
-          $ keep $ quiet)
+    Term.(const run $ cycles $ nsites $ events $ corrupt_prob $ seed $ chaos_arg
+          $ dir $ keep $ quiet)
 
 let () = exit (Cmd.eval cmd)

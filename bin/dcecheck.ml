@@ -11,6 +11,18 @@
      dune exec bin/dcecheck.exe -- --schedule 'g1 d0:c1.0 ...'
      dune exec bin/dcecheck.exe -- --enum              # exhaustive TP1/TP2/inversion
      dune exec bin/dcecheck.exe -- --smoke             # CI suite
+     dune exec bin/dcecheck.exe -- --crash --stability 1 --sites 2
+                                                       # kill -9 + recovery at every point
+     dune exec bin/dcecheck.exe -- --crash --stability 1 --sites 2 --mutant no-clamp
+                                                       # seeded bug: must exit 1
+
+   With --crash K every non-admin site is killed (kill -9 over its
+   journal, run through the real store stack in memory) after its K-th
+   action and rebuilt through the production replay path, exhaustively
+   interleaved with deliveries, beacons and compaction; recovery
+   exactness, fallback-generation recovery, and the durability clamp
+   are checked as additional oracles.  --mutant no-clamp deliberately
+   skips the clamp, as a sanity check that the checker catches it.
 
    Exit status: 0 all green, 1 a violation was found, 2 state cap hit. *)
 
@@ -32,21 +44,21 @@ let print_replay (r : Explore.replay) =
   Format.printf "  %d message(s), %d event(s)@." r.Explore.messages
     (List.length r.Explore.executed)
 
-let report_violation scenario (v : Explore.violation) =
+let report_violation ?mutant scenario (v : Explore.violation) =
   Format.printf "VIOLATION: %s@." v.Explore.detail;
   Format.printf "  oracle report: %a@." Dce_sim.Convergence.pp v.Explore.report;
   Format.printf "shrinking schedule (%d events)...@." (List.length v.Explore.schedule);
-  let minimal = Shrink.minimize scenario v.Explore.schedule in
-  let r = Explore.replay scenario minimal in
+  let minimal = Shrink.minimize ?mutant scenario v.Explore.schedule in
+  let r = Explore.replay ?mutant scenario minimal in
   Format.printf "minimal replayable schedule (%d events, %d messages):@.  --schedule '%s'@."
     (List.length r.Explore.executed)
     r.Explore.messages
     (Explore.schedule_to_string r.Explore.executed);
   print_replay r
 
-let check_scenario ~stats ~metrics ~max_states scenario =
+let check_scenario ~stats ~metrics ~max_states ?mutant scenario =
   Format.printf "scenario: %a@." Scenario.pp scenario;
-  let outcome, s = Explore.run ?metrics ~max_states scenario in
+  let outcome, s = Explore.run ?metrics ~max_states ?mutant scenario in
   Format.printf "explored: %a@." pp_stats s;
   (match (metrics, stats) with
    | Some m, true -> Format.printf "%a@." Dce_obs.Metrics.pp m
@@ -59,7 +71,7 @@ let check_scenario ~stats ~metrics ~max_states scenario =
     Format.printf "CAPPED: state budget exceeded (%d); raise --max-states@." max_states;
     2
   | Explore.Found v ->
-    report_violation scenario v;
+    report_violation ?mutant scenario v;
     1
 
 let run_enum len =
@@ -90,15 +102,15 @@ let features ~no_retro ~no_interval ~no_validation =
    crippled one must surface its hole and shrink it to a short trace. *)
 let run_smoke max_states =
   let secure = Dce_core.Controller.secure in
-  let expect name want scenario =
-    let outcome, s = Explore.run ~max_states scenario in
+  let expect ?mutant name want scenario =
+    let outcome, s = Explore.run ~max_states ?mutant scenario in
     let got, code =
       match outcome with
       | Explore.Exhausted -> (`Green, 0)
       | Explore.Capped -> (`Capped, 2)
       | Explore.Found v ->
-        let minimal = Shrink.minimize scenario v.Explore.schedule in
-        let r = Explore.replay scenario minimal in
+        let minimal = Shrink.minimize ?mutant scenario v.Explore.schedule in
+        let r = Explore.replay ?mutant scenario minimal in
         Format.printf "  %s: %s@.  minimal: --schedule '%s' (%d messages)@." name
           v.Explore.detail
           (Explore.schedule_to_string r.Explore.executed)
@@ -142,6 +154,15 @@ let run_smoke max_states =
              ~features:(features ~no_retro:false ~no_interval:false ~no_validation:true)
              ~sites:3 ~coop:2 ~admin_ops:1 ()));
       (fun () ->
+        (* every non-admin site killed and rebuilt through the real
+           store replay path, interleaved with beacons and compaction *)
+        expect "crash + recovery at every point, compaction interleaved" `Green
+          (mk ~features:secure ~stability:1 ~crash:1 ~sites:2 ~coop:2 ~admin_ops:1 ()));
+      (fun () ->
+        expect ~mutant:Explore.No_clamp
+          "seeded mutant: unclamped compaction is caught" `Violation
+          (mk ~features:secure ~stability:1 ~crash:1 ~sites:2 ~coop:2 ~admin_ops:1 ()));
+      (fun () ->
         let code = run_enum Enum.default.Enum.max_len in
         Format.printf "%s exhaustive TP1/TP2/inversion@."
           (if code = 0 then "ok  " else "FAIL");
@@ -152,32 +173,43 @@ let run_smoke max_states =
   Format.printf "%s@." (if ok then "smoke: all checks behaved as expected" else "smoke: FAILURES");
   if ok then 0 else 1
 
-let main sites coop admin_ops mixed initial stability no_retro no_interval
+let main sites coop admin_ops mixed initial stability crash mutant no_retro no_interval
     no_validation max_states stats smoke enum enum_len schedule =
   let features = features ~no_retro ~no_interval ~no_validation in
-  if smoke then run_smoke max_states
-  else if enum then run_enum enum_len
-  else
-    let scenario =
-      Scenario.make ~features ?initial ~mixed ?stability ~sites ~coop ~admin_ops ()
-    in
-    match schedule with
-    | Some s -> (
-      match Explore.schedule_of_string s with
-      | Error e ->
-        Format.eprintf "bad --schedule: %s@." e;
-        2
-      | Ok events ->
-        Format.printf "replaying %d event(s) on: %a@." (List.length events) Scenario.pp
-          scenario;
-        let r = Explore.replay scenario events in
-        if r.Explore.skipped > 0 then
-          Format.printf "  (%d event(s) not enabled, skipped)@." r.Explore.skipped;
-        print_replay r;
-        if r.Explore.violation = None then 0 else 1)
-    | None ->
-      let metrics = if stats then Some (Dce_obs.Metrics.create ()) else None in
-      check_scenario ~stats ~metrics ~max_states scenario
+  match
+    match mutant with
+    | None -> Ok None
+    | Some "no-clamp" -> Ok (Some Explore.No_clamp)
+    | Some m -> Error m
+  with
+  | Error m ->
+    Format.eprintf "unknown --mutant %S (known: no-clamp)@." m;
+    2
+  | Ok mutant ->
+    if smoke then run_smoke max_states
+    else if enum then run_enum enum_len
+    else
+      let scenario =
+        Scenario.make ~features ?initial ~mixed ?stability ?crash ~sites ~coop
+          ~admin_ops ()
+      in
+      (match schedule with
+       | Some s -> (
+         match Explore.schedule_of_string s with
+         | Error e ->
+           Format.eprintf "bad --schedule: %s@." e;
+           2
+         | Ok events ->
+           Format.printf "replaying %d event(s) on: %a@." (List.length events) Scenario.pp
+             scenario;
+           let r = Explore.replay ?mutant scenario events in
+           if r.Explore.skipped > 0 then
+             Format.printf "  (%d event(s) not enabled, skipped)@." r.Explore.skipped;
+           print_replay r;
+           if r.Explore.violation = None then 0 else 1)
+       | None ->
+         let metrics = if stats then Some (Dce_obs.Metrics.create ()) else None in
+         check_scenario ~stats ~metrics ~max_states ?mutant scenario)
 
 open Cmdliner
 
@@ -199,6 +231,21 @@ let stability =
        & info [ "stability" ] ~docv:"K"
            ~doc:"Weave a beacon broadcast + window compaction into every site's script \
                  after each K-th action, interleaved with all delivery orders.")
+
+let crash =
+  Arg.(value & opt ~vopt:(Some 1) (some int) None
+       & info [ "crash" ] ~docv:"K"
+           ~doc:"Journal every site's inputs through the real store stack (in memory) \
+                 and kill -9 + recover every non-admin site after its K-th action \
+                 (default 1), interleaved with all delivery orders; checks recovery \
+                 exactness, corrupt-snapshot fallback, and the durability clamp.")
+
+let mutant =
+  Arg.(value & opt (some string) None
+       & info [ "mutant" ] ~docv:"NAME"
+           ~doc:"Run with a deliberately seeded bug (known: no-clamp, which compacts \
+                 past the durable cut) — the checker must find a violation, proving \
+                 the crash oracles have teeth.")
 
 let no_retro =
   Arg.(value & flag & info [ "no-retro"; "no-undo" ] ~doc:"Disable retroactive undo (Fig. 2 hole).")
@@ -234,8 +281,8 @@ let cmd =
   Cmd.v
     (Cmd.info "dcecheck" ~doc:"Exhaustive bounded model checker for the secured-OT protocol")
     Term.(
-      const main $ sites $ coop $ admin_ops $ mixed $ initial $ stability $ no_retro
-      $ no_interval $ no_validation $ max_states $ stats $ smoke $ enum $ enum_len
-      $ schedule)
+      const main $ sites $ coop $ admin_ops $ mixed $ initial $ stability $ crash
+      $ mutant $ no_retro $ no_interval $ no_validation $ max_states $ stats $ smoke
+      $ enum $ enum_len $ schedule)
 
 let () = exit (Cmd.eval' cmd)

@@ -49,7 +49,8 @@ let parse_host_port s =
   | None -> Error (Printf.sprintf "bad HOST:PORT %S" s)
 
 let run port bind users text heartbeat_ms idle_timeout_ms data_dir fsync trace_file
-    metrics_flag admin_port stats_jsonl docs_arg auto_create hub_id upstream_arg =
+    metrics_flag admin_port stats_jsonl docs_arg auto_create hub_id upstream_arg seed
+    chaos_arg =
   (* a peer slamming its socket shut mid-write must surface as EPIPE on
      that connection, not kill the daemon *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -69,6 +70,16 @@ let run port bind users text heartbeat_ms idle_timeout_ms data_dir fsync trace_f
       | Ok hp -> Some hp
       | Error e ->
         prerr_endline ("dced: --upstream: " ^ e);
+        exit 2)
+  in
+  let chaos =
+    match chaos_arg with
+    | None -> None
+    | Some spec -> (
+      match Netd.Faults.of_string spec with
+      | Ok cfg -> Some (seed, cfg)
+      | Error e ->
+        prerr_endline ("dced: --chaos: " ^ e);
         exit 2)
   in
   let docs =
@@ -153,8 +164,8 @@ let run port bind users text heartbeat_ms idle_timeout_ms data_dir fsync trace_f
       in
       let hub =
         try
-          Hub.create ~config ?metrics ~trace:sink ~addr ?upstream ~eq:Char.equal
-            ~codec:Dce_wire.Proto.char_codec ~factory ~docs ~port ()
+          Hub.create ~config ?metrics ~trace:sink ~addr ?upstream ~seed ?chaos
+            ~eq:Char.equal ~codec:Dce_wire.Proto.char_codec ~factory ~docs ~port ()
         with Failure e | Invalid_argument e ->
           prerr_endline ("dced: " ^ e);
           exit 1
@@ -198,15 +209,19 @@ let run port bind users text heartbeat_ms idle_timeout_ms data_dir fsync trace_f
             ("docs", Obs.Json.List (List.map doc_json (Hub.docs hub)));
           ]
       in
+      (* real health: upstream degradation, journal write failures and
+         runaway stability lag all flip the status (and the admin plane
+         serves any not-"ok" status as a 503) *)
       let healthz () =
-        Obs.Json.Obj
-          [
-            ("status", Obs.Json.String "ok");
-            ("role", Obs.Json.String "hub");
-            ("pid", Obs.Json.Int (Unix.getpid ()));
-            ("port", Obs.Json.Int (Hub.port hub));
-            ("docs", Obs.Json.Int (List.length (Hub.docs hub)));
-          ]
+        match Hub.healthz hub () with
+        | Obs.Json.Obj fields ->
+          Obs.Json.Obj
+            (fields
+            @ [
+                ("pid", Obs.Json.Int (Unix.getpid ()));
+                ("port", Obs.Json.Int (Hub.port hub));
+              ])
+        | j -> j
       in
       let admin =
         Option.map
@@ -363,11 +378,26 @@ let upstream_arg =
                  document is attached upstream, local frames are forwarded up and \
                  home frames are rebroadcast to local members.")
 
+let seed =
+  Arg.(value & opt int 0
+       & info [ "seed" ] ~docv:"N"
+           ~doc:"Process-level randomness seed: fixes the upstream reconnect \
+                 jitter and every --chaos fault plan, so a failing run can be \
+                 replayed exactly.")
+
+let chaos_arg =
+  Arg.(value & opt (some string) None
+       & info [ "chaos" ] ~docv:"SPEC"
+           ~doc:"Inject deterministic faults into every outgoing frame (members \
+                 and the federation link), e.g. \
+                 $(b,drop=0.05,dup=0.02,delay=0.1,delay_ms=40,reorder=0.05).  \
+                 Reproducible from --seed; for soak tests only.")
+
 let cmd =
   Cmd.v
     (Cmd.info "dced" ~doc:"Hub daemon for multi-process collaborative sessions")
     Term.(const run $ port $ bind $ users $ text $ heartbeat_ms $ idle_timeout_ms
           $ data_dir $ fsync $ trace_file $ metrics_flag $ admin_port $ stats_jsonl
-          $ docs_arg $ auto_create $ hub_id $ upstream_arg)
+          $ docs_arg $ auto_create $ hub_id $ upstream_arg $ seed $ chaos_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -16,6 +16,14 @@
    every shard) and the report breaks delivered throughput down per
    document on top of the aggregate.
 
+   Chaos mode (--chaos SPEC --seed N) runs every editor's outgoing
+   frames through a seeded [Dce_netd.Faults] plan (drop, duplicate,
+   delay, reorder), and --partition-ms cuts the odd-site editors off
+   one-sidedly for a window in the middle of the run, then heals by
+   forcing a reconnect: the rejoin snapshot plus catch-up re-broadcast
+   must recover everything the partition swallowed, which the delivery
+   ratio gate verifies.  The whole run is reproducible from --seed.
+
    Outputs BENCH_load.json (delivered throughput, end-to-end
    propagation percentiles, queue depths, overflow/reconnect counts)
    and leaves one JSONL trace per process in --trace-dir, ready for
@@ -131,15 +139,25 @@ let fresh_cell () =
   }
 
 let editor_child ~cell ~metrics ~admin ~site ~doc ~relay_port ~rate ~duration
-    ~trace_path () =
+    ~seed ~chaos ~partition ~trace_path () =
   let stop = ref false in
   let handler = Sys.Signal_handle (fun _ -> stop := true) in
   Sys.set_signal Sys.sigterm handler;
   Sys.set_signal Sys.sigint handler;
   let oc = open_out trace_path in
   let sink = Obs.Trace.to_channel oc in
+  let faults =
+    (* a partition window needs a plan to flip even without --chaos *)
+    match (chaos, partition) with
+    | None, None -> None
+    | cfg, _ ->
+      Some
+        (Netd.Faults.create
+           ?config:cfg
+           ~seed ~label:(Printf.sprintf "site-%d" site) ())
+  in
   let client =
-    Netd.Client.create ~metrics ~trace:sink ~doc ~host:"127.0.0.1"
+    Netd.Client.create ~metrics ~trace:sink ~seed ~doc ?faults ~host:"127.0.0.1"
       ~port:relay_port ~site ()
   in
   let e2e = Obs.Metrics.histogram metrics "e2e.propagation_ns" in
@@ -228,7 +246,27 @@ let editor_child ~cell ~metrics ~admin ~site ~doc ~relay_port ~rate ~duration
     | Netd.Client.Gave_up _ -> stop := true
   in
   let last_compact = ref 0. in
+  (* one-sided partition: outgoing frames silently dropped for the
+     window, then heal by severing the link — the rejoin snapshot and
+     catch-up re-broadcast recover what the partition swallowed *)
+  let pstate = ref `Before in
+  let partition_step () =
+    match (partition, faults, !start) with
+    | Some (off_ms, dur_ms), Some f, Some t0 -> (
+      let now = Obs.Clock.now_ms () in
+      match !pstate with
+      | `Before when now >= t0 +. off_ms ->
+        Netd.Faults.set_partitioned f true;
+        pstate := `During
+      | `During when now >= t0 +. off_ms +. dur_ms ->
+        Netd.Faults.set_partitioned f false;
+        Netd.Client.drop_link ~reason:"partition healed" client;
+        pstate := `Healed
+      | _ -> ())
+    | _ -> ()
+  in
   while not !stop do
+    partition_step ();
     let due_ms =
       match !start with
       | Some t0 when !k < total -> Some (t0 +. (float_of_int !k *. 1000. /. rate))
@@ -320,8 +358,19 @@ let kill_all pids =
     pids;
   List.iter reap pids
 
-let run editors rate duration drain_ms port text trace_dir out min_ratio docs_k =
+let run editors rate duration drain_ms port text trace_dir out min_ratio docs_k
+    seed chaos_arg partition_ms =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let chaos =
+    match chaos_arg with
+    | None -> None
+    | Some spec -> (
+      match Netd.Faults.of_string spec with
+      | Ok cfg -> Some cfg
+      | Error e ->
+        prerr_endline ("loadgen: --chaos: " ^ e);
+        exit 2)
+  in
   if editors < 2 then begin
     prerr_endline "loadgen: need at least 2 editors";
     exit 2
@@ -372,13 +421,10 @@ let run editors rate duration drain_ms port text trace_dir out min_ratio docs_k 
   let relay_admin =
     Netd.Admin.create ~metrics:relay_metrics
       ~healthz:(fun () ->
-        Obs.Json.Obj
-          [
-            ("status", Obs.Json.String "ok");
-            ("role", Obs.Json.String "hub");
-            ("port", Obs.Json.Int relay_port);
-            ("docs", Obs.Json.Int ndocs);
-          ])
+        match Hub.healthz hub () with
+        | Obs.Json.Obj fields ->
+          Obs.Json.Obj (fields @ [ ("port", Obs.Json.Int relay_port) ])
+        | j -> j)
       ~sessions:(fun () ->
         Obs.Json.Obj
           [
@@ -451,10 +497,17 @@ let run editors rate duration drain_ms port text trace_dir out min_ratio docs_k 
         let trace_path =
           Filename.concat trace_dir (Printf.sprintf "site%d.jsonl" site)
         in
+        let partition =
+          (* odd sites only: the even sites (and each doc's admin, site
+             i mod K = lowest) keep the session alive through the cut *)
+          if partition_ms > 0 && site mod 2 = 1 then
+            Some (duration *. 1000. /. 3., float_of_int partition_ms)
+          else None
+        in
         let pid = Unix.fork () in
         if pid = 0 then
           editor_child ~cell ~metrics ~admin ~site ~doc ~relay_port ~rate
-            ~duration ~trace_path ();
+            ~duration ~seed ~chaos ~partition ~trace_path ();
         (site, pid, admin_port))
       all_users
   in
@@ -463,6 +516,17 @@ let run editors rate duration drain_ms port text trace_dir out min_ratio docs_k 
     "loadgen: hub on %d (admin %d), %d editor(s) over %d doc(s), %g op/s each \
      for %gs\n%!"
     relay_port relay_admin_port editors ndocs rate duration;
+  (match chaos with
+   | Some cfg ->
+     Printf.printf "loadgen: chaos %s (seed %d)%s\n%!" (Netd.Faults.to_string cfg)
+       seed
+       (if partition_ms > 0 then
+          Printf.sprintf ", odd sites partitioned for %dms mid-run" partition_ms
+        else "")
+   | None ->
+     if partition_ms > 0 then
+       Printf.printf "loadgen: odd sites partitioned for %dms mid-run (seed %d)\n%!"
+         partition_ms seed);
   (* phase 1: every editor joined *)
   let joined (_, _, aport) =
     match http_get ~port:aport ~path:"/healthz" with
@@ -490,8 +554,12 @@ let run editors rate duration drain_ms port text trace_dir out min_ratio docs_k 
     exit 2
   end;
   Printf.printf "loadgen: all editors joined; driving load...\n%!";
-  (* phase 2: the measurement window, plus drain time for stragglers *)
-  Unix.sleepf (duration +. (float_of_int drain_ms /. 1000.));
+  (* phase 2: the measurement window, plus drain time for stragglers
+     (a partition needs its heal reconnect to finish inside the drain) *)
+  Unix.sleepf
+    (duration
+    +. (float_of_int drain_ms /. 1000.)
+    +. if partition_ms > 0 then float_of_int partition_ms /. 1000. else 0.);
   (* phase 3: scrape every live admin endpoint and merge *)
   let merged = Obs.Metrics.create () in
   let scrape_failures = ref [] in
@@ -556,6 +624,12 @@ let run editors rate duration drain_ms port text trace_dir out min_ratio docs_k 
         ("docs", Obs.Json.Int ndocs);
         ("rate_per_editor", Obs.Json.Float rate);
         ("duration_s", Obs.Json.Float duration);
+        ("seed", Obs.Json.Int seed);
+        ( "chaos",
+          match chaos with
+          | Some cfg -> Obs.Json.String (Netd.Faults.to_string cfg)
+          | None -> Obs.Json.String "" );
+        ("partition_ms", Obs.Json.Int partition_ms);
         ("offered_ops", Obs.Json.Float offered);
         ("sent_ops", Obs.Json.Int sent);
         ("delivered", Obs.Json.Int delivered);
@@ -653,11 +727,34 @@ let docs_k =
                  on doc load(i mod K)); the report adds a per-document \
                  throughput breakdown.")
 
+let seed =
+  Arg.(value & opt int 0
+       & info [ "seed" ] ~docv:"N"
+           ~doc:"Seed for the chaos fault plans and the reconnect jitter: the \
+                 same seed replays the same fault schedule.")
+
+let chaos_arg =
+  Arg.(value & opt (some string) None
+       & info [ "chaos" ] ~docv:"SPEC"
+           ~doc:"Run every editor's outgoing frames through a seeded fault \
+                 plan, e.g. \
+                 $(b,dup=0.05,delay=0.1,delay_ms=40,reorder=0.05).  Combine \
+                 with --min-delivery-ratio to gate graceful degradation.")
+
+let partition_ms =
+  Arg.(value & opt int 0
+       & info [ "partition-ms" ] ~docv:"MS"
+           ~doc:"Cut the odd-site editors off (outgoing frames dropped) for \
+                 $(docv) starting a third of the way into the run, then heal \
+                 by forcing a reconnect; the delivery gate then proves the \
+                 rejoin snapshot + catch-up re-broadcast recovered the loss.")
+
 let cmd =
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:"Open-loop SLO load harness: hub + N editors, scraped live")
     Term.(const run $ editors $ rate $ duration $ drain_ms $ port $ text
-          $ trace_dir $ out $ min_ratio $ docs_k)
+          $ trace_dir $ out $ min_ratio $ docs_k $ seed $ chaos_arg
+          $ partition_ms)
 
 let () = exit (Cmd.eval' cmd)

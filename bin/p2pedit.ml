@@ -511,7 +511,8 @@ let net_command st words =
 (* stdin is consumed with raw reads and an explicit line buffer, so it
    can sit in the same select as the socket without an in_channel
    buffering the lines away between wakeups *)
-let net_session host port my_site doc sink metrics data_dir fsync admin_port =
+let net_session host port my_site doc sink metrics data_dir fsync admin_port seed
+    chaos =
   let journal, ctrl0, pending0 =
     match data_dir with
     | None -> (None, None, [])
@@ -561,8 +562,17 @@ let net_session host port my_site doc sink metrics data_dir fsync admin_port =
         | Some c -> Some (Controller.clock c, Controller.version c)
         | None -> None)
   in
+  let faults =
+    Option.map
+      (fun cfg ->
+        Netd.Faults.create ~config:cfg ~seed
+          ~label:(Printf.sprintf "site-%d" my_site)
+          ())
+      chaos
+  in
   let client =
-    Netd.Client.create ?metrics ~trace:sink ?doc ~host ~port ~site:my_site
+    Netd.Client.create ?metrics ~trace:sink ~seed ?doc ?faults ~host ~port
+      ~site:my_site
       ~resume:(fun () -> !resume_src ())
       ()
   in
@@ -594,15 +604,21 @@ let net_session host port my_site doc sink metrics data_dir fsync admin_port =
   st.admin_srv <-
     Option.map
       (fun p ->
+        (* real health: a disconnected editor is degraded (the admin
+           plane serves any not-"ok" status as a 503) *)
         let healthz () =
+          let connected = Netd.Client.connected st.client in
           Obs.Json.Obj
-            [
-              ("status", Obs.Json.String "ok");
-              ("role", Obs.Json.String "editor");
-              ("site", Obs.Json.Int my_site);
-              ("pid", Obs.Json.Int (Unix.getpid ()));
-              ("connected", Obs.Json.Bool (Netd.Client.connected st.client));
-            ]
+            ([
+               ("status", Obs.Json.String (if connected then "ok" else "degraded"));
+               ("role", Obs.Json.String "editor");
+               ("site", Obs.Json.Int my_site);
+               ("pid", Obs.Json.Int (Unix.getpid ()));
+               ("connected", Obs.Json.Bool connected);
+             ]
+            @
+            if connected then []
+            else [ ("reasons", Obs.Json.List [ Obs.Json.String "relay link down" ]) ])
         in
         let sessions () =
           match st.ctrl with
@@ -709,7 +725,7 @@ let run_local users text trace_file metrics_flag =
   | None -> ()
 
 let run users text trace_file metrics_flag connect site_arg doc_arg data_dir fsync
-    admin_port =
+    admin_port seed chaos_arg =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let fsync =
     match Dce_store.Store.fsync_policy_of_string fsync with
@@ -717,6 +733,16 @@ let run users text trace_file metrics_flag connect site_arg doc_arg data_dir fsy
     | Error e ->
       prerr_endline ("p2pedit: " ^ e);
       exit 2
+  in
+  let chaos =
+    match chaos_arg with
+    | None -> None
+    | Some spec -> (
+      match Netd.Faults.of_string spec with
+      | Ok cfg -> Some cfg
+      | Error e ->
+        prerr_endline ("p2pedit: --chaos: " ^ e);
+        exit 2)
   in
   match connect with
   | None ->
@@ -756,7 +782,8 @@ let run users text trace_file metrics_flag connect site_arg doc_arg data_dir fsy
       | Some path -> Obs.Trace.with_file path f
     in
     with_sink (fun sink ->
-        net_session host port site_arg doc_arg sink metrics data_dir fsync admin_port);
+        net_session host port site_arg doc_arg sink metrics data_dir fsync admin_port
+          seed chaos);
     (match trace_file with
      | Some path -> Printf.printf "trace written to %s\n" path
      | None -> ());
@@ -822,10 +849,24 @@ let admin_port =
                  ephemeral): $(b,/metrics) (Prometheus text exposition), \
                  $(b,/healthz) and $(b,/sessions) (JSON).  Implies --metrics.")
 
+let seed =
+  Arg.(value & opt int 0
+       & info [ "seed" ] ~docv:"N"
+           ~doc:"Process-level randomness seed: fixes the reconnect jitter and \
+                 the --chaos fault plan, so a failing run can be replayed \
+                 exactly.")
+
+let chaos_arg =
+  Arg.(value & opt (some string) None
+       & info [ "chaos" ] ~docv:"SPEC"
+           ~doc:"With --connect: filter every outgoing frame through a seeded \
+                 fault plan, e.g. \
+                 $(b,drop=0.05,dup=0.02,delay=0.1,delay_ms=40,reorder=0.05).")
+
 let cmd =
   Cmd.v
     (Cmd.info "p2pedit" ~doc:"Scriptable secured collaborative editing session")
     Term.(const run $ users $ text $ trace_file $ metrics_flag $ connect $ site_arg
-          $ doc_arg $ data_dir $ fsync $ admin_port)
+          $ doc_arg $ data_dir $ fsync $ admin_port $ seed $ chaos_arg)
 
 let () = exit (Cmd.eval cmd)

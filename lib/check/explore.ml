@@ -2,6 +2,8 @@ open Dce_ot
 open Dce_core
 module Metrics = Dce_obs.Metrics
 module Convergence = Dce_sim.Convergence
+module Persist = Dce_store.Persist
+module Proto = Dce_wire.Proto
 
 type mid = Mcoop of Request.id | Madmin of int | Mbeacon of int * int
 
@@ -26,6 +28,8 @@ type violation = {
 
 type outcome = Exhausted | Found of violation | Capped
 
+type mutant = No_clamp
+
 (* ----- the transition system ----- *)
 
 type payload =
@@ -36,6 +40,26 @@ type msg = {
   mid : mid;
   payload : payload;
   pending : Subject.user list;  (* destinations not yet delivered to *)
+}
+
+(* What the site looked like the instant it died — captured so recovery
+   can be compared against it.  [d_clean] records whether any
+   *unjournaled* state change (a received beacon, a compaction) happened
+   since the last checkpoint: when it did not, recovery must be
+   fingerprint-exact; content fingerprint and clock equality are owed in
+   either case (beacon tables and the compacted window are soft state,
+   the document/policy/version are not). *)
+type down = {
+  d_fp : string;
+  d_cfp : string;
+  d_clock : Vclock.t;
+  d_clean : bool;
+}
+
+type jsite = {
+  jn : Journal.t;  (* the site's durable image (value semantics) *)
+  jdown : down option;  (* [Some _]: crashed, awaiting [Recover] *)
+  jclean : bool;  (* no unjournaled mutation since last checkpoint *)
 }
 
 type node = {
@@ -51,6 +75,10 @@ type node = {
      so the fingerprint soundly omits them — keeping the state cache as
      coarse (and exploration as fast) as before stability existed. *)
   stab : bool;
+  (* per-site durable journals; empty unless the scenario sets
+     [persist], in which case every input is journaled through the real
+     store stack and Crash/Recover become executable *)
+  journals : (Subject.user * jsite) list;
 }
 
 let mid_of_message = function
@@ -113,8 +141,9 @@ let schedule_of_string s =
   |> Result.map List.rev
 
 let initial scenario =
+  let ctrls = Scenario.controllers scenario in
   {
-    ctrls = Scenario.controllers scenario;
+    ctrls;
     msgs = [];
     scripts = List.filter (fun (_, s) -> s <> []) scenario.Scenario.scripts;
     bseq = [];
@@ -125,6 +154,14 @@ let initial scenario =
             (function Scenario.Beacon | Scenario.Compact -> true | _ -> false)
             s)
         scenario.Scenario.scripts;
+    journals =
+      (match scenario.Scenario.persist with
+       | None -> []
+       | Some config ->
+         List.map
+           (fun (u, c) ->
+             (u, { jn = Journal.create ~config c; jdown = None; jclean = true }))
+           ctrls);
   }
 
 let set_ctrl u c node =
@@ -132,6 +169,35 @@ let set_ctrl u c node =
     node with
     ctrls = List.map (fun (v, c') -> if v = u then (v, c) else (v, c')) node.ctrls;
   }
+
+let set_jsite u j node =
+  {
+    node with
+    journals = List.map (fun (v, j') -> if v = u then (v, j) else (v, j')) node.journals;
+  }
+
+let is_down node u =
+  match List.assoc_opt u node.journals with
+  | Some { jdown = Some _; _ } -> true
+  | _ -> false
+
+let all_alive node = List.for_all (fun (_, j) -> j.jdown = None) node.journals
+
+(* Append one input record through the site's journal — the production
+   [Persist.record] path — carrying the post-apply controller for the
+   cadence checkpoint.  A checkpoint makes the durable image exact
+   again. *)
+let journal_record node u r c =
+  match List.assoc_opt u node.journals with
+  | None -> node
+  | Some j ->
+    let jn, checkpointed = Journal.record j.jn r c in
+    set_jsite u { j with jn; jclean = (checkpointed || j.jclean) } node
+
+let dirty_journal node u =
+  match List.assoc_opt u node.journals with
+  | None -> node
+  | Some j -> set_jsite u { j with jclean = false } node
 
 let put_in_flight node src payloads =
   let dests = List.filter (fun v -> v <> src) (List.map fst node.ctrls) in
@@ -144,8 +210,11 @@ let put_in_flight node src payloads =
 
 (* Execute one event.  Every step is a deterministic function of the
    node, so a schedule identifies a unique run.  Returns the successor
-   and a human-readable line describing what happened. *)
-let exec node = function
+   and a human-readable line describing what happened.  [mutant]
+   deliberately miscompiles one discipline (for checker-sanity runs):
+   [No_clamp] compacts straight to the stability frontier, skipping the
+   durability clamp and the pre-compaction checkpoint. *)
+let exec ?mutant node = function
   | Act u ->
     let action, rest =
       match List.assoc u node.scripts with
@@ -168,7 +237,11 @@ let exec node = function
        let op = Scenario.op_of_edit (Controller.document c) e in
        (match Controller.generate c op with
         | c, Controller.Accepted m ->
-          ( put_in_flight (set_ctrl u c node) u [ m ],
+          (* journal before broadcast, like the daemons: a crash must
+             never leave the group holding a request its origin site no
+             longer remembers *)
+          let node = journal_record (set_ctrl u c node) u (Persist.Generated op) c in
+          ( put_in_flight node u [ m ],
             Format.asprintf "site %d: generate %a -> %s" u (Op.pp Fmt.char) op
               (mid_to_string (mid_of_message m)) )
         | c, Controller.Denied reason ->
@@ -178,7 +251,8 @@ let exec node = function
      | Scenario.Policy op ->
        (match Controller.admin_update c op with
         | Ok (c, m) ->
-          ( put_in_flight (set_ctrl u c node) u [ m ],
+          let node = journal_record (set_ctrl u c node) u (Persist.Admin_cmd op) c in
+          ( put_in_flight node u [ m ],
             Format.asprintf "site %d: admin %a -> %s" u Admin_op.pp op
               (mid_to_string (mid_of_message m)) )
         | Error e ->
@@ -196,9 +270,116 @@ let exec node = function
          },
          Printf.sprintf "site %d: beacon -> %s" u (mid_to_string mid) )
      | Scenario.Compact ->
-       let c = Controller.compact c in
-       ( set_ctrl u c node,
-         Printf.sprintf "site %d: compact (window %d)" u (Controller.window_len c) ))
+       (match List.assoc_opt u node.journals with
+        | None ->
+          let c = Controller.compact c in
+          ( set_ctrl u c node,
+            Printf.sprintf "site %d: compact (window %d)" u (Controller.window_len c) )
+        | Some j ->
+          (match mutant with
+           | Some No_clamp ->
+             (* the seeded bug: garbage-collect to the stability
+                frontier with no regard for what is durable *)
+             let c = Controller.compact c in
+             ( set_ctrl u c (set_jsite u { j with jclean = false } node),
+               Printf.sprintf "site %d: compact UNCLAMPED (window %d)" u
+                 (Controller.window_len c) )
+           | None ->
+             (* the hub/p2pedit discipline: clamp the cut to the durable
+                checkpoint, taking a fresh checkpoint first when the
+                frontier has moved past it (durability leads, GC
+                follows) *)
+             let fresh_enough cut = Vclock.leq (Controller.stable_frontier c) cut in
+             let j, limit =
+               match Journal.cut j.jn with
+               | Some cut when fresh_enough cut -> (j, Some cut)
+               | _ ->
+                 let jn = Journal.checkpoint j.jn c in
+                 ({ j with jn; jclean = true }, Journal.cut jn)
+             in
+             (match limit with
+              | None ->
+                ( set_jsite u j node,
+                  Printf.sprintf "site %d: compact skipped (no durable cut)" u )
+              | Some limit ->
+                let c = Controller.compact ~limit c in
+                ( set_ctrl u c (set_jsite u { j with jclean = false } node),
+                  Printf.sprintf "site %d: compact (window %d, clamped)" u
+                    (Controller.window_len c) ))))
+     | Scenario.Crash ->
+       (match List.assoc_opt u node.journals with
+        | None ->
+          failwith
+            (Printf.sprintf "site %d: crash action but the scenario has no persist config"
+               u)
+        | Some j ->
+          let d =
+            {
+              d_fp = Proto.fingerprint Proto.char_codec c;
+              d_cfp = Proto.content_fingerprint Proto.char_codec c;
+              d_clock = Controller.clock c;
+              d_clean = j.jclean;
+            }
+          in
+          let jn = Journal.crash j.jn in
+          (* fallback oracle: with the newest snapshot corrupted,
+             recovery must rebuild from the previous generation and its
+             log — reaching *exactly* the durable cut, because wal-(N-1)
+             holds precisely the inputs between checkpoints N-1 and N.
+             An unclamped compaction before checkpoint N would have made
+             that pair unreplayable. *)
+          (match Journal.corrupt_newest_snapshot jn with
+           | None -> ()  (* fewer than two generations: no fallback pair yet *)
+           | Some corrupted ->
+             (match Journal.recover corrupted with
+              | Error e ->
+                failwith
+                  (Printf.sprintf
+                     "site %d: fallback recovery (corrupt newest snapshot) failed: %s" u e)
+              | Ok (_, r) ->
+                let cut = Option.value ~default:Vclock.empty (Journal.cut jn) in
+                let rclock = Controller.clock r.Journal.controller in
+                if not (Vclock.equal rclock cut) then
+                  failwith
+                    (Format.asprintf
+                       "site %d: fallback recovery reached clock (%a), durable cut is \
+                        (%a) — the previous snapshot + its log do not reproduce the \
+                        newest checkpoint"
+                       u Vclock.pp rclock Vclock.pp cut)));
+          ( set_jsite u { j with jn; jdown = Some d } node,
+            Printf.sprintf "site %d: crash (kill -9; %d snapshot generations durable)" u
+              (List.length (Journal.generations jn)) ))
+     | Scenario.Recover ->
+       (match List.assoc_opt u node.journals with
+        | Some { jn; jdown = Some d; jclean = _ } ->
+          (match Journal.recover jn with
+           | Error e -> failwith (Printf.sprintf "site %d: recovery failed: %s" u e)
+           | Ok (jn, r) ->
+             let c = r.Journal.controller in
+             let rclock = Controller.clock c in
+             if not (Vclock.equal rclock d.d_clock) then
+               failwith
+                 (Format.asprintf
+                    "site %d: recovered clock (%a) differs from pre-crash clock (%a)" u
+                    Vclock.pp rclock Vclock.pp d.d_clock);
+             if Proto.content_fingerprint Proto.char_codec c <> d.d_cfp then
+               failwith
+                 (Printf.sprintf
+                    "site %d: recovered document/policy/version differ from the \
+                     pre-crash state (replay through the store diverged)"
+                    u);
+             if d.d_clean && Proto.fingerprint Proto.char_codec c <> d.d_fp then
+               failwith
+                 (Printf.sprintf
+                    "site %d: recovery not fingerprint-exact although nothing \
+                     unjournaled (beacon/compaction) happened since the last checkpoint"
+                    u);
+             (* the recovered state is, by construction, exactly what a
+                future replay reproduces — the site is clean again *)
+             ( set_ctrl u c (set_jsite u { jn; jdown = None; jclean = true } node),
+               Printf.sprintf "site %d: recover (replayed %d, %s)" u r.Journal.replayed
+                 (if d.d_clean then "fingerprint-exact" else "content-exact") ))
+        | _ -> failwith (Printf.sprintf "site %d: recover without a preceding crash" u)))
   | Dlv (u, mid) ->
     let msg =
       match List.find_opt (fun m -> m.mid = mid) node.msgs with
@@ -222,7 +403,16 @@ let exec node = function
         let peer = match mid with Mbeacon (s, _) -> s | _ -> assert false in
         (Controller.receive_beacon (List.assoc u node.ctrls) ~peer ~clock ~version, [])
     in
-    let node = put_in_flight (set_ctrl u c { node with msgs }) u emitted in
+    let node = set_ctrl u c { node with msgs } in
+    let node =
+      match msg.payload with
+      (* journal a received message after the controller accepted it
+         (the daemons' arrival-order discipline); beacons are soft state
+         and never journaled — the durable image goes stale *)
+      | Pmsg payload -> journal_record node u (Persist.Received payload) c
+      | Pbeacon _ -> dirty_journal node u
+    in
+    let node = put_in_flight node u emitted in
     ( node,
       Format.asprintf "deliver %s -> site %d%s" (mid_to_string mid) u
         (match emitted with
@@ -234,10 +424,17 @@ let exec node = function
 
 (* Enabled events, in a fixed deterministic order: script steps in site
    order, then deliveries in message creation order and destination
-   order. *)
+   order.  A down site takes no deliveries (its process is gone — the
+   message waits in flight); its script stays enabled, the next step
+   being its [Recover]. *)
 let enabled node =
   List.map (fun (u, _) -> Act u) node.scripts
-  @ List.concat_map (fun m -> List.map (fun u -> Dlv (u, m.mid)) m.pending) node.msgs
+  @ List.concat_map
+      (fun m ->
+        List.filter_map
+          (fun u -> if is_down node u then None else Some (Dlv (u, m.mid)))
+          m.pending)
+      node.msgs
 
 let in_flight node =
   List.fold_left (fun acc m -> acc + List.length m.pending) 0 node.msgs
@@ -344,6 +541,17 @@ let fingerprint node =
   List.iter
     (fun (u, k) -> Format.fprintf ppf "B%d:%d" u k)
     (List.sort compare node.bseq);
+  (* the durable image is part of the state: two schedules that leave
+     different bytes on "disk" must not be deduplicated, or crash
+     branches would be pruned unsoundly *)
+  List.iter
+    (fun (u, j) ->
+      Format.fprintf ppf "J%d:%s%s%s" u (Journal.fingerprint j.jn)
+        (match j.jdown with
+         | None -> ""
+         | Some d -> if d.d_clean then "!c" else "!")
+        (if j.jclean then "+" else "-"))
+    node.journals;
   Format.pp_print_flush ppf ();
   Digest.string (Buffer.contents buf)
 
@@ -443,6 +651,31 @@ let admin_log_violation ctrls =
                (List.length (dump c))))
       rest
 
+(* The PR 9 cross-layer invariant, checked at *every* explored state
+   (not only frontiers): a journaled site must never garbage-collect
+   past its durable cut, or a crash in that state would recover a
+   snapshot whose window cannot replay the log ("durability leads, GC
+   follows").  This is the oracle that catches the [No_clamp] mutant
+   directly, whatever the interleaving. *)
+let durability_violation node =
+  List.find_map
+    (fun (u, j) ->
+      match j.jdown with
+      | Some _ -> None  (* the live controller is gone; nothing to GC *)
+      | None ->
+        let c = List.assoc u node.ctrls in
+        let cut = Option.value ~default:Vclock.empty (Journal.cut j.jn) in
+        let gc = Controller.compacted_upto c in
+        if Vclock.leq gc cut then None
+        else
+          Some
+            (Format.asprintf
+               "site %d: durability invariant broken — window compacted to (%a), past \
+                the durable cut (%a); a crash here leaves the fallback snapshot unable \
+                to replay its log"
+               u Vclock.pp gc Vclock.pp cut))
+    node.journals
+
 let frontier_violation ctrls =
   let cs = List.map snd ctrls in
   let report = Convergence.check cs in
@@ -474,7 +707,7 @@ let subset a b = List.for_all (fun x -> List.mem x b) a
 
 exception Stop of outcome
 
-let run ?metrics ?(max_states = 1_000_000) scenario =
+let run ?metrics ?(max_states = 1_000_000) ?mutant scenario =
   let t0 = Sys.time () in
   let states = ref 0
   and distinct = ref 0
@@ -504,7 +737,12 @@ let run ?metrics ?(max_states = 1_000_000) scenario =
     let inflight = in_flight node in
     if inflight > !peak_inflight then peak_inflight := inflight;
     let proceed sleep =
-      if node.msgs = [] then begin
+      (match durability_violation node with
+       | Some detail ->
+         let report = Convergence.check (List.map snd node.ctrls) in
+         raise (Stop (Found { schedule = List.rev path; report; detail }))
+       | None -> ());
+      if node.msgs = [] && all_alive node then begin
         incr frontiers;
         m_frontiers ();
         match frontier_violation node.ctrls with
@@ -521,7 +759,7 @@ let run ?metrics ?(max_states = 1_000_000) scenario =
           end
           else begin
             let child, _ =
-              try exec node e
+              try exec ?mutant node e
               with
               | Document.Edit_conflict msg ->
                 let report = Convergence.check (List.map snd node.ctrls) in
@@ -604,7 +842,7 @@ type replay = {
   violation : string option;
 }
 
-let replay ?(drain = true) scenario schedule =
+let replay ?(drain = true) ?mutant scenario schedule =
   let seen = Hashtbl.create 16 in
   let messages = ref 0 in
   let node = ref (initial scenario) in
@@ -628,11 +866,15 @@ let replay ?(drain = true) scenario schedule =
   in
   let step e =
     executed := e :: !executed;
-    match exec !node e with
+    match exec ?mutant !node e with
     | n, line ->
       node := n;
       count_msgs n;
-      log := line :: !log
+      log := line :: !log;
+      (* latch the invariant like the explorer does: a later checkpoint
+         could advance the cut and mask the violation *)
+      if !crashed = None then
+        crashed := durability_violation n
     | exception Document.Edit_conflict msg ->
       crashed :=
         Some
@@ -663,7 +905,7 @@ let replay ?(drain = true) scenario schedule =
     match !crashed with
     | Some _ as c -> c
     | None ->
-      if !node.msgs <> [] then None
+      if !node.msgs <> [] || not (all_alive !node) then None
       else Option.map snd (frontier_violation !node.ctrls)
   in
   {

@@ -62,11 +62,35 @@ type outcome =
   | Found of violation
   | Capped  (** gave up at [max_states] *)
 
+type mutant = No_clamp
+      (** checker-sanity seeded bug: [Compact] garbage-collects straight
+          to the stability frontier, skipping the durability clamp and
+          the pre-compaction checkpoint (the discipline the hub and
+          p2pedit implement).  A crash-mode run must catch it. *)
+
 val run :
-  ?metrics:Dce_obs.Metrics.t -> ?max_states:int -> Scenario.t -> outcome * stats
+  ?metrics:Dce_obs.Metrics.t ->
+  ?max_states:int ->
+  ?mutant:mutant ->
+  Scenario.t ->
+  outcome * stats
 (** [metrics] (optional) accumulates [check.states], [check.distinct],
     [check.dedup_hits], [check.sleep_skips] and [check.frontiers]
-    counters alongside the returned {!stats}. *)
+    counters alongside the returned {!stats}.
+
+    When the scenario sets [persist], every site journals its inputs
+    through the production store stack ({!Journal}) and three more
+    oracle families run:
+    - at {e every} explored state, no live site's compacted window may
+      exceed its durable cut (durability leads, GC follows);
+    - at every [Crash], a corrupted-newest-snapshot copy of the journal
+      must recover through the fallback generation to {e exactly} the
+      durable cut;
+    - at every [Recover], the rebuilt controller must match the
+      pre-crash one: clock and content fingerprint always, full
+      fingerprint whenever nothing unjournaled (received beacons,
+      compaction) happened since the last checkpoint.
+    Quiescent-frontier oracles only run when every site is alive. *)
 
 (* {2 Replay} *)
 
@@ -79,11 +103,13 @@ type replay = {
   violation : string option;  (** oracle diagnosis of the final state *)
 }
 
-val replay : ?drain:bool -> Scenario.t -> event list -> replay
+val replay : ?drain:bool -> ?mutant:mutant -> Scenario.t -> event list -> replay
 (** Execute one specific schedule (events that are not enabled are
     skipped), then — unless [drain] is [false] — deliver every remaining
     in-flight message in deterministic order so the final state is a
-    quiescent frontier, and run the oracles on it. *)
+    quiescent frontier, and run the oracles on it.  In a journaled
+    scenario the durability invariant is checked (and latched) after
+    every step, exactly as {!run} checks it at every state. *)
 
 (* {2 Schedule scripts}
 

@@ -1,0 +1,125 @@
+open Dce_ot
+open Dce_core
+module Io = Dce_store.Io
+module Store = Dce_store.Store
+module Snapshot = Dce_store.Snapshot
+module Persist = Dce_store.Persist
+module Proto = Dce_wire.Proto
+
+type t = {
+  image : Io.Mem.image;
+  cfg : Store.config;
+  cut : Vclock.t option;
+}
+
+(* one virtual directory per journal; images never mix *)
+let dir = "/j"
+
+let default_config =
+  { Store.fsync = Dce_store.Wal.Always; snapshot_every = 2; keep_generations = 2 }
+
+(* Restore a private world from the image, open the production journal
+   over it, run [f], and hand back whatever [f] captured.  [opendir]
+   itself replays the log — that cost is the point: every operation
+   crosses the same recovery path the daemons use. *)
+let with_persist t f =
+  let w = Io.Mem.restore t.image in
+  match
+    Persist.opendir ~config:t.cfg ~io:(Io.Mem.io w) ~eq:Char.equal
+      ~codec:Proto.char_codec dir
+  with
+  | Error e -> failwith ("checker journal: reopen failed: " ^ e)
+  | Ok (p, r) ->
+    let x = f w p r in
+    Persist.close p;
+    x
+
+let create ?(config = default_config) c =
+  let w = Io.Mem.create () in
+  match
+    Persist.opendir ~config ~io:(Io.Mem.io w) ~eq:Char.equal ~codec:Proto.char_codec dir
+  with
+  | Error e -> failwith ("checker journal: open failed: " ^ e)
+  | Ok (p, _) -> (
+    match Persist.checkpoint p c with
+    | Error e -> failwith ("checker journal: initial checkpoint failed: " ^ e)
+    | Ok () ->
+      let cut = Persist.checkpoint_clock p in
+      Persist.close p;
+      { image = Io.Mem.snapshot w; cfg = config; cut })
+
+let record t r c =
+  with_persist t (fun w p recov ->
+      Persist.record p r;
+      (* [Persist.maybe_checkpoint] counts appends since open, which a
+         reopen-per-operation resets — drive the cadence from the log's
+         true length instead *)
+      let total = recov.Persist.replayed + 1 in
+      let checkpointed =
+        if total >= max 1 t.cfg.Store.snapshot_every then (
+          match Persist.checkpoint p c with
+          | Ok () -> true
+          | Error e -> failwith ("checker journal: checkpoint failed: " ^ e))
+        else false
+      in
+      let cut = Persist.checkpoint_clock p in
+      ({ t with image = Io.Mem.snapshot w; cut }, checkpointed))
+
+let checkpoint t c =
+  with_persist t (fun w p _ ->
+      match Persist.checkpoint p c with
+      | Error e -> failwith ("checker journal: checkpoint failed: " ^ e)
+      | Ok () ->
+        let cut = Persist.checkpoint_clock p in
+        { t with image = Io.Mem.snapshot w; cut })
+
+let cut t = t.cut
+
+let generations t =
+  let w = Io.Mem.restore t.image in
+  Snapshot.generations ~io:(Io.Mem.io w) ~dir ()
+
+let crash t =
+  let w = Io.Mem.restore t.image in
+  Io.Mem.crash w;
+  { t with image = Io.Mem.snapshot w }
+
+let corrupt_newest_snapshot t =
+  let w = Io.Mem.restore t.image in
+  match List.rev (Snapshot.generations ~io:(Io.Mem.io w) ~dir ()) with
+  | [] | [ _ ] -> None
+  | newest :: _ ->
+    if Io.Mem.corrupt_file w (Filename.concat dir (Snapshot.filename newest)) then
+      Some { t with image = Io.Mem.snapshot w }
+    else None
+
+type recovery = {
+  controller : char Controller.t;
+  emitted : char Controller.message list;
+  replayed : int;
+  truncated_bytes : int;
+}
+
+let recover t =
+  let w = Io.Mem.restore t.image in
+  match
+    Persist.opendir ~config:t.cfg ~io:(Io.Mem.io w) ~eq:Char.equal
+      ~codec:Proto.char_codec dir
+  with
+  | Error e -> Error e
+  | Ok (p, r) -> (
+    let cut = Persist.checkpoint_clock p in
+    Persist.close p;
+    match r.Persist.controller with
+    | None -> Error "recovery found no snapshot to rebuild from"
+    | Some controller ->
+      Ok
+        ( { t with image = Io.Mem.snapshot w; cut },
+          {
+            controller;
+            emitted = r.Persist.emitted;
+            replayed = r.Persist.replayed;
+            truncated_bytes = r.Persist.truncated_bytes;
+          } ))
+
+let fingerprint t = Io.Mem.image_fingerprint t.image

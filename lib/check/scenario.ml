@@ -3,7 +3,7 @@ open Dce_core
 
 type edit = Ins of int * char | Del of int | Up of int * char
 
-type action = Edit of edit | Policy of Admin_op.t | Beacon | Compact
+type action = Edit of edit | Policy of Admin_op.t | Beacon | Compact | Crash | Recover
 
 type t = {
   sites : Subject.user list;
@@ -11,6 +11,7 @@ type t = {
   initial : string;
   scripts : (Subject.user * action list) list;
   features : Controller.features;
+  persist : Dce_store.Store.config option;
 }
 
 (* Clamp a visible position into [0, n] (for insertions) or [0, n-1]
@@ -30,7 +31,7 @@ let regrant_insert user =
   Admin_op.Add_auth (0, Auth.grant [ Subject.User user ] [ Docobj.Whole ] [ Right.Insert ])
 
 let make ?(features = Controller.secure) ?initial ?(mixed = false) ?stability
-    ~sites ~coop ~admin_ops () =
+    ?crash ~sites ~coop ~admin_ops () =
   if sites < 2 then invalid_arg "Scenario.make: need at least two sites";
   let site_ids = List.init sites Fun.id in
   let users = List.init (sites - 1) (fun i -> i + 1) in
@@ -63,10 +64,26 @@ let make ?(features = Controller.secure) ?initial ?(mixed = false) ?stability
            actions)
       @ if List.length actions mod k = 0 then [] else [ Beacon; Compact ]
   in
+  (* With [crash = k], every non-admin site dies (kill -9 over its
+     journal) and recovers through the real replay path after its k-th
+     woven action; the explorer then interleaves that crash window with
+     every delivery, beacon, and compaction order. *)
+  let weave_crash actions =
+    match crash with
+    | None -> actions
+    | Some k when k < 0 -> invalid_arg "Scenario.make: crash must be >= 0"
+    | Some k ->
+      let k = min k (List.length actions) in
+      let rec ins i rest =
+        if i = k then Crash :: Recover :: rest
+        else match rest with [] -> [ Crash; Recover ] | a :: tl -> a :: ins (i + 1) tl
+      in
+      ins 0 actions
+  in
   let coop_script u =
     List.filteri (fun k _ -> k mod (sites - 1) = u - 1) (List.init coop edit)
     |> List.map (fun e -> Edit e)
-    |> weave
+    |> weave |> weave_crash
   in
   let admin_script =
     weave
@@ -80,6 +97,7 @@ let make ?(features = Controller.secure) ?initial ?(mixed = false) ?stability
     initial;
     scripts = (0, admin_script) :: List.map (fun u -> (u, coop_script u)) users;
     features;
+    persist = (match crash with None -> None | Some _ -> Some Journal.default_config);
   }
 
 let controllers t =
@@ -105,6 +123,8 @@ let pp_action ppf = function
   | Policy op -> Admin_op.pp ppf op
   | Beacon -> Format.pp_print_string ppf "beacon"
   | Compact -> Format.pp_print_string ppf "compact"
+  | Crash -> Format.pp_print_string ppf "crash"
+  | Recover -> Format.pp_print_string ppf "recover"
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>%d sites (admin %d), initial %S%a@]" (List.length t.sites)

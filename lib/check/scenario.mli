@@ -29,6 +29,13 @@ type action =
   | Compact
       (** garbage-collect the issuer's window:
           [Controller.compact] at the causally-stable frontier *)
+  | Crash
+      (** kill the site's process ([kill -9] flavor): the live controller
+          is dropped; only what its journal ({!Journal}) made durable
+          survives.  Requires [persist = Some _]. *)
+  | Recover
+      (** rebuild the site's controller through the {e real}
+          [Persist.opendir] replay path over its journal image *)
 
 type t = {
   sites : Subject.user list;  (** pairwise distinct; head is the administrator *)
@@ -36,6 +43,10 @@ type t = {
   initial : string;
   scripts : (Subject.user * action list) list;  (** per-site program order *)
   features : Controller.features;
+  persist : Dce_store.Store.config option;
+      (** when set, every site journals its inputs through the production
+          store stack (in-memory backend) and [Crash]/[Recover] become
+          executable *)
 }
 
 val make :
@@ -43,6 +54,7 @@ val make :
   ?initial:string ->
   ?mixed:bool ->
   ?stability:int ->
+  ?crash:int ->
   sites:int ->
   coop:int ->
   admin_ops:int ->
@@ -59,7 +71,12 @@ val make :
     it) seeds the text.  [features] defaults to [Controller.secure].
     [stability = k] weaves a [Beacon]; [Compact] pair into every site's
     script after each k-th action (and at script end), so exploration
-    interleaves window compaction with every delivery order. *)
+    interleaves window compaction with every delivery order.
+    [crash = k] weaves a [Crash]; [Recover] pair into every non-admin
+    site's (woven) script after its k-th action and turns on journaling
+    ([persist = Some Journal.default_config]), so exploration drives the
+    crash window through every interleaving with deliveries, beacons,
+    and compaction. *)
 
 val controllers : t -> (Subject.user * char Controller.t) list
 (** Fresh controllers for every site, in [sites] order. *)

@@ -1,4 +1,5 @@
-let fails scenario schedule = (Explore.replay scenario schedule).Explore.violation <> None
+let fails ?mutant scenario schedule =
+  (Explore.replay ?mutant scenario schedule).Explore.violation <> None
 
 (* Split [l] into [n] chunks whose lengths differ by at most one. *)
 let chunks n l =
@@ -24,8 +25,8 @@ let chunks n l =
 
 let remove_chunk i cs = List.concat (List.filteri (fun j _ -> j <> i) cs)
 
-let minimize scenario schedule =
-  if not (fails scenario schedule) then schedule
+let minimize ?mutant scenario schedule =
+  if not (fails ?mutant scenario schedule) then schedule
   else
     let rec ddmin current n =
       let len = List.length current in
@@ -37,7 +38,7 @@ let minimize scenario schedule =
           List.find_map
             (fun i ->
               let candidate = remove_chunk i cs in
-              if candidate <> [] && fails scenario candidate then Some candidate
+              if candidate <> [] && fails ?mutant scenario candidate then Some candidate
               else None)
             (List.init (List.length cs) Fun.id)
         in

@@ -14,11 +14,13 @@
     thousand-event interleaving into the handful of messages of the
     paper's Fig. 2 diagram. *)
 
-val minimize : Scenario.t -> Explore.event list -> Explore.event list
-(** [minimize scenario schedule] assumes [schedule]'s replay violates;
+val minimize :
+  ?mutant:Explore.mutant -> Scenario.t -> Explore.event list -> Explore.event list
+(** [minimize scenario schedule] assumes [schedule]'s replay violates
+    (under the same [mutant], if any);
     if it does not, the schedule is returned unchanged.  The result is
     a subsequence of [schedule]. *)
 
-val fails : Scenario.t -> Explore.event list -> bool
+val fails : ?mutant:Explore.mutant -> Scenario.t -> Explore.event list -> bool
 (** The ddmin test function: does replaying the schedule (with drain)
     end in a violated frontier or a crash? *)

@@ -6,6 +6,7 @@ module Controller = Dce_core.Controller
 module Conn = Dce_netd.Conn
 module Tele = Dce_netd.Tele
 module Relay_proto = Dce_netd.Relay_proto
+module Faults = Dce_netd.Faults
 module Persist = Dce_store.Persist
 
 type config = {
@@ -55,10 +56,15 @@ type 'e t = {
   port : int;
   registry : 'e Registry.t;
   upstream : Upstream.t option;
+  (* chaos runs: seeded fault plans for every accepted member
+     connection (and the federation link), reproducible from one seed *)
+  chaos : (int * Faults.config) option;
+  mutable conn_seq : int;
   mutable conns : conn_state list;
   mutable stopped : bool;
   mutable last_beacon_ms : float;
   mutable last_compact_ms : float;
+  mutable journal_errors : int;
 }
 
 let trace_s t s peer action detail =
@@ -78,8 +84,8 @@ let update_doc_gauges t s =
   M.set (M.gauge t.reg "hub.docs") (Registry.count t.registry)
 
 let create ?(config = default_config) ?metrics ?(trace = Obs.Trace.null)
-    ?(addr = Unix.inet_addr_loopback) ?upstream:up ?seed ?(eq = ( = )) ~codec ~factory
-    ~docs ~port () =
+    ?(addr = Unix.inet_addr_loopback) ?upstream:up ?seed ?chaos ?(eq = ( = )) ~codec
+    ~factory ~docs ~port () =
   (match up with
    | Some _ when config.hub_id = 0 ->
      invalid_arg "Hub.create: federation requires a nonzero hub_id"
@@ -109,7 +115,12 @@ let create ?(config = default_config) ?metrics ?(trace = Obs.Trace.null)
           | s :: _ -> Controller.site (Session.controller s)
           | [] -> invalid_arg "Hub.create: federation requires at least one document"
         in
-        let u = Upstream.create ?metrics ?seed ~host ~port:uport ~site () in
+        let faults =
+          Option.map
+            (fun (cseed, cfg) -> Faults.create ~config:cfg ~seed:cseed ~label:"upstream" ())
+            chaos
+        in
+        let u = Upstream.create ?metrics ?seed ?faults ~host ~port:uport ~site () in
         List.iter
           (fun s -> Upstream.attach u ~doc:(Session.name s))
           (Registry.docs registry);
@@ -128,10 +139,13 @@ let create ?(config = default_config) ?metrics ?(trace = Obs.Trace.null)
       port;
       registry;
       upstream;
+      chaos;
+      conn_seq = 0;
       conns = [];
       stopped = false;
       last_beacon_ms = 0.;
       last_compact_ms = 0.;
+      journal_errors = 0;
     }
   in
   List.iter (update_doc_gauges t) (Registry.docs registry);
@@ -144,6 +158,48 @@ let docs t = Registry.names t.registry
 let stopped t = t.stopped
 let upstream_connected t =
   match t.upstream with Some u -> Upstream.connected u | None -> false
+
+let upstream_health t = Option.map Upstream.health t.upstream
+let journal_errors t = t.journal_errors
+
+let max_stable_lag t =
+  List.fold_left
+    (fun acc s -> max acc (Controller.stable_lag (Session.controller s)))
+    0 (Registry.docs t.registry)
+
+(* One JSON health report for the admin plane: a not-"ok" status makes
+   {!Dce_netd.Admin} serve /healthz as a 503, so plain HTTP probes see
+   degradation without parsing the body.  [max_lag] bounds the tolerated
+   stability lag (events integrated but not yet known stable, the bytes
+   compaction cannot reclaim) across hosted docs. *)
+let healthz ?(max_lag = 100_000) t () =
+  let lag = max_stable_lag t in
+  let problems = ref [] in
+  let note p = problems := p :: !problems in
+  (match upstream_health t with
+   | Some (Upstream.Degraded { reason; since_ms }) ->
+     note
+       (Printf.sprintf "upstream degraded for %.0fms: %s"
+          (Obs.Clock.now_ms () -. since_ms)
+          reason)
+   | Some Upstream.Healthy | None -> ());
+  if t.journal_errors > 0 then
+    note (Printf.sprintf "%d journal error(s)" t.journal_errors);
+  if lag > max_lag then note (Printf.sprintf "stable lag %d over limit %d" lag max_lag);
+  let reasons =
+    match !problems with
+    | [] -> []
+    | ps -> [ ("reasons", Obs.Json.List (List.map (fun p -> Obs.Json.String p) (List.rev ps))) ]
+  in
+  Obs.Json.Obj
+    ([
+       ("status", Obs.Json.String (if !problems = [] then "ok" else "degraded"));
+       ("role", Obs.Json.String "hub");
+       ("docs", Obs.Json.Int (List.length (Registry.names t.registry)));
+       ("stable_lag", Obs.Json.Int lag);
+       ("journal_errors", Obs.Json.Int t.journal_errors);
+     ]
+     @ reasons)
 
 let session t doc =
   match Registry.find t.registry doc with
@@ -233,7 +289,9 @@ let journal_received t s m =
     Persist.record j (Persist.Received m);
     match Persist.maybe_checkpoint j (Session.controller s) with
     | Ok did -> if did then trace_s t s (Controller.site (Session.controller s)) "checkpoint" ""
-    | Error e -> trace_s t s (Controller.site (Session.controller s)) "journal_error" e)
+    | Error e ->
+      t.journal_errors <- t.journal_errors + 1;
+      trace_s t s (Controller.site (Session.controller s)) "journal_error" e)
 
 let fan_frame s ~except ~origin bytes =
   let doc = Session.name s in
@@ -470,13 +528,40 @@ let handle_upstream_event t = function
              this replica's own [receive], duplicates drop out, and the
              returned messages are local requests the home had not seen
              — push those up so the healing is symmetric *)
+          let donor_clock = Controller.clock donor in
+          let donor_version = Controller.version donor in
           let merged, out = Controller.catch_up (Session.controller s) donor in
+          (* [catch_up]'s re-feed covers only requests this replica
+             generated, and a relay replica generates none — after a
+             home restart the snapshot it sends is *behind* us and
+             nothing else on this link will ever resend the history it
+             lost.  Push up the whole suffix the donor lacks, whatever
+             its origin: receivers deduplicate, so over-sending is
+             safe, and security is re-derived at the home as always.
+             Impossible only once our log has compacted past the
+             donor's clock; then the home stays degraded until a member
+             re-broadcasts (counted below). *)
+          let heal =
+            if Vclock.leq (Controller.clock merged) donor_clock then []
+            else
+              match
+                Controller.delta_since merged ~clock:donor_clock
+                  ~version:donor_version
+              with
+              | Some d ->
+                List.map (fun r -> Controller.Admin r) d.Controller.dl_admin
+                @ List.map (fun q -> Controller.Coop q) d.Controller.dl_coop
+              | None ->
+                trace_s t s (Controller.site merged) "heal_impossible"
+                  "upstream behind our compaction cut";
+                []
+          in
           Session.set_controller s merged;
           List.iter
             (fun m ->
               forward_up t ~from_upstream:false ~doc ~origin:t.cfg.hub_id
                 (Proto.encode_message t.codec m))
-            out;
+            (heal @ out);
           (* the merge bypassed the per-message journal path; cut a
              checkpoint so recovery keeps the merged history *)
           (match Session.journal s with
@@ -495,9 +580,20 @@ let rec accept_all t =
       | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
       | Unix.ADDR_UNIX p -> p
     in
+    let faults =
+      (* label by arrival order, not peer address: the plan for the k-th
+         accepted connection is then a pure function of the seed *)
+      Option.map
+        (fun (cseed, cfg) ->
+          t.conn_seq <- t.conn_seq + 1;
+          Faults.create ~config:cfg ~seed:cseed
+            ~label:(Printf.sprintf "member-%d" t.conn_seq)
+            ())
+        t.chaos
+    in
     let conn =
-      Conn.create ~max_outbox:t.cfg.max_outbox ~max_frame:t.cfg.max_frame ~tele:t.tele
-        ~peer fd
+      Conn.create ~max_outbox:t.cfg.max_outbox ~max_frame:t.cfg.max_frame ?faults
+        ~tele:t.tele ~peer fd
     in
     t.conns <- t.conns @ [ { conn; v1 = false; atts = [] } ];
     accept_all t
@@ -572,6 +668,7 @@ let compact_session t s =
            trace_s t s (Controller.site ctrl) "checkpoint" "pre-compaction";
            Persist.checkpoint_clock j
          | Error e ->
+           t.journal_errors <- t.journal_errors + 1;
            trace_s t s (Controller.site ctrl) "journal_error" e;
            Persist.checkpoint_clock j)
      in

@@ -58,6 +58,7 @@ val create :
   ?addr:Unix.inet_addr ->
   ?upstream:string * int ->
   ?seed:int ->
+  ?chaos:int * Dce_netd.Faults.config ->
   ?eq:('e -> 'e -> bool) ->
   codec:'e Dce_wire.Proto.elt_codec ->
   factory:'e Registry.factory ->
@@ -96,6 +97,23 @@ val outbox_bytes : 'e t -> int
     backpressure level exported as a gauge by [dced]. *)
 
 val upstream_connected : 'e t -> bool
+
+val upstream_health : 'e t -> Upstream.health option
+(** [None] for a standalone hub. *)
+
+val journal_errors : 'e t -> int
+(** Journal append/checkpoint failures since start (cumulative).
+    Durability degradations, not availability: the sessions kept
+    running. *)
+
+val max_stable_lag : 'e t -> int
+(** Worst {!Dce_core.Controller.stable_lag} across hosted docs. *)
+
+val healthz : ?max_lag:int -> 'e t -> unit -> Dce_obs.Json.t
+(** Health report for {!Dce_netd.Admin}: status ["ok"], or ["degraded"]
+    (served as a 503) with a ["reasons"] list when the federation link
+    is down, any journal write has failed, or the stability lag exceeds
+    [max_lag] (default 100k events). *)
 
 val step : ?timeout_ms:int -> 'e t -> unit
 (** One event-loop turn over every session: accept, poll (via

@@ -4,6 +4,7 @@ module Conn = Dce_netd.Conn
 module Tele = Dce_netd.Tele
 module Backoff = Dce_netd.Backoff
 module Relay_proto = Dce_netd.Relay_proto
+module Faults = Dce_netd.Faults
 
 type event =
   | Up_connected
@@ -19,6 +20,7 @@ type config = {
   max_frame : int;
   backoff_base_ms : int;
   backoff_max_ms : int;
+  max_buffer : int;
 }
 
 let default_config =
@@ -29,7 +31,10 @@ let default_config =
     max_frame = 8 * 1024 * 1024;
     backoff_base_ms = 200;
     backoff_max_ms = 30_000;
+    max_buffer = 1024 * 1024;
   }
+
+type health = Healthy | Degraded of { reason : string; since_ms : float }
 
 type phase =
   | Waiting of float (* reconnect at this wall-clock ms *)
@@ -44,14 +49,23 @@ type t = {
   port : int;
   site : int;
   backoff : Backoff.t;
+  faults : Faults.t option;
   mutable phase : phase;
   mutable docs : string list; (* to (re)attach, in attach order *)
   mutable was_live : bool;
+  (* degraded mode: while the link is down, up-forwarded frames are kept
+     (bounded) and flushed after the reconnect re-attach, so a short
+     upstream outage loses nothing; overflow falls back to snapshot
+     healing and is counted *)
+  buffer : (string * int * string) Queue.t; (* doc, origin, msg *)
+  mutable buffer_bytes : int;
+  mutable buffer_dropped : int;
+  mutable health : health;
 }
 
 let now_ms = Obs.Clock.now_ms
 
-let create ?(config = default_config) ?metrics ?seed ~host ~port ~site () =
+let create ?(config = default_config) ?metrics ?seed ?faults ~host ~port ~site () =
   {
     cfg = config;
     tele = Tele.make ?metrics ();
@@ -61,13 +75,26 @@ let create ?(config = default_config) ?metrics ?seed ~host ~port ~site () =
     backoff =
       Backoff.create ~base_ms:config.backoff_base_ms ~max_ms:config.backoff_max_ms ?seed
         ();
+    faults;
     phase = Waiting 0.;
     docs = [];
     was_live = false;
+    buffer = Queue.create ();
+    buffer_bytes = 0;
+    buffer_dropped = 0;
+    health = Healthy;
   }
 
 let connected t = match t.phase with Live _ -> true | _ -> false
 let stopped t = match t.phase with Stopped -> true | _ -> false
+let health t = t.health
+let buffered_bytes t = t.buffer_bytes
+let buffer_dropped t = t.buffer_dropped
+
+let degrade t reason =
+  match t.health with
+  | Degraded _ -> ()
+  | Healthy -> t.health <- Degraded { reason; since_ms = now_ms () }
 
 let conn t = match t.phase with Live c -> Some c | _ -> None
 
@@ -95,7 +122,18 @@ let attach t ~doc =
 let send t ~doc ~origin msg =
   match t.phase with
   | Live c -> Conn.send c (Relay_proto.encode (Relay_proto.Doc_msg { doc; origin; msg }))
-  | _ -> ()
+  | Stopped -> ()
+  | Waiting _ | Connecting _ ->
+    (* degraded: keep editing locally, hold the up-forward until the
+       link returns; a bounded buffer, so a long partition degrades to
+       snapshot healing instead of growing the heap *)
+    let cost = String.length msg + String.length doc + 16 in
+    if t.buffer_bytes + cost > t.cfg.max_buffer then
+      t.buffer_dropped <- t.buffer_dropped + 1
+    else begin
+      Queue.add (doc, origin, msg) t.buffer;
+      t.buffer_bytes <- t.buffer_bytes + cost
+    end
 
 (* Report this hub's aggregate frontier for [doc] up the tree, so the
    home hub's stability view covers sites it has never seen directly. *)
@@ -112,6 +150,7 @@ let resolve t =
     | _ -> raise Not_found)
 
 let fail t reason =
+  degrade t reason;
   let was_live = match t.phase with Live _ -> true | _ -> false in
   (match t.phase with
    | Live c -> Conn.shutdown c
@@ -126,7 +165,8 @@ let fail t reason =
    ordinary events. *)
 let go_live t fd =
   let conn =
-    Conn.create ~max_outbox:t.cfg.max_outbox ~max_frame:t.cfg.max_frame ~tele:t.tele
+    Conn.create ~max_outbox:t.cfg.max_outbox ~max_frame:t.cfg.max_frame
+      ?faults:t.faults ~tele:t.tele
       ~peer:(Printf.sprintf "upstream %s:%d" t.host t.port)
       fd
   in
@@ -134,6 +174,15 @@ let go_live t fd =
     (fun doc ->
       Conn.send conn (Relay_proto.encode (Relay_proto.Attach { doc; site = t.site })))
     t.docs;
+  (* the outage backlog rides right behind the re-attach burst, in
+     order; what the buffer had to drop is healed by the snapshot
+     replies *)
+  while not (Queue.is_empty t.buffer) do
+    let doc, origin, msg = Queue.pop t.buffer in
+    Conn.send conn (Relay_proto.encode (Relay_proto.Doc_msg { doc; origin; msg }))
+  done;
+  t.buffer_bytes <- 0;
+  t.health <- Healthy;
   Conn.handle_writable conn;
   t.phase <- Live conn;
   if t.was_live then M.incr t.tele.Tele.reconnects else M.incr t.tele.Tele.connects;

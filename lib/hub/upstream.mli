@@ -31,9 +31,19 @@ type config = {
   max_frame : int;
   backoff_base_ms : int;
   backoff_max_ms : int;
+  max_buffer : int;
+      (** byte bound on the degraded-mode up-forward buffer (default
+          1 MiB); overflow falls back to snapshot healing *)
 }
 
 val default_config : config
+
+type health =
+  | Healthy
+  | Degraded of { reason : string; since_ms : float }
+      (** the link is down: [reason] is the last failure, [since_ms]
+          when the degradation began.  Local members keep editing;
+          up-forwarded frames buffer (bounded) until reconnect. *)
 
 type t
 
@@ -41,6 +51,7 @@ val create :
   ?config:config ->
   ?metrics:Dce_obs.Metrics.t ->
   ?seed:int ->
+  ?faults:Dce_netd.Faults.t ->
   host:string ->
   port:int ->
   site:int ->
@@ -55,8 +66,10 @@ val attach : t -> doc:string -> unit
     live, and re-sent on every reconnect. *)
 
 val send : t -> doc:string -> origin:int -> string -> unit
-(** Queue a [Proto.encode_message] blob for [doc]; dropped when the
-    link is down (the reconnect snapshot heals the gap). *)
+(** Queue a [Proto.encode_message] blob for [doc].  When the link is
+    down the frame is buffered (bounded by [max_buffer]) and flushed
+    right after the reconnect re-attach burst; overflow drops the frame
+    — counted in {!buffer_dropped} — and the snapshot heals the gap. *)
 
 val send_beacon : t -> doc:string -> string -> unit
 (** Queue a [Proto.encode_frontier] blob for [doc] — this leaf's
@@ -69,6 +82,17 @@ val step : ?timeout_ms:int -> t -> event list
 
 val connected : t -> bool
 val stopped : t -> bool
+
+val health : t -> health
+(** [Degraded] from the first connect failure or disconnect until the
+    next successful re-attach. *)
+
+val buffered_bytes : t -> int
+(** Bytes currently held in the degraded-mode up-forward buffer. *)
+
+val buffer_dropped : t -> int
+(** Frames dropped because the degraded-mode buffer was full
+    (cumulative). *)
 
 val fd : t -> Unix.file_descr option
 (** For embedding in the hub's {!Evloop} set ([None] during backoff). *)

@@ -72,8 +72,19 @@ let route t path =
     response ~status:"200 OK" ~content_type:"text/plain; version=0.0.4"
       (Obs.Export.exposition t.metrics)
   | "/healthz" ->
-    response ~status:"200 OK" ~content_type:"application/json"
-      (Obs.Json.to_string (t.healthz ()) ^ "\n")
+    (* a load balancer or probe only reads the status code: anything the
+       callback reports as not-"ok" must be a non-200 *)
+    let body = t.healthz () in
+    let status =
+      match body with
+      | Obs.Json.Obj fields -> (
+        match List.assoc_opt "status" fields with
+        | Some (Obs.Json.String "ok") | None -> "200 OK"
+        | Some _ -> "503 Service Unavailable")
+      | _ -> "200 OK"
+    in
+    response ~status ~content_type:"application/json"
+      (Obs.Json.to_string body ^ "\n")
   | "/sessions" ->
     response ~status:"200 OK" ~content_type:"application/json"
       (Obs.Json.to_string (t.sessions ()) ^ "\n")

@@ -5,7 +5,9 @@
     - [/metrics] — Prometheus text exposition of the process registry
       (process/GC gauges refreshed on each scrape);
     - [/healthz] — JSON from the [healthz] callback (default
-      [{"status":"ok"}]);
+      [{"status":"ok"}]); served as [503 Service Unavailable] whenever
+      the callback's ["status"] field is present and not ["ok"], so
+      plain HTTP probes see degradation without parsing the body;
     - [/sessions] — JSON from the [sessions] callback (default [{}]).
 
     The server owns no thread: the embedding daemon either adds {!fds}

@@ -48,6 +48,7 @@ type t = {
   site : int;
   doc : string option; (* None = v1 Hello dialect, Some = v2 Attach *)
   resume : unit -> (Dce_ot.Vclock.t * int) option;
+  faults : Faults.t option;
   backoff : Backoff.t;
   mutable phase : phase;
   mutable failed_attempts : int; (* consecutive connect failures; see fail *)
@@ -59,7 +60,7 @@ type t = {
 let now_ms = Dce_obs.Clock.now_ms
 
 let create ?(config = default_config) ?metrics ?(trace = Obs.Trace.null) ?seed ?doc
-    ?(resume = fun () -> None) ~host ~port ~site () =
+    ?(resume = fun () -> None) ?faults ~host ~port ~site () =
   {
     cfg = config;
     tele = Tele.make ?metrics ();
@@ -69,6 +70,7 @@ let create ?(config = default_config) ?metrics ?(trace = Obs.Trace.null) ?seed ?
     site;
     doc;
     resume;
+    faults;
     backoff =
       Backoff.create ~base_ms:config.backoff_base_ms ~max_ms:config.backoff_max_ms ?seed
         ();
@@ -106,6 +108,16 @@ let conn t = match t.phase with Greeting c | Live c -> Some c | _ -> None
 
 let outbox_bytes t =
   match conn t with Some c -> Conn.outbox_bytes c | None -> 0
+
+(* Sever the current connection as if the network cut it: the normal
+   reap-and-reconnect path runs on the next [step], and the rejoin
+   snapshot plus [Controller.catch_up] re-broadcast heal whatever a
+   one-sided partition swallowed.  Chaos harnesses call this at the
+   heal point; a no-op when not connected. *)
+let drop_link ?(reason = "link dropped by harness") t =
+  match conn t with
+  | Some c -> Conn.mark_closed c (Conn.Local reason)
+  | None -> ()
 
 let send t bytes =
   match t.phase with
@@ -152,7 +164,8 @@ let fail t reason =
 
 let greet t fd =
   let conn =
-    Conn.create ~max_outbox:t.cfg.max_outbox ~max_frame:t.cfg.max_frame ~tele:t.tele
+    Conn.create ~max_outbox:t.cfg.max_outbox ~max_frame:t.cfg.max_frame
+      ?faults:t.faults ~tele:t.tele
       ~peer:(Printf.sprintf "%s:%d" t.host t.port)
       fd
   in

@@ -65,6 +65,7 @@ val create :
   ?seed:int ->
   ?doc:string ->
   ?resume:(unit -> (Dce_ot.Vclock.t * int) option) ->
+  ?faults:Faults.t ->
   host:string ->
   port:int ->
   site:int ->
@@ -81,7 +82,10 @@ val create :
     local controller's clock and policy version to request a [Delta]
     instead of a full snapshot — the hub still answers [Snapshot] if its
     log is compacted past that point.  Return [None] (the default) when
-    there is no local state to resume from. *)
+    there is no local state to resume from.
+
+    [faults] (chaos runs) injects the seeded fault plan into every
+    connection this client opens — see {!Conn.create}. *)
 
 val site : t -> int
 
@@ -120,6 +124,12 @@ val set_stamp : t -> (unit -> Dce_ot.Vclock.t * int) -> unit
     causally auditable.  On v2 sessions the same source feeds the
     periodic stability beacon (sent on the heartbeat cadence, even when
     idle, so the rest of the group can compact past this site). *)
+
+val drop_link : ?reason:string -> t -> unit
+(** Sever the live connection as if the network cut it (no [Bye]); the
+    normal reconnect path runs on the next {!step} and the rejoin
+    snapshot heals the session.  Chaos harnesses use this as the heal
+    point of a simulated partition.  No-op when not connected. *)
 
 val close : t -> unit
 (** Send [Bye], close, and stop reconnecting. *)

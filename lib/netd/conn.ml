@@ -32,14 +32,20 @@ type t = {
   mutable last_send_ms : float;
   read_buf : Bytes.t;
   tele : Tele.t;
+  (* chaos: [faults] decides each outgoing frame's fate; [held] keeps
+     delayed frames until their release stamp, [swap_slot] one frame
+     waiting to ride out behind the next (reordering) *)
+  faults : Faults.t option;
+  held : (float * string) Queue.t;
+  mutable swap_slot : (float * string) option;
 }
 
 (* Monotonic, injectable for tests: wall-clock steps (NTP, suspend) must
    not fire idle timeouts or freeze heartbeats. *)
 let now_ms = Dce_obs.Clock.now_ms
 
-let create ?(max_outbox = 4 * 1024 * 1024) ?(max_frame = 8 * 1024 * 1024) ~tele ~peer fd
-    =
+let create ?(max_outbox = 4 * 1024 * 1024) ?(max_frame = 8 * 1024 * 1024) ?faults ~tele
+    ~peer fd =
   Unix.set_nonblock fd;
   (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
   let now = now_ms () in
@@ -56,6 +62,9 @@ let create ?(max_outbox = 4 * 1024 * 1024) ?(max_frame = 8 * 1024 * 1024) ~tele 
     last_send_ms = now;
     read_buf = Bytes.create 65536;
     tele;
+    faults;
+    held = Queue.create ();
+    swap_slot = None;
   }
 
 let fd t = t.fd
@@ -65,25 +74,84 @@ let closed_reason t = t.closed
 let last_recv_ms t = t.last_recv_ms
 let last_send_ms t = t.last_send_ms
 let outbox_bytes t = t.out_bytes
-let wants_write t = t.closed = None && t.out_bytes > 0
 
 let mark_closed t reason = if t.closed = None then t.closed <- Some reason
 
+let enqueue_framed t framed =
+  if t.out_bytes + String.length framed > t.max_outbox then begin
+    (* A peer that cannot drain its socket would otherwise grow our
+       heap without bound; the policy is to cut it loose and let it
+       resynchronize from a snapshot when it reconnects. *)
+    M.incr t.tele.Tele.overflows;
+    mark_closed t Overflow
+  end
+  else begin
+    Queue.add framed t.outbox;
+    t.out_bytes <- t.out_bytes + String.length framed;
+    M.incr t.tele.Tele.frames_out
+  end
+
+(* Move fault-held frames whose release stamp has passed into the
+   outbox.  Called from every outbox-touching entry point, so held
+   frames drain as long as the owner keeps pumping its loop. *)
+let release_due t =
+  if alive t then begin
+    let now = now_ms () in
+    (match t.swap_slot with
+     | Some (at, framed) when at <= now ->
+       t.swap_slot <- None;
+       enqueue_framed t framed
+     | _ -> ());
+    let rec go () =
+      match Queue.peek_opt t.held with
+      | Some (at, framed) when at <= now ->
+        ignore (Queue.pop t.held);
+        enqueue_framed t framed;
+        go ()
+      | _ -> ()
+    in
+    go ()
+  end
+
+let wants_write t =
+  release_due t;
+  t.closed = None && t.out_bytes > 0
+
 let send t payload =
+  release_due t;
   if alive t then begin
     let framed = Codec.frame payload in
-    if t.out_bytes + String.length framed > t.max_outbox then begin
-      (* A peer that cannot drain its socket would otherwise grow our
-         heap without bound; the policy is to cut it loose and let it
-         resynchronize from a snapshot when it reconnects. *)
-      M.incr t.tele.Tele.overflows;
-      mark_closed t Overflow
-    end
-    else begin
-      Queue.add framed t.outbox;
-      t.out_bytes <- t.out_bytes + String.length framed;
-      M.incr t.tele.Tele.frames_out
-    end
+    match t.faults with
+    | None -> enqueue_framed t framed
+    | Some f ->
+      if Faults.partitioned f then Faults.count_partition_drop f
+      else (
+        match Faults.decide f with
+        | Faults.Swap ->
+          (* hold this frame so the next one overtakes it; a stamp bounds
+             the wait in case no next frame ever comes *)
+          let stamp = now_ms () +. float_of_int (Faults.config f).Faults.delay_ms in
+          (match t.swap_slot with
+           | None -> t.swap_slot <- Some (stamp, framed)
+           | Some (_, old) ->
+             enqueue_framed t old;
+             t.swap_slot <- Some (stamp, framed))
+        | d ->
+          (match d with
+           | Faults.Pass -> enqueue_framed t framed
+           | Faults.Drop -> ()
+           | Faults.Dup ->
+             enqueue_framed t framed;
+             enqueue_framed t framed
+           | Faults.Delay ms ->
+             Queue.add (now_ms () +. float_of_int ms, framed) t.held
+           | Faults.Swap -> assert false);
+          (* the frame that was swapped behind rides out now *)
+          match t.swap_slot with
+          | Some (_, old) when alive t ->
+            t.swap_slot <- None;
+            enqueue_framed t old
+          | _ -> ())
   end
 
 let drain_frames t =
@@ -164,7 +232,9 @@ let write_outbox t =
 
 let handle_writable t = if wants_write t then write_outbox t
 
-let flush t = if t.out_bytes > 0 then write_outbox t
+let flush t =
+  release_due t;
+  if t.out_bytes > 0 then write_outbox t
 
 let shutdown t =
   (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());

@@ -28,10 +28,20 @@ val reason_string : close_reason -> string
 type t
 
 val create :
-  ?max_outbox:int -> ?max_frame:int -> tele:Tele.t -> peer:string -> Unix.file_descr -> t
+  ?max_outbox:int ->
+  ?max_frame:int ->
+  ?faults:Faults.t ->
+  tele:Tele.t ->
+  peer:string ->
+  Unix.file_descr ->
+  t
 (** Takes ownership of [fd]: sets it non-blocking (and [TCP_NODELAY]).
     [max_outbox] (default 4 MiB) bounds buffered unsent bytes;
-    [max_frame] (default 8 MiB) bounds a single incoming frame. *)
+    [max_frame] (default 8 MiB) bounds a single incoming frame.
+    [faults] (chaos runs only) filters every outgoing frame through a
+    seeded {!Faults} plan — drop, duplicate, delay, reorder, or
+    partition-drop; held frames are released on later send/flush/poll
+    activity. *)
 
 val fd : t -> Unix.file_descr
 val peer : t -> string

@@ -1,0 +1,100 @@
+type config = {
+  drop : float;
+  dup : float;
+  delay : float;
+  delay_ms : int;
+  reorder : float;
+}
+
+let none = { drop = 0.; dup = 0.; delay = 0.; delay_ms = 50; reorder = 0. }
+
+let is_none c = c.drop = 0. && c.dup = 0. && c.delay = 0. && c.reorder = 0.
+
+let to_string c =
+  Printf.sprintf "drop=%g,dup=%g,delay=%g,delay_ms=%d,reorder=%g" c.drop c.dup c.delay
+    c.delay_ms c.reorder
+
+let of_string s =
+  let parse acc kv =
+    match acc with
+    | Error _ -> acc
+    | Ok c -> (
+      match String.split_on_char '=' (String.trim kv) with
+      | [ k; v ] -> (
+        let prob () =
+          match float_of_string_opt v with
+          | Some p when p >= 0. && p <= 1. -> Ok p
+          | _ -> Error (Printf.sprintf "faults: %s must be a probability in [0,1]" k)
+        in
+        match k with
+        | "drop" -> Result.map (fun p -> { c with drop = p }) (prob ())
+        | "dup" -> Result.map (fun p -> { c with dup = p }) (prob ())
+        | "delay" -> Result.map (fun p -> { c with delay = p }) (prob ())
+        | "reorder" -> Result.map (fun p -> { c with reorder = p }) (prob ())
+        | "delay_ms" -> (
+          match int_of_string_opt v with
+          | Some n when n > 0 -> Ok { c with delay_ms = n }
+          | _ -> Error "faults: delay_ms must be a positive integer")
+        | _ -> Error (Printf.sprintf "faults: unknown key %S" k))
+      | _ -> Error (Printf.sprintf "faults: expected key=value, got %S" kv))
+  in
+  if String.trim s = "" then Ok none
+  else List.fold_left parse (Ok none) (String.split_on_char ',' s)
+
+type decision = Pass | Drop | Dup | Delay of int | Swap
+
+type t = {
+  cfg : config;
+  rng : Random.State.t;
+  mutable part : bool;
+  mutable n_drops : int;
+  mutable n_dups : int;
+  mutable n_delays : int;
+}
+
+let create ?(config = none) ~seed ~label () =
+  {
+    cfg = config;
+    rng = Random.State.make [| seed; Hashtbl.hash label; 0x5eed |];
+    part = false;
+    n_drops = 0;
+    n_dups = 0;
+    n_delays = 0;
+  }
+
+let config t = t.cfg
+
+(* One uniform draw decides the frame's fate: the [0,1] interval is
+   split into adjacent bands, so decision frequencies match the
+   configured probabilities and a single stream stays reproducible
+   whatever the config. *)
+let decide t =
+  let c = t.cfg in
+  if is_none c then Pass
+  else begin
+    let x = Random.State.float t.rng 1.0 in
+    if x < c.drop then begin
+      t.n_drops <- t.n_drops + 1;
+      Drop
+    end
+    else if x < c.drop +. c.dup then begin
+      t.n_dups <- t.n_dups + 1;
+      Dup
+    end
+    else if x < c.drop +. c.dup +. c.delay then begin
+      t.n_delays <- t.n_delays + 1;
+      Delay (1 + Random.State.int t.rng (max 1 c.delay_ms))
+    end
+    else if x < c.drop +. c.dup +. c.delay +. c.reorder then begin
+      t.n_delays <- t.n_delays + 1;
+      Swap
+    end
+    else Pass
+  end
+
+let partitioned t = t.part
+let set_partitioned t b = t.part <- b
+let drops t = t.n_drops
+let dups t = t.n_dups
+let delays t = t.n_delays
+let count_partition_drop t = t.n_drops <- t.n_drops + 1

@@ -1,0 +1,73 @@
+(** Deterministic network-fault injection at the {!Conn} boundary.
+
+    A fault plan decides, per outgoing frame, whether the frame passes,
+    is dropped, duplicated, delayed (released after a sampled number of
+    milliseconds), or swapped behind the next frame (a minimal
+    reordering that needs no timer).  Decisions are drawn from a
+    process-local PRNG seeded from [(seed, label)], so one [--seed]
+    reproduces the exact decision sequence of every labelled plan in
+    the process — chaos runs are replayable.
+
+    A plan also carries a {e partition} bit: while set, every outgoing
+    frame on the plan's connection is silently dropped (counted), which
+    models a peer-scoped network partition that heals when the bit is
+    cleared.
+
+    The plan never touches sockets and holds no frames itself — {!Conn}
+    owns the held-frame buffers and asks the plan only for decisions,
+    keeping the fault logic testable in isolation. *)
+
+type config = {
+  drop : float;  (** probability an outgoing frame is lost *)
+  dup : float;  (** probability it is sent twice *)
+  delay : float;  (** probability it is held for [delay_ms] *)
+  delay_ms : int;  (** held-frame release delay bound (uniform 1..max) *)
+  reorder : float;  (** probability it is swapped behind the next frame *)
+}
+
+val none : config
+(** All probabilities zero: every frame passes. *)
+
+val is_none : config -> bool
+
+val of_string : string -> (config, string) result
+(** Parse the CLI spelling: comma-separated [key=value] pairs over
+    [drop], [dup], [delay], [delay_ms], [reorder] — e.g.
+    ["dup=0.05,delay=0.2,delay_ms=40,reorder=0.1"].  Unlisted keys keep
+    their {!none} value; probabilities must lie in [[0,1]]. *)
+
+val to_string : config -> string
+
+type decision =
+  | Pass
+  | Drop
+  | Dup
+  | Delay of int  (** hold the frame, release after this many ms *)
+  | Swap  (** hold the frame, release it after the next frame *)
+
+type t
+
+val create : ?config:config -> seed:int -> label:string -> unit -> t
+(** A plan whose decision stream is a pure function of
+    [(config, seed, label)].  Use one plan per connection, labelled by
+    the peer, so every link draws an independent reproducible stream. *)
+
+val config : t -> config
+
+val decide : t -> decision
+(** Draw the next decision (and count it). *)
+
+val partitioned : t -> bool
+val set_partitioned : t -> bool -> unit
+
+val drops : t -> int
+(** Frames dropped, partition drops included. *)
+
+val dups : t -> int
+
+val delays : t -> int
+(** Frames held back ([Delay] and [Swap] both count). *)
+
+val count_partition_drop : t -> unit
+(** Record a frame eaten by the partition bit (called by the owner,
+    which is the one that sees the frame). *)

@@ -1,0 +1,320 @@
+exception Io_error of string
+
+type log = {
+  log_append : string -> unit;
+  log_fsync : unit -> unit;
+  log_truncate : int -> unit;
+  log_close : unit -> unit;
+}
+
+type t = {
+  mkdir_p : string -> unit;
+  list_dir : string -> string list;
+  remove : string -> unit;
+  read_file : string -> (string, string) result;
+  atomic_write : dir:string -> name:string -> string -> (unit, string) result;
+  open_log : string -> (string * log, string) result;
+}
+
+(* ----- the filesystem backend ----- *)
+
+let rec fs_mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    fs_mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let fs_list_dir dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names -> Array.to_list names
+
+let fs_remove path = try Sys.remove path with Sys_error _ -> ()
+
+let fs_read_file path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Ok
+      (Fun.protect
+         ~finally:(fun () -> close_in_noerr ic)
+         (fun () -> really_input_string ic (in_channel_length ic)))
+
+let fs_write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then go (off + Unix.write_substring fd s off (len - off))
+  in
+  go 0
+
+let fsync_dir dir =
+  (* persist the rename itself; not all filesystems need this, the ones
+     that do lose the file on power-off without it *)
+  match Unix.openfile dir [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let fs_atomic_write ~dir ~name data =
+  let final = Filename.concat dir name in
+  let tmp = final ^ ".tmp" in
+  match
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o644
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "cannot create %s: %s" tmp (Unix.error_message e))
+  | fd -> (
+    try
+      fs_write_all fd data;
+      Unix.fsync fd;
+      Unix.close fd;
+      Unix.rename tmp final;
+      fsync_dir dir;
+      Ok ()
+    with Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Error (Printf.sprintf "cannot write %s: %s" final (Unix.error_message e)))
+
+let fs_read_fd fd =
+  let len = (Unix.fstat fd).Unix.st_size in
+  let buf = Bytes.create len in
+  let rec fill off =
+    if off < len then
+      match Unix.read fd buf off (len - off) with
+      | 0 -> off (* shrank underneath us; keep what we got *)
+      | n -> fill (off + n)
+    else off
+  in
+  let got = fill 0 in
+  Bytes.sub_string buf 0 got
+
+let fs_open_log path =
+  match Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ] 0o644 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | fd -> (
+    match fs_read_fd fd with
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Unix.error_message e)
+    | data ->
+      let closed = ref false in
+      Ok
+        ( data,
+          {
+            log_append = (fun s -> fs_write_all fd s);
+            log_fsync = (fun () -> Unix.fsync fd);
+            log_truncate =
+              (fun n ->
+                Unix.ftruncate fd n;
+                ignore (Unix.lseek fd n Unix.SEEK_SET));
+            log_close =
+              (fun () ->
+                if not !closed then begin
+                  closed := true;
+                  try Unix.close fd with Unix.Unix_error _ -> ()
+                end);
+          } ))
+
+let fs =
+  {
+    mkdir_p = fs_mkdir_p;
+    list_dir = fs_list_dir;
+    remove = fs_remove;
+    read_file = fs_read_file;
+    atomic_write = fs_atomic_write;
+    open_log = fs_open_log;
+  }
+
+(* ----- the deterministic in-memory backend ----- *)
+
+module Mem = struct
+  type file = { mutable data : string; mutable synced : int }
+
+  type faults = {
+    mutable fail_fsync_after : int;
+    mutable short_append_after : int;
+    mutable fail_atomic_write_after : int;
+  }
+
+  type world = {
+    files : (string, file) Hashtbl.t;
+    dirs : (string, unit) Hashtbl.t;
+    f : faults;
+    (* bumped by [crash]; log handles remember the epoch they were
+       opened in and refuse to touch a later world *)
+    mutable epoch : int;
+  }
+
+  type image = {
+    i_files : (string * string * int) list;  (* path, data, synced *)
+    i_dirs : string list;
+    i_faults : int * int * int;
+    i_epoch : int;
+  }
+
+  let create () =
+    {
+      files = Hashtbl.create 8;
+      dirs = Hashtbl.create 4;
+      f = { fail_fsync_after = 0; short_append_after = 0; fail_atomic_write_after = 0 };
+      epoch = 0;
+    }
+
+  let faults w = w.f
+
+  (* countdown firing: the k-th matching operation fails, then disarms *)
+  let fires get set =
+    match get () with
+    | 0 -> false
+    | 1 ->
+      set 0;
+      true
+    | n ->
+      set (n - 1);
+      false
+
+  let set_file w path data =
+    Hashtbl.replace w.files path { data; synced = String.length data }
+
+  let get_file w path =
+    Option.map (fun f -> f.data) (Hashtbl.find_opt w.files path)
+
+  let files w =
+    Hashtbl.fold (fun p f acc -> (p, f.data) :: acc) w.files []
+    |> List.sort compare
+
+  let mem_mkdir_p w dir = Hashtbl.replace w.dirs dir ()
+
+  let mem_list_dir w dir =
+    Hashtbl.fold
+      (fun p _ acc -> if Filename.dirname p = dir then Filename.basename p :: acc else acc)
+      w.files []
+
+  let mem_remove w path = Hashtbl.remove w.files path
+
+  let mem_read_file w path =
+    match Hashtbl.find_opt w.files path with
+    | Some f -> Ok f.data
+    | None -> Error (path ^ ": no such file")
+
+  let mem_atomic_write w ~dir ~name data =
+    if fires
+         (fun () -> w.f.fail_atomic_write_after)
+         (fun n -> w.f.fail_atomic_write_after <- n)
+    then Error (Printf.sprintf "cannot write %s: injected fault" name)
+    else begin
+      set_file w (Filename.concat dir name) data;
+      Ok ()
+    end
+
+  let mem_open_log w path =
+    let f =
+      match Hashtbl.find_opt w.files path with
+      | Some f -> f
+      | None ->
+        let f = { data = ""; synced = 0 } in
+        Hashtbl.replace w.files path f;
+        f
+    in
+    let epoch = w.epoch in
+    let alive what =
+      if w.epoch <> epoch then raise (Io_error (what ^ ": log handle died in a crash"))
+    in
+    Ok
+      ( f.data,
+        {
+          log_append =
+            (fun s ->
+              alive "append";
+              if fires
+                   (fun () -> w.f.short_append_after)
+                   (fun n -> w.f.short_append_after <- n)
+              then begin
+                f.data <- f.data ^ String.sub s 0 (String.length s / 2);
+                raise (Io_error "append: injected short write")
+              end
+              else f.data <- f.data ^ s);
+          log_fsync =
+            (fun () ->
+              alive "fsync";
+              if fires
+                   (fun () -> w.f.fail_fsync_after)
+                   (fun n -> w.f.fail_fsync_after <- n)
+              then raise (Io_error "fsync: injected fault")
+              else f.synced <- String.length f.data);
+          log_truncate =
+            (fun n ->
+              alive "truncate";
+              f.data <- String.sub f.data 0 (min n (String.length f.data));
+              f.synced <- min f.synced (String.length f.data));
+          log_close = (fun () -> ());
+        } )
+
+  let io w =
+    {
+      mkdir_p = mem_mkdir_p w;
+      list_dir = mem_list_dir w;
+      remove = mem_remove w;
+      read_file = mem_read_file w;
+      atomic_write = mem_atomic_write w;
+      open_log = mem_open_log w;
+    }
+
+  let crash ?(power_loss = false) ?(keep_torn = 0) w =
+    w.epoch <- w.epoch + 1;
+    if power_loss then
+      Hashtbl.iter
+        (fun _ f ->
+          let keep = min (String.length f.data) (f.synced + keep_torn) in
+          f.data <- String.sub f.data 0 keep;
+          f.synced <- min f.synced keep)
+        w.files
+
+  let corrupt_file w path =
+    match Hashtbl.find_opt w.files path with
+    | Some f when String.length f.data > 0 ->
+      let i = String.length f.data / 2 in
+      let b = Bytes.of_string f.data in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+      f.data <- Bytes.to_string b;
+      true
+    | Some _ | None -> false
+
+  let snapshot w =
+    {
+      i_files =
+        Hashtbl.fold (fun p f acc -> (p, f.data, f.synced) :: acc) w.files []
+        |> List.sort compare;
+      i_dirs = Hashtbl.fold (fun d () acc -> d :: acc) w.dirs [] |> List.sort compare;
+      i_faults = (w.f.fail_fsync_after, w.f.short_append_after, w.f.fail_atomic_write_after);
+      i_epoch = w.epoch;
+    }
+
+  let restore img =
+    let w = create () in
+    List.iter (fun (p, data, synced) -> Hashtbl.replace w.files p { data; synced }) img.i_files;
+    List.iter (fun d -> Hashtbl.replace w.dirs d ()) img.i_dirs;
+    let a, b, c = img.i_faults in
+    w.f.fail_fsync_after <- a;
+    w.f.short_append_after <- b;
+    w.f.fail_atomic_write_after <- c;
+    w.epoch <- img.i_epoch;
+    w
+
+  let image_fingerprint img =
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun (p, data, synced) ->
+        Buffer.add_string buf p;
+        Buffer.add_char buf '\x00';
+        Buffer.add_string buf (string_of_int synced);
+        Buffer.add_char buf '\x00';
+        Buffer.add_string buf (Digest.string data);
+        Buffer.add_char buf '\x00')
+      img.i_files;
+    let a, b, c = img.i_faults in
+    Buffer.add_string buf (Printf.sprintf "f%d.%d.%d" a b c);
+    Digest.string (Buffer.contents buf)
+end

@@ -1,0 +1,111 @@
+(** Pluggable I/O backend for the durable store.
+
+    {!Wal}, {!Snapshot} and {!Store} perform all file and directory
+    operations through a value of type {!t}, so the same recovery code
+    runs against the real filesystem ({!fs}) or against a deterministic
+    in-memory world ({!Mem}) that can inject the faults a disk throws at
+    a process — torn tails, short writes, failed fsyncs, corrupted
+    snapshots — without touching disk.  The model checker rebuilds
+    controllers through the real [Persist] replay path over {!Mem}
+    images; the unit tests drive the same faults one at a time.
+
+    The contract mirrors POSIX as the store uses it:
+
+    - {!field:t.open_log} opens (creating if absent) an append-only log
+      and returns its current contents in one step, so recovery scans a
+      stable view and the returned {!log} handle appends at the end.
+    - {!field:t.atomic_write} persists a whole file all-or-nothing (the
+      filesystem backend does the tmp + fsync + rename + directory-fsync
+      dance); a crash leaves either the old file or the complete new
+      one.
+    - Log appends and fsyncs may fail; the filesystem backend lets
+      [Unix.Unix_error] escape (callers own the disk-full policy) while
+      the in-memory backend raises {!Io_error} when a fault fires. *)
+
+exception Io_error of string
+(** Raised by in-memory fault injection on appends and fsyncs (the
+    filesystem backend raises [Unix.Unix_error] instead — catch both at
+    daemon level). *)
+
+type log = {
+  log_append : string -> unit;  (** write bytes at the end *)
+  log_fsync : unit -> unit;  (** make appended bytes durable *)
+  log_truncate : int -> unit;
+      (** drop everything past this byte offset and position the append
+          cursor there (torn-tail recovery) *)
+  log_close : unit -> unit;  (** idempotent; no implicit fsync *)
+}
+
+type t = {
+  mkdir_p : string -> unit;
+  list_dir : string -> string list;
+      (** basenames, unsorted; [[]] when the directory is absent *)
+  remove : string -> unit;  (** best-effort; absent is fine *)
+  read_file : string -> (string, string) result;
+      (** whole contents; [Error] when absent or unreadable *)
+  atomic_write : dir:string -> name:string -> string -> (unit, string) result;
+  open_log : string -> (string * log, string) result;
+      (** open-or-create for appending; returns current contents *)
+}
+
+val fs : t
+(** The real filesystem, with exactly the syscalls the store used before
+    this interface existed. *)
+
+(** The deterministic in-memory backend.
+
+    A {!Mem.world} is a mutable set of files, each with a durable
+    ([synced]) prefix tracked across fsyncs; {!Mem.crash} applies crash
+    semantics to it.  {!Mem.snapshot}/{!Mem.restore} convert between the
+    mutable world and an immutable {!Mem.image} value, which is what the
+    model checker stores in its search nodes: every branch of the DFS
+    restores its own private world, so sibling schedules never see each
+    other's writes. *)
+module Mem : sig
+  type world
+
+  type image
+  (** A pure value: compare, hash and store freely. *)
+
+  (** Fault arming.  Each [*_after k] field is a countdown: the [k]-th
+      subsequent matching operation fails (once), then the field
+      disarms.  [0] means never. *)
+  type faults = {
+    mutable fail_fsync_after : int;  (** that fsync raises {!Io_error} *)
+    mutable short_append_after : int;
+        (** that log append writes only half the bytes, then raises —
+            leaving a torn tail in place *)
+    mutable fail_atomic_write_after : int;
+        (** that atomic_write returns [Error] with nothing written *)
+  }
+
+  val create : unit -> world
+  val io : world -> t
+  val faults : world -> faults
+
+  val set_file : world -> string -> string -> unit
+  (** Plant raw bytes (fully synced) — for adversarial corruption
+      tests. *)
+
+  val get_file : world -> string -> string option
+
+  val files : world -> (string * string) list
+  (** Path-sorted [(path, contents)] dump. *)
+
+  val crash : ?power_loss:bool -> ?keep_torn:int -> world -> unit
+  (** Kill the process this world belonged to: every open {!log} handle
+      goes dead (later appends raise {!Io_error}).  With [power_loss]
+      (default [false] — a [kill -9], where the page cache survives)
+      every file is also cut back to its durable prefix, plus up to
+      [keep_torn] bytes (default [0]) of the unsynced tail — a torn
+      fragment for recovery to chew on. *)
+
+  val corrupt_file : world -> string -> bool
+  (** Flip a byte in the middle of the file ([false]: absent/empty). *)
+
+  val snapshot : world -> image
+  val restore : image -> world
+
+  val image_fingerprint : image -> string
+  (** Canonical digest of files, durable prefixes and fault state. *)
+end

@@ -73,8 +73,8 @@ let replay_record (c, emitted) = function
     let c, out = Controller.receive c m in
     (c, List.rev_append out emitted)
 
-let opendir ?config ?(eq = ( = )) ?(trace = Dce_obs.Trace.null) ~codec dir =
-  match Store.opendir ?config dir with
+let opendir ?config ?io ?(eq = ( = )) ?(trace = Dce_obs.Trace.null) ~codec dir =
+  match Store.opendir ?config ?io dir with
   | Error e -> Error e
   | Ok (store, recovered) -> (
     let t =

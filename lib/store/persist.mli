@@ -53,6 +53,7 @@ type 'e recovery = {
 
 val opendir :
   ?config:Store.config ->
+  ?io:Io.t ->
   ?eq:('e -> 'e -> bool) ->
   ?trace:Dce_obs.Trace.sink ->
   codec:'e Dce_wire.Proto.elt_codec ->

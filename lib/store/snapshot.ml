@@ -7,77 +7,37 @@ let parse_filename name =
   | Some g when name = filename g -> Some g
   | _ -> None
 
-let generations ~dir =
-  match Sys.readdir dir with
-  | exception Sys_error _ -> []
-  | names ->
-    Array.to_list names
-    |> List.filter_map parse_filename
-    |> List.sort compare
+let generations ?(io = Io.fs) ~dir () =
+  io.Io.list_dir dir |> List.filter_map parse_filename |> List.sort compare
 
-let fsync_dir dir =
-  (* persist the rename itself; not all filesystems need this, the ones
-     that do lose the file on power-off without it *)
-  match Unix.openfile dir [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
-  | exception Unix.Unix_error _ -> ()
-  | fd ->
-    (try Unix.fsync fd with Unix.Unix_error _ -> ());
-    (try Unix.close fd with Unix.Unix_error _ -> ())
+let write ?(io = Io.fs) ~dir ~gen blob =
+  match io.Io.atomic_write ~dir ~name:(filename gen) (Codec.frame blob) with
+  | Ok () -> Ok ()
+  | Error e -> Error ("snapshot: " ^ e)
 
-let write ~dir ~gen blob =
-  let final = Filename.concat dir (filename gen) in
-  let tmp = final ^ ".tmp" in
-  match Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o644 with
-  | exception Unix.Unix_error (e, _, _) ->
-    Error (Printf.sprintf "snapshot: cannot create %s: %s" tmp (Unix.error_message e))
-  | fd -> (
-    try
-      let framed = Codec.frame blob in
-      let len = String.length framed in
-      let rec go off =
-        if off < len then go (off + Unix.write_substring fd framed off (len - off))
-      in
-      go 0;
-      Unix.fsync fd;
-      Unix.close fd;
-      Unix.rename tmp final;
-      fsync_dir dir;
-      Ok ()
-    with Unix.Unix_error (e, _, _) ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      (try Sys.remove tmp with Sys_error _ -> ());
-      Error (Printf.sprintf "snapshot: cannot write %s: %s" final (Unix.error_message e)))
-
-let load ~dir ~gen =
+let load ?(io = Io.fs) ~dir ~gen () =
   let path = Filename.concat dir (filename gen) in
-  match open_in_bin path with
-  | exception Sys_error e -> Error ("snapshot: " ^ e)
-  | ic -> (
-    let data =
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    in
+  match io.Io.read_file path with
+  | Error e -> Error ("snapshot: " ^ e)
+  | Ok data -> (
     match Codec.unframe data with
     | Ok blob -> Ok blob
     | Error e -> Error (Printf.sprintf "snapshot: %s is corrupt: %s" path e))
 
-let load_latest ~dir =
+let load_latest ?(io = Io.fs) ~dir () =
   let rec newest_valid = function
     | [] -> None
     | gen :: older -> (
-      match load ~dir ~gen with
+      match load ~io ~dir ~gen () with
       | Ok blob -> Some (gen, blob)
       | Error _ -> newest_valid older)
   in
-  newest_valid (List.rev (generations ~dir))
+  newest_valid (List.rev (generations ~io ~dir ()))
 
-let prune ~dir ~keep =
+let prune ?(io = Io.fs) ~dir ~keep () =
   let keep = max keep 2 in
-  let gens = generations ~dir in
+  let gens = generations ~io ~dir () in
   let drop = max 0 (List.length gens - keep) in
   List.iteri
-    (fun i gen ->
-      if i < drop then
-        try Sys.remove (Filename.concat dir (filename gen)) with Sys_error _ -> ())
+    (fun i gen -> if i < drop then io.Io.remove (Filename.concat dir (filename gen)))
     gens

@@ -1,29 +1,32 @@
 (** Atomic full-state snapshots, one file per generation.
 
     A snapshot is a single CRC-framed blob written to [snap-<gen>.snap]
-    via the classic tmp + fsync + rename dance, so a crash at any point
-    leaves either the previous generation or the complete new one —
-    never a half-written file under the final name.  {!load_latest}
-    walks generations newest-first and skips anything that does not
+    through {!Io.t}'s [atomic_write] (the filesystem backend does the
+    classic tmp + fsync + rename dance), so a crash at any point leaves
+    either the previous generation or the complete new one — never a
+    half-written file under the final name.  {!load_latest} walks
+    generations newest-first and skips anything that does not
     frame-check, so a corrupted latest snapshot silently falls back to
     the one before it (which is why {!prune} always keeps at least the
-    two most recent generations). *)
+    two most recent generations).
 
-val write : dir:string -> gen:int -> string -> (unit, string) result
-(** Atomically persist [blob] as generation [gen] (tmp file, fsync,
-    rename, directory fsync). *)
+    Every function takes an optional [io] backend, defaulting to the
+    real filesystem. *)
 
-val load : dir:string -> gen:int -> (string, string) result
+val write : ?io:Io.t -> dir:string -> gen:int -> string -> (unit, string) result
+(** Atomically persist [blob] as generation [gen]. *)
+
+val load : ?io:Io.t -> dir:string -> gen:int -> unit -> (string, string) result
 (** Read and frame-check one specific generation. *)
 
-val load_latest : dir:string -> (int * string) option
+val load_latest : ?io:Io.t -> dir:string -> unit -> (int * string) option
 (** The newest generation whose file exists and frame-checks, with its
     payload.  [None] if the directory holds no usable snapshot. *)
 
-val generations : dir:string -> int list
+val generations : ?io:Io.t -> dir:string -> unit -> int list
 (** All generations present on disk (valid or not), ascending. *)
 
-val prune : dir:string -> keep:int -> unit
+val prune : ?io:Io.t -> dir:string -> keep:int -> unit -> unit
 (** Delete all but the [max keep 2] newest generations (best-effort). *)
 
 val filename : int -> string

@@ -29,6 +29,7 @@ type recovered = {
 
 type t = {
   cfg : config;
+  io : Io.t;
   dir : string;
   mutable generation : int;
   mutable wal : Wal.t;
@@ -38,27 +39,23 @@ let wal_name gen = Printf.sprintf "wal-%010d.log" gen
 
 let wal_path dir gen = Filename.concat dir (wal_name gen)
 
-let rec mkdir_p dir =
-  if not (Sys.file_exists dir) then begin
-    mkdir_p (Filename.dirname dir);
-    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-  end
-
-let opendir ?(config = default_config) dir =
-  match mkdir_p dir with
+let opendir ?(config = default_config) ?(io = Io.fs) dir =
+  match io.Io.mkdir_p dir with
   | exception Unix.Unix_error (e, _, _) ->
     Error (Printf.sprintf "store: cannot create %s: %s" dir (Unix.error_message e))
+  | exception Io.Io_error e ->
+    Error (Printf.sprintf "store: cannot create %s: %s" dir e)
   | () ->
     let generation, snapshot =
-      match Snapshot.load_latest ~dir with
+      match Snapshot.load_latest ~io ~dir () with
       | Some (gen, blob) -> (gen, Some blob)
       | None -> (0, None)
     in
-    (match Wal.openfile ~fsync:config.fsync (wal_path dir generation) with
+    (match Wal.openfile ~fsync:config.fsync ~io (wal_path dir generation) with
      | Error _ as e -> e
      | Ok (wal, rec_) ->
        Ok
-         ( { cfg = config; dir; generation; wal },
+         ( { cfg = config; io; dir; generation; wal },
            {
              generation;
              snapshot;
@@ -72,37 +69,34 @@ let should_checkpoint t = Wal.records_written t.wal >= max 1 t.cfg.snapshot_ever
 
 let checkpoint t blob =
   let next = t.generation + 1 in
-  match Snapshot.write ~dir:t.dir ~gen:next blob with
+  match Snapshot.write ~io:t.io ~dir:t.dir ~gen:next blob with
   | Error _ as e -> e
   | Ok () -> (
     (* the new generation's log must start empty: after a fallback
        recovery an abandoned wal-<next> from a previous life may exist,
        and its records are NOT part of snapshot <next> *)
-    (try Sys.remove (wal_path t.dir next) with Sys_error _ -> ());
-    match Wal.openfile ~fsync:t.cfg.fsync (wal_path t.dir next) with
+    t.io.Io.remove (wal_path t.dir next);
+    match Wal.openfile ~fsync:t.cfg.fsync ~io:t.io (wal_path t.dir next) with
     | Error _ as e -> e
     | Ok (wal, _) ->
       Wal.close t.wal;
       t.wal <- wal;
       t.generation <- next;
-      Snapshot.prune ~dir:t.dir ~keep:t.cfg.keep_generations;
+      Snapshot.prune ~io:t.io ~dir:t.dir ~keep:t.cfg.keep_generations ();
       (* A log is removable only once TWO retained snapshots supersede
          it: if every newer snapshot were to fail its frame check,
          recovery falls back past them to [snap-g + wal-g] (or, below
          the first checkpoint, to a bare replay of wal-0) — so the
          youngest two fallback targets keep their logs. *)
-      let retained = Snapshot.generations ~dir:t.dir in
+      let retained = Snapshot.generations ~io:t.io ~dir:t.dir () in
       let superseded g = List.length (List.filter (fun s -> s > g) retained) >= 2 in
-      (match Sys.readdir t.dir with
-       | exception Sys_error _ -> ()
-       | names ->
-         Array.iter
-           (fun name ->
-             match Scanf.sscanf_opt name "wal-%d.log" Fun.id with
-             | Some g when name = wal_name g && g <> next && superseded g -> (
-               try Sys.remove (Filename.concat t.dir name) with Sys_error _ -> ())
-             | _ -> ())
-           names);
+      List.iter
+        (fun name ->
+          match Scanf.sscanf_opt name "wal-%d.log" Fun.id with
+          | Some g when name = wal_name g && g <> next && superseded g ->
+            t.io.Io.remove (Filename.concat t.dir name)
+          | _ -> ())
+        (t.io.Io.list_dir t.dir);
       Ok ())
 
 let generation t = t.generation

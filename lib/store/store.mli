@@ -40,8 +40,10 @@ type recovered = {
 
 type t
 
-val opendir : ?config:config -> string -> (t * recovered, string) result
-(** Open (creating the directory if needed) and recover. *)
+val opendir : ?config:config -> ?io:Io.t -> string -> (t * recovered, string) result
+(** Open (creating the directory if needed) and recover.  [io] defaults
+    to the real filesystem; pass an {!Io.Mem} backend to run the same
+    recovery fault-injected without touching disk. *)
 
 val append : t -> string -> unit
 (** Append one record to the active generation's log (write-ahead:

@@ -11,7 +11,7 @@ type recovery = {
 type t = {
   path : string;
   fsync : fsync_policy;
-  mutable fd : Unix.file_descr option;
+  mutable log : Io.log option;
   mutable written : int; (* appends since open *)
   mutable unsynced : int; (* appends since the last fsync *)
   mutable size : int;
@@ -33,70 +33,51 @@ let scan data =
   in
   go 0 []
 
-let read_all fd =
-  let len = (Unix.fstat fd).Unix.st_size in
-  let buf = Bytes.create len in
-  let rec fill off =
-    if off < len then
-      match Unix.read fd buf off (len - off) with
-      | 0 -> off (* shrank underneath us; keep what we got *)
-      | n -> fill (off + n)
-    else off
-  in
-  let got = fill 0 in
-  Bytes.sub_string buf 0 got
-
-let openfile ?(fsync = Interval 64) path =
-  match Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ] 0o644 with
-  | exception Unix.Unix_error (e, _, _) ->
-    Error (Printf.sprintf "wal: cannot open %s: %s" path (Unix.error_message e))
-  | fd -> (
+let openfile ?(fsync = Interval 64) ?(io = Io.fs) path =
+  match io.Io.open_log path with
+  | Error e -> Error (Printf.sprintf "wal: cannot open %s: %s" path e)
+  | Ok (data, log) -> (
     try
-      let data = read_all fd in
       let records, valid_bytes = scan data in
       let truncated_bytes = String.length data - valid_bytes in
-      if truncated_bytes > 0 then Unix.ftruncate fd valid_bytes;
-      ignore (Unix.lseek fd valid_bytes Unix.SEEK_SET);
+      if truncated_bytes > 0 then log.Io.log_truncate valid_bytes;
       Ok
-        ( { path; fsync; fd = Some fd; written = 0; unsynced = 0; size = valid_bytes },
+        ( { path; fsync; log = Some log; written = 0; unsynced = 0; size = valid_bytes },
           { records; valid_bytes; truncated_bytes } )
-    with Unix.Unix_error (e, _, _) ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      Error (Printf.sprintf "wal: cannot recover %s: %s" path (Unix.error_message e)))
+    with
+    | Unix.Unix_error (e, _, _) ->
+      log.Io.log_close ();
+      Error (Printf.sprintf "wal: cannot recover %s: %s" path (Unix.error_message e))
+    | Io.Io_error e ->
+      log.Io.log_close ();
+      Error (Printf.sprintf "wal: cannot recover %s: %s" path e))
 
 let live t =
-  match t.fd with
-  | Some fd -> fd
+  match t.log with
+  | Some log -> log
   | None -> invalid_arg "Wal: log is closed"
 
-let write_all fd s =
-  let len = String.length s in
-  let rec go off =
-    if off < len then go (off + Unix.write_substring fd s off (len - off))
-  in
-  go 0
-
 let append t payload =
-  let fd = live t in
+  let log = live t in
   let framed = Codec.frame payload in
-  write_all fd framed;
+  log.Io.log_append framed;
   t.size <- t.size + String.length framed;
   t.written <- t.written + 1;
   t.unsynced <- t.unsynced + 1;
   match t.fsync with
   | Always ->
-    Unix.fsync fd;
+    log.Io.log_fsync ();
     t.unsynced <- 0
   | Interval n when t.unsynced >= n ->
-    Unix.fsync fd;
+    log.Io.log_fsync ();
     t.unsynced <- 0
   | Interval _ | Never -> ()
 
 let sync t =
-  match t.fd with
+  match t.log with
   | None -> ()
-  | Some fd ->
-    Unix.fsync fd;
+  | Some log ->
+    log.Io.log_fsync ();
     t.unsynced <- 0
 
 let records_written t = t.written
@@ -104,11 +85,12 @@ let size_bytes t = t.size
 let path t = t.path
 
 let close t =
-  match t.fd with
+  match t.log with
   | None -> ()
-  | Some fd ->
+  | Some log ->
     (match t.fsync with
      | Never -> ()
-     | Always | Interval _ -> ( try Unix.fsync fd with Unix.Unix_error _ -> ()));
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    t.fd <- None
+     | Always | Interval _ -> (
+       try log.Io.log_fsync () with Unix.Unix_error _ | Io.Io_error _ -> ()));
+    log.Io.log_close ();
+    t.log <- None

@@ -229,6 +229,57 @@ let shrink_tests =
         Alcotest.(check bool) "unchanged" true (Shrink.minimize s sched = sched));
   ]
 
+let crash_tests =
+  [
+    Alcotest.test_case "crash + recover exhausts green" `Quick (fun () ->
+        let s = Scenario.make ~features:secure ~crash:1 ~sites:2 ~coop:2 ~admin_ops:1 () in
+        match run s with
+        | Explore.Exhausted, st ->
+          Alcotest.(check bool) "explored something" true (st.Explore.states > 50)
+        | Explore.Found v, _ -> Alcotest.failf "violation: %s" v.Explore.detail
+        | Explore.Capped, _ -> Alcotest.fail "capped");
+    Alcotest.test_case "crash interleaved with beacons and compaction" `Quick (fun () ->
+        let s =
+          Scenario.make ~features:secure ~stability:2 ~crash:1 ~sites:2 ~coop:2
+            ~admin_ops:1 ()
+        in
+        match run s with
+        | Explore.Exhausted, _ -> ()
+        | Explore.Found v, _ -> Alcotest.failf "violation: %s" v.Explore.detail
+        | Explore.Capped, _ -> Alcotest.fail "capped");
+    Alcotest.test_case "no-clamp mutant is caught and shrinks" `Quick (fun () ->
+        let s =
+          Scenario.make ~features:secure ~stability:1 ~crash:1 ~sites:2 ~coop:2
+            ~admin_ops:1 ()
+        in
+        let v =
+          expect_found "no-clamp" (Explore.run ~mutant:Explore.No_clamp s)
+        in
+        Alcotest.(check bool)
+          "durability oracle named" true
+          (contains v.Explore.detail "durability invariant");
+        let minimal = Shrink.minimize ~mutant:Explore.No_clamp s v.Explore.schedule in
+        Alcotest.(check bool)
+          "minimal schedule still fails under the mutant" true
+          (Shrink.fails ~mutant:Explore.No_clamp s minimal);
+        Alcotest.(check bool)
+          "the production discipline passes the same schedule" false
+          (Shrink.fails s minimal));
+    Alcotest.test_case "crash scenario weaves the pair into non-admin scripts" `Quick
+      (fun () ->
+        let s = Scenario.make ~crash:1 ~sites:3 ~coop:2 ~admin_ops:1 () in
+        Alcotest.(check bool) "persist set" true (s.Scenario.persist <> None);
+        List.iter
+          (fun (u, script) ->
+            let crashes =
+              List.length
+                (List.filter (function Scenario.Crash -> true | _ -> false) script)
+            in
+            if u = 0 then Alcotest.(check int) "admin never crashes" 0 crashes
+            else Alcotest.(check int) "one crash per site" 1 crashes)
+          s.Scenario.scripts);
+  ]
+
 let enum_tests =
   [
     Alcotest.test_case "TP1 exhaustive at default bounds" `Quick (fun () ->
@@ -251,5 +302,6 @@ let () =
       ("holes", hole_tests);
       ("replay", replay_tests);
       ("shrink", shrink_tests);
+      ("crash", crash_tests);
       ("enum", enum_tests)
     ]

@@ -9,6 +9,7 @@ open Dce_ot
 open Dce_core
 module Netd = Dce_netd
 module Hub = Dce_hub.Hub
+module Upstream = Dce_hub.Upstream
 module Evloop = Dce_hub.Evloop
 module Doc_name = Dce_hub.Doc_name
 module Codec = Dce_wire.Codec
@@ -124,7 +125,7 @@ let mk_controller ~site text =
     (Tdoc.of_string text)
 
 let mk_hub ?metrics ?(docs = [ "main" ]) ?(hub_id = 0) ?upstream ?(auto_create = false)
-    ?beacon_ms ?compact_ms () =
+    ?beacon_ms ?compact_ms ?(port = 0) () =
   let config = { Hub.default_config with Hub.hub_id; auto_create } in
   let config =
     match beacon_ms with None -> config | Some b -> { config with Hub.beacon_ms = b }
@@ -134,7 +135,7 @@ let mk_hub ?metrics ?(docs = [ "main" ]) ?(hub_id = 0) ?upstream ?(auto_create =
   in
   Hub.create ~config ?metrics ?upstream ~codec:Proto.char_codec
     ~factory:(fun _doc -> Ok (mk_controller ~site:(relay_site + hub_id) "abc", None))
-    ~docs ~port:0 ()
+    ~docs ~port ()
 
 type endpoint = {
   client : Netd.Client.t;
@@ -581,6 +582,219 @@ let federation_test () =
      with Not_found -> 0);
   List.iter (fun ep -> Netd.Client.close ep.client) eps
 
+(* ----- upstream: reconnect storm ----- *)
+
+(* A bare-socket stand-in for the home hub: the test accepts the leaf's
+   federation link, decodes the frames it sends, and slams the door on a
+   script — the [Upstream] state machine on the other end must survive
+   the storm without ever duplicating an attach, must buffer (bounded)
+   while the link is down, and must come back [Healthy] with an empty
+   buffer once a session finally sticks. *)
+let upstream_storm_test () =
+  let lfd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+  Unix.set_nonblock lfd;
+  Unix.bind lfd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen lfd 16;
+  let port =
+    match Unix.getsockname lfd with Unix.ADDR_INET (_, p) -> p | _ -> assert false
+  in
+  Fun.protect ~finally:(fun () ->
+      try Unix.close lfd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let config =
+    {
+      Upstream.default_config with
+      Upstream.backoff_base_ms = 1;
+      backoff_max_ms = 4;
+      max_buffer = 200;
+    }
+  in
+  let up =
+    Upstream.create ~config ~seed:7 ~host:"127.0.0.1" ~port ~site:relay_site ()
+  in
+  Fun.protect ~finally:(fun () -> Upstream.close up) @@ fun () ->
+  Upstream.attach up ~doc:"main";
+  (* a second attach for the same doc must stay a single attach *)
+  Upstream.attach up ~doc:"main";
+  let buf = Bytes.create 4096 in
+  let accept_session () =
+    let rec go n =
+      if n > 5_000 then Alcotest.fail "upstream never reconnected";
+      ignore (Upstream.step ~timeout_ms:1 up);
+      match Unix.accept ~cloexec:true lfd with
+      | fd, _ ->
+        Unix.set_nonblock fd;
+        fd
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        -> go (n + 1)
+    in
+    go 0
+  in
+  (* pump for a fixed window and return every frame the leaf sent *)
+  let drain_session fd ~rounds =
+    let data = Buffer.create 256 in
+    let msgs = ref [] in
+    let pos = ref 0 in
+    for _ = 1 to rounds do
+      ignore (Upstream.step ~timeout_ms:1 up);
+      (match Unix.read fd buf 0 (Bytes.length buf) with
+       | 0 -> ()
+       | k -> Buffer.add_subbytes data buf 0 k
+       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+         -> ());
+      let rec parse () =
+        match Codec.unframe_prefix (Buffer.contents data) ~pos:!pos with
+        | Ok (payload, next) ->
+          pos := next;
+          (match Netd.Relay_proto.decode payload with
+           | Ok m -> msgs := m :: !msgs
+           | Error e -> Alcotest.failf "bad frame from the leaf: %s" e);
+          parse ()
+        | Error Codec.Truncated -> ()
+        | Error (Codec.Corrupt e) -> Alcotest.failf "corrupt frame: %s" e
+      in
+      parse ()
+    done;
+    List.rev !msgs
+  in
+  let count p msgs = List.length (List.filter p msgs) in
+  let is_attach = function
+    | Netd.Relay_proto.Attach { doc = "main"; _ } -> true
+    | _ -> false
+  in
+  let is_doc_msg = function Netd.Relay_proto.Doc_msg _ -> true | _ -> false in
+  for cycle = 1 to 5 do
+    let fd = accept_session () in
+    let msgs = drain_session fd ~rounds:40 in
+    Alcotest.(check int)
+      (Printf.sprintf "cycle %d: exactly one attach per session" cycle)
+      1 (count is_attach msgs);
+    (* slam the door mid-session *)
+    Unix.close fd;
+    let rec until_down n =
+      if n > 5_000 then Alcotest.fail "upstream never noticed the hangup";
+      if Upstream.connected up then begin
+        ignore (Upstream.step ~timeout_ms:1 up);
+        until_down (n + 1)
+      end
+    in
+    until_down 0;
+    Alcotest.(check bool)
+      (Printf.sprintf "cycle %d: degraded while down" cycle)
+      true
+      (match Upstream.health up with
+       | Upstream.Degraded _ -> true
+       | Upstream.Healthy -> false);
+    (* local traffic while the link is down buffers, bounded: 10 sends
+       of ~27 bytes each against a 200-byte cap must overflow *)
+    for i = 1 to 10 do
+      Upstream.send up ~doc:"main" ~origin:2 (Printf.sprintf "op-%d-%d" cycle i)
+    done;
+    Alcotest.(check bool)
+      (Printf.sprintf "cycle %d: buffer stays under its bound" cycle)
+      true
+      (Upstream.buffered_bytes up <= config.Upstream.max_buffer)
+  done;
+  Alcotest.(check bool) "the overflow was counted, not leaked" true
+    (Upstream.buffer_dropped up > 0);
+  (* a session that finally sticks: one attach, the backlog flushes
+     behind it, and the leaf reports healthy with an empty buffer *)
+  let fd = accept_session () in
+  let msgs = drain_session fd ~rounds:60 in
+  Alcotest.(check int) "sticky session: exactly one attach" 1 (count is_attach msgs);
+  Alcotest.(check bool) "the backlog flushed behind the attach" true
+    (count is_doc_msg msgs > 0);
+  Alcotest.(check int) "no buffered bytes leak across reconnects" 0
+    (Upstream.buffered_bytes up);
+  Alcotest.(check bool) "healthy again" true (Upstream.health up = Upstream.Healthy);
+  Alcotest.(check bool) "connected" true (Upstream.connected up);
+  Unix.close fd
+
+(* ----- federation: partition, degraded local progress, heal ----- *)
+
+let json_status = function
+  | Obs.Json.Obj fields -> (
+    match List.assoc_opt "status" fields with
+    | Some (Obs.Json.String s) -> s
+    | _ -> "?")
+  | _ -> "?"
+
+(* The home hub dies mid-session.  The leaf must report itself degraded
+   (a probe on /healthz would turn non-200) while its local members keep
+   editing, and a fresh home on the same port — which knows nothing of
+   the partition-era edits — must reconverge through the snapshot
+   healing path. *)
+let degraded_heal_test () =
+  let home = mk_hub ~hub_id:1 () in
+  let home_port = Hub.port home in
+  let leaf = mk_hub ~hub_id:2 ~upstream:("127.0.0.1", home_port) () in
+  Fun.protect ~finally:(fun () -> Hub.shutdown leaf) @@ fun () ->
+  let ep0 = mk_endpoint ~doc:"main" ~port:home_port ~site:0 () in
+  let ep2 = mk_endpoint ~doc:"main" ~port:(Hub.port leaf) ~site:2 () in
+  let eps = [ ep0; ep2 ] in
+  require "everyone linked"
+    (pump_until [ home; leaf ] eps (fun () ->
+         ep0.ctrl <> None && ep2.ctrl <> None && Hub.upstream_connected leaf));
+  edit ep2 0 'a';
+  require "pre-partition convergence"
+    (pump_until [ home; leaf ] eps (fun () ->
+         doc_of ep0 = "aabc" && doc_of ep2 = "aabc" && List.for_all settled eps));
+  Alcotest.(check string) "healthy before the cut" "ok"
+    (json_status (Hub.healthz leaf ()));
+  (* the partition: the home hub dies; ep0 is deliberately not stepped
+     while the home is gone, like a member whose laptop sees the same
+     outage *)
+  Hub.shutdown home;
+  require "leaf notices and degrades"
+    (pump_until [ leaf ] [ ep2 ] (fun () ->
+         match Hub.upstream_health leaf with
+         | Some (Upstream.Degraded _) -> true
+         | _ -> false));
+  Alcotest.(check string) "healthz degraded during the partition" "degraded"
+    (json_status (Hub.healthz leaf ()));
+  (* local members keep editing against the degraded leaf *)
+  edit ep2 0 'b';
+  require "leaf-local progress during the partition"
+    (pump_until [ leaf ] [ ep2 ] (fun () -> doc_of ep2 = "baabc"));
+  (* heal: a fresh home hub on the same port, which has only the seed
+     document — the partition-era history must survive the snapshot
+     exchange in both directions *)
+  let home2 = mk_hub ~hub_id:1 ~port:home_port () in
+  Fun.protect ~finally:(fun () -> Hub.shutdown home2) @@ fun () ->
+  let fingerprint hub =
+    Proto.content_fingerprint Proto.char_codec (Hub.controller hub)
+  in
+  let ok =
+    pump_until ~max_rounds:20_000 [ home2; leaf ] eps (fun () ->
+        Hub.upstream_connected leaf
+        && doc_of ep0 = "baabc" && doc_of ep2 = "baabc"
+        && List.for_all settled eps
+        && fingerprint home2 = fingerprint leaf)
+  in
+  if not ok then
+    Printf.printf
+      "DIAG up=%b ep0=%S ep2=%S settled0=%b settled2=%b home2=%S leaf=%S fh=%s \
+       fl=%s snaps0=%d snaps2=%d leaf_health=%s\n%!"
+      (Hub.upstream_connected leaf)
+      (doc_of ep0) (doc_of ep2) (settled ep0) (settled ep2) (hub_doc home2)
+      (hub_doc leaf) (fingerprint home2) (fingerprint leaf) ep0.snapshots
+      ep2.snapshots
+      (match Hub.upstream_health leaf with
+       | Some Upstream.Healthy -> "healthy"
+       | Some (Upstream.Degraded { reason; _ }) -> "degraded: " ^ reason
+       | None -> "none");
+  require "leaf relinks and the partition edits reach the new home" ok;
+  Alcotest.(check string) "healthz healthy after the heal" "ok"
+    (json_status (Hub.healthz leaf ()));
+  let report =
+    Dce_sim.Convergence.check (List.map (fun ep -> Option.get ep.ctrl) eps)
+  in
+  if not (Dce_sim.Convergence.ok report) then
+    Alcotest.failf "convergence violated after heal: %s"
+      (Format.asprintf "%a" Dce_sim.Convergence.pp report);
+  List.iter (fun ep -> Netd.Client.close ep.client) eps
+
 (* ----- delta catch-up: resume inside the hosted window ----- *)
 
 let delta_resume_test () =
@@ -693,6 +907,12 @@ let () =
           Alcotest.test_case
             "home + leaf converge; late joiner snapshots from the leaf" `Quick
             federation_test;
+          Alcotest.test_case
+            "upstream survives a reconnect storm: one attach, no leaked bytes"
+            `Quick upstream_storm_test;
+          Alcotest.test_case
+            "partition degrades the leaf; heal reconverges via snapshots" `Quick
+            degraded_heal_test;
         ] );
       ( "stability",
         [

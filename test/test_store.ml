@@ -162,6 +162,103 @@ let wal_tests =
            Wal.close w));
   ]
 
+(* ----- Wal: adversarial recovery property ----- *)
+
+(* Cumulative end offset of each record's frame, oldest first. *)
+let frame_ends records =
+  List.rev
+    (snd
+       (List.fold_left
+          (fun (off, acc) r ->
+            let e = off + frame_len r in
+            (e, e :: acc))
+          (0, []) records))
+
+(* How many whole frames fit in the first [size] bytes. *)
+let fit_count records size =
+  List.length (List.filter (fun e -> e <= size) (frame_ends records))
+
+let take k l = List.filteri (fun i _ -> i < k) l
+
+(* Longest-valid-prefix semantics under layered damage: write a batch,
+   tear the tail, recover and append a second batch, then flip a byte
+   {e inside} the surviving prefix and tear the tail again — a
+   double-torn file with mid-prefix corruption.  Whatever the damage,
+   [Wal.openfile] must recover exactly the frames before the first
+   damaged byte, physically truncate the file to that prefix, and
+   accept appends on top of it. *)
+let adversarial_recovery_runs (batch1, batch2, tear1, flip, tear2) =
+  let dir = fresh_dir () in
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let path = Filename.concat dir "wal.log" in
+  let w, _ = ok_exn "open" (Wal.openfile path) in
+  List.iter (Wal.append w) batch1;
+  Wal.close w;
+  (* first torn tail: rip up to one frame's worth off the end *)
+  let last1 = List.nth batch1 (List.length batch1 - 1) in
+  truncate_by path (tear1 mod frame_len last1);
+  let keep1 = fit_count batch1 (file_size path) in
+  let w, r = ok_exn "reopen after tear 1" (Wal.openfile path) in
+  Alcotest.(check (list string))
+    "first tear: longest valid prefix" (take keep1 batch1) r.Wal.records;
+  List.iter (Wal.append w) batch2;
+  Wal.close w;
+  let survivors = take keep1 batch1 @ batch2 in
+  let nsurv = List.length survivors in
+  (* corruption inside the prefix, not just the tail: flip one byte of
+     a uniformly chosen surviving frame *)
+  let ends = frame_ends survivors in
+  let fidx = flip mod nsurv in
+  let fstart = if fidx = 0 then 0 else List.nth ends (fidx - 1) in
+  let flen = List.nth ends fidx - fstart in
+  flip_byte path (fstart + (flip / nsurv mod flen));
+  (* second torn tail on top of the flip *)
+  let lastr = List.nth survivors (nsurv - 1) in
+  truncate_by path (tear2 mod frame_len lastr);
+  (* recovery must stop at the first damaged byte: the flipped frame or
+     the torn tail, whichever comes first *)
+  let expect = min fidx (fit_count survivors (file_size path)) in
+  let w, r = ok_exn "reopen after flip + tear 2" (Wal.openfile path) in
+  Alcotest.(check (list string))
+    "double tear + flip: longest valid prefix" (take expect survivors)
+    r.Wal.records;
+  Alcotest.(check int)
+    "valid_bytes is exactly the kept prefix"
+    (List.fold_left (fun a rec_ -> a + frame_len rec_) 0 (take expect survivors))
+    r.Wal.valid_bytes;
+  Alcotest.(check int)
+    "file physically truncated to the valid prefix" r.Wal.valid_bytes
+    (file_size path);
+  (* the recovered log is a working log *)
+  Wal.append w "post-damage";
+  Wal.close w;
+  let w, r = ok_exn "final reopen" (Wal.openfile path) in
+  Alcotest.(check (list string))
+    "appends after recovery land cleanly"
+    (take expect survivors @ [ "post-damage" ])
+    r.Wal.records;
+  Alcotest.(check int) "final file is clean" 0 r.Wal.truncated_bytes;
+  Wal.close w;
+  true
+
+let wal_adversarial_tests =
+  let gen =
+    QCheck2.Gen.(
+      let record = string_size ~gen:(char_range 'a' 'z') (int_bound 40) in
+      let batch = list_size (int_range 1 6) record in
+      tup5 batch batch (int_bound 10_000) (int_bound 1_000_000) (int_bound 10_000))
+  in
+  let print (b1, b2, t1, flip, t2) =
+    let show b = String.concat ";" (List.map (Printf.sprintf "%S") b) in
+    Printf.sprintf "batch1=[%s] batch2=[%s] tear1=%d flip=%d tear2=%d" (show b1)
+      (show b2) t1 flip t2
+  in
+  [
+    qtest "double-torn, mid-prefix-corrupted logs recover the longest valid prefix"
+      ~count:120 gen print adversarial_recovery_runs;
+  ]
+
 (* ----- Snapshot ----- *)
 
 let snapshot_tests =
@@ -171,13 +268,13 @@ let snapshot_tests =
            ok_exn "write 1" (Snapshot.write ~dir ~gen:1 "one");
            ok_exn "write 3" (Snapshot.write ~dir ~gen:3 "three");
            ok_exn "write 7" (Snapshot.write ~dir ~gen:7 "seven");
-           Alcotest.(check (list int)) "ascending" [ 1; 3; 7 ] (Snapshot.generations ~dir);
-           Alcotest.(check string) "load one gen" "three" (ok_exn "load" (Snapshot.load ~dir ~gen:3));
-           (match Snapshot.load_latest ~dir with
+           Alcotest.(check (list int)) "ascending" [ 1; 3; 7 ] (Snapshot.generations ~dir ());
+           Alcotest.(check string) "load one gen" "three" (ok_exn "load" (Snapshot.load ~dir ~gen:3 ()));
+           (match Snapshot.load_latest ~dir () with
             | Some (7, "seven") -> ()
             | Some (g, _) -> Alcotest.failf "latest picked generation %d" g
             | None -> Alcotest.fail "no snapshot found");
-           match Snapshot.load ~dir ~gen:5 with
+           match Snapshot.load ~dir ~gen:5 () with
            | Error _ -> ()
            | Ok _ -> Alcotest.fail "loaded a generation that does not exist"));
     Alcotest.test_case "a corrupt newest snapshot falls back to the previous" `Quick
@@ -185,23 +282,23 @@ let snapshot_tests =
            ok_exn "write 3" (Snapshot.write ~dir ~gen:3 "three");
            ok_exn "write 7" (Snapshot.write ~dir ~gen:7 "seven");
            flip_byte (snap_path dir 7) (file_size (snap_path dir 7) / 2);
-           (match Snapshot.load_latest ~dir with
+           (match Snapshot.load_latest ~dir () with
             | Some (3, "three") -> ()
             | _ -> Alcotest.fail "expected fallback to generation 3");
            (* a torn (half-written-then-renamed-by-hand) file too *)
            truncate_by (snap_path dir 3) 2;
            Alcotest.(check bool)
-             "nothing valid left" true (Snapshot.load_latest ~dir = None)));
+             "nothing valid left" true (Snapshot.load_latest ~dir () = None)));
     Alcotest.test_case "prune keeps the newest, never fewer than two" `Quick
       (in_dir (fun dir ->
            List.iter
              (fun g -> ok_exn "write" (Snapshot.write ~dir ~gen:g (string_of_int g)))
              [ 1; 2; 3; 4; 5 ];
-           Snapshot.prune ~dir ~keep:3;
-           Alcotest.(check (list int)) "three newest" [ 3; 4; 5 ] (Snapshot.generations ~dir);
-           Snapshot.prune ~dir ~keep:1;
+           Snapshot.prune ~dir ~keep:3 ();
+           Alcotest.(check (list int)) "three newest" [ 3; 4; 5 ] (Snapshot.generations ~dir ());
+           Snapshot.prune ~dir ~keep:1 ();
            Alcotest.(check (list int))
-             "the fallback pair is untouchable" [ 4; 5 ] (Snapshot.generations ~dir)));
+             "the fallback pair is untouchable" [ 4; 5 ] (Snapshot.generations ~dir ())));
   ]
 
 (* ----- Store ----- *)
@@ -402,7 +499,7 @@ let persist_tests =
            done;
            Alcotest.(check int) "three generations cut" 3 (Persist.generation j);
            Alcotest.(check (list int))
-             "only two snapshots retained" [ 2; 3 ] (Snapshot.generations ~dir);
+             "only two snapshots retained" [ 2; 3 ] (Snapshot.generations ~dir ());
            Alcotest.(check bool) "wal-1 reaped" false (Sys.file_exists (wal_path dir 1));
            let live = fp !c0 in
            Persist.close j;
@@ -754,6 +851,7 @@ let () =
   Alcotest.run "dce_store"
     [
       ("wal", wal_tests);
+      ("wal-adversarial", wal_adversarial_tests);
       ("snapshot", snapshot_tests);
       ("store", store_tests);
       ("persist", persist_tests);
